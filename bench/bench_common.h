@@ -1,0 +1,64 @@
+#ifndef ROICL_BENCH_BENCH_COMMON_H_
+#define ROICL_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+#include <cstdint>
+
+#include "exp/datasets.h"
+#include "exp/methods.h"
+
+namespace roicl::bench {
+
+/// True when ROICL_FAST=1 is set: benches shrink to smoke-test size
+/// (useful under CI or when iterating).
+inline bool FastMode() {
+  const char* env = std::getenv("ROICL_FAST");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+/// Standard sample sizes used by the paper-table benches. Fast mode cuts
+/// everything ~8x.
+inline exp::SplitSizes BenchSizes() {
+  exp::SplitSizes sizes;
+  if (FastMode()) {
+    sizes.train_sufficient = 1600;
+    sizes.calibration = 500;
+    sizes.test = 800;
+  } else {
+    sizes.train_sufficient = 12000;
+    sizes.calibration = 3000;
+    sizes.test = 6000;
+  }
+  return sizes;
+}
+
+/// Standard hyperparameters; fast mode shrinks training budgets.
+inline exp::MethodHyperparams BenchHyperparams() {
+  exp::MethodHyperparams hp;
+  if (FastMode()) {
+    hp.neural_epochs = 8;
+    hp.cate_epochs = 5;
+    hp.forest_trees = 8;
+    hp.causal_forest_trees = 8;
+    hp.mc_passes = 10;
+  }
+  return hp;
+}
+
+/// Seeds averaged per table cell. ROICL_SEEDS overrides the count (>=1);
+/// fast mode uses a single seed.
+inline std::vector<uint64_t> BenchSeeds(int default_count) {
+  const char* env = std::getenv("ROICL_SEEDS");
+  int count = env != nullptr ? std::atoi(env) : default_count;
+  if (FastMode()) count = 1;
+  if (count < 1) count = 1;
+  std::vector<uint64_t> seeds;
+  for (int i = 0; i < count; ++i) seeds.push_back(2024 + i);
+  return seeds;
+}
+
+}  // namespace roicl::bench
+
+#endif  // ROICL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,68 @@
+// Illustrates Fig. 3 of the paper: the convex population-level DRP loss
+// and the convergence gap. Prints L(s) on a grid of roi = sigmoid(s)
+// values (the convex bowl of Fig. 3), the Algorithm-2 convergence point,
+// and how far a DRP network trained on sufficient vs insufficient data
+// lands from it (mean predicted ROI vs roi*).
+//
+// Set ROICL_FAST=1 for a quick smoke run.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/math_util.h"
+#include "common/stats.h"
+#include "core/drp_loss.h"
+#include "core/drp_model.h"
+#include "core/roi_star.h"
+#include "data/split.h"
+#include "exp/datasets.h"
+
+using namespace roicl;
+
+int main() {
+  exp::SplitSizes sizes = bench::BenchSizes();
+  synth::SyntheticGenerator generator =
+      exp::MakeGenerator(exp::DatasetId::kCriteo);
+  Rng rng(88);
+  RctDataset train_full =
+      generator.Generate(sizes.train_sufficient, false, &rng);
+  Rng sub_rng(89);
+  RctDataset train_small = Subsample(train_full, 0.15, &sub_rng);
+
+  double roi_star = core::BinarySearchRoiStar(train_full);
+  std::printf(
+      "Fig. 3: the population DRP loss L(s) is convex in s; Algorithm 2's\n"
+      "binary search lands at roi* = sigmoid(s*) = %.4f\n\n",
+      roi_star);
+
+  std::printf("%8s %12s %12s\n", "roi", "L(s)", "L'(s)");
+  for (double roi = 0.1; roi <= 0.901; roi += 0.1) {
+    double s = Logit(roi);
+    std::printf("%8.2f %12.5f %12.5f%s\n", roi,
+                core::DrpPopulationLoss(train_full.treatment,
+                                        train_full.y_revenue,
+                                        train_full.y_cost, s),
+                core::DrpPopulationLossDeriv(train_full.treatment,
+                                             train_full.y_revenue,
+                                             train_full.y_cost, s),
+                std::fabs(roi - roi_star) < 0.05 ? "   <- near roi*" : "");
+  }
+
+  exp::MethodHyperparams hp = bench::BenchHyperparams();
+  auto mean_predicted_roi = [&](const RctDataset& train) {
+    core::DrpModel drp(exp::MakeDrpConfig(hp));
+    drp.Fit(train);
+    return Mean(drp.PredictRoi(train_full.x));
+  };
+  double full_mean = mean_predicted_roi(train_full);
+  double small_mean = mean_predicted_roi(train_small);
+  std::printf(
+      "\nConvergence gap |mean(roi_hat) - roi*| (the s-hat vs s* distance "
+      "of Fig. 3):\n");
+  std::printf("  trained on %6d samples: mean roi_hat = %.4f, gap = %.4f\n",
+              train_full.n(), full_mean, std::fabs(full_mean - roi_star));
+  std::printf("  trained on %6d samples: mean roi_hat = %.4f, gap = %.4f\n",
+              train_small.n(), small_mean,
+              std::fabs(small_mean - roi_star));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Fig. 5 of the paper: the Table-II ablation for the CRITEO
+// dataset rendered as four bar groups (SuNo / SuCo / InNo / InCo).
+//
+// Set ROICL_FAST=1 for a quick smoke run.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "exp/ablation.h"
+
+namespace {
+
+void PrintBar(const char* label, double aucc, double lo, double hi) {
+  // 50-character bar spanning [lo, hi] so within-group differences are
+  // visible (AUCC differences are small in absolute terms).
+  double span = std::max(hi - lo, 1e-9);
+  int filled = static_cast<int>(50.0 * (aucc - lo) / span + 0.5);
+  filled = std::clamp(filled, 0, 50);
+  std::printf("  %-16s %.4f |%s%s|\n", label, aucc,
+              std::string(filled, '#').c_str(),
+              std::string(50 - filled, ' ').c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace roicl;
+  using namespace roicl::exp;
+
+  MethodHyperparams hp = bench::BenchHyperparams();
+  SplitSizes sizes = bench::BenchSizes();
+
+  std::printf(
+      "Fig. 5: MC/CP ablation on CRITEO-UPLIFT v2, four settings%s\n",
+      bench::FastMode() ? " (FAST mode)" : "");
+
+  std::vector<uint64_t> seeds = bench::BenchSeeds(3);
+  for (Setting setting : AllSettings()) {
+    AblationRow row;
+    for (uint64_t seed : seeds) {
+      AblationRow one = RunAblationSetting(DatasetId::kCriteo, setting, hp,
+                                           sizes, seed);
+      double w = 1.0 / static_cast<double>(seeds.size());
+      row.dr += w * one.dr;
+      row.dr_mc += w * one.dr_mc;
+      row.drp += w * one.drp;
+      row.drp_mc += w * one.drp_mc;
+      row.drp_mc_cp += w * one.drp_mc_cp;
+    }
+    double values[] = {row.dr, row.dr_mc, row.drp, row.drp_mc,
+                       row.drp_mc_cp};
+    double lo = *std::min_element(values, values + 5) - 0.01;
+    double hi = *std::max_element(values, values + 5) + 0.01;
+    std::printf("\n(%s)\n", SettingName(setting).c_str());
+    PrintBar("DR", row.dr, lo, hi);
+    PrintBar("DR w/ MC", row.dr_mc, lo, hi);
+    PrintBar("DRP", row.drp, lo, hi);
+    PrintBar("DRP w/ MC", row.drp_mc, lo, hi);
+    PrintBar("DRP w/ MC w/ CP", row.drp_mc_cp, lo, hi);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Observational (non-RCT) extension bench — the paper's first future-work
+// item (§VII): DRP's loss assumes randomized treatment; under confounded
+// assignment its globally-normalized group means are biased. IPW-DRP
+// re-weights with stabilized inverse-propensity weights.
+//
+// Reports, across confounding strengths, the oracle rank correlation of
+// plain DRP vs IPW-DRP (AUCC itself is biased on confounded evaluation
+// data, so the simulator's ground truth is the honest yardstick).
+//
+// Set ROICL_FAST=1 for a quick smoke run.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "core/drp_model.h"
+#include "core/ipw_drp.h"
+#include "exp/table.h"
+#include "synth/synthetic_generator.h"
+
+using namespace roicl;
+
+int main() {
+  int n_train = bench::FastMode() ? 3000 : 12000;
+  int n_test = bench::FastMode() ? 1500 : 6000;
+  int seeds = bench::FastMode() ? 1 : 3;
+
+  std::printf(
+      "Observational data: plain DRP vs IPW-DRP (Spearman corr. with the "
+      "true ROI)\n\n");
+  exp::TextTable table({"propensity range", "plain DRP", "IPW-DRP"});
+
+  for (double lo : {0.5, 0.25, 0.15, 0.05}) {
+    synth::SyntheticConfig config = synth::CriteoSynthConfig();
+    if (lo < 0.5) {
+      config.confounded_treatment = true;
+      config.propensity_lo = lo;
+      config.propensity_hi = 1.0 - lo;
+    }
+    synth::SyntheticGenerator generator(config);
+
+    double plain_total = 0.0, ipw_total = 0.0;
+    for (int s = 0; s < seeds; ++s) {
+      Rng rng(100 + static_cast<uint64_t>(s));
+      RctDataset train = generator.Generate(n_train, false, &rng);
+      RctDataset test = generator.Generate(n_test, false, &rng);
+
+      core::DrpConfig drp_config;
+      drp_config.train.epochs = bench::FastMode() ? 15 : 80;
+      drp_config.train.learning_rate = 5e-3;
+      drp_config.train.patience = 10;
+      drp_config.train.seed = 100 + s;
+
+      core::DrpModel plain(drp_config);
+      plain.Fit(train);
+
+      core::IpwDrpConfig ipw_config;
+      ipw_config.drp = drp_config;
+      ipw_config.propensity.hidden = {16};
+      ipw_config.propensity.train.epochs = bench::FastMode() ? 10 : 40;
+      ipw_config.propensity.train.learning_rate = 5e-3;
+      core::IpwDrpModel ipw(ipw_config);
+      ipw.Fit(train);
+
+      std::vector<double> truth(test.n());
+      for (int i = 0; i < test.n(); ++i) truth[i] = test.TrueRoi(i);
+      plain_total += SpearmanCorrelation(plain.PredictRoi(test.x), truth);
+      ipw_total += SpearmanCorrelation(ipw.PredictRoi(test.x), truth);
+    }
+    char label[64];
+    if (lo == 0.5) {
+      std::snprintf(label, sizeof(label), "RCT (e = 0.5)");
+    } else {
+      std::snprintf(label, sizeof(label), "e(x) in [%.2f, %.2f]", lo,
+                    1.0 - lo);
+    }
+    table.AddRow({label, exp::TextTable::Num(plain_total / seeds),
+                  exp::TextTable::Num(ipw_total / seeds)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: identical on RCT data; IPW-DRP degrades more\n"
+      "gracefully as confounding strengthens.\n");
+  return 0;
+}

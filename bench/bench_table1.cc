@@ -1,0 +1,69 @@
+// Reproduces Table I of the paper: offline AUCC of the ten C-BTAP methods
+// on the three (synthetic stand-in) datasets under the four settings
+// SuNo / SuCo / InNo / InCo.
+//
+// Expected shape (not absolute values — see EXPERIMENTS.md): rDRP is the
+// best or tied-best row per column; DRP is the strongest point-estimate
+// baseline; the rDRP-DRP gap widens from SuNo toward InCo.
+//
+// Set ROICL_FAST=1 for a quick smoke run.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "exp/runner.h"
+#include "exp/table.h"
+
+int main() {
+  using namespace roicl;
+  using namespace roicl::exp;
+
+  MethodHyperparams hp = bench::BenchHyperparams();
+  SplitSizes sizes = bench::BenchSizes();
+  std::vector<MethodSpec> methods = Table1Methods(hp);
+
+  std::printf(
+      "Table I: offline AUCC, four settings x three datasets "
+      "(train_n=%d%s)\n\n",
+      sizes.train_sufficient, bench::FastMode() ? ", FAST mode" : "");
+
+  // Each cell is averaged over independent data draws to damp the
+  // sampling noise of a single calibration/test realization.
+  std::vector<uint64_t> seeds = bench::BenchSeeds(2);
+  std::map<std::string, double> lookup;
+  auto key = [](const std::string& method, DatasetId dataset,
+                Setting setting) {
+    return method + "|" + DatasetName(dataset) + "|" + SettingName(setting);
+  };
+  for (uint64_t seed : seeds) {
+    std::vector<OfflineCell> cells =
+        RunOfflineSweep(methods, sizes, seed, /*verbose=*/true);
+    for (const OfflineCell& cell : cells) {
+      lookup[key(cell.method, cell.dataset, cell.setting)] +=
+          cell.aucc / static_cast<double>(seeds.size());
+    }
+  }
+
+  for (bool sufficient : {true, false}) {
+    std::printf("\n== %s data ==\n",
+                sufficient ? "Sufficient" : "Insufficient");
+    TextTable table({"Method", "CRITEO NoShift", "CRITEO Shift",
+                     "Meituan NoShift", "Meituan Shift", "Alibaba NoShift",
+                     "Alibaba Shift"});
+    Setting no_shift = sufficient ? Setting::kSuNo : Setting::kInNo;
+    Setting shift = sufficient ? Setting::kSuCo : Setting::kInCo;
+    for (const MethodSpec& method : methods) {
+      std::vector<std::string> row = {method.name};
+      for (DatasetId dataset : AllDatasets()) {
+        row.push_back(
+            TextTable::Num(lookup[key(method.name, dataset, no_shift)]));
+        row.push_back(
+            TextTable::Num(lookup[key(method.name, dataset, shift)]));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+  return 0;
+}

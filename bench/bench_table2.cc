@@ -1,0 +1,82 @@
+// Reproduces Table II of the paper: the MC / CP ablation. Rows are
+// DR, DR w/ MC, DRP, DRP w/ MC, DRP w/ MC w/ CP (= rDRP); each base
+// network is trained once and shared across its variants, so the table
+// isolates the post-processing contributions exactly.
+//
+// Expected shape: MC improves DR and DRP; CP improves DRP w/ MC further;
+// gains are largest in the Insufficient + Covariate-shift setting.
+//
+// Set ROICL_FAST=1 for a quick smoke run.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "exp/ablation.h"
+#include "exp/table.h"
+
+int main() {
+  using namespace roicl;
+  using namespace roicl::exp;
+
+  MethodHyperparams hp = bench::BenchHyperparams();
+  SplitSizes sizes = bench::BenchSizes();
+
+  std::printf("Table II: ablation of MC dropout and conformal prediction%s\n\n",
+              bench::FastMode() ? " (FAST mode)" : "");
+
+  // Average each cell over independent data draws (see bench_table1).
+  std::vector<uint64_t> seeds = bench::BenchSeeds(3);
+  std::map<std::string, AblationRow> lookup;
+  for (uint64_t seed : seeds) {
+    std::vector<AblationRow> rows =
+        RunAblationSweep(hp, sizes, seed, /*verbose=*/true);
+    for (const AblationRow& row : rows) {
+      AblationRow& acc =
+          lookup[DatasetName(row.dataset) + "|" + SettingName(row.setting)];
+      acc.dataset = row.dataset;
+      acc.setting = row.setting;
+      double w = 1.0 / static_cast<double>(seeds.size());
+      acc.dr += w * row.dr;
+      acc.dr_mc += w * row.dr_mc;
+      acc.drp += w * row.drp;
+      acc.drp_mc += w * row.drp_mc;
+      acc.drp_mc_cp += w * row.drp_mc_cp;
+    }
+  }
+
+  for (bool sufficient : {true, false}) {
+    std::printf("\n== %s data ==\n",
+                sufficient ? "Sufficient" : "Insufficient");
+    TextTable table({"Method", "CRITEO NoShift", "CRITEO Shift",
+                     "Meituan NoShift", "Meituan Shift", "Alibaba NoShift",
+                     "Alibaba Shift"});
+    Setting no_shift = sufficient ? Setting::kSuNo : Setting::kInNo;
+    Setting shift = sufficient ? Setting::kSuCo : Setting::kInCo;
+    struct Variant {
+      const char* name;
+      double AblationRow::* field;
+    };
+    const Variant kVariants[] = {
+        {"DR", &AblationRow::dr},
+        {"DR w/ MC", &AblationRow::dr_mc},
+        {"DRP", &AblationRow::drp},
+        {"DRP w/ MC", &AblationRow::drp_mc},
+        {"DRP w/ MC w/ CP", &AblationRow::drp_mc_cp},
+    };
+    for (const Variant& variant : kVariants) {
+      std::vector<std::string> table_row = {variant.name};
+      for (DatasetId dataset : AllDatasets()) {
+        const AblationRow& no_row =
+            lookup[DatasetName(dataset) + "|" + SettingName(no_shift)];
+        const AblationRow& co_row =
+            lookup[DatasetName(dataset) + "|" + SettingName(shift)];
+        table_row.push_back(TextTable::Num(no_row.*(variant.field)));
+        table_row.push_back(TextTable::Num(co_row.*(variant.field)));
+      }
+      table.AddRow(table_row);
+    }
+    table.Print();
+  }
+  return 0;
+}

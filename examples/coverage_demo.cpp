@@ -1,0 +1,57 @@
+// Conformal coverage demo: the distribution-free guarantee of Eq. (4).
+//
+// For a grid of error rates alpha, calibrate rDRP's intervals on a short
+// shift-matched RCT and measure the empirical coverage of the test-set
+// convergence point roi*. Coverage should sit at or above 1 - alpha for
+// EVERY alpha — even though the underlying DRP network was trained on a
+// different (unshifted) distribution. Also demonstrates the paper's §VI
+// caveat: interval width does not shrink proportionally with alpha.
+//
+// Build & run:  ./build/examples/coverage_demo
+
+#include <cstdio>
+
+#include "core/rdrp.h"
+#include "core/roi_star.h"
+#include "exp/methods.h"
+#include "metrics/coverage.h"
+#include "synth/synthetic_generator.h"
+
+using namespace roicl;
+
+int main() {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(13);
+  RctDataset train = generator.Generate(10000, /*shifted=*/false, &rng);
+  RctDataset calibration = generator.Generate(3000, /*shifted=*/true, &rng);
+  RctDataset test = generator.Generate(6000, /*shifted=*/true, &rng);
+
+  double roi_star_test = core::BinarySearchRoiStar(test);
+  std::printf("Test-set convergence point roi* = %.4f\n", roi_star_test);
+  std::printf("Training distribution is SHIFTED away from calib/test —\n");
+  std::printf("the guarantee only needs calib ~ test (Assumption 6).\n\n");
+
+  std::printf("%8s %10s %10s %12s %12s\n", "alpha", "target", "coverage",
+              "q_hat", "mean width");
+
+  exp::MethodHyperparams hp;
+  for (double alpha : {0.02, 0.05, 0.10, 0.20, 0.30, 0.50}) {
+    core::RdrpConfig config = exp::MakeRdrpConfig(hp);
+    config.alpha = alpha;
+    core::RdrpModel rdrp(config);
+    rdrp.FitWithCalibration(train, calibration);
+
+    std::vector<metrics::Interval> intervals = rdrp.PredictIntervals(test.x);
+    std::vector<double> targets(intervals.size(), roi_star_test);
+    metrics::CoverageReport report =
+        metrics::EvaluateCoverage(intervals, targets);
+    std::printf("%8.2f %10.2f %10.3f %12.3f %12.4f\n", alpha, 1.0 - alpha,
+                report.coverage, rdrp.q_hat(), report.mean_width);
+  }
+
+  std::printf(
+      "\nNote (paper SS VI): width tracks q_hat, the empirical score\n"
+      "quantile — it is NOT guaranteed to scale linearly with alpha,\n"
+      "because the MC-dropout std is only a heuristic uncertainty scalar.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Observational study: ROI ranking WITHOUT an RCT — the paper's first
+// future-work item (§VII), implemented as IPW-DRP.
+//
+// Scenario: a platform has only logged data where account managers chose
+// who received the intervention (treatment probability depends on user
+// features — confounded). Plain DRP trained on such logs inherits the
+// selection bias; IPW-DRP first estimates the propensity e(x) and trains
+// the same DRP network with stabilized inverse-propensity weights.
+//
+// Build & run:  ./build/examples/observational_study
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "core/drp_model.h"
+#include "core/ipw_drp.h"
+#include "metrics/cost_curve.h"
+#include "synth/synthetic_generator.h"
+
+using namespace roicl;
+
+int main() {
+  // Confounded logging policy: treatment probability ranges over
+  // [0.15, 0.85] as a function of the same features that drive ROI.
+  synth::SyntheticConfig config = synth::CriteoSynthConfig();
+  config.confounded_treatment = true;
+  config.propensity_lo = 0.15;
+  config.propensity_hi = 0.85;
+  synth::SyntheticGenerator generator(config);
+
+  Rng rng(42);
+  RctDataset logs = generator.Generate(12000, /*shifted=*/false, &rng);
+  RctDataset population = generator.Generate(6000, false, &rng);
+  std::printf("Observational logs: %d rows, %.0f%% treated (not 50%% — the "
+              "assignment was a business rule, not a coin flip)\n\n",
+              logs.n(), 100.0 * logs.NumTreated() / logs.n());
+
+  core::DrpConfig drp_config;
+  drp_config.train.epochs = 80;
+  drp_config.train.learning_rate = 5e-3;
+  drp_config.train.patience = 10;
+
+  core::DrpModel naive(drp_config);
+  naive.Fit(logs);  // pretends the logs were an RCT
+
+  core::IpwDrpConfig ipw_config;
+  ipw_config.drp = drp_config;
+  ipw_config.propensity.hidden = {16};
+  ipw_config.propensity.train.epochs = 40;
+  ipw_config.propensity.train.learning_rate = 5e-3;
+  core::IpwDrpModel ipw(ipw_config);
+  ipw.Fit(logs);
+
+  // Sanity: the estimated propensity should track the logging policy.
+  std::vector<double> e_hat = ipw.propensity().Predict(population.x);
+  std::vector<double> e_true(population.n());
+  for (int i = 0; i < population.n(); ++i) {
+    e_true[i] = generator.Propensity(population.x.RowPtr(i));
+  }
+  std::printf("propensity model vs logging policy: corr = %.3f\n",
+              PearsonCorrelation(e_hat, e_true));
+
+  // Ranking quality against the simulator's ground truth.
+  std::vector<double> truth(population.n());
+  for (int i = 0; i < population.n(); ++i) {
+    truth[i] = population.TrueRoi(i);
+  }
+  std::printf("\nSpearman correlation with the true ROI ranking:\n");
+  std::printf("  naive DRP (logs as-if-RCT): %.4f\n",
+              SpearmanCorrelation(naive.PredictRoi(population.x), truth));
+  std::printf("  IPW-DRP (stabilized weights): %.4f\n",
+              SpearmanCorrelation(ipw.PredictRoi(population.x), truth));
+  std::printf(
+      "\nThe naive model inherits the logging policy's selection bias;\n"
+      "re-weighting restores (approximately) the RCT stationary point.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "abtest/simulator.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+#include "core/greedy.h"
+
+namespace roicl::abtest {
+
+double AbTestResult::LiftOverRandomPct(const ArmResult& arm) const {
+  ROICL_CHECK(random_arm.total_revenue > 0.0);
+  return (arm.total_revenue - random_arm.total_revenue) /
+         random_arm.total_revenue * 100.0;
+}
+
+AbTestResult RunAbTest(const synth::SyntheticGenerator& generator,
+                       bool shifted_deployment,
+                       const uplift::RoiModel& drp,
+                       const uplift::RoiModel& rdrp,
+                       const AbTestConfig& config) {
+  ROICL_CHECK(config.population_per_day > 0);
+  ROICL_CHECK(config.num_days > 0);
+  ROICL_CHECK(config.budget_fraction > 0.0 && config.budget_fraction <= 1.0);
+
+  AbTestResult result;
+  result.random_arm.name = "Random";
+  result.drp_arm.name = drp.name();
+  result.rdrp_arm.name = rdrp.name();
+
+  Rng rng(config.seed, /*stream=*/41);
+  for (int day = 0; day < config.num_days; ++day) {
+    Rng day_rng = rng.Split();
+    RctDataset population = generator.Generate(
+        config.population_per_day, shifted_deployment, &day_rng);
+
+    // The budget is a fraction of the cost of treating everyone, measured
+    // in ground-truth expected incremental cost — the platform's realized
+    // spend in expectation.
+    double total_cost = std::accumulate(population.true_tau_c.begin(),
+                                        population.true_tau_c.end(), 0.0);
+    double budget = config.budget_fraction * total_cost;
+
+    std::vector<double> random_scores(population.n());
+    for (double& s : random_scores) s = day_rng.Uniform();
+    std::vector<double> drp_scores = drp.PredictRoi(population.x);
+    std::vector<double> rdrp_scores = rdrp.PredictRoi(population.x);
+
+    auto realize = [&](const std::vector<double>& scores, ArmResult* arm) {
+      core::AllocationResult alloc = core::GreedyAllocate(
+          scores, population.true_tau_c, budget, /*skip_unaffordable=*/true);
+      double revenue = 0.0;
+      for (int i : alloc.selected) revenue += population.true_tau_r[i];
+      arm->daily_revenue.push_back(revenue);
+      arm->total_revenue += revenue;
+    };
+    realize(random_scores, &result.random_arm);
+    realize(drp_scores, &result.drp_arm);
+    realize(rdrp_scores, &result.rdrp_arm);
+  }
+  return result;
+}
+
+}  // namespace roicl::abtest

@@ -1,0 +1,61 @@
+#ifndef ROICL_ABTEST_SIMULATOR_H_
+#define ROICL_ABTEST_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/synthetic_generator.h"
+#include "uplift/roi_model.h"
+
+namespace roicl::abtest {
+
+/// Configuration of a simulated online A/B test (§V-C of the paper).
+struct AbTestConfig {
+  /// Users scored per "day" of the test.
+  int population_per_day = 4000;
+  /// Number of days; the paper uses five-day tests.
+  int num_days = 5;
+  /// Budget per arm, as a fraction of the population's total incremental
+  /// cost if everyone were treated.
+  double budget_fraction = 0.15;
+  uint64_t seed = 2024;
+};
+
+/// Revenue outcome of one arm across the test.
+struct ArmResult {
+  std::string name;
+  /// Expected incremental revenue realized per day (ground truth tau_r of
+  /// the treated individuals).
+  std::vector<double> daily_revenue;
+  double total_revenue = 0.0;
+};
+
+/// Full A/B result: three arms sharing the same daily populations and
+/// budgets, mirroring the paper's setup (DRP / rDRP / Random Control).
+struct AbTestResult {
+  ArmResult random_arm;
+  ArmResult drp_arm;
+  ArmResult rdrp_arm;
+
+  /// Percent revenue lift of an arm over the random arm (Fig. 6 metric).
+  double LiftOverRandomPct(const ArmResult& arm) const;
+};
+
+/// Runs the simulated A/B test.
+///
+/// Each day draws a fresh population from `generator` (shifted or not —
+/// the SuCo/InCo settings deploy on shifted traffic), scores it with each
+/// fitted model (and a uniform random scorer for the control arm), runs
+/// the greedy Algorithm-1 allocation under the common budget, and
+/// realizes expected incremental revenue/cost from the generator's ground
+/// truth. Models must already be fitted.
+AbTestResult RunAbTest(const synth::SyntheticGenerator& generator,
+                       bool shifted_deployment,
+                       const uplift::RoiModel& drp,
+                       const uplift::RoiModel& rdrp,
+                       const AbTestConfig& config);
+
+}  // namespace roicl::abtest
+
+#endif  // ROICL_ABTEST_SIMULATOR_H_

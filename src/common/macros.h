@@ -1,0 +1,47 @@
+#ifndef ROICL_COMMON_MACROS_H_
+#define ROICL_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight runtime-check macros used throughout the library.
+///
+/// The library does not throw exceptions across its public API. Invariant
+/// violations (programmer errors) abort with a diagnostic; recoverable
+/// failures (I/O, malformed input) are reported through `roicl::Status`.
+
+/// Aborts with a message when `condition` is false. Always active, even in
+/// release builds, because the cost of the checks in this library is
+/// negligible next to the numerical work they guard.
+#define ROICL_CHECK(condition)                                              \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "ROICL_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Like ROICL_CHECK but with a printf-style explanation appended.
+#define ROICL_CHECK_MSG(condition, ...)                                     \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "ROICL_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #condition);                                   \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only check; compiled out when NDEBUG is defined. Use on hot paths.
+#ifdef NDEBUG
+#define ROICL_DCHECK(condition) \
+  do {                          \
+  } while (0)
+#else
+#define ROICL_DCHECK(condition) ROICL_CHECK(condition)
+#endif
+
+#endif  // ROICL_COMMON_MACROS_H_

@@ -1,0 +1,55 @@
+#ifndef ROICL_COMMON_MATH_UTIL_H_
+#define ROICL_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace roicl {
+
+/// Numerically stable logistic sigmoid.
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Derivative of the sigmoid expressed through its value p = Sigmoid(x).
+inline double SigmoidGrad(double p) { return p * (1.0 - p); }
+
+/// Inverse sigmoid. `p` is clamped away from {0, 1} to keep the result
+/// finite; the clamp radius matches the ROI scope of Assumption 3.
+inline double Logit(double p) {
+  constexpr double kEps = 1e-12;
+  p = std::clamp(p, kEps, 1.0 - kEps);
+  return std::log(p / (1.0 - p));
+}
+
+/// log(x) with the argument clamped to a small positive floor; used inside
+/// losses where the model output is provably in (0, 1) but floating-point
+/// rounding can still touch the boundary.
+inline double SafeLog(double x) {
+  constexpr double kFloor = 1e-300;
+  return std::log(std::max(x, kFloor));
+}
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return std::clamp(x, lo, hi);
+}
+
+/// True when |a - b| <= tol (absolute tolerance).
+inline bool NearlyEqual(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// Square helper.
+inline double Sq(double x) { return x * x; }
+
+}  // namespace roicl
+
+#endif  // ROICL_COMMON_MATH_UTIL_H_

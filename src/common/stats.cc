@@ -1,0 +1,119 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace roicl {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 1 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  return stats.stddev();
+}
+
+double Quantile(std::vector<double> values, double p) {
+  ROICL_CHECK(!values.empty());
+  ROICL_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = p * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double ConformalQuantile(std::vector<double> scores, double alpha) {
+  ROICL_CHECK(!scores.empty());
+  ROICL_CHECK(alpha > 0.0 && alpha < 1.0);
+  size_t n = scores.size();
+  double raw_rank = std::ceil((1.0 - alpha) * static_cast<double>(n + 1));
+  size_t rank = static_cast<size_t>(raw_rank);
+  if (rank > n) return std::numeric_limits<double>::infinity();
+  // rank is 1-based: the rank-th smallest score.
+  std::nth_element(scores.begin(), scores.begin() + (rank - 1), scores.end());
+  return scores[rank - 1];
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ROICL_CHECK(a.size() == b.size());
+  ROICL_CHECK(a.size() >= 2);
+  double mean_a = Mean(a);
+  double mean_b = Mean(b);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+std::vector<double> Ranks(const std::vector<double>& values) {
+  size_t n = values.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return values[i] < values[j]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank for the tie block [i, j].
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  return PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+}  // namespace roicl

@@ -1,0 +1,62 @@
+#ifndef ROICL_COMMON_STATS_H_
+#define ROICL_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace roicl {
+
+/// Single-pass accumulator for mean and variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const;
+  /// Population variance (divides by n). Zero when count() < 1.
+  double variance() const;
+  /// Sample variance (divides by n - 1). Zero when count() < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of `values`; zero for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation of `values`; zero when size < 1.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolation quantile (type-7, the numpy default).
+/// `p` in [0, 1]; `values` need not be sorted. Requires non-empty input.
+double Quantile(std::vector<double> values, double p);
+
+/// The conformal ("higher"-type) quantile used by split conformal
+/// prediction: the ceil((1 - alpha) * (n + 1))-th smallest score.
+/// When the rank exceeds n (tiny calibration sets) returns +infinity,
+/// which yields intervals that trivially cover -- the standard convention.
+double ConformalQuantile(std::vector<double> scores, double alpha);
+
+/// Pearson correlation of two equal-length vectors; zero if either side is
+/// constant. Requires sizes to match and be >= 2.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Ranks of `values` (0-based, average rank for ties).
+std::vector<double> Ranks(const std::vector<double>& values);
+
+/// Spearman rank correlation. Requires sizes to match and be >= 2.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace roicl
+
+#endif  // ROICL_COMMON_STATS_H_

@@ -1,0 +1,59 @@
+#ifndef ROICL_COMMON_THREAD_POOL_H_
+#define ROICL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace roicl {
+
+/// Fixed-size worker pool used to parallelize embarrassingly parallel work
+/// (forest training, MC-dropout inference sweeps). Tasks are void() thunks;
+/// `Wait()` blocks until every submitted task has completed.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. `num_threads == 0` selects the hardware
+  /// concurrency (at least 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all in-flight tasks are done.
+  void Wait();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs `body(i)` for i in [begin, end), split into contiguous chunks
+  /// across the pool. Blocks until done. Falls back to inline execution
+  /// for tiny ranges.
+  void ParallelFor(int begin, int end, const std::function<void(int)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Process-wide pool shared by library components that want parallelism
+/// without owning threads. Created on first use.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace roicl
+
+#endif  // ROICL_COMMON_THREAD_POOL_H_

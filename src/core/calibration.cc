@@ -1,0 +1,120 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "metrics/cost_curve.h"
+
+namespace roicl::core {
+
+std::string CalibrationFormName(CalibrationForm form) {
+  switch (form) {
+    case CalibrationForm::kNone:
+      return "none";
+    case CalibrationForm::kProduct:
+      return "5a";
+    case CalibrationForm::kRatio:
+      return "5b";
+    case CalibrationForm::kUpper:
+      return "5c";
+  }
+  return "?";
+}
+
+const std::vector<CalibrationForm>& AllCalibrationForms() {
+  static const std::vector<CalibrationForm>& forms =
+      *new std::vector<CalibrationForm>{
+          CalibrationForm::kNone, CalibrationForm::kProduct,
+          CalibrationForm::kRatio, CalibrationForm::kUpper};
+  return forms;
+}
+
+std::vector<double> ApplyCalibrationForm(CalibrationForm form,
+                                         const std::vector<double>& roi_hat,
+                                         const std::vector<double>& rq) {
+  ROICL_CHECK(roi_hat.size() == rq.size());
+  constexpr double kRatioFloor = 1e-8;
+  std::vector<double> out(roi_hat.size());
+  for (size_t i = 0; i < roi_hat.size(); ++i) {
+    switch (form) {
+      case CalibrationForm::kNone:
+        out[i] = roi_hat[i];
+        break;
+      case CalibrationForm::kProduct:  // Eq. 5a
+        out[i] = roi_hat[i] * (roi_hat[i] + rq[i]);
+        break;
+      case CalibrationForm::kRatio:  // Eq. 5b
+        out[i] = roi_hat[i] / std::max(rq[i], kRatioFloor);
+        break;
+      case CalibrationForm::kUpper:  // Eq. 5c
+        out[i] = roi_hat[i] + rq[i];
+        break;
+    }
+  }
+  return out;
+}
+
+CalibrationForm SelectCalibrationForm(const std::vector<double>& roi_hat,
+                                      const std::vector<double>& rq,
+                                      const RctDataset& calibration,
+                                      double margin) {
+  ROICL_CHECK(static_cast<int>(roi_hat.size()) == calibration.n());
+  ROICL_CHECK(margin >= 0.0);
+  int n = calibration.n();
+
+  // Bootstrap selection: an unguarded argmax over four noisy AUCC
+  // estimates suffers from the winner's curse (a form can win the
+  // calibration set by luck and hurt the test set). Instead, estimate the
+  // sampling distribution of each form's AUCC *gain* over the raw point
+  // estimate with paired bootstrap resamples of the calibration set, and
+  // adopt a form only when its mean gain clears `margin` AND is at least
+  // two standard errors above zero.
+  constexpr int kBootstrap = 30;
+  Rng rng(0xC0FFEE);
+
+  std::vector<CalibrationForm> forms;
+  std::vector<std::vector<double>> scores;  // per form, incl. kNone at 0
+  for (CalibrationForm form : AllCalibrationForms()) {
+    forms.push_back(form);
+    scores.push_back(ApplyCalibrationForm(form, roi_hat, rq));
+  }
+
+  std::vector<RunningStats> gain(forms.size());
+  std::vector<int> sample(n);
+  std::vector<double> resampled(n);
+  for (int b = 0; b < kBootstrap; ++b) {
+    for (int i = 0; i < n; ++i) {
+      sample[i] = static_cast<int>(rng.UniformInt(static_cast<uint32_t>(n)));
+    }
+    RctDataset boot = calibration.Subset(sample);
+    double none_aucc = 0.0;
+    for (size_t f = 0; f < forms.size(); ++f) {
+      for (int i = 0; i < n; ++i) resampled[i] = scores[f][sample[i]];
+      double aucc = metrics::Aucc(resampled, boot);
+      if (forms[f] == CalibrationForm::kNone) {
+        none_aucc = aucc;
+      } else {
+        gain[f].Add(aucc - none_aucc);
+      }
+    }
+  }
+
+  CalibrationForm best = CalibrationForm::kNone;
+  double best_gain = margin;
+  for (size_t f = 0; f < forms.size(); ++f) {
+    if (forms[f] == CalibrationForm::kNone) continue;
+    double mean = gain[f].mean();
+    double stderr_gain =
+        gain[f].stddev() / std::sqrt(static_cast<double>(kBootstrap));
+    if (mean > best_gain && mean > 2.0 * stderr_gain) {
+      best_gain = mean;
+      best = forms[f];
+    }
+  }
+  return best;
+}
+
+}  // namespace roicl::core

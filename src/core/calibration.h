@@ -1,0 +1,52 @@
+#ifndef ROICL_CORE_CALIBRATION_H_
+#define ROICL_CORE_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace roicl::core {
+
+/// The heuristic point-estimate calibration forms of §IV-C4 (Eq. 5a-5c),
+/// inspired by the M4-competition interval-aggregation methods:
+///   kProduct (5a): roi~ = roi_hat * (roi_hat + r_hat * q_hat)
+///   kRatio   (5b): roi~ = roi_hat / (r_hat * q_hat)
+///   kUpper   (5c): roi~ = roi_hat + r_hat * q_hat
+/// kNone keeps the raw point estimate (lets the selector fall back to
+/// plain DRP when no form helps on the calibration set).
+enum class CalibrationForm {
+  kNone,
+  kProduct,
+  kRatio,
+  kUpper,
+};
+
+/// Human-readable form name ("5a", "5b", "5c", "none").
+std::string CalibrationFormName(CalibrationForm form);
+
+/// All selectable forms, in the order they are tried.
+const std::vector<CalibrationForm>& AllCalibrationForms();
+
+/// Applies one form. `rq[i]` is r_hat(x_i) * q_hat, floored internally for
+/// the ratio form. Sizes must match.
+std::vector<double> ApplyCalibrationForm(CalibrationForm form,
+                                         const std::vector<double>& roi_hat,
+                                         const std::vector<double>& rq);
+
+/// Algorithm 4, line 8: evaluates every form on the calibration set by
+/// AUCC and returns the best one. `calibration` supplies the RCT labels
+/// the AUCC is computed against.
+///
+/// `margin` guards against winner's-curse selection noise: a non-trivial
+/// form is chosen only when it beats the raw point estimate (kNone) by at
+/// least this much calibration AUCC; otherwise rDRP falls back to plain
+/// DRP. Set 0 for the paper's unguarded argmax.
+CalibrationForm SelectCalibrationForm(const std::vector<double>& roi_hat,
+                                      const std::vector<double>& rq,
+                                      const RctDataset& calibration,
+                                      double margin = 0.003);
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_CALIBRATION_H_

@@ -1,0 +1,53 @@
+#include "core/conformal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace roicl::core {
+
+std::vector<double> ConformalScores(const std::vector<double>& roi_star,
+                                    const std::vector<double>& roi_hat,
+                                    const std::vector<double>& r_hat,
+                                    double std_floor) {
+  ROICL_CHECK(roi_star.size() == roi_hat.size());
+  ROICL_CHECK(roi_hat.size() == r_hat.size());
+  ROICL_CHECK(std_floor > 0.0);
+  std::vector<double> scores(roi_hat.size());
+  for (size_t i = 0; i < roi_hat.size(); ++i) {
+    scores[i] = std::fabs(roi_star[i] - roi_hat[i]) /
+                std::max(r_hat[i], std_floor);
+  }
+  return scores;
+}
+
+std::vector<double> ConformalScores(double roi_star,
+                                    const std::vector<double>& roi_hat,
+                                    const std::vector<double>& r_hat,
+                                    double std_floor) {
+  std::vector<double> star(roi_hat.size(), roi_star);
+  return ConformalScores(star, roi_hat, r_hat, std_floor);
+}
+
+double ConformalScoreQuantile(const std::vector<double>& scores,
+                              double alpha) {
+  return ConformalQuantile(scores, alpha);
+}
+
+std::vector<metrics::Interval> ConformalIntervals(
+    const std::vector<double>& roi_hat, const std::vector<double>& r_hat,
+    double q_hat, double std_floor) {
+  ROICL_CHECK(roi_hat.size() == r_hat.size());
+  ROICL_CHECK(q_hat >= 0.0);
+  std::vector<metrics::Interval> intervals(roi_hat.size());
+  for (size_t i = 0; i < roi_hat.size(); ++i) {
+    double radius = std::max(r_hat[i], std_floor) * q_hat;
+    intervals[i].lo = roi_hat[i] - radius;
+    intervals[i].hi = roi_hat[i] + radius;
+  }
+  return intervals;
+}
+
+}  // namespace roicl::core

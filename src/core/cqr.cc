@@ -1,0 +1,122 @@
+#include "core/cqr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace roicl::core {
+namespace {
+
+/// Pinball loss for one prediction at quantile level tau:
+///   l(y, q) = (y - q) * (tau - 1{y < q}).
+/// Subgradient w.r.t. q: -(tau) if y > q, (1 - tau) if y < q.
+double PinballGrad(double y, double q, double tau) {
+  return y > q ? -tau : (1.0 - tau);
+}
+
+double PinballValue(double y, double q, double tau) {
+  double diff = y - q;
+  return diff > 0.0 ? tau * diff : (tau - 1.0) * diff;
+}
+
+}  // namespace
+
+PinballPairLoss::PinballPairLoss(const std::vector<double>* targets,
+                                 double lo_quantile, double hi_quantile)
+    : targets_(targets),
+      lo_quantile_(lo_quantile),
+      hi_quantile_(hi_quantile) {
+  ROICL_CHECK(targets != nullptr);
+  ROICL_CHECK(lo_quantile > 0.0 && lo_quantile < hi_quantile &&
+              hi_quantile < 1.0);
+}
+
+double PinballPairLoss::Compute(const Matrix& preds,
+                                const std::vector<int>& index,
+                                Matrix* grad) const {
+  ROICL_CHECK(grad != nullptr);
+  ROICL_CHECK(preds.cols() == 2);
+  ROICL_CHECK(preds.rows() == static_cast<int>(index.size()));
+  *grad = Matrix(preds.rows(), 2);
+  double n = static_cast<double>(preds.rows());
+  double loss = 0.0;
+  for (int i = 0; i < preds.rows(); ++i) {
+    double y = (*targets_)[index[i]];
+    loss += PinballValue(y, preds(i, 0), lo_quantile_) +
+            PinballValue(y, preds(i, 1), hi_quantile_);
+    (*grad)(i, 0) = PinballGrad(y, preds(i, 0), lo_quantile_) / n;
+    (*grad)(i, 1) = PinballGrad(y, preds(i, 1), hi_quantile_) / n;
+  }
+  return loss / n;
+}
+
+void CqrModel::Fit(const Matrix& x, const std::vector<double>& y) {
+  ROICL_CHECK(x.rows() == static_cast<int>(y.size()));
+  ROICL_CHECK(config_.alpha > 0.0 && config_.alpha < 1.0);
+  Matrix x_scaled = scaler_.FitTransform(x);
+
+  Rng rng(config_.seed, /*stream=*/47);
+  net_ = std::make_unique<nn::Mlp>(
+      nn::Mlp::MakeMlp(x.cols(), config_.hidden, /*output_dim=*/2,
+                       config_.activation, config_.dropout, &rng));
+
+  PinballPairLoss loss(&y, config_.alpha / 2.0, 1.0 - config_.alpha / 2.0);
+  std::vector<int> train_index(x.rows());
+  for (int i = 0; i < x.rows(); ++i) train_index[i] = i;
+  std::vector<int> validation_index;
+  if (config_.train.patience > 0 && x.rows() >= 100) {
+    int n_val = std::max(1, x.rows() / 10);
+    validation_index.assign(train_index.end() - n_val, train_index.end());
+    train_index.resize(train_index.size() - n_val);
+  }
+  nn::TrainNetwork(net_.get(), x_scaled, train_index, validation_index,
+                   loss, config_.train);
+}
+
+std::vector<metrics::Interval> CqrModel::PredictRawIntervals(
+    const Matrix& x) const {
+  ROICL_CHECK_MSG(fitted(), "PredictRawIntervals() before Fit()");
+  Matrix x_scaled = scaler_.Transform(x);
+  Matrix out = net_->Forward(x_scaled, nn::Mode::kInfer, nullptr);
+  std::vector<metrics::Interval> intervals(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    // Quantile crossing can happen with independently trained heads;
+    // sort the pair (the standard fix).
+    double lo = std::min(out(i, 0), out(i, 1));
+    double hi = std::max(out(i, 0), out(i, 1));
+    intervals[i] = {lo, hi};
+  }
+  return intervals;
+}
+
+void CqrModel::Calibrate(const Matrix& x, const std::vector<double>& y) {
+  ROICL_CHECK(x.rows() == static_cast<int>(y.size()));
+  ROICL_CHECK(x.rows() > 0);
+  std::vector<metrics::Interval> raw = PredictRawIntervals(x);
+  // CQR conformity score: how far the label falls outside the raw band
+  // (negative when inside).
+  std::vector<double> scores(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    scores[i] = std::max(raw[i].lo - y[i], y[i] - raw[i].hi);
+  }
+  q_hat_ = ConformalQuantile(scores, config_.alpha);
+  if (!std::isfinite(q_hat_)) {
+    q_hat_ = *std::max_element(scores.begin(), scores.end());
+  }
+  calibrated_ = true;
+}
+
+std::vector<metrics::Interval> CqrModel::PredictIntervals(
+    const Matrix& x) const {
+  ROICL_CHECK_MSG(calibrated_, "PredictIntervals() before Calibrate()");
+  std::vector<metrics::Interval> intervals = PredictRawIntervals(x);
+  for (metrics::Interval& interval : intervals) {
+    interval.lo -= q_hat_;
+    interval.hi += q_hat_;
+  }
+  return intervals;
+}
+
+}  // namespace roicl::core

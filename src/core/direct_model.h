@@ -1,0 +1,32 @@
+#ifndef ROICL_CORE_DIRECT_MODEL_H_
+#define ROICL_CORE_DIRECT_MODEL_H_
+
+#include <vector>
+
+#include "uplift/roi_model.h"
+
+namespace roicl::core {
+
+/// Per-sample Monte-Carlo-dropout statistics of the predicted ROI:
+/// `mean[i]` and `stddev[i]` over the stochastic forward passes.
+struct McDropoutStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+
+/// A model that predicts ROI *directly* with a single neural network —
+/// DRP and Direct Rank. Only direct models support MC dropout
+/// uncertainty: TPM cannot, because the std of a ratio is not the ratio of
+/// stds (the paper's ablation-study argument, §V-B).
+class DirectRoiModel : public uplift::RoiModel {
+ public:
+  /// Runs `passes` stochastic forward passes (dropout active) and returns
+  /// per-sample mean and standard deviation of the ROI prediction. This is
+  /// r_hat(x) of Eq. (3). Deterministic given `seed`.
+  virtual McDropoutStats PredictMcRoi(const Matrix& x, int passes,
+                                      uint64_t seed) const = 0;
+};
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_DIRECT_MODEL_H_

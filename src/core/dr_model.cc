@@ -1,0 +1,159 @@
+#include "core/dr_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <limits>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "core/mc_dropout.h"
+#include "metrics/cost_curve.h"
+
+namespace roicl::core {
+namespace {
+
+/// Softmax-weighted ROI surrogate (Du et al. 2019).
+///
+/// Within a batch: p = softmax(s); per-sample sign-and-scale coefficients
+/// g_i = +n/n1 (treated) or -n/n0 (control) turn the weighted sums
+///   R = sum_i g_i * y_r_i * p_i,  C = sum_i g_i * y_c_i * p_i
+/// into soft estimates of the incremental revenue/cost captured by the
+/// ranking. Loss = -R / max(C, floor). The softmax Jacobian gives
+///   dR/ds_k = p_k (c_k - R),  c_k = g_k y_r_k (and likewise for C).
+class DirectRankLoss : public nn::BatchLoss {
+ public:
+  DirectRankLoss(const std::vector<int>* treatment,
+                 const std::vector<double>* y_revenue,
+                 const std::vector<double>* y_cost, double cost_floor)
+      : treatment_(treatment),
+        y_revenue_(y_revenue),
+        y_cost_(y_cost),
+        cost_floor_(cost_floor) {}
+
+  double Compute(const Matrix& preds, const std::vector<int>& index,
+                 Matrix* grad) const override {
+    ROICL_CHECK(grad != nullptr);
+    ROICL_CHECK(preds.cols() == 1);
+    int n = preds.rows();
+    *grad = Matrix(n, 1);
+
+    int n1 = 0, n0 = 0;
+    for (int i = 0; i < n; ++i) ((*treatment_)[index[i]] == 1 ? n1 : n0)++;
+    if (n1 == 0 || n0 == 0) return 0.0;  // degenerate batch: skip
+
+    // Stable softmax over the batch.
+    double max_s = preds(0, 0);
+    for (int i = 1; i < n; ++i) max_s = std::max(max_s, preds(i, 0));
+    std::vector<double> p(n);
+    double z = 0.0;
+    for (int i = 0; i < n; ++i) {
+      p[i] = std::exp(preds(i, 0) - max_s);
+      z += p[i];
+    }
+    for (double& v : p) v /= z;
+
+    std::vector<double> c(n), d(n);
+    double r_val = 0.0, c_val = 0.0;
+    for (int i = 0; i < n; ++i) {
+      int row = index[i];
+      double g = (*treatment_)[row] == 1
+                     ? static_cast<double>(n) / n1
+                     : -static_cast<double>(n) / n0;
+      c[i] = g * (*y_revenue_)[row];
+      d[i] = g * (*y_cost_)[row];
+      r_val += c[i] * p[i];
+      c_val += d[i] * p[i];
+    }
+    bool clipped = c_val <= cost_floor_;
+    double c_safe = std::max(c_val, cost_floor_);
+    double loss = -r_val / c_safe;
+    for (int k = 0; k < n; ++k) {
+      double dr = p[k] * (c[k] - r_val);
+      double dc = clipped ? 0.0 : p[k] * (d[k] - c_val);
+      (*grad)(k, 0) = -(dr * c_safe - r_val * dc) / (c_safe * c_safe);
+    }
+    return loss;
+  }
+
+ private:
+  const std::vector<int>* treatment_;
+  const std::vector<double>* y_revenue_;
+  const std::vector<double>* y_cost_;
+  double cost_floor_;
+};
+
+}  // namespace
+
+void DirectRankModel::Fit(const RctDataset& train) {
+  train.Validate();
+  ROICL_CHECK_MSG(train.NumTreated() > 0 && train.NumControl() > 0,
+                  "DR requires both RCT arms");
+  Matrix x_scaled = scaler_.FitTransform(train.x);
+
+  int hidden = config_.hidden_units;
+  if (hidden <= 0) hidden = train.n() < 4000 ? 32 : 128;
+
+  DirectRankLoss loss(&train.treatment, &train.y_revenue, &train.y_cost,
+                      config_.cost_floor);
+  std::vector<int> train_index(train.n());
+  for (int i = 0; i < train.n(); ++i) train_index[i] = i;
+  std::vector<int> validation_index;
+  if (config_.train.patience > 0 && train.n() >= 100) {
+    int n_val = std::max(1, train.n() / 10);
+    validation_index.assign(train_index.end() - n_val, train_index.end());
+    train_index.resize(train_index.size() - n_val);
+  }
+
+  // Multi-restart, mirroring DrpModel (see there for rationale).
+  int restarts = std::max(1, config_.restarts);
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (int restart = 0; restart < restarts; ++restart) {
+    Rng rng(config_.seed + static_cast<uint64_t>(restart) * 7919,
+            /*stream=*/37);
+    auto candidate = std::make_unique<nn::Mlp>(nn::Mlp::MakeMlp(
+        train.dim(), {hidden}, /*output_dim=*/1, config_.activation,
+        config_.dropout, &rng));
+    nn::TrainConfig train_config = config_.train;
+    train_config.seed =
+        config_.train.seed + static_cast<uint64_t>(restart) * 104729;
+    nn::TrainResult result =
+        nn::TrainNetwork(candidate.get(), x_scaled, train_index,
+                         validation_index, loss, train_config);
+    // Rank restarts by held-out AUCC — the deployment metric — rather
+    // than by loss, which correlates only loosely with ranking quality.
+    double score;
+    if (validation_index.empty()) {
+      score = result.final_train_loss;
+    } else {
+      Matrix val_x = x_scaled.SelectRows(validation_index);
+      Matrix out = candidate->Forward(val_x, nn::Mode::kInfer, nullptr);
+      score = -metrics::Aucc(out.Col(0), train.Subset(validation_index));
+    }
+    if (score < best_loss) {
+      best_loss = score;
+      net_ = std::move(candidate);
+    }
+  }
+}
+
+std::vector<double> DirectRankModel::PredictRoi(const Matrix& x) const {
+  ROICL_CHECK_MSG(fitted(), "PredictRoi() before Fit()");
+  Matrix x_scaled = scaler_.Transform(x);
+  Matrix out = net_->Forward(x_scaled, nn::Mode::kInfer, nullptr);
+  std::vector<double> roi = out.Col(0);
+  // DR only learns a ranking; the sigmoid maps it into (0, 1) so the
+  // downstream tooling can treat all direct models uniformly.
+  for (double& v : roi) v = Sigmoid(v);
+  return roi;
+}
+
+McDropoutStats DirectRankModel::PredictMcRoi(const Matrix& x, int passes,
+                                             uint64_t seed) const {
+  ROICL_CHECK_MSG(fitted(), "PredictMcRoi() before Fit()");
+  Matrix x_scaled = scaler_.Transform(x);
+  return RunMcDropout(net_.get(), x_scaled, passes, seed,
+                      /*sigmoid_output=*/true);
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,64 @@
+#ifndef ROICL_CORE_DR_MODEL_H_
+#define ROICL_CORE_DR_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/direct_model.h"
+#include "data/scaler.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace roicl::core {
+
+/// Direct Rank hyperparameters (same network shape as DRP for the fair
+/// comparison the paper runs).
+struct DirectRankConfig {
+  /// Hidden-layer width; <= 0 selects automatically from the training-set
+  /// size (mirrors DrpConfig for the paper's fair comparison).
+  int hidden_units = 0;
+  nn::ActivationKind activation = nn::ActivationKind::kRelu;
+  double dropout = 0.2;
+  nn::TrainConfig train;
+  /// Independent random restarts; the net with the best validation (or
+  /// final training) loss is kept. Neural uplift losses are noisy and a
+  /// run occasionally diverges — restarts make the fit robust, which is
+  /// exactly the deployment pain the paper's "insufficient samples"
+  /// limitation describes.
+  int restarts = 3;
+  /// Floor for the incremental-cost denominator inside the loss.
+  double cost_floor = 1e-3;
+  uint64_t seed = 78;
+};
+
+/// The Direct Rank (DR) baseline of Du, Lee & Ghaffarizadeh (2019):
+/// a network score s(x) is softmax-weighted within each mini-batch and
+/// trained to maximize the softmax-weighted revenue lift divided by the
+/// softmax-weighted cost lift. The loss is NOT convex — Zhou et al.
+/// (Appendix E) show its optimum need not recover the true ROI ranking,
+/// which is exactly why the rDRP paper keeps it as the second-best direct
+/// method.
+class DirectRankModel : public DirectRoiModel {
+ public:
+  explicit DirectRankModel(const DirectRankConfig& config)
+      : config_(config) {}
+
+  void Fit(const RctDataset& train) override;
+  std::vector<double> PredictRoi(const Matrix& x) const override;
+  std::string name() const override { return "DR"; }
+
+  McDropoutStats PredictMcRoi(const Matrix& x, int passes,
+                              uint64_t seed) const override;
+
+  bool fitted() const { return net_ != nullptr; }
+
+ private:
+  DirectRankConfig config_;
+  StandardScaler scaler_;
+  mutable std::unique_ptr<nn::Mlp> net_;
+};
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_DR_MODEL_H_

@@ -1,0 +1,101 @@
+#include "core/drp_loss.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace roicl::core {
+
+double DrpLoss::Compute(const Matrix& preds, const std::vector<int>& index,
+                        Matrix* grad) const {
+  ROICL_CHECK(grad != nullptr);
+  ROICL_CHECK(preds.cols() == 1);
+  ROICL_CHECK(preds.rows() == static_cast<int>(index.size()));
+  *grad = Matrix(preds.rows(), 1);
+
+  double w1 = 0.0, w0 = 0.0;
+  for (int i = 0; i < preds.rows(); ++i) {
+    int row = index[i];
+    double w = weights_ != nullptr ? (*weights_)[row] : 1.0;
+    ROICL_DCHECK(w >= 0.0);
+    ((*treatment_)[row] == 1 ? w1 : w0) += w;
+  }
+  // A mini-batch can (rarely) miss an arm; that group's terms then have no
+  // defined normalization, so its contribution is dropped for this batch.
+  double inv1 = w1 > 0.0 ? 1.0 / w1 : 0.0;
+  double inv0 = w0 > 0.0 ? 1.0 / w0 : 0.0;
+
+  double loss = 0.0;
+  for (int i = 0; i < preds.rows(); ++i) {
+    int row = index[i];
+    double s = preds(i, 0);
+    double yr = (*y_revenue_)[row];
+    double yc = (*y_cost_)[row];
+    double w = weights_ != nullptr ? (*weights_)[row] : 1.0;
+    double p = Sigmoid(s);
+    // y_r * s + y_c * ln(1 - sigmoid(s)); the log term is computed in a
+    // stable softplus form: ln(1 - sigmoid(s)) = -softplus(s).
+    double softplus = s > 0.0 ? s + std::log1p(std::exp(-s))
+                              : std::log1p(std::exp(s));
+    double term = w * (yr * s - yc * softplus);
+    double dterm = w * (yr - yc * p);
+    if ((*treatment_)[row] == 1) {
+      loss -= inv1 * term;
+      (*grad)(i, 0) = -inv1 * dterm;
+    } else {
+      loss += inv0 * term;
+      (*grad)(i, 0) = inv0 * dterm;
+    }
+  }
+  return loss;
+}
+
+double DrpPopulationLossDeriv(const std::vector<int>& treatment,
+                              const std::vector<double>& y_revenue,
+                              const std::vector<double>& y_cost, double s) {
+  ROICL_CHECK(treatment.size() == y_revenue.size());
+  ROICL_CHECK(treatment.size() == y_cost.size());
+  double sum_r1 = 0.0, sum_r0 = 0.0, sum_c1 = 0.0, sum_c0 = 0.0;
+  int n1 = 0, n0 = 0;
+  for (size_t i = 0; i < treatment.size(); ++i) {
+    if (treatment[i] == 1) {
+      sum_r1 += y_revenue[i];
+      sum_c1 += y_cost[i];
+      ++n1;
+    } else {
+      sum_r0 += y_revenue[i];
+      sum_c0 += y_cost[i];
+      ++n0;
+    }
+  }
+  ROICL_CHECK_MSG(n1 > 0 && n0 > 0, "both arms required");
+  double tau_r = sum_r1 / n1 - sum_r0 / n0;
+  double tau_c = sum_c1 / n1 - sum_c0 / n0;
+  return -(tau_r - tau_c * Sigmoid(s));
+}
+
+double DrpPopulationLoss(const std::vector<int>& treatment,
+                         const std::vector<double>& y_revenue,
+                         const std::vector<double>& y_cost, double s) {
+  ROICL_CHECK(treatment.size() == y_revenue.size());
+  ROICL_CHECK(treatment.size() == y_cost.size());
+  double softplus = s > 0.0 ? s + std::log1p(std::exp(-s))
+                            : std::log1p(std::exp(s));
+  double acc1 = 0.0, acc0 = 0.0;
+  int n1 = 0, n0 = 0;
+  for (size_t i = 0; i < treatment.size(); ++i) {
+    double term = y_revenue[i] * s - y_cost[i] * softplus;
+    if (treatment[i] == 1) {
+      acc1 += term;
+      ++n1;
+    } else {
+      acc0 += term;
+      ++n0;
+    }
+  }
+  ROICL_CHECK_MSG(n1 > 0 && n0 > 0, "both arms required");
+  return -(acc1 / n1 - acc0 / n0);
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,67 @@
+#ifndef ROICL_CORE_DRP_LOSS_H_
+#define ROICL_CORE_DRP_LOSS_H_
+
+#include <vector>
+
+#include "nn/loss.h"
+
+namespace roicl::core {
+
+/// The DRP loss of Zhou et al. (AAAI 2023), Eq. (2) of the rDRP paper,
+/// expressed in terms of the network logit s (since ln(roi/(1-roi)) = s
+/// when roi = sigmoid(s)):
+///
+///   L = -[ (1/N1) sum_{t=1} (y_r * s + y_c * ln(1 - sigmoid(s)))
+///        - (1/N0) sum_{t=0} (y_r * s + y_c * ln(1 - sigmoid(s))) ]
+///
+/// Per-sample gradient: dL/ds_i = -/+ (y_r_i - y_c_i * sigmoid(s_i)) / N_t
+/// (minus for treated, plus for control). At the population stationary
+/// point sigmoid(s*) = tau_r / tau_c, i.e. the ROI — the unbiasedness
+/// property DRP is built on. Group sizes are taken within the mini-batch.
+class DrpLoss : public nn::BatchLoss {
+ public:
+  DrpLoss(const std::vector<int>* treatment,
+          const std::vector<double>* y_revenue,
+          const std::vector<double>* y_cost)
+      : DrpLoss(treatment, y_revenue, y_cost, nullptr) {}
+
+  /// Weighted variant: per-sample weights (e.g. inverse-propensity
+  /// weights for observational data) replace the 1/N_t group counts with
+  /// weighted group normalizations. `weights` may be nullptr (uniform).
+  DrpLoss(const std::vector<int>* treatment,
+          const std::vector<double>* y_revenue,
+          const std::vector<double>* y_cost,
+          const std::vector<double>* weights)
+      : treatment_(treatment),
+        y_revenue_(y_revenue),
+        y_cost_(y_cost),
+        weights_(weights) {}
+
+  double Compute(const Matrix& preds, const std::vector<int>& index,
+                 Matrix* grad) const override;
+
+ private:
+  const std::vector<int>* treatment_;   // not owned
+  const std::vector<double>* y_revenue_;
+  const std::vector<double>* y_cost_;
+  const std::vector<double>* weights_;  // optional, not owned
+};
+
+/// Derivative of the population-level DRP loss when every individual
+/// shares one logit s (used by the Algorithm-2 binary search):
+///   L'(s) = -(tau_hat_r - tau_hat_c * sigmoid(s)),
+/// where tau_hat_* are the RCT difference-in-means estimates over the
+/// given samples. Convex in s whenever tau_hat_c > 0 (Assumption 4).
+double DrpPopulationLossDeriv(const std::vector<int>& treatment,
+                              const std::vector<double>& y_revenue,
+                              const std::vector<double>& y_cost, double s);
+
+/// The population-level DRP loss value at shared logit s (for tests and
+/// the Fig. 3 style diagnostics).
+double DrpPopulationLoss(const std::vector<int>& treatment,
+                         const std::vector<double>& y_revenue,
+                         const std::vector<double>& y_cost, double s);
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_DRP_LOSS_H_

@@ -1,0 +1,69 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace roicl::core {
+
+AllocationResult GreedyAllocate(const std::vector<double>& roi_scores,
+                                const std::vector<double>& costs,
+                                double budget, bool skip_unaffordable) {
+  ROICL_CHECK(roi_scores.size() == costs.size());
+  ROICL_CHECK(budget >= 0.0);
+  int n = static_cast<int>(roi_scores.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (roi_scores[a] != roi_scores[b]) {
+      return roi_scores[a] > roi_scores[b];
+    }
+    return a < b;
+  });
+
+  AllocationResult result;
+  for (int i : order) {
+    ROICL_CHECK_MSG(costs[i] >= 0.0, "negative cost at index %d", i);
+    if (result.spent + costs[i] <= budget) {
+      result.selected.push_back(i);
+      result.spent += costs[i];
+    } else if (!skip_unaffordable) {
+      break;  // the paper's variant: stop once the budget is reached
+    }
+  }
+  return result;
+}
+
+double KnapsackBruteForce(const std::vector<double>& values,
+                          const std::vector<double>& costs, double budget) {
+  ROICL_CHECK(values.size() == costs.size());
+  int n = static_cast<int>(values.size());
+  ROICL_CHECK_MSG(n <= 24, "brute force limited to 24 items (got %d)", n);
+  double best = 0.0;
+  uint32_t limit = 1u << n;
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    double value = 0.0, cost = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        value += values[i];
+        cost += costs[i];
+      }
+    }
+    if (cost <= budget) best = std::max(best, value);
+  }
+  return best;
+}
+
+double SelectionValue(const std::vector<int>& selected,
+                      const std::vector<double>& values) {
+  double total = 0.0;
+  for (int i : selected) {
+    ROICL_CHECK(i >= 0 && i < static_cast<int>(values.size()));
+    total += values[i];
+  }
+  return total;
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,67 @@
+#include "core/ipw_drp.h"
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "core/drp_loss.h"
+#include "core/mc_dropout.h"
+#include "nn/trainer.h"
+
+namespace roicl::core {
+
+void IpwDrpModel::Fit(const RctDataset& train) {
+  train.Validate();
+  ROICL_CHECK_MSG(train.NumTreated() > 0 && train.NumControl() > 0,
+                  "IPW-DRP requires both treatment groups");
+
+  // Stage 1: propensity model on the raw features.
+  propensity_ =
+      std::make_unique<uplift::PropensityModel>(config_.propensity);
+  propensity_->Fit(train.x, train.treatment);
+  std::vector<double> weights =
+      propensity_->InverseWeights(train.x, train.treatment);
+
+  // Stage 2: weighted DRP.
+  Matrix x_scaled = scaler_.FitTransform(train.x);
+  int hidden = config_.drp.hidden_units;
+  if (hidden <= 0) hidden = train.n() < 4000 ? 32 : 128;
+  Rng rng(config_.drp.seed, /*stream=*/59);
+  net_ = std::make_unique<nn::Mlp>(nn::Mlp::MakeMlp(
+      train.dim(), {hidden}, /*output_dim=*/1, config_.drp.activation,
+      config_.drp.dropout, &rng));
+
+  DrpLoss loss(&train.treatment, &train.y_revenue, &train.y_cost,
+               &weights);
+  std::vector<int> train_index(train.n());
+  for (int i = 0; i < train.n(); ++i) train_index[i] = i;
+  std::vector<int> validation_index;
+  if (config_.drp.train.patience > 0 && train.n() >= 100) {
+    int n_val = std::max(1, train.n() / 10);
+    validation_index.assign(train_index.end() - n_val, train_index.end());
+    train_index.resize(train_index.size() - n_val);
+  }
+  nn::TrainNetwork(net_.get(), x_scaled, train_index, validation_index,
+                   loss, config_.drp.train);
+}
+
+std::vector<double> IpwDrpModel::PredictScore(const Matrix& x) const {
+  ROICL_CHECK_MSG(fitted(), "PredictScore() before Fit()");
+  Matrix x_scaled = scaler_.Transform(x);
+  Matrix out = net_->Forward(x_scaled, nn::Mode::kInfer, nullptr);
+  return out.Col(0);
+}
+
+std::vector<double> IpwDrpModel::PredictRoi(const Matrix& x) const {
+  std::vector<double> scores = PredictScore(x);
+  for (double& s : scores) s = Sigmoid(s);
+  return scores;
+}
+
+McDropoutStats IpwDrpModel::PredictMcRoi(const Matrix& x, int passes,
+                                         uint64_t seed) const {
+  ROICL_CHECK_MSG(fitted(), "PredictMcRoi() before Fit()");
+  Matrix x_scaled = scaler_.Transform(x);
+  return RunMcDropout(net_.get(), x_scaled, passes, seed,
+                      /*sigmoid_output=*/true);
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,55 @@
+#ifndef ROICL_CORE_IPW_DRP_H_
+#define ROICL_CORE_IPW_DRP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/direct_model.h"
+#include "core/drp_model.h"
+#include "data/scaler.h"
+#include "nn/mlp.h"
+#include "uplift/propensity.h"
+
+namespace roicl::core {
+
+/// IPW-DRP: Direct ROI Prediction on OBSERVATIONAL (non-RCT) data —
+/// the paper's first future-work item (§VII). DRP's loss assumes random
+/// treatment assignment; with confounding, its group means are biased.
+/// IPW-DRP first fits a propensity model e(x), then trains the same DRP
+/// network with inverse-propensity weights
+///   w_i = t_i / e(x_i) + (1 - t_i) / (1 - e(x_i)),
+/// which restores the RCT-like stationary point sigma(s*) = tau_r / tau_c
+/// in expectation (Horvitz-Thompson re-weighting).
+struct IpwDrpConfig {
+  DrpConfig drp;
+  uplift::PropensityConfig propensity;
+};
+
+class IpwDrpModel : public DirectRoiModel {
+ public:
+  explicit IpwDrpModel(const IpwDrpConfig& config) : config_(config) {}
+
+  /// Fits the propensity model, derives IPW weights, and trains the DRP
+  /// network with the weighted loss. `train` need NOT be an RCT.
+  void Fit(const RctDataset& train) override;
+
+  std::vector<double> PredictRoi(const Matrix& x) const override;
+  std::vector<double> PredictScore(const Matrix& x) const;
+  McDropoutStats PredictMcRoi(const Matrix& x, int passes,
+                              uint64_t seed) const override;
+  std::string name() const override { return "IPW-DRP"; }
+
+  const uplift::PropensityModel& propensity() const { return *propensity_; }
+  bool fitted() const { return net_ != nullptr; }
+
+ private:
+  IpwDrpConfig config_;
+  StandardScaler scaler_;
+  std::unique_ptr<uplift::PropensityModel> propensity_;
+  mutable std::unique_ptr<nn::Mlp> net_;
+};
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_IPW_DRP_H_

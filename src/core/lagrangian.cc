@@ -1,0 +1,93 @@
+#include "core/lagrangian.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace roicl::core {
+namespace {
+
+/// Spend of the relaxed solution z_i = 1{v_i > lambda c_i}.
+double SpendAt(const std::vector<double>& values,
+               const std::vector<double>& costs, double lambda) {
+  double spend = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > lambda * costs[i]) spend += costs[i];
+  }
+  return spend;
+}
+
+}  // namespace
+
+LagrangianResult LagrangianAllocate(const std::vector<double>& values,
+                                    const std::vector<double>& costs,
+                                    double budget, int max_iterations) {
+  ROICL_CHECK(values.size() == costs.size());
+  ROICL_CHECK(budget >= 0.0);
+  ROICL_CHECK(max_iterations > 0);
+  for (double c : costs) ROICL_CHECK_MSG(c > 0.0, "costs must be positive");
+
+  LagrangianResult result;
+  size_t n = values.size();
+  if (n == 0) return result;
+
+  // lambda = 0 selects every positive-value item; if that fits, done.
+  double lambda_lo = 0.0;
+  if (SpendAt(values, costs, lambda_lo) <= budget) {
+    result.lambda = 0.0;
+  } else {
+    // Upper bracket: above max ratio nothing is selected.
+    double lambda_hi = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      lambda_hi = std::max(lambda_hi, values[i] / costs[i]);
+    }
+    lambda_hi += 1.0;
+    for (int iter = 0; iter < max_iterations; ++iter) {
+      double mid = 0.5 * (lambda_lo + lambda_hi);
+      if (SpendAt(values, costs, mid) > budget) {
+        lambda_lo = mid;
+      } else {
+        lambda_hi = mid;
+      }
+    }
+    result.lambda = lambda_hi;  // feasible side
+  }
+
+  // Primal solution at the feasible lambda.
+  std::vector<char> picked(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (values[i] > result.lambda * costs[i]) {
+      picked[i] = 1;
+      result.selected.push_back(static_cast<int>(i));
+      result.spent += costs[i];
+      result.value += values[i];
+    }
+  }
+
+  // Primal repair: fill leftover budget greedily by ratio.
+  std::vector<int> rest;
+  for (size_t i = 0; i < n; ++i) {
+    if (!picked[i] && values[i] > 0.0) rest.push_back(static_cast<int>(i));
+  }
+  std::sort(rest.begin(), rest.end(), [&](int a, int b) {
+    return values[a] / costs[a] > values[b] / costs[b];
+  });
+  for (int i : rest) {
+    if (result.spent + costs[i] <= budget) {
+      result.selected.push_back(i);
+      result.spent += costs[i];
+      result.value += values[i];
+    }
+  }
+
+  // Dual certificate at the final multiplier.
+  double dual = result.lambda * budget;
+  for (size_t i = 0; i < n; ++i) {
+    dual += std::max(0.0, values[i] - result.lambda * costs[i]);
+  }
+  result.upper_bound = dual;
+  return result;
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,37 @@
+#ifndef ROICL_CORE_LAGRANGIAN_H_
+#define ROICL_CORE_LAGRANGIAN_H_
+
+#include <vector>
+
+namespace roicl::core {
+
+/// Lagrangian-relaxation solver for the C-BTAP knapsack (Eq. 1) — the OR
+/// technique the paper's related work (§II-A) cites for budget
+/// allocation, provided here alongside the greedy Algorithm 1.
+///
+/// For a multiplier lambda >= 0 the relaxed problem
+///   max sum_i z_i (v_i - lambda c_i)
+/// is solved by z_i = 1{v_i > lambda c_i}; spend is non-increasing in
+/// lambda, so bisection finds the smallest lambda whose selection fits
+/// the budget. The relaxation also yields a certified upper bound on the
+/// integer optimum:
+///   OPT <= sum_i max(0, v_i - lambda c_i) + lambda * B  for any lambda.
+struct LagrangianResult {
+  std::vector<int> selected;  ///< chosen indices (fit within budget).
+  double spent = 0.0;
+  double value = 0.0;        ///< total value of `selected`.
+  double lambda = 0.0;       ///< final multiplier.
+  double upper_bound = 0.0;  ///< dual bound on the integer optimum.
+};
+
+/// Solves by bisection on lambda. `values[i]` is the individual's
+/// incremental revenue tau_r(x_i), `costs[i]` the incremental cost
+/// tau_c(x_i) (> 0). After bisection, remaining slack is filled greedily
+/// by ratio among the unselected (standard primal repair).
+LagrangianResult LagrangianAllocate(const std::vector<double>& values,
+                                    const std::vector<double>& costs,
+                                    double budget, int max_iterations = 60);
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_LAGRANGIAN_H_

@@ -1,0 +1,44 @@
+#include "core/mc_dropout.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace roicl::core {
+
+McDropoutStats RunMcDropout(nn::Network* net, const Matrix& x, int passes,
+                            uint64_t seed, bool sigmoid_output) {
+  ROICL_CHECK(net != nullptr);
+  ROICL_CHECK(passes >= 2);
+  int n = x.rows();
+  std::vector<double> sum(n, 0.0);
+  std::vector<double> sum_sq(n, 0.0);
+
+  Rng rng(seed, /*stream=*/29);
+  for (int pass = 0; pass < passes; ++pass) {
+    Matrix out = net->Forward(x, nn::Mode::kMcSample, &rng);
+    ROICL_CHECK_MSG(out.cols() == 1,
+                    "MC dropout expects a single-output network");
+    for (int i = 0; i < n; ++i) {
+      double v = out(i, 0);
+      if (sigmoid_output) v = Sigmoid(v);
+      sum[i] += v;
+      sum_sq[i] += v * v;
+    }
+  }
+
+  McDropoutStats stats;
+  stats.mean.resize(n);
+  stats.stddev.resize(n);
+  double inv = 1.0 / static_cast<double>(passes);
+  for (int i = 0; i < n; ++i) {
+    double mean = sum[i] * inv;
+    double var = std::max(0.0, sum_sq[i] * inv - mean * mean);
+    stats.mean[i] = mean;
+    stats.stddev[i] = std::sqrt(var);
+  }
+  return stats;
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,25 @@
+#ifndef ROICL_CORE_MC_DROPOUT_H_
+#define ROICL_CORE_MC_DROPOUT_H_
+
+#include <cstdint>
+
+#include "core/direct_model.h"
+#include "nn/network.h"
+
+namespace roicl::core {
+
+/// Monte-Carlo dropout inference (Gal & Ghahramani 2016; §IV-C2 of the
+/// paper): runs `passes` forward passes in nn::Mode::kMcSample — dropout
+/// active, everything else inference-mode — and accumulates per-sample
+/// mean and standard deviation of the (optionally sigmoid-squashed)
+/// scalar output.
+///
+/// `sigmoid_output` converts the network logit to ROI space before the
+/// statistics, matching the paper where r_hat(x) is the std of roi_hat.
+/// Requires a single-column network output.
+McDropoutStats RunMcDropout(nn::Network* net, const Matrix& x, int passes,
+                            uint64_t seed, bool sigmoid_output);
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_MC_DROPOUT_H_

@@ -1,0 +1,92 @@
+#include "core/multi_treatment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace roicl::core {
+
+void DivideAndConquerRdrp::FitWithCalibration(
+    const synth::MultiTreatmentDataset& train,
+    const synth::MultiTreatmentDataset& calibration) {
+  ROICL_CHECK(train.num_arms() == calibration.num_arms());
+  ROICL_CHECK(train.num_arms() >= 1);
+  models_.clear();
+  for (int arm = 1; arm <= train.num_arms(); ++arm) {
+    RdrpConfig config = config_;
+    // Independent streams per arm, deterministic overall.
+    config.drp.seed = config_.drp.seed + static_cast<uint64_t>(arm) * 101;
+    config.drp.train.seed =
+        config_.drp.train.seed + static_cast<uint64_t>(arm) * 131;
+    config.mc_seed = config_.mc_seed + static_cast<uint64_t>(arm) * 151;
+    auto model = std::make_unique<RdrpModel>(config);
+    model->FitWithCalibration(train.BinarySubproblem(arm),
+                              calibration.BinarySubproblem(arm));
+    models_.push_back(std::move(model));
+  }
+}
+
+std::vector<std::vector<double>> DivideAndConquerRdrp::PredictRoiPerArm(
+    const Matrix& x) const {
+  ROICL_CHECK_MSG(!models_.empty(), "PredictRoiPerArm() before Fit");
+  std::vector<std::vector<double>> scores;
+  scores.reserve(models_.size());
+  for (const auto& model : models_) {
+    scores.push_back(model->PredictRoi(x));
+  }
+  return scores;
+}
+
+const RdrpModel& DivideAndConquerRdrp::arm_model(int arm) const {
+  ROICL_CHECK(arm >= 1 && arm <= num_arms());
+  return *models_[arm - 1];
+}
+
+MultiAllocationResult GreedyAllocateMulti(
+    const std::vector<std::vector<double>>& roi_scores,
+    const std::vector<std::vector<double>>& costs, double budget) {
+  ROICL_CHECK(!roi_scores.empty());
+  ROICL_CHECK(roi_scores.size() == costs.size());
+  size_t num_arms = roi_scores.size();
+  size_t n = roi_scores[0].size();
+  for (size_t k = 0; k < num_arms; ++k) {
+    ROICL_CHECK(roi_scores[k].size() == n);
+    ROICL_CHECK(costs[k].size() == n);
+  }
+  ROICL_CHECK(budget >= 0.0);
+
+  struct Pair {
+    int user;
+    int arm;  // 1-based
+    double roi;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(num_arms * n);
+  for (size_t k = 0; k < num_arms; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      pairs.push_back({static_cast<int>(i), static_cast<int>(k + 1),
+                       roi_scores[k][i]});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.roi != b.roi) return a.roi > b.roi;
+    if (a.user != b.user) return a.user < b.user;
+    return a.arm < b.arm;
+  });
+
+  MultiAllocationResult result;
+  result.assignment.assign(n, -1);
+  for (const Pair& pair : pairs) {
+    if (result.assignment[pair.user] != -1) continue;  // one arm per user
+    double cost = costs[pair.arm - 1][pair.user];
+    ROICL_CHECK(cost >= 0.0);
+    if (result.spent + cost <= budget) {
+      result.assignment[pair.user] = pair.arm;
+      result.spent += cost;
+    }
+  }
+  return result;
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,53 @@
+#ifndef ROICL_CORE_MULTI_TREATMENT_H_
+#define ROICL_CORE_MULTI_TREATMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/rdrp.h"
+#include "synth/multi_treatment.h"
+
+namespace roicl::core {
+
+/// Divide-and-conquer multi-treatment rDRP (paper §VI, limitation 1):
+/// decompose the K-treatment problem into K binary sub-problems
+/// {control, arm k}, fit one rDRP per arm, and rank (user, arm) pairs by
+/// the per-arm calibrated ROI.
+class DivideAndConquerRdrp {
+ public:
+  /// One rDRP configuration shared by all arms; per-arm seeds are derived.
+  explicit DivideAndConquerRdrp(const RdrpConfig& config)
+      : config_(config) {}
+
+  /// Fits one rDRP per arm on the binary projections of the training and
+  /// calibration sets.
+  void FitWithCalibration(const synth::MultiTreatmentDataset& train,
+                          const synth::MultiTreatmentDataset& calibration);
+
+  /// Per-arm calibrated ROI scores: result[k][i] is arm (k+1)'s score for
+  /// row i of x.
+  std::vector<std::vector<double>> PredictRoiPerArm(const Matrix& x) const;
+
+  int num_arms() const { return static_cast<int>(models_.size()); }
+  const RdrpModel& arm_model(int arm) const;
+
+ private:
+  RdrpConfig config_;
+  std::vector<std::unique_ptr<RdrpModel>> models_;
+};
+
+/// Multi-treatment budget allocation: assign at most one arm per user,
+/// scanning (user, arm) pairs by ROI score descending and debiting
+/// `costs[k][i]` from the shared budget (skip-unaffordable greedy).
+/// Returns per-user assignment: -1 for untreated, else the 1-based arm.
+struct MultiAllocationResult {
+  std::vector<int> assignment;
+  double spent = 0.0;
+};
+MultiAllocationResult GreedyAllocateMulti(
+    const std::vector<std::vector<double>>& roi_scores,
+    const std::vector<std::vector<double>>& costs, double budget);
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_MULTI_TREATMENT_H_

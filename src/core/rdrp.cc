@@ -1,0 +1,167 @@
+#include "core/rdrp.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <cmath>
+
+#include "common/macros.h"
+#include "core/conformal.h"
+#include "core/roi_star.h"
+
+namespace roicl::core {
+
+void RdrpModel::FitWithCalibration(const RctDataset& train,
+                                   const RctDataset& calibration) {
+  calibration.Validate();
+  // Algorithm 4, line 2: train DRP.
+  drp_.Fit(train);
+
+  // Lines 4-6: point estimates, roi*, MC-dropout stds on the calibration
+  // set.
+  std::vector<double> roi_hat = drp_.PredictRoi(calibration.x);
+  McDropoutStats mc =
+      drp_.PredictMcRoi(calibration.x, config_.mc_passes, config_.mc_seed);
+  roi_star_global_ = BinarySearchRoiStar(calibration, config_.epsilon);
+
+  std::vector<double> roi_star;
+  if (config_.binned_roi_star) {
+    roi_star = BinnedRoiStar(roi_hat, calibration.treatment,
+                             calibration.y_revenue, calibration.y_cost,
+                             config_.roi_star_bins, config_.epsilon);
+  } else {
+    roi_star.assign(roi_hat.size(), roi_star_global_);
+  }
+
+  // Line 7: conformal score quantile.
+  std::vector<double> scores =
+      ConformalScores(roi_star, roi_hat, mc.stddev, config_.std_floor);
+  q_hat_ = ConformalScoreQuantile(scores, config_.alpha);
+  if (!std::isfinite(q_hat_)) {
+    // Calibration set too small for the requested alpha
+    // (ceil((1-alpha)(n+1)) > n): fall back to the max score, the most
+    // conservative finite quantile.
+    q_hat_ = *std::max_element(scores.begin(), scores.end());
+  }
+
+  // Line 8: pick the calibration form that maximizes AUCC on the
+  // calibration set.
+  std::vector<double> rq(roi_hat.size());
+  for (size_t i = 0; i < rq.size(); ++i) {
+    rq[i] = std::max(mc.stddev[i], config_.std_floor) * q_hat_;
+  }
+  form_ = SelectCalibrationForm(roi_hat, rq, calibration);
+  calibrated_ = true;
+}
+
+std::vector<double> RdrpModel::McStdDev(const Matrix& x) const {
+  McDropoutStats mc =
+      drp_.PredictMcRoi(x, config_.mc_passes, config_.mc_seed);
+  for (double& s : mc.stddev) s = std::max(s, config_.std_floor);
+  return mc.stddev;
+}
+
+std::vector<double> RdrpModel::PredictRoi(const Matrix& x) const {
+  ROICL_CHECK_MSG(calibrated_, "PredictRoi() before FitWithCalibration()");
+  // Algorithm 4, lines 10-12.
+  std::vector<double> roi_hat = drp_.PredictRoi(x);
+  std::vector<double> r_hat = McStdDev(x);
+  std::vector<double> rq(r_hat.size());
+  for (size_t i = 0; i < rq.size(); ++i) rq[i] = r_hat[i] * q_hat_;
+  return ApplyCalibrationForm(form_, roi_hat, rq);
+}
+
+std::vector<metrics::Interval> RdrpModel::PredictIntervals(
+    const Matrix& x) const {
+  ROICL_CHECK_MSG(calibrated_,
+                  "PredictIntervals() before FitWithCalibration()");
+  std::vector<double> roi_hat = drp_.PredictRoi(x);
+  std::vector<double> r_hat = McStdDev(x);
+  std::vector<metrics::Interval> intervals =
+      ConformalIntervals(roi_hat, r_hat, q_hat_, config_.std_floor);
+  if (config_.clip_to_unit) {
+    for (metrics::Interval& interval : intervals) {
+      interval.lo = std::max(interval.lo, 0.0);
+      interval.hi = std::min(interval.hi, 1.0);
+    }
+  }
+  return intervals;
+}
+
+Status RdrpModel::Save(std::ostream& out) const {
+  if (!calibrated_) return Status::FailedPrecondition("not calibrated");
+  out << "roicl-rdrp-v1\n";
+  out << std::setprecision(17);
+  out << q_hat_ << ' ' << roi_star_global_ << ' '
+      << static_cast<int>(form_) << '\n';
+  return drp_.Save(out);
+}
+
+Status RdrpModel::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return Save(out);
+}
+
+StatusOr<RdrpModel> RdrpModel::Load(std::istream& in,
+                                    const RdrpConfig& config) {
+  std::string magic;
+  if (!(in >> magic) || magic != "roicl-rdrp-v1") {
+    return Status::InvalidArgument("bad magic (expected roicl-rdrp-v1)");
+  }
+  double q_hat = 0.0, roi_star = 0.0;
+  int form = 0;
+  if (!(in >> q_hat >> roi_star >> form) || q_hat < 0.0 || form < 0 ||
+      form > 3) {
+    return Status::InvalidArgument("bad rDRP calibration header");
+  }
+  StatusOr<DrpModel> drp = DrpModel::Load(in, config.drp);
+  if (!drp.ok()) return drp.status();
+
+  RdrpModel model(config);
+  model.drp_ = std::move(drp).value();
+  model.q_hat_ = q_hat;
+  model.roi_star_global_ = roi_star;
+  model.form_ = static_cast<CalibrationForm>(form);
+  model.calibrated_ = true;
+  return model;
+}
+
+StatusOr<RdrpModel> RdrpModel::LoadFromFile(const std::string& path,
+                                            const RdrpConfig& config) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return Load(in, config);
+}
+
+McCalibratedModel::McCalibratedModel(std::unique_ptr<DirectRoiModel> base,
+                                     int mc_passes, uint64_t mc_seed)
+    : base_(std::move(base)), mc_passes_(mc_passes), mc_seed_(mc_seed) {
+  ROICL_CHECK(base_ != nullptr);
+  ROICL_CHECK(mc_passes_ >= 2);
+}
+
+void McCalibratedModel::FitWithCalibration(const RctDataset& train,
+                                           const RctDataset& calibration) {
+  base_->Fit(train);
+  std::vector<double> roi_hat = base_->PredictRoi(calibration.x);
+  McDropoutStats mc =
+      base_->PredictMcRoi(calibration.x, mc_passes_, mc_seed_);
+  // q_hat = 1: the std enters the forms unscaled, isolating the MC
+  // contribution from the conformal contribution.
+  form_ = SelectCalibrationForm(roi_hat, mc.stddev, calibration);
+  calibrated_ = true;
+}
+
+std::vector<double> McCalibratedModel::PredictRoi(const Matrix& x) const {
+  ROICL_CHECK_MSG(calibrated_, "PredictRoi() before FitWithCalibration()");
+  std::vector<double> roi_hat = base_->PredictRoi(x);
+  McDropoutStats mc = base_->PredictMcRoi(x, mc_passes_, mc_seed_);
+  return ApplyCalibrationForm(form_, roi_hat, mc.stddev);
+}
+
+std::string McCalibratedModel::name() const {
+  return base_->name() + " w/ MC";
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,130 @@
+#ifndef ROICL_CORE_RDRP_H_
+#define ROICL_CORE_RDRP_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/drp_model.h"
+#include "metrics/coverage.h"
+
+namespace roicl::core {
+
+/// rDRP hyperparameters (§IV-C / Algorithm 4).
+struct RdrpConfig {
+  DrpConfig drp;
+  /// Conformal error rate alpha: coverage target is 1 - alpha.
+  double alpha = 0.1;
+  /// MC-dropout forward passes (paper: 10-100).
+  int mc_passes = 30;
+  /// Floor applied to r_hat(x) before divisions.
+  double std_floor = 1e-4;
+  /// Binary-search stopping constant of Algorithm 2.
+  double epsilon = 1e-4;
+  /// Intersect intervals with [0, 1]. Sound because ROI lives in (0, 1)
+  /// by Assumption 3, so clipping never evicts the target; it only
+  /// removes vacuous width when the uncertainty scalar misbehaves (the
+  /// paper's SS VI caveat).
+  bool clip_to_unit = true;
+  /// Extension: per-score-bin roi* instead of the paper's single global
+  /// convergence point (DESIGN.md §5).
+  bool binned_roi_star = false;
+  int roi_star_bins = 10;
+  uint64_t mc_seed = 99;
+};
+
+/// Robust Direct ROI Prediction (the paper's contribution, Algorithm 4).
+///
+/// Pipeline: train DRP on the training set; on the calibration set obtain
+/// the point estimates, the Algorithm-2 convergence point roi*, the
+/// MC-dropout stds r_hat(x) and the conformal quantile q_hat; select the
+/// best heuristic calibration form (Eq. 5a-5c) by calibration-set AUCC;
+/// at test time, re-run MC dropout and apply the selected form.
+/// Plain Fit() (no calibration set) degrades to calibrating on the
+/// training data — legal but weaker, as Assumption 6 no longer holds.
+class RdrpModel : public uplift::RoiModel {
+ public:
+  explicit RdrpModel(const RdrpConfig& config)
+      : config_(config), drp_(config.drp) {}
+
+  void Fit(const RctDataset& train) override {
+    FitWithCalibration(train, train);
+  }
+  void FitWithCalibration(const RctDataset& train,
+                          const RctDataset& calibration) override;
+
+  /// Calibrated point estimates (the rDRP score used for ranking).
+  std::vector<double> PredictRoi(const Matrix& x) const override;
+  std::string name() const override { return "rDRP"; }
+
+  /// Rigorous conformal intervals C(x) with coverage >= 1 - alpha against
+  /// the convergence-point target (Eq. 4).
+  std::vector<metrics::Interval> PredictIntervals(const Matrix& x) const;
+
+  /// Uncalibrated DRP point estimates (for ablations/diagnostics).
+  std::vector<double> PredictPointRoi(const Matrix& x) const {
+    return drp_.PredictRoi(x);
+  }
+
+  const DrpModel& drp() const { return drp_; }
+  double q_hat() const { return q_hat_; }
+  double roi_star() const { return roi_star_global_; }
+  CalibrationForm selected_form() const { return form_; }
+  bool calibrated() const { return calibrated_; }
+
+  /// Serializes the full calibrated pipeline — the DRP network, the
+  /// conformal quantile q_hat, roi*, and the selected form — so the
+  /// deployed service only loads and predicts. Requires calibrated().
+  Status Save(std::ostream& out) const;
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<RdrpModel> Load(std::istream& in,
+                                  const RdrpConfig& config = RdrpConfig());
+  static StatusOr<RdrpModel> LoadFromFile(
+      const std::string& path, const RdrpConfig& config = RdrpConfig());
+
+ private:
+  std::vector<double> McStdDev(const Matrix& x) const;
+
+  RdrpConfig config_;
+  DrpModel drp_;
+  bool calibrated_ = false;
+  double q_hat_ = 0.0;
+  double roi_star_global_ = 0.0;
+  CalibrationForm form_ = CalibrationForm::kNone;
+};
+
+/// Ablation wrapper "<base> w/ MC" (Table II): combines a direct model's
+/// point estimate with its MC-dropout std using the same heuristic forms
+/// as rDRP but with q_hat fixed to 1 (no conformal scaling). The form is
+/// selected on the calibration set. Applying conformal prediction on top
+/// of this is exactly rDRP — so this wrapper isolates the MC contribution.
+class McCalibratedModel : public uplift::RoiModel {
+ public:
+  McCalibratedModel(std::unique_ptr<DirectRoiModel> base, int mc_passes = 30,
+                    uint64_t mc_seed = 99);
+
+  void Fit(const RctDataset& train) override {
+    FitWithCalibration(train, train);
+  }
+  void FitWithCalibration(const RctDataset& train,
+                          const RctDataset& calibration) override;
+  std::vector<double> PredictRoi(const Matrix& x) const override;
+  std::string name() const override;
+
+  CalibrationForm selected_form() const { return form_; }
+  const DirectRoiModel& base() const { return *base_; }
+
+ private:
+  std::unique_ptr<DirectRoiModel> base_;
+  int mc_passes_;
+  uint64_t mc_seed_;
+  bool calibrated_ = false;
+  CalibrationForm form_ = CalibrationForm::kNone;
+};
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_RDRP_H_

@@ -1,0 +1,99 @@
+#include "core/roi_star.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "core/drp_loss.h"
+
+namespace roicl::core {
+
+double BinarySearchRoiStar(const std::vector<int>& treatment,
+                           const std::vector<double>& y_revenue,
+                           const std::vector<double>& y_cost,
+                           double epsilon) {
+  ROICL_CHECK(epsilon > 0.0);
+  // Algorithm 2: roi_l = 0, roi_r = 1, evaluate L' at sigma^{-1}(roi*).
+  double roi_l = 0.0;
+  double roi_r = 1.0;
+  double roi_star = 0.5 * (roi_l + roi_r);
+  while (roi_r - roi_l > epsilon) {
+    double deriv = DrpPopulationLossDeriv(treatment, y_revenue, y_cost,
+                                          Logit(roi_star));
+    if (std::fabs(deriv) < epsilon) break;
+    if (deriv > 0.0) {
+      roi_r = roi_star;  // past the minimum: shrink from the right
+    } else {
+      roi_l = roi_star;
+    }
+    roi_star = 0.5 * (roi_l + roi_r);
+  }
+  return roi_star;
+}
+
+double BinarySearchRoiStar(const RctDataset& calibration, double epsilon) {
+  return BinarySearchRoiStar(calibration.treatment, calibration.y_revenue,
+                             calibration.y_cost, epsilon);
+}
+
+double AnalyticRoiStar(const std::vector<int>& treatment,
+                       const std::vector<double>& y_revenue,
+                       const std::vector<double>& y_cost) {
+  double tau_r = RctDataset::DiffInMeans(treatment, y_revenue);
+  double tau_c = RctDataset::DiffInMeans(treatment, y_cost);
+  ROICL_CHECK_MSG(tau_c > 0.0,
+                  "AnalyticRoiStar requires positive cost lift");
+  return Clamp(tau_r / tau_c, 0.0, 1.0);
+}
+
+std::vector<double> BinnedRoiStar(const std::vector<double>& scores,
+                                  const std::vector<int>& treatment,
+                                  const std::vector<double>& y_revenue,
+                                  const std::vector<double>& y_cost,
+                                  int num_bins, double epsilon) {
+  size_t n = scores.size();
+  ROICL_CHECK(treatment.size() == n && y_revenue.size() == n &&
+              y_cost.size() == n);
+  ROICL_CHECK(num_bins >= 1);
+  double global =
+      BinarySearchRoiStar(treatment, y_revenue, y_cost, epsilon);
+
+  // Assign samples to score-quantile bins.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] < scores[b]; });
+  std::vector<int> bin_of(n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    int bin = static_cast<int>(rank * static_cast<size_t>(num_bins) / n);
+    bin_of[order[rank]] = std::min(bin, num_bins - 1);
+  }
+
+  std::vector<double> result(n, global);
+  for (int b = 0; b < num_bins; ++b) {
+    std::vector<int> t_bin;
+    std::vector<double> yr_bin, yc_bin;
+    for (size_t i = 0; i < n; ++i) {
+      if (bin_of[i] == b) {
+        t_bin.push_back(treatment[i]);
+        yr_bin.push_back(y_revenue[i]);
+        yc_bin.push_back(y_cost[i]);
+      }
+    }
+    int n1 = 0;
+    for (int t : t_bin) n1 += (t == 1);
+    int n0 = static_cast<int>(t_bin.size()) - n1;
+    if (n1 < 2 || n0 < 2) continue;  // fall back to global
+    double tau_c = RctDataset::DiffInMeans(t_bin, yc_bin);
+    if (tau_c <= 0.0) continue;  // Assumption 4 violated in this bin
+    double local = BinarySearchRoiStar(t_bin, yr_bin, yc_bin, epsilon);
+    for (size_t i = 0; i < n; ++i) {
+      if (bin_of[i] == b) result[i] = local;
+    }
+  }
+  return result;
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,47 @@
+#ifndef ROICL_CORE_ROI_STAR_H_
+#define ROICL_CORE_ROI_STAR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace roicl::core {
+
+/// Algorithm 2 of the paper: binary search on the convex population-level
+/// DRP loss over the calibration set. Returns roi* = sigmoid(s*) where s*
+/// is the convergence point — used as the stand-in "true" ROI for the
+/// conformal score (Assumption 5).
+///
+/// `epsilon` is the paper's stopping constant (both interval width and
+/// derivative tolerance). Requires both RCT arms and a positive average
+/// cost lift (Assumption 4); aborts otherwise.
+double BinarySearchRoiStar(const std::vector<int>& treatment,
+                           const std::vector<double>& y_revenue,
+                           const std::vector<double>& y_cost,
+                           double epsilon = 1e-4);
+
+/// Convenience overload on a dataset.
+double BinarySearchRoiStar(const RctDataset& calibration,
+                           double epsilon = 1e-4);
+
+/// The closed form the binary search converges to:
+/// roi* = tau_hat_r / tau_hat_c (difference-in-means ratio), clamped to
+/// (0, 1) per Assumption 3. Used to cross-check Algorithm 2.
+double AnalyticRoiStar(const std::vector<int>& treatment,
+                       const std::vector<double>& y_revenue,
+                       const std::vector<double>& y_cost);
+
+/// Extension beyond the paper (§5 of DESIGN.md): instead of one global
+/// convergence point, compute a separate roi* within each quantile bin of
+/// a score vector (e.g. the DRP point estimates). Bins missing an arm or
+/// with non-positive cost lift fall back to the global roi*.
+/// Returns one roi* per sample, aligned with `scores`.
+std::vector<double> BinnedRoiStar(const std::vector<double>& scores,
+                                  const std::vector<int>& treatment,
+                                  const std::vector<double>& y_revenue,
+                                  const std::vector<double>& y_cost,
+                                  int num_bins, double epsilon = 1e-4);
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_ROI_STAR_H_

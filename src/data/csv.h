@@ -1,0 +1,24 @@
+#ifndef ROICL_DATA_CSV_H_
+#define ROICL_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace roicl {
+
+/// Writes `dataset` to a CSV file with a header row:
+///   f0,...,f{d-1},treatment,y_revenue,y_cost[,true_tau_r,true_tau_c]
+/// Oracle columns are written only when present.
+Status WriteDatasetCsv(const RctDataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by WriteDatasetCsv (or any CSV using
+/// the same header convention). Columns named `treatment`, `y_revenue`,
+/// `y_cost` are required; `true_tau_r` / `true_tau_c` / `segment` are
+/// optional; every other column is treated as a feature.
+StatusOr<RctDataset> ReadDatasetCsv(const std::string& path);
+
+}  // namespace roicl
+
+#endif  // ROICL_DATA_CSV_H_

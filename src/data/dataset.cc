@@ -1,0 +1,92 @@
+#include "data/dataset.h"
+
+#include "common/macros.h"
+
+namespace roicl {
+
+int RctDataset::NumTreated() const {
+  int count = 0;
+  for (int t : treatment) count += (t == 1);
+  return count;
+}
+
+int RctDataset::NumControl() const {
+  return static_cast<int>(treatment.size()) - NumTreated();
+}
+
+double RctDataset::TrueRoi(int i) const {
+  ROICL_CHECK(has_ground_truth());
+  ROICL_CHECK(i >= 0 && i < n());
+  ROICL_CHECK_MSG(true_tau_c[i] > 0.0,
+                  "TrueRoi requires positive cost effect (Assumption 4)");
+  return true_tau_r[i] / true_tau_c[i];
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> SelectVector(const std::vector<T>& values,
+                            const std::vector<int>& indices) {
+  if (values.empty()) return {};
+  std::vector<T> out;
+  out.reserve(indices.size());
+  for (int i : indices) {
+    ROICL_CHECK(i >= 0 && i < static_cast<int>(values.size()));
+    out.push_back(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+RctDataset RctDataset::Subset(const std::vector<int>& indices) const {
+  RctDataset out;
+  out.x = x.SelectRows(indices);
+  out.treatment = SelectVector(treatment, indices);
+  out.y_revenue = SelectVector(y_revenue, indices);
+  out.y_cost = SelectVector(y_cost, indices);
+  out.true_tau_r = SelectVector(true_tau_r, indices);
+  out.true_tau_c = SelectVector(true_tau_c, indices);
+  out.segment = SelectVector(segment, indices);
+  return out;
+}
+
+void RctDataset::Validate() const {
+  size_t rows = static_cast<size_t>(x.rows());
+  ROICL_CHECK_MSG(treatment.size() == rows, "treatment length mismatch");
+  ROICL_CHECK_MSG(y_revenue.size() == rows, "y_revenue length mismatch");
+  ROICL_CHECK_MSG(y_cost.size() == rows, "y_cost length mismatch");
+  if (!true_tau_r.empty()) {
+    ROICL_CHECK_MSG(true_tau_r.size() == rows, "true_tau_r length mismatch");
+  }
+  if (!true_tau_c.empty()) {
+    ROICL_CHECK_MSG(true_tau_c.size() == rows, "true_tau_c length mismatch");
+  }
+  if (!segment.empty()) {
+    ROICL_CHECK_MSG(segment.size() == rows, "segment length mismatch");
+  }
+  for (int t : treatment) {
+    ROICL_CHECK_MSG(t == 0 || t == 1, "treatment must be binary, got %d", t);
+  }
+}
+
+double RctDataset::DiffInMeans(const std::vector<int>& treatment,
+                               const std::vector<double>& values) {
+  ROICL_CHECK(treatment.size() == values.size());
+  double sum1 = 0.0, sum0 = 0.0;
+  int n1 = 0, n0 = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (treatment[i] == 1) {
+      sum1 += values[i];
+      ++n1;
+    } else {
+      sum0 += values[i];
+      ++n0;
+    }
+  }
+  ROICL_CHECK_MSG(n1 > 0 && n0 > 0,
+                  "DiffInMeans requires both treatment groups present");
+  return sum1 / n1 - sum0 / n0;
+}
+
+}  // namespace roicl

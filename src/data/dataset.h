@@ -1,0 +1,76 @@
+#ifndef ROICL_DATA_DATASET_H_
+#define ROICL_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace roicl {
+
+/// An RCT sample set in the potential-outcome framing of the paper
+/// (Notation 1 / Assumption 1): features X, binary treatment t, revenue
+/// outcome y_r and cost outcome y_c.
+///
+/// Synthetic generators additionally fill the ground-truth columns
+/// (`true_tau_r`, `true_tau_c`, `segment`), which real datasets lack; they
+/// are used only for oracle evaluation and the online A/B simulator, never
+/// by the estimators.
+struct RctDataset {
+  Matrix x;                      ///< n x d feature matrix.
+  std::vector<int> treatment;    ///< t_i in {0, 1}.
+  std::vector<double> y_revenue; ///< y_i^r realizations.
+  std::vector<double> y_cost;    ///< y_i^c realizations.
+
+  // Optional oracle columns (empty for real data).
+  std::vector<double> true_tau_r;  ///< tau_r(x_i), if known.
+  std::vector<double> true_tau_c;  ///< tau_c(x_i), if known.
+  std::vector<int> segment;        ///< latent segment id, if known.
+
+  int n() const { return x.rows(); }
+  int dim() const { return x.cols(); }
+  bool has_ground_truth() const {
+    return !true_tau_r.empty() && !true_tau_c.empty();
+  }
+
+  /// Number of treated samples (N_1 in the paper).
+  int NumTreated() const;
+  /// Number of control samples (N_0).
+  int NumControl() const;
+
+  /// Ground-truth ROI of sample i = tau_r(x_i) / tau_c(x_i).
+  /// Requires has_ground_truth() and positive tau_c.
+  double TrueRoi(int i) const;
+
+  /// Returns the subset of the dataset at `indices`, preserving any oracle
+  /// columns that are present.
+  RctDataset Subset(const std::vector<int>& indices) const;
+
+  /// Aborts if the internal columns disagree in length or treatments are
+  /// not binary. Call after hand-assembling a dataset.
+  void Validate() const;
+
+  /// Difference of group means for a column:
+  /// mean(values | t=1) - mean(values | t=0). Requires both groups
+  /// non-empty. This is the RCT estimate of the average treatment effect.
+  static double DiffInMeans(const std::vector<int>& treatment,
+                            const std::vector<double>& values);
+
+  /// tau_hat_r: RCT difference-in-means estimate of average revenue lift.
+  double AverageRevenueLift() const {
+    return DiffInMeans(treatment, y_revenue);
+  }
+  /// tau_hat_c: RCT difference-in-means estimate of average cost lift.
+  double AverageCostLift() const { return DiffInMeans(treatment, y_cost); }
+};
+
+/// Three-way split used by Algorithm 4: train / calibration / test.
+struct DatasetSplits {
+  RctDataset train;
+  RctDataset calibration;
+  RctDataset test;
+};
+
+}  // namespace roicl
+
+#endif  // ROICL_DATA_DATASET_H_

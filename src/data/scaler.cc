@@ -1,0 +1,56 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace roicl {
+
+void StandardScaler::Fit(const Matrix& x) {
+  ROICL_CHECK(x.rows() > 0);
+  int d = x.cols();
+  means_.assign(d, 0.0);
+  stddevs_.assign(d, 1.0);
+  for (int c = 0; c < d; ++c) {
+    RunningStats stats;
+    for (int r = 0; r < x.rows(); ++r) stats.Add(x(r, c));
+    means_[c] = stats.mean();
+    double sd = stats.stddev();
+    // Constant columns are centered but not scaled.
+    stddevs_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  fitted_ = true;
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  ROICL_CHECK_MSG(fitted_, "Transform() before Fit()");
+  ROICL_CHECK(x.cols() == static_cast<int>(means_.size()));
+  Matrix out = x;
+  for (int r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    for (int c = 0; c < out.cols(); ++c) {
+      row[c] = (row[c] - means_[c]) / stddevs_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::FitTransform(const Matrix& x) {
+  Fit(x);
+  return Transform(x);
+}
+
+StandardScaler StandardScaler::FromMoments(std::vector<double> means,
+                                           std::vector<double> stddevs) {
+  ROICL_CHECK(means.size() == stddevs.size());
+  ROICL_CHECK(!means.empty());
+  for (double sd : stddevs) ROICL_CHECK_MSG(sd > 0.0, "stddev must be > 0");
+  StandardScaler scaler;
+  scaler.means_ = std::move(means);
+  scaler.stddevs_ = std::move(stddevs);
+  scaler.fitted_ = true;
+  return scaler;
+}
+
+}  // namespace roicl

@@ -1,0 +1,43 @@
+#ifndef ROICL_DATA_SCALER_H_
+#define ROICL_DATA_SCALER_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace roicl {
+
+/// Column-wise standardizer (zero mean, unit variance). Fitted on the
+/// training features and applied to calibration/test features, mirroring
+/// how the neural models are trained in practice. Constant columns are
+/// centered only.
+class StandardScaler {
+ public:
+  /// Computes per-column means and stddevs from `x`.
+  void Fit(const Matrix& x);
+
+  /// Returns the standardized copy of `x`. Requires Fit() first and a
+  /// matching column count.
+  Matrix Transform(const Matrix& x) const;
+
+  /// Fit() then Transform() on the same matrix.
+  Matrix FitTransform(const Matrix& x);
+
+  /// Rebuilds a fitted scaler from stored moments (deserialization).
+  /// Sizes must match and stddevs must be positive.
+  static StandardScaler FromMoments(std::vector<double> means,
+                                    std::vector<double> stddevs);
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  bool fitted_ = false;
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace roicl
+
+#endif  // ROICL_DATA_SCALER_H_

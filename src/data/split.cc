@@ -1,0 +1,74 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace roicl {
+
+DatasetSplits SplitDataset(const RctDataset& dataset,
+                           const SplitFractions& fractions, Rng* rng) {
+  ROICL_CHECK(rng != nullptr);
+  ROICL_CHECK(fractions.train > 0.0 && fractions.calibration > 0.0 &&
+              fractions.test > 0.0);
+  ROICL_CHECK(fractions.train + fractions.calibration + fractions.test <=
+              1.0 + 1e-9);
+  int n = dataset.n();
+  std::vector<int> perm = rng->Permutation(n);
+  int n_train = static_cast<int>(std::floor(fractions.train * n));
+  int n_calib = static_cast<int>(std::floor(fractions.calibration * n));
+  int n_test = static_cast<int>(std::floor(fractions.test * n));
+  ROICL_CHECK_MSG(n_train > 0 && n_calib > 0 && n_test > 0,
+                  "dataset too small to split (n=%d)", n);
+
+  DatasetSplits splits;
+  splits.train = dataset.Subset(
+      std::vector<int>(perm.begin(), perm.begin() + n_train));
+  splits.calibration = dataset.Subset(std::vector<int>(
+      perm.begin() + n_train, perm.begin() + n_train + n_calib));
+  splits.test = dataset.Subset(std::vector<int>(
+      perm.begin() + n_train + n_calib,
+      perm.begin() + n_train + n_calib + n_test));
+  return splits;
+}
+
+RctDataset Subsample(const RctDataset& dataset, double rate, Rng* rng) {
+  ROICL_CHECK(rng != nullptr);
+  ROICL_CHECK(rate > 0.0 && rate <= 1.0);
+  // Stratify by treatment so both arms survive aggressive subsampling.
+  std::vector<int> treated, control;
+  for (int i = 0; i < dataset.n(); ++i) {
+    (dataset.treatment[i] == 1 ? treated : control).push_back(i);
+  }
+  auto pick = [&](std::vector<int>& group) {
+    int k = std::max(1, static_cast<int>(std::round(rate * group.size())));
+    k = std::min(k, static_cast<int>(group.size()));
+    rng->Shuffle(&group);
+    group.resize(k);
+  };
+  pick(treated);
+  pick(control);
+  std::vector<int> keep;
+  keep.reserve(treated.size() + control.size());
+  keep.insert(keep.end(), treated.begin(), treated.end());
+  keep.insert(keep.end(), control.begin(), control.end());
+  rng->Shuffle(&keep);
+  return dataset.Subset(keep);
+}
+
+void TwoWaySplit(const RctDataset& dataset, double first_fraction, Rng* rng,
+                 RctDataset* first, RctDataset* second) {
+  ROICL_CHECK(rng != nullptr && first != nullptr && second != nullptr);
+  ROICL_CHECK(first_fraction > 0.0 && first_fraction < 1.0);
+  int n = dataset.n();
+  std::vector<int> perm = rng->Permutation(n);
+  int n_first = std::max(1, static_cast<int>(std::floor(first_fraction * n)));
+  n_first = std::min(n_first, n - 1);
+  *first =
+      dataset.Subset(std::vector<int>(perm.begin(), perm.begin() + n_first));
+  *second =
+      dataset.Subset(std::vector<int>(perm.begin() + n_first, perm.end()));
+}
+
+}  // namespace roicl

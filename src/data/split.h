@@ -1,0 +1,34 @@
+#ifndef ROICL_DATA_SPLIT_H_
+#define ROICL_DATA_SPLIT_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace roicl {
+
+/// Fractions for a three-way random split; must be positive and sum to <= 1
+/// (the remainder, if any, is discarded).
+struct SplitFractions {
+  double train = 0.6;
+  double calibration = 0.2;
+  double test = 0.2;
+};
+
+/// Randomly partitions `dataset` into train / calibration / test.
+/// Shuffling is driven by `rng`, so splits are reproducible by seed.
+DatasetSplits SplitDataset(const RctDataset& dataset,
+                           const SplitFractions& fractions, Rng* rng);
+
+/// Random subsample of `rate * n` rows (used to build the "Insufficient"
+/// settings; the paper subsamples at rate 0.15). Treatment-stratified so
+/// that both arms survive even at small rates.
+RctDataset Subsample(const RctDataset& dataset, double rate, Rng* rng);
+
+/// Two-fold split of a dataset (used by honest forests and X-learner
+/// stages). `first_fraction` in (0, 1).
+void TwoWaySplit(const RctDataset& dataset, double first_fraction, Rng* rng,
+                 RctDataset* first, RctDataset* second);
+
+}  // namespace roicl
+
+#endif  // ROICL_DATA_SPLIT_H_

@@ -1,0 +1,125 @@
+#include "exp/ablation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/calibration.h"
+#include "core/conformal.h"
+#include "core/dr_model.h"
+#include "core/drp_model.h"
+#include "core/roi_star.h"
+#include "metrics/cost_curve.h"
+
+namespace roicl::exp {
+namespace {
+
+/// MC-form calibration shared by the "w/ MC" and "w/ MC w/ CP" variants:
+/// select the best Eq. 5a-5c form on the calibration set with the given
+/// q_hat, then apply it to the test set.
+double EvaluateCalibrated(const std::vector<double>& roi_calib,
+                          const std::vector<double>& std_calib,
+                          const std::vector<double>& roi_test,
+                          const std::vector<double>& std_test, double q_hat,
+                          const RctDataset& calib, const RctDataset& test,
+                          double std_floor) {
+  std::vector<double> rq_calib(std_calib.size());
+  std::vector<double> rq_test(std_test.size());
+  for (size_t i = 0; i < std_calib.size(); ++i) {
+    rq_calib[i] = std::max(std_calib[i], std_floor) * q_hat;
+  }
+  for (size_t i = 0; i < std_test.size(); ++i) {
+    rq_test[i] = std::max(std_test[i], std_floor) * q_hat;
+  }
+  core::CalibrationForm form =
+      core::SelectCalibrationForm(roi_calib, rq_calib, calib);
+  return metrics::Aucc(core::ApplyCalibrationForm(form, roi_test, rq_test),
+                       test);
+}
+
+}  // namespace
+
+AblationRow RunAblationSetting(DatasetId dataset, Setting setting,
+                               const MethodHyperparams& hp,
+                               const SplitSizes& sizes, uint64_t seed) {
+  synth::SyntheticGenerator generator = MakeGenerator(dataset);
+  DatasetSplits splits = BuildSplits(generator, setting, sizes, seed);
+  const RctDataset& calib = splits.calibration;
+  const RctDataset& test = splits.test;
+  constexpr double kStdFloor = 1e-4;
+
+  AblationRow row;
+  row.dataset = dataset;
+  row.setting = setting;
+
+  // ---- DR branch: train once, reuse for DR and DR w/ MC. ----
+  core::DirectRankModel dr(MakeDrConfig(hp));
+  dr.Fit(splits.train);
+  std::vector<double> dr_test = dr.PredictRoi(test.x);
+  row.dr = metrics::Aucc(dr_test, test);
+  {
+    std::vector<double> dr_calib = dr.PredictRoi(calib.x);
+    core::McDropoutStats mc_calib =
+        dr.PredictMcRoi(calib.x, hp.mc_passes, hp.seed + 11);
+    core::McDropoutStats mc_test =
+        dr.PredictMcRoi(test.x, hp.mc_passes, hp.seed + 12);
+    // q_hat = 1: MC only, no conformal scaling (DR's non-convex loss
+    // rules out the Algorithm-2 convergence point, per §V-B).
+    row.dr_mc = EvaluateCalibrated(dr_calib, mc_calib.stddev, dr_test,
+                                   mc_test.stddev, /*q_hat=*/1.0, calib,
+                                   test, kStdFloor);
+  }
+
+  // ---- DRP branch: train once, reuse for DRP, w/ MC, w/ MC w/ CP. ----
+  core::DrpModel drp(MakeDrpConfig(hp));
+  drp.Fit(splits.train);
+  std::vector<double> drp_test = drp.PredictRoi(test.x);
+  row.drp = metrics::Aucc(drp_test, test);
+
+  std::vector<double> drp_calib = drp.PredictRoi(calib.x);
+  core::McDropoutStats mc_calib =
+      drp.PredictMcRoi(calib.x, hp.mc_passes, hp.seed + 13);
+  core::McDropoutStats mc_test =
+      drp.PredictMcRoi(test.x, hp.mc_passes, hp.seed + 14);
+
+  row.drp_mc = EvaluateCalibrated(drp_calib, mc_calib.stddev, drp_test,
+                                  mc_test.stddev, /*q_hat=*/1.0, calib,
+                                  test, kStdFloor);
+
+  // Conformal quantile from the calibration set (Algorithms 2 + 3).
+  double roi_star = core::BinarySearchRoiStar(calib);
+  std::vector<double> scores =
+      core::ConformalScores(roi_star, drp_calib, mc_calib.stddev, kStdFloor);
+  double q_hat = core::ConformalScoreQuantile(scores, hp.alpha);
+  if (!std::isfinite(q_hat)) {
+    q_hat = *std::max_element(scores.begin(), scores.end());
+  }
+  row.drp_mc_cp = EvaluateCalibrated(drp_calib, mc_calib.stddev, drp_test,
+                                     mc_test.stddev, q_hat, calib, test,
+                                     kStdFloor);
+  return row;
+}
+
+std::vector<AblationRow> RunAblationSweep(const MethodHyperparams& hp,
+                                          const SplitSizes& sizes,
+                                          uint64_t seed, bool verbose) {
+  std::vector<AblationRow> rows;
+  for (DatasetId dataset : AllDatasets()) {
+    for (Setting setting : AllSettings()) {
+      rows.push_back(
+          RunAblationSetting(dataset, setting, hp, sizes, seed));
+      if (verbose) {
+        const AblationRow& r = rows.back();
+        std::fprintf(stderr,
+                     "  [%s/%s] DR=%.4f DR+MC=%.4f DRP=%.4f DRP+MC=%.4f "
+                     "DRP+MC+CP=%.4f\n",
+                     DatasetName(dataset).c_str(),
+                     SettingName(setting).c_str(), r.dr, r.dr_mc, r.drp,
+                     r.drp_mc, r.drp_mc_cp);
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace roicl::exp

@@ -1,0 +1,44 @@
+#ifndef ROICL_EXP_ABLATION_H_
+#define ROICL_EXP_ABLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/datasets.h"
+#include "exp/methods.h"
+#include "exp/setting.h"
+
+namespace roicl::exp {
+
+/// One ablation row: AUCC of each Table-II variant in one
+/// (dataset, setting). The five variants, in the paper's row order.
+struct AblationRow {
+  DatasetId dataset;
+  Setting setting;
+  double dr = 0.0;            ///< DR
+  double dr_mc = 0.0;         ///< DR w/ MC
+  double drp = 0.0;           ///< DRP
+  double drp_mc = 0.0;        ///< DRP w/ MC
+  double drp_mc_cp = 0.0;     ///< DRP w/ MC w/ CP (= rDRP)
+};
+
+/// Runs the Table-II ablation for one (dataset, setting).
+///
+/// Each base network (DR, DRP) is trained ONCE and shared by its
+/// variants; the MC statistics on calibration and test sets are likewise
+/// computed once — so the ablation isolates the post-processing
+/// contribution of MC and CP exactly, with no retraining noise, matching
+/// the paper's "rDRP = DRP w/ MC w/ CP" identity by construction.
+AblationRow RunAblationSetting(DatasetId dataset, Setting setting,
+                               const MethodHyperparams& hp,
+                               const SplitSizes& sizes, uint64_t seed);
+
+/// Full Table-II sweep over datasets and settings.
+std::vector<AblationRow> RunAblationSweep(const MethodHyperparams& hp,
+                                          const SplitSizes& sizes,
+                                          uint64_t seed,
+                                          bool verbose = false);
+
+}  // namespace roicl::exp
+
+#endif  // ROICL_EXP_ABLATION_H_

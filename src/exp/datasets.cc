@@ -1,0 +1,68 @@
+#include "exp/datasets.h"
+
+#include "common/macros.h"
+#include "data/split.h"
+
+namespace roicl::exp {
+
+const std::vector<DatasetId>& AllDatasets() {
+  static const std::vector<DatasetId>& ids = *new std::vector<DatasetId>{
+      DatasetId::kCriteo, DatasetId::kMeituan, DatasetId::kAlibaba};
+  return ids;
+}
+
+std::string DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kCriteo:
+      return "CRITEO-UPLIFT v2";
+    case DatasetId::kMeituan:
+      return "Meituan-LIFT";
+    case DatasetId::kAlibaba:
+      return "Alibaba-LIFT";
+  }
+  return "?";
+}
+
+synth::SyntheticGenerator MakeGenerator(DatasetId id) {
+  switch (id) {
+    case DatasetId::kCriteo:
+      return synth::SyntheticGenerator(synth::CriteoSynthConfig());
+    case DatasetId::kMeituan:
+      return synth::SyntheticGenerator(synth::MeituanSynthConfig());
+    case DatasetId::kAlibaba:
+      return synth::SyntheticGenerator(synth::AlibabaSynthConfig());
+  }
+  ROICL_CHECK_MSG(false, "unknown DatasetId");
+  return synth::SyntheticGenerator(synth::CriteoSynthConfig());
+}
+
+DatasetSplits BuildSplits(const synth::SyntheticGenerator& generator,
+                          Setting setting, const SplitSizes& sizes,
+                          uint64_t seed) {
+  ROICL_CHECK(sizes.train_sufficient > 0);
+  ROICL_CHECK(sizes.insufficient_rate > 0.0 &&
+              sizes.insufficient_rate <= 1.0);
+  Rng rng(seed, /*stream=*/43);
+  bool shifted = HasCovariateShift(setting);
+
+  DatasetSplits splits;
+  Rng train_rng = rng.Split();
+  splits.train =
+      generator.Generate(sizes.train_sufficient, /*shifted=*/false,
+                         &train_rng);
+  if (!IsSufficient(setting)) {
+    Rng sub_rng = rng.Split();
+    splits.train = Subsample(splits.train, sizes.insufficient_rate,
+                             &sub_rng);
+  } else {
+    rng.Split();  // keep RNG alignment across settings
+  }
+  Rng calib_rng = rng.Split();
+  splits.calibration = generator.Generate(sizes.calibration, shifted,
+                                          &calib_rng);
+  Rng test_rng = rng.Split();
+  splits.test = generator.Generate(sizes.test, shifted, &test_rng);
+  return splits;
+}
+
+}  // namespace roicl::exp

@@ -1,0 +1,48 @@
+#ifndef ROICL_EXP_DATASETS_H_
+#define ROICL_EXP_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "exp/setting.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl::exp {
+
+/// The three public datasets of §V-A (synthetic stand-ins; see DESIGN.md
+/// substitution table).
+enum class DatasetId {
+  kCriteo,
+  kMeituan,
+  kAlibaba,
+};
+
+const std::vector<DatasetId>& AllDatasets();
+std::string DatasetName(DatasetId id);
+
+/// Generator preset for a dataset id.
+synth::SyntheticGenerator MakeGenerator(DatasetId id);
+
+/// Sample-size knobs for building experiment splits.
+struct SplitSizes {
+  int train_sufficient = 12000;
+  /// The paper subsamples the sufficient set at rate 0.15 for the
+  /// "Insufficient" settings.
+  double insufficient_rate = 0.15;
+  int calibration = 3000;
+  int test = 6000;
+};
+
+/// Builds the train/calibration/test triplet for one (dataset, setting):
+/// training data always comes from the unshifted mixture; the calibration
+/// and test sets come from the shifted mixture iff the setting has
+/// covariate shift; insufficient settings subsample the training set at
+/// `insufficient_rate` (treatment-stratified).
+DatasetSplits BuildSplits(const synth::SyntheticGenerator& generator,
+                          Setting setting, const SplitSizes& sizes,
+                          uint64_t seed);
+
+}  // namespace roicl::exp
+
+#endif  // ROICL_EXP_DATASETS_H_

@@ -1,0 +1,85 @@
+#ifndef ROICL_EXP_METHODS_H_
+#define ROICL_EXP_METHODS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dr_model.h"
+#include "core/drp_model.h"
+#include "core/rdrp.h"
+#include "trees/causal_forest.h"
+#include "trees/random_forest.h"
+#include "uplift/neural_cate.h"
+#include "uplift/roi_model.h"
+
+namespace roicl::exp {
+
+/// A named benchmark method (one row of Table I).
+struct MethodSpec {
+  std::string name;
+  std::function<std::unique_ptr<uplift::RoiModel>()> factory;
+};
+
+/// One knob block controlling every method, so all ten benchmark rows are
+/// trained under comparable budgets (the paper keeps DRP/rDRP
+/// hyperparameters identical for fairness).
+struct MethodHyperparams {
+  // Direct neural models (DRP, DR).
+  int neural_epochs = 120;
+  int batch_size = 256;
+  double learning_rate = 5e-3;
+  int patience = 12;
+  int drp_hidden = 0;  // auto from data size
+  double drp_dropout = 0.2;
+
+  // Neural CATE baselines (TARNet/DragonNet/OffsetNet/SNet).
+  int cate_epochs = 20;
+  int cate_patience = 4;
+  int cate_trunk = 32;
+  int cate_head = 16;
+
+  // Tree ensembles.
+  int forest_trees = 30;
+  int forest_depth = 6;
+  int causal_forest_trees = 40;
+
+  // Meta-learner ridge penalty.
+  double ridge_lambda = 1.0;
+
+  // rDRP knobs.
+  int mc_passes = 30;
+  double alpha = 0.1;
+
+  uint64_t seed = 1234;
+};
+
+/// Derived config helpers.
+core::DrpConfig MakeDrpConfig(const MethodHyperparams& hp);
+core::DirectRankConfig MakeDrConfig(const MethodHyperparams& hp);
+core::RdrpConfig MakeRdrpConfig(const MethodHyperparams& hp);
+uplift::NeuralCateConfig MakeNeuralCateConfig(const MethodHyperparams& hp);
+trees::ForestConfig MakeForestConfig(const MethodHyperparams& hp);
+trees::CausalForestConfig MakeCausalForestConfig(
+    const MethodHyperparams& hp);
+
+/// The ten Table-I methods in the paper's row order:
+/// TPM-SL, TPM-XL, TPM-CF, TPM-DragonNet, TPM-TARNet, TPM-OffsetNet,
+/// TPM-SNet, DR, DRP, rDRP.
+std::vector<MethodSpec> Table1Methods(const MethodHyperparams& hp);
+
+/// Individual factories (used by the ablation and A/B benches).
+MethodSpec TpmSlMethod(const MethodHyperparams& hp);
+MethodSpec TpmXlMethod(const MethodHyperparams& hp);
+MethodSpec TpmCfMethod(const MethodHyperparams& hp);
+MethodSpec TpmNeuralMethod(const MethodHyperparams& hp,
+                           uplift::NeuralCateKind kind,
+                           const std::string& name);
+MethodSpec DrMethod(const MethodHyperparams& hp);
+MethodSpec DrpMethod(const MethodHyperparams& hp);
+MethodSpec RdrpMethod(const MethodHyperparams& hp);
+
+}  // namespace roicl::exp
+
+#endif  // ROICL_EXP_METHODS_H_

@@ -1,0 +1,64 @@
+#include "exp/runner.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "metrics/cost_curve.h"
+
+namespace roicl::exp {
+
+double EvaluateMethodOnSplits(uplift::RoiModel* model,
+                              const DatasetSplits& splits) {
+  ROICL_CHECK(model != nullptr);
+  model->FitWithCalibration(splits.train, splits.calibration);
+  std::vector<double> scores = model->PredictRoi(splits.test.x);
+  return metrics::Aucc(scores, splits.test);
+}
+
+std::vector<OfflineCell> RunSetting(DatasetId dataset, Setting setting,
+                                    const std::vector<MethodSpec>& methods,
+                                    const SplitSizes& sizes, uint64_t seed,
+                                    bool verbose) {
+  synth::SyntheticGenerator generator = MakeGenerator(dataset);
+  DatasetSplits splits = BuildSplits(generator, setting, sizes, seed);
+
+  std::vector<OfflineCell> cells;
+  cells.reserve(methods.size());
+  for (const MethodSpec& spec : methods) {
+    auto start = std::chrono::steady_clock::now();
+    std::unique_ptr<uplift::RoiModel> model = spec.factory();
+    double aucc = EvaluateMethodOnSplits(model.get(), splits);
+    auto end = std::chrono::steady_clock::now();
+    OfflineCell cell;
+    cell.method = spec.name;
+    cell.dataset = dataset;
+    cell.setting = setting;
+    cell.aucc = aucc;
+    cell.seconds = std::chrono::duration<double>(end - start).count();
+    cells.push_back(cell);
+    if (verbose) {
+      std::fprintf(stderr, "  [%s/%s] %-14s AUCC=%.4f (%.1fs)\n",
+                   DatasetName(dataset).c_str(),
+                   SettingName(setting).c_str(), spec.name.c_str(), aucc,
+                   cell.seconds);
+    }
+  }
+  return cells;
+}
+
+std::vector<OfflineCell> RunOfflineSweep(
+    const std::vector<MethodSpec>& methods, const SplitSizes& sizes,
+    uint64_t seed, bool verbose) {
+  std::vector<OfflineCell> all;
+  for (DatasetId dataset : AllDatasets()) {
+    for (Setting setting : AllSettings()) {
+      std::vector<OfflineCell> cells =
+          RunSetting(dataset, setting, methods, sizes, seed, verbose);
+      all.insert(all.end(), cells.begin(), cells.end());
+    }
+  }
+  return all;
+}
+
+}  // namespace roicl::exp

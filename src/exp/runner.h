@@ -1,0 +1,43 @@
+#ifndef ROICL_EXP_RUNNER_H_
+#define ROICL_EXP_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "exp/datasets.h"
+#include "exp/methods.h"
+#include "exp/setting.h"
+
+namespace roicl::exp {
+
+/// One table cell: a method's test AUCC in one (dataset, setting).
+struct OfflineCell {
+  std::string method;
+  DatasetId dataset;
+  Setting setting;
+  double aucc = 0.0;
+  double seconds = 0.0;  ///< wall time for fit + predict.
+};
+
+/// Fits `model` on the splits (Algorithm-4 style: training set + explicit
+/// calibration set) and scores its test-set AUCC.
+double EvaluateMethodOnSplits(uplift::RoiModel* model,
+                              const DatasetSplits& splits);
+
+/// Runs a list of methods over one (dataset, setting). Splits are built
+/// once and shared by all methods.
+std::vector<OfflineCell> RunSetting(DatasetId dataset, Setting setting,
+                                    const std::vector<MethodSpec>& methods,
+                                    const SplitSizes& sizes, uint64_t seed,
+                                    bool verbose = false);
+
+/// Full offline sweep: every (dataset, setting) pair for the given
+/// methods — the raw material for Table I / Table II.
+std::vector<OfflineCell> RunOfflineSweep(
+    const std::vector<MethodSpec>& methods, const SplitSizes& sizes,
+    uint64_t seed, bool verbose = false);
+
+}  // namespace roicl::exp
+
+#endif  // ROICL_EXP_RUNNER_H_

@@ -1,0 +1,33 @@
+#include "exp/setting.h"
+
+namespace roicl::exp {
+
+const std::vector<Setting>& AllSettings() {
+  static const std::vector<Setting>& settings = *new std::vector<Setting>{
+      Setting::kSuNo, Setting::kSuCo, Setting::kInNo, Setting::kInCo};
+  return settings;
+}
+
+std::string SettingName(Setting setting) {
+  switch (setting) {
+    case Setting::kSuNo:
+      return "SuNo";
+    case Setting::kSuCo:
+      return "SuCo";
+    case Setting::kInNo:
+      return "InNo";
+    case Setting::kInCo:
+      return "InCo";
+  }
+  return "?";
+}
+
+bool IsSufficient(Setting setting) {
+  return setting == Setting::kSuNo || setting == Setting::kSuCo;
+}
+
+bool HasCovariateShift(Setting setting) {
+  return setting == Setting::kSuCo || setting == Setting::kInCo;
+}
+
+}  // namespace roicl::exp

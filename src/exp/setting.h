@@ -1,0 +1,34 @@
+#ifndef ROICL_EXP_SETTING_H_
+#define ROICL_EXP_SETTING_H_
+
+#include <string>
+#include <vector>
+
+namespace roicl::exp {
+
+/// The four evaluation settings of §V-A, crossing data volume with
+/// deployment-time covariate shift.
+enum class Setting {
+  kSuNo,  ///< Sufficient data, No covariate shift.
+  kSuCo,  ///< Sufficient data, Covariate shift.
+  kInNo,  ///< Insufficient data, No covariate shift.
+  kInCo,  ///< Insufficient data, Covariate shift.
+};
+
+/// All four settings in the paper's table order.
+const std::vector<Setting>& AllSettings();
+
+/// "SuNo", "SuCo", "InNo", "InCo".
+std::string SettingName(Setting setting);
+
+/// True for kSuNo and kSuCo.
+bool IsSufficient(Setting setting);
+
+/// True for kSuCo and kInCo: the calibration and test sets are drawn from
+/// the shifted mixture (the training distribution is never altered, per
+/// the paper's protocol).
+bool HasCovariateShift(Setting setting);
+
+}  // namespace roicl::exp
+
+#endif  // ROICL_EXP_SETTING_H_

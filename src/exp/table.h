@@ -1,0 +1,34 @@
+#ifndef ROICL_EXP_TABLE_H_
+#define ROICL_EXP_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace roicl::exp {
+
+/// Minimal fixed-width text/markdown table builder used by the bench
+/// binaries to print paper-style tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with the paper's 4-decimal convention.
+  static std::string Num(double value, int precision = 4);
+
+  /// Renders as a markdown pipe table with aligned columns.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace roicl::exp
+
+#endif  // ROICL_EXP_TABLE_H_

@@ -1,0 +1,155 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+
+namespace roicl {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(static_cast<int>(rows.size())), cols_(0) {
+  if (rows_ == 0) return;
+  cols_ = static_cast<int>(rows.begin()->size());
+  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (const auto& row : rows) {
+    ROICL_CHECK_MSG(static_cast<int>(row.size()) == cols_,
+                    "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix m(static_cast<int>(values.size()), 1);
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Row(int r) const {
+  const double* p = RowPtr(r);
+  return std::vector<double>(p, p + cols_);
+}
+
+std::vector<double> Matrix::Col(int c) const {
+  ROICL_CHECK(c >= 0 && c < cols_);
+  std::vector<double> out(rows_);
+  for (int r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<int>& indices) const {
+  Matrix out(static_cast<int>(indices.size()), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int r = indices[i];
+    ROICL_CHECK(r >= 0 && r < rows_);
+    std::copy(RowPtr(r), RowPtr(r) + cols_, out.RowPtr(static_cast<int>(i)));
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    for (int c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  ROICL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  ROICL_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+void Matrix::AppendRow(const std::vector<double>& row) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = static_cast<int>(row.size());
+  }
+  ROICL_CHECK_MSG(static_cast<int>(row.size()) == cols_,
+                  "AppendRow size mismatch: %zu vs %d", row.size(), cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  ROICL_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order keeps the inner loop contiguous for row-major storage.
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+std::vector<double> Matvec(const Matrix& a, const std::vector<double>& x) {
+  ROICL_CHECK(a.cols() == static_cast<int>(x.size()));
+  std::vector<double> y(a.rows(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* row = a.RowPtr(i);
+    double acc = 0.0;
+    for (int j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  ROICL_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+std::vector<double> ColumnSums(const Matrix& a) {
+  std::vector<double> sums(a.cols(), 0.0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowPtr(r);
+    for (int c = 0; c < a.cols(); ++c) sums[c] += row[c];
+  }
+  return sums;
+}
+
+Matrix HStack(const Matrix& a, const Matrix& b) {
+  ROICL_CHECK(a.rows() == b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    std::copy(a.RowPtr(r), a.RowPtr(r) + a.cols(), out.RowPtr(r));
+    std::copy(b.RowPtr(r), b.RowPtr(r) + b.cols(), out.RowPtr(r) + a.cols());
+  }
+  return out;
+}
+
+Matrix VStack(const Matrix& a, const Matrix& b) {
+  if (a.rows() == 0) return b;
+  if (b.rows() == 0) return a;
+  ROICL_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  std::copy(a.data().begin(), a.data().end(), out.data().begin());
+  std::copy(b.data().begin(), b.data().end(),
+            out.data().begin() + a.data().size());
+  return out;
+}
+
+}  // namespace roicl

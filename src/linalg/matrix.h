@@ -1,0 +1,108 @@
+#ifndef ROICL_LINALG_MATRIX_H_
+#define ROICL_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace roicl {
+
+/// Dense row-major matrix of doubles. The workhorse container for feature
+/// matrices and neural-network activations. Copyable and movable.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    ROICL_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Creates a matrix from nested initializer lists (row major); all rows
+  /// must have equal length. Intended for tests and small fixtures.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds a single-column matrix from a vector.
+  static Matrix ColumnVector(const std::vector<double>& values);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    ROICL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    ROICL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Raw row pointer (row-major storage).
+  double* RowPtr(int r) {
+    ROICL_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  const double* RowPtr(int r) const {
+    ROICL_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Copies row r into a vector.
+  std::vector<double> Row(int r) const;
+
+  /// Copies column c into a vector.
+  std::vector<double> Col(int c) const;
+
+  /// Returns a new matrix holding the given subset of rows, in order.
+  Matrix SelectRows(const std::vector<int>& indices) const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Appends a row (must match cols(), or set cols on first row).
+  void AppendRow(const std::vector<double>& row);
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Requires A.cols() == B.rows().
+Matrix Matmul(const Matrix& a, const Matrix& b);
+
+/// y = A * x for a column vector x (size A.cols()).
+std::vector<double> Matvec(const Matrix& a, const std::vector<double>& x);
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Sum over rows: returns a vector of length a.cols().
+std::vector<double> ColumnSums(const Matrix& a);
+
+/// Horizontal concatenation [a | b]; row counts must match.
+Matrix HStack(const Matrix& a, const Matrix& b);
+
+/// Vertical concatenation; column counts must match.
+Matrix VStack(const Matrix& a, const Matrix& b);
+
+}  // namespace roicl
+
+#endif  // ROICL_LINALG_MATRIX_H_

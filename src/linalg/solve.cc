@@ -1,0 +1,105 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+namespace roicl {
+
+Status CholeskyDecompose(const Matrix& a, Matrix* lower) {
+  ROICL_CHECK(lower != nullptr);
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  int n = a.rows();
+  Matrix l(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::InvalidArgument(
+              "matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  *lower = std::move(l);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
+                                            const std::vector<double>& b) {
+  if (a.rows() != static_cast<int>(b.size())) {
+    return Status::InvalidArgument("dimension mismatch in CholeskySolve");
+  }
+  Matrix l;
+  Status status = CholeskyDecompose(a, &l);
+  if (!status.ok()) return status;
+  int n = a.rows();
+  // Forward substitution: L z = b.
+  std::vector<double> z(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= l(i, k) * z[k];
+    z[i] = sum / l(i, i);
+  }
+  // Back substitution: L^T x = z.
+  std::vector<double> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = z[i];
+    for (int k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+StatusOr<std::vector<double>> SolveRidge(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double lambda,
+                                         bool fit_intercept) {
+  if (x.rows() != static_cast<int>(y.size())) {
+    return Status::InvalidArgument("row count of X must match length of y");
+  }
+  if (x.rows() == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be non-negative");
+  }
+  int n = x.rows();
+  int d = x.cols() + (fit_intercept ? 1 : 0);
+
+  // Normal equations: (X^T X + lambda I) w = X^T y, built directly so we
+  // never materialize the augmented design matrix.
+  Matrix gram(d, d);
+  std::vector<double> xty(d, 0.0);
+  for (int r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (int i = 0; i < x.cols(); ++i) {
+      xty[i] += row[i] * y[r];
+      for (int j = i; j < x.cols(); ++j) gram(i, j) += row[i] * row[j];
+    }
+    if (fit_intercept) {
+      int b = d - 1;
+      xty[b] += y[r];
+      for (int i = 0; i < x.cols(); ++i) gram(i, b) += row[i];
+      gram(b, b) += 1.0;
+    }
+  }
+  // Mirror the upper triangle and add the ridge penalty (skipping the
+  // intercept coordinate).
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+  }
+  int penalized = fit_intercept ? d - 1 : d;
+  for (int i = 0; i < penalized; ++i) gram(i, i) += lambda;
+  // Tiny jitter on the diagonal keeps rank-deficient designs solvable.
+  for (int i = 0; i < d; ++i) gram(i, i) += 1e-10;
+
+  return CholeskySolve(gram, xty);
+}
+
+}  // namespace roicl

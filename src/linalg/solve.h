@@ -1,0 +1,30 @@
+#ifndef ROICL_LINALG_SOLVE_H_
+#define ROICL_LINALG_SOLVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace roicl {
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+/// On success `*lower` holds L with A = L * L^T.
+Status CholeskyDecompose(const Matrix& a, Matrix* lower);
+
+/// Solves A x = b for SPD A via Cholesky. Returns InvalidArgument when A is
+/// not positive definite (within numerical tolerance).
+StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
+                                            const std::vector<double>& b);
+
+/// Ridge regression: minimizes ||X w - y||^2 + lambda ||w||^2 (no penalty
+/// on the intercept, which is appended internally when `fit_intercept`).
+/// Returns the weight vector; the last entry is the intercept when fitted.
+StatusOr<std::vector<double>> SolveRidge(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double lambda,
+                                         bool fit_intercept = true);
+
+}  // namespace roicl
+
+#endif  // ROICL_LINALG_SOLVE_H_

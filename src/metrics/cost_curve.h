@@ -1,0 +1,49 @@
+#ifndef ROICL_METRICS_COST_CURVE_H_
+#define ROICL_METRICS_COST_CURVE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace roicl::metrics {
+
+/// One point of the cost curve: after targeting the top-k individuals by
+/// predicted ROI, the estimated cumulative incremental cost and revenue
+/// (both in absolute units, computed from the RCT arms inside the top-k
+/// prefix as in Du et al. 2019).
+struct CostCurvePoint {
+  int k = 0;
+  double cumulative_cost = 0.0;
+  double cumulative_revenue = 0.0;
+};
+
+/// The full cost curve for a score vector over an RCT evaluation set.
+struct CostCurve {
+  std::vector<CostCurvePoint> points;
+  /// Totals at k = n, used for normalization.
+  double total_cost = 0.0;
+  double total_revenue = 0.0;
+};
+
+/// Builds the cost curve: sort by `scores` descending (ties broken by
+/// index for determinism), then for every prefix estimate incremental
+/// revenue and cost via within-prefix difference-in-means scaled by the
+/// prefix size. Prefixes missing one of the arms contribute (0, 0).
+CostCurve ComputeCostCurve(const std::vector<double>& scores,
+                           const RctDataset& dataset);
+
+/// Area under the cost curve (Table I / Table II metric).
+///
+/// The curve is normalized so that the final point maps to (1, 1); the
+/// area is the line integral of normalized revenue over normalized cost
+/// (trapezoid rule). Random targeting gives ~0.5; a perfect ROI ranking
+/// approaches the concave upper envelope. Degenerate evaluations (non-
+/// positive total cost or revenue lift) return 0.5.
+double Aucc(const std::vector<double>& scores, const RctDataset& dataset);
+
+/// AUCC of the oracle ranking (true ROI), available on synthetic data.
+double OracleAucc(const RctDataset& dataset);
+
+}  // namespace roicl::metrics
+
+#endif  // ROICL_METRICS_COST_CURVE_H_

@@ -1,0 +1,24 @@
+#include "metrics/coverage.h"
+
+#include "common/macros.h"
+
+namespace roicl::metrics {
+
+CoverageReport EvaluateCoverage(const std::vector<Interval>& intervals,
+                                const std::vector<double>& targets) {
+  ROICL_CHECK(intervals.size() == targets.size());
+  ROICL_CHECK(!intervals.empty());
+  CoverageReport report;
+  report.n = static_cast<int>(intervals.size());
+  double covered = 0.0;
+  double width_sum = 0.0;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    covered += intervals[i].Contains(targets[i]) ? 1.0 : 0.0;
+    width_sum += intervals[i].width();
+  }
+  report.coverage = covered / static_cast<double>(report.n);
+  report.mean_width = width_sum / static_cast<double>(report.n);
+  return report;
+}
+
+}  // namespace roicl::metrics

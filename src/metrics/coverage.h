@@ -1,0 +1,31 @@
+#ifndef ROICL_METRICS_COVERAGE_H_
+#define ROICL_METRICS_COVERAGE_H_
+
+#include <vector>
+
+namespace roicl::metrics {
+
+/// A prediction interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/// Summary of interval quality against known targets.
+struct CoverageReport {
+  double coverage = 0.0;    ///< fraction of targets inside their interval.
+  double mean_width = 0.0;  ///< average interval width.
+  int n = 0;
+};
+
+/// Fraction of `targets[i]` contained in `intervals[i]`, plus mean width.
+/// Sizes must match and be non-zero.
+CoverageReport EvaluateCoverage(const std::vector<Interval>& intervals,
+                                const std::vector<double>& targets);
+
+}  // namespace roicl::metrics
+
+#endif  // ROICL_METRICS_COVERAGE_H_

@@ -1,0 +1,21 @@
+#ifndef ROICL_METRICS_QINI_H_
+#define ROICL_METRICS_QINI_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace roicl::metrics {
+
+/// Qini coefficient of a score ranking for a single outcome column
+/// (revenue by default). Not used by the paper's tables, but a standard
+/// uplift diagnostic worth having next to AUCC: area between the Qini
+/// curve of the ranking and the random-targeting diagonal, normalized by
+/// population size and endpoint lift (scale-free), so 0 = random and
+/// larger is better.
+double QiniCoefficient(const std::vector<double>& scores,
+                       const RctDataset& dataset, bool use_revenue = true);
+
+}  // namespace roicl::metrics
+
+#endif  // ROICL_METRICS_QINI_H_

@@ -1,0 +1,42 @@
+#include "nn/dropout.h"
+
+#include "common/macros.h"
+
+namespace roicl::nn {
+
+Dropout::Dropout(double rate) : rate_(rate) {
+  ROICL_CHECK(rate >= 0.0 && rate < 1.0);
+}
+
+Matrix Dropout::Forward(const Matrix& input, Mode mode, Rng* rng) {
+  if (mode == Mode::kInfer || rate_ == 0.0) {
+    mask_ = Matrix();
+    return input;
+  }
+  ROICL_CHECK_MSG(rng != nullptr, "stochastic dropout needs an Rng");
+  double keep = 1.0 - rate_;
+  double scale = 1.0 / keep;
+  mask_ = Matrix(input.rows(), input.cols());
+  Matrix out = input;
+  std::vector<double>& m = mask_.data();
+  std::vector<double>& o = out.data();
+  for (size_t i = 0; i < o.size(); ++i) {
+    double keep_scale = rng->Bernoulli(keep) ? scale : 0.0;
+    m[i] = keep_scale;
+    o[i] *= keep_scale;
+  }
+  return out;
+}
+
+Matrix Dropout::Backward(const Matrix& grad_output) {
+  if (mask_.empty()) return grad_output;  // identity pass (kInfer / rate 0)
+  ROICL_CHECK(mask_.rows() == grad_output.rows() &&
+              mask_.cols() == grad_output.cols());
+  Matrix grad = grad_output;
+  const std::vector<double>& m = mask_.data();
+  std::vector<double>& g = grad.data();
+  for (size_t i = 0; i < g.size(); ++i) g[i] *= m[i];
+  return grad;
+}
+
+}  // namespace roicl::nn

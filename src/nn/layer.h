@@ -1,0 +1,55 @@
+#ifndef ROICL_NN_LAYER_H_
+#define ROICL_NN_LAYER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace roicl::nn {
+
+/// Forward-pass mode.
+///
+/// kMcSample is the Monte-Carlo-dropout mode of Gal & Ghahramani (2016)
+/// used by rDRP: dropout stays *active* at inference so that repeated
+/// forward passes sample from the approximate posterior, while every other
+/// layer behaves as in plain inference.
+enum class Mode {
+  kTrain,
+  kInfer,
+  kMcSample,
+};
+
+/// A differentiable layer. Layers own their parameters and accumulated
+/// gradients and cache whatever activations their backward pass needs, so
+/// Forward/Backward must be called in matched pairs.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch (rows = samples).
+  /// `rng` is only consulted by stochastic layers (dropout) and may be
+  /// nullptr in kInfer mode.
+  virtual Matrix Forward(const Matrix& input, Mode mode, Rng* rng) = 0;
+
+  /// Propagates `grad_output` (dLoss/dOutput) backwards, accumulating
+  /// parameter gradients, and returns dLoss/dInput.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Mutable views of parameters and their gradient buffers (same order).
+  virtual std::vector<Matrix*> Params() { return {}; }
+  virtual std::vector<Matrix*> Grads() { return {}; }
+
+  /// Clears accumulated gradients.
+  void ZeroGrads() {
+    for (Matrix* g : Grads()) *g *= 0.0;
+  }
+
+  /// Deep copy (used to snapshot the best model during early stopping).
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+};
+
+}  // namespace roicl::nn
+
+#endif  // ROICL_NN_LAYER_H_

@@ -1,0 +1,46 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace roicl::nn {
+
+double MseLoss::Compute(const Matrix& preds, const std::vector<int>& index,
+                        Matrix* grad) const {
+  ROICL_CHECK(grad != nullptr && targets_ != nullptr);
+  ROICL_CHECK(preds.cols() == 1);
+  ROICL_CHECK(preds.rows() == static_cast<int>(index.size()));
+  *grad = Matrix(preds.rows(), 1);
+  double n = static_cast<double>(preds.rows());
+  double loss = 0.0;
+  for (int i = 0; i < preds.rows(); ++i) {
+    double target = (*targets_)[index[i]];
+    double diff = preds(i, 0) - target;
+    loss += diff * diff;
+    (*grad)(i, 0) = 2.0 * diff / n;
+  }
+  return loss / n;
+}
+
+double BceWithLogitsLoss::Compute(const Matrix& preds,
+                                  const std::vector<int>& index,
+                                  Matrix* grad) const {
+  ROICL_CHECK(grad != nullptr && targets_ != nullptr);
+  ROICL_CHECK(preds.cols() == 1);
+  ROICL_CHECK(preds.rows() == static_cast<int>(index.size()));
+  *grad = Matrix(preds.rows(), 1);
+  double n = static_cast<double>(preds.rows());
+  double loss = 0.0;
+  for (int i = 0; i < preds.rows(); ++i) {
+    double y = (*targets_)[index[i]];
+    double z = preds(i, 0);
+    // Stable softplus form: BCE = max(z,0) - z*y + log(1 + exp(-|z|)).
+    loss += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
+    (*grad)(i, 0) = (Sigmoid(z) - y) / n;
+  }
+  return loss / n;
+}
+
+}  // namespace roicl::nn

@@ -1,0 +1,96 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace roicl::nn {
+namespace {
+
+void CheckAligned(const std::vector<Matrix*>& params,
+                  const std::vector<Matrix*>& grads) {
+  ROICL_CHECK(params.size() == grads.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    ROICL_CHECK(params[i] != nullptr && grads[i] != nullptr);
+    ROICL_CHECK(params[i]->size() == grads[i]->size());
+  }
+}
+
+void LazyInitState(const std::vector<Matrix*>& params,
+                   std::vector<Matrix>* state) {
+  if (!state->empty()) {
+    ROICL_CHECK_MSG(state->size() == params.size(),
+                    "optimizer reused with a different parameter list");
+    return;
+  }
+  state->reserve(params.size());
+  for (const Matrix* p : params) {
+    state->emplace_back(p->rows(), p->cols());
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
+    : learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  ROICL_CHECK(learning_rate > 0.0);
+  ROICL_CHECK(momentum >= 0.0 && momentum < 1.0);
+  ROICL_CHECK(weight_decay >= 0.0);
+}
+
+void Sgd::Step(const std::vector<Matrix*>& params,
+               const std::vector<Matrix*>& grads) {
+  CheckAligned(params, grads);
+  LazyInitState(params, &velocity_);
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::vector<double>& p = params[i]->data();
+    const std::vector<double>& g = grads[i]->data();
+    std::vector<double>& v = velocity_[i].data();
+    for (size_t k = 0; k < p.size(); ++k) {
+      v[k] = momentum_ * v[k] + g[k];
+      p[k] -= learning_rate_ * (v[k] + weight_decay_ * p[k]);
+    }
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon,
+           double weight_decay)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  ROICL_CHECK(learning_rate > 0.0);
+  ROICL_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  ROICL_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  ROICL_CHECK(epsilon > 0.0);
+  ROICL_CHECK(weight_decay >= 0.0);
+}
+
+void Adam::Step(const std::vector<Matrix*>& params,
+                const std::vector<Matrix*>& grads) {
+  CheckAligned(params, grads);
+  LazyInitState(params, &m_);
+  LazyInitState(params, &v_);
+  ++step_;
+  double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::vector<double>& p = params[i]->data();
+    const std::vector<double>& g = grads[i]->data();
+    std::vector<double>& m = m_[i].data();
+    std::vector<double>& v = v_[i].data();
+    for (size_t k = 0; k < p.size(); ++k) {
+      m[k] = beta1_ * m[k] + (1.0 - beta1_) * g[k];
+      v[k] = beta2_ * v[k] + (1.0 - beta2_) * g[k] * g[k];
+      double m_hat = m[k] / bias1;
+      double v_hat = v[k] / bias2;
+      p[k] -= learning_rate_ *
+              (m_hat / (std::sqrt(v_hat) + epsilon_) + weight_decay_ * p[k]);
+    }
+  }
+}
+
+}  // namespace roicl::nn

@@ -1,0 +1,72 @@
+#ifndef ROICL_NN_OPTIMIZER_H_
+#define ROICL_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace roicl::nn {
+
+/// First-order optimizer over a flat list of (param, grad) matrix pairs.
+/// State (momentum/moment buffers) is allocated lazily on the first Step
+/// and keyed by position, so the same param list must be passed each time.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients. Does NOT zero the
+  /// gradients; the trainer owns that.
+  virtual void Step(const std::vector<Matrix*>& params,
+                    const std::vector<Matrix*>& grads) = 0;
+
+  /// Drops internal state (e.g. before refitting a cloned model).
+  virtual void Reset() = 0;
+};
+
+/// SGD with classical momentum and optional decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0,
+               double weight_decay = 0.0);
+
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  void Reset() override { velocity_.clear(); }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with optional decoupled weight decay (AdamW).
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8,
+                double weight_decay = 0.0);
+
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<Matrix*>& grads) override;
+  void Reset() override {
+    m_.clear();
+    v_.clear();
+    step_ = 0;
+  }
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  double weight_decay_;
+  long step_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace roicl::nn
+
+#endif  // ROICL_NN_OPTIMIZER_H_

@@ -1,0 +1,148 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "nn/activation.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+
+namespace roicl::nn {
+namespace {
+
+constexpr char kMagic[] = "roicl-mlp-v1";
+
+const char* ActivationName(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kRelu:
+      return "relu";
+    case ActivationKind::kElu:
+      return "elu";
+    case ActivationKind::kSigmoid:
+      return "sigmoid";
+    case ActivationKind::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+StatusOr<ActivationKind> ActivationFromName(const std::string& name) {
+  if (name == "relu") return ActivationKind::kRelu;
+  if (name == "elu") return ActivationKind::kElu;
+  if (name == "sigmoid") return ActivationKind::kSigmoid;
+  if (name == "tanh") return ActivationKind::kTanh;
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
+void WriteMatrix(const Matrix& m, std::ostream& out) {
+  out << m.rows() << ' ' << m.cols();
+  for (double v : m.data()) out << ' ' << v;
+  out << '\n';
+}
+
+StatusOr<Matrix> ReadMatrix(std::istream& in) {
+  int rows = 0, cols = 0;
+  if (!(in >> rows >> cols) || rows < 0 || cols < 0) {
+    return Status::InvalidArgument("malformed matrix header");
+  }
+  Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    if (!(in >> v)) return Status::InvalidArgument("truncated matrix data");
+  }
+  return m;
+}
+
+}  // namespace
+
+Status SaveMlp(Mlp& net, std::ostream& out) {
+  out << kMagic << '\n' << net.num_layers() << '\n';
+  out << std::setprecision(17);
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    Layer* layer = net.layer(l);
+    if (auto* dense = dynamic_cast<Dense*>(layer)) {
+      out << "dense " << dense->in_features() << ' '
+          << dense->out_features() << '\n';
+      std::vector<Matrix*> params = dense->Params();
+      WriteMatrix(*params[0], out);
+      WriteMatrix(*params[1], out);
+    } else if (auto* activation = dynamic_cast<Activation*>(layer)) {
+      out << "activation " << ActivationName(activation->kind()) << '\n';
+    } else if (auto* dropout = dynamic_cast<Dropout*>(layer)) {
+      out << "dropout " << dropout->rate() << '\n';
+    } else {
+      return Status::InvalidArgument("unserializable layer type");
+    }
+  }
+  if (!out) return Status::IoError("stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<Mlp> LoadMlp(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad magic (expected roicl-mlp-v1)");
+  }
+  size_t num_layers = 0;
+  if (!(in >> num_layers) || num_layers > 10000) {
+    return Status::InvalidArgument("bad layer count");
+  }
+  Mlp net;
+  for (size_t l = 0; l < num_layers; ++l) {
+    std::string kind;
+    if (!(in >> kind)) return Status::InvalidArgument("truncated layers");
+    if (kind == "dense") {
+      int in_features = 0, out_features = 0;
+      if (!(in >> in_features >> out_features) || in_features <= 0 ||
+          out_features <= 0) {
+        return Status::InvalidArgument("bad dense header");
+      }
+      auto dense = std::make_unique<Dense>(in_features, out_features,
+                                           Init::kZero, nullptr);
+      StatusOr<Matrix> weights = ReadMatrix(in);
+      if (!weights.ok()) return weights.status();
+      StatusOr<Matrix> bias = ReadMatrix(in);
+      if (!bias.ok()) return bias.status();
+      if (weights.value().rows() != in_features ||
+          weights.value().cols() != out_features ||
+          bias.value().rows() != 1 ||
+          bias.value().cols() != out_features) {
+        return Status::InvalidArgument("dense parameter shape mismatch");
+      }
+      std::vector<Matrix*> params = dense->Params();
+      *params[0] = std::move(weights).value();
+      *params[1] = std::move(bias).value();
+      net.Add(std::move(dense));
+    } else if (kind == "activation") {
+      std::string name;
+      if (!(in >> name)) return Status::InvalidArgument("bad activation");
+      StatusOr<ActivationKind> activation = ActivationFromName(name);
+      if (!activation.ok()) return activation.status();
+      net.Add(std::make_unique<Activation>(activation.value()));
+    } else if (kind == "dropout") {
+      double rate = 0.0;
+      if (!(in >> rate) || rate < 0.0 || rate >= 1.0) {
+        return Status::InvalidArgument("bad dropout rate");
+      }
+      net.Add(std::make_unique<Dropout>(rate));
+    } else {
+      return Status::InvalidArgument("unknown layer kind: " + kind);
+    }
+  }
+  return net;
+}
+
+Status SaveMlpToFile(Mlp& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return SaveMlp(net, out);
+}
+
+StatusOr<Mlp> LoadMlpFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return LoadMlp(in);
+}
+
+}  // namespace roicl::nn

@@ -1,0 +1,27 @@
+#ifndef ROICL_NN_SERIALIZE_H_
+#define ROICL_NN_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/status.h"
+#include "nn/mlp.h"
+
+namespace roicl::nn {
+
+/// Writes an Mlp — architecture and parameters — to a stream in a simple
+/// line-oriented text format ("roicl-mlp-v1"). Deterministic and
+/// diff-friendly; weights are printed with 17 significant digits so a
+/// save/load round trip is bit-exact for doubles.
+Status SaveMlp(Mlp& net, std::ostream& out);
+
+/// Reads an Mlp previously written by SaveMlp.
+StatusOr<Mlp> LoadMlp(std::istream& in);
+
+/// Convenience file wrappers.
+Status SaveMlpToFile(Mlp& net, const std::string& path);
+StatusOr<Mlp> LoadMlpFromFile(const std::string& path);
+
+}  // namespace roicl::nn
+
+#endif  // ROICL_NN_SERIALIZE_H_

@@ -1,0 +1,88 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace roicl::nn {
+
+double EvaluateLoss(Network* net, const Matrix& x, const std::vector<int>& index,
+                    const BatchLoss& loss) {
+  ROICL_CHECK(net != nullptr);
+  ROICL_CHECK(!index.empty());
+  Matrix batch = x.SelectRows(index);
+  Matrix preds = net->Forward(batch, Mode::kInfer, nullptr);
+  Matrix grad;
+  return loss.Compute(preds, index, &grad);
+}
+
+TrainResult TrainNetwork(Network* net, const Matrix& x,
+                         const std::vector<int>& train_index,
+                         const std::vector<int>& validation_index,
+                         const BatchLoss& loss, const TrainConfig& config) {
+  ROICL_CHECK(net != nullptr);
+  ROICL_CHECK(!train_index.empty());
+  ROICL_CHECK(config.epochs > 0);
+  ROICL_CHECK(config.batch_size > 0);
+
+  Rng rng(config.seed, /*stream=*/7);
+  Adam optimizer(config.learning_rate, 0.9, 0.999, 1e-8,
+                 config.weight_decay);
+
+  std::vector<int> order = train_index;
+  bool use_early_stop = config.patience > 0 && !validation_index.empty();
+  double best_val = std::numeric_limits<double>::infinity();
+  int epochs_since_best = 0;
+  std::vector<Matrix> best_snapshot;
+
+  TrainResult result;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      size_t end = std::min(order.size(),
+                            start + static_cast<size_t>(config.batch_size));
+      std::vector<int> batch_index(order.begin() + start,
+                                   order.begin() + end);
+      Matrix batch = x.SelectRows(batch_index);
+      Matrix preds = net->Forward(batch, Mode::kTrain, &rng);
+      Matrix grad;
+      epoch_loss += loss.Compute(preds, batch_index, &grad);
+      ++batches;
+      net->ZeroGrads();
+      net->Backward(grad);
+      optimizer.Step(net->Params(), net->Grads());
+    }
+    result.final_train_loss = batches > 0 ? epoch_loss / batches : 0.0;
+    result.epochs_run = epoch + 1;
+
+    if (use_early_stop) {
+      double val = EvaluateLoss(net, x, validation_index, loss);
+      if (val < best_val - 1e-12) {
+        best_val = val;
+        epochs_since_best = 0;
+        best_snapshot = net->SnapshotParams();
+      } else {
+        ++epochs_since_best;
+        if (epochs_since_best >= config.patience) {
+          net->RestoreParams(best_snapshot);
+          result.early_stopped = true;
+          break;
+        }
+      }
+    }
+  }
+  if (use_early_stop && !result.early_stopped &&
+      best_val < std::numeric_limits<double>::infinity()) {
+    // Training ran to the epoch limit; still hand back the best snapshot.
+    double final_val = EvaluateLoss(net, x, validation_index, loss);
+    if (best_val < final_val) net->RestoreParams(best_snapshot);
+  }
+  result.best_validation_loss = best_val;
+  return result;
+}
+
+}  // namespace roicl::nn

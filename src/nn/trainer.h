@@ -1,0 +1,51 @@
+#ifndef ROICL_NN_TRAINER_H_
+#define ROICL_NN_TRAINER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace roicl::nn {
+
+/// Mini-batch training configuration.
+struct TrainConfig {
+  int epochs = 50;
+  int batch_size = 256;
+  double learning_rate = 1e-3;
+  double weight_decay = 0.0;
+  /// When > 0 and a validation index set is supplied, training stops after
+  /// `patience` epochs without validation-loss improvement and the best
+  /// snapshot is restored.
+  int patience = 0;
+  uint64_t seed = 42;
+};
+
+/// Result of a training run.
+struct TrainResult {
+  double final_train_loss = 0.0;
+  double best_validation_loss = 0.0;
+  int epochs_run = 0;
+  bool early_stopped = false;
+};
+
+/// Shuffled mini-batch SGD loop shared by every neural model in the repo.
+///
+/// `x` holds the full feature matrix; `train_index` selects training rows
+/// and `validation_index` (optional, may be empty) rows used for early
+/// stopping. The loss looks labels up by dataset row id, so one loss object
+/// serves both sets.
+TrainResult TrainNetwork(Network* net, const Matrix& x,
+                         const std::vector<int>& train_index,
+                         const std::vector<int>& validation_index,
+                         const BatchLoss& loss, const TrainConfig& config);
+
+/// Evaluates `loss` on the given rows in inference mode (no dropout).
+double EvaluateLoss(Network* net, const Matrix& x, const std::vector<int>& index,
+                    const BatchLoss& loss);
+
+}  // namespace roicl::nn
+
+#endif  // ROICL_NN_TRAINER_H_

@@ -1,0 +1,113 @@
+#include "synth/multi_treatment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace roicl::synth {
+
+double MultiTreatmentDataset::TrueRoi(int i, int arm) const {
+  ROICL_CHECK(arm >= 1 && arm <= num_arms());
+  ROICL_CHECK(i >= 0 && i < n());
+  double tau_c = true_tau_c[arm - 1][i];
+  ROICL_CHECK(tau_c > 0.0);
+  return true_tau_r[arm - 1][i] / tau_c;
+}
+
+RctDataset MultiTreatmentDataset::BinarySubproblem(int arm) const {
+  ROICL_CHECK(arm >= 1 && arm <= num_arms());
+  std::vector<int> keep;
+  for (int i = 0; i < n(); ++i) {
+    if (treatment[i] == 0 || treatment[i] == arm) keep.push_back(i);
+  }
+  RctDataset out;
+  out.x = x.SelectRows(keep);
+  out.treatment.reserve(keep.size());
+  out.y_revenue.reserve(keep.size());
+  out.y_cost.reserve(keep.size());
+  out.true_tau_r.reserve(keep.size());
+  out.true_tau_c.reserve(keep.size());
+  for (int i : keep) {
+    out.treatment.push_back(treatment[i] == arm ? 1 : 0);
+    out.y_revenue.push_back(y_revenue[i]);
+    out.y_cost.push_back(y_cost[i]);
+    out.true_tau_r.push_back(true_tau_r[arm - 1][i]);
+    out.true_tau_c.push_back(true_tau_c[arm - 1][i]);
+  }
+  return out;
+}
+
+MultiTreatmentGenerator::MultiTreatmentGenerator(
+    const SyntheticConfig& base_config, std::vector<ArmEffect> arms)
+    : base_(base_config), arms_(std::move(arms)) {
+  ROICL_CHECK(!arms_.empty());
+  const SyntheticConfig& config = base_.config();
+  // The base rate can run up to 1.5x its nominal value (see
+  // SyntheticGenerator::BaseCostRate); every arm's scaled cost effect must
+  // keep the treated outcome probability a genuine probability, otherwise
+  // clamping would silently decouple realized lifts from the oracle
+  // columns.
+  double max_base = std::min(0.6, 1.5 * config.base_cost_rate);
+  for (const ArmEffect& arm : arms_) {
+    ROICL_CHECK_MSG(arm.cost_scale > 0.0, "cost_scale must be positive");
+    ROICL_CHECK_MSG(
+        max_base + arm.cost_scale * config.tau_c_hi <= 0.995,
+        "arm cost_scale %.2f saturates the outcome probability "
+        "(base<=%.2f, tau_c_hi=%.2f); shrink tau_c_hi or the scale",
+        arm.cost_scale, max_base, config.tau_c_hi);
+  }
+}
+
+double MultiTreatmentGenerator::TauC(const double* x, int arm) const {
+  ROICL_CHECK(arm >= 1 && arm <= num_arms());
+  return arms_[arm - 1].cost_scale * base_.TauC(x);
+}
+
+double MultiTreatmentGenerator::TauR(const double* x, int arm) const {
+  ROICL_CHECK(arm >= 1 && arm <= num_arms());
+  double roi = Clamp(base_.Roi(x) + arms_[arm - 1].roi_shift, 0.02, 0.98);
+  return roi * TauC(x, arm);
+}
+
+MultiTreatmentDataset MultiTreatmentGenerator::Generate(int n, bool shifted,
+                                                        Rng* rng) const {
+  ROICL_CHECK(rng != nullptr);
+  ROICL_CHECK(n > 0);
+  // Draw features (and segments) from the base generator, then overwrite
+  // treatment assignment and outcomes with the multi-arm mechanism.
+  RctDataset base_draw = base_.Generate(n, shifted, rng);
+
+  MultiTreatmentDataset data;
+  data.x = std::move(base_draw.x);
+  data.treatment.resize(n);
+  data.y_revenue.resize(n);
+  data.y_cost.resize(n);
+  data.true_tau_r.assign(num_arms(), std::vector<double>(n));
+  data.true_tau_c.assign(num_arms(), std::vector<double>(n));
+
+  for (int i = 0; i < n; ++i) {
+    const double* row = data.x.RowPtr(i);
+    for (int k = 1; k <= num_arms(); ++k) {
+      data.true_tau_c[k - 1][i] = TauC(row, k);
+      data.true_tau_r[k - 1][i] = TauR(row, k);
+    }
+    // Uniform assignment over {control, arm 1, .., arm K}.
+    int t = static_cast<int>(rng->UniformInt(
+        static_cast<uint32_t>(num_arms() + 1)));
+    data.treatment[i] = t;
+    double p_cost = base_.BaseCostRate(row);
+    double p_rev = base_.BaseRevenueRate(row);
+    if (t > 0) {
+      p_cost += data.true_tau_c[t - 1][i];
+      p_rev += data.true_tau_r[t - 1][i];
+    }
+    data.y_cost[i] = rng->Bernoulli(Clamp(p_cost, 0.0, 0.99)) ? 1.0 : 0.0;
+    data.y_revenue[i] =
+        rng->Bernoulli(Clamp(p_rev, 0.0, 0.99)) ? 1.0 : 0.0;
+  }
+  return data;
+}
+
+}  // namespace roicl::synth

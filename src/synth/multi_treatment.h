@@ -1,0 +1,67 @@
+#ifndef ROICL_SYNTH_MULTI_TREATMENT_H_
+#define ROICL_SYNTH_MULTI_TREATMENT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl::synth {
+
+/// Multi-treatment RCT sample set: treatment 0 is control, 1..K are K
+/// distinct interventions (e.g. coupon denominations). Used by the
+/// divide-and-conquer extension of rDRP (paper §VI, limitation 1).
+struct MultiTreatmentDataset {
+  Matrix x;
+  std::vector<int> treatment;  ///< 0 = control, 1..K = arms.
+  std::vector<double> y_revenue;
+  std::vector<double> y_cost;
+  /// Oracle effects per arm: tau[k][i] is arm (k+1)'s effect on sample i.
+  std::vector<std::vector<double>> true_tau_r;
+  std::vector<std::vector<double>> true_tau_c;
+
+  int n() const { return x.rows(); }
+  int num_arms() const { return static_cast<int>(true_tau_r.size()); }
+
+  /// Ground-truth ROI of arm k (1-based) for sample i.
+  double TrueRoi(int i, int arm) const;
+
+  /// Projects onto the binary sub-problem {control, arm k}: rows whose
+  /// treatment is 0 or k, with treatment relabeled to {0, 1}. Oracle
+  /// columns carry arm k's effects.
+  RctDataset BinarySubproblem(int arm) const;
+};
+
+/// Per-arm modifiers applied to the base generator's effects: arm k's
+/// cost lift is `cost_scale * tau_c(x)` and its ROI is
+/// `clamp(roi(x) + roi_shift)` — e.g. a bigger coupon costs more and
+/// (usually) converts a bit better, but with diminishing ROI.
+struct ArmEffect {
+  double cost_scale = 1.0;
+  double roi_shift = 0.0;
+};
+
+/// Multi-treatment RCT generator layered on a binary SyntheticGenerator.
+/// Treatment is assigned uniformly over {0, 1, .., K}.
+class MultiTreatmentGenerator {
+ public:
+  MultiTreatmentGenerator(const SyntheticConfig& base_config,
+                          std::vector<ArmEffect> arms);
+
+  int num_arms() const { return static_cast<int>(arms_.size()); }
+  const SyntheticGenerator& base() const { return base_; }
+
+  MultiTreatmentDataset Generate(int n, bool shifted, Rng* rng) const;
+
+  /// Oracle effects of arm k (1-based) at feature row x.
+  double TauC(const double* x, int arm) const;
+  double TauR(const double* x, int arm) const;
+
+ private:
+  SyntheticGenerator base_;
+  std::vector<ArmEffect> arms_;
+};
+
+}  // namespace roicl::synth
+
+#endif  // ROICL_SYNTH_MULTI_TREATMENT_H_

@@ -1,0 +1,35 @@
+#include "synth/shift.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace roicl::synth {
+
+RctDataset ResampleWithCovariateShift(const RctDataset& dataset, int feature,
+                                      double gamma, int n_out, Rng* rng) {
+  ROICL_CHECK(rng != nullptr);
+  ROICL_CHECK(feature >= 0 && feature < dataset.dim());
+  ROICL_CHECK(n_out > 0);
+  ROICL_CHECK(dataset.n() > 0);
+
+  std::vector<double> column = dataset.x.Col(feature);
+  double mean = Mean(column);
+  double sd = StdDev(column);
+  if (sd < 1e-12) sd = 1.0;
+
+  std::vector<double> weights(column.size());
+  for (size_t i = 0; i < column.size(); ++i) {
+    double z = (column[i] - mean) / sd;
+    // Cap the exponent so a single outlier cannot absorb all the mass.
+    weights[i] = std::exp(std::min(gamma * z, 30.0));
+  }
+
+  std::vector<int> indices(n_out);
+  for (int i = 0; i < n_out; ++i) indices[i] = rng->Categorical(weights);
+  return dataset.Subset(indices);
+}
+
+}  // namespace roicl::synth

@@ -1,0 +1,23 @@
+#ifndef ROICL_SYNTH_SHIFT_H_
+#define ROICL_SYNTH_SHIFT_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace roicl::synth {
+
+/// Importance-resampling covariate shift for an existing dataset (useful
+/// when the data did not come from a SyntheticGenerator with a built-in
+/// shifted mixture).
+///
+/// Rows are resampled with replacement with weights proportional to
+/// exp(gamma * standardized(x[:, feature])): positive gamma over-represents
+/// rows with large values of the chosen feature. P(Y|X) is untouched
+/// because rows are kept whole — this is exactly covariate shift in the
+/// sense of Fig. 2 of the paper.
+RctDataset ResampleWithCovariateShift(const RctDataset& dataset, int feature,
+                                      double gamma, int n_out, Rng* rng);
+
+}  // namespace roicl::synth
+
+#endif  // ROICL_SYNTH_SHIFT_H_

@@ -1,0 +1,132 @@
+#ifndef ROICL_SYNTH_SYNTHETIC_GENERATOR_H_
+#define ROICL_SYNTH_SYNTHETIC_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace roicl::synth {
+
+/// How feature columns are rendered.
+enum class FeatureKind {
+  kContinuous,  ///< Gaussian around the segment mean.
+  kDiscrete,    ///< Quantized to small non-negative integers.
+};
+
+/// Configuration of a synthetic RCT uplift dataset.
+///
+/// The population is a mixture of latent user segments (e.g. "office
+/// workers" vs "tourists" in the paper's running example). Each segment has
+/// its own feature distribution; the ground-truth uplift functions
+/// tau_c(x) (cost lift) and roi(x) (revenue-per-cost ratio) are fixed,
+/// smooth, mildly nonlinear functions of the features — so covariate shift
+/// changes P(X) while keeping P(Y|X) fixed, exactly the setting of Fig. 2.
+struct SyntheticConfig {
+  std::string name;
+  int num_features = 12;
+  int num_informative = 6;  ///< features the uplift functions depend on.
+  int num_segments = 4;
+  FeatureKind feature_kind = FeatureKind::kContinuous;
+
+  /// Mixture weights for the training distribution and for the shifted
+  /// (calibration/test) distribution; sizes must equal num_segments.
+  std::vector<double> train_segment_weights;
+  std::vector<double> shifted_segment_weights;
+
+  /// Ranges of the ground-truth functions. ROI is confined to
+  /// (roi_lo, roi_hi) subset of (0,1) per Assumption 3; tau_c to
+  /// (tau_c_lo, tau_c_hi) > 0 per Assumption 4.
+  double roi_lo = 0.10;
+  double roi_hi = 0.90;
+  double tau_c_lo = 0.05;
+  double tau_c_hi = 0.30;
+
+  /// Base (control-arm) outcome probabilities.
+  double base_cost_rate = 0.25;
+  double base_revenue_rate = 0.05;
+
+  /// Fraction of samples assigned to treatment (RCT probability).
+  double treatment_fraction = 0.5;
+
+  /// When true the generator produces OBSERVATIONAL data: treatment is
+  /// assigned with a covariate-dependent propensity e(x) in
+  /// [propensity_lo, propensity_hi] instead of the RCT coin flip. Used by
+  /// the IPW extension (paper SS VII future work #1); the paper's own
+  /// methods require this to stay false.
+  bool confounded_treatment = false;
+  double propensity_lo = 0.1;
+  double propensity_hi = 0.9;
+
+  /// Standard deviation of within-segment feature noise.
+  double feature_noise = 1.0;
+
+  /// Seed that fixes the segment geometry and the uplift-function weights
+  /// (NOT the per-sample randomness, which callers supply via Rng).
+  uint64_t structure_seed = 1;
+};
+
+/// Deterministic synthetic RCT generator with ground-truth oracles.
+///
+/// Given a structure seed, the segment means and uplift-function weights
+/// are fixed; sampling draws (segment, features, treatment, outcomes) from
+/// the implied joint. Binary outcomes follow the CRITEO/Meituan/Alibaba
+/// convention: y_c is the "cost" indicator (visit/click/exposure), y_r the
+/// "benefit" indicator (conversion).
+class SyntheticGenerator {
+ public:
+  explicit SyntheticGenerator(const SyntheticConfig& config);
+
+  const SyntheticConfig& config() const { return config_; }
+
+  /// Draws `n` samples. When `shifted`, the segment mixture uses
+  /// `shifted_segment_weights` (covariate shift); the conditional outcome
+  /// law is unchanged.
+  RctDataset Generate(int n, bool shifted, Rng* rng) const;
+
+  /// Ground-truth cost uplift tau_c(x) for a feature row.
+  double TauC(const double* x) const;
+  /// Ground-truth revenue uplift tau_r(x) = roi(x) * tau_c(x).
+  double TauR(const double* x) const;
+  /// Ground-truth ROI(x) in (roi_lo, roi_hi).
+  double Roi(const double* x) const;
+
+  /// Control-arm outcome probabilities at x (used by wrappers that need
+  /// to re-sample outcomes, e.g. the multi-treatment generator).
+  double BaseCostRate(const double* x) const;
+  double BaseRevenueRate(const double* x) const;
+
+  /// True treatment propensity e(x). Equals `treatment_fraction` for RCT
+  /// configs; covariate-dependent when `confounded_treatment` is set.
+  double Propensity(const double* x) const;
+
+ private:
+  /// Nonlinear basis of the informative features; size = basis_size_.
+  void Basis(const double* x, std::vector<double>* phi) const;
+
+  SyntheticConfig config_;
+  int basis_size_;
+  std::vector<std::vector<double>> segment_means_;  // [segment][feature]
+  std::vector<double> w_roi_;   // basis weights for roi(x)
+  std::vector<double> w_cost_;  // basis weights for tau_c(x)
+  std::vector<double> w_base_;  // basis weights for base rates
+  std::vector<double> w_prop_;  // basis weights for the propensity
+};
+
+/// Preset mirroring CRITEO-UPLIFT v2: 12 dense features,
+/// visit (cost) / conversion (benefit), strong segment structure.
+SyntheticConfig CriteoSynthConfig();
+
+/// Preset mirroring Meituan-LIFT: 99 features with only a few informative
+/// (high-dimension / low-signal regime), click (cost) / conversion
+/// (benefit).
+SyntheticConfig MeituanSynthConfig();
+
+/// Preset mirroring Alibaba-LIFT: 25 discrete features, exposure (cost,
+/// high base rate) / conversion (benefit).
+SyntheticConfig AlibabaSynthConfig();
+
+}  // namespace roicl::synth
+
+#endif  // ROICL_SYNTH_SYNTHETIC_GENERATOR_H_

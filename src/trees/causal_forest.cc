@@ -1,0 +1,231 @@
+#include "trees/causal_forest.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+
+namespace roicl::trees {
+namespace {
+
+/// Difference-in-means effect plus arm counts over `index`.
+struct ArmStats {
+  double sum1 = 0.0;
+  double sum0 = 0.0;
+  int n1 = 0;
+  int n0 = 0;
+
+  void Add(int t, double y) {
+    if (t == 1) {
+      sum1 += y;
+      ++n1;
+    } else {
+      sum0 += y;
+      ++n0;
+    }
+  }
+  bool BothArms(int min_arm) const { return n1 >= min_arm && n0 >= min_arm; }
+  double Tau() const {
+    if (n1 == 0 || n0 == 0) return 0.0;
+    return sum1 / n1 - sum0 / n0;
+  }
+  int Total() const { return n1 + n0; }
+};
+
+ArmStats CollectStats(const std::vector<int>& treatment,
+                      const std::vector<double>& y,
+                      const std::vector<int>& index) {
+  ArmStats stats;
+  for (int i : index) stats.Add(treatment[i], y[i]);
+  return stats;
+}
+
+}  // namespace
+
+void CausalTree::Fit(const Matrix& x, const std::vector<int>& treatment,
+                     const std::vector<double>& y,
+                     const std::vector<int>& split_index,
+                     const std::vector<int>& estimate_index,
+                     const CausalForestConfig& config, Rng* rng) {
+  ROICL_CHECK(x.rows() == static_cast<int>(y.size()));
+  ROICL_CHECK(treatment.size() == y.size());
+  ROICL_CHECK(!split_index.empty());
+  nodes_.clear();
+  std::vector<int> root = split_index;
+  Grow(x, treatment, y, std::move(root), config, rng, /*depth=*/0);
+  if (!estimate_index.empty()) {
+    HonestReestimate(x, treatment, y, estimate_index);
+  }
+}
+
+int CausalTree::Grow(const Matrix& x, const std::vector<int>& treatment,
+                     const std::vector<double>& y, std::vector<int>&& index,
+                     const CausalForestConfig& config, Rng* rng, int depth) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  ArmStats node_stats = CollectStats(treatment, y, index);
+  nodes_[node_id].num_samples = node_stats.Total();
+  nodes_[node_id].value = node_stats.Tau();
+
+  if (depth >= config.tree.max_depth ||
+      node_stats.Total() < 2 * config.tree.min_samples_leaf ||
+      !node_stats.BothArms(2 * config.min_arm_samples)) {
+    return node_id;
+  }
+
+  // Athey-Imbens heterogeneity criterion: maximize
+  // n_l * tau_l^2 + n_r * tau_r^2 (parent term is constant).
+  double parent_score = node_stats.Total() * node_stats.Tau() *
+                        node_stats.Tau();
+  double best_gain = 0.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<int> features =
+      SampleFeatures(x.cols(), config.tree.max_features, rng);
+  for (int feature : features) {
+    std::vector<double> thresholds = CandidateThresholds(
+        x, index, feature, config.tree.candidate_thresholds);
+    for (double threshold : thresholds) {
+      ArmStats left;
+      for (int i : index) {
+        if (x(i, feature) <= threshold) left.Add(treatment[i], y[i]);
+      }
+      ArmStats right;
+      right.sum1 = node_stats.sum1 - left.sum1;
+      right.sum0 = node_stats.sum0 - left.sum0;
+      right.n1 = node_stats.n1 - left.n1;
+      right.n0 = node_stats.n0 - left.n0;
+      if (!left.BothArms(config.min_arm_samples) ||
+          !right.BothArms(config.min_arm_samples)) {
+        continue;
+      }
+      double score = left.Total() * left.Tau() * left.Tau() +
+                     right.Total() * right.Tau() * right.Tau();
+      double gain = score - parent_score;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<int> left_index, right_index;
+  for (int i : index) {
+    (x(i, best_feature) <= best_threshold ? left_index : right_index)
+        .push_back(i);
+  }
+  index.clear();
+  index.shrink_to_fit();
+
+  int left = Grow(x, treatment, y, std::move(left_index), config, rng,
+                  depth + 1);
+  int right = Grow(x, treatment, y, std::move(right_index), config, rng,
+                   depth + 1);
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void CausalTree::HonestReestimate(const Matrix& x,
+                                  const std::vector<int>& treatment,
+                                  const std::vector<double>& y,
+                                  const std::vector<int>& estimate_index) {
+  // Route the estimation sample through the fixed structure and replace
+  // each leaf effect with the held-out difference in means. Leaves that
+  // receive no (or one-armed) estimation data keep their split-sample
+  // values — a standard, slightly-dishonest fallback that avoids NaNs.
+  std::vector<ArmStats> leaf_stats(nodes_.size());
+  for (int i : estimate_index) {
+    const double* row = x.RowPtr(i);
+    int node = 0;
+    while (!nodes_[node].is_leaf()) {
+      node = row[nodes_[node].feature] <= nodes_[node].threshold
+                 ? nodes_[node].left
+                 : nodes_[node].right;
+    }
+    leaf_stats[node].Add(treatment[i], y[i]);
+  }
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].is_leaf() && leaf_stats[n].n1 > 0 &&
+        leaf_stats[n].n0 > 0) {
+      nodes_[n].value = leaf_stats[n].Tau();
+    }
+  }
+}
+
+double CausalTree::Predict(const double* row) const {
+  ROICL_CHECK_MSG(fitted(), "Predict() before Fit()");
+  return PredictTree(nodes_, row);
+}
+
+void CausalForest::Fit(const Matrix& x, const std::vector<int>& treatment,
+                       const std::vector<double>& y) {
+  ROICL_CHECK(x.rows() == static_cast<int>(y.size()));
+  ROICL_CHECK(treatment.size() == y.size());
+  ROICL_CHECK(config_.num_trees > 0);
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features <= 0) {
+    tree_config.max_features =
+        static_cast<int>(std::ceil(std::sqrt(static_cast<double>(x.cols()))));
+  }
+  CausalForestConfig config = config_;
+  config.tree = tree_config;
+
+  int n = x.rows();
+  int subsample = std::max(
+      4, static_cast<int>(std::round(config.sample_fraction * n)));
+  subsample = std::min(subsample, n);
+
+  Rng seeder(config.seed, /*stream=*/19);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(config.num_trees);
+  for (int t = 0; t < config.num_trees; ++t) {
+    tree_rngs.push_back(seeder.Split());
+  }
+
+  trees_.assign(config.num_trees, CausalTree());
+  GlobalThreadPool().ParallelFor(0, config.num_trees, [&](int t) {
+    Rng& rng = tree_rngs[t];
+    std::vector<int> sample = rng.SampleWithoutReplacement(n, subsample);
+    std::vector<int> split_index, estimate_index;
+    if (config.honest) {
+      size_t half = sample.size() / 2;
+      split_index.assign(sample.begin(), sample.begin() + half);
+      estimate_index.assign(sample.begin() + half, sample.end());
+    } else {
+      split_index = sample;
+    }
+    trees_[t].Fit(x, treatment, y, split_index, estimate_index, config,
+                  &rng);
+  });
+}
+
+double CausalForest::PredictCate(const double* row) const {
+  ROICL_CHECK_MSG(fitted(), "PredictCate() before Fit()");
+  double sum = 0.0;
+  for (const CausalTree& tree : trees_) sum += tree.Predict(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> CausalForest::PredictCate(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (int r = 0; r < x.rows(); ++r) out[r] = PredictCate(x.RowPtr(r));
+  return out;
+}
+
+double CausalForest::PredictCateStdDev(const double* row) const {
+  ROICL_CHECK_MSG(fitted(), "PredictCateStdDev() before Fit()");
+  RunningStats stats;
+  for (const CausalTree& tree : trees_) stats.Add(tree.Predict(row));
+  return stats.stddev();
+}
+
+}  // namespace roicl::trees

@@ -1,0 +1,85 @@
+#ifndef ROICL_TREES_CAUSAL_FOREST_H_
+#define ROICL_TREES_CAUSAL_FOREST_H_
+
+#include <vector>
+
+#include "trees/tree_common.h"
+
+namespace roicl::trees {
+
+/// Hyperparameters for causal trees/forests.
+struct CausalForestConfig {
+  int num_trees = 50;
+  TreeConfig tree;
+  /// Minimum samples *per treatment arm* required in every leaf.
+  int min_arm_samples = 10;
+  /// Subsample fraction per tree (without replacement, as in Wager & Athey
+  /// 2018 where subsampling underpins the asymptotic theory).
+  double sample_fraction = 0.5;
+  /// Honest estimation: half of each tree's subsample chooses splits, the
+  /// other half estimates leaf effects (Athey & Imbens 2016).
+  bool honest = true;
+  uint64_t seed = 13;
+};
+
+/// A single causal tree. Splits maximize effect heterogeneity
+/// (sum over children of n_child * tau_child^2, the Athey-Imbens
+/// criterion); leaves store the within-leaf difference-in-means treatment
+/// effect. RCT data is assumed (propensity 0.5), so no centering is
+/// needed.
+class CausalTree {
+ public:
+  /// Grows on `split_index`; when `estimate_index` is non-empty the leaf
+  /// effects are re-estimated honestly on it.
+  void Fit(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y, const std::vector<int>& split_index,
+           const std::vector<int>& estimate_index,
+           const CausalForestConfig& config, Rng* rng);
+
+  /// Predicted CATE for one row.
+  double Predict(const double* row) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+ private:
+  int Grow(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y, std::vector<int>&& index,
+           const CausalForestConfig& config, Rng* rng, int depth);
+  void HonestReestimate(const Matrix& x, const std::vector<int>& treatment,
+                        const std::vector<double>& y,
+                        const std::vector<int>& estimate_index);
+
+  std::vector<TreeNode> nodes_;
+};
+
+/// Subsampled ensemble of causal trees; PredictCate averages per-tree
+/// effects. Doubles as the TPM-CF baseline's uplift model and provides a
+/// jackknife-style variance estimate across trees.
+class CausalForest {
+ public:
+  explicit CausalForest(const CausalForestConfig& config)
+      : config_(config) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y);
+
+  double PredictCate(const double* row) const;
+  std::vector<double> PredictCate(const Matrix& x) const;
+
+  /// Across-tree standard deviation of the effect estimate at `row` — a
+  /// cheap ensemble uncertainty proxy (the paper cites the infinitesimal
+  /// jackknife; the across-tree spread is its practical stand-in here).
+  double PredictCateStdDev(const double* row) const;
+
+  bool fitted() const { return !trees_.empty(); }
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  CausalForestConfig config_;
+  std::vector<CausalTree> trees_;
+};
+
+}  // namespace roicl::trees
+
+#endif  // ROICL_TREES_CAUSAL_FOREST_H_

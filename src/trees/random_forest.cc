@@ -1,0 +1,61 @@
+#include "trees/random_forest.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+
+namespace roicl::trees {
+
+void RandomForestRegressor::Fit(const Matrix& x,
+                                const std::vector<double>& y) {
+  ROICL_CHECK(x.rows() == static_cast<int>(y.size()));
+  ROICL_CHECK(x.rows() > 0);
+  ROICL_CHECK(config_.num_trees > 0);
+  ROICL_CHECK(config_.sample_fraction > 0.0 &&
+              config_.sample_fraction <= 1.0);
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features <= 0) {
+    tree_config.max_features =
+        static_cast<int>(std::ceil(std::sqrt(static_cast<double>(x.cols()))));
+  }
+
+  int n = x.rows();
+  int bag_size = std::max(
+      1, static_cast<int>(std::round(config_.sample_fraction * n)));
+
+  // Pre-split RNGs so tree growth is deterministic regardless of thread
+  // scheduling.
+  Rng seeder(config_.seed, /*stream=*/11);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(config_.num_trees);
+  for (int t = 0; t < config_.num_trees; ++t) {
+    tree_rngs.push_back(seeder.Split());
+  }
+
+  trees_.assign(config_.num_trees, RegressionTree());
+  GlobalThreadPool().ParallelFor(0, config_.num_trees, [&](int t) {
+    Rng& rng = tree_rngs[t];
+    std::vector<int> bag(bag_size);
+    for (int i = 0; i < bag_size; ++i) {
+      bag[i] = static_cast<int>(rng.UniformInt(static_cast<uint32_t>(n)));
+    }
+    trees_[t].Fit(x, y, bag, tree_config, &rng);
+  });
+}
+
+double RandomForestRegressor::Predict(const double* row) const {
+  ROICL_CHECK_MSG(fitted(), "Predict() before Fit()");
+  double sum = 0.0;
+  for (const RegressionTree& tree : trees_) sum += tree.Predict(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (int r = 0; r < x.rows(); ++r) out[r] = Predict(x.RowPtr(r));
+  return out;
+}
+
+}  // namespace roicl::trees

@@ -1,0 +1,44 @@
+#ifndef ROICL_TREES_RANDOM_FOREST_H_
+#define ROICL_TREES_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "trees/regression_tree.h"
+
+namespace roicl::trees {
+
+/// Hyperparameters for bagged forests.
+struct ForestConfig {
+  int num_trees = 50;
+  TreeConfig tree;
+  /// Bootstrap fraction of the training rows drawn (with replacement) per
+  /// tree.
+  double sample_fraction = 1.0;
+  uint64_t seed = 7;
+};
+
+/// Bagged regression forest (Breiman-style): bootstrap rows, random
+/// feature subsets per split, mean aggregation.
+class RandomForestRegressor {
+ public:
+  explicit RandomForestRegressor(const ForestConfig& config)
+      : config_(config) {}
+
+  /// Fits on all rows of (x, y). If config.tree.max_features <= 0, it is
+  /// defaulted to ceil(sqrt(d)) as usual for forests.
+  void Fit(const Matrix& x, const std::vector<double>& y);
+
+  double Predict(const double* row) const;
+  std::vector<double> Predict(const Matrix& x) const;
+
+  bool fitted() const { return !trees_.empty(); }
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  ForestConfig config_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace roicl::trees
+
+#endif  // ROICL_TREES_RANDOM_FOREST_H_

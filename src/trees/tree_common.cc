@@ -1,0 +1,53 @@
+#include "trees/tree_common.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace roicl::trees {
+
+double PredictTree(const std::vector<TreeNode>& nodes, const double* row) {
+  ROICL_DCHECK(!nodes.empty());
+  int node = 0;
+  while (!nodes[node].is_leaf()) {
+    const TreeNode& n = nodes[node];
+    node = row[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes[node].value;
+}
+
+std::vector<double> CandidateThresholds(const Matrix& x,
+                                        const std::vector<int>& index,
+                                        int feature, int num_candidates) {
+  ROICL_DCHECK(num_candidates > 0);
+  std::vector<double> values;
+  values.reserve(index.size());
+  for (int i : index) values.push_back(x(i, feature));
+  std::sort(values.begin(), values.end());
+  if (values.front() == values.back()) return {};
+
+  std::vector<double> thresholds;
+  thresholds.reserve(num_candidates);
+  // Midpoints of an evenly spaced quantile grid; duplicates collapse.
+  for (int k = 1; k <= num_candidates; ++k) {
+    size_t pos = static_cast<size_t>(
+        static_cast<double>(k) / (num_candidates + 1) * (values.size() - 1));
+    double v = values[pos];
+    if (v >= values.back()) continue;  // would send everything left
+    if (thresholds.empty() || thresholds.back() != v) thresholds.push_back(v);
+  }
+  return thresholds;
+}
+
+std::vector<int> SampleFeatures(int num_features, int max_features,
+                                Rng* rng) {
+  if (max_features <= 0 || max_features >= num_features) {
+    std::vector<int> all(num_features);
+    for (int i = 0; i < num_features; ++i) all[i] = i;
+    return all;
+  }
+  ROICL_CHECK(rng != nullptr);
+  return rng->SampleWithoutReplacement(num_features, max_features);
+}
+
+}  // namespace roicl::trees

@@ -1,0 +1,54 @@
+#ifndef ROICL_TREES_TREE_COMMON_H_
+#define ROICL_TREES_TREE_COMMON_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace roicl::trees {
+
+/// Shared hyperparameters for tree growth.
+struct TreeConfig {
+  int max_depth = 6;
+  int min_samples_leaf = 20;
+  /// Number of features considered per split; <= 0 means all.
+  int max_features = -1;
+  /// Number of candidate thresholds examined per feature (quantile grid).
+  /// Exact splits are O(n log n) per node; a fixed grid keeps growth fast
+  /// at the sample sizes the benches use, with negligible accuracy loss.
+  int candidate_thresholds = 24;
+};
+
+/// A node of any binary decision tree in this library. Leaves carry a
+/// single prediction value (mean response or treatment effect).
+struct TreeNode {
+  int feature = -1;        ///< split feature; -1 for leaves.
+  double threshold = 0.0;  ///< go left when x[feature] <= threshold.
+  int left = -1;
+  int right = -1;
+  double value = 0.0;  ///< leaf prediction.
+  int num_samples = 0;
+
+  bool is_leaf() const { return feature < 0; }
+};
+
+/// Walks a node array from the root (index 0) for one feature row.
+double PredictTree(const std::vector<TreeNode>& nodes, const double* row);
+
+/// Builds up to `config.candidate_thresholds` distinct candidate split
+/// points for `feature` from the rows in `index`, using an evenly spaced
+/// quantile grid of the observed values. Returns an empty vector when the
+/// feature is constant on this node.
+std::vector<double> CandidateThresholds(const Matrix& x,
+                                        const std::vector<int>& index,
+                                        int feature, int num_candidates);
+
+/// Chooses the feature subset inspected at a split: all features when
+/// `max_features <= 0` or >= d, otherwise a uniform subsample.
+std::vector<int> SampleFeatures(int num_features, int max_features,
+                                Rng* rng);
+
+}  // namespace roicl::trees
+
+#endif  // ROICL_TREES_TREE_COMMON_H_

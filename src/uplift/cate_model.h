@@ -1,0 +1,33 @@
+#ifndef ROICL_UPLIFT_CATE_MODEL_H_
+#define ROICL_UPLIFT_CATE_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace roicl::uplift {
+
+/// A CATE (uplift) estimator for one outcome column: fits on
+/// (X, t, y) and predicts tau(x) = E[Y(1) - Y(0) | X = x].
+///
+/// The Two-Phase Method (TPM) composes two of these — one for revenue and
+/// one for cost — and divides the predictions (§II-A of the paper, with
+/// the error-amplification caveat the paper highlights).
+class CateModel {
+ public:
+  virtual ~CateModel() = default;
+
+  virtual void Fit(const Matrix& x, const std::vector<int>& treatment,
+                   const std::vector<double>& y) = 0;
+
+  virtual std::vector<double> PredictCate(const Matrix& x) const = 0;
+};
+
+/// Factory producing fresh CATE models (TPM needs two independent ones).
+using CateModelFactory = std::function<std::unique_ptr<CateModel>()>;
+
+}  // namespace roicl::uplift
+
+#endif  // ROICL_UPLIFT_CATE_MODEL_H_

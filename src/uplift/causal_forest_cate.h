@@ -1,0 +1,33 @@
+#ifndef ROICL_UPLIFT_CAUSAL_FOREST_CATE_H_
+#define ROICL_UPLIFT_CAUSAL_FOREST_CATE_H_
+
+#include "trees/causal_forest.h"
+#include "uplift/cate_model.h"
+
+namespace roicl::uplift {
+
+/// CateModel adapter over the honest causal forest — the "CF" base of the
+/// TPM-CF baseline (Athey, Tibshirani & Wager 2019 style).
+class CausalForestCate : public CateModel {
+ public:
+  explicit CausalForestCate(const trees::CausalForestConfig& config)
+      : forest_(config) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y) override {
+    forest_.Fit(x, treatment, y);
+  }
+
+  std::vector<double> PredictCate(const Matrix& x) const override {
+    return forest_.PredictCate(x);
+  }
+
+  const trees::CausalForest& forest() const { return forest_; }
+
+ private:
+  trees::CausalForest forest_;
+};
+
+}  // namespace roicl::uplift
+
+#endif  // ROICL_UPLIFT_CAUSAL_FOREST_CATE_H_

@@ -1,0 +1,180 @@
+#include "uplift/meta_learners.h"
+
+#include "common/macros.h"
+
+namespace roicl::uplift {
+namespace {
+
+/// Splits row indices by treatment arm.
+void SplitByArm(const std::vector<int>& treatment, std::vector<int>* treated,
+                std::vector<int>* control) {
+  for (size_t i = 0; i < treatment.size(); ++i) {
+    (treatment[i] == 1 ? treated : control)
+        ->push_back(static_cast<int>(i));
+  }
+  ROICL_CHECK_MSG(!treated->empty() && !control->empty(),
+                  "both treatment arms are required");
+}
+
+std::vector<double> SelectValues(const std::vector<double>& values,
+                                 const std::vector<int>& indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(values[i]);
+  return out;
+}
+
+}  // namespace
+
+void SLearner::Fit(const Matrix& x, const std::vector<int>& treatment,
+                   const std::vector<double>& y) {
+  ROICL_CHECK(x.rows() == static_cast<int>(treatment.size()));
+  ROICL_CHECK(treatment.size() == y.size());
+  Matrix t_col(x.rows(), 1);
+  for (int r = 0; r < x.rows(); ++r) {
+    t_col(r, 0) = static_cast<double>(treatment[r]);
+  }
+  Matrix augmented = HStack(x, t_col);
+  model_ = base_factory_();
+  model_->Fit(augmented, y);
+}
+
+std::vector<double> SLearner::PredictCate(const Matrix& x) const {
+  ROICL_CHECK_MSG(model_ != nullptr, "PredictCate() before Fit()");
+  Matrix ones(x.rows(), 1, 1.0);
+  Matrix zeros(x.rows(), 1, 0.0);
+  std::vector<double> mu1 = model_->Predict(HStack(x, ones));
+  std::vector<double> mu0 = model_->Predict(HStack(x, zeros));
+  std::vector<double> tau(x.rows());
+  for (int i = 0; i < x.rows(); ++i) tau[i] = mu1[i] - mu0[i];
+  return tau;
+}
+
+void TLearner::Fit(const Matrix& x, const std::vector<int>& treatment,
+                   const std::vector<double>& y) {
+  ROICL_CHECK(x.rows() == static_cast<int>(treatment.size()));
+  ROICL_CHECK(treatment.size() == y.size());
+  std::vector<int> treated, control;
+  SplitByArm(treatment, &treated, &control);
+  mu1_ = base_factory_();
+  mu1_->Fit(x.SelectRows(treated), SelectValues(y, treated));
+  mu0_ = base_factory_();
+  mu0_->Fit(x.SelectRows(control), SelectValues(y, control));
+}
+
+std::vector<double> TLearner::PredictCate(const Matrix& x) const {
+  ROICL_CHECK_MSG(mu0_ != nullptr && mu1_ != nullptr,
+                  "PredictCate() before Fit()");
+  std::vector<double> mu1 = mu1_->Predict(x);
+  std::vector<double> mu0 = mu0_->Predict(x);
+  std::vector<double> tau(x.rows());
+  for (int i = 0; i < x.rows(); ++i) tau[i] = mu1[i] - mu0[i];
+  return tau;
+}
+
+void XLearner::Fit(const Matrix& x, const std::vector<int>& treatment,
+                   const std::vector<double>& y) {
+  ROICL_CHECK(x.rows() == static_cast<int>(treatment.size()));
+  ROICL_CHECK(treatment.size() == y.size());
+  std::vector<int> treated, control;
+  SplitByArm(treatment, &treated, &control);
+
+  // Stage 1: per-arm outcome models.
+  TLearner stage1(base_factory_);
+  stage1.Fit(x, treatment, y);
+
+  Matrix x_treated = x.SelectRows(treated);
+  Matrix x_control = x.SelectRows(control);
+
+  // Stage 2: imputed individual treatment effects.
+  std::vector<double> mu0_on_treated = stage1.mu0()->Predict(x_treated);
+  std::vector<double> mu1_on_control = stage1.mu1()->Predict(x_control);
+  std::vector<double> d1(treated.size());
+  for (size_t i = 0; i < treated.size(); ++i) {
+    d1[i] = y[treated[i]] - mu0_on_treated[i];
+  }
+  std::vector<double> d0(control.size());
+  for (size_t i = 0; i < control.size(); ++i) {
+    d0[i] = mu1_on_control[i] - y[control[i]];
+  }
+  tau1_ = base_factory_();
+  tau1_->Fit(x_treated, d1);
+  tau0_ = base_factory_();
+  tau0_->Fit(x_control, d0);
+
+  propensity_ = static_cast<double>(treated.size()) /
+                static_cast<double>(treatment.size());
+}
+
+std::vector<double> XLearner::PredictCate(const Matrix& x) const {
+  ROICL_CHECK_MSG(tau0_ != nullptr && tau1_ != nullptr,
+                  "PredictCate() before Fit()");
+  std::vector<double> t0 = tau0_->Predict(x);
+  std::vector<double> t1 = tau1_->Predict(x);
+  std::vector<double> tau(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    tau[i] = propensity_ * t0[i] + (1.0 - propensity_) * t1[i];
+  }
+  return tau;
+}
+
+void DrLearner::Fit(const Matrix& x, const std::vector<int>& treatment,
+                    const std::vector<double>& y) {
+  ROICL_CHECK(x.rows() == static_cast<int>(treatment.size()));
+  ROICL_CHECK(treatment.size() == y.size());
+  TLearner stage1(base_factory_);
+  stage1.Fit(x, treatment, y);
+  std::vector<double> mu0 = stage1.mu0()->Predict(x);
+  std::vector<double> mu1 = stage1.mu1()->Predict(x);
+
+  int n1 = 0;
+  for (int t : treatment) n1 += (t == 1);
+  double e = static_cast<double>(n1) / static_cast<double>(treatment.size());
+  ROICL_CHECK_MSG(e > 0.0 && e < 1.0, "both arms required");
+
+  std::vector<double> psi(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    double correction =
+        treatment[i] == 1 ? (y[i] - mu1[i]) / e : -(y[i] - mu0[i]) / (1 - e);
+    psi[i] = mu1[i] - mu0[i] + correction;
+  }
+  tau_ = base_factory_();
+  tau_->Fit(x, psi);
+}
+
+std::vector<double> DrLearner::PredictCate(const Matrix& x) const {
+  ROICL_CHECK_MSG(tau_ != nullptr, "PredictCate() before Fit()");
+  return tau_->Predict(x);
+}
+
+void RLearner::Fit(const Matrix& x, const std::vector<int>& treatment,
+                   const std::vector<double>& y) {
+  ROICL_CHECK(x.rows() == static_cast<int>(treatment.size()));
+  ROICL_CHECK(treatment.size() == y.size());
+  // Nuisance m(x) = E[y | x], fit on the pooled sample.
+  std::unique_ptr<Regressor> m = base_factory_();
+  m->Fit(x, y);
+  std::vector<double> m_hat = m->Predict(x);
+
+  int n1 = 0;
+  for (int t : treatment) n1 += (t == 1);
+  double e = static_cast<double>(n1) / static_cast<double>(treatment.size());
+  ROICL_CHECK_MSG(e > 0.0 && e < 1.0, "both arms required");
+
+  // RCT specialization: constant propensity -> uniform R-loss weights,
+  // pseudo-outcome (y - m) / (t - e).
+  std::vector<double> pseudo(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    double denom = static_cast<double>(treatment[i]) - e;
+    pseudo[i] = (y[i] - m_hat[i]) / denom;
+  }
+  tau_ = base_factory_();
+  tau_->Fit(x, pseudo);
+}
+
+std::vector<double> RLearner::PredictCate(const Matrix& x) const {
+  ROICL_CHECK_MSG(tau_ != nullptr, "PredictCate() before Fit()");
+  return tau_->Predict(x);
+}
+
+}  // namespace roicl::uplift

@@ -1,0 +1,115 @@
+#ifndef ROICL_UPLIFT_META_LEARNERS_H_
+#define ROICL_UPLIFT_META_LEARNERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "uplift/cate_model.h"
+#include "uplift/regressor.h"
+
+namespace roicl::uplift {
+
+/// S-Learner (Künzel et al. 2019): one regressor on the augmented design
+/// [X, t]; tau(x) = f(x, 1) - f(x, 0).
+class SLearner : public CateModel {
+ public:
+  explicit SLearner(RegressorFactory base_factory)
+      : base_factory_(std::move(base_factory)) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y) override;
+  std::vector<double> PredictCate(const Matrix& x) const override;
+
+ private:
+  RegressorFactory base_factory_;
+  std::unique_ptr<Regressor> model_;
+};
+
+/// T-Learner: independent outcome regressors per arm;
+/// tau(x) = mu1(x) - mu0(x). (Building block for the X-learner; also a
+/// useful standalone baseline.)
+class TLearner : public CateModel {
+ public:
+  explicit TLearner(RegressorFactory base_factory)
+      : base_factory_(std::move(base_factory)) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y) override;
+  std::vector<double> PredictCate(const Matrix& x) const override;
+
+  const Regressor* mu0() const { return mu0_.get(); }
+  const Regressor* mu1() const { return mu1_.get(); }
+
+ private:
+  RegressorFactory base_factory_;
+  std::unique_ptr<Regressor> mu0_;
+  std::unique_ptr<Regressor> mu1_;
+};
+
+/// X-Learner (Künzel et al. 2019): stage 1 fits per-arm outcome models;
+/// stage 2 regresses the imputed individual effects
+///   D1_i = y_i - mu0(x_i) (treated), D0_i = mu1(x_i) - y_i (control);
+/// the final effect blends the two stage-2 models with the propensity
+/// e(x): tau = e * tau0 + (1 - e) * tau1. Under RCT data e = P(T=1) is a
+/// constant estimated from the sample.
+class XLearner : public CateModel {
+ public:
+  explicit XLearner(RegressorFactory base_factory)
+      : base_factory_(std::move(base_factory)) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y) override;
+  std::vector<double> PredictCate(const Matrix& x) const override;
+
+ private:
+  RegressorFactory base_factory_;
+  std::unique_ptr<Regressor> tau0_;
+  std::unique_ptr<Regressor> tau1_;
+  double propensity_ = 0.5;
+};
+
+/// DR-Learner (doubly robust; Kennedy 2020 / Athey-Wager policy
+/// learning lineage): stage 1 fits per-arm outcome models mu0, mu1; the
+/// doubly robust pseudo-outcome
+///   psi_i = mu1(x_i) - mu0(x_i)
+///         + t_i (y_i - mu1(x_i)) / e - (1 - t_i)(y_i - mu0(x_i)) / (1 - e)
+/// is regressed on x in stage 2. Under RCT data the propensity e is the
+/// sample treated fraction.
+class DrLearner : public CateModel {
+ public:
+  explicit DrLearner(RegressorFactory base_factory)
+      : base_factory_(std::move(base_factory)) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y) override;
+  std::vector<double> PredictCate(const Matrix& x) const override;
+
+ private:
+  RegressorFactory base_factory_;
+  std::unique_ptr<Regressor> tau_;
+};
+
+/// R-Learner (Nie & Wager 2021), RCT specialization: with m(x) = E[y|x]
+/// and constant propensity e, the R-loss
+///   sum_i ((y_i - m(x_i)) - (t_i - e) tau(x_i))^2
+/// is minimized by the weighted regression of
+/// (y_i - m(x_i)) / (t_i - e) on x_i with weights (t_i - e)^2. Under an
+/// RCT the propensity is constant, so the weights are uniform and plain
+/// regression on the transformed pseudo-outcome suffices.
+class RLearner : public CateModel {
+ public:
+  explicit RLearner(RegressorFactory base_factory)
+      : base_factory_(std::move(base_factory)) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y) override;
+  std::vector<double> PredictCate(const Matrix& x) const override;
+
+ private:
+  RegressorFactory base_factory_;
+  std::unique_ptr<Regressor> tau_;
+};
+
+}  // namespace roicl::uplift
+
+#endif  // ROICL_UPLIFT_META_LEARNERS_H_

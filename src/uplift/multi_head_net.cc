@@ -1,0 +1,58 @@
+#include "uplift/multi_head_net.h"
+
+#include "common/macros.h"
+
+namespace roicl::uplift {
+
+MultiHeadNet::MultiHeadNet(nn::Mlp trunk, std::vector<nn::Mlp> heads)
+    : trunk_(std::move(trunk)), heads_(std::move(heads)) {
+  ROICL_CHECK(!heads_.empty());
+}
+
+Matrix MultiHeadNet::Forward(const Matrix& input, nn::Mode mode, Rng* rng) {
+  Matrix rep = trunk_.Forward(input, mode, rng);
+  Matrix out(input.rows(), num_heads());
+  for (int h = 0; h < num_heads(); ++h) {
+    Matrix head_out = heads_[h].Forward(rep, mode, rng);
+    ROICL_CHECK_MSG(head_out.cols() == 1,
+                    "each head must output one column");
+    for (int r = 0; r < out.rows(); ++r) out(r, h) = head_out(r, 0);
+  }
+  return out;
+}
+
+Matrix MultiHeadNet::Backward(const Matrix& grad_output) {
+  ROICL_CHECK(grad_output.cols() == num_heads());
+  Matrix grad_rep;
+  for (int h = 0; h < num_heads(); ++h) {
+    Matrix head_grad(grad_output.rows(), 1);
+    for (int r = 0; r < grad_output.rows(); ++r) {
+      head_grad(r, 0) = grad_output(r, h);
+    }
+    Matrix g = heads_[h].Backward(head_grad);
+    if (h == 0) {
+      grad_rep = std::move(g);
+    } else {
+      grad_rep += g;
+    }
+  }
+  return trunk_.Backward(grad_rep);
+}
+
+std::vector<Matrix*> MultiHeadNet::Params() {
+  std::vector<Matrix*> params = trunk_.Params();
+  for (nn::Mlp& head : heads_) {
+    for (Matrix* p : head.Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Matrix*> MultiHeadNet::Grads() {
+  std::vector<Matrix*> grads = trunk_.Grads();
+  for (nn::Mlp& head : heads_) {
+    for (Matrix* g : head.Grads()) grads.push_back(g);
+  }
+  return grads;
+}
+
+}  // namespace roicl::uplift

@@ -1,0 +1,36 @@
+#ifndef ROICL_UPLIFT_MULTI_HEAD_NET_H_
+#define ROICL_UPLIFT_MULTI_HEAD_NET_H_
+
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/network.h"
+
+namespace roicl::uplift {
+
+/// Shared-representation multi-head network: a trunk MLP produces a
+/// representation phi(x); each head MLP maps phi(x) to one output column.
+/// Forward output is the horizontal concatenation of the head outputs.
+///
+/// This is the common skeleton of TARNet (two outcome heads), DragonNet
+/// (two outcome heads + a propensity head) and OffsetNet (a base head and
+/// an offset head).
+class MultiHeadNet : public nn::Network {
+ public:
+  MultiHeadNet(nn::Mlp trunk, std::vector<nn::Mlp> heads);
+
+  Matrix Forward(const Matrix& input, nn::Mode mode, Rng* rng) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Matrix*> Params() override;
+  std::vector<Matrix*> Grads() override;
+
+  int num_heads() const { return static_cast<int>(heads_.size()); }
+
+ private:
+  nn::Mlp trunk_;
+  std::vector<nn::Mlp> heads_;
+};
+
+}  // namespace roicl::uplift
+
+#endif  // ROICL_UPLIFT_MULTI_HEAD_NET_H_

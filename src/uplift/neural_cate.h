@@ -1,0 +1,65 @@
+#ifndef ROICL_UPLIFT_NEURAL_CATE_H_
+#define ROICL_UPLIFT_NEURAL_CATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/scaler.h"
+#include "nn/trainer.h"
+#include "uplift/cate_model.h"
+#include "uplift/multi_head_net.h"
+
+namespace roicl::uplift {
+
+/// Shared hyperparameters for the neural CATE baselines.
+struct NeuralCateConfig {
+  std::vector<int> trunk_hidden = {32};
+  std::vector<int> head_hidden = {16};
+  nn::ActivationKind activation = nn::ActivationKind::kElu;
+  double dropout = 0.0;
+  nn::TrainConfig train;
+  /// DragonNet only: weight of the propensity (treatment) head loss.
+  double propensity_weight = 1.0;
+  uint64_t seed = 33;
+};
+
+/// Which representation-learning architecture to instantiate.
+enum class NeuralCateKind {
+  kTarnet,     ///< Shalit et al. 2017: trunk + per-arm outcome heads.
+  kDragonnet,  ///< Shi et al. 2019: TARNet + propensity head (targeted
+               ///< regularization omitted; the propensity head still
+               ///< shapes the representation, which is the main effect on
+               ///< RCT data where propensity is constant anyway).
+  kOffsetnet,  ///< Curth & van der Schaar 2021: base head mu0 and offset
+               ///< head delta with y_hat = mu0 + t * delta.
+  kSnet,       ///< Curth & van der Schaar 2021 (simplified): disentangled
+               ///< shared + arm-specific representations.
+};
+
+/// Neural CATE estimator covering TARNet / DragonNet / OffsetNet / SNet.
+/// Features are standardized internally (scaler fit on the training set).
+class NeuralCate : public CateModel {
+ public:
+  NeuralCate(NeuralCateKind kind, const NeuralCateConfig& config)
+      : kind_(kind), config_(config) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& treatment,
+           const std::vector<double>& y) override;
+  std::vector<double> PredictCate(const Matrix& x) const override;
+
+  NeuralCateKind kind() const { return kind_; }
+
+ private:
+  NeuralCateKind kind_;
+  NeuralCateConfig config_;
+  StandardScaler scaler_;
+  std::unique_ptr<nn::Network> net_;
+};
+
+/// Convenience factory.
+CateModelFactory MakeNeuralCateFactory(NeuralCateKind kind,
+                                       const NeuralCateConfig& config);
+
+}  // namespace roicl::uplift
+
+#endif  // ROICL_UPLIFT_NEURAL_CATE_H_

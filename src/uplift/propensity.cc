@@ -1,0 +1,61 @@
+#include "uplift/propensity.h"
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "nn/loss.h"
+
+namespace roicl::uplift {
+
+void PropensityModel::Fit(const Matrix& x,
+                          const std::vector<int>& treatment) {
+  ROICL_CHECK(x.rows() == static_cast<int>(treatment.size()));
+  ROICL_CHECK(x.rows() > 0);
+  Matrix x_scaled = scaler_.FitTransform(x);
+
+  Rng rng(config_.seed, /*stream=*/53);
+  net_ = std::make_unique<nn::Mlp>(
+      nn::Mlp::MakeMlp(x.cols(), config_.hidden, /*output_dim=*/1,
+                       nn::ActivationKind::kRelu, /*dropout_rate=*/0.0,
+                       &rng));
+
+  std::vector<double> targets(treatment.size());
+  for (size_t i = 0; i < treatment.size(); ++i) {
+    targets[i] = static_cast<double>(treatment[i]);
+  }
+  nn::BceWithLogitsLoss loss(&targets);
+  std::vector<int> index(x.rows());
+  for (int i = 0; i < x.rows(); ++i) index[i] = i;
+  nn::TrainNetwork(net_.get(), x_scaled, index, {}, loss, config_.train);
+}
+
+std::vector<double> PropensityModel::Predict(const Matrix& x) const {
+  ROICL_CHECK_MSG(fitted(), "Predict() before Fit()");
+  Matrix x_scaled = scaler_.Transform(x);
+  Matrix out = net_->Forward(x_scaled, nn::Mode::kInfer, nullptr);
+  std::vector<double> e(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    e[i] = Clamp(Sigmoid(out(i, 0)), config_.clip_lo, config_.clip_hi);
+  }
+  return e;
+}
+
+std::vector<double> PropensityModel::InverseWeights(
+    const Matrix& x, const std::vector<int>& treatment,
+    bool stabilized) const {
+  ROICL_CHECK(x.rows() == static_cast<int>(treatment.size()));
+  std::vector<double> e = Predict(x);
+  double p1 = 1.0, p0 = 1.0;
+  if (stabilized) {
+    int n1 = 0;
+    for (int t : treatment) n1 += (t == 1);
+    p1 = static_cast<double>(n1) / static_cast<double>(treatment.size());
+    p0 = 1.0 - p1;
+  }
+  std::vector<double> weights(e.size());
+  for (size_t i = 0; i < e.size(); ++i) {
+    weights[i] = treatment[i] == 1 ? p1 / e[i] : p0 / (1.0 - e[i]);
+  }
+  return weights;
+}
+
+}  // namespace roicl::uplift

@@ -1,0 +1,55 @@
+#ifndef ROICL_UPLIFT_PROPENSITY_H_
+#define ROICL_UPLIFT_PROPENSITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/scaler.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace roicl::uplift {
+
+/// Propensity estimator e(x) = P(T = 1 | X = x) for observational data:
+/// a (optionally shallow) logistic network trained with BCE on logits.
+/// Predictions are clipped away from {0, 1} so inverse-propensity weights
+/// stay bounded.
+struct PropensityConfig {
+  /// Empty = plain logistic regression; otherwise hidden widths.
+  std::vector<int> hidden = {};
+  nn::TrainConfig train;
+  /// Clip range of the predicted propensity.
+  double clip_lo = 0.05;
+  double clip_hi = 0.95;
+  uint64_t seed = 61;
+};
+
+class PropensityModel {
+ public:
+  explicit PropensityModel(const PropensityConfig& config)
+      : config_(config) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& treatment);
+
+  /// Clipped propensity estimates for each row of x.
+  std::vector<double> Predict(const Matrix& x) const;
+
+  /// Inverse-propensity weights. `stabilized` (default) multiplies by the
+  /// marginal arm rates — w = t * p1 / e(x) + (1 - t)(1 - p1)/(1 - e(x)) —
+  /// which leaves expectations identical but sharply reduces weight
+  /// variance (Robins' stabilized weights).
+  std::vector<double> InverseWeights(const Matrix& x,
+                                     const std::vector<int>& treatment,
+                                     bool stabilized = true) const;
+
+  bool fitted() const { return net_ != nullptr; }
+
+ private:
+  PropensityConfig config_;
+  StandardScaler scaler_;
+  mutable std::unique_ptr<nn::Mlp> net_;
+};
+
+}  // namespace roicl::uplift
+
+#endif  // ROICL_UPLIFT_PROPENSITY_H_

@@ -1,0 +1,58 @@
+#ifndef ROICL_UPLIFT_REGRESSOR_H_
+#define ROICL_UPLIFT_REGRESSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "trees/random_forest.h"
+
+namespace roicl::uplift {
+
+/// Generic supervised regressor — the pluggable base learner used by the
+/// S- and X-meta-learners.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void Fit(const Matrix& x, const std::vector<double>& y) = 0;
+  virtual std::vector<double> Predict(const Matrix& x) const = 0;
+};
+
+/// Factory producing fresh base learners (meta-learners need several
+/// independent instances).
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+/// L2-regularized linear regression via the normal equations.
+class RidgeRegressor : public Regressor {
+ public:
+  explicit RidgeRegressor(double lambda = 1.0) : lambda_(lambda) {}
+
+  void Fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;  // last entry is the intercept
+};
+
+/// Random-forest regressor adapter over trees::RandomForestRegressor.
+class ForestRegressor : public Regressor {
+ public:
+  explicit ForestRegressor(const trees::ForestConfig& config)
+      : forest_(config) {}
+
+  void Fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const Matrix& x) const override;
+
+ private:
+  trees::RandomForestRegressor forest_;
+};
+
+/// Convenience factories.
+RegressorFactory MakeRidgeFactory(double lambda = 1.0);
+RegressorFactory MakeForestFactory(const trees::ForestConfig& config);
+
+}  // namespace roicl::uplift
+
+#endif  // ROICL_UPLIFT_REGRESSOR_H_

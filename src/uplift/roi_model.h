@@ -1,0 +1,42 @@
+#ifndef ROICL_UPLIFT_ROI_MODEL_H_
+#define ROICL_UPLIFT_ROI_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace roicl::uplift {
+
+/// A model that ranks individuals by predicted ROI = tau_r(x) / tau_c(x).
+///
+/// Every benchmark method in Tables I/II implements this interface: the
+/// seven TPM baselines, Direct Rank, DRP and rDRP. Models that use a
+/// calibration set (rDRP) override FitWithCalibration; the default simply
+/// ignores the calibration data, which is correct for all point-estimate
+/// methods.
+class RoiModel {
+ public:
+  virtual ~RoiModel() = default;
+
+  /// Fits on RCT training data.
+  virtual void Fit(const RctDataset& train) = 0;
+
+  /// Fits with an extra calibration set (Algorithm 4 of the paper).
+  /// Default: delegate to Fit and ignore the calibration data.
+  virtual void FitWithCalibration(const RctDataset& train,
+                                  const RctDataset& calibration) {
+    (void)calibration;
+    Fit(train);
+  }
+
+  /// Predicted ROI (or any monotone score of it) for each row of `x`.
+  virtual std::vector<double> PredictRoi(const Matrix& x) const = 0;
+
+  /// Display name used in benchmark tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace roicl::uplift
+
+#endif  // ROICL_UPLIFT_ROI_MODEL_H_

@@ -1,0 +1,37 @@
+#include "uplift/tpm.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace roicl::uplift {
+
+TpmRoiModel::TpmRoiModel(std::string display_name, CateModelFactory factory,
+                         double cost_floor)
+    : display_name_(std::move(display_name)),
+      factory_(std::move(factory)),
+      cost_floor_(cost_floor) {
+  ROICL_CHECK(cost_floor_ > 0.0);
+}
+
+void TpmRoiModel::Fit(const RctDataset& train) {
+  train.Validate();
+  revenue_model_ = factory_();
+  revenue_model_->Fit(train.x, train.treatment, train.y_revenue);
+  cost_model_ = factory_();
+  cost_model_->Fit(train.x, train.treatment, train.y_cost);
+}
+
+std::vector<double> TpmRoiModel::PredictRoi(const Matrix& x) const {
+  ROICL_CHECK_MSG(revenue_model_ != nullptr && cost_model_ != nullptr,
+                  "PredictRoi() before Fit()");
+  std::vector<double> tau_r = revenue_model_->PredictCate(x);
+  std::vector<double> tau_c = cost_model_->PredictCate(x);
+  std::vector<double> roi(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    roi[i] = tau_r[i] / std::max(tau_c[i], cost_floor_);
+  }
+  return roi;
+}
+
+}  // namespace roicl::uplift

@@ -1,0 +1,42 @@
+#ifndef ROICL_UPLIFT_TPM_H_
+#define ROICL_UPLIFT_TPM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uplift/cate_model.h"
+#include "uplift/roi_model.h"
+
+namespace roicl::uplift {
+
+/// Two-Phase Method (TPM): fit one uplift model for the revenue outcome
+/// and one for the cost outcome, then score individuals by
+///   roi(x) = tau_r(x) / max(tau_c(x), floor).
+///
+/// The division is exactly the error-amplification step the paper
+/// criticizes (§I, §II-A) — TPM is the family of baselines in Table I
+/// (TPM-SL, TPM-XL, TPM-CF, TPM-DragonNet, TPM-TARNet, TPM-OffsetNet,
+/// TPM-SNet), differing only in the CATE model plugged in.
+class TpmRoiModel : public RoiModel {
+ public:
+  /// `display_name` e.g. "TPM-SL". `cost_floor` guards the division when
+  /// the cost-uplift prediction collapses toward zero.
+  TpmRoiModel(std::string display_name, CateModelFactory factory,
+              double cost_floor = 1e-3);
+
+  void Fit(const RctDataset& train) override;
+  std::vector<double> PredictRoi(const Matrix& x) const override;
+  std::string name() const override { return display_name_; }
+
+ private:
+  std::string display_name_;
+  CateModelFactory factory_;
+  double cost_floor_;
+  std::unique_ptr<CateModel> revenue_model_;
+  std::unique_ptr<CateModel> cost_model_;
+};
+
+}  // namespace roicl::uplift
+
+#endif  // ROICL_UPLIFT_TPM_H_

@@ -1,0 +1,111 @@
+#include "abtest/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/drp_model.h"
+#include "core/rdrp.h"
+
+namespace roicl::abtest {
+namespace {
+
+/// A RoiModel stub that returns a fixed transformation of the true ROI —
+/// lets us test the simulator without training networks.
+class OracleModel : public uplift::RoiModel {
+ public:
+  explicit OracleModel(const synth::SyntheticGenerator* generator)
+      : generator_(generator) {}
+  void Fit(const RctDataset&) override {}
+  std::vector<double> PredictRoi(const Matrix& x) const override {
+    std::vector<double> roi(x.rows());
+    for (int i = 0; i < x.rows(); ++i) {
+      roi[i] = generator_->Roi(x.RowPtr(i));
+    }
+    return roi;
+  }
+  std::string name() const override { return "oracle"; }
+
+ private:
+  const synth::SyntheticGenerator* generator_;
+};
+
+/// Anti-oracle: the worst possible ranking.
+class AntiOracleModel : public OracleModel {
+ public:
+  using OracleModel::OracleModel;
+  std::vector<double> PredictRoi(const Matrix& x) const override {
+    std::vector<double> roi = OracleModel::PredictRoi(x);
+    for (double& r : roi) r = -r;
+    return roi;
+  }
+  std::string name() const override { return "anti-oracle"; }
+};
+
+TEST(AbTestSimulatorTest, OracleBeatsRandomBeatsAntiOracle) {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  OracleModel oracle(&generator);
+  AntiOracleModel anti(&generator);
+  AbTestConfig config;
+  config.population_per_day = 3000;
+  config.num_days = 3;
+  AbTestResult result =
+      RunAbTest(generator, /*shifted_deployment=*/false, anti, oracle,
+                config);
+  // "rdrp" arm carries the oracle here, "drp" the anti-oracle.
+  EXPECT_GT(result.LiftOverRandomPct(result.rdrp_arm), 5.0);
+  EXPECT_LT(result.LiftOverRandomPct(result.drp_arm), -5.0);
+  EXPECT_EQ(result.rdrp_arm.daily_revenue.size(), 3u);
+}
+
+TEST(AbTestSimulatorTest, ArmsShareBudgetAndPopulation) {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  OracleModel oracle(&generator);
+  AbTestConfig config;
+  config.population_per_day = 1000;
+  config.num_days = 2;
+  AbTestResult result = RunAbTest(generator, false, oracle, oracle, config);
+  // Identical models in both arms -> identical revenue.
+  EXPECT_DOUBLE_EQ(result.drp_arm.total_revenue,
+                   result.rdrp_arm.total_revenue);
+}
+
+TEST(AbTestSimulatorTest, DeterministicBySeed) {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  OracleModel oracle(&generator);
+  AbTestConfig config;
+  config.population_per_day = 500;
+  config.num_days = 2;
+  AbTestResult a = RunAbTest(generator, true, oracle, oracle, config);
+  AbTestResult b = RunAbTest(generator, true, oracle, oracle, config);
+  EXPECT_DOUBLE_EQ(a.random_arm.total_revenue,
+                   b.random_arm.total_revenue);
+  EXPECT_DOUBLE_EQ(a.drp_arm.total_revenue, b.drp_arm.total_revenue);
+}
+
+TEST(AbTestSimulatorTest, EndToEndWithTrainedModels) {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(3);
+  RctDataset train = generator.Generate(4000, false, &rng);
+  RctDataset calib = generator.Generate(1200, false, &rng);
+
+  core::DrpConfig drp_config;
+  drp_config.train.epochs = 15;
+  core::DrpModel drp(drp_config);
+  drp.Fit(train);
+
+  core::RdrpConfig rdrp_config;
+  rdrp_config.drp = drp_config;
+  rdrp_config.mc_passes = 15;
+  core::RdrpModel rdrp(rdrp_config);
+  rdrp.FitWithCalibration(train, calib);
+
+  AbTestConfig config;
+  config.population_per_day = 2000;
+  config.num_days = 3;
+  AbTestResult result = RunAbTest(generator, false, drp, rdrp, config);
+  // Learned models should clear the random baseline.
+  EXPECT_GT(result.LiftOverRandomPct(result.drp_arm), 0.0);
+  EXPECT_GT(result.LiftOverRandomPct(result.rdrp_arm), 0.0);
+}
+
+}  // namespace
+}  // namespace roicl::abtest

@@ -1,0 +1,96 @@
+#include "core/calibration.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/cost_curve.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl::core {
+namespace {
+
+TEST(CalibrationFormTest, NamesAreStable) {
+  EXPECT_EQ(CalibrationFormName(CalibrationForm::kNone), "none");
+  EXPECT_EQ(CalibrationFormName(CalibrationForm::kProduct), "5a");
+  EXPECT_EQ(CalibrationFormName(CalibrationForm::kRatio), "5b");
+  EXPECT_EQ(CalibrationFormName(CalibrationForm::kUpper), "5c");
+  EXPECT_EQ(AllCalibrationForms().size(), 4u);
+}
+
+TEST(ApplyCalibrationFormTest, MatchesEquations) {
+  std::vector<double> roi_hat = {0.5};
+  std::vector<double> rq = {0.2};
+  EXPECT_DOUBLE_EQ(
+      ApplyCalibrationForm(CalibrationForm::kNone, roi_hat, rq)[0], 0.5);
+  EXPECT_DOUBLE_EQ(
+      ApplyCalibrationForm(CalibrationForm::kProduct, roi_hat, rq)[0],
+      0.5 * 0.7);  // 5a
+  EXPECT_DOUBLE_EQ(
+      ApplyCalibrationForm(CalibrationForm::kRatio, roi_hat, rq)[0],
+      2.5);  // 5b
+  EXPECT_DOUBLE_EQ(
+      ApplyCalibrationForm(CalibrationForm::kUpper, roi_hat, rq)[0],
+      0.7);  // 5c
+}
+
+TEST(ApplyCalibrationFormTest, RatioFormHandlesZeroWidth) {
+  std::vector<double> out = ApplyCalibrationForm(CalibrationForm::kRatio,
+                                                 {0.5}, {0.0});
+  EXPECT_TRUE(std::isfinite(out[0]));
+}
+
+TEST(ApplyCalibrationFormTest, UpperFormPreservesOrderForEqualWidths) {
+  // With identical interval widths, 5c is a rank-preserving shift.
+  std::vector<double> roi_hat = {0.1, 0.4, 0.2};
+  std::vector<double> rq(3, 0.3);
+  std::vector<double> out =
+      ApplyCalibrationForm(CalibrationForm::kUpper, roi_hat, rq);
+  EXPECT_LT(out[0], out[2]);
+  EXPECT_LT(out[2], out[1]);
+}
+
+TEST(SelectCalibrationFormTest, SelectionMaximizesCalibrationAucc) {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(3);
+  RctDataset calib = generator.Generate(3000, false, &rng);
+
+  // A noisy point estimate and an uncertainty that is informative: large
+  // where the point estimate is corrupted.
+  std::vector<double> roi_hat(calib.n()), rq(calib.n());
+  for (int i = 0; i < calib.n(); ++i) {
+    double truth = calib.TrueRoi(i);
+    bool corrupted = rng.Bernoulli(0.4);
+    roi_hat[i] = corrupted ? rng.Uniform(0.0, 1.0) : truth;
+    rq[i] = corrupted ? 0.5 + 0.2 * rng.Uniform() : 0.05 * rng.Uniform();
+  }
+  CalibrationForm best = SelectCalibrationForm(roi_hat, rq, calib);
+  double best_aucc = metrics::Aucc(
+      ApplyCalibrationForm(best, roi_hat, rq), calib);
+  for (CalibrationForm form : AllCalibrationForms()) {
+    double aucc =
+        metrics::Aucc(ApplyCalibrationForm(form, roi_hat, rq), calib);
+    EXPECT_GE(best_aucc, aucc - 1e-12)
+        << "form " << CalibrationFormName(form);
+  }
+}
+
+TEST(SelectCalibrationFormTest, NeverWorseThanRawOnSelectionSet) {
+  // Because kNone is in the candidate set, the selected form's
+  // calibration-set AUCC is >= the raw point estimate's.
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(4);
+  RctDataset calib = generator.Generate(2000, false, &rng);
+  std::vector<double> roi_hat(calib.n()), rq(calib.n());
+  for (int i = 0; i < calib.n(); ++i) {
+    roi_hat[i] = rng.Uniform();
+    rq[i] = rng.Uniform(0.0, 0.3);
+  }
+  CalibrationForm best = SelectCalibrationForm(roi_hat, rq, calib);
+  EXPECT_GE(metrics::Aucc(ApplyCalibrationForm(best, roi_hat, rq), calib),
+            metrics::Aucc(roi_hat, calib) - 1e-12);
+}
+
+}  // namespace
+}  // namespace roicl::core

@@ -1,0 +1,36 @@
+#!/bin/bash
+# End-to-end smoke test of the roicl CLI: generate -> train -> predict ->
+# evaluate -> allocate. Run by ctest with the build dir as argument.
+set -e
+BUILD_DIR="$1"
+WORK=$(mktemp -d)
+trap "rm -rf $WORK" EXIT
+CLI="$BUILD_DIR/tools/roicl"
+
+$CLI generate --dataset criteo --n 2000 --seed 1 --out $WORK/train.csv
+$CLI generate --dataset criteo --n 600 --seed 2 --out $WORK/calib.csv
+$CLI generate --dataset criteo --n 800 --seed 3 --out $WORK/test.csv
+$CLI train --model rdrp --train $WORK/train.csv --calib $WORK/calib.csv \
+    --epochs 10 --restarts 1 --out $WORK/model.rdrp
+$CLI predict --model-type rdrp --model $WORK/model.rdrp \
+    --data $WORK/test.csv --out $WORK/scores.csv
+[ "$(head -1 $WORK/scores.csv)" = "roi,interval_lo,interval_hi" ]
+[ "$(wc -l < $WORK/scores.csv)" -eq 801 ]
+$CLI evaluate --model-type rdrp --model $WORK/model.rdrp \
+    --data $WORK/test.csv | grep -q "AUCC"
+$CLI allocate --model-type rdrp --model $WORK/model.rdrp \
+    --data $WORK/test.csv --budget-frac 0.2 | grep -q "incr. revenue"
+# drp path too
+$CLI train --model drp --train $WORK/train.csv --epochs 5 --restarts 1 \
+    --out $WORK/model.drp
+$CLI evaluate --model-type drp --model $WORK/model.drp \
+    --data $WORK/test.csv | grep -q "AUCC"
+# error paths return non-zero
+if $CLI train --model nonsense --train $WORK/train.csv --out $WORK/x; then
+  echo "expected failure for bad model type"; exit 1
+fi
+if $CLI evaluate --model-type rdrp --model /nonexistent \
+    --data $WORK/test.csv; then
+  echo "expected failure for missing model"; exit 1
+fi
+echo "CLI smoke test passed"

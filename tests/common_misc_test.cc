@@ -1,0 +1,111 @@
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace roicl {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MathUtilTest, SigmoidBasics) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, SigmoidExtremeInputsAreFinite) {
+  EXPECT_TRUE(std::isfinite(Sigmoid(1e6)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-1e6)));
+}
+
+TEST(MathUtilTest, LogitInvertsSigmoid) {
+  for (double x : {-5.0, -1.0, 0.0, 0.3, 2.0, 8.0}) {
+    EXPECT_NEAR(Logit(Sigmoid(x)), x, 1e-9);
+  }
+}
+
+TEST(MathUtilTest, LogitClampsBoundary) {
+  EXPECT_TRUE(std::isfinite(Logit(0.0)));
+  EXPECT_TRUE(std::isfinite(Logit(1.0)));
+  EXPECT_LT(Logit(0.0), Logit(1e-6));
+  EXPECT_GT(Logit(1.0), Logit(1.0 - 1e-6));
+}
+
+TEST(MathUtilTest, SigmoidGradMatchesFiniteDifference) {
+  for (double x : {-2.0, 0.0, 1.5}) {
+    double h = 1e-6;
+    double numeric = (Sigmoid(x + h) - Sigmoid(x - h)) / (2 * h);
+    EXPECT_NEAR(SigmoidGrad(Sigmoid(x)), numeric, 1e-8);
+  }
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(0, 257, [&hits](int i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  pool.ParallelFor(5, 5, [](int) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&GlobalThreadPool(), &GlobalThreadPool());
+  EXPECT_GE(GlobalThreadPool().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace roicl

@@ -1,0 +1,142 @@
+#include "core/cqr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/coverage.h"
+
+namespace roicl::core {
+namespace {
+
+/// Heteroscedastic regression data: y = sin(2 x) + (0.1 + 0.4|x|) * noise.
+void MakeData(int n, uint64_t seed, Matrix* x, std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 1);
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    double xi = rng.Uniform(-2.0, 2.0);
+    (*x)(i, 0) = xi;
+    (*y)[i] =
+        std::sin(2.0 * xi) + (0.1 + 0.4 * std::fabs(xi)) * rng.Normal();
+  }
+}
+
+CqrConfig FastConfig(double alpha = 0.1) {
+  CqrConfig config;
+  config.alpha = alpha;
+  config.train.epochs = 60;
+  config.train.learning_rate = 5e-3;
+  return config;
+}
+
+TEST(PinballPairLossTest, GradientMatchesFiniteDifference) {
+  std::vector<double> targets = {0.5, -1.0, 2.0};
+  PinballPairLoss loss(&targets, 0.05, 0.95);
+  Matrix preds = {{0.2, 1.0}, {-0.5, 0.3}, {1.5, 2.5}};
+  Matrix grad;
+  loss.Compute(preds, {0, 1, 2}, &grad);
+  const double h = 1e-6;
+  for (int i = 0; i < 3; ++i) {
+    for (int c = 0; c < 2; ++c) {
+      Matrix plus = preds, minus = preds;
+      plus(i, c) += h;
+      minus(i, c) -= h;
+      Matrix unused;
+      double numeric = (loss.Compute(plus, {0, 1, 2}, &unused) -
+                        loss.Compute(minus, {0, 1, 2}, &unused)) /
+                       (2 * h);
+      EXPECT_NEAR(grad(i, c), numeric, 1e-6) << i << "," << c;
+    }
+  }
+}
+
+TEST(PinballPairLossTest, AsymmetricPenalty) {
+  // For the 0.9 quantile, under-prediction costs 9x over-prediction.
+  std::vector<double> targets = {1.0};
+  PinballPairLoss loss(&targets, 0.1, 0.9);
+  Matrix under = {{1.0, 0.0}};  // hi head under-predicts by 1
+  Matrix over = {{1.0, 2.0}};   // hi head over-predicts by 1
+  Matrix grad;
+  double loss_under = loss.Compute(under, {0}, &grad);
+  double loss_over = loss.Compute(over, {0}, &grad);
+  EXPECT_NEAR(loss_under / loss_over, 9.0, 1e-9);
+}
+
+class CqrCoverage : public ::testing::TestWithParam<double> {};
+
+TEST_P(CqrCoverage, ConformalizedIntervalsCover) {
+  double alpha = GetParam();
+  Matrix x_train, x_calib, x_test;
+  std::vector<double> y_train, y_calib, y_test;
+  MakeData(4000, 1, &x_train, &y_train);
+  MakeData(1500, 2, &x_calib, &y_calib);
+  MakeData(3000, 3, &x_test, &y_test);
+
+  CqrModel model(FastConfig(alpha));
+  model.Fit(x_train, y_train);
+  model.Calibrate(x_calib, y_calib);
+  std::vector<metrics::Interval> intervals = model.PredictIntervals(x_test);
+  metrics::CoverageReport report =
+      metrics::EvaluateCoverage(intervals, y_test);
+  double slack = 3.0 * std::sqrt(alpha * (1 - alpha) / 1500.0) + 0.01;
+  EXPECT_GE(report.coverage, 1.0 - alpha - slack) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, CqrCoverage,
+                         ::testing::Values(0.05, 0.1, 0.3));
+
+TEST(CqrTest, IntervalsAdaptToHeteroscedasticity) {
+  Matrix x_train, x_calib;
+  std::vector<double> y_train, y_calib;
+  MakeData(5000, 4, &x_train, &y_train);
+  MakeData(1500, 5, &x_calib, &y_calib);
+  CqrModel model(FastConfig());
+  model.Fit(x_train, y_train);
+  model.Calibrate(x_calib, y_calib);
+
+  // Noise scale grows with |x|: intervals at |x| = 1.8 should be wider
+  // than at x = 0.
+  Matrix near_zero(50, 1, 0.0);
+  Matrix far(50, 1, 1.8);
+  double width_zero = model.PredictIntervals(near_zero)[0].width();
+  double width_far = model.PredictIntervals(far)[0].width();
+  EXPECT_GT(width_far, width_zero * 1.3);
+}
+
+TEST(CqrTest, CalibrationWidensWhenRawUndercovers) {
+  Matrix x_train, x_calib;
+  std::vector<double> y_train, y_calib;
+  MakeData(2000, 6, &x_train, &y_train);
+  MakeData(1000, 7, &x_calib, &y_calib);
+  CqrConfig config = FastConfig();
+  config.train.epochs = 10;  // deliberately undertrained quantile heads
+  CqrModel model(config);
+  model.Fit(x_train, y_train);
+  model.Calibrate(x_calib, y_calib);
+  // q_hat is finite; the conformalized band contains the raw band when
+  // q_hat >= 0 and is narrower when raw over-covers (q_hat < 0).
+  EXPECT_TRUE(std::isfinite(model.q_hat()));
+  Matrix probe(1, 1, 0.5);
+  metrics::Interval raw = model.PredictRawIntervals(probe)[0];
+  metrics::Interval adjusted = model.PredictIntervals(probe)[0];
+  EXPECT_NEAR(adjusted.width(), raw.width() + 2.0 * model.q_hat(), 1e-9);
+}
+
+TEST(CqrTest, GuardsBeforeFitAndCalibrate) {
+  CqrModel model(FastConfig());
+  Matrix x(1, 1);
+  EXPECT_DEATH(model.PredictRawIntervals(x), "before Fit");
+  std::vector<double> y = {1.0};
+  Matrix x_train(50, 1);
+  std::vector<double> y_train(50, 0.0);
+  CqrConfig config = FastConfig();
+  config.train.epochs = 1;
+  CqrModel fitted(config);
+  fitted.Fit(x_train, y_train);
+  EXPECT_DEATH(fitted.PredictIntervals(x), "before Calibrate");
+}
+
+}  // namespace
+}  // namespace roicl::core

@@ -1,0 +1,196 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/scaler.h"
+#include "data/split.h"
+
+namespace roicl {
+namespace {
+
+RctDataset MakeToyDataset(int n, Rng* rng) {
+  RctDataset dataset;
+  dataset.x = Matrix(n, 3);
+  dataset.treatment.resize(n);
+  dataset.y_revenue.resize(n);
+  dataset.y_cost.resize(n);
+  dataset.true_tau_r.resize(n);
+  dataset.true_tau_c.resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 3; ++c) dataset.x(i, c) = rng->Normal();
+    dataset.treatment[i] = rng->Bernoulli(0.5) ? 1 : 0;
+    dataset.y_revenue[i] = rng->Uniform();
+    dataset.y_cost[i] = rng->Uniform();
+    dataset.true_tau_r[i] = 0.1 + 0.1 * rng->Uniform();
+    dataset.true_tau_c[i] = 0.3 + 0.1 * rng->Uniform();
+  }
+  return dataset;
+}
+
+TEST(RctDatasetTest, CountsAndValidate) {
+  Rng rng(3);
+  RctDataset dataset = MakeToyDataset(100, &rng);
+  dataset.Validate();
+  EXPECT_EQ(dataset.n(), 100);
+  EXPECT_EQ(dataset.dim(), 3);
+  EXPECT_EQ(dataset.NumTreated() + dataset.NumControl(), 100);
+  EXPECT_TRUE(dataset.has_ground_truth());
+}
+
+TEST(RctDatasetTest, TrueRoiIsRatio) {
+  Rng rng(4);
+  RctDataset dataset = MakeToyDataset(10, &rng);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(dataset.TrueRoi(i),
+                dataset.true_tau_r[i] / dataset.true_tau_c[i], 1e-12);
+  }
+}
+
+TEST(RctDatasetTest, SubsetPreservesAlignment) {
+  Rng rng(5);
+  RctDataset dataset = MakeToyDataset(50, &rng);
+  RctDataset subset = dataset.Subset({10, 20, 30});
+  EXPECT_EQ(subset.n(), 3);
+  EXPECT_EQ(subset.treatment[1], dataset.treatment[20]);
+  EXPECT_DOUBLE_EQ(subset.y_revenue[2], dataset.y_revenue[30]);
+  EXPECT_DOUBLE_EQ(subset.x(0, 2), dataset.x(10, 2));
+  EXPECT_DOUBLE_EQ(subset.true_tau_c[0], dataset.true_tau_c[10]);
+}
+
+TEST(RctDatasetTest, DiffInMeans) {
+  std::vector<int> t = {1, 1, 0, 0};
+  std::vector<double> y = {3.0, 5.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(RctDataset::DiffInMeans(t, y), 3.0);
+}
+
+TEST(SplitDatasetTest, FractionsRespected) {
+  Rng rng(6);
+  RctDataset dataset = MakeToyDataset(1000, &rng);
+  DatasetSplits splits =
+      SplitDataset(dataset, {.train = 0.6, .calibration = 0.2, .test = 0.2},
+                   &rng);
+  EXPECT_EQ(splits.train.n(), 600);
+  EXPECT_EQ(splits.calibration.n(), 200);
+  EXPECT_EQ(splits.test.n(), 200);
+}
+
+TEST(SplitDatasetTest, PartitionsAreDisjoint) {
+  Rng rng(7);
+  RctDataset dataset = MakeToyDataset(300, &rng);
+  // Tag rows through a feature to detect overlap after shuffling.
+  for (int i = 0; i < 300; ++i) dataset.x(i, 0) = i;
+  DatasetSplits splits =
+      SplitDataset(dataset, {.train = 0.5, .calibration = 0.25, .test = 0.25},
+                   &rng);
+  std::set<int> seen;
+  auto collect = [&](const RctDataset& d) {
+    for (int i = 0; i < d.n(); ++i) {
+      int tag = static_cast<int>(d.x(i, 0));
+      EXPECT_TRUE(seen.insert(tag).second) << "duplicate row " << tag;
+    }
+  };
+  collect(splits.train);
+  collect(splits.calibration);
+  collect(splits.test);
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(SubsampleTest, RateAndStratification) {
+  Rng rng(8);
+  RctDataset dataset = MakeToyDataset(2000, &rng);
+  RctDataset sub = Subsample(dataset, 0.15, &rng);
+  EXPECT_NEAR(sub.n(), 300, 3);
+  // Both arms survive.
+  EXPECT_GT(sub.NumTreated(), 0);
+  EXPECT_GT(sub.NumControl(), 0);
+  double full_rate =
+      static_cast<double>(dataset.NumTreated()) / dataset.n();
+  double sub_rate = static_cast<double>(sub.NumTreated()) / sub.n();
+  EXPECT_NEAR(sub_rate, full_rate, 0.02);
+}
+
+TEST(TwoWaySplitTest, SplitsDisjointly) {
+  Rng rng(9);
+  RctDataset dataset = MakeToyDataset(100, &rng);
+  RctDataset first, second;
+  TwoWaySplit(dataset, 0.3, &rng, &first, &second);
+  EXPECT_EQ(first.n(), 30);
+  EXPECT_EQ(second.n(), 70);
+}
+
+TEST(StandardScalerTest, ZeroMeanUnitVariance) {
+  Rng rng(10);
+  Matrix x(500, 2);
+  for (int r = 0; r < 500; ++r) {
+    x(r, 0) = rng.Normal(5.0, 3.0);
+    x(r, 1) = rng.Normal(-2.0, 0.5);
+  }
+  StandardScaler scaler;
+  Matrix z = scaler.FitTransform(x);
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (int r = 0; r < 500; ++r) mean += z(r, c);
+    mean /= 500;
+    for (int r = 0; r < 500; ++r) var += (z(r, c) - mean) * (z(r, c) - mean);
+    var /= 500;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(StandardScalerTest, ConstantColumnOnlyCentered) {
+  Matrix x = {{3.0}, {3.0}, {3.0}};
+  StandardScaler scaler;
+  Matrix z = scaler.FitTransform(x);
+  for (int r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
+}
+
+TEST(StandardScalerTest, TransformUsesTrainStatistics) {
+  Matrix train = {{0.0}, {2.0}};  // mean 1, std 1
+  StandardScaler scaler;
+  scaler.Fit(train);
+  Matrix test = {{5.0}};
+  EXPECT_DOUBLE_EQ(scaler.Transform(test)(0, 0), 4.0);
+}
+
+TEST(CsvTest, RoundTripWithGroundTruth) {
+  Rng rng(11);
+  RctDataset dataset = MakeToyDataset(40, &rng);
+  dataset.segment.assign(40, 2);
+  std::string path = ::testing::TempDir() + "/roicl_csv_test.csv";
+  ASSERT_TRUE(WriteDatasetCsv(dataset, path).ok());
+  StatusOr<RctDataset> loaded = ReadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const RctDataset& got = loaded.value();
+  EXPECT_EQ(got.n(), 40);
+  EXPECT_EQ(got.dim(), 3);
+  EXPECT_EQ(got.treatment, dataset.treatment);
+  EXPECT_EQ(got.segment, dataset.segment);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_NEAR(got.x(i, 1), dataset.x(i, 1), 1e-9);
+    EXPECT_NEAR(got.true_tau_r[i], dataset.true_tau_r[i], 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadDatasetCsv("/nonexistent/nowhere.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, MissingRequiredColumnRejected) {
+  std::string path = ::testing::TempDir() + "/roicl_csv_bad.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("f0,treatment,y_revenue\n1.0,1,0.5\n", f);
+  fclose(f);
+  EXPECT_EQ(ReadDatasetCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace roicl

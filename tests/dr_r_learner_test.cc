@@ -1,0 +1,101 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "uplift/meta_learners.h"
+
+namespace roicl::uplift {
+namespace {
+
+/// y = x0 + t * (1 + 2 x1) + noise (tau(x) = 1 + 2 x1, linear).
+void MakeData(int n, uint64_t seed, double propensity, Matrix* x,
+              std::vector<int>* t, std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  t->resize(n);
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng.Normal();
+    (*x)(i, 1) = rng.Normal();
+    (*t)[i] = rng.Bernoulli(propensity) ? 1 : 0;
+    (*y)[i] = (*x)(i, 0) + (*t)[i] * (1.0 + 2.0 * (*x)(i, 1)) +
+              rng.Normal(0.0, 0.2);
+  }
+}
+
+double CateMse(const CateModel& model, const Matrix& x) {
+  std::vector<double> tau = model.PredictCate(x);
+  double mse = 0.0;
+  for (int i = 0; i < x.rows(); ++i) {
+    double truth = 1.0 + 2.0 * x(i, 1);
+    mse += (tau[i] - truth) * (tau[i] - truth);
+  }
+  return mse / x.rows();
+}
+
+TEST(DrLearnerTest, RecoversLinearEffect) {
+  Matrix x;
+  std::vector<int> t;
+  std::vector<double> y;
+  MakeData(4000, 1, 0.5, &x, &t, &y);
+  DrLearner learner(MakeRidgeFactory(1e-4));
+  learner.Fit(x, t, y);
+  EXPECT_LT(CateMse(learner, x), 0.05);
+}
+
+TEST(DrLearnerTest, HandlesUnbalancedArms) {
+  Matrix x;
+  std::vector<int> t;
+  std::vector<double> y;
+  MakeData(6000, 2, 0.2, &x, &t, &y);  // 20% treated
+  DrLearner learner(MakeRidgeFactory(1e-4));
+  learner.Fit(x, t, y);
+  EXPECT_LT(CateMse(learner, x), 0.10);
+}
+
+TEST(RLearnerTest, RecoversLinearEffect) {
+  Matrix x;
+  std::vector<int> t;
+  std::vector<double> y;
+  MakeData(4000, 3, 0.5, &x, &t, &y);
+  RLearner learner(MakeRidgeFactory(1e-4));
+  learner.Fit(x, t, y);
+  EXPECT_LT(CateMse(learner, x), 0.05);
+}
+
+TEST(RLearnerTest, HandlesUnbalancedArms) {
+  Matrix x;
+  std::vector<int> t;
+  std::vector<double> y;
+  MakeData(6000, 4, 0.3, &x, &t, &y);
+  RLearner learner(MakeRidgeFactory(1e-4));
+  learner.Fit(x, t, y);
+  EXPECT_LT(CateMse(learner, x), 0.10);
+}
+
+TEST(DrRLearnerTest, AgreeWithEachOtherOnAverageEffect) {
+  Matrix x;
+  std::vector<int> t;
+  std::vector<double> y;
+  MakeData(5000, 5, 0.5, &x, &t, &y);
+  DrLearner dr(MakeRidgeFactory(1e-4));
+  RLearner r(MakeRidgeFactory(1e-4));
+  dr.Fit(x, t, y);
+  r.Fit(x, t, y);
+  // E[tau] = 1 for this design.
+  EXPECT_NEAR(Mean(dr.PredictCate(x)), 1.0, 0.1);
+  EXPECT_NEAR(Mean(r.PredictCate(x)), 1.0, 0.1);
+}
+
+TEST(DrRLearnerTest, GuardBeforeFit) {
+  DrLearner dr(MakeRidgeFactory());
+  RLearner r(MakeRidgeFactory());
+  Matrix x(1, 1);
+  EXPECT_DEATH(dr.PredictCate(x), "before Fit");
+  EXPECT_DEATH(r.PredictCate(x), "before Fit");
+}
+
+}  // namespace
+}  // namespace roicl::uplift

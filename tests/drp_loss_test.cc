@@ -1,0 +1,124 @@
+#include "core/drp_loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace roicl::core {
+namespace {
+
+/// Small RCT fixture with known tau_r / tau_c.
+struct Fixture {
+  std::vector<int> t;
+  std::vector<double> yr, yc;
+};
+
+Fixture MakeFixture(int n, double roi, double tau_c, Rng* rng) {
+  // Treated: cost Bernoulli(base + tau_c), revenue Bernoulli(base_r +
+  // roi * tau_c). Control: just the bases.
+  Fixture f;
+  double base_c = 0.2, base_r = 0.05;
+  for (int i = 0; i < n; ++i) {
+    int t = rng->Bernoulli(0.5) ? 1 : 0;
+    f.t.push_back(t);
+    f.yc.push_back(rng->Bernoulli(base_c + t * tau_c) ? 1.0 : 0.0);
+    f.yr.push_back(rng->Bernoulli(base_r + t * roi * tau_c) ? 1.0 : 0.0);
+  }
+  return f;
+}
+
+TEST(DrpLossTest, GradientMatchesFiniteDifference) {
+  Rng rng(1);
+  Fixture f = MakeFixture(64, 0.4, 0.3, &rng);
+  DrpLoss loss(&f.t, &f.yr, &f.yc);
+
+  Matrix preds(64, 1);
+  for (int i = 0; i < 64; ++i) preds(i, 0) = rng.Normal();
+  std::vector<int> index(64);
+  for (int i = 0; i < 64; ++i) index[i] = i;
+
+  Matrix grad;
+  loss.Compute(preds, index, &grad);
+
+  const double h = 1e-6;
+  for (int i = 0; i < 64; i += 5) {
+    Matrix plus = preds, minus = preds;
+    plus(i, 0) += h;
+    minus(i, 0) -= h;
+    Matrix unused;
+    double numeric = (loss.Compute(plus, index, &unused) -
+                      loss.Compute(minus, index, &unused)) /
+                     (2 * h);
+    EXPECT_NEAR(grad(i, 0), numeric, 1e-6) << "sample " << i;
+  }
+}
+
+TEST(DrpLossTest, StationaryPointIsRoi) {
+  // With a shared logit s, the population loss derivative vanishes exactly
+  // at sigmoid(s) = tau_r / tau_c.
+  Rng rng(2);
+  Fixture f = MakeFixture(200000, 0.45, 0.3, &rng);
+  double tau_r = RctDataset::DiffInMeans(f.t, f.yr);
+  double tau_c = RctDataset::DiffInMeans(f.t, f.yc);
+  double s_star = Logit(tau_r / tau_c);
+  EXPECT_NEAR(DrpPopulationLossDeriv(f.t, f.yr, f.yc, s_star), 0.0, 1e-9);
+  // And the empirical ROI is close to the design value.
+  EXPECT_NEAR(tau_r / tau_c, 0.45, 0.03);
+}
+
+TEST(DrpLossTest, PopulationLossIsConvex) {
+  // L''(s) = tau_c * sigmoid'(s) > 0 under Assumption 4: check the
+  // derivative is monotonically increasing on a grid.
+  Rng rng(3);
+  Fixture f = MakeFixture(50000, 0.5, 0.25, &rng);
+  double prev = -1e9;
+  for (double s = -6.0; s <= 6.0; s += 0.25) {
+    double deriv = DrpPopulationLossDeriv(f.t, f.yr, f.yc, s);
+    EXPECT_GE(deriv, prev - 1e-12) << "at s=" << s;
+    prev = deriv;
+  }
+}
+
+TEST(DrpLossTest, PopulationLossDerivMatchesFiniteDifference) {
+  Rng rng(4);
+  Fixture f = MakeFixture(1000, 0.3, 0.3, &rng);
+  const double h = 1e-6;
+  for (double s : {-2.0, 0.0, 1.0}) {
+    double numeric = (DrpPopulationLoss(f.t, f.yr, f.yc, s + h) -
+                      DrpPopulationLoss(f.t, f.yr, f.yc, s - h)) /
+                     (2 * h);
+    EXPECT_NEAR(DrpPopulationLossDeriv(f.t, f.yr, f.yc, s), numeric, 1e-6);
+  }
+}
+
+TEST(DrpLossTest, HandlesSingleArmBatchGracefully) {
+  std::vector<int> t = {1, 1, 1};
+  std::vector<double> yr = {1, 0, 1};
+  std::vector<double> yc = {1, 1, 0};
+  DrpLoss loss(&t, &yr, &yc);
+  Matrix preds(3, 1, 0.5);
+  Matrix grad;
+  double value = loss.Compute(preds, {0, 1, 2}, &grad);
+  EXPECT_TRUE(std::isfinite(value));
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(std::isfinite(grad(i, 0)));
+}
+
+TEST(DrpLossTest, StableAtExtremeLogits) {
+  std::vector<int> t = {1, 0};
+  std::vector<double> yr = {1.0, 0.0};
+  std::vector<double> yc = {1.0, 1.0};
+  DrpLoss loss(&t, &yr, &yc);
+  Matrix preds = {{500.0}, {-500.0}};
+  Matrix grad;
+  double value = loss.Compute(preds, {0, 1}, &grad);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_TRUE(std::isfinite(grad(0, 0)));
+  EXPECT_TRUE(std::isfinite(grad(1, 0)));
+}
+
+}  // namespace
+}  // namespace roicl::core

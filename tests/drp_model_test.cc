@@ -1,0 +1,181 @@
+#include "core/drp_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/stats.h"
+#include "core/dr_model.h"
+#include "core/mc_dropout.h"
+#include "metrics/cost_curve.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl::core {
+namespace {
+
+class DirectModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    generator_ = new synth::SyntheticGenerator(synth::CriteoSynthConfig());
+    Rng rng(21);
+    train_ = new RctDataset(generator_->Generate(6000, false, &rng));
+    test_ = new RctDataset(generator_->Generate(3000, false, &rng));
+  }
+  static void TearDownTestSuite() {
+    delete generator_;
+    delete train_;
+    delete test_;
+    generator_ = nullptr;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  static synth::SyntheticGenerator* generator_;
+  static RctDataset* train_;
+  static RctDataset* test_;
+};
+
+synth::SyntheticGenerator* DirectModelTest::generator_ = nullptr;
+RctDataset* DirectModelTest::train_ = nullptr;
+RctDataset* DirectModelTest::test_ = nullptr;
+
+TEST_F(DirectModelTest, DrpPredictionsAreValidRois) {
+  DrpConfig config;
+  config.train.epochs = 15;
+  DrpModel drp(config);
+  drp.Fit(*train_);
+  std::vector<double> roi = drp.PredictRoi(test_->x);
+  ASSERT_EQ(static_cast<int>(roi.size()), test_->n());
+  for (double r : roi) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST_F(DirectModelTest, DrpScoreIsLogitOfRoi) {
+  DrpConfig config;
+  config.train.epochs = 5;
+  DrpModel drp(config);
+  drp.Fit(*train_);
+  std::vector<double> scores = drp.PredictScore(test_->x);
+  std::vector<double> roi = drp.PredictRoi(test_->x);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NEAR(roi[i], Sigmoid(scores[i]), 1e-12);
+  }
+}
+
+TEST_F(DirectModelTest, DrpBeatsRandomRanking) {
+  DrpConfig config;
+  config.train.epochs = 25;
+  DrpModel drp(config);
+  drp.Fit(*train_);
+  double aucc = metrics::Aucc(drp.PredictRoi(test_->x), *test_);
+  EXPECT_GT(aucc, 0.53) << "DRP should rank better than random";
+}
+
+TEST_F(DirectModelTest, DrpAverageRoiNearConvergencePoint) {
+  // Unbiasedness in aggregate: the mean predicted ROI approximates the
+  // population ROI tau_r / tau_c.
+  DrpConfig config;
+  config.train.epochs = 30;
+  DrpModel drp(config);
+  drp.Fit(*train_);
+  std::vector<double> roi = drp.PredictRoi(test_->x);
+  double population_roi =
+      RctDataset::DiffInMeans(test_->treatment, test_->y_revenue) /
+      RctDataset::DiffInMeans(test_->treatment, test_->y_cost);
+  EXPECT_NEAR(Mean(roi), population_roi, 0.15);
+}
+
+TEST_F(DirectModelTest, DrpDeterministicBySeed) {
+  DrpConfig config;
+  config.train.epochs = 5;
+  DrpModel a(config), b(config);
+  a.Fit(*train_);
+  b.Fit(*train_);
+  std::vector<double> ra = a.PredictRoi(test_->x);
+  std::vector<double> rb = b.PredictRoi(test_->x);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(ra[i], rb[i]);
+}
+
+TEST_F(DirectModelTest, McDropoutStatsAreSane) {
+  DrpConfig config;
+  config.train.epochs = 10;
+  DrpModel drp(config);
+  drp.Fit(*train_);
+  McDropoutStats stats = drp.PredictMcRoi(test_->x, 25, /*seed=*/5);
+  ASSERT_EQ(static_cast<int>(stats.mean.size()), test_->n());
+  double mean_std = Mean(stats.stddev);
+  EXPECT_GT(mean_std, 0.0) << "dropout must induce prediction variance";
+  for (int i = 0; i < test_->n(); ++i) {
+    EXPECT_GE(stats.stddev[i], 0.0);
+    EXPECT_GT(stats.mean[i], 0.0);
+    EXPECT_LT(stats.mean[i], 1.0);
+  }
+  // MC mean tracks the deterministic point estimate.
+  std::vector<double> point = drp.PredictRoi(test_->x);
+  EXPECT_GT(PearsonCorrelation(stats.mean, point), 0.9);
+}
+
+TEST_F(DirectModelTest, McDropoutDeterministicBySeed) {
+  DrpConfig config;
+  config.train.epochs = 5;
+  DrpModel drp(config);
+  drp.Fit(*train_);
+  McDropoutStats a = drp.PredictMcRoi(test_->x, 10, 7);
+  McDropoutStats b = drp.PredictMcRoi(test_->x, 10, 7);
+  McDropoutStats c = drp.PredictMcRoi(test_->x, 10, 8);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_NE(a.mean, c.mean);
+}
+
+TEST_F(DirectModelTest, McStdShrinksWithMorePassesOnAverageStability) {
+  // More passes stabilize the mean estimate: two independent 100-pass
+  // means agree better than two independent 5-pass means.
+  DrpConfig config;
+  config.train.epochs = 5;
+  DrpModel drp(config);
+  drp.Fit(*train_);
+  auto disagreement = [&](int passes, uint64_t s1, uint64_t s2) {
+    McDropoutStats a = drp.PredictMcRoi(test_->x, passes, s1);
+    McDropoutStats b = drp.PredictMcRoi(test_->x, passes, s2);
+    double acc = 0.0;
+    for (size_t i = 0; i < a.mean.size(); ++i) {
+      acc += std::fabs(a.mean[i] - b.mean[i]);
+    }
+    return acc / a.mean.size();
+  };
+  EXPECT_LT(disagreement(80, 1, 2), disagreement(5, 3, 4));
+}
+
+TEST_F(DirectModelTest, DrLearnsAndRanks) {
+  DirectRankConfig config;
+  config.train.epochs = 25;
+  DirectRankModel dr(config);
+  dr.Fit(*train_);
+  std::vector<double> roi = dr.PredictRoi(test_->x);
+  for (double r : roi) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+  double aucc = metrics::Aucc(roi, *test_);
+  EXPECT_GT(aucc, 0.5) << "DR should at least beat random";
+}
+
+TEST_F(DirectModelTest, DrSupportsMcDropout) {
+  DirectRankConfig config;
+  config.train.epochs = 10;
+  DirectRankModel dr(config);
+  dr.Fit(*train_);
+  McDropoutStats stats = dr.PredictMcRoi(test_->x, 15, 3);
+  EXPECT_GT(Mean(stats.stddev), 0.0);
+}
+
+TEST(DrpModelGuardsTest, PredictBeforeFitAborts) {
+  DrpModel drp(DrpConfig{});
+  EXPECT_DEATH(drp.PredictRoi(Matrix(1, 2)), "before Fit");
+}
+
+}  // namespace
+}  // namespace roicl::core

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "exp/datasets.h"
+#include "exp/methods.h"
+#include "exp/runner.h"
+#include "exp/setting.h"
+#include "exp/table.h"
+
+namespace roicl::exp {
+namespace {
+
+TEST(SettingTest, NamesAndFlags) {
+  EXPECT_EQ(AllSettings().size(), 4u);
+  EXPECT_EQ(SettingName(Setting::kSuNo), "SuNo");
+  EXPECT_EQ(SettingName(Setting::kInCo), "InCo");
+  EXPECT_TRUE(IsSufficient(Setting::kSuCo));
+  EXPECT_FALSE(IsSufficient(Setting::kInNo));
+  EXPECT_TRUE(HasCovariateShift(Setting::kSuCo));
+  EXPECT_FALSE(HasCovariateShift(Setting::kSuNo));
+}
+
+TEST(DatasetsTest, NamesAndGenerators) {
+  EXPECT_EQ(AllDatasets().size(), 3u);
+  EXPECT_EQ(DatasetName(DatasetId::kCriteo), "CRITEO-UPLIFT v2");
+  synth::SyntheticGenerator criteo = MakeGenerator(DatasetId::kCriteo);
+  EXPECT_EQ(criteo.config().num_features, 12);
+  synth::SyntheticGenerator meituan = MakeGenerator(DatasetId::kMeituan);
+  EXPECT_EQ(meituan.config().num_features, 99);
+  synth::SyntheticGenerator alibaba = MakeGenerator(DatasetId::kAlibaba);
+  EXPECT_EQ(alibaba.config().num_features, 25);
+}
+
+TEST(BuildSplitsTest, SufficientVsInsufficientSizes) {
+  synth::SyntheticGenerator generator = MakeGenerator(DatasetId::kCriteo);
+  SplitSizes sizes;
+  sizes.train_sufficient = 2000;
+  sizes.calibration = 500;
+  sizes.test = 800;
+  DatasetSplits su = BuildSplits(generator, Setting::kSuNo, sizes, 1);
+  DatasetSplits in = BuildSplits(generator, Setting::kInNo, sizes, 1);
+  EXPECT_EQ(su.train.n(), 2000);
+  EXPECT_NEAR(in.train.n(), 300, 3);  // 0.15 subsample
+  EXPECT_EQ(su.calibration.n(), 500);
+  EXPECT_EQ(su.test.n(), 800);
+}
+
+TEST(BuildSplitsTest, ShiftOnlyAffectsCalibAndTest) {
+  synth::SyntheticGenerator generator = MakeGenerator(DatasetId::kCriteo);
+  SplitSizes sizes;
+  sizes.train_sufficient = 4000;
+  sizes.calibration = 4000;
+  sizes.test = 4000;
+  DatasetSplits shifted = BuildSplits(generator, Setting::kSuCo, sizes, 2);
+
+  // Count minority-segment mass: training should follow the unshifted
+  // mixture, calibration/test the shifted one.
+  auto minority_mass = [&](const RctDataset& d) {
+    int count = 0;
+    for (int s : d.segment) count += (s >= 2);
+    return static_cast<double>(count) / d.n();
+  };
+  EXPECT_LT(minority_mass(shifted.train), 0.2);
+  EXPECT_GT(minority_mass(shifted.calibration), 0.5);
+  EXPECT_GT(minority_mass(shifted.test), 0.5);
+}
+
+TEST(BuildSplitsTest, CalibAndTestShareDistribution) {
+  // Assumption 6: calibration and test mixtures agree.
+  synth::SyntheticGenerator generator = MakeGenerator(DatasetId::kCriteo);
+  SplitSizes sizes;
+  sizes.train_sufficient = 1000;
+  sizes.calibration = 8000;
+  sizes.test = 8000;
+  DatasetSplits splits = BuildSplits(generator, Setting::kInCo, sizes, 3);
+  int k = generator.config().num_segments;
+  std::vector<double> hc(k, 0.0), ht(k, 0.0);
+  for (int s : splits.calibration.segment) {
+    hc[s] += 1.0 / splits.calibration.n();
+  }
+  for (int s : splits.test.segment) ht[s] += 1.0 / splits.test.n();
+  for (int s = 0; s < k; ++s) EXPECT_NEAR(hc[s], ht[s], 0.03);
+}
+
+TEST(MethodsTest, Table1HasTenMethodsInPaperOrder) {
+  MethodHyperparams hp;
+  std::vector<MethodSpec> methods = Table1Methods(hp);
+  ASSERT_EQ(methods.size(), 10u);
+  EXPECT_EQ(methods[0].name, "TPM-SL");
+  EXPECT_EQ(methods[2].name, "TPM-CF");
+  EXPECT_EQ(methods[7].name, "DR");
+  EXPECT_EQ(methods[8].name, "DRP");
+  EXPECT_EQ(methods[9].name, "rDRP");
+  // Factories construct models matching their names.
+  for (const MethodSpec& spec : methods) {
+    std::unique_ptr<uplift::RoiModel> model = spec.factory();
+    EXPECT_EQ(model->name(), spec.name);
+  }
+}
+
+TEST(RunnerTest, RunSettingEvaluatesEveryMethod) {
+  MethodHyperparams hp;
+  hp.neural_epochs = 4;
+  hp.forest_trees = 5;
+  hp.causal_forest_trees = 5;
+  hp.mc_passes = 8;
+  std::vector<MethodSpec> methods = {DrpMethod(hp), RdrpMethod(hp)};
+  SplitSizes sizes;
+  sizes.train_sufficient = 1500;
+  sizes.calibration = 600;
+  sizes.test = 800;
+  std::vector<OfflineCell> cells =
+      RunSetting(DatasetId::kCriteo, Setting::kInCo, methods, sizes, 5);
+  ASSERT_EQ(cells.size(), 2u);
+  for (const OfflineCell& cell : cells) {
+    EXPECT_GT(cell.aucc, 0.2);
+    EXPECT_LT(cell.aucc, 1.0);
+    EXPECT_GT(cell.seconds, 0.0);
+    EXPECT_EQ(cell.setting, Setting::kInCo);
+  }
+}
+
+TEST(TextTableTest, RendersMarkdown) {
+  TextTable table({"Method", "AUCC"});
+  table.AddRow({"DRP", TextTable::Num(0.7714)});
+  table.AddRow({"rDRP", TextTable::Num(0.7717)});
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("| Method | AUCC   |"), std::string::npos);
+  EXPECT_NE(rendered.find("0.7714"), std::string::npos);
+  EXPECT_NE(rendered.find("rDRP"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(0.5), "0.5000");
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace roicl::exp

@@ -1,0 +1,93 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace roicl::core {
+namespace {
+
+TEST(GreedyAllocateTest, PicksHighestRoiFirst) {
+  std::vector<double> roi = {0.1, 0.9, 0.5};
+  std::vector<double> cost = {1.0, 1.0, 1.0};
+  AllocationResult result = GreedyAllocate(roi, cost, 2.0);
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_EQ(result.selected[0], 1);
+  EXPECT_EQ(result.selected[1], 2);
+  EXPECT_DOUBLE_EQ(result.spent, 2.0);
+}
+
+TEST(GreedyAllocateTest, StopVariantHaltsAtFirstOverflow) {
+  std::vector<double> roi = {0.9, 0.8, 0.7};
+  std::vector<double> cost = {1.0, 5.0, 1.0};
+  AllocationResult result =
+      GreedyAllocate(roi, cost, 2.0, /*skip_unaffordable=*/false);
+  // Paper semantics: item 1 does not fit, allocation stops there.
+  EXPECT_EQ(result.selected, (std::vector<int>{0}));
+}
+
+TEST(GreedyAllocateTest, SkipVariantContinuesPastOverflow) {
+  std::vector<double> roi = {0.9, 0.8, 0.7};
+  std::vector<double> cost = {1.0, 5.0, 1.0};
+  AllocationResult result =
+      GreedyAllocate(roi, cost, 2.0, /*skip_unaffordable=*/true);
+  EXPECT_EQ(result.selected, (std::vector<int>{0, 2}));
+}
+
+TEST(GreedyAllocateTest, ZeroBudgetSelectsNothingCostly) {
+  std::vector<double> roi = {0.5, 0.6};
+  std::vector<double> cost = {1.0, 2.0};
+  AllocationResult result = GreedyAllocate(roi, cost, 0.0);
+  EXPECT_TRUE(result.selected.empty());
+}
+
+TEST(GreedyAllocateTest, TiesBreakByIndexDeterministically) {
+  std::vector<double> roi = {0.5, 0.5, 0.5};
+  std::vector<double> cost = {1.0, 1.0, 1.0};
+  AllocationResult result = GreedyAllocate(roi, cost, 2.0);
+  EXPECT_EQ(result.selected, (std::vector<int>{0, 1}));
+}
+
+TEST(KnapsackBruteForceTest, KnownOptimum) {
+  std::vector<double> values = {6.0, 10.0, 12.0};
+  std::vector<double> costs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(KnapsackBruteForce(values, costs, 5.0), 22.0);
+  EXPECT_DOUBLE_EQ(KnapsackBruteForce(values, costs, 6.0), 28.0);
+}
+
+TEST(SelectionValueTest, Sums) {
+  EXPECT_DOUBLE_EQ(SelectionValue({0, 2}, {1.0, 2.0, 3.0}), 4.0);
+}
+
+// Property test of the paper's approximation bound:
+// greedy >= OPT - max_i value_i when items are ranked by value/cost.
+class GreedyApproximation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyApproximation, WithinAdditiveBoundOfOptimum) {
+  Rng rng(GetParam());
+  int n = 4 + static_cast<int>(rng.UniformInt(10));
+  std::vector<double> values(n), costs(n), roi(n);
+  for (int i = 0; i < n; ++i) {
+    costs[i] = rng.Uniform(0.2, 2.0);
+    roi[i] = rng.Uniform(0.05, 0.95);  // value density (ROI)
+    values[i] = roi[i] * costs[i];     // tau_r = roi * tau_c
+  }
+  double budget = rng.Uniform(0.5, 0.6 * n);
+  double optimum = KnapsackBruteForce(values, costs, budget);
+
+  AllocationResult greedy =
+      GreedyAllocate(roi, costs, budget, /*skip_unaffordable=*/true);
+  double greedy_value = SelectionValue(greedy.selected, values);
+  double max_value = *std::max_element(values.begin(), values.end());
+  EXPECT_GE(greedy_value + max_value + 1e-9, optimum)
+      << "n=" << n << " budget=" << budget;
+  EXPECT_LE(greedy.spent, budget + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyApproximation,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace roicl::core

@@ -1,0 +1,92 @@
+#include "core/lagrangian.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+
+namespace roicl::core {
+namespace {
+
+TEST(LagrangianTest, EverythingFitsAtZeroLambda) {
+  LagrangianResult result =
+      LagrangianAllocate({1.0, 2.0}, {1.0, 1.0}, /*budget=*/5.0);
+  EXPECT_EQ(result.selected.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.lambda, 0.0);
+  EXPECT_DOUBLE_EQ(result.value, 3.0);
+}
+
+TEST(LagrangianTest, RespectsBudget) {
+  Rng rng(1);
+  int n = 200;
+  std::vector<double> values(n), costs(n);
+  for (int i = 0; i < n; ++i) {
+    costs[i] = rng.Uniform(0.1, 2.0);
+    values[i] = rng.Uniform(0.0, 1.0) * costs[i];
+  }
+  double budget = 20.0;
+  LagrangianResult result = LagrangianAllocate(values, costs, budget);
+  EXPECT_LE(result.spent, budget + 1e-9);
+}
+
+TEST(LagrangianTest, UpperBoundDominatesOptimum) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 4 + static_cast<int>(rng.UniformInt(10));
+    std::vector<double> values(n), costs(n);
+    for (int i = 0; i < n; ++i) {
+      costs[i] = rng.Uniform(0.2, 2.0);
+      values[i] = rng.Uniform(0.05, 0.95) * costs[i];
+    }
+    double budget = rng.Uniform(0.5, 0.5 * n);
+    double optimum = KnapsackBruteForce(values, costs, budget);
+    LagrangianResult result = LagrangianAllocate(values, costs, budget);
+    EXPECT_GE(result.upper_bound + 1e-9, optimum) << "trial " << trial;
+    EXPECT_LE(result.value, optimum + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LagrangianTest, MatchesGreedyQuality) {
+  // Both are ratio-driven; the Lagrangian primal (with repair) should be
+  // at least as good as skip-greedy on random instances.
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 100;
+    std::vector<double> values(n), costs(n), roi(n);
+    for (int i = 0; i < n; ++i) {
+      costs[i] = rng.Uniform(0.1, 1.5);
+      roi[i] = rng.Uniform(0.05, 0.95);
+      values[i] = roi[i] * costs[i];
+    }
+    double budget = rng.Uniform(2.0, 20.0);
+    LagrangianResult lagrangian = LagrangianAllocate(values, costs, budget);
+    AllocationResult greedy =
+        GreedyAllocate(roi, costs, budget, /*skip_unaffordable=*/true);
+    double greedy_value = SelectionValue(greedy.selected, values);
+    EXPECT_GE(lagrangian.value + 1e-9, greedy_value * 0.999)
+        << "trial " << trial;
+  }
+}
+
+TEST(LagrangianTest, TightBudgetSelectsBestRatios) {
+  // values/costs ratios: 0.9, 0.5, 0.1 — with room for exactly one unit
+  // cost, the best-ratio item wins.
+  LagrangianResult result =
+      LagrangianAllocate({0.9, 0.5, 0.1}, {1.0, 1.0, 1.0}, 1.0);
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], 0);
+}
+
+TEST(LagrangianTest, ZeroBudget) {
+  LagrangianResult result = LagrangianAllocate({1.0}, {1.0}, 0.0);
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_GE(result.upper_bound, 0.0);
+}
+
+TEST(LagrangianTest, RejectsNonPositiveCosts) {
+  EXPECT_DEATH(LagrangianAllocate({1.0}, {0.0}, 1.0), "positive");
+}
+
+}  // namespace
+}  // namespace roicl::core

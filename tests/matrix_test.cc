@@ -1,0 +1,137 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace roicl {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowAndColExtraction) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (std::vector<double>{3, 6}));
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix sub = m.SelectRows({2, 0, 2});
+  EXPECT_EQ(sub.rows(), 3);
+  EXPECT_DOUBLE_EQ(sub(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sub(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sub(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{10, 20}, {30, 40}};
+  a += b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 44.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+}
+
+TEST(MatrixTest, AppendRow) {
+  Matrix m;
+  m.AppendRow({1.0, 2.0});
+  m.AppendRow({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatmulTest, KnownProduct) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Matrix c = Matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatmulTest, IdentityIsNeutral) {
+  Matrix a = {{1, 2, 3}, {4, 5, 6}};
+  Matrix c = Matmul(a, Matrix::Identity(3));
+  for (int r = 0; r < 2; ++r) {
+    for (int col = 0; col < 3; ++col) {
+      EXPECT_DOUBLE_EQ(c(r, col), a(r, col));
+    }
+  }
+}
+
+TEST(MatvecTest, KnownProduct) {
+  Matrix a = {{1, 2}, {3, 4}};
+  std::vector<double> y = Matvec(a, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(DotTest, Basics) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(ColumnSumsTest, Basics) {
+  Matrix a = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(ColumnSums(a), (std::vector<double>{9.0, 12.0}));
+}
+
+TEST(StackTest, HStackAndVStack) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5}, {6}};
+  Matrix h = HStack(a, b);
+  EXPECT_EQ(h.rows(), 2);
+  EXPECT_EQ(h.cols(), 3);
+  EXPECT_DOUBLE_EQ(h(1, 2), 6.0);
+
+  Matrix c = {{7, 8}};
+  Matrix v = VStack(a, c);
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_DOUBLE_EQ(v(2, 1), 8.0);
+}
+
+TEST(StackTest, VStackWithEmpty) {
+  Matrix a = {{1, 2}};
+  Matrix empty;
+  Matrix v = VStack(a, empty);
+  EXPECT_EQ(v.rows(), 1);
+}
+
+}  // namespace
+}  // namespace roicl

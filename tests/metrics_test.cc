@@ -1,0 +1,115 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/cost_curve.h"
+#include "metrics/coverage.h"
+#include "metrics/qini.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl::metrics {
+namespace {
+
+RctDataset MakeEvaluationRct(int n, uint64_t seed) {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(seed);
+  return generator.Generate(n, false, &rng);
+}
+
+TEST(CostCurveTest, StartsAtOriginEndsAtTotals) {
+  RctDataset d = MakeEvaluationRct(3000, 1);
+  std::vector<double> scores(d.n());
+  Rng rng(2);
+  for (double& s : scores) s = rng.Uniform();
+  CostCurve curve = ComputeCostCurve(scores, d);
+  ASSERT_EQ(curve.points.size(), static_cast<size_t>(d.n() + 1));
+  EXPECT_EQ(curve.points.front().k, 0);
+  EXPECT_DOUBLE_EQ(curve.points.front().cumulative_cost, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().cumulative_cost, curve.total_cost);
+  EXPECT_DOUBLE_EQ(curve.points.back().cumulative_revenue,
+                   curve.total_revenue);
+  EXPECT_GT(curve.total_cost, 0.0);
+  EXPECT_GT(curve.total_revenue, 0.0);
+}
+
+TEST(AuccTest, RandomScoresNearHalf) {
+  RctDataset d = MakeEvaluationRct(20000, 3);
+  Rng rng(4);
+  std::vector<double> scores(d.n());
+  for (double& s : scores) s = rng.Uniform();
+  EXPECT_NEAR(Aucc(scores, d), 0.5, 0.05);
+}
+
+TEST(AuccTest, OracleBeatsRandomBeatsAntiOracle) {
+  RctDataset d = MakeEvaluationRct(20000, 5);
+  std::vector<double> oracle(d.n()), anti(d.n()), random_scores(d.n());
+  Rng rng(6);
+  for (int i = 0; i < d.n(); ++i) {
+    oracle[i] = d.TrueRoi(i);
+    anti[i] = -oracle[i];
+    random_scores[i] = rng.Uniform();
+  }
+  double aucc_oracle = Aucc(oracle, d);
+  double aucc_random = Aucc(random_scores, d);
+  double aucc_anti = Aucc(anti, d);
+  EXPECT_GT(aucc_oracle, aucc_random + 0.03);
+  EXPECT_GT(aucc_random, aucc_anti + 0.03);
+  EXPECT_DOUBLE_EQ(aucc_oracle, OracleAucc(d));
+}
+
+TEST(AuccTest, InvariantToMonotoneTransformOfScores) {
+  RctDataset d = MakeEvaluationRct(5000, 7);
+  std::vector<double> scores(d.n()), transformed(d.n());
+  for (int i = 0; i < d.n(); ++i) {
+    scores[i] = d.TrueRoi(i);
+    transformed[i] = std::exp(3.0 * scores[i]) + 5.0;
+  }
+  EXPECT_DOUBLE_EQ(Aucc(scores, d), Aucc(transformed, d));
+}
+
+TEST(AuccTest, DegenerateOutcomesGiveHalf) {
+  // All-zero outcomes: no measurable lift, AUCC defined as 0.5.
+  RctDataset d;
+  d.x = Matrix(10, 1);
+  for (int i = 0; i < 10; ++i) {
+    d.treatment.push_back(i % 2);
+    d.y_revenue.push_back(0.0);
+    d.y_cost.push_back(0.0);
+  }
+  std::vector<double> scores(10, 0.5);
+  EXPECT_DOUBLE_EQ(Aucc(scores, d), 0.5);
+}
+
+TEST(QiniTest, OracleRevenueRankingBeatsRandom) {
+  RctDataset d = MakeEvaluationRct(20000, 8);
+  std::vector<double> oracle(d.n()), random_scores(d.n());
+  Rng rng(9);
+  for (int i = 0; i < d.n(); ++i) {
+    oracle[i] = d.true_tau_r[i];
+    random_scores[i] = rng.Uniform();
+  }
+  EXPECT_GT(QiniCoefficient(oracle, d), QiniCoefficient(random_scores, d));
+  EXPECT_NEAR(QiniCoefficient(random_scores, d), 0.0, 0.05);
+}
+
+TEST(IntervalTest, ContainsAndWidth) {
+  Interval interval{0.2, 0.6};
+  EXPECT_TRUE(interval.Contains(0.2));
+  EXPECT_TRUE(interval.Contains(0.6));
+  EXPECT_TRUE(interval.Contains(0.4));
+  EXPECT_FALSE(interval.Contains(0.61));
+  EXPECT_DOUBLE_EQ(interval.width(), 0.4);
+}
+
+TEST(EvaluateCoverageTest, CountsCorrectly) {
+  std::vector<Interval> intervals = {{0.0, 1.0}, {0.4, 0.5}, {0.9, 1.1}};
+  std::vector<double> targets = {0.5, 0.6, 1.0};
+  CoverageReport report = EvaluateCoverage(intervals, targets);
+  EXPECT_EQ(report.n, 3);
+  EXPECT_NEAR(report.coverage, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.mean_width, (1.0 + 0.1 + 0.2) / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace roicl::metrics

@@ -1,0 +1,101 @@
+#include "uplift/multi_head_net.h"
+
+#include <gtest/gtest.h>
+
+namespace roicl::uplift {
+namespace {
+
+MultiHeadNet MakeNet(int input_dim, int rep_dim, int heads, Rng* rng) {
+  nn::Mlp trunk = nn::Mlp::MakeMlp(input_dim, {8}, rep_dim,
+                                   nn::ActivationKind::kTanh, 0.0, rng);
+  std::vector<nn::Mlp> head_nets;
+  for (int h = 0; h < heads; ++h) {
+    head_nets.push_back(nn::Mlp::MakeMlp(rep_dim, {6}, 1,
+                                         nn::ActivationKind::kTanh, 0.0,
+                                         rng));
+  }
+  return MultiHeadNet(std::move(trunk), std::move(head_nets));
+}
+
+TEST(MultiHeadNetTest, OutputShapeMatchesHeadCount) {
+  Rng rng(1);
+  MultiHeadNet net = MakeNet(4, 5, 3, &rng);
+  Matrix input(7, 4);
+  Matrix out = net.Forward(input, nn::Mode::kInfer, nullptr);
+  EXPECT_EQ(out.rows(), 7);
+  EXPECT_EQ(out.cols(), 3);
+}
+
+TEST(MultiHeadNetTest, ParamsCoverTrunkAndHeads) {
+  Rng rng(2);
+  MultiHeadNet net = MakeNet(4, 5, 2, &rng);
+  // trunk: Dense(4,8)+Dense(8,5) -> 4 param matrices;
+  // each head: Dense(5,6)+Dense(6,1) -> 4; total 4 + 2*4 = 12.
+  EXPECT_EQ(net.Params().size(), 12u);
+  EXPECT_EQ(net.Grads().size(), 12u);
+}
+
+TEST(MultiHeadNetTest, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  MultiHeadNet net = MakeNet(3, 4, 2, &rng);
+  Matrix input(5, 3);
+  Rng data_rng(4);
+  for (double& v : input.data()) v = data_rng.Normal();
+
+  Matrix out = net.Forward(input, nn::Mode::kTrain, &rng);
+  Matrix grad_out(out.rows(), out.cols(), 1.0);
+  net.ZeroGrads();
+  Matrix grad_in = net.Backward(grad_out);
+
+  auto loss_at = [&]() {
+    Matrix o = net.Forward(input, nn::Mode::kInfer, nullptr);
+    double total = 0.0;
+    for (double v : o.data()) total += v;
+    return total;
+  };
+  const double h = 1e-6;
+  std::vector<Matrix*> params = net.Params();
+  std::vector<Matrix*> grads = net.Grads();
+  for (size_t p = 0; p < params.size(); ++p) {
+    for (size_t k = 0; k < params[p]->size(); k += 5) {
+      double original = params[p]->data()[k];
+      params[p]->data()[k] = original + h;
+      double plus = loss_at();
+      params[p]->data()[k] = original - h;
+      double minus = loss_at();
+      params[p]->data()[k] = original;
+      EXPECT_NEAR(grads[p]->data()[k], (plus - minus) / (2 * h), 2e-5)
+          << "param " << p << " entry " << k;
+    }
+  }
+  // Input gradient: shared trunk accumulates from both heads.
+  Matrix perturbed = input;
+  for (size_t k = 0; k < perturbed.size(); k += 3) {
+    double original = perturbed.data()[k];
+    perturbed.data()[k] = original + h;
+    Matrix o_plus = net.Forward(perturbed, nn::Mode::kInfer, nullptr);
+    perturbed.data()[k] = original - h;
+    Matrix o_minus = net.Forward(perturbed, nn::Mode::kInfer, nullptr);
+    perturbed.data()[k] = original;
+    double plus = 0.0, minus = 0.0;
+    for (double v : o_plus.data()) plus += v;
+    for (double v : o_minus.data()) minus += v;
+    EXPECT_NEAR(grad_in.data()[k], (plus - minus) / (2 * h), 2e-5);
+  }
+}
+
+TEST(MultiHeadNetTest, SnapshotRestoreRoundTrip) {
+  Rng rng(5);
+  MultiHeadNet net = MakeNet(2, 3, 2, &rng);
+  Matrix input = {{0.5, -0.5}};
+  Matrix before = net.Forward(input, nn::Mode::kInfer, nullptr);
+  std::vector<Matrix> snapshot = net.SnapshotParams();
+  for (Matrix* p : net.Params()) *p *= 0.5;
+  net.RestoreParams(snapshot);
+  Matrix after = net.Forward(input, nn::Mode::kInfer, nullptr);
+  EXPECT_DOUBLE_EQ(before(0, 0), after(0, 0));
+  EXPECT_DOUBLE_EQ(before(0, 1), after(0, 1));
+}
+
+}  // namespace
+}  // namespace roicl::uplift

@@ -1,0 +1,181 @@
+#include "core/multi_treatment.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/cost_curve.h"
+#include "synth/multi_treatment.h"
+
+namespace roicl {
+namespace {
+
+synth::MultiTreatmentGenerator MakeGenerator() {
+  // Arm 1: small coupon. Arm 2: big coupon — costs 1.8x, slightly lower
+  // ROI (diminishing returns). The base effect range is shrunk so the
+  // scaled arm keeps outcome probabilities valid (see the generator's
+  // saturation check).
+  synth::SyntheticConfig base = synth::CriteoSynthConfig();
+  base.tau_c_lo = 0.05;
+  base.tau_c_hi = 0.30;
+  return synth::MultiTreatmentGenerator(
+      base, {{.cost_scale = 1.0, .roi_shift = 0.0},
+             {.cost_scale = 1.8, .roi_shift = -0.08}});
+}
+
+TEST(MultiTreatmentGeneratorTest, GeneratesAllArms) {
+  synth::MultiTreatmentGenerator generator = MakeGenerator();
+  Rng rng(1);
+  synth::MultiTreatmentDataset data = generator.Generate(3000, false, &rng);
+  EXPECT_EQ(data.num_arms(), 2);
+  std::vector<int> counts(3, 0);
+  for (int t : data.treatment) {
+    ASSERT_GE(t, 0);
+    ASSERT_LE(t, 2);
+    counts[t]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c / 3000.0, 1.0 / 3.0, 0.05);
+}
+
+TEST(MultiTreatmentGeneratorTest, ArmEffectsScaleAsConfigured) {
+  synth::MultiTreatmentGenerator generator = MakeGenerator();
+  Rng rng(2);
+  synth::MultiTreatmentDataset data = generator.Generate(100, false, &rng);
+  for (int i = 0; i < data.n(); ++i) {
+    EXPECT_NEAR(data.true_tau_c[1][i], 1.8 * data.true_tau_c[0][i], 1e-12);
+    // ROI of arm 2 is shifted down by 0.08 (up to the clamp).
+    double roi1 = data.TrueRoi(i, 1);
+    double roi2 = data.TrueRoi(i, 2);
+    EXPECT_LE(roi2, roi1 + 1e-12);
+  }
+}
+
+TEST(MultiTreatmentGeneratorTest, BinarySubproblemIsValidRct) {
+  synth::MultiTreatmentGenerator generator = MakeGenerator();
+  Rng rng(3);
+  synth::MultiTreatmentDataset data = generator.Generate(2000, false, &rng);
+  for (int arm = 1; arm <= 2; ++arm) {
+    RctDataset sub = data.BinarySubproblem(arm);
+    sub.Validate();
+    EXPECT_GT(sub.NumTreated(), 0);
+    EXPECT_GT(sub.NumControl(), 0);
+    // Roughly 2/3 of the population lands in each sub-problem.
+    EXPECT_NEAR(sub.n() / static_cast<double>(data.n()), 2.0 / 3.0, 0.05);
+    // The sub-problem's RCT difference-in-means estimates the arm's
+    // average effect.
+    double mean_tau_c = 0.0;
+    for (int i = 0; i < data.n(); ++i) {
+      mean_tau_c += data.true_tau_c[arm - 1][i];
+    }
+    mean_tau_c /= data.n();
+    EXPECT_NEAR(sub.AverageCostLift(), mean_tau_c, 0.08);
+  }
+}
+
+TEST(GreedyAllocateMultiTest, OneArmPerUser) {
+  // Two arms, three users; arm 2 strictly better ROI for user 0.
+  std::vector<std::vector<double>> roi = {{0.5, 0.9, 0.2},
+                                          {0.8, 0.1, 0.3}};
+  std::vector<std::vector<double>> costs = {{1.0, 1.0, 1.0},
+                                            {1.0, 1.0, 1.0}};
+  core::MultiAllocationResult result =
+      core::GreedyAllocateMulti(roi, costs, 2.0);
+  EXPECT_EQ(result.assignment[0], 2);  // best pair overall is (1, arm1)=0.9
+  EXPECT_EQ(result.assignment[1], 1);
+  EXPECT_EQ(result.assignment[2], -1);  // budget exhausted
+  EXPECT_DOUBLE_EQ(result.spent, 2.0);
+}
+
+TEST(GreedyAllocateMultiTest, SkipsUnaffordablePairs) {
+  std::vector<std::vector<double>> roi = {{0.9, 0.5}};
+  std::vector<std::vector<double>> costs = {{10.0, 1.0}};
+  core::MultiAllocationResult result =
+      core::GreedyAllocateMulti(roi, costs, 2.0);
+  EXPECT_EQ(result.assignment[0], -1);
+  EXPECT_EQ(result.assignment[1], 1);
+}
+
+TEST(GreedyAllocateMultiTest, ZeroBudgetTreatsNobody) {
+  std::vector<std::vector<double>> roi = {{0.9}};
+  std::vector<std::vector<double>> costs = {{1.0}};
+  core::MultiAllocationResult result =
+      core::GreedyAllocateMulti(roi, costs, 0.0);
+  EXPECT_EQ(result.assignment[0], -1);
+  EXPECT_DOUBLE_EQ(result.spent, 0.0);
+}
+
+TEST(DivideAndConquerRdrpTest, EndToEndBeatsRandomAllocation) {
+  synth::MultiTreatmentGenerator generator = MakeGenerator();
+  Rng rng(4);
+  synth::MultiTreatmentDataset train = generator.Generate(6000, false, &rng);
+  synth::MultiTreatmentDataset calib = generator.Generate(2400, false, &rng);
+  synth::MultiTreatmentDataset test = generator.Generate(3000, false, &rng);
+
+  core::RdrpConfig config;
+  config.drp.train.epochs = 12;
+  config.mc_passes = 10;
+  core::DivideAndConquerRdrp model(config);
+  model.FitWithCalibration(train, calib);
+  EXPECT_EQ(model.num_arms(), 2);
+
+  std::vector<std::vector<double>> scores = model.PredictRoiPerArm(test.x);
+  ASSERT_EQ(scores.size(), 2u);
+  for (const auto& arm_scores : scores) {
+    ASSERT_EQ(static_cast<int>(arm_scores.size()), test.n());
+    for (double s : arm_scores) EXPECT_TRUE(std::isfinite(s));
+  }
+
+  // Allocate a budget using true per-arm costs; compare realized revenue
+  // against a random (user, arm) ranking under the same budget.
+  std::vector<std::vector<double>> costs = {test.true_tau_c[0],
+                                            test.true_tau_c[1]};
+  double all_in = 0.0;
+  for (double c : costs[0]) all_in += c;
+  double budget = 0.15 * all_in;
+
+  auto realize = [&](const core::MultiAllocationResult& alloc) {
+    double revenue = 0.0;
+    for (int i = 0; i < test.n(); ++i) {
+      int arm = alloc.assignment[i];
+      if (arm > 0) revenue += test.true_tau_r[arm - 1][i];
+    }
+    return revenue;
+  };
+
+  core::MultiAllocationResult model_alloc =
+      core::GreedyAllocateMulti(scores, costs, budget);
+
+  Rng noise(5);
+  std::vector<std::vector<double>> random_scores(
+      2, std::vector<double>(test.n()));
+  for (auto& arm_scores : random_scores) {
+    for (double& s : arm_scores) s = noise.Uniform();
+  }
+  core::MultiAllocationResult random_alloc =
+      core::GreedyAllocateMulti(random_scores, costs, budget);
+
+  EXPECT_GT(realize(model_alloc), realize(random_alloc));
+}
+
+TEST(DivideAndConquerRdrpTest, PerArmModelsAreCalibrated) {
+  synth::MultiTreatmentGenerator generator = MakeGenerator();
+  Rng rng(6);
+  synth::MultiTreatmentDataset train = generator.Generate(4000, false, &rng);
+  synth::MultiTreatmentDataset calib = generator.Generate(2000, false, &rng);
+  core::RdrpConfig config;
+  config.drp.train.epochs = 8;
+  config.mc_passes = 8;
+  core::DivideAndConquerRdrp model(config);
+  model.FitWithCalibration(train, calib);
+  for (int arm = 1; arm <= 2; ++arm) {
+    EXPECT_TRUE(model.arm_model(arm).calibrated());
+    EXPECT_GT(model.arm_model(arm).roi_star(), 0.0);
+    EXPECT_LT(model.arm_model(arm).roi_star(), 1.0);
+  }
+  // Arm 2 (shifted-down ROI, scaled-up cost) should have a lower
+  // convergence point than arm 1.
+  EXPECT_LT(model.arm_model(2).roi_star(), model.arm_model(1).roi_star());
+}
+
+}  // namespace
+}  // namespace roicl

@@ -1,0 +1,191 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+namespace roicl::nn {
+namespace {
+
+TEST(SgdTest, MovesAgainstGradient) {
+  Matrix param(1, 1, 5.0);
+  Matrix grad(1, 1, 2.0);
+  Sgd sgd(0.1);
+  sgd.Step({&param}, {&grad});
+  EXPECT_DOUBLE_EQ(param(0, 0), 4.8);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Matrix param(1, 1, 0.0);
+  Matrix grad(1, 1, 1.0);
+  Sgd sgd(1.0, /*momentum=*/0.5);
+  sgd.Step({&param}, {&grad});  // v=1, p=-1
+  sgd.Step({&param}, {&grad});  // v=1.5, p=-2.5
+  EXPECT_DOUBLE_EQ(param(0, 0), -2.5);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  Matrix param(1, 1, 0.0);
+  Matrix grad(1, 1, 10.0);
+  Adam adam(0.01);
+  adam.Step({&param}, {&grad});
+  // Bias correction makes the first Adam step ~= lr * sign(grad).
+  EXPECT_NEAR(param(0, 0), -0.01, 1e-5);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2.
+  Matrix param(1, 1, -4.0);
+  Matrix grad(1, 1, 0.0);
+  Adam adam(0.1);
+  for (int step = 0; step < 500; ++step) {
+    grad(0, 0) = 2.0 * (param(0, 0) - 3.0);
+    adam.Step({&param}, {&grad});
+  }
+  EXPECT_NEAR(param(0, 0), 3.0, 1e-3);
+}
+
+TEST(AdamTest, WeightDecayShrinks) {
+  Matrix param(1, 1, 1.0);
+  Matrix grad(1, 1, 0.0);
+  Adam adam(0.1, 0.9, 0.999, 1e-8, /*weight_decay=*/0.5);
+  adam.Step({&param}, {&grad});
+  EXPECT_LT(param(0, 0), 1.0);
+}
+
+TEST(MseLossTest, ValueAndGradient) {
+  std::vector<double> targets = {1.0, 2.0};
+  MseLoss loss(&targets);
+  Matrix preds = {{2.0}, {2.0}};
+  Matrix grad;
+  double value = loss.Compute(preds, {0, 1}, &grad);
+  EXPECT_DOUBLE_EQ(value, 0.5);  // ((2-1)^2 + 0) / 2
+  EXPECT_DOUBLE_EQ(grad(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grad(1, 0), 0.0);
+}
+
+TEST(BceLossTest, MatchesClosedForm) {
+  std::vector<double> targets = {1.0, 0.0};
+  BceWithLogitsLoss loss(&targets);
+  Matrix preds = {{0.0}, {0.0}};
+  Matrix grad;
+  double value = loss.Compute(preds, {0, 1}, &grad);
+  EXPECT_NEAR(value, std::log(2.0), 1e-12);
+  EXPECT_NEAR(grad(0, 0), -0.25, 1e-12);  // (sigmoid(0) - 1) / 2
+  EXPECT_NEAR(grad(1, 0), 0.25, 1e-12);
+}
+
+TEST(BceLossTest, StableAtExtremeLogits) {
+  std::vector<double> targets = {1.0};
+  BceWithLogitsLoss loss(&targets);
+  Matrix preds = {{-800.0}};
+  Matrix grad;
+  double value = loss.Compute(preds, {0}, &grad);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_TRUE(std::isfinite(grad(0, 0)));
+}
+
+TEST(TrainNetworkTest, LearnsLinearRegression) {
+  Rng rng(11);
+  int n = 600;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    y[i] = 2.0 * x(i, 0) - 1.0 * x(i, 1) + 0.3;
+  }
+  Mlp net = Mlp::MakeMlp(2, {}, 1, ActivationKind::kRelu, 0.0, &rng);
+  MseLoss loss(&y);
+  std::vector<int> index(n);
+  for (int i = 0; i < n; ++i) index[i] = i;
+  TrainConfig config;
+  config.epochs = 120;
+  config.learning_rate = 0.05;
+  TrainResult result = TrainNetwork(&net, x, index, {}, loss, config);
+  EXPECT_LT(result.final_train_loss, 1e-3);
+}
+
+TEST(TrainNetworkTest, LearnsXorWithHiddenLayer) {
+  // XOR is the classic non-linearly-separable check for backprop.
+  Matrix x = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  std::vector<double> y = {0.0, 1.0, 1.0, 0.0};
+  Rng rng(12);
+  Mlp net = Mlp::MakeMlp(2, {8}, 1, ActivationKind::kTanh, 0.0, &rng);
+  BceWithLogitsLoss loss(&y);
+  TrainConfig config;
+  config.epochs = 800;
+  config.batch_size = 4;
+  config.learning_rate = 0.05;
+  TrainNetwork(&net, x, {0, 1, 2, 3}, {}, loss, config);
+  Matrix preds = net.Forward(x, Mode::kInfer, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    double p = Sigmoid(preds(i, 0));
+    EXPECT_NEAR(p, y[i], 0.2) << "sample " << i;
+  }
+}
+
+TEST(TrainNetworkTest, EarlyStoppingRestoresBestModel) {
+  Rng rng(13);
+  int n = 400;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = rng.Normal();
+    y[i] = 0.5 * x(i, 0) + rng.Normal(0.0, 0.5);  // noisy: overfittable
+  }
+  Mlp net = Mlp::MakeMlp(1, {32, 32}, 1, ActivationKind::kRelu, 0.0, &rng);
+  MseLoss loss(&y);
+  std::vector<int> train_index, val_index;
+  for (int i = 0; i < 300; ++i) train_index.push_back(i);
+  for (int i = 300; i < n; ++i) val_index.push_back(i);
+  TrainConfig config;
+  config.epochs = 200;
+  config.learning_rate = 0.01;
+  config.patience = 5;
+  TrainResult result =
+      TrainNetwork(&net, x, train_index, val_index, loss, config);
+  EXPECT_TRUE(result.early_stopped || result.epochs_run == 200);
+  // The restored model's validation loss equals the reported best.
+  double val = EvaluateLoss(&net, x, val_index, loss);
+  EXPECT_NEAR(val, result.best_validation_loss, 1e-9);
+}
+
+TEST(MlpTest, CopyIsIndependent) {
+  Rng rng(14);
+  Mlp net = Mlp::MakeMlp(2, {4}, 1, ActivationKind::kRelu, 0.0, &rng);
+  Mlp copy = net;
+  Matrix input = {{1.0, -1.0}};
+  double before = copy.Forward(input, Mode::kInfer, nullptr)(0, 0);
+  (*net.Params()[0])(0, 0) += 5.0;
+  double after = copy.Forward(input, Mode::kInfer, nullptr)(0, 0);
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(MlpTest, SnapshotRestoreRoundTrip) {
+  Rng rng(15);
+  Mlp net = Mlp::MakeMlp(3, {5}, 1, ActivationKind::kElu, 0.0, &rng);
+  Matrix input = {{0.1, 0.2, 0.3}};
+  double original = net.Forward(input, Mode::kInfer, nullptr)(0, 0);
+  std::vector<Matrix> snapshot = net.SnapshotParams();
+  for (Matrix* p : net.Params()) *p *= 0.0;
+  EXPECT_NE(net.Forward(input, Mode::kInfer, nullptr)(0, 0), original);
+  net.RestoreParams(snapshot);
+  EXPECT_DOUBLE_EQ(net.Forward(input, Mode::kInfer, nullptr)(0, 0),
+                   original);
+}
+
+TEST(MlpTest, NumParametersCountsAll) {
+  Rng rng(16);
+  Mlp net = Mlp::MakeMlp(3, {4}, 2, ActivationKind::kRelu, 0.5, &rng);
+  // Dense(3,4): 12 + 4; Dense(4,2): 8 + 2.
+  EXPECT_EQ(net.NumParameters(), 26u);
+}
+
+}  // namespace
+}  // namespace roicl::nn

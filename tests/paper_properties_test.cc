@@ -1,0 +1,140 @@
+// The paper's key theoretical properties as executable checks:
+//   1. DRP unbiasedness: at convergence, sigmoid(s) estimates the ROI
+//      (Theorem of Zhou et al. the paper builds on).
+//   2. Algorithm 2 stability: the convergence point transfers between
+//      equally-distributed calibration and test sets (Assumption 6).
+//   3. Eq. 4 coverage: rDRP intervals cover the test-set convergence point
+//      at the configured rate, across all three dataset presets.
+//   4. Algorithm 1 order: the greedy allocator treats individuals in
+//      exactly descending-ROI order.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/drp_model.h"
+#include "core/greedy.h"
+#include "core/rdrp.h"
+#include "core/roi_star.h"
+#include "exp/datasets.h"
+#include "exp/methods.h"
+#include "metrics/coverage.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl {
+namespace {
+
+// ---- Property 1: DRP unbiasedness at a (near-)constant true ROI. ----
+
+class DrpUnbiasedness : public ::testing::TestWithParam<double> {};
+
+TEST_P(DrpUnbiasedness, MeanPredictionMatchesConstantRoi) {
+  double roi = GetParam();
+  synth::SyntheticConfig config = synth::CriteoSynthConfig();
+  // Pin the ground-truth ROI to a narrow band around `roi`.
+  config.roi_lo = roi - 0.02;
+  config.roi_hi = roi + 0.02;
+  synth::SyntheticGenerator generator(config);
+  Rng rng(11);
+  RctDataset train = generator.Generate(12000, false, &rng);
+  RctDataset test = generator.Generate(4000, false, &rng);
+
+  core::DrpConfig drp_config;
+  drp_config.train.epochs = 60;
+  drp_config.train.learning_rate = 5e-3;
+  drp_config.train.patience = 10;
+  core::DrpModel drp(drp_config);
+  drp.Fit(train);
+  double mean_roi = Mean(drp.PredictRoi(test.x));
+  EXPECT_NEAR(mean_roi, roi, 0.10) << "target roi " << roi;
+}
+
+INSTANTIATE_TEST_SUITE_P(RoiLevels, DrpUnbiasedness,
+                         ::testing::Values(0.25, 0.5, 0.75));
+
+// ---- Property 2: Algorithm 2 transfers across same-distribution sets. --
+
+class RoiStarTransfer : public ::testing::TestWithParam<exp::DatasetId> {};
+
+TEST_P(RoiStarTransfer, CalibAndTestConvergencePointsAgree) {
+  synth::SyntheticGenerator generator = exp::MakeGenerator(GetParam());
+  Rng rng(13);
+  // The ratio estimator tau_r/tau_c has ~0.05 standard error per set at
+  // this size; 25k samples + a 0.1 tolerance keep the check meaningful
+  // without being flaky.
+  RctDataset calib = generator.Generate(25000, true, &rng);
+  RctDataset test = generator.Generate(25000, true, &rng);
+  double star_calib = core::BinarySearchRoiStar(calib);
+  double star_test = core::BinarySearchRoiStar(test);
+  EXPECT_NEAR(star_calib, star_test, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, RoiStarTransfer,
+                         ::testing::ValuesIn(exp::AllDatasets()));
+
+// ---- Property 3: Eq. 4 coverage across dataset presets. ----
+
+class RdrpCoverage : public ::testing::TestWithParam<exp::DatasetId> {};
+
+TEST_P(RdrpCoverage, IntervalsCoverTestConvergencePoint) {
+  synth::SyntheticGenerator generator = exp::MakeGenerator(GetParam());
+  exp::SplitSizes sizes;
+  sizes.train_sufficient = 6000;
+  sizes.calibration = 2500;
+  sizes.test = 4000;
+  DatasetSplits splits =
+      exp::BuildSplits(generator, exp::Setting::kSuCo, sizes, /*seed=*/17);
+
+  exp::MethodHyperparams hp;
+  hp.neural_epochs = 25;
+  hp.mc_passes = 20;
+  core::RdrpConfig config = exp::MakeRdrpConfig(hp);
+  config.clip_to_unit = false;  // raw Algorithm-3 intervals
+  core::RdrpModel rdrp(config);
+  rdrp.FitWithCalibration(splits.train, splits.calibration);
+
+  double star_test = core::BinarySearchRoiStar(splits.test);
+  std::vector<metrics::Interval> intervals =
+      rdrp.PredictIntervals(splits.test.x);
+  int covered = 0;
+  for (const auto& interval : intervals) {
+    covered += interval.Contains(star_test);
+  }
+  double coverage = static_cast<double>(covered) / intervals.size();
+  // alpha = 0.1 minus slack for the calib-vs-test roi* drift.
+  EXPECT_GE(coverage, 0.80) << exp::DatasetName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, RdrpCoverage,
+                         ::testing::ValuesIn(exp::AllDatasets()));
+
+// ---- Property 4: greedy treats in descending ROI order. ----
+
+TEST(GreedyOrderProperty, SelectionFollowsRoiRanking) {
+  Rng rng(19);
+  int n = 500;
+  std::vector<double> roi(n), cost(n);
+  for (int i = 0; i < n; ++i) {
+    roi[i] = rng.Uniform(0.05, 0.95);
+    cost[i] = 1.0;  // uniform costs isolate the ordering property
+  }
+  core::AllocationResult alloc = core::GreedyAllocate(roi, cost, 100.0);
+  ASSERT_EQ(alloc.selected.size(), 100u);
+  // Every selected individual has ROI >= every unselected one.
+  double min_selected = 1.0;
+  for (int i : alloc.selected) min_selected = std::min(min_selected, roi[i]);
+  std::vector<char> chosen(n, 0);
+  for (int i : alloc.selected) chosen[i] = 1;
+  for (int i = 0; i < n; ++i) {
+    if (!chosen[i]) EXPECT_LE(roi[i], min_selected + 1e-12);
+  }
+  // And the selection order itself is descending.
+  for (size_t k = 1; k < alloc.selected.size(); ++k) {
+    EXPECT_GE(roi[alloc.selected[k - 1]], roi[alloc.selected[k]] - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace roicl

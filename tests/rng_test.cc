@@ -1,0 +1,171 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace roicl {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  uint64_t first_a = a.Next();
+  EXPECT_EQ(first_a, b.Next());
+  EXPECT_NE(first_a, c.Next());
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(RngTest, StreamsAreIndependent) {
+  Rng a(123, 0), b(123, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextU32() == b.NextU32());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SplitGivesIndependentChild) {
+  Rng parent(9);
+  Rng child = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent.NextU32() == child.NextU32());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.UniformInt(10)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliClampsProbability) {
+  Rng rng(29);
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(37);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.Categorical(weights)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(41);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(static_cast<double>(rng.Poisson(4.0)));
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+  EXPECT_NEAR(stats.variance(), 4.0, 0.2);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(43);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(47);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(53);
+  std::vector<int> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, PermutationIsBijection) {
+  Rng rng(59);
+  std::vector<int> perm = rng.Permutation(50);
+  std::sort(perm.begin(), perm.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(RngTest, PermutationUniformFirstElement) {
+  Rng rng(61);
+  std::vector<int> first_counts(5, 0);
+  for (int i = 0; i < 20000; ++i) first_counts[rng.Permutation(5)[0]]++;
+  for (int c : first_counts) {
+    EXPECT_NEAR(c / 20000.0, 0.2, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace roicl

@@ -1,0 +1,126 @@
+#include "core/roi_star.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl::core {
+namespace {
+
+/// RCT sample whose population ROI is `roi` by construction.
+RctDataset MakeRct(int n, double roi, double tau_c, uint64_t seed) {
+  Rng rng(seed);
+  RctDataset d;
+  d.x = Matrix(n, 1);
+  for (int i = 0; i < n; ++i) {
+    int t = rng.Bernoulli(0.5) ? 1 : 0;
+    d.treatment.push_back(t);
+    d.y_cost.push_back(rng.Bernoulli(0.2 + t * tau_c) ? 1.0 : 0.0);
+    d.y_revenue.push_back(rng.Bernoulli(0.05 + t * roi * tau_c) ? 1.0
+                                                                : 0.0);
+  }
+  return d;
+}
+
+// Algorithm 2 must converge to the analytic ratio tau_r / tau_c for any
+// (roi, tau_c) combination and any epsilon.
+class RoiStarParam
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(RoiStarParam, BinarySearchMatchesAnalytic) {
+  auto [roi, tau_c, epsilon] = GetParam();
+  RctDataset d = MakeRct(40000, roi, tau_c, /*seed=*/7);
+  double analytic =
+      AnalyticRoiStar(d.treatment, d.y_revenue, d.y_cost);
+  double searched =
+      BinarySearchRoiStar(d.treatment, d.y_revenue, d.y_cost, epsilon);
+  // Algorithm 2 has two stopping rules sharing one epsilon: the interval
+  // width (|roi_r - roi_l| <= eps) and the derivative magnitude
+  // (|L'| < eps). The latter fires when |sigma(s) - roi*| < eps / tau_c,
+  // so the achievable accuracy is eps * (1 + 1 / tau_hat_c).
+  double tau_c_hat = RctDataset::DiffInMeans(d.treatment, d.y_cost);
+  EXPECT_NEAR(searched, analytic, epsilon * (1.0 + 1.0 / tau_c_hat) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoiStarParam,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.8),
+                       ::testing::Values(0.2, 0.4),
+                       ::testing::Values(1e-3, 1e-5)));
+
+TEST(RoiStarTest, RecoversDesignRoi) {
+  RctDataset d = MakeRct(300000, 0.6, 0.3, 11);
+  EXPECT_NEAR(BinarySearchRoiStar(d), 0.6, 0.03);
+}
+
+TEST(RoiStarTest, DatasetOverloadMatchesVectorOverload) {
+  RctDataset d = MakeRct(5000, 0.4, 0.3, 13);
+  EXPECT_DOUBLE_EQ(BinarySearchRoiStar(d),
+                   BinarySearchRoiStar(d.treatment, d.y_revenue, d.y_cost));
+}
+
+TEST(RoiStarTest, SyntheticGeneratorConsistency) {
+  // The convergence point over a synthetic population approximates
+  // E[tau_r] / E[tau_c] (a cost-weighted ROI).
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(17);
+  RctDataset d = generator.Generate(100000, false, &rng);
+  double sum_r = 0.0, sum_c = 0.0;
+  for (int i = 0; i < d.n(); ++i) {
+    sum_r += d.true_tau_r[i];
+    sum_c += d.true_tau_c[i];
+  }
+  EXPECT_NEAR(BinarySearchRoiStar(d), sum_r / sum_c, 0.05);
+}
+
+TEST(BinnedRoiStarTest, FallsBackToGlobalForTinyBins) {
+  RctDataset d = MakeRct(40, 0.5, 0.3, 19);
+  std::vector<double> scores(40);
+  Rng rng(23);
+  for (double& s : scores) s = rng.Uniform();
+  // 20 bins of 2 samples: every bin lacks arm counts -> all global.
+  std::vector<double> binned = BinnedRoiStar(
+      scores, d.treatment, d.y_revenue, d.y_cost, /*num_bins=*/20);
+  double global = BinarySearchRoiStar(d);
+  for (double v : binned) EXPECT_DOUBLE_EQ(v, global);
+}
+
+TEST(BinnedRoiStarTest, DetectsBinwiseRoiDifference) {
+  // Construct data where low scores have ROI 0.2 and high scores ROI 0.7.
+  Rng rng(29);
+  RctDataset d;
+  d.x = Matrix(20000, 1);
+  std::vector<double> scores(20000);
+  for (int i = 0; i < 20000; ++i) {
+    bool high = i >= 10000;
+    scores[i] = high ? 0.9 : 0.1;
+    double roi = high ? 0.7 : 0.2;
+    int t = rng.Bernoulli(0.5) ? 1 : 0;
+    d.treatment.push_back(t);
+    d.y_cost.push_back(rng.Bernoulli(0.2 + t * 0.3) ? 1.0 : 0.0);
+    d.y_revenue.push_back(rng.Bernoulli(0.05 + t * roi * 0.3) ? 1.0 : 0.0);
+  }
+  std::vector<double> binned = BinnedRoiStar(
+      scores, d.treatment, d.y_revenue, d.y_cost, /*num_bins=*/2);
+  // Low-score samples get the low-bin roi*, high-score the high-bin one.
+  double low_star = binned[0];
+  double high_star = binned[19999];
+  EXPECT_NEAR(low_star, 0.2, 0.08);
+  EXPECT_NEAR(high_star, 0.7, 0.08);
+  EXPECT_GT(high_star, low_star + 0.2);
+}
+
+TEST(AnalyticRoiStarTest, ClampsToUnitInterval) {
+  // Revenue lift exceeding cost lift would give ROI > 1; clamp per
+  // Assumption 3.
+  std::vector<int> t = {1, 1, 0, 0};
+  std::vector<double> yr = {1.0, 1.0, 0.0, 0.0};
+  std::vector<double> yc = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(AnalyticRoiStar(t, yr, yc), 1.0);
+}
+
+}  // namespace
+}  // namespace roicl::core

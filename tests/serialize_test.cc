@@ -1,0 +1,155 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/drp_model.h"
+#include "core/rdrp.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl {
+namespace {
+
+TEST(MlpSerializeTest, RoundTripIsBitExact) {
+  Rng rng(1);
+  nn::Mlp net = nn::Mlp::MakeMlp(4, {8, 5}, 2, nn::ActivationKind::kElu,
+                                 /*dropout_rate=*/0.3, &rng);
+  std::stringstream stream;
+  ASSERT_TRUE(nn::SaveMlp(net, stream).ok());
+  StatusOr<nn::Mlp> loaded = nn::LoadMlp(stream);
+  ASSERT_TRUE(loaded.ok());
+
+  Matrix input(3, 4);
+  Rng data_rng(2);
+  for (double& v : input.data()) v = data_rng.Normal();
+  Matrix a = net.Forward(input, nn::Mode::kInfer, nullptr);
+  Matrix b = loaded.value().Forward(input, nn::Mode::kInfer, nullptr);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+  // Layer structure survives too (dense + act + dropout twice + head).
+  EXPECT_EQ(loaded.value().num_layers(), net.num_layers());
+}
+
+TEST(MlpSerializeTest, RejectsGarbage) {
+  std::stringstream bad("not-a-model at all");
+  EXPECT_FALSE(nn::LoadMlp(bad).ok());
+  std::stringstream truncated("roicl-mlp-v1\n2\ndense 3 2\n1 1 0.5\n");
+  EXPECT_FALSE(nn::LoadMlp(truncated).ok());
+}
+
+TEST(MlpSerializeTest, FileRoundTrip) {
+  Rng rng(3);
+  nn::Mlp net = nn::Mlp::MakeMlp(2, {4}, 1, nn::ActivationKind::kTanh, 0.0,
+                                 &rng);
+  std::string path = ::testing::TempDir() + "/roicl_mlp.txt";
+  ASSERT_TRUE(nn::SaveMlpToFile(net, path).ok());
+  StatusOr<nn::Mlp> loaded = nn::LoadMlpFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(nn::LoadMlpFromFile(path).ok());  // deleted -> IO error
+}
+
+class ModelSerializeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    generator_ = new synth::SyntheticGenerator(synth::CriteoSynthConfig());
+    Rng rng(4);
+    train_ = new RctDataset(generator_->Generate(3000, false, &rng));
+    calib_ = new RctDataset(generator_->Generate(1000, false, &rng));
+    test_ = new RctDataset(generator_->Generate(500, false, &rng));
+  }
+  static void TearDownTestSuite() {
+    delete generator_;
+    delete train_;
+    delete calib_;
+    delete test_;
+  }
+  static synth::SyntheticGenerator* generator_;
+  static RctDataset* train_;
+  static RctDataset* calib_;
+  static RctDataset* test_;
+};
+
+synth::SyntheticGenerator* ModelSerializeTest::generator_ = nullptr;
+RctDataset* ModelSerializeTest::train_ = nullptr;
+RctDataset* ModelSerializeTest::calib_ = nullptr;
+RctDataset* ModelSerializeTest::test_ = nullptr;
+
+TEST_F(ModelSerializeTest, DrpRoundTripPredictionsIdentical) {
+  core::DrpConfig config;
+  config.train.epochs = 8;
+  config.restarts = 1;
+  core::DrpModel model(config);
+  model.Fit(*train_);
+
+  std::stringstream stream;
+  ASSERT_TRUE(model.Save(stream).ok());
+  StatusOr<core::DrpModel> loaded = core::DrpModel::Load(stream, config);
+  ASSERT_TRUE(loaded.ok());
+
+  std::vector<double> a = model.PredictRoi(test_->x);
+  std::vector<double> b = loaded.value().PredictRoi(test_->x);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+
+  // MC dropout is seed-deterministic, so it round-trips as well.
+  core::McDropoutStats mc_a = model.PredictMcRoi(test_->x, 10, 9);
+  core::McDropoutStats mc_b = loaded.value().PredictMcRoi(test_->x, 10, 9);
+  EXPECT_EQ(mc_a.mean, mc_b.mean);
+  EXPECT_EQ(mc_a.stddev, mc_b.stddev);
+}
+
+TEST_F(ModelSerializeTest, DrpSaveRequiresFit) {
+  core::DrpModel model((core::DrpConfig()));
+  std::stringstream stream;
+  EXPECT_EQ(model.Save(stream).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ModelSerializeTest, RdrpRoundTripKeepsCalibration) {
+  core::RdrpConfig config;
+  config.drp.train.epochs = 8;
+  config.drp.restarts = 1;
+  config.mc_passes = 10;
+  core::RdrpModel model(config);
+  model.FitWithCalibration(*train_, *calib_);
+
+  std::string path = ::testing::TempDir() + "/roicl_rdrp.txt";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  StatusOr<core::RdrpModel> loaded =
+      core::RdrpModel::LoadFromFile(path, config);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_DOUBLE_EQ(loaded.value().q_hat(), model.q_hat());
+  EXPECT_DOUBLE_EQ(loaded.value().roi_star(), model.roi_star());
+  EXPECT_EQ(loaded.value().selected_form(), model.selected_form());
+
+  std::vector<double> a = model.PredictRoi(test_->x);
+  std::vector<double> b = loaded.value().PredictRoi(test_->x);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+
+  std::vector<metrics::Interval> ia = model.PredictIntervals(test_->x);
+  std::vector<metrics::Interval> ib =
+      loaded.value().PredictIntervals(test_->x);
+  for (size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ia[i].lo, ib[i].lo);
+    EXPECT_DOUBLE_EQ(ia[i].hi, ib[i].hi);
+  }
+}
+
+TEST_F(ModelSerializeTest, RdrpLoadRejectsDrpBlob) {
+  core::DrpConfig config;
+  config.train.epochs = 3;
+  config.restarts = 1;
+  core::DrpModel drp(config);
+  drp.Fit(*train_);
+  std::stringstream stream;
+  ASSERT_TRUE(drp.Save(stream).ok());
+  EXPECT_FALSE(core::RdrpModel::Load(stream).ok());
+}
+
+}  // namespace
+}  // namespace roicl

@@ -1,0 +1,104 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace roicl {
+namespace {
+
+TEST(CholeskyTest, DecomposesSpdMatrix) {
+  Matrix a = {{4, 2}, {2, 3}};
+  Matrix l;
+  ASSERT_TRUE(CholeskyDecompose(a, &l).ok());
+  // Verify L * L^T == A.
+  Matrix reconstructed = Matmul(l, l.Transposed());
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(reconstructed(r, c), a(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a = {{1, 2}, {2, 1}};  // indefinite
+  Matrix l;
+  EXPECT_FALSE(CholeskyDecompose(a, &l).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  Matrix l;
+  EXPECT_FALSE(CholeskyDecompose(a, &l).ok());
+}
+
+TEST(CholeskySolveTest, SolvesKnownSystem) {
+  Matrix a = {{4, 2}, {2, 3}};
+  // x = (1, 2) -> b = (8, 8).
+  StatusOr<std::vector<double>> x = CholeskySolve(a, {8.0, 8.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-10);
+}
+
+TEST(CholeskySolveTest, DimensionMismatch) {
+  Matrix a = Matrix::Identity(3);
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 2.0}).ok());
+}
+
+TEST(SolveRidgeTest, RecoversLinearFunction) {
+  Rng rng(5);
+  int n = 500, d = 4;
+  Matrix x(n, d);
+  std::vector<double> y(n);
+  std::vector<double> true_w = {1.0, -2.0, 0.5, 3.0};
+  double true_b = 0.7;
+  for (int r = 0; r < n; ++r) {
+    double acc = true_b;
+    for (int c = 0; c < d; ++c) {
+      x(r, c) = rng.Normal();
+      acc += x(r, c) * true_w[c];
+    }
+    y[r] = acc + rng.Normal(0.0, 0.01);
+  }
+  StatusOr<std::vector<double>> w = SolveRidge(x, y, 1e-6);
+  ASSERT_TRUE(w.ok());
+  for (int c = 0; c < d; ++c) EXPECT_NEAR(w.value()[c], true_w[c], 0.02);
+  EXPECT_NEAR(w.value()[d], true_b, 0.02);
+}
+
+TEST(SolveRidgeTest, RegularizationShrinksWeights) {
+  Rng rng(6);
+  int n = 100;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int r = 0; r < n; ++r) {
+    x(r, 0) = rng.Normal();
+    x(r, 1) = rng.Normal();
+    y[r] = 2.0 * x(r, 0) - x(r, 1);
+  }
+  double small = std::fabs(SolveRidge(x, y, 0.01).value()[0]);
+  double large = std::fabs(SolveRidge(x, y, 1000.0).value()[0]);
+  EXPECT_LT(large, small);
+}
+
+TEST(SolveRidgeTest, HandlesRankDeficientDesign) {
+  // Two identical columns: only solvable thanks to regularization.
+  Matrix x = {{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  StatusOr<std::vector<double>> w = SolveRidge(x, {2, 4, 6, 8}, 1e-3);
+  ASSERT_TRUE(w.ok());
+  // Symmetric solution: both columns get the same weight.
+  EXPECT_NEAR(w.value()[0], w.value()[1], 1e-6);
+}
+
+TEST(SolveRidgeTest, RejectsBadInput) {
+  Matrix x(2, 2);
+  EXPECT_FALSE(SolveRidge(x, {1.0}, 1.0).ok());
+  EXPECT_FALSE(SolveRidge(x, {1.0, 2.0}, -1.0).ok());
+  EXPECT_FALSE(SolveRidge(Matrix(), {}, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace roicl

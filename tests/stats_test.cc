@@ -1,0 +1,137 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace roicl {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats stats;
+  std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : values) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_NEAR(stats.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_EQ(stats.mean(), 3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.sample_variance(), 0.0);
+}
+
+TEST(MeanStdDevTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(StdDev({1.0, 1.0, 1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev({0.0, 2.0}), 1.0, 1e-12);
+}
+
+TEST(QuantileTest, EndpointsAndMedian) {
+  std::vector<double> values = {3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 3.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25), 2.5);
+}
+
+TEST(ConformalQuantileTest, ExactRank) {
+  // n = 9, alpha = 0.1 -> rank ceil(0.9 * 10) = 9 -> 9th smallest.
+  std::vector<double> scores = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_DOUBLE_EQ(ConformalQuantile(scores, 0.1), 9.0);
+  // n = 9, alpha = 0.5 -> rank ceil(0.5 * 10) = 5.
+  EXPECT_DOUBLE_EQ(ConformalQuantile(scores, 0.5), 5.0);
+}
+
+TEST(ConformalQuantileTest, InfiniteWhenTooFewSamples) {
+  // n = 3, alpha = 0.1 -> rank ceil(0.9 * 4) = 4 > 3.
+  std::vector<double> scores = {1, 2, 3};
+  EXPECT_TRUE(std::isinf(ConformalQuantile(scores, 0.1)));
+}
+
+TEST(ConformalQuantileTest, UnsortedInput) {
+  std::vector<double> scores = {5, 1, 4, 2, 3, 9, 7, 8, 6};
+  EXPECT_DOUBLE_EQ(ConformalQuantile(scores, 0.5), 5.0);
+}
+
+// Property: the conformal quantile upper-bounds at least (1-alpha)(n+1)-1
+// of the n scores, the finite-sample coverage workhorse.
+class ConformalQuantileProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ConformalQuantileProperty, DominatesEnoughScores) {
+  auto [n, alpha] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 1000 + alpha * 100));
+  std::vector<double> scores(n);
+  for (double& s : scores) s = rng.Exponential(1.0);
+  double q = ConformalQuantile(scores, alpha);
+  if (std::isinf(q)) {
+    EXPECT_GT(std::ceil((1 - alpha) * (n + 1)), n);
+    return;
+  }
+  int dominated = 0;
+  for (double s : scores) dominated += (s <= q);
+  EXPECT_GE(dominated, static_cast<int>(std::ceil((1 - alpha) * (n + 1))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConformalQuantileProperty,
+    ::testing::Combine(::testing::Values(5, 20, 100, 999),
+                       ::testing::Values(0.05, 0.1, 0.2, 0.5)));
+
+TEST(CorrelationTest, PerfectAndAnti) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  std::vector<double> c = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ConstantInputGivesZero) {
+  std::vector<double> a = {1, 1, 1, 1};
+  std::vector<double> b = {1, 2, 3, 4};
+  EXPECT_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(CorrelationTest, SpearmanInvariantToMonotoneTransform) {
+  std::vector<double> a = {0.1, 0.5, 0.2, 0.9, 0.3};
+  std::vector<double> b = {1.0, 2.0, 1.5, 4.0, 1.7};
+  std::vector<double> b_exp(b.size());
+  for (size_t i = 0; i < b.size(); ++i) b_exp[i] = std::exp(b[i]);
+  EXPECT_NEAR(SpearmanCorrelation(a, b), SpearmanCorrelation(a, b_exp),
+              1e-12);
+}
+
+TEST(RanksTest, TiesGetAverageRank) {
+  std::vector<double> ranks = Ranks({10.0, 20.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 0.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 3.0);
+}
+
+}  // namespace
+}  // namespace roicl

@@ -1,0 +1,232 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "trees/causal_forest.h"
+#include "trees/random_forest.h"
+#include "trees/regression_tree.h"
+
+namespace roicl::trees {
+namespace {
+
+/// y = 3 * 1{x0 > 0} + noise — one clean split.
+void MakeStepData(int n, Matrix* x, std::vector<double>* y, Rng* rng,
+                  double noise = 0.05) {
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng->Normal();
+    (*x)(i, 1) = rng->Normal();
+    (*y)[i] = ((*x)(i, 0) > 0.0 ? 3.0 : 0.0) + rng->Normal(0.0, noise);
+  }
+}
+
+TEST(TreeCommonTest, CandidateThresholdsEmptyForConstantFeature) {
+  Matrix x(10, 1, 5.0);
+  std::vector<int> index = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_TRUE(CandidateThresholds(x, index, 0, 8).empty());
+}
+
+TEST(TreeCommonTest, CandidateThresholdsAreInteriorAndSorted) {
+  Matrix x(100, 1);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) x(i, 0) = rng.Uniform();
+  std::vector<int> index(100);
+  for (int i = 0; i < 100; ++i) index[i] = i;
+  std::vector<double> thresholds = CandidateThresholds(x, index, 0, 16);
+  ASSERT_FALSE(thresholds.empty());
+  double max_value = 0.0;
+  for (int i = 0; i < 100; ++i) max_value = std::max(max_value, x(i, 0));
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    EXPECT_LT(thresholds[i], max_value);
+    if (i > 0) EXPECT_GT(thresholds[i], thresholds[i - 1]);
+  }
+}
+
+TEST(TreeCommonTest, SampleFeaturesAllWhenUnlimited) {
+  std::vector<int> all = SampleFeatures(5, -1, nullptr);
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TreeCommonTest, SampleFeaturesSubsetSize) {
+  Rng rng(2);
+  std::vector<int> sub = SampleFeatures(10, 3, &rng);
+  EXPECT_EQ(sub.size(), 3u);
+  for (int f : sub) {
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, 10);
+  }
+}
+
+TEST(RegressionTreeTest, FindsTheStepSplit) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<double> y;
+  MakeStepData(1000, &x, &y, &rng);
+  std::vector<int> index(1000);
+  for (int i = 0; i < 1000; ++i) index[i] = i;
+  RegressionTree tree;
+  TreeConfig config;
+  config.max_depth = 2;
+  tree.Fit(x, y, index, config, &rng);
+
+  EXPECT_NEAR(tree.Predict(Matrix({{1.0, 0.0}}).RowPtr(0)), 3.0, 0.15);
+  EXPECT_NEAR(tree.Predict(Matrix({{-1.0, 0.0}}).RowPtr(0)), 0.0, 0.15);
+}
+
+TEST(RegressionTreeTest, DepthZeroIsMeanPredictor) {
+  Rng rng(4);
+  Matrix x;
+  std::vector<double> y;
+  MakeStepData(500, &x, &y, &rng);
+  std::vector<int> index(500);
+  for (int i = 0; i < 500; ++i) index[i] = i;
+  RegressionTree tree;
+  TreeConfig config;
+  config.max_depth = 0;
+  tree.Fit(x, y, index, config, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_NEAR(tree.Predict(x.RowPtr(0)), Mean(y), 1e-9);
+}
+
+TEST(RegressionTreeTest, RespectsMinSamplesLeaf) {
+  Rng rng(5);
+  Matrix x;
+  std::vector<double> y;
+  MakeStepData(100, &x, &y, &rng);
+  std::vector<int> index(100);
+  for (int i = 0; i < 100; ++i) index[i] = i;
+  RegressionTree tree;
+  TreeConfig config;
+  config.min_samples_leaf = 60;  // cannot split 100 into two >= 60 halves
+  tree.Fit(x, y, index, config, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1);
+}
+
+TEST(RandomForestTest, BeatsSingleTreeOnSmoothTarget) {
+  Rng rng(6);
+  int n = 2000;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 3; ++c) x(i, c) = rng.Normal();
+    y[i] = std::sin(x(i, 0)) + 0.5 * x(i, 1) + rng.Normal(0.0, 0.1);
+  }
+  ForestConfig config;
+  config.num_trees = 40;
+  config.tree.max_depth = 7;
+  RandomForestRegressor forest(config);
+  forest.Fit(x, y);
+
+  double mse = 0.0;
+  Rng test_rng(7);
+  for (int i = 0; i < 300; ++i) {
+    Matrix row(1, 3);
+    for (int c = 0; c < 3; ++c) row(0, c) = test_rng.Normal();
+    double target = std::sin(row(0, 0)) + 0.5 * row(0, 1);
+    double diff = forest.Predict(row.RowPtr(0)) - target;
+    mse += diff * diff;
+  }
+  mse /= 300;
+  EXPECT_LT(mse, 0.15);
+}
+
+TEST(RandomForestTest, DeterministicBySeed) {
+  Rng rng(8);
+  Matrix x;
+  std::vector<double> y;
+  MakeStepData(400, &x, &y, &rng);
+  ForestConfig config;
+  config.num_trees = 10;
+  config.seed = 99;
+  RandomForestRegressor a(config), b(config);
+  a.Fit(x, y);
+  b.Fit(x, y);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.Predict(x.RowPtr(i)), b.Predict(x.RowPtr(i)));
+  }
+}
+
+/// Heterogeneous-effect RCT: tau(x) = 2 for x0 > 0, else 0.5.
+void MakeCausalData(int n, Matrix* x, std::vector<int>* t,
+                    std::vector<double>* y, Rng* rng) {
+  *x = Matrix(n, 2);
+  t->resize(n);
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng->Normal();
+    (*x)(i, 1) = rng->Normal();
+    (*t)[i] = rng->Bernoulli(0.5) ? 1 : 0;
+    double tau = (*x)(i, 0) > 0.0 ? 2.0 : 0.5;
+    double base = 1.0 + 0.3 * (*x)(i, 1);
+    (*y)[i] = base + (*t)[i] * tau + rng->Normal(0.0, 0.3);
+  }
+}
+
+class CausalForestHonesty : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CausalForestHonesty, RecoversHeterogeneousEffect) {
+  Rng rng(9);
+  Matrix x;
+  std::vector<int> t;
+  std::vector<double> y;
+  MakeCausalData(4000, &x, &t, &y, &rng);
+  CausalForestConfig config;
+  config.num_trees = 40;
+  config.honest = GetParam();
+  config.tree.max_depth = 4;
+  CausalForest forest(config);
+  forest.Fit(x, t, y);
+
+  Matrix hi = {{1.5, 0.0}};
+  Matrix lo = {{-1.5, 0.0}};
+  EXPECT_NEAR(forest.PredictCate(hi.RowPtr(0)), 2.0, 0.4);
+  EXPECT_NEAR(forest.PredictCate(lo.RowPtr(0)), 0.5, 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(HonestAndAdaptive, CausalForestHonesty,
+                         ::testing::Bool());
+
+TEST(CausalForestTest, StdDevIsNonNegativeAndFinite) {
+  Rng rng(10);
+  Matrix x;
+  std::vector<int> t;
+  std::vector<double> y;
+  MakeCausalData(1000, &x, &t, &y, &rng);
+  CausalForestConfig config;
+  config.num_trees = 20;
+  CausalForest forest(config);
+  forest.Fit(x, t, y);
+  for (int i = 0; i < 10; ++i) {
+    double sd = forest.PredictCateStdDev(x.RowPtr(i));
+    EXPECT_GE(sd, 0.0);
+    EXPECT_TRUE(std::isfinite(sd));
+  }
+}
+
+TEST(CausalForestTest, ConstantEffectGivesFlatPredictions) {
+  Rng rng(11);
+  int n = 3000;
+  Matrix x(n, 2);
+  std::vector<int> t(n);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    t[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    y[i] = 1.0 + t[i] * 1.5 + rng.Normal(0.0, 0.2);
+  }
+  CausalForestConfig config;
+  config.num_trees = 30;
+  CausalForest forest(config);
+  forest.Fit(x, t, y);
+  RunningStats stats;
+  for (int i = 0; i < 200; ++i) stats.Add(forest.PredictCate(x.RowPtr(i)));
+  EXPECT_NEAR(stats.mean(), 1.5, 0.15);
+  EXPECT_LT(stats.stddev(), 0.25);
+}
+
+}  // namespace
+}  // namespace roicl::trees

@@ -1,0 +1,212 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "synth/synthetic_generator.h"
+#include "uplift/causal_forest_cate.h"
+#include "uplift/meta_learners.h"
+#include "uplift/neural_cate.h"
+#include "uplift/regressor.h"
+#include "uplift/tpm.h"
+
+namespace roicl::uplift {
+namespace {
+
+/// Linear-effect RCT: y = x0 + t * (1 + 2 * x1) + noise, so
+/// tau(x) = 1 + 2 * x1.
+void MakeLinearCausalData(int n, Matrix* x, std::vector<int>* t,
+                          std::vector<double>* y, Rng* rng) {
+  *x = Matrix(n, 2);
+  t->resize(n);
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng->Normal();
+    (*x)(i, 1) = rng->Normal();
+    (*t)[i] = rng->Bernoulli(0.5) ? 1 : 0;
+    (*y)[i] = (*x)(i, 0) + (*t)[i] * (1.0 + 2.0 * (*x)(i, 1)) +
+              rng->Normal(0.0, 0.1);
+  }
+}
+
+double CateMse(const CateModel& model, const Matrix& x) {
+  std::vector<double> tau = model.PredictCate(x);
+  double mse = 0.0;
+  for (int i = 0; i < x.rows(); ++i) {
+    double truth = 1.0 + 2.0 * x(i, 1);
+    mse += (tau[i] - truth) * (tau[i] - truth);
+  }
+  return mse / x.rows();
+}
+
+TEST(RidgeRegressorTest, FitsLinearData) {
+  Rng rng(1);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (int i = 0; i < 200; ++i) {
+    x(i, 0) = rng.Normal();
+    y[i] = 3.0 * x(i, 0) + 1.0;
+  }
+  RidgeRegressor ridge(1e-6);
+  ridge.Fit(x, y);
+  std::vector<double> pred = ridge.Predict(Matrix({{2.0}}));
+  EXPECT_NEAR(pred[0], 7.0, 0.05);
+}
+
+TEST(ForestRegressorTest, FitsStepData) {
+  Rng rng(2);
+  Matrix x(800, 1);
+  std::vector<double> y(800);
+  for (int i = 0; i < 800; ++i) {
+    x(i, 0) = rng.Normal();
+    y[i] = x(i, 0) > 0 ? 1.0 : 0.0;
+  }
+  trees::ForestConfig config;
+  config.num_trees = 20;
+  ForestRegressor forest(config);
+  forest.Fit(x, y);
+  EXPECT_NEAR(forest.Predict(Matrix({{1.5}}))[0], 1.0, 0.2);
+  EXPECT_NEAR(forest.Predict(Matrix({{-1.5}}))[0], 0.0, 0.2);
+}
+
+class MetaLearnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(3);
+    MakeLinearCausalData(3000, &x_, &t_, &y_, &rng);
+  }
+  Matrix x_;
+  std::vector<int> t_;
+  std::vector<double> y_;
+};
+
+TEST_F(MetaLearnerTest, SLearnerRecoversLinearEffect) {
+  // With a ridge base on [X, t], the S-learner can only capture a
+  // *constant* effect; check the average effect is right.
+  SLearner learner(MakeRidgeFactory(1e-4));
+  learner.Fit(x_, t_, y_);
+  std::vector<double> tau = learner.PredictCate(x_);
+  EXPECT_NEAR(Mean(tau), 1.0, 0.1);  // E[1 + 2 x1] = 1
+}
+
+TEST_F(MetaLearnerTest, TLearnerRecoversHeterogeneousEffect) {
+  TLearner learner(MakeRidgeFactory(1e-4));
+  learner.Fit(x_, t_, y_);
+  EXPECT_LT(CateMse(learner, x_), 0.05);
+}
+
+TEST_F(MetaLearnerTest, XLearnerRecoversHeterogeneousEffect) {
+  XLearner learner(MakeRidgeFactory(1e-4));
+  learner.Fit(x_, t_, y_);
+  EXPECT_LT(CateMse(learner, x_), 0.05);
+}
+
+TEST_F(MetaLearnerTest, CausalForestCateAdaptsToHeterogeneity) {
+  trees::CausalForestConfig config;
+  config.num_trees = 30;
+  CausalForestCate learner(config);
+  learner.Fit(x_, t_, y_);
+  std::vector<double> tau = learner.PredictCate(x_);
+  // Forests approximate the linear effect in steps; require correlation.
+  std::vector<double> truth(x_.rows());
+  for (int i = 0; i < x_.rows(); ++i) truth[i] = 1.0 + 2.0 * x_(i, 1);
+  EXPECT_GT(PearsonCorrelation(tau, truth), 0.8);
+}
+
+class NeuralCateParamTest
+    : public ::testing::TestWithParam<NeuralCateKind> {};
+
+TEST_P(NeuralCateParamTest, LearnsHeterogeneousEffectDirection) {
+  Rng rng(4);
+  Matrix x;
+  std::vector<int> t;
+  std::vector<double> y;
+  MakeLinearCausalData(3000, &x, &t, &y, &rng);
+
+  NeuralCateConfig config;
+  config.train.epochs = 60;
+  config.train.learning_rate = 3e-3;
+  NeuralCate model(GetParam(), config);
+  model.Fit(x, t, y);
+  std::vector<double> tau = model.PredictCate(x);
+  std::vector<double> truth(x.rows());
+  for (int i = 0; i < x.rows(); ++i) truth[i] = 1.0 + 2.0 * x(i, 1);
+  EXPECT_GT(PearsonCorrelation(tau, truth), 0.7)
+      << "kind=" << static_cast<int>(GetParam());
+  EXPECT_NEAR(Mean(tau), 1.0, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, NeuralCateParamTest,
+                         ::testing::Values(NeuralCateKind::kTarnet,
+                                           NeuralCateKind::kDragonnet,
+                                           NeuralCateKind::kOffsetnet,
+                                           NeuralCateKind::kSnet),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case NeuralCateKind::kTarnet:
+                               return "TARNet";
+                             case NeuralCateKind::kDragonnet:
+                               return "DragonNet";
+                             case NeuralCateKind::kOffsetnet:
+                               return "OffsetNet";
+                             case NeuralCateKind::kSnet:
+                               return "SNet";
+                           }
+                           return "?";
+                         });
+
+TEST(TpmRoiModelTest, RanksByRoiOnSyntheticRct) {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(5);
+  RctDataset train = generator.Generate(6000, false, &rng);
+  RctDataset test = generator.Generate(2000, false, &rng);
+
+  trees::ForestConfig forest;
+  forest.num_trees = 25;
+  TpmRoiModel tpm("TPM-SL", [forest] {
+    return std::make_unique<SLearner>(MakeForestFactory(forest));
+  });
+  tpm.Fit(train);
+  std::vector<double> roi = tpm.PredictRoi(test.x);
+  ASSERT_EQ(static_cast<int>(roi.size()), test.n());
+
+  std::vector<double> truth(test.n());
+  for (int i = 0; i < test.n(); ++i) truth[i] = test.TrueRoi(i);
+  EXPECT_GT(SpearmanCorrelation(roi, truth), 0.1)
+      << "TPM ranking should beat random on synthetic data";
+}
+
+TEST(TpmRoiModelTest, NameAndUnfittedGuards) {
+  TpmRoiModel tpm("TPM-XL", [] {
+    return std::make_unique<XLearner>(MakeRidgeFactory());
+  });
+  EXPECT_EQ(tpm.name(), "TPM-XL");
+  EXPECT_DEATH(tpm.PredictRoi(Matrix(1, 1)), "before Fit");
+}
+
+TEST(TpmRoiModelTest, CostFloorGuardsDivision) {
+  // A CATE model that predicts zero cost uplift everywhere must not
+  // produce inf/nan ROI.
+  class ZeroCate : public CateModel {
+   public:
+    void Fit(const Matrix&, const std::vector<int>&,
+             const std::vector<double>&) override {}
+    std::vector<double> PredictCate(const Matrix& x) const override {
+      return std::vector<double>(x.rows(), 0.0);
+    }
+  };
+  TpmRoiModel tpm("TPM-zero", [] { return std::make_unique<ZeroCate>(); },
+                  /*cost_floor=*/1e-3);
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(6);
+  RctDataset train = generator.Generate(200, false, &rng);
+  tpm.Fit(train);
+  for (double roi : tpm.PredictRoi(train.x)) {
+    EXPECT_TRUE(std::isfinite(roi));
+  }
+}
+
+}  // namespace
+}  // namespace roicl::uplift

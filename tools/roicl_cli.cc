@@ -1,0 +1,319 @@
+// roicl — command-line front end for the library.
+//
+// Subcommands:
+//   generate  synthesize an RCT dataset to CSV
+//   train     fit DRP or rDRP on CSV data and save the model
+//   predict   score a CSV with a saved model (ROI and, for rDRP,
+//             conformal interval bounds)
+//   evaluate  AUCC / Qini of a saved model on labelled CSV data
+//   allocate  greedy C-BTAP budget allocation with a saved model
+//
+// Examples:
+//   roicl generate --dataset criteo --n 20000 --seed 1 --out train.csv
+//   roicl generate --dataset criteo --n 5000 --seed 2 --shifted --out calib.csv
+//   roicl train --model rdrp --train train.csv --calib calib.csv --out m.rdrp
+//   roicl evaluate --model-type rdrp --model m.rdrp --data test.csv
+//   roicl allocate --model-type rdrp --model m.rdrp --data test.csv \
+//       --budget-frac 0.15
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/drp_model.h"
+#include "core/greedy.h"
+#include "core/rdrp.h"
+#include "core/roi_star.h"
+#include "data/csv.h"
+#include "exp/datasets.h"
+#include "metrics/cost_curve.h"
+#include "metrics/qini.h"
+#include "synth/synthetic_generator.h"
+
+using namespace roicl;
+
+namespace {
+
+/// Minimal --flag value parser; flags without values are booleans.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    std::string v = Get(key);
+    return v.empty() ? fallback : std::atoi(v.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    std::string v = Get(key);
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+synth::SyntheticConfig DatasetConfigByName(const std::string& name) {
+  if (name == "criteo") return synth::CriteoSynthConfig();
+  if (name == "meituan") return synth::MeituanSynthConfig();
+  if (name == "alibaba") return synth::AlibabaSynthConfig();
+  std::fprintf(stderr,
+               "unknown --dataset '%s' (criteo | meituan | alibaba)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+RctDataset LoadCsvOrDie(const std::string& path) {
+  StatusOr<RctDataset> data = ReadDatasetCsv(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to read %s: %s\n", path.c_str(),
+                 data.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(data).value();
+}
+
+core::DrpConfig DrpConfigFromFlags(const Flags& flags) {
+  core::DrpConfig config;
+  config.hidden_units = flags.GetInt("hidden", 0);
+  config.dropout = flags.GetDouble("dropout", 0.2);
+  config.train.epochs = flags.GetInt("epochs", 120);
+  config.train.learning_rate = flags.GetDouble("lr", 5e-3);
+  config.train.patience = flags.GetInt("patience", 12);
+  config.train.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
+  config.restarts = flags.GetInt("restarts", 3);
+  return config;
+}
+
+int CmdGenerate(const Flags& flags) {
+  synth::SyntheticConfig config =
+      DatasetConfigByName(flags.Get("dataset", "criteo"));
+  synth::SyntheticGenerator generator(config);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  RctDataset data = generator.Generate(flags.GetInt("n", 10000),
+                                       flags.Has("shifted"), &rng);
+  std::string out = flags.Require("out");
+  Status status = WriteDatasetCsv(data, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %d rows x %d features to %s\n", data.n(), data.dim(),
+              out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  std::string model_type = flags.Get("model", "rdrp");
+  RctDataset train = LoadCsvOrDie(flags.Require("train"));
+  std::string out = flags.Require("out");
+
+  if (model_type == "drp") {
+    core::DrpModel model(DrpConfigFromFlags(flags));
+    model.Fit(train);
+    Status status = model.SaveToFile(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trained DRP on %d samples -> %s\n", train.n(),
+                out.c_str());
+    return 0;
+  }
+  if (model_type == "rdrp") {
+    core::RdrpConfig config;
+    config.drp = DrpConfigFromFlags(flags);
+    config.alpha = flags.GetDouble("alpha", 0.1);
+    config.mc_passes = flags.GetInt("mc-passes", 30);
+    core::RdrpModel model(config);
+    if (flags.Has("calib")) {
+      RctDataset calib = LoadCsvOrDie(flags.Get("calib"));
+      model.FitWithCalibration(train, calib);
+    } else {
+      std::fprintf(stderr,
+                   "warning: no --calib set; calibrating on the training "
+                   "data (Assumption 6 will not hold)\n");
+      model.Fit(train);
+    }
+    Status status = model.SaveToFile(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "trained rDRP on %d samples (roi*=%.4f, q_hat=%.4f, form %s) -> "
+        "%s\n",
+        train.n(), model.roi_star(), model.q_hat(),
+        core::CalibrationFormName(model.selected_form()).c_str(),
+        out.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --model '%s' (drp | rdrp)\n",
+               model_type.c_str());
+  return 2;
+}
+
+/// Loads either model type and returns scores (+ intervals for rdrp).
+struct LoadedModel {
+  std::vector<double> scores;
+  std::vector<metrics::Interval> intervals;  // empty for drp
+};
+
+LoadedModel ScoreWithModel(const Flags& flags, const Matrix& x) {
+  std::string model_type = flags.Get("model-type", "rdrp");
+  std::string path = flags.Require("model");
+  LoadedModel out;
+  if (model_type == "drp") {
+    StatusOr<core::DrpModel> model = core::DrpModel::LoadFromFile(path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.scores = model.value().PredictRoi(x);
+  } else if (model_type == "rdrp") {
+    StatusOr<core::RdrpModel> model = core::RdrpModel::LoadFromFile(path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.scores = model.value().PredictRoi(x);
+    out.intervals = model.value().PredictIntervals(x);
+  } else {
+    std::fprintf(stderr, "unknown --model-type '%s' (drp | rdrp)\n",
+                 model_type.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+int CmdPredict(const Flags& flags) {
+  RctDataset data = LoadCsvOrDie(flags.Require("data"));
+  LoadedModel scored = ScoreWithModel(flags, data.x);
+  std::string out_path = flags.Require("out");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out.precision(10);
+  bool with_intervals = !scored.intervals.empty();
+  out << (with_intervals ? "roi,interval_lo,interval_hi\n" : "roi\n");
+  for (size_t i = 0; i < scored.scores.size(); ++i) {
+    out << scored.scores[i];
+    if (with_intervals) {
+      out << ',' << scored.intervals[i].lo << ','
+          << scored.intervals[i].hi;
+    }
+    out << '\n';
+  }
+  std::printf("wrote %zu predictions to %s\n", scored.scores.size(),
+              out_path.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  RctDataset data = LoadCsvOrDie(flags.Require("data"));
+  LoadedModel scored = ScoreWithModel(flags, data.x);
+  std::printf("n          : %d\n", data.n());
+  std::printf("AUCC       : %.4f\n", metrics::Aucc(scored.scores, data));
+  std::printf("Qini (rev) : %.4f\n",
+              metrics::QiniCoefficient(scored.scores, data));
+  if (!scored.intervals.empty()) {
+    double roi_star = core::BinarySearchRoiStar(data);
+    int covered = 0;
+    double width = 0.0;
+    for (const auto& interval : scored.intervals) {
+      covered += interval.Contains(roi_star);
+      width += interval.width();
+    }
+    std::printf("coverage of this set's roi* (%.4f): %.3f\n", roi_star,
+                static_cast<double>(covered) / scored.intervals.size());
+    std::printf("mean interval width: %.4f\n",
+                width / scored.intervals.size());
+  }
+  return 0;
+}
+
+int CmdAllocate(const Flags& flags) {
+  RctDataset data = LoadCsvOrDie(flags.Require("data"));
+  LoadedModel scored = ScoreWithModel(flags, data.x);
+  if (!data.has_ground_truth()) {
+    std::fprintf(stderr,
+                 "allocate requires true_tau_c columns (synthetic data) "
+                 "to account spend\n");
+    return 1;
+  }
+  double total_cost = 0.0;
+  for (double c : data.true_tau_c) total_cost += c;
+  double budget = flags.GetDouble("budget-frac", 0.15) * total_cost;
+  core::AllocationResult alloc =
+      core::GreedyAllocate(scored.scores, data.true_tau_c, budget,
+                           /*skip_unaffordable=*/true);
+  double revenue = 0.0;
+  for (int i : alloc.selected) revenue += data.true_tau_r[i];
+  std::printf("budget            : %.2f (%.0f%% of all-in)\n", budget,
+              100.0 * flags.GetDouble("budget-frac", 0.15));
+  std::printf("treated           : %zu of %d\n", alloc.selected.size(),
+              data.n());
+  std::printf("spent             : %.2f\n", alloc.spent);
+  std::printf("incr. revenue     : %.2f\n", revenue);
+  std::printf("revenue per spend : %.4f\n",
+              alloc.spent > 0 ? revenue / alloc.spent : 0.0);
+  return 0;
+}
+
+void PrintUsage() {
+  std::fputs(
+      "usage: roicl <generate|train|predict|evaluate|allocate> [--flags]\n"
+      "run with a subcommand and no flags to see its required arguments\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "predict") return CmdPredict(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "allocate") return CmdAllocate(flags);
+  PrintUsage();
+  return 2;
+}
