@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cqr.dir/bench_cqr.cc.o"
+  "CMakeFiles/bench_cqr.dir/bench_cqr.cc.o.d"
+  "bench_cqr"
+  "bench_cqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

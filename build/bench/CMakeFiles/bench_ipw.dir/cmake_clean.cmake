@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipw.dir/bench_ipw.cc.o"
+  "CMakeFiles/bench_ipw.dir/bench_ipw.cc.o.d"
+  "bench_ipw"
+  "bench_ipw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

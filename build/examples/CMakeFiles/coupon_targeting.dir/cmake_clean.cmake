@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupon_targeting.dir/coupon_targeting.cpp.o"
+  "CMakeFiles/coupon_targeting.dir/coupon_targeting.cpp.o.d"
+  "coupon_targeting"
+  "coupon_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupon_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for coupon_targeting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incentivized_ads.dir/incentivized_ads.cpp.o"
+  "CMakeFiles/incentivized_ads.dir/incentivized_ads.cpp.o.d"
+  "incentivized_ads"
+  "incentivized_ads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incentivized_ads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

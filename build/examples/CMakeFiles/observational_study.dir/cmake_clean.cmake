@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observational_study.dir/observational_study.cpp.o"
+  "CMakeFiles/observational_study.dir/observational_study.cpp.o.d"
+  "observational_study"
+  "observational_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observational_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_coupons.dir/tiered_coupons.cpp.o"
+  "CMakeFiles/tiered_coupons.dir/tiered_coupons.cpp.o.d"
+  "tiered_coupons"
+  "tiered_coupons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_coupons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

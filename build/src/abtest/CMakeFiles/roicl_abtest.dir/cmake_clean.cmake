@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_abtest.dir/simulator.cc.o"
+  "CMakeFiles/roicl_abtest.dir/simulator.cc.o.d"
+  "libroicl_abtest.a"
+  "libroicl_abtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_abtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_common.dir/rng.cc.o"
+  "CMakeFiles/roicl_common.dir/rng.cc.o.d"
+  "CMakeFiles/roicl_common.dir/stats.cc.o"
+  "CMakeFiles/roicl_common.dir/stats.cc.o.d"
+  "CMakeFiles/roicl_common.dir/status.cc.o"
+  "CMakeFiles/roicl_common.dir/status.cc.o.d"
+  "CMakeFiles/roicl_common.dir/thread_pool.cc.o"
+  "CMakeFiles/roicl_common.dir/thread_pool.cc.o.d"
+  "libroicl_common.a"
+  "libroicl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

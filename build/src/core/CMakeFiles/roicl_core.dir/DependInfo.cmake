@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cc" "src/core/CMakeFiles/roicl_core.dir/calibration.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/calibration.cc.o.d"
+  "/root/repo/src/core/conformal.cc" "src/core/CMakeFiles/roicl_core.dir/conformal.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/conformal.cc.o.d"
+  "/root/repo/src/core/cqr.cc" "src/core/CMakeFiles/roicl_core.dir/cqr.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/cqr.cc.o.d"
+  "/root/repo/src/core/dr_model.cc" "src/core/CMakeFiles/roicl_core.dir/dr_model.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/dr_model.cc.o.d"
+  "/root/repo/src/core/drp_loss.cc" "src/core/CMakeFiles/roicl_core.dir/drp_loss.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/drp_loss.cc.o.d"
+  "/root/repo/src/core/drp_model.cc" "src/core/CMakeFiles/roicl_core.dir/drp_model.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/drp_model.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/core/CMakeFiles/roicl_core.dir/greedy.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/greedy.cc.o.d"
+  "/root/repo/src/core/ipw_drp.cc" "src/core/CMakeFiles/roicl_core.dir/ipw_drp.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/ipw_drp.cc.o.d"
+  "/root/repo/src/core/lagrangian.cc" "src/core/CMakeFiles/roicl_core.dir/lagrangian.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/lagrangian.cc.o.d"
+  "/root/repo/src/core/mc_dropout.cc" "src/core/CMakeFiles/roicl_core.dir/mc_dropout.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/mc_dropout.cc.o.d"
+  "/root/repo/src/core/multi_treatment.cc" "src/core/CMakeFiles/roicl_core.dir/multi_treatment.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/multi_treatment.cc.o.d"
+  "/root/repo/src/core/rdrp.cc" "src/core/CMakeFiles/roicl_core.dir/rdrp.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/rdrp.cc.o.d"
+  "/root/repo/src/core/roi_star.cc" "src/core/CMakeFiles/roicl_core.dir/roi_star.cc.o" "gcc" "src/core/CMakeFiles/roicl_core.dir/roi_star.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roicl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/roicl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roicl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/roicl_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/roicl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/roicl_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/uplift/CMakeFiles/roicl_uplift.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/roicl_trees.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_core.dir/calibration.cc.o"
+  "CMakeFiles/roicl_core.dir/calibration.cc.o.d"
+  "CMakeFiles/roicl_core.dir/conformal.cc.o"
+  "CMakeFiles/roicl_core.dir/conformal.cc.o.d"
+  "CMakeFiles/roicl_core.dir/cqr.cc.o"
+  "CMakeFiles/roicl_core.dir/cqr.cc.o.d"
+  "CMakeFiles/roicl_core.dir/dr_model.cc.o"
+  "CMakeFiles/roicl_core.dir/dr_model.cc.o.d"
+  "CMakeFiles/roicl_core.dir/drp_loss.cc.o"
+  "CMakeFiles/roicl_core.dir/drp_loss.cc.o.d"
+  "CMakeFiles/roicl_core.dir/drp_model.cc.o"
+  "CMakeFiles/roicl_core.dir/drp_model.cc.o.d"
+  "CMakeFiles/roicl_core.dir/greedy.cc.o"
+  "CMakeFiles/roicl_core.dir/greedy.cc.o.d"
+  "CMakeFiles/roicl_core.dir/ipw_drp.cc.o"
+  "CMakeFiles/roicl_core.dir/ipw_drp.cc.o.d"
+  "CMakeFiles/roicl_core.dir/lagrangian.cc.o"
+  "CMakeFiles/roicl_core.dir/lagrangian.cc.o.d"
+  "CMakeFiles/roicl_core.dir/mc_dropout.cc.o"
+  "CMakeFiles/roicl_core.dir/mc_dropout.cc.o.d"
+  "CMakeFiles/roicl_core.dir/multi_treatment.cc.o"
+  "CMakeFiles/roicl_core.dir/multi_treatment.cc.o.d"
+  "CMakeFiles/roicl_core.dir/rdrp.cc.o"
+  "CMakeFiles/roicl_core.dir/rdrp.cc.o.d"
+  "CMakeFiles/roicl_core.dir/roi_star.cc.o"
+  "CMakeFiles/roicl_core.dir/roi_star.cc.o.d"
+  "libroicl_core.a"
+  "libroicl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_data.dir/csv.cc.o"
+  "CMakeFiles/roicl_data.dir/csv.cc.o.d"
+  "CMakeFiles/roicl_data.dir/dataset.cc.o"
+  "CMakeFiles/roicl_data.dir/dataset.cc.o.d"
+  "CMakeFiles/roicl_data.dir/scaler.cc.o"
+  "CMakeFiles/roicl_data.dir/scaler.cc.o.d"
+  "CMakeFiles/roicl_data.dir/split.cc.o"
+  "CMakeFiles/roicl_data.dir/split.cc.o.d"
+  "libroicl_data.a"
+  "libroicl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

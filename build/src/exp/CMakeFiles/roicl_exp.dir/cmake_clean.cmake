@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_exp.dir/ablation.cc.o"
+  "CMakeFiles/roicl_exp.dir/ablation.cc.o.d"
+  "CMakeFiles/roicl_exp.dir/datasets.cc.o"
+  "CMakeFiles/roicl_exp.dir/datasets.cc.o.d"
+  "CMakeFiles/roicl_exp.dir/methods.cc.o"
+  "CMakeFiles/roicl_exp.dir/methods.cc.o.d"
+  "CMakeFiles/roicl_exp.dir/runner.cc.o"
+  "CMakeFiles/roicl_exp.dir/runner.cc.o.d"
+  "CMakeFiles/roicl_exp.dir/setting.cc.o"
+  "CMakeFiles/roicl_exp.dir/setting.cc.o.d"
+  "CMakeFiles/roicl_exp.dir/table.cc.o"
+  "CMakeFiles/roicl_exp.dir/table.cc.o.d"
+  "libroicl_exp.a"
+  "libroicl_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_linalg.dir/matrix.cc.o"
+  "CMakeFiles/roicl_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/roicl_linalg.dir/solve.cc.o"
+  "CMakeFiles/roicl_linalg.dir/solve.cc.o.d"
+  "libroicl_linalg.a"
+  "libroicl_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

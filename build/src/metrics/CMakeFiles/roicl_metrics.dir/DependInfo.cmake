@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cost_curve.cc" "src/metrics/CMakeFiles/roicl_metrics.dir/cost_curve.cc.o" "gcc" "src/metrics/CMakeFiles/roicl_metrics.dir/cost_curve.cc.o.d"
+  "/root/repo/src/metrics/coverage.cc" "src/metrics/CMakeFiles/roicl_metrics.dir/coverage.cc.o" "gcc" "src/metrics/CMakeFiles/roicl_metrics.dir/coverage.cc.o.d"
+  "/root/repo/src/metrics/qini.cc" "src/metrics/CMakeFiles/roicl_metrics.dir/qini.cc.o" "gcc" "src/metrics/CMakeFiles/roicl_metrics.dir/qini.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roicl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/roicl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roicl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_metrics.dir/cost_curve.cc.o"
+  "CMakeFiles/roicl_metrics.dir/cost_curve.cc.o.d"
+  "CMakeFiles/roicl_metrics.dir/coverage.cc.o"
+  "CMakeFiles/roicl_metrics.dir/coverage.cc.o.d"
+  "CMakeFiles/roicl_metrics.dir/qini.cc.o"
+  "CMakeFiles/roicl_metrics.dir/qini.cc.o.d"
+  "libroicl_metrics.a"
+  "libroicl_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

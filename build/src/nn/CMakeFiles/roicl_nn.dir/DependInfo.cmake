@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/roicl_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/roicl_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/roicl_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/roicl_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/roicl_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/roicl_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/roicl_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/roicl_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/roicl_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/roicl_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/roicl_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/roicl_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/roicl_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/roicl_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/roicl_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/roicl_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roicl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roicl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

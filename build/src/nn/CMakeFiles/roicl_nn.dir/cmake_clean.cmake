@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_nn.dir/activation.cc.o"
+  "CMakeFiles/roicl_nn.dir/activation.cc.o.d"
+  "CMakeFiles/roicl_nn.dir/dense.cc.o"
+  "CMakeFiles/roicl_nn.dir/dense.cc.o.d"
+  "CMakeFiles/roicl_nn.dir/dropout.cc.o"
+  "CMakeFiles/roicl_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/roicl_nn.dir/loss.cc.o"
+  "CMakeFiles/roicl_nn.dir/loss.cc.o.d"
+  "CMakeFiles/roicl_nn.dir/mlp.cc.o"
+  "CMakeFiles/roicl_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/roicl_nn.dir/optimizer.cc.o"
+  "CMakeFiles/roicl_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/roicl_nn.dir/serialize.cc.o"
+  "CMakeFiles/roicl_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/roicl_nn.dir/trainer.cc.o"
+  "CMakeFiles/roicl_nn.dir/trainer.cc.o.d"
+  "libroicl_nn.a"
+  "libroicl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/multi_treatment.cc" "src/synth/CMakeFiles/roicl_synth.dir/multi_treatment.cc.o" "gcc" "src/synth/CMakeFiles/roicl_synth.dir/multi_treatment.cc.o.d"
+  "/root/repo/src/synth/shift.cc" "src/synth/CMakeFiles/roicl_synth.dir/shift.cc.o" "gcc" "src/synth/CMakeFiles/roicl_synth.dir/shift.cc.o.d"
+  "/root/repo/src/synth/synthetic_generator.cc" "src/synth/CMakeFiles/roicl_synth.dir/synthetic_generator.cc.o" "gcc" "src/synth/CMakeFiles/roicl_synth.dir/synthetic_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roicl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/roicl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roicl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_synth.dir/multi_treatment.cc.o"
+  "CMakeFiles/roicl_synth.dir/multi_treatment.cc.o.d"
+  "CMakeFiles/roicl_synth.dir/shift.cc.o"
+  "CMakeFiles/roicl_synth.dir/shift.cc.o.d"
+  "CMakeFiles/roicl_synth.dir/synthetic_generator.cc.o"
+  "CMakeFiles/roicl_synth.dir/synthetic_generator.cc.o.d"
+  "libroicl_synth.a"
+  "libroicl_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

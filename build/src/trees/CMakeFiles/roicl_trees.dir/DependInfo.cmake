@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/causal_forest.cc" "src/trees/CMakeFiles/roicl_trees.dir/causal_forest.cc.o" "gcc" "src/trees/CMakeFiles/roicl_trees.dir/causal_forest.cc.o.d"
+  "/root/repo/src/trees/random_forest.cc" "src/trees/CMakeFiles/roicl_trees.dir/random_forest.cc.o" "gcc" "src/trees/CMakeFiles/roicl_trees.dir/random_forest.cc.o.d"
+  "/root/repo/src/trees/regression_tree.cc" "src/trees/CMakeFiles/roicl_trees.dir/regression_tree.cc.o" "gcc" "src/trees/CMakeFiles/roicl_trees.dir/regression_tree.cc.o.d"
+  "/root/repo/src/trees/tree_common.cc" "src/trees/CMakeFiles/roicl_trees.dir/tree_common.cc.o" "gcc" "src/trees/CMakeFiles/roicl_trees.dir/tree_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roicl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roicl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

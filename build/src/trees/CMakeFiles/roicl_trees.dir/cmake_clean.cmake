@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_trees.dir/causal_forest.cc.o"
+  "CMakeFiles/roicl_trees.dir/causal_forest.cc.o.d"
+  "CMakeFiles/roicl_trees.dir/random_forest.cc.o"
+  "CMakeFiles/roicl_trees.dir/random_forest.cc.o.d"
+  "CMakeFiles/roicl_trees.dir/regression_tree.cc.o"
+  "CMakeFiles/roicl_trees.dir/regression_tree.cc.o.d"
+  "CMakeFiles/roicl_trees.dir/tree_common.cc.o"
+  "CMakeFiles/roicl_trees.dir/tree_common.cc.o.d"
+  "libroicl_trees.a"
+  "libroicl_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uplift/meta_learners.cc" "src/uplift/CMakeFiles/roicl_uplift.dir/meta_learners.cc.o" "gcc" "src/uplift/CMakeFiles/roicl_uplift.dir/meta_learners.cc.o.d"
+  "/root/repo/src/uplift/multi_head_net.cc" "src/uplift/CMakeFiles/roicl_uplift.dir/multi_head_net.cc.o" "gcc" "src/uplift/CMakeFiles/roicl_uplift.dir/multi_head_net.cc.o.d"
+  "/root/repo/src/uplift/neural_cate.cc" "src/uplift/CMakeFiles/roicl_uplift.dir/neural_cate.cc.o" "gcc" "src/uplift/CMakeFiles/roicl_uplift.dir/neural_cate.cc.o.d"
+  "/root/repo/src/uplift/propensity.cc" "src/uplift/CMakeFiles/roicl_uplift.dir/propensity.cc.o" "gcc" "src/uplift/CMakeFiles/roicl_uplift.dir/propensity.cc.o.d"
+  "/root/repo/src/uplift/regressor.cc" "src/uplift/CMakeFiles/roicl_uplift.dir/regressor.cc.o" "gcc" "src/uplift/CMakeFiles/roicl_uplift.dir/regressor.cc.o.d"
+  "/root/repo/src/uplift/tpm.cc" "src/uplift/CMakeFiles/roicl_uplift.dir/tpm.cc.o" "gcc" "src/uplift/CMakeFiles/roicl_uplift.dir/tpm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roicl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/roicl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roicl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/roicl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/roicl_trees.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl_uplift.dir/meta_learners.cc.o"
+  "CMakeFiles/roicl_uplift.dir/meta_learners.cc.o.d"
+  "CMakeFiles/roicl_uplift.dir/multi_head_net.cc.o"
+  "CMakeFiles/roicl_uplift.dir/multi_head_net.cc.o.d"
+  "CMakeFiles/roicl_uplift.dir/neural_cate.cc.o"
+  "CMakeFiles/roicl_uplift.dir/neural_cate.cc.o.d"
+  "CMakeFiles/roicl_uplift.dir/propensity.cc.o"
+  "CMakeFiles/roicl_uplift.dir/propensity.cc.o.d"
+  "CMakeFiles/roicl_uplift.dir/regressor.cc.o"
+  "CMakeFiles/roicl_uplift.dir/regressor.cc.o.d"
+  "CMakeFiles/roicl_uplift.dir/tpm.cc.o"
+  "CMakeFiles/roicl_uplift.dir/tpm.cc.o.d"
+  "libroicl_uplift.a"
+  "libroicl_uplift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl_uplift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abtest_test.dir/abtest_test.cc.o"
+  "CMakeFiles/abtest_test.dir/abtest_test.cc.o.d"
+  "abtest_test"
+  "abtest_test.pdb"
+  "abtest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abtest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_guards_test.dir/api_guards_test.cc.o"
+  "CMakeFiles/api_guards_test.dir/api_guards_test.cc.o.d"
+  "api_guards_test"
+  "api_guards_test.pdb"
+  "api_guards_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_guards_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cqr_test.cc" "tests/CMakeFiles/cqr_test.dir/cqr_test.cc.o" "gcc" "tests/CMakeFiles/cqr_test.dir/cqr_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abtest/CMakeFiles/roicl_abtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/roicl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/roicl_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/roicl_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/roicl_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/uplift/CMakeFiles/roicl_uplift.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/roicl_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/roicl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/roicl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/roicl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/roicl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

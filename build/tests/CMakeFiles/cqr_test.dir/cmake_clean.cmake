@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqr_test.dir/cqr_test.cc.o"
+  "CMakeFiles/cqr_test.dir/cqr_test.cc.o.d"
+  "cqr_test"
+  "cqr_test.pdb"
+  "cqr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_r_learner_test.dir/dr_r_learner_test.cc.o"
+  "CMakeFiles/dr_r_learner_test.dir/dr_r_learner_test.cc.o.d"
+  "dr_r_learner_test"
+  "dr_r_learner_test.pdb"
+  "dr_r_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_r_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drp_loss_test.dir/drp_loss_test.cc.o"
+  "CMakeFiles/drp_loss_test.dir/drp_loss_test.cc.o.d"
+  "drp_loss_test"
+  "drp_loss_test.pdb"
+  "drp_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drp_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drp_model_test.dir/drp_model_test.cc.o"
+  "CMakeFiles/drp_model_test.dir/drp_model_test.cc.o.d"
+  "drp_model_test"
+  "drp_model_test.pdb"
+  "drp_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

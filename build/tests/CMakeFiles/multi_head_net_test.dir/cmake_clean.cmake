@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_head_net_test.dir/multi_head_net_test.cc.o"
+  "CMakeFiles/multi_head_net_test.dir/multi_head_net_test.cc.o.d"
+  "multi_head_net_test"
+  "multi_head_net_test.pdb"
+  "multi_head_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_head_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_treatment_test.dir/multi_treatment_test.cc.o"
+  "CMakeFiles/multi_treatment_test.dir/multi_treatment_test.cc.o.d"
+  "multi_treatment_test"
+  "multi_treatment_test.pdb"
+  "multi_treatment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_treatment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observational_test.dir/observational_test.cc.o"
+  "CMakeFiles/observational_test.dir/observational_test.cc.o.d"
+  "observational_test"
+  "observational_test.pdb"
+  "observational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

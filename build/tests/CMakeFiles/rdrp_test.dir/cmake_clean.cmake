@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdrp_test.dir/rdrp_test.cc.o"
+  "CMakeFiles/rdrp_test.dir/rdrp_test.cc.o.d"
+  "rdrp_test"
+  "rdrp_test.pdb"
+  "rdrp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdrp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_star_test.dir/roi_star_test.cc.o"
+  "CMakeFiles/roi_star_test.dir/roi_star_test.cc.o.d"
+  "roi_star_test"
+  "roi_star_test.pdb"
+  "roi_star_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

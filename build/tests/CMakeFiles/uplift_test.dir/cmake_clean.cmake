@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uplift_test.dir/uplift_test.cc.o"
+  "CMakeFiles/uplift_test.dir/uplift_test.cc.o.d"
+  "uplift_test"
+  "uplift_test.pdb"
+  "uplift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uplift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roicl.dir/roicl_cli.cc.o"
+  "CMakeFiles/roicl.dir/roicl_cli.cc.o.d"
+  "roicl"
+  "roicl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roicl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for roicl.
+# This may be replaced when dependencies are built.
