@@ -8,8 +8,19 @@
 
 #include "exp/datasets.h"
 #include "exp/methods.h"
+#include "obs/log.h"
 
 namespace roicl::bench {
+
+/// Benches historically streamed per-setting progress to stderr; that
+/// path now runs through the structured logger at INFO, which the
+/// library default (warn) would silence. Opt benches back in unless the
+/// user pinned a level via ROICL_LOG_LEVEL.
+inline void EnableProgressLogging() {
+  if (std::getenv("ROICL_LOG_LEVEL") == nullptr) {
+    obs::Logger::Global().SetLevel(obs::LogLevel::kInfo);
+  }
+}
 
 /// True when ROICL_FAST=1 is set: benches shrink to smoke-test size
 /// (useful under CI or when iterating).

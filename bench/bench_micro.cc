@@ -12,9 +12,12 @@
 #include "common/stats.h"
 #include "core/drp_model.h"
 #include "core/greedy.h"
+#include "core/rdrp.h"
 #include "core/roi_star.h"
 #include "exp/datasets.h"
 #include "metrics/cost_curve.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "trees/causal_forest.h"
 
 namespace roicl {
@@ -112,6 +115,37 @@ void BM_DrpTrainEpoch(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 
+// Instrumentation-overhead measurement: the full rDRP train + predict
+// pipeline with observability quiet (arg 0: log level off, tracing off),
+// at the default INFO level (arg 1), and with tracing collecting spans
+// (arg 2). The acceptance bar is arg1 within 3% of arg0.
+void BM_RdrpTrainPredictObsOverhead(benchmark::State& state) {
+  RctDataset train = MakeData(2000);
+  RctDataset calib = MakeData(600);
+  RctDataset test = MakeData(800);
+  obs::Logger& logger = obs::Logger::Global();
+  obs::TraceCollector& collector = obs::TraceCollector::Global();
+  obs::LogLevel saved_level = logger.level();
+  int mode = static_cast<int>(state.range(0));
+  logger.SetLevel(mode == 0 ? obs::LogLevel::kOff : obs::LogLevel::kInfo);
+  collector.SetEnabled(mode == 2);
+
+  core::RdrpConfig config;
+  config.drp.train.epochs = 8;
+  config.drp.restarts = 1;
+  config.mc_passes = 10;
+  for (auto _ : state) {
+    core::RdrpModel model(config);
+    model.FitWithCalibration(train, calib);
+    benchmark::DoNotOptimize(model.PredictRoi(test.x));
+    collector.Clear();
+  }
+
+  collector.SetEnabled(false);
+  collector.Clear();
+  logger.SetLevel(saved_level);
+}
+
 void BM_CausalForestFit(benchmark::State& state) {
   RctDataset train = MakeData(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -160,6 +194,11 @@ BENCHMARK(BM_DrpTrainEpoch)
 BENCHMARK(BM_CausalForestFit)
     ->Arg(2000)
     ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RdrpTrainPredictObsOverhead)
+    ->Arg(0)   // observability quiet
+    ->Arg(1)   // log level INFO (the default)
+    ->Arg(2)   // + trace collection
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

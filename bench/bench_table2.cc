@@ -19,6 +19,7 @@ int main() {
   using namespace roicl;
   using namespace roicl::exp;
 
+  bench::EnableProgressLogging();
   MethodHyperparams hp = bench::BenchHyperparams();
   SplitSizes sizes = bench::BenchSizes();
 

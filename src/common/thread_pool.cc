@@ -1,10 +1,34 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace roicl {
+namespace {
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("threadpool.queue_depth");
+  return gauge;
+}
+
+obs::Counter* TasksCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.tasks");
+  return counter;
+}
+
+obs::Histogram* TaskLatencyHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "threadpool.task_us", obs::LatencyMicrosBuckets());
+  return histogram;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
@@ -32,6 +56,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     ROICL_CHECK_MSG(!shutdown_, "Submit() after shutdown");
     queue_.push(std::move(task));
     ++in_flight_;
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -51,8 +76,15 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown_ with drained queue
       task = std::move(queue_.front());
       queue_.pop();
+      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
     }
+    auto task_start = std::chrono::steady_clock::now();
     task();
+    TasksCounter()->Increment();
+    TaskLatencyHistogram()->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - task_start)
+            .count());
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

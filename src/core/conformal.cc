@@ -5,6 +5,9 @@
 
 #include "common/macros.h"
 #include "common/stats.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roicl::core {
 
@@ -33,7 +36,19 @@ std::vector<double> ConformalScores(double roi_star,
 
 double ConformalScoreQuantile(const std::vector<double>& scores,
                               double alpha) {
-  return ConformalQuantile(scores, alpha);
+  obs::ScopedSpan span("conformal.quantile");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram* distribution = registry.GetHistogram(
+      "conformal.score", obs::ConformalScoreBuckets());
+  for (double score : scores) distribution->Observe(score);
+  registry.GetGauge("conformal.calibration_n")
+      ->Set(static_cast<double>(scores.size()));
+  double q_hat = ConformalQuantile(scores, alpha);
+  registry.GetGauge("conformal.q_hat")->Set(q_hat);
+  obs::Debug("conformal quantile", {{"q_hat", q_hat},
+                                    {"alpha", alpha},
+                                    {"calibration_n", scores.size()}});
+  return q_hat;
 }
 
 std::vector<metrics::Interval> ConformalIntervals(

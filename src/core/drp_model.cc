@@ -10,6 +10,8 @@
 #include "nn/serialize.h"
 #include "core/mc_dropout.h"
 #include "metrics/cost_curve.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace roicl::core {
 
@@ -17,6 +19,7 @@ void DrpModel::Fit(const RctDataset& train) {
   train.Validate();
   ROICL_CHECK_MSG(train.NumTreated() > 0 && train.NumControl() > 0,
                   "DRP requires both RCT arms");
+  obs::ScopedSpan span("drp.fit");
   Matrix x_scaled = scaler_.FitTransform(train.x);
 
   int hidden = config_.hidden_units;
@@ -63,11 +66,16 @@ void DrpModel::Fit(const RctDataset& train) {
       Matrix out = candidate->Forward(val_x, nn::Mode::kInfer, nullptr);
       score = -metrics::Aucc(out.Col(0), train.Subset(validation_index));
     }
+    obs::Debug("drp restart", {{"restart", restart}, {"score", score}});
     if (score < best_loss) {
       best_loss = score;
       net_ = std::move(candidate);
     }
   }
+  obs::Debug("drp fit done", {{"n", train.n()},
+                              {"hidden", hidden},
+                              {"restarts", restarts},
+                              {"best_score", best_loss}});
 }
 
 std::vector<double> DrpModel::PredictScore(const Matrix& x) const {

@@ -5,6 +5,9 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roicl::core {
 
@@ -13,15 +16,19 @@ AllocationResult GreedyAllocate(const std::vector<double>& roi_scores,
                                 double budget, bool skip_unaffordable) {
   ROICL_CHECK(roi_scores.size() == costs.size());
   ROICL_CHECK(budget >= 0.0);
+  obs::ScopedSpan span("allocate");
   int n = static_cast<int>(roi_scores.size());
   std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    if (roi_scores[a] != roi_scores[b]) {
-      return roi_scores[a] > roi_scores[b];
-    }
-    return a < b;
-  });
+  {
+    obs::ScopedSpan sort_span("allocate.sort");
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (roi_scores[a] != roi_scores[b]) {
+        return roi_scores[a] > roi_scores[b];
+      }
+      return a < b;
+    });
+  }
 
   AllocationResult result;
   for (int i : order) {
@@ -33,6 +40,18 @@ AllocationResult GreedyAllocate(const std::vector<double>& roi_scores,
       break;  // the paper's variant: stop once the budget is reached
     }
   }
+
+  double budget_used_frac = budget > 0.0 ? result.spent / budget : 0.0;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("allocate.calls")->Increment();
+  registry.GetGauge("allocate.selected")
+      ->Set(static_cast<double>(result.selected.size()));
+  registry.GetGauge("allocate.budget_used_frac")->Set(budget_used_frac);
+  obs::Debug("greedy allocation", {{"n", n},
+                                   {"selected", result.selected.size()},
+                                   {"spent", result.spent},
+                                   {"budget", budget},
+                                   {"budget_used_frac", budget_used_frac}});
   return result;
 }
 

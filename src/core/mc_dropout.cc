@@ -1,9 +1,13 @@
 #include "core/mc_dropout.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/macros.h"
 #include "common/math_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roicl::core {
 
@@ -11,12 +15,15 @@ McDropoutStats RunMcDropout(nn::Network* net, const Matrix& x, int passes,
                             uint64_t seed, bool sigmoid_output) {
   ROICL_CHECK(net != nullptr);
   ROICL_CHECK(passes >= 2);
+  obs::ScopedSpan span("mc_dropout");
+  auto wall_start = std::chrono::steady_clock::now();
   int n = x.rows();
   std::vector<double> sum(n, 0.0);
   std::vector<double> sum_sq(n, 0.0);
 
   Rng rng(seed, /*stream=*/29);
   for (int pass = 0; pass < passes; ++pass) {
+    obs::ScopedSpan pass_span("mc_pass");
     Matrix out = net->Forward(x, nn::Mode::kMcSample, &rng);
     ROICL_CHECK_MSG(out.cols() == 1,
                     "MC dropout expects a single-output network");
@@ -38,6 +45,20 @@ McDropoutStats RunMcDropout(nn::Network* net, const Matrix& x, int passes,
     stats.mean[i] = mean;
     stats.stddev[i] = std::sqrt(var);
   }
+
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  uint64_t samples =
+      static_cast<uint64_t>(n) * static_cast<uint64_t>(passes);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("mc_dropout.samples")->Increment(samples);
+  double rate = seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
+  registry.GetGauge("mc_dropout.samples_per_sec")->Set(rate);
+  obs::Debug("mc dropout", {{"n", n},
+                            {"passes", passes},
+                            {"samples_per_sec", rate},
+                            {"seconds", seconds}});
   return stats;
 }
 

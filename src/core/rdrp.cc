@@ -8,50 +8,67 @@
 #include "common/macros.h"
 #include "core/conformal.h"
 #include "core/roi_star.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roicl::core {
 
 void RdrpModel::FitWithCalibration(const RctDataset& train,
                                    const RctDataset& calibration) {
   calibration.Validate();
+  obs::ScopedSpan span("rdrp.fit");
   // Algorithm 4, line 2: train DRP.
   drp_.Fit(train);
 
-  // Lines 4-6: point estimates, roi*, MC-dropout stds on the calibration
-  // set.
-  std::vector<double> roi_hat = drp_.PredictRoi(calibration.x);
-  McDropoutStats mc =
-      drp_.PredictMcRoi(calibration.x, config_.mc_passes, config_.mc_seed);
-  roi_star_global_ = BinarySearchRoiStar(calibration, config_.epsilon);
+  {
+    obs::ScopedSpan calibrate_span("calibrate");
+    // Lines 4-6: point estimates, roi*, MC-dropout stds on the
+    // calibration set.
+    std::vector<double> roi_hat = drp_.PredictRoi(calibration.x);
+    McDropoutStats mc = drp_.PredictMcRoi(calibration.x, config_.mc_passes,
+                                          config_.mc_seed);
+    roi_star_global_ = BinarySearchRoiStar(calibration, config_.epsilon);
 
-  std::vector<double> roi_star;
-  if (config_.binned_roi_star) {
-    roi_star = BinnedRoiStar(roi_hat, calibration.treatment,
-                             calibration.y_revenue, calibration.y_cost,
-                             config_.roi_star_bins, config_.epsilon);
-  } else {
-    roi_star.assign(roi_hat.size(), roi_star_global_);
-  }
+    std::vector<double> roi_star;
+    if (config_.binned_roi_star) {
+      roi_star = BinnedRoiStar(roi_hat, calibration.treatment,
+                               calibration.y_revenue, calibration.y_cost,
+                               config_.roi_star_bins, config_.epsilon);
+    } else {
+      roi_star.assign(roi_hat.size(), roi_star_global_);
+    }
 
-  // Line 7: conformal score quantile.
-  std::vector<double> scores =
-      ConformalScores(roi_star, roi_hat, mc.stddev, config_.std_floor);
-  q_hat_ = ConformalScoreQuantile(scores, config_.alpha);
-  if (!std::isfinite(q_hat_)) {
-    // Calibration set too small for the requested alpha
-    // (ceil((1-alpha)(n+1)) > n): fall back to the max score, the most
-    // conservative finite quantile.
-    q_hat_ = *std::max_element(scores.begin(), scores.end());
-  }
+    // Line 7: conformal score quantile.
+    std::vector<double> scores =
+        ConformalScores(roi_star, roi_hat, mc.stddev, config_.std_floor);
+    q_hat_ = ConformalScoreQuantile(scores, config_.alpha);
+    if (!std::isfinite(q_hat_)) {
+      // Calibration set too small for the requested alpha
+      // (ceil((1-alpha)(n+1)) > n): fall back to the max score, the most
+      // conservative finite quantile.
+      q_hat_ = *std::max_element(scores.begin(), scores.end());
+      obs::MetricsRegistry::Global().GetGauge("conformal.q_hat")
+          ->Set(q_hat_);
+      obs::Warn("conformal quantile infinite; using max score",
+                {{"q_hat", q_hat_}, {"calibration_n", calibration.n()}});
+    }
 
-  // Line 8: pick the calibration form that maximizes AUCC on the
-  // calibration set.
-  std::vector<double> rq(roi_hat.size());
-  for (size_t i = 0; i < rq.size(); ++i) {
-    rq[i] = std::max(mc.stddev[i], config_.std_floor) * q_hat_;
+    // Line 8: pick the calibration form that maximizes AUCC on the
+    // calibration set.
+    std::vector<double> rq(roi_hat.size());
+    for (size_t i = 0; i < rq.size(); ++i) {
+      rq[i] = std::max(mc.stddev[i], config_.std_floor) * q_hat_;
+    }
+    form_ = SelectCalibrationForm(roi_hat, rq, calibration);
   }
-  form_ = SelectCalibrationForm(roi_hat, rq, calibration);
   calibrated_ = true;
+  obs::Info("rdrp calibrated",
+            {{"q_hat", q_hat_},
+             {"roi_star", roi_star_global_},
+             {"form", CalibrationFormName(form_)},
+             {"calibration_n", calibration.n()},
+             {"mc_passes", config_.mc_passes}});
 }
 
 std::vector<double> RdrpModel::McStdDev(const Matrix& x) const {
@@ -63,6 +80,7 @@ std::vector<double> RdrpModel::McStdDev(const Matrix& x) const {
 
 std::vector<double> RdrpModel::PredictRoi(const Matrix& x) const {
   ROICL_CHECK_MSG(calibrated_, "PredictRoi() before FitWithCalibration()");
+  obs::ScopedSpan span("predict");
   // Algorithm 4, lines 10-12.
   std::vector<double> roi_hat = drp_.PredictRoi(x);
   std::vector<double> r_hat = McStdDev(x);
@@ -75,6 +93,7 @@ std::vector<metrics::Interval> RdrpModel::PredictIntervals(
     const Matrix& x) const {
   ROICL_CHECK_MSG(calibrated_,
                   "PredictIntervals() before FitWithCalibration()");
+  obs::ScopedSpan span("predict_intervals");
   std::vector<double> roi_hat = drp_.PredictRoi(x);
   std::vector<double> r_hat = McStdDev(x);
   std::vector<metrics::Interval> intervals =

@@ -7,6 +7,9 @@
 #include "common/macros.h"
 #include "common/math_util.h"
 #include "core/drp_loss.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roicl::core {
 
@@ -15,13 +18,16 @@ double BinarySearchRoiStar(const std::vector<int>& treatment,
                            const std::vector<double>& y_cost,
                            double epsilon) {
   ROICL_CHECK(epsilon > 0.0);
+  obs::ScopedSpan span("roi_star.binary_search");
   // Algorithm 2: roi_l = 0, roi_r = 1, evaluate L' at sigma^{-1}(roi*).
   double roi_l = 0.0;
   double roi_r = 1.0;
   double roi_star = 0.5 * (roi_l + roi_r);
+  int iterations = 0;
   while (roi_r - roi_l > epsilon) {
     double deriv = DrpPopulationLossDeriv(treatment, y_revenue, y_cost,
                                           Logit(roi_star));
+    ++iterations;
     if (std::fabs(deriv) < epsilon) break;
     if (deriv > 0.0) {
       roi_r = roi_star;  // past the minimum: shrink from the right
@@ -30,6 +36,15 @@ double BinarySearchRoiStar(const std::vector<int>& treatment,
     }
     roi_star = 0.5 * (roi_l + roi_r);
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("roi_star.searches")->Increment();
+  registry.GetGauge("roi_star.iterations")
+      ->Set(static_cast<double>(iterations));
+  registry.GetGauge("roi_star.bracket_width")->Set(roi_r - roi_l);
+  obs::Debug("roi* binary search", {{"roi_star", roi_star},
+                                    {"iterations", iterations},
+                                    {"bracket_width", roi_r - roi_l},
+                                    {"n", treatment.size()}});
   return roi_star;
 }
 

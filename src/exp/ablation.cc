@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 
 #include "core/calibration.h"
 #include "core/conformal.h"
@@ -10,6 +9,8 @@
 #include "core/drp_model.h"
 #include "core/roi_star.h"
 #include "metrics/cost_curve.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace roicl::exp {
 namespace {
@@ -42,6 +43,8 @@ double EvaluateCalibrated(const std::vector<double>& roi_calib,
 AblationRow RunAblationSetting(DatasetId dataset, Setting setting,
                                const MethodHyperparams& hp,
                                const SplitSizes& sizes, uint64_t seed) {
+  obs::ScopedSpan span("exp.ablation_setting",
+                       DatasetName(dataset) + "/" + SettingName(setting));
   synth::SyntheticGenerator generator = MakeGenerator(dataset);
   DatasetSplits splits = BuildSplits(generator, setting, sizes, seed);
   const RctDataset& calib = splits.calibration;
@@ -110,12 +113,14 @@ std::vector<AblationRow> RunAblationSweep(const MethodHyperparams& hp,
           RunAblationSetting(dataset, setting, hp, sizes, seed));
       if (verbose) {
         const AblationRow& r = rows.back();
-        std::fprintf(stderr,
-                     "  [%s/%s] DR=%.4f DR+MC=%.4f DRP=%.4f DRP+MC=%.4f "
-                     "DRP+MC+CP=%.4f\n",
-                     DatasetName(dataset).c_str(),
-                     SettingName(setting).c_str(), r.dr, r.dr_mc, r.drp,
-                     r.drp_mc, r.drp_mc_cp);
+        obs::Info("ablation setting done",
+                  {{"dataset", DatasetName(dataset)},
+                   {"setting", SettingName(setting)},
+                   {"dr", r.dr},
+                   {"dr_mc", r.dr_mc},
+                   {"drp", r.drp},
+                   {"drp_mc", r.drp_mc},
+                   {"drp_mc_cp", r.drp_mc_cp}});
       }
     }
   }

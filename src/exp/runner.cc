@@ -1,10 +1,11 @@
 #include "exp/runner.h"
 
 #include <chrono>
-#include <cstdio>
 
 #include "common/macros.h"
 #include "metrics/cost_curve.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace roicl::exp {
 
@@ -20,12 +21,15 @@ std::vector<OfflineCell> RunSetting(DatasetId dataset, Setting setting,
                                     const std::vector<MethodSpec>& methods,
                                     const SplitSizes& sizes, uint64_t seed,
                                     bool verbose) {
+  obs::ScopedSpan setting_span(
+      "exp.setting", DatasetName(dataset) + "/" + SettingName(setting));
   synth::SyntheticGenerator generator = MakeGenerator(dataset);
   DatasetSplits splits = BuildSplits(generator, setting, sizes, seed);
 
   std::vector<OfflineCell> cells;
   cells.reserve(methods.size());
   for (const MethodSpec& spec : methods) {
+    obs::ScopedSpan method_span("exp.method", spec.name);
     auto start = std::chrono::steady_clock::now();
     std::unique_ptr<uplift::RoiModel> model = spec.factory();
     double aucc = EvaluateMethodOnSplits(model.get(), splits);
@@ -38,10 +42,11 @@ std::vector<OfflineCell> RunSetting(DatasetId dataset, Setting setting,
     cell.seconds = std::chrono::duration<double>(end - start).count();
     cells.push_back(cell);
     if (verbose) {
-      std::fprintf(stderr, "  [%s/%s] %-14s AUCC=%.4f (%.1fs)\n",
-                   DatasetName(dataset).c_str(),
-                   SettingName(setting).c_str(), spec.name.c_str(), aucc,
-                   cell.seconds);
+      obs::Info("method evaluated", {{"dataset", DatasetName(dataset)},
+                                     {"setting", SettingName(setting)},
+                                     {"method", spec.name},
+                                     {"aucc", aucc},
+                                     {"seconds", cell.seconds}});
     }
   }
   return cells;

@@ -1,11 +1,26 @@
 #include "nn/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/macros.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roicl::nn {
+namespace {
+
+double GradL2Norm(Network* net) {
+  double sum_sq = 0.0;
+  for (Matrix* grad : net->Grads()) {
+    for (double g : grad->data()) sum_sq += g * g;
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace
 
 double EvaluateLoss(Network* net, const Matrix& x, const std::vector<int>& index,
                     const BatchLoss& loss) {
@@ -26,6 +41,18 @@ TrainResult TrainNetwork(Network* net, const Matrix& x,
   ROICL_CHECK(config.epochs > 0);
   ROICL_CHECK(config.batch_size > 0);
 
+  obs::ScopedSpan train_span("train");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* epochs_counter = registry.GetCounter("train.epochs");
+  obs::Gauge* loss_gauge = registry.GetGauge("train.loss");
+  obs::Gauge* grad_norm_gauge = registry.GetGauge("train.grad_norm");
+  registry.GetGauge("train.lr")->Set(config.learning_rate);
+  obs::Debug("train start", {{"n_train", train_index.size()},
+                             {"n_val", validation_index.size()},
+                             {"epochs", config.epochs},
+                             {"batch_size", config.batch_size},
+                             {"lr", config.learning_rate}});
+
   Rng rng(config.seed, /*stream=*/7);
   Adam optimizer(config.learning_rate, 0.9, 0.999, 1e-8,
                  config.weight_decay);
@@ -38,6 +65,7 @@ TrainResult TrainNetwork(Network* net, const Matrix& x,
 
   TrainResult result;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("epoch");
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     int batches = 0;
@@ -58,9 +86,16 @@ TrainResult TrainNetwork(Network* net, const Matrix& x,
     }
     result.final_train_loss = batches > 0 ? epoch_loss / batches : 0.0;
     result.epochs_run = epoch + 1;
+    epochs_counter->Increment();
+    loss_gauge->Set(result.final_train_loss);
+    // Gradient norm of the last mini-batch: one pass over the parameter
+    // tensors per epoch, negligible next to the batches themselves.
+    double grad_norm = GradL2Norm(net);
+    grad_norm_gauge->Set(grad_norm);
 
+    double val = std::numeric_limits<double>::quiet_NaN();
     if (use_early_stop) {
-      double val = EvaluateLoss(net, x, validation_index, loss);
+      val = EvaluateLoss(net, x, validation_index, loss);
       if (val < best_val - 1e-12) {
         best_val = val;
         epochs_since_best = 0;
@@ -70,10 +105,19 @@ TrainResult TrainNetwork(Network* net, const Matrix& x,
         if (epochs_since_best >= config.patience) {
           net->RestoreParams(best_snapshot);
           result.early_stopped = true;
-          break;
+          registry.GetCounter("train.early_stops")->Increment();
+          obs::Debug("early stop",
+                     {{"epoch", epoch + 1},
+                      {"best_val_loss", best_val},
+                      {"patience", config.patience}});
         }
       }
     }
+    obs::Debug("epoch", {{"epoch", epoch + 1},
+                         {"loss", result.final_train_loss},
+                         {"val_loss", val},
+                         {"grad_norm", grad_norm}});
+    if (result.early_stopped) break;
   }
   if (use_early_stop && !result.early_stopped &&
       best_val < std::numeric_limits<double>::infinity()) {
@@ -82,6 +126,11 @@ TrainResult TrainNetwork(Network* net, const Matrix& x,
     if (best_val < final_val) net->RestoreParams(best_snapshot);
   }
   result.best_validation_loss = best_val;
+  registry.GetGauge("train.final_loss")->Set(result.final_train_loss);
+  obs::Debug("train done", {{"epochs_run", result.epochs_run},
+                            {"final_loss", result.final_train_loss},
+                            {"best_val_loss", best_val},
+                            {"early_stopped", result.early_stopped}});
   return result;
 }
 

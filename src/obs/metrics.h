@@ -1,0 +1,123 @@
+#ifndef ROICL_OBS_METRICS_H_
+#define ROICL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+/// histograms. The hot path (Increment / Set / Observe) is lock-free
+/// `std::atomic` arithmetic; only registration (name -> instrument lookup)
+/// takes a mutex, so call sites cache the returned pointer in a
+/// function-local static. Instrument pointers remain valid for the
+/// lifetime of the registry.
+///
+/// `SnapshotJson()` exports everything as one JSON object; the CLI's
+/// `--metrics-out` writes it to a file on exit.
+
+namespace roicl::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value-wins double (e.g. current loss, queue depth).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts observations
+/// `v <= upper_bounds[i]`; one implicit overflow bucket catches the rest.
+/// Observe() is two relaxed atomic adds plus a CAS loop for the sum.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size == upper_bounds().size() + 1,
+  /// the last entry being the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Canonical bucket layouts shared by instrumentation sites and the CLI's
+/// metric preregistration, so both resolve to identical histograms.
+std::vector<double> LatencyMicrosBuckets();   // 10us .. 10s, decades
+std::vector<double> ConformalScoreBuckets();  // 0.25 .. 512, octaves
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all library instrumentation.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the named instrument. For histograms, the bucket
+  /// layout is fixed by whichever call registers the name first; later
+  /// calls return the existing instrument unchanged.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> upper_bounds);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:
+  ///   {"count":N,"sum":S,"bounds":[...],"counts":[...]}}}
+  /// Non-finite gauge values are emitted as null to keep the JSON valid.
+  std::string SnapshotJson() const;
+  /// Writes SnapshotJson() to `path`; false on I/O failure.
+  bool WriteSnapshotJson(const std::string& path) const;
+
+  /// Zeroes every registered instrument (registration survives).
+  /// For tests and benchmark repetitions.
+  void Reset();
+
+  void ForEachCounter(
+      const std::function<void(const std::string&, uint64_t)>& fn) const;
+  void ForEachGauge(
+      const std::function<void(const std::string&, double)>& fn) const;
+  void ForEachHistogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace roicl::obs
+
+#endif  // ROICL_OBS_METRICS_H_

@@ -1,0 +1,106 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "obs/log.h"
+
+namespace roicl::obs {
+namespace {
+
+thread_local int g_span_depth = 0;
+
+}  // namespace
+
+TraceCollector::TraceCollector()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector& collector = *new TraceCollector();
+  return collector;
+}
+
+void TraceCollector::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& event = events_[i];
+    if (i > 0) out += ',';
+    out += "\n{\"name\":\"";
+    out += JsonEscape(event.name);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(event.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(event.dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    if (!event.detail.empty()) {
+      out += ",\"args\":{\"detail\":\"";
+      out += JsonEscape(event.detail);
+      out += "\"}";
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool TraceCollector::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToChromeJson();
+  return static_cast<bool>(out);
+}
+
+uint64_t TraceCollector::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view detail) {
+  TraceCollector& collector = TraceCollector::Global();
+  if (!collector.enabled()) return;
+  active_ = true;
+  name_.assign(name);
+  detail_.assign(detail);
+  start_us_ = collector.NowMicros();
+  ++g_span_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --g_span_depth;
+  TraceCollector& collector = TraceCollector::Global();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.detail = std::move(detail_);
+  event.ts_us = start_us_;
+  event.dur_us = collector.NowMicros() - start_us_;
+  event.tid = CurrentThreadId();
+  collector.Record(std::move(event));
+}
+
+int ScopedSpan::CurrentDepth() { return g_span_depth; }
+
+}  // namespace roicl::obs

@@ -1,0 +1,98 @@
+#ifndef ROICL_OBS_TRACE_H_
+#define ROICL_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// RAII trace spans exportable as Chrome `chrome://tracing` JSON.
+///
+/// `ScopedSpan` measures the lifetime of a scope and records one
+/// "complete" event (`"ph":"X"`) with a start timestamp and duration in
+/// microseconds. Parent/child nesting is implicit: Chrome nests
+/// overlapping X-events on the same thread track, and `CurrentDepth()`
+/// exposes the per-thread nesting level for tests and diagnostics.
+///
+/// Collection is off by default, in which case a span costs one relaxed
+/// atomic load. The CLI's `--trace-out FILE` enables collection and
+/// writes the JSON on exit; load the file via chrome://tracing or
+/// https://ui.perfetto.dev.
+
+namespace roicl::obs {
+
+struct TraceEvent {
+  std::string name;
+  /// Optional free-form annotation, exported as args.detail.
+  std::string detail;
+  /// Microseconds since the collector's construction (process start in
+  /// practice, since the collector is a process-wide singleton).
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+};
+
+class TraceCollector {
+ public:
+  /// The process-wide collector used by all ScopedSpan instances.
+  static TraceCollector& Global();
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void Record(TraceEvent event);
+  std::vector<TraceEvent> Snapshot() const;
+  size_t size() const;
+  void Clear();
+
+  /// Chrome trace-event JSON: an array of
+  /// {"name":...,"ph":"X","ts":...,"dur":...,"pid":1,"tid":...} objects.
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path`; false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+  /// Microseconds since collector construction (monotonic).
+  uint64_t NowMicros() const;
+
+ private:
+  TraceCollector();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: records the enclosing scope's duration under `name` when
+/// collection is enabled at construction time. Move/copy are disabled;
+/// spans live exactly as long as their scope.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, std::string_view detail = {});
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Nesting depth of live spans on the calling thread (0 outside any
+  /// span). Only spans created while collection is enabled count.
+  static int CurrentDepth();
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  std::string detail_;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace roicl::obs
+
+#endif  // ROICL_OBS_TRACE_H_

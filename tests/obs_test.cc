@@ -1,0 +1,562 @@
+// Tests for the roicl_obs observability module: log-level filtering,
+// structured sinks, concurrent metric updates from ThreadPool workers,
+// span nesting, and well-formedness (parse round-trip) of the JSON
+// metrics snapshot and chrome://tracing export.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace roicl::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser: enough to round-trip-validate the
+// exports without adding a dependency. Rejects trailing garbage.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value;
+
+  bool is_object() const {
+    return std::holds_alternative<JsonObject>(value);
+  }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value); }
+  bool is_number() const { return std::holds_alternative<double>(value); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value);
+  }
+  const JsonObject& object() const { return std::get<JsonObject>(value); }
+  const JsonArray& array() const { return std::get<JsonArray>(value); }
+  double number() const { return std::get<double>(value); }
+  const std::string& string() const {
+    return std::get<std::string>(value);
+  }
+  bool Has(const std::string& key) const {
+    return is_object() && object().count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    return object().at(key);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char escape = text_[pos_++];
+        switch (escape) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // decoded value not needed for these tests
+            *out += '?';
+            break;
+          }
+          default:
+            return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character: invalid JSON
+      } else {
+        *out += c;
+      }
+    }
+    return false;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      JsonObject object;
+      SkipSpace();
+      if (Consume('}')) {
+        out->value = std::move(object);
+        return true;
+      }
+      for (;;) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        object.emplace(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        if (Consume('}')) break;
+        return false;
+      }
+      out->value = std::move(object);
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      JsonArray array;
+      SkipSpace();
+      if (Consume(']')) {
+        out->value = std::move(array);
+        return true;
+      }
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        if (Consume(']')) break;
+        return false;
+      }
+      out->value = std::move(array);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      out->value = std::move(s);
+      return true;
+    }
+    if (ParseLiteral("true")) {
+      out->value = true;
+      return true;
+    }
+    if (ParseLiteral("false")) {
+      out->value = false;
+      return true;
+    }
+    if (ParseLiteral("null")) {
+      out->value = nullptr;
+      return true;
+    }
+    // Number.
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out->value = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool ParseJson(std::string_view text, JsonValue* out) {
+  return JsonParser(text).Parse(out);
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+/// Sink that captures records for assertions.
+class CaptureSink : public LogSink {
+ public:
+  struct Captured {
+    LogLevel level;
+    std::string message;
+    std::vector<std::pair<std::string, std::string>> fields;
+  };
+
+  void Write(const LogRecord& record) override {
+    Captured captured;
+    captured.level = record.level;
+    captured.message = std::string(record.message);
+    for (size_t i = 0; i < record.num_fields; ++i) {
+      captured.fields.emplace_back(record.fields[i].key,
+                                   record.fields[i].value);
+    }
+    records.push_back(std::move(captured));
+  }
+
+  std::vector<Captured> records;
+};
+
+TEST(LogLevelTest, ParseAndName) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kOff);  // untouched on failure
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST(LoggerTest, LevelFiltering) {
+  Logger logger(/*with_default_sink=*/false);
+  auto sink = std::make_unique<CaptureSink>();
+  CaptureSink* capture = sink.get();
+  logger.AddSink(std::move(sink));
+
+  logger.SetLevel(LogLevel::kWarn);
+  logger.Log(LogLevel::kDebug, "d");
+  logger.Log(LogLevel::kInfo, "i");
+  logger.Log(LogLevel::kWarn, "w");
+  logger.Log(LogLevel::kError, "e");
+  ASSERT_EQ(capture->records.size(), 2u);
+  EXPECT_EQ(capture->records[0].message, "w");
+  EXPECT_EQ(capture->records[1].message, "e");
+
+  logger.SetLevel(LogLevel::kDebug);
+  logger.Log(LogLevel::kDebug, "d2");
+  ASSERT_EQ(capture->records.size(), 3u);
+
+  logger.SetLevel(LogLevel::kOff);
+  logger.Log(LogLevel::kError, "never");
+  EXPECT_EQ(capture->records.size(), 3u);
+}
+
+TEST(LoggerTest, FieldsAreCapturedInOrder) {
+  Logger logger(/*with_default_sink=*/false);
+  auto sink = std::make_unique<CaptureSink>();
+  CaptureSink* capture = sink.get();
+  logger.AddSink(std::move(sink));
+  logger.SetLevel(LogLevel::kInfo);
+
+  logger.Log(LogLevel::kInfo, "fit done",
+             {{"epoch", 3}, {"loss", 0.5}, {"method", "rDRP"}});
+  ASSERT_EQ(capture->records.size(), 1u);
+  const CaptureSink::Captured& record = capture->records[0];
+  ASSERT_EQ(record.fields.size(), 3u);
+  EXPECT_EQ(record.fields[0].first, "epoch");
+  EXPECT_EQ(record.fields[0].second, "3");
+  EXPECT_EQ(record.fields[1].first, "loss");
+  EXPECT_EQ(record.fields[1].second, "0.5");
+  EXPECT_EQ(record.fields[2].second, "rDRP");
+}
+
+TEST(LoggerTest, GlobalLoggerFiltersByLevel) {
+  Logger& global = Logger::Global();
+  LogLevel saved = global.level();
+  auto sinks = global.SwapSinks({});
+  auto capture_owner = std::make_unique<CaptureSink>();
+  CaptureSink* capture = capture_owner.get();
+  global.AddSink(std::move(capture_owner));
+
+  global.SetLevel(LogLevel::kError);
+  Info("filtered out");
+  Error("kept");
+  ASSERT_EQ(capture->records.size(), 1u);
+  EXPECT_EQ(capture->records[0].message, "kept");
+
+  global.SetLevel(saved);
+  global.SwapSinks(std::move(sinks));
+}
+
+TEST(JsonLinesSinkTest, EmitsParseableObjects) {
+  std::string path =
+      testing::TempDir() + "/obs_test_log_lines.jsonl";
+  std::remove(path.c_str());
+  {
+    Logger logger(/*with_default_sink=*/false);
+    logger.SetLevel(LogLevel::kDebug);
+    auto sink = std::make_unique<JsonLinesSink>(path);
+    ASSERT_TRUE(sink->ok());
+    logger.AddSink(std::move(sink));
+    logger.Log(LogLevel::kInfo, "with \"quotes\" and\nnewline",
+               {{"k", "v w"}, {"n", 2.5}, {"flag", true}});
+    logger.Log(LogLevel::kWarn, "second");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    JsonValue value;
+    ASSERT_TRUE(ParseJson(line, &value)) << line;
+    ASSERT_TRUE(value.is_object());
+    EXPECT_TRUE(value.Has("ts"));
+    EXPECT_TRUE(value.Has("level"));
+    EXPECT_TRUE(value.Has("tid"));
+    EXPECT_TRUE(value.Has("msg"));
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("obs_test.counter");
+  counter->Reset();
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->value(), 42u);
+  EXPECT_EQ(registry.GetCounter("obs_test.counter"), counter)
+      << "same name must resolve to the same instrument";
+
+  Gauge* gauge = registry.GetGauge("obs_test.gauge");
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.5);
+  gauge->Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), -1.0);
+}
+
+TEST(MetricsTest, HistogramBucketing) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // <= 1
+  histogram.Observe(1.0);    // <= 1 (le semantics)
+  histogram.Observe(5.0);    // <= 10
+  histogram.Observe(100.0);  // <= 100
+  histogram.Observe(1e6);    // overflow
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+}
+
+TEST(MetricsTest, ConcurrentUpdatesFromThreadPoolWorkers) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("obs_test.concurrent_counter");
+  Histogram* histogram = registry.GetHistogram(
+      "obs_test.concurrent_histogram", {10.0, 100.0, 1000.0});
+  counter->Reset();
+  histogram->Reset();
+
+  constexpr int kIterations = 20000;
+  ThreadPool pool(4);
+  pool.ParallelFor(0, kIterations, [&](int i) {
+    counter->Increment();
+    histogram->Observe(static_cast<double>(i % 1500));
+  });
+
+  EXPECT_EQ(counter->value(), static_cast<uint64_t>(kIterations));
+  EXPECT_EQ(histogram->count(), static_cast<uint64_t>(kIterations));
+  uint64_t bucket_total = 0;
+  for (uint64_t c : histogram->BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, static_cast<uint64_t>(kIterations));
+  double expected_sum = 0.0;
+  for (int i = 0; i < kIterations; ++i) expected_sum += i % 1500;
+  EXPECT_DOUBLE_EQ(histogram->sum(), expected_sum);
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTrips) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test.snapshot_counter")->Reset();
+  registry.GetCounter("obs_test.snapshot_counter")->Increment(7);
+  registry.GetGauge("obs_test.snapshot_gauge")->Set(1.25);
+  Histogram* histogram =
+      registry.GetHistogram("obs_test.snapshot_histogram", {1.0, 2.0});
+  histogram->Reset();
+  histogram->Observe(1.5);
+
+  JsonValue snapshot;
+  ASSERT_TRUE(ParseJson(registry.SnapshotJson(), &snapshot));
+  ASSERT_TRUE(snapshot.is_object());
+  ASSERT_TRUE(snapshot.Has("counters"));
+  ASSERT_TRUE(snapshot.Has("gauges"));
+  ASSERT_TRUE(snapshot.Has("histograms"));
+
+  const JsonValue& counter = snapshot.At("counters")
+                                 .At("obs_test.snapshot_counter");
+  ASSERT_TRUE(counter.is_number());
+  EXPECT_DOUBLE_EQ(counter.number(), 7.0);
+
+  const JsonValue& gauge =
+      snapshot.At("gauges").At("obs_test.snapshot_gauge");
+  ASSERT_TRUE(gauge.is_number());
+  EXPECT_DOUBLE_EQ(gauge.number(), 1.25);
+
+  const JsonValue& hist =
+      snapshot.At("histograms").At("obs_test.snapshot_histogram");
+  ASSERT_TRUE(hist.is_object());
+  EXPECT_DOUBLE_EQ(hist.At("count").number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.At("sum").number(), 1.5);
+  ASSERT_TRUE(hist.At("bounds").is_array());
+  ASSERT_TRUE(hist.At("counts").is_array());
+  EXPECT_EQ(hist.At("counts").array().size(),
+            hist.At("bounds").array().size() + 1);
+}
+
+TEST(MetricsTest, NonFiniteGaugeStaysParseable) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("obs_test.inf_gauge")
+      ->Set(std::numeric_limits<double>::infinity());
+  JsonValue snapshot;
+  ASSERT_TRUE(ParseJson(registry.SnapshotJson(), &snapshot));
+  EXPECT_TRUE(std::holds_alternative<std::nullptr_t>(
+      snapshot.At("gauges").At("obs_test.inf_gauge").value));
+  registry.GetGauge("obs_test.inf_gauge")->Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+
+TEST(TraceTest, SpansAreFreeWhenDisabled) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.SetEnabled(false);
+  collector.Clear();
+  {
+    ScopedSpan span("ignored");
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 0);
+  }
+  EXPECT_EQ(collector.size(), 0u);
+}
+
+TEST(TraceTest, NestedSpansRecordDepthAndContainment) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Clear();
+  collector.SetEnabled(true);
+  {
+    ScopedSpan outer("outer");
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 1);
+    {
+      ScopedSpan inner("inner", "detail text");
+      EXPECT_EQ(ScopedSpan::CurrentDepth(), 2);
+    }
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 1);
+  }
+  EXPECT_EQ(ScopedSpan::CurrentDepth(), 0);
+  collector.SetEnabled(false);
+
+  std::vector<TraceEvent> events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close inner-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].detail, "detail text");
+  EXPECT_EQ(events[1].name, "outer");
+  // Child interval nested within the parent interval.
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  collector.Clear();
+}
+
+TEST(TraceTest, ChromeJsonRoundTrips) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Clear();
+  collector.SetEnabled(true);
+  {
+    ScopedSpan train("train");
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      ScopedSpan span("epoch");
+    }
+  }
+  collector.SetEnabled(false);
+
+  JsonValue trace;
+  ASSERT_TRUE(ParseJson(collector.ToChromeJson(), &trace));
+  ASSERT_TRUE(trace.is_array());
+  ASSERT_EQ(trace.array().size(), 4u);
+  int epochs = 0;
+  for (const JsonValue& event : trace.array()) {
+    ASSERT_TRUE(event.is_object());
+    for (const char* key : {"name", "ph", "ts", "dur", "pid", "tid"}) {
+      EXPECT_TRUE(event.Has(key)) << "missing " << key;
+    }
+    EXPECT_EQ(event.At("ph").string(), "X");
+    if (event.At("name").string() == "epoch") ++epochs;
+  }
+  EXPECT_EQ(epochs, 3);
+
+  std::string path = testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(collector.WriteChromeJson(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue from_file;
+  EXPECT_TRUE(ParseJson(buffer.str(), &from_file));
+  std::remove(path.c_str());
+  collector.Clear();
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+}  // namespace
+}  // namespace roicl::obs

@@ -1,0 +1,28 @@
+#!/bin/bash
+# Enforces the logging discipline introduced with src/obs: library code
+# must not write to stdout/stderr directly — diagnostics go through
+# roicl::obs logging, results through the table renderer or return values.
+#
+# Allowed exceptions:
+#   src/obs/           the sinks themselves
+#   src/exp/table.cc   the result-table renderer (stdout is its contract)
+#   src/common/macros.h  fatal-check macros print right before abort()
+#
+# Usage: check_no_raw_io.sh <repo root>; exits non-zero on violations.
+set -eu
+cd "${1:?usage: check_no_raw_io.sh <repo root>}"
+
+violations=$(grep -rn --include='*.cc' --include='*.h' \
+    -E 'std::cout|std::cerr|std::clog|(std::|[^[:alnum:]_."])(printf|fprintf|fputs|puts|fwrite)[[:space:]]*\(' \
+    src/ \
+  | grep -v '^src/obs/' \
+  | grep -v '^src/exp/table\.cc:' \
+  | grep -v '^src/common/macros\.h:' \
+  || true)
+
+if [ -n "$violations" ]; then
+  echo "raw stdout/stderr IO found in src/ (route it through roicl::obs):"
+  echo "$violations"
+  exit 1
+fi
+echo "no raw IO outside the allowlist"

@@ -15,6 +15,13 @@
 //   roicl evaluate --model-type rdrp --model m.rdrp --data test.csv
 //   roicl allocate --model-type rdrp --model m.rdrp --data test.csv \
 //       --budget-frac 0.15
+//
+// Observability flags (all subcommands):
+//   --log-level LEVEL   debug|info|warn|error|off (default info; the
+//                       ROICL_LOG_LEVEL env var wins when set)
+//   --log-json FILE     mirror log records to FILE as JSON lines
+//   --metrics-out FILE  write the metrics-registry snapshot JSON on exit
+//   --trace-out FILE    collect trace spans, write chrome://tracing JSON
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,9 @@
 #include "exp/datasets.h"
 #include "metrics/cost_curve.h"
 #include "metrics/qini.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/synthetic_generator.h"
 
 using namespace roicl;
@@ -83,6 +93,93 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Touches every metric the pipeline can emit so a snapshot written by any
+/// subcommand carries the full schema (untouched instruments read zero).
+/// Names and bucket layouts must match the instrumentation sites.
+void PreregisterStandardMetrics() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (const char* name :
+       {"train.epochs", "train.early_stops", "mc_dropout.samples",
+        "roi_star.searches", "allocate.calls", "threadpool.tasks"}) {
+    registry.GetCounter(name);
+  }
+  for (const char* name :
+       {"train.loss", "train.final_loss", "train.grad_norm", "train.lr",
+        "conformal.q_hat", "conformal.calibration_n",
+        "mc_dropout.samples_per_sec", "roi_star.iterations",
+        "roi_star.bracket_width", "allocate.budget_used_frac",
+        "allocate.selected", "threadpool.queue_depth"}) {
+    registry.GetGauge(name);
+  }
+  registry.GetHistogram("conformal.score", obs::ConformalScoreBuckets());
+  registry.GetHistogram("threadpool.task_us", obs::LatencyMicrosBuckets());
+}
+
+void SetupObservability(const Flags& flags) {
+  obs::Logger& logger = obs::Logger::Global();
+  std::string level_text = flags.Get("log-level");
+  if (!level_text.empty()) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(level_text, &level)) {
+      std::fprintf(stderr,
+                   "bad --log-level '%s' (debug|info|warn|error|off)\n",
+                   level_text.c_str());
+      std::exit(2);
+    }
+    logger.SetLevel(level);
+  } else if (std::getenv("ROICL_LOG_LEVEL") == nullptr) {
+    // The library defaults to warn; an interactive CLI run wants info.
+    logger.SetLevel(obs::LogLevel::kInfo);
+  }
+  if (flags.Has("log-json")) {
+    auto sink = std::make_unique<obs::JsonLinesSink>(flags.Get("log-json"));
+    if (!sink->ok()) {
+      std::fprintf(stderr, "cannot open --log-json %s\n",
+                   flags.Get("log-json").c_str());
+      std::exit(2);
+    }
+    logger.AddSink(std::move(sink));
+  }
+  if (flags.Has("trace-out")) {
+    obs::TraceCollector::Global().SetEnabled(true);
+  }
+  PreregisterStandardMetrics();
+}
+
+/// Metrics summary + optional JSON exports, run after the subcommand.
+void FinishObservability(const Flags& flags) {
+  obs::Logger& logger = obs::Logger::Global();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (logger.ShouldLog(obs::LogLevel::kInfo)) {
+    std::vector<obs::LogField> fields;
+    registry.ForEachCounter([&](const std::string& name, uint64_t value) {
+      fields.emplace_back(name, static_cast<unsigned long long>(value));
+    });
+    registry.ForEachGauge([&](const std::string& name, double value) {
+      fields.emplace_back(name, value);
+    });
+    logger.LogV(obs::LogLevel::kInfo, "metrics summary", fields);
+  }
+  if (flags.Has("metrics-out")) {
+    std::string path = flags.Get("metrics-out");
+    if (registry.WriteSnapshotJson(path)) {
+      obs::Info("wrote metrics snapshot", {{"path", path}});
+    } else {
+      obs::Error("cannot write metrics snapshot", {{"path", path}});
+    }
+  }
+  if (flags.Has("trace-out")) {
+    std::string path = flags.Get("trace-out");
+    obs::TraceCollector& collector = obs::TraceCollector::Global();
+    if (collector.WriteChromeJson(path)) {
+      obs::Info("wrote chrome trace",
+                {{"path", path}, {"events", collector.size()}});
+    } else {
+      obs::Error("cannot write chrome trace", {{"path", path}});
+    }
+  }
+}
 
 synth::SyntheticConfig DatasetConfigByName(const std::string& name) {
   if (name == "criteo") return synth::CriteoSynthConfig();
@@ -296,8 +393,21 @@ int CmdAllocate(const Flags& flags) {
 void PrintUsage() {
   std::fputs(
       "usage: roicl <generate|train|predict|evaluate|allocate> [--flags]\n"
-      "run with a subcommand and no flags to see its required arguments\n",
+      "run with a subcommand and no flags to see its required arguments\n"
+      "observability flags (any subcommand): --log-level LEVEL, "
+      "--log-json FILE, --metrics-out FILE, --trace-out FILE\n",
       stderr);
+}
+
+int RunCommand(const std::string& command, const Flags& flags) {
+  obs::ScopedSpan span("roicl." + command);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "predict") return CmdPredict(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "allocate") return CmdAllocate(flags);
+  PrintUsage();
+  return 2;
 }
 
 }  // namespace
@@ -309,11 +419,8 @@ int main(int argc, char** argv) {
   }
   std::string command = argv[1];
   Flags flags(argc, argv, 2);
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "train") return CmdTrain(flags);
-  if (command == "predict") return CmdPredict(flags);
-  if (command == "evaluate") return CmdEvaluate(flags);
-  if (command == "allocate") return CmdAllocate(flags);
-  PrintUsage();
-  return 2;
+  SetupObservability(flags);
+  int exit_code = RunCommand(command, flags);
+  FinishObservability(flags);
+  return exit_code;
 }
