@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
+#include "common/macros.h"
 #include "common/stats.h"
 #include "core/drp_model.h"
 #include "core/greedy.h"
@@ -74,6 +77,49 @@ void BM_McDropoutInference(benchmark::State& state) {
     benchmark::DoNotOptimize(drp.PredictMcRoi(test.x, passes, 1));
   }
   state.SetComplexityN(passes);
+}
+
+// Batched inference forward vs. the naive one-row-at-a-time loop. Arg 0
+// is the batch size; 1 means "forward each row alone", i.e. the per-row
+// baseline the batched engine replaces. Serial (num_threads = 1) so the
+// measured ratio isolates the batching win from any threading win.
+void BM_BatchForward(benchmark::State& state) {
+  core::DrpModel& drp = SharedSmallDrp();
+  RctDataset test = MakeData(4000);
+  core::DrpConfig config = drp.config();
+  config.predict.batch_size = static_cast<int>(state.range(0));
+  config.predict.num_threads = 1;
+  core::DrpModel runner(config);
+  {
+    // Clone the fitted weights by round-tripping the serialized model so
+    // every batch size measures the same network.
+    std::stringstream stream;
+    ROICL_CHECK(drp.Save(stream).ok());
+    StatusOr<core::DrpModel> loaded =
+        core::DrpModel::Load(stream, config);
+    ROICL_CHECK(loaded.ok());
+    runner = std::move(loaded).value();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.PredictRoi(test.x));
+  }
+  state.SetItemsProcessed(state.iterations() * test.n());
+}
+
+// The parallel MC-dropout engine across thread counts (arg 0; 1 = inline
+// serial). Single-core containers show ~1x here by construction — the
+// determinism tests prove the knob is safe, this records the throughput.
+void BM_ParallelMcDropout(benchmark::State& state) {
+  core::DrpModel& drp = SharedSmallDrp();
+  RctDataset test = MakeData(2000);
+  nn::BatchOptions opts;
+  opts.batch_size = 128;
+  opts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drp.PredictMcRoi(test.x, /*passes=*/20,
+                                              /*seed=*/1, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * test.n() * 20);
 }
 
 void BM_Aucc(benchmark::State& state) {
@@ -174,6 +220,17 @@ BENCHMARK(BM_McDropoutInference)
     ->Arg(30)
     ->Arg(100)
     ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchForward)
+    ->Arg(1)     // per-row baseline
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(4000)  // whole set in one block
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelMcDropout)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Aucc)
     ->Arg(1000)

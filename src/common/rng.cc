@@ -144,4 +144,13 @@ std::vector<int> Rng::Permutation(int n) {
   return SampleWithoutReplacement(n, n);
 }
 
+Rng MakeCounterRng(uint64_t seed, uint64_t counter) {
+  // Feed the counter through SplitMix64 before combining with the seed so
+  // that consecutive counters land in unrelated (state, stream) pairs.
+  SplitMix64 mixer(counter * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL);
+  uint64_t child_seed = seed ^ mixer.Next();
+  uint64_t child_stream = mixer.Next();
+  return Rng(child_seed, child_stream);
+}
+
 }  // namespace roicl

@@ -95,6 +95,17 @@ class Rng {
   double spare_normal_ = 0.0;
 };
 
+/// Counter-based stream derivation: a generator that depends only on
+/// (seed, counter) — never on how many draws any other stream has made.
+///
+/// This is the reproducibility primitive of the parallel prediction
+/// engine: assigning each (sample, pass) work unit the counter
+/// `pass * n + sample` makes stochastic inference bit-identical under any
+/// batch size, thread count, or execution order, because every unit owns
+/// an independent pre-derived stream (same philosophy as Salmon et al.,
+/// "Parallel Random Numbers: As Easy as 1, 2, 3", SC 2011).
+Rng MakeCounterRng(uint64_t seed, uint64_t counter);
+
 }  // namespace roicl
 
 #endif  // ROICL_COMMON_RNG_H_

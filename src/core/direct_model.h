@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "nn/batch_forward.h"
 #include "uplift/roi_model.h"
 
 namespace roicl::core {
@@ -22,9 +23,18 @@ class DirectRoiModel : public uplift::RoiModel {
  public:
   /// Runs `passes` stochastic forward passes (dropout active) and returns
   /// per-sample mean and standard deviation of the ROI prediction. This is
-  /// r_hat(x) of Eq. (3). Deterministic given `seed`.
-  virtual McDropoutStats PredictMcRoi(const Matrix& x, int passes,
-                                      uint64_t seed) const = 0;
+  /// r_hat(x) of Eq. (3). Deterministic given `seed`: `opts` only selects
+  /// the batch size and thread count of the engine, never the bits of the
+  /// result (counter-based per-(sample, pass) RNG streams).
+  virtual McDropoutStats PredictMcRoi(
+      const Matrix& x, int passes, uint64_t seed,
+      const nn::BatchOptions& opts) const = 0;
+
+  /// Convenience overload with default engine options.
+  McDropoutStats PredictMcRoi(const Matrix& x, int passes,
+                              uint64_t seed) const {
+    return PredictMcRoi(x, passes, seed, nn::BatchOptions());
+  }
 };
 
 }  // namespace roicl::core

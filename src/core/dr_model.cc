@@ -140,7 +140,7 @@ void DirectRankModel::Fit(const RctDataset& train) {
 std::vector<double> DirectRankModel::PredictRoi(const Matrix& x) const {
   ROICL_CHECK_MSG(fitted(), "PredictRoi() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
-  Matrix out = net_->Forward(x_scaled, nn::Mode::kInfer, nullptr);
+  Matrix out = nn::BatchedInferForward(net_.get(), x_scaled);
   std::vector<double> roi = out.Col(0);
   // DR only learns a ranking; the sigmoid maps it into (0, 1) so the
   // downstream tooling can treat all direct models uniformly.
@@ -148,12 +148,13 @@ std::vector<double> DirectRankModel::PredictRoi(const Matrix& x) const {
   return roi;
 }
 
-McDropoutStats DirectRankModel::PredictMcRoi(const Matrix& x, int passes,
-                                             uint64_t seed) const {
+McDropoutStats DirectRankModel::PredictMcRoi(
+    const Matrix& x, int passes, uint64_t seed,
+    const nn::BatchOptions& opts) const {
   ROICL_CHECK_MSG(fitted(), "PredictMcRoi() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
   return RunMcDropout(net_.get(), x_scaled, passes, seed,
-                      /*sigmoid_output=*/true);
+                      /*sigmoid_output=*/true, opts);
 }
 
 }  // namespace roicl::core

@@ -48,8 +48,9 @@ class DirectRankModel : public DirectRoiModel {
   std::vector<double> PredictRoi(const Matrix& x) const override;
   std::string name() const override { return "DR"; }
 
-  McDropoutStats PredictMcRoi(const Matrix& x, int passes,
-                              uint64_t seed) const override;
+  using DirectRoiModel::PredictMcRoi;
+  McDropoutStats PredictMcRoi(const Matrix& x, int passes, uint64_t seed,
+                              const nn::BatchOptions& opts) const override;
 
   bool fitted() const { return net_ != nullptr; }
 

@@ -81,7 +81,8 @@ void DrpModel::Fit(const RctDataset& train) {
 std::vector<double> DrpModel::PredictScore(const Matrix& x) const {
   ROICL_CHECK_MSG(fitted(), "PredictScore() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
-  Matrix out = net_->Forward(x_scaled, nn::Mode::kInfer, nullptr);
+  Matrix out = nn::BatchedInferForward(net_.get(), x_scaled,
+                                       config_.predict);
   return out.Col(0);
 }
 
@@ -92,11 +93,12 @@ std::vector<double> DrpModel::PredictRoi(const Matrix& x) const {
 }
 
 McDropoutStats DrpModel::PredictMcRoi(const Matrix& x, int passes,
-                                      uint64_t seed) const {
+                                      uint64_t seed,
+                                      const nn::BatchOptions& opts) const {
   ROICL_CHECK_MSG(fitted(), "PredictMcRoi() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
   return RunMcDropout(net_.get(), x_scaled, passes, seed,
-                      /*sigmoid_output=*/true);
+                      /*sigmoid_output=*/true, opts);
 }
 
 Status DrpModel::Save(std::ostream& out) const {

@@ -33,6 +33,11 @@ struct DrpConfig {
   /// limitation describes.
   int restarts = 3;
   uint64_t seed = 77;
+  /// Batched prediction-engine knobs (row-block size, thread count) used
+  /// by PredictScore/PredictRoi and as the default for PredictMcRoi.
+  /// Affects throughput only — predictions are bit-identical across
+  /// settings.
+  nn::BatchOptions predict;
 };
 
 /// The Direct ROI Prediction model (Zhou et al., AAAI 2023): a one-hidden-
@@ -49,8 +54,9 @@ class DrpModel : public DirectRoiModel {
   /// Raw logits s = h(x) (PredictRoi is sigmoid of this).
   std::vector<double> PredictScore(const Matrix& x) const;
 
-  McDropoutStats PredictMcRoi(const Matrix& x, int passes,
-                              uint64_t seed) const override;
+  using DirectRoiModel::PredictMcRoi;
+  McDropoutStats PredictMcRoi(const Matrix& x, int passes, uint64_t seed,
+                              const nn::BatchOptions& opts) const override;
 
   const DrpConfig& config() const { return config_; }
   bool fitted() const { return net_ != nullptr; }

@@ -46,7 +46,8 @@ void IpwDrpModel::Fit(const RctDataset& train) {
 std::vector<double> IpwDrpModel::PredictScore(const Matrix& x) const {
   ROICL_CHECK_MSG(fitted(), "PredictScore() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
-  Matrix out = net_->Forward(x_scaled, nn::Mode::kInfer, nullptr);
+  Matrix out =
+      nn::BatchedInferForward(net_.get(), x_scaled, config_.drp.predict);
   return out.Col(0);
 }
 
@@ -56,12 +57,13 @@ std::vector<double> IpwDrpModel::PredictRoi(const Matrix& x) const {
   return scores;
 }
 
-McDropoutStats IpwDrpModel::PredictMcRoi(const Matrix& x, int passes,
-                                         uint64_t seed) const {
+McDropoutStats IpwDrpModel::PredictMcRoi(
+    const Matrix& x, int passes, uint64_t seed,
+    const nn::BatchOptions& opts) const {
   ROICL_CHECK_MSG(fitted(), "PredictMcRoi() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
   return RunMcDropout(net_.get(), x_scaled, passes, seed,
-                      /*sigmoid_output=*/true);
+                      /*sigmoid_output=*/true, opts);
 }
 
 }  // namespace roicl::core

@@ -36,8 +36,9 @@ class IpwDrpModel : public DirectRoiModel {
 
   std::vector<double> PredictRoi(const Matrix& x) const override;
   std::vector<double> PredictScore(const Matrix& x) const;
-  McDropoutStats PredictMcRoi(const Matrix& x, int passes,
-                              uint64_t seed) const override;
+  using DirectRoiModel::PredictMcRoi;
+  McDropoutStats PredictMcRoi(const Matrix& x, int passes, uint64_t seed,
+                              const nn::BatchOptions& opts) const override;
   std::string name() const override { return "IPW-DRP"; }
 
   const uplift::PropensityModel& propensity() const { return *propensity_; }

@@ -12,51 +12,80 @@
 namespace roicl::core {
 
 McDropoutStats RunMcDropout(nn::Network* net, const Matrix& x, int passes,
-                            uint64_t seed, bool sigmoid_output) {
+                            uint64_t seed, bool sigmoid_output,
+                            const nn::BatchOptions& opts) {
   ROICL_CHECK(net != nullptr);
   ROICL_CHECK(passes >= 2);
   obs::ScopedSpan span("mc_dropout");
   auto wall_start = std::chrono::steady_clock::now();
   int n = x.rows();
-  std::vector<double> sum(n, 0.0);
-  std::vector<double> sum_sq(n, 0.0);
-
-  Rng rng(seed, /*stream=*/29);
-  for (int pass = 0; pass < passes; ++pass) {
-    obs::ScopedSpan pass_span("mc_pass");
-    Matrix out = net->Forward(x, nn::Mode::kMcSample, &rng);
-    ROICL_CHECK_MSG(out.cols() == 1,
-                    "MC dropout expects a single-output network");
-    for (int i = 0; i < n; ++i) {
-      double v = out(i, 0);
-      if (sigmoid_output) v = Sigmoid(v);
-      sum[i] += v;
-      sum_sq[i] += v * v;
-    }
-  }
 
   McDropoutStats stats;
   stats.mean.resize(n);
   stats.stddev.resize(n);
-  double inv = 1.0 / static_cast<double>(passes);
-  for (int i = 0; i < n; ++i) {
-    double mean = sum[i] * inv;
-    double var = std::max(0.0, sum_sq[i] * inv - mean * mean);
-    stats.mean[i] = mean;
-    stats.stddev[i] = std::sqrt(var);
-  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram* batch_latency = registry.GetHistogram(
+      "mc_dropout.batch_us", obs::LatencyMicrosBuckets());
+
+  // Each block task owns the accumulators for its rows and applies passes
+  // in ascending order; with per-(sample, pass) counter streams this makes
+  // the result independent of block scheduling.
+  nn::ForEachRowBlock(n, opts, [&](int /*block*/, int row_begin,
+                                   int row_end) {
+    auto block_start = std::chrono::steady_clock::now();
+    int rows = row_end - row_begin;
+    std::vector<int> row_ids(rows);
+    for (int r = 0; r < rows; ++r) row_ids[r] = row_begin + r;
+    Matrix x_block = x.SelectRows(row_ids);
+
+    std::vector<double> sum(rows, 0.0);
+    std::vector<double> sum_sq(rows, 0.0);
+    nn::RowRngs rngs;
+    rngs.reserve(rows);
+    for (int pass = 0; pass < passes; ++pass) {
+      rngs.clear();
+      uint64_t pass_base =
+          static_cast<uint64_t>(pass) * static_cast<uint64_t>(n);
+      for (int r = row_begin; r < row_end; ++r) {
+        rngs.push_back(
+            MakeCounterRng(seed, pass_base + static_cast<uint64_t>(r)));
+      }
+      Matrix out = net->ForwardRows(x_block, nn::Mode::kMcSample, &rngs);
+      ROICL_CHECK_MSG(out.cols() == 1,
+                      "MC dropout expects a single-output network");
+      for (int r = 0; r < rows; ++r) {
+        double v = out(r, 0);
+        if (sigmoid_output) v = Sigmoid(v);
+        sum[r] += v;
+        sum_sq[r] += v * v;
+      }
+    }
+
+    double inv = 1.0 / static_cast<double>(passes);
+    for (int r = 0; r < rows; ++r) {
+      double mean = sum[r] * inv;
+      double var = std::max(0.0, sum_sq[r] * inv - mean * mean);
+      stats.mean[row_begin + r] = mean;
+      stats.stddev[row_begin + r] = std::sqrt(var);
+    }
+    batch_latency->Observe(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - block_start)
+                               .count());
+  });
 
   double seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
   uint64_t samples =
       static_cast<uint64_t>(n) * static_cast<uint64_t>(passes);
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("mc_dropout.samples")->Increment(samples);
   double rate = seconds > 0.0 ? static_cast<double>(samples) / seconds : 0.0;
   registry.GetGauge("mc_dropout.samples_per_sec")->Set(rate);
   obs::Debug("mc dropout", {{"n", n},
                             {"passes", passes},
+                            {"batch_size", opts.batch_size},
+                            {"num_threads", opts.num_threads},
                             {"samples_per_sec", rate},
                             {"seconds", seconds}});
   return stats;

@@ -27,7 +27,7 @@ void RdrpModel::FitWithCalibration(const RctDataset& train,
     // calibration set.
     std::vector<double> roi_hat = drp_.PredictRoi(calibration.x);
     McDropoutStats mc = drp_.PredictMcRoi(calibration.x, config_.mc_passes,
-                                          config_.mc_seed);
+                                          config_.mc_seed, config_.drp.predict);
     roi_star_global_ = BinarySearchRoiStar(calibration, config_.epsilon);
 
     std::vector<double> roi_star;
@@ -72,8 +72,8 @@ void RdrpModel::FitWithCalibration(const RctDataset& train,
 }
 
 std::vector<double> RdrpModel::McStdDev(const Matrix& x) const {
-  McDropoutStats mc =
-      drp_.PredictMcRoi(x, config_.mc_passes, config_.mc_seed);
+  McDropoutStats mc = drp_.PredictMcRoi(x, config_.mc_passes,
+                                        config_.mc_seed, config_.drp.predict);
   for (double& s : mc.stddev) s = std::max(s, config_.std_floor);
   return mc.stddev;
 }

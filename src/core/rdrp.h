@@ -34,6 +34,10 @@ struct RdrpConfig {
   bool binned_roi_star = false;
   int roi_star_bins = 10;
   uint64_t mc_seed = 99;
+  /// Batched prediction-engine knobs (row-block size, thread count) for
+  /// the MC-dropout sweep and the point forward live in `drp.predict`
+  /// (CLI: --batch-size / --threads). Engine settings never change the
+  /// produced bits, only throughput.
 };
 
 /// Robust Direct ROI Prediction (the paper's contribution, Algorithm 4).

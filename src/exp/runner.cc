@@ -5,6 +5,7 @@
 #include "common/macros.h"
 #include "metrics/cost_curve.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace roicl::exp {
@@ -13,7 +14,17 @@ double EvaluateMethodOnSplits(uplift::RoiModel* model,
                               const DatasetSplits& splits) {
   ROICL_CHECK(model != nullptr);
   model->FitWithCalibration(splits.train, splits.calibration);
+  auto predict_start = std::chrono::steady_clock::now();
   std::vector<double> scores = model->PredictRoi(splits.test.x);
+  double predict_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    predict_start)
+          .count();
+  if (predict_seconds > 0.0) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("exp.predict_samples_per_sec")
+        ->Set(static_cast<double>(splits.test.n()) / predict_seconds);
+  }
   return metrics::Aucc(scores, splits.test);
 }
 

@@ -86,20 +86,67 @@ void Matrix::AppendRow(const std::vector<double>& row) {
   ++rows_;
 }
 
+namespace {
+
+// Blocked ikj kernel parameters: kRowTile rows of A are processed per
+// inner sweep so each loaded B row is reused kRowTile times from
+// registers; kKBlock bounds the B panel touched per sweep so it stays in
+// cache. k ascends for every (i, j) regardless of blocking, keeping the
+// floating-point accumulation order — and therefore the bits of the
+// result — independent of the tiling.
+constexpr int kRowTile = 4;
+constexpr int kKBlock = 128;
+
+}  // namespace
+
+void MatmulInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  ROICL_CHECK(c != nullptr);
+  ROICL_CHECK(a.cols() == b.rows());
+  ROICL_CHECK(c->rows() == a.rows() && c->cols() == b.cols());
+  const int m = a.rows();
+  const int k_dim = a.cols();
+  const int n = b.cols();
+  std::fill(c->data().begin(), c->data().end(), 0.0);
+  for (int k0 = 0; k0 < k_dim; k0 += kKBlock) {
+    const int k1 = std::min(k_dim, k0 + kKBlock);
+    int i = 0;
+    for (; i + kRowTile <= m; i += kRowTile) {
+      const double* a0 = a.RowPtr(i);
+      const double* a1 = a.RowPtr(i + 1);
+      const double* a2 = a.RowPtr(i + 2);
+      const double* a3 = a.RowPtr(i + 3);
+      double* c0 = c->RowPtr(i);
+      double* c1 = c->RowPtr(i + 1);
+      double* c2 = c->RowPtr(i + 2);
+      double* c3 = c->RowPtr(i + 3);
+      for (int k = k0; k < k1; ++k) {
+        const double* brow = b.RowPtr(k);
+        const double a0k = a0[k], a1k = a1[k], a2k = a2[k], a3k = a3[k];
+        for (int j = 0; j < n; ++j) {
+          const double bj = brow[j];
+          c0[j] += a0k * bj;
+          c1[j] += a1k * bj;
+          c2[j] += a2k * bj;
+          c3[j] += a3k * bj;
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c->RowPtr(i);
+      for (int k = k0; k < k1; ++k) {
+        const double aik = arow[k];
+        const double* brow = b.RowPtr(k);
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
 Matrix Matmul(const Matrix& a, const Matrix& b) {
   ROICL_CHECK(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  // ikj loop order keeps the inner loop contiguous for row-major storage.
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (int k = 0; k < a.cols(); ++k) {
-      double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.RowPtr(k);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  MatmulInto(a, b, &c);
   return c;
 }
 

@@ -86,7 +86,18 @@ class Matrix {
 };
 
 /// C = A * B. Requires A.cols() == B.rows().
+///
+/// Blocked register-tiled ikj kernel: a panel of A rows shares each loaded
+/// B row, and k is blocked so the active B panel stays cache-resident. For
+/// every output element the k-accumulation order is plain ascending k, so
+/// the result is bit-identical for any row partition of A — the invariant
+/// the batched prediction engine's determinism tests rely on.
 Matrix Matmul(const Matrix& a, const Matrix& b);
+
+/// Matmul variant writing into a preallocated output (overwrites `c`).
+/// Avoids the allocation on hot batched-forward paths. `c` must already
+/// have shape a.rows() x b.cols().
+void MatmulInto(const Matrix& a, const Matrix& b, Matrix* c);
 
 /// y = A * x for a column vector x (size A.cols()).
 std::vector<double> Matvec(const Matrix& a, const std::vector<double>& x);

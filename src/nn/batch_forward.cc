@@ -1,0 +1,60 @@
+#include "nn/batch_forward.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+
+namespace roicl::nn {
+
+void ForEachRowBlock(int num_rows, const BatchOptions& opts,
+                     const std::function<void(int block, int row_begin,
+                                              int row_end)>& body) {
+  ROICL_CHECK(num_rows >= 0);
+  ROICL_CHECK(opts.batch_size > 0);
+  ROICL_CHECK(opts.num_threads >= 0);
+  if (num_rows == 0) return;
+  int num_blocks = (num_rows + opts.batch_size - 1) / opts.batch_size;
+  auto run_block = [&](int block) {
+    int row_begin = block * opts.batch_size;
+    int row_end = std::min(num_rows, row_begin + opts.batch_size);
+    body(block, row_begin, row_end);
+  };
+  if (opts.num_threads == 1 || num_blocks == 1) {
+    for (int block = 0; block < num_blocks; ++block) run_block(block);
+  } else if (opts.num_threads == 0) {
+    GlobalThreadPool().ParallelFor(0, num_blocks, run_block);
+  } else {
+    ThreadPool pool(static_cast<unsigned>(opts.num_threads));
+    pool.ParallelFor(0, num_blocks, run_block);
+  }
+}
+
+Matrix BatchedInferForward(Network* net, const Matrix& x,
+                           const BatchOptions& opts) {
+  ROICL_CHECK(net != nullptr);
+  Matrix out;
+  std::mutex init_mutex;
+  ForEachRowBlock(x.rows(), opts, [&](int /*block*/, int row_begin,
+                                      int row_end) {
+    std::vector<int> rows(row_end - row_begin);
+    for (int r = row_begin; r < row_end; ++r) rows[r - row_begin] = r;
+    Matrix block_out =
+        net->Forward(x.SelectRows(rows), Mode::kInfer, nullptr);
+    // First finished block sizes the output; every block then writes its
+    // disjoint row range, so concurrent writes never overlap.
+    {
+      std::lock_guard<std::mutex> lock(init_mutex);
+      if (out.empty()) out = Matrix(x.rows(), block_out.cols());
+    }
+    for (int r = row_begin; r < row_end; ++r) {
+      std::copy(block_out.RowPtr(r - row_begin),
+                block_out.RowPtr(r - row_begin) + block_out.cols(),
+                out.RowPtr(r));
+    }
+  });
+  return out;
+}
+
+}  // namespace roicl::nn

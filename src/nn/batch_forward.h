@@ -1,0 +1,43 @@
+#ifndef ROICL_NN_BATCH_FORWARD_H_
+#define ROICL_NN_BATCH_FORWARD_H_
+
+#include <functional>
+
+#include "linalg/matrix.h"
+#include "nn/network.h"
+
+namespace roicl::nn {
+
+/// Knobs for the batched prediction engine (deterministic inference
+/// forward and the MC-dropout sweep built on top of it).
+struct BatchOptions {
+  /// Rows per forward call. Blocks amortize the per-call overhead into one
+  /// matrix-matrix multiply and bound the working set per task.
+  int batch_size = 256;
+  /// 1 runs inline on the caller's thread; 0 fans blocks out across the
+  /// process-global ThreadPool; any other value uses a dedicated pool of
+  /// that size. The choice never changes the produced bits — only the
+  /// wall clock.
+  int num_threads = 0;
+};
+
+/// Deterministic batched kInfer forward: splits `x` into row blocks of
+/// `opts.batch_size`, forwards each block (in parallel per `num_threads`),
+/// and stitches the outputs back in row order. Because kInfer forwards are
+/// state-free and each output row depends only on its input row, the
+/// result equals net->Forward(x, kInfer, nullptr) bit-for-bit at any
+/// batch size or thread count.
+Matrix BatchedInferForward(Network* net, const Matrix& x,
+                           const BatchOptions& opts = {});
+
+/// Runs `body(block)` for each row block [block*batch_size,
+/// min(n, (block+1)*batch_size)) according to the threading policy above.
+/// Shared by the inference forward and the MC-dropout engine so both hot
+/// paths schedule identically.
+void ForEachRowBlock(int num_rows, const BatchOptions& opts,
+                     const std::function<void(int block, int row_begin,
+                                              int row_end)>& body);
+
+}  // namespace roicl::nn
+
+#endif  // ROICL_NN_BATCH_FORWARD_H_

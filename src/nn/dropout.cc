@@ -10,20 +10,50 @@ Dropout::Dropout(double rate) : rate_(rate) {
 
 Matrix Dropout::Forward(const Matrix& input, Mode mode, Rng* rng) {
   if (mode == Mode::kInfer || rate_ == 0.0) {
-    mask_ = Matrix();
+    if (mode == Mode::kTrain) mask_ = Matrix();
     return input;
   }
   ROICL_CHECK_MSG(rng != nullptr, "stochastic dropout needs an Rng");
   double keep = 1.0 - rate_;
   double scale = 1.0 / keep;
-  mask_ = Matrix(input.rows(), input.cols());
   Matrix out = input;
-  std::vector<double>& m = mask_.data();
   std::vector<double>& o = out.data();
-  for (size_t i = 0; i < o.size(); ++i) {
-    double keep_scale = rng->Bernoulli(keep) ? scale : 0.0;
-    m[i] = keep_scale;
-    o[i] *= keep_scale;
+  if (mode == Mode::kTrain) {
+    // Only the training path caches the mask (Backward needs it). The
+    // kMcSample path stays state-free so concurrent MC forward passes can
+    // share one network.
+    mask_ = Matrix(input.rows(), input.cols());
+    std::vector<double>& m = mask_.data();
+    for (size_t i = 0; i < o.size(); ++i) {
+      double keep_scale = rng->Bernoulli(keep) ? scale : 0.0;
+      m[i] = keep_scale;
+      o[i] *= keep_scale;
+    }
+  } else {  // kMcSample
+    for (size_t i = 0; i < o.size(); ++i) {
+      o[i] *= rng->Bernoulli(keep) ? scale : 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix Dropout::ForwardRows(const Matrix& input, Mode mode,
+                            RowRngs* row_rngs) {
+  if (mode == Mode::kInfer || rate_ == 0.0) return input;
+  ROICL_CHECK_MSG(mode != Mode::kTrain,
+                  "ForwardRows is an inference-only path (no mask cache)");
+  ROICL_CHECK_MSG(row_rngs != nullptr &&
+                      static_cast<int>(row_rngs->size()) == input.rows(),
+                  "ForwardRows needs one Rng per input row");
+  double keep = 1.0 - rate_;
+  double scale = 1.0 / keep;
+  Matrix out = input;
+  for (int r = 0; r < out.rows(); ++r) {
+    Rng& rng = (*row_rngs)[r];
+    double* row = out.RowPtr(r);
+    for (int c = 0; c < out.cols(); ++c) {
+      row[c] *= rng.Bernoulli(keep) ? scale : 0.0;
+    }
   }
   return out;
 }

@@ -21,6 +21,13 @@ class Dropout : public Layer {
   explicit Dropout(double rate);
 
   Matrix Forward(const Matrix& input, Mode mode, Rng* rng) override;
+
+  /// Per-row-stream variant: the mask for row r is drawn from
+  /// (*row_rngs)[r] alone, so the output for a sample is independent of
+  /// the rows batched with it (kMcSample reproducibility contract).
+  Matrix ForwardRows(const Matrix& input, Mode mode,
+                     RowRngs* row_rngs) override;
+
   Matrix Backward(const Matrix& grad_output) override;
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<Dropout>(rate_);
@@ -30,7 +37,7 @@ class Dropout : public Layer {
 
  private:
   double rate_;
-  Matrix mask_;  // cached keep/scale mask for the backward pass
+  Matrix mask_;  // keep/scale mask cached in kTrain for the backward pass
 };
 
 }  // namespace roicl::nn

@@ -21,9 +21,20 @@ enum class Mode {
   kMcSample,
 };
 
+/// One independent RNG stream per row of the current batch, indexed by
+/// row position. Used by ForwardRows() so a stochastic layer's draws for
+/// sample i depend only on sample i's stream — never on which other rows
+/// share the batch — making batched stochastic inference bit-identical
+/// under any row partition or thread count.
+using RowRngs = std::vector<Rng>;
+
 /// A differentiable layer. Layers own their parameters and accumulated
 /// gradients and cache whatever activations their backward pass needs, so
-/// Forward/Backward must be called in matched pairs.
+/// Forward(kTrain)/Backward must be called in matched pairs.
+///
+/// Thread safety: Forward/ForwardRows in kInfer and kMcSample modes do not
+/// mutate layer state, so concurrent non-train forwards on a shared layer
+/// are safe. Only kTrain writes the caches backward needs.
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -32,6 +43,17 @@ class Layer {
   /// `rng` is only consulted by stochastic layers (dropout) and may be
   /// nullptr in kInfer mode.
   virtual Matrix Forward(const Matrix& input, Mode mode, Rng* rng) = 0;
+
+  /// Batched forward with one RNG stream per input row (partition
+  /// independence; see RowRngs). Deterministic layers fall through to
+  /// Forward(); stochastic layers override. `row_rngs` may be nullptr in
+  /// kInfer mode; otherwise it must hold input.rows() generators.
+  virtual Matrix ForwardRows(const Matrix& input, Mode mode,
+                             RowRngs* row_rngs) {
+    return Forward(input, mode,
+                   row_rngs && !row_rngs->empty() ? row_rngs->data()
+                                                  : nullptr);
+  }
 
   /// Propagates `grad_output` (dLoss/dOutput) backwards, accumulating
   /// parameter gradients, and returns dLoss/dInput.

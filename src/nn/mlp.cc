@@ -53,6 +53,15 @@ Matrix Mlp::Forward(const Matrix& input, Mode mode, Rng* rng) {
   return activation;
 }
 
+Matrix Mlp::ForwardRows(const Matrix& input, Mode mode, RowRngs* row_rngs) {
+  ROICL_CHECK(!layers_.empty());
+  Matrix activation = input;
+  for (auto& layer : layers_) {
+    activation = layer->ForwardRows(activation, mode, row_rngs);
+  }
+  return activation;
+}
+
 Matrix Mlp::Backward(const Matrix& grad_output) {
   ROICL_CHECK(!layers_.empty());
   Matrix grad = grad_output;

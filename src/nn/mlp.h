@@ -38,6 +38,12 @@ class Mlp : public Network {
   /// caller's responsibility (the Trainer handles this).
   Matrix Forward(const Matrix& input, Mode mode, Rng* rng) override;
 
+  /// Runs the stack with per-row RNG streams (layer-wise ForwardRows);
+  /// each dropout layer continues row r's stream where the previous one
+  /// left off.
+  Matrix ForwardRows(const Matrix& input, Mode mode,
+                     RowRngs* row_rngs) override;
+
   /// Backpropagates dLoss/dOutput; returns dLoss/dInput.
   Matrix Backward(const Matrix& grad_output) override;
 

@@ -216,8 +216,11 @@ double CausalForest::PredictCate(const double* row) const {
 }
 
 std::vector<double> CausalForest::PredictCate(const Matrix& x) const {
+  ROICL_CHECK_MSG(fitted(), "PredictCate() before Fit()");
   std::vector<double> out(x.rows());
-  for (int r = 0; r < x.rows(); ++r) out[r] = PredictCate(x.RowPtr(r));
+  GlobalThreadPool().ParallelFor(0, x.rows(), [&](int r) {
+    out[r] = PredictCate(x.RowPtr(r));
+  });
   return out;
 }
 
@@ -226,6 +229,15 @@ double CausalForest::PredictCateStdDev(const double* row) const {
   RunningStats stats;
   for (const CausalTree& tree : trees_) stats.Add(tree.Predict(row));
   return stats.stddev();
+}
+
+std::vector<double> CausalForest::PredictCateStdDev(const Matrix& x) const {
+  ROICL_CHECK_MSG(fitted(), "PredictCateStdDev() before Fit()");
+  std::vector<double> out(x.rows());
+  GlobalThreadPool().ParallelFor(0, x.rows(), [&](int r) {
+    out[r] = PredictCateStdDev(x.RowPtr(r));
+  });
+  return out;
 }
 
 }  // namespace roicl::trees

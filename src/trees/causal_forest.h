@@ -65,12 +65,19 @@ class CausalForest {
            const std::vector<double>& y);
 
   double PredictCate(const double* row) const;
+
+  /// Batched predict: rows fan out across the global ThreadPool. Tree
+  /// traversal is deterministic per row, so the result is identical to
+  /// the per-row loop at any thread count.
   std::vector<double> PredictCate(const Matrix& x) const;
 
   /// Across-tree standard deviation of the effect estimate at `row` — a
   /// cheap ensemble uncertainty proxy (the paper cites the infinitesimal
   /// jackknife; the across-tree spread is its practical stand-in here).
   double PredictCateStdDev(const double* row) const;
+
+  /// Batched variant of PredictCateStdDev over every row of `x`.
+  std::vector<double> PredictCateStdDev(const Matrix& x) const;
 
   bool fitted() const { return !trees_.empty(); }
   int num_trees() const { return static_cast<int>(trees_.size()); }

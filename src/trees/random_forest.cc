@@ -53,8 +53,11 @@ double RandomForestRegressor::Predict(const double* row) const {
 }
 
 std::vector<double> RandomForestRegressor::Predict(const Matrix& x) const {
+  ROICL_CHECK_MSG(fitted(), "Predict() before Fit()");
   std::vector<double> out(x.rows());
-  for (int r = 0; r < x.rows(); ++r) out[r] = Predict(x.RowPtr(r));
+  GlobalThreadPool().ParallelFor(0, x.rows(), [&](int r) {
+    out[r] = Predict(x.RowPtr(r));
+  });
   return out;
 }
 

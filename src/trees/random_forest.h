@@ -29,6 +29,10 @@ class RandomForestRegressor {
   void Fit(const Matrix& x, const std::vector<double>& y);
 
   double Predict(const double* row) const;
+
+  /// Batched predict: row blocks fan out across the global ThreadPool.
+  /// Each output element depends only on its own row, so the result is
+  /// identical to the per-row loop at any thread count.
   std::vector<double> Predict(const Matrix& x) const;
 
   bool fitted() const { return !trees_.empty(); }

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/math_util.h"
+#include "nn/batch_forward.h"
 
 namespace roicl::uplift {
 namespace {
@@ -257,8 +258,7 @@ void NeuralCate::Fit(const Matrix& x, const std::vector<int>& treatment,
 std::vector<double> NeuralCate::PredictCate(const Matrix& x) const {
   ROICL_CHECK_MSG(net_ != nullptr, "PredictCate() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
-  Matrix preds =
-      net_->Forward(x_scaled, nn::Mode::kInfer, /*rng=*/nullptr);
+  Matrix preds = nn::BatchedInferForward(net_.get(), x_scaled);
   std::vector<double> tau(x.rows());
   if (kind_ == NeuralCateKind::kOffsetnet) {
     for (int i = 0; i < x.rows(); ++i) tau[i] = preds(i, 1);  // delta head

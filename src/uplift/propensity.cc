@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/math_util.h"
+#include "nn/batch_forward.h"
 #include "nn/loss.h"
 
 namespace roicl::uplift {
@@ -31,7 +32,7 @@ void PropensityModel::Fit(const Matrix& x,
 std::vector<double> PropensityModel::Predict(const Matrix& x) const {
   ROICL_CHECK_MSG(fitted(), "Predict() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
-  Matrix out = net_->Forward(x_scaled, nn::Mode::kInfer, nullptr);
+  Matrix out = nn::BatchedInferForward(net_.get(), x_scaled);
   std::vector<double> e(x.rows());
   for (int i = 0; i < x.rows(); ++i) {
     e[i] = Clamp(Sigmoid(out(i, 0)), config_.clip_lo, config_.clip_hi);

@@ -1,0 +1,279 @@
+// Determinism guarantees of the batched, ThreadPool-parallel prediction
+// engine: every knob of nn::BatchOptions (batch size, thread count) is a
+// throughput control only — the produced bits must never change. These
+// tests pin that contract for the MC-dropout sweep, the rDRP pipeline,
+// the forests, and the plain batched inference forward.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/drp_model.h"
+#include "core/mc_dropout.h"
+#include "core/rdrp.h"
+#include "nn/batch_forward.h"
+#include "nn/mlp.h"
+#include "synth/synthetic_generator.h"
+#include "trees/causal_forest.h"
+#include "trees/random_forest.h"
+
+namespace roicl {
+namespace {
+
+using core::McDropoutStats;
+using core::RunMcDropout;
+using nn::BatchOptions;
+
+// The engine's threading policies: inline serial (1), the shared global
+// pool (0), and a dedicated pool larger than this machine has cores (8).
+const int kThreadSettings[] = {1, 0, 2, 8};
+
+Matrix RandomMatrix(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng.Normal();
+  }
+  return m;
+}
+
+nn::Mlp MakeDropoutNet(int input_dim, uint64_t seed) {
+  Rng rng(seed);
+  return nn::Mlp::MakeMlp(input_dim, {16, 8}, /*output_dim=*/1,
+                          nn::ActivationKind::kRelu, /*dropout_rate=*/0.3,
+                          &rng);
+}
+
+void ExpectBitIdentical(const std::vector<double>& a,
+                        const std::vector<double>& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // EXPECT_EQ on doubles is exact — bit-identity, not tolerance.
+    EXPECT_EQ(a[i], b[i]) << what << " diverges at row " << i;
+  }
+}
+
+TEST(McDropoutDeterminism, BitIdenticalAcrossThreadCounts) {
+  nn::Mlp net = MakeDropoutNet(6, /*seed=*/21);
+  Matrix x = RandomMatrix(237, 6, /*seed=*/22);
+
+  BatchOptions serial;
+  serial.batch_size = 64;
+  serial.num_threads = 1;
+  McDropoutStats reference =
+      RunMcDropout(&net, x, /*passes=*/15, /*seed=*/99,
+                   /*sigmoid_output=*/true, serial);
+
+  for (int threads : kThreadSettings) {
+    BatchOptions opts;
+    opts.batch_size = 64;
+    opts.num_threads = threads;
+    McDropoutStats stats = RunMcDropout(&net, x, 15, 99, true, opts);
+    ExpectBitIdentical(reference.mean, stats.mean,
+                       "mean, threads=" + std::to_string(threads));
+    ExpectBitIdentical(reference.stddev, stats.stddev,
+                       "stddev, threads=" + std::to_string(threads));
+  }
+}
+
+TEST(McDropoutDeterminism, BitIdenticalAcrossBatchSizes) {
+  nn::Mlp net = MakeDropoutNet(5, /*seed=*/31);
+  Matrix x = RandomMatrix(113, 5, /*seed=*/32);
+
+  BatchOptions whole;
+  whole.batch_size = x.rows();  // one block: the serial sweep
+  whole.num_threads = 1;
+  McDropoutStats reference = RunMcDropout(&net, x, 12, 7, true, whole);
+
+  for (int batch_size : {1, 17, 64, 1000}) {
+    BatchOptions opts;
+    opts.batch_size = batch_size;
+    opts.num_threads = 0;
+    McDropoutStats stats = RunMcDropout(&net, x, 12, 7, true, opts);
+    ExpectBitIdentical(reference.stddev, stats.stddev,
+                       "batch_size=" + std::to_string(batch_size));
+  }
+}
+
+TEST(McDropoutDeterminism, TwoSameSeedRunsIdentical) {
+  nn::Mlp net = MakeDropoutNet(4, /*seed=*/41);
+  Matrix x = RandomMatrix(80, 4, /*seed=*/42);
+  BatchOptions opts;
+  opts.batch_size = 32;
+  opts.num_threads = 8;
+  McDropoutStats first = RunMcDropout(&net, x, 10, 123, true, opts);
+  McDropoutStats second = RunMcDropout(&net, x, 10, 123, true, opts);
+  ExpectBitIdentical(first.mean, second.mean, "mean across reruns");
+  ExpectBitIdentical(first.stddev, second.stddev, "stddev across reruns");
+}
+
+TEST(McDropoutDeterminism, DifferentSeedsActuallyDiffer) {
+  // Guards against a degenerate engine that ignores the seed (which would
+  // pass every identity test above).
+  nn::Mlp net = MakeDropoutNet(4, /*seed=*/51);
+  Matrix x = RandomMatrix(60, 4, /*seed=*/52);
+  McDropoutStats a = RunMcDropout(&net, x, 10, 1, true);
+  McDropoutStats b = RunMcDropout(&net, x, 10, 2, true);
+  int differing = 0;
+  for (size_t i = 0; i < a.mean.size(); ++i) {
+    differing += (a.mean[i] != b.mean[i]);
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(BatchForwardDeterminism, MatchesPerRowForward) {
+  nn::Mlp net = MakeDropoutNet(7, /*seed=*/61);
+  Matrix x = RandomMatrix(151, 7, /*seed=*/62);
+
+  // Per-row reference: forward each row alone in inference mode.
+  std::vector<double> per_row(x.rows());
+  for (int r = 0; r < x.rows(); ++r) {
+    Matrix row(1, x.cols());
+    for (int c = 0; c < x.cols(); ++c) row(0, c) = x(r, c);
+    Matrix out = net.Forward(row, nn::Mode::kInfer, nullptr);
+    per_row[r] = out(0, 0);
+  }
+
+  for (int threads : kThreadSettings) {
+    BatchOptions opts;
+    opts.batch_size = 40;
+    opts.num_threads = threads;
+    Matrix batched = nn::BatchedInferForward(&net, x, opts);
+    ASSERT_EQ(batched.rows(), x.rows());
+    ASSERT_EQ(batched.cols(), 1);
+    for (int r = 0; r < x.rows(); ++r) {
+      // ISSUE tolerance: batch forward must match the per-row forward to
+      // 1e-12. (The dot products run in identical order, so in practice
+      // the match is exact.)
+      EXPECT_NEAR(batched(r, 0), per_row[r], 1e-12) << "row " << r;
+    }
+  }
+}
+
+TEST(BatchForwardDeterminism, MatchesSingleCallForwardBitwise) {
+  nn::Mlp net = MakeDropoutNet(6, /*seed=*/71);
+  Matrix x = RandomMatrix(97, 6, /*seed=*/72);
+  Matrix whole = net.Forward(x, nn::Mode::kInfer, nullptr);
+  for (int batch_size : {13, 32, 97, 500}) {
+    BatchOptions opts;
+    opts.batch_size = batch_size;
+    opts.num_threads = 0;
+    Matrix batched = nn::BatchedInferForward(&net, x, opts);
+    for (int r = 0; r < x.rows(); ++r) {
+      EXPECT_EQ(batched(r, 0), whole(r, 0))
+          << "batch_size " << batch_size << ", row " << r;
+    }
+  }
+}
+
+class PipelineDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+    Rng rng(17);
+    train_ = new RctDataset(generator.Generate(1200, false, &rng));
+    calib_ = new RctDataset(generator.Generate(500, true, &rng));
+    test_ = new RctDataset(generator.Generate(400, true, &rng));
+  }
+  static void TearDownTestSuite() {
+    delete train_;
+    delete calib_;
+    delete test_;
+  }
+
+  static core::RdrpConfig FastConfig(int num_threads) {
+    core::RdrpConfig config;
+    config.drp.train.epochs = 8;
+    config.drp.restarts = 1;
+    config.mc_passes = 12;
+    config.drp.predict.batch_size = 128;
+    config.drp.predict.num_threads = num_threads;
+    return config;
+  }
+
+  static RctDataset* train_;
+  static RctDataset* calib_;
+  static RctDataset* test_;
+};
+
+RctDataset* PipelineDeterminismTest::train_ = nullptr;
+RctDataset* PipelineDeterminismTest::calib_ = nullptr;
+RctDataset* PipelineDeterminismTest::test_ = nullptr;
+
+TEST_F(PipelineDeterminismTest, RdrpPredictionsIdenticalAcrossThreads) {
+  core::RdrpModel reference(FastConfig(/*num_threads=*/1));
+  reference.FitWithCalibration(*train_, *calib_);
+  std::vector<double> expected = reference.PredictRoi(test_->x);
+
+  for (int threads : kThreadSettings) {
+    core::RdrpModel model(FastConfig(threads));
+    model.FitWithCalibration(*train_, *calib_);
+    EXPECT_EQ(reference.q_hat(), model.q_hat())
+        << "threads=" << threads;
+    std::vector<double> scores = model.PredictRoi(test_->x);
+    ExpectBitIdentical(expected, scores,
+                       "rdrp scores, threads=" + std::to_string(threads));
+  }
+}
+
+TEST_F(PipelineDeterminismTest, RdrpTwoSameSeedRunsIdentical) {
+  core::RdrpModel first(FastConfig(/*num_threads=*/0));
+  core::RdrpModel second(FastConfig(/*num_threads=*/0));
+  first.FitWithCalibration(*train_, *calib_);
+  second.FitWithCalibration(*train_, *calib_);
+  EXPECT_EQ(first.q_hat(), second.q_hat());
+  ExpectBitIdentical(first.PredictRoi(test_->x),
+                     second.PredictRoi(test_->x), "rdrp reruns");
+}
+
+TEST(ForestDeterminism, BatchedPredictMatchesPerRow) {
+  Matrix x = RandomMatrix(300, 4, /*seed=*/81);
+  std::vector<double> y(x.rows());
+  for (int r = 0; r < x.rows(); ++r) {
+    y[r] = x(r, 0) + 0.5 * x(r, 1) * x(r, 2);
+  }
+  trees::ForestConfig config;
+  config.num_trees = 20;
+  trees::RandomForestRegressor forest(config);
+  forest.Fit(x, y);
+
+  std::vector<double> batched = forest.Predict(x);
+  ASSERT_EQ(static_cast<int>(batched.size()), x.rows());
+  for (int r = 0; r < x.rows(); ++r) {
+    EXPECT_EQ(batched[r], forest.Predict(x.RowPtr(r))) << "row " << r;
+  }
+
+  // Two batched sweeps agree (the pool schedule is irrelevant).
+  ExpectBitIdentical(batched, forest.Predict(x), "forest rerun");
+}
+
+TEST(ForestDeterminism, CausalForestBatchedPredictMatchesPerRow) {
+  Matrix x = RandomMatrix(260, 4, /*seed=*/91);
+  Rng rng(92);
+  std::vector<int> treatment(x.rows());
+  std::vector<double> y(x.rows());
+  for (int r = 0; r < x.rows(); ++r) {
+    treatment[r] = rng.Bernoulli(0.5) ? 1 : 0;
+    double tau = 0.4 * x(r, 0);
+    y[r] = x(r, 1) + treatment[r] * tau + 0.1 * rng.Normal();
+  }
+  trees::CausalForestConfig config;
+  config.num_trees = 16;
+  trees::CausalForest forest(config);
+  forest.Fit(x, treatment, y);
+
+  std::vector<double> cate = forest.PredictCate(x);
+  std::vector<double> stddev = forest.PredictCateStdDev(x);
+  ASSERT_EQ(static_cast<int>(cate.size()), x.rows());
+  ASSERT_EQ(static_cast<int>(stddev.size()), x.rows());
+  for (int r = 0; r < x.rows(); ++r) {
+    EXPECT_EQ(cate[r], forest.PredictCate(x.RowPtr(r))) << "row " << r;
+    EXPECT_EQ(stddev[r], forest.PredictCateStdDev(x.RowPtr(r)))
+        << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace roicl

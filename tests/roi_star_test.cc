@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "synth/synthetic_generator.h"
 
 namespace roicl::core {
@@ -50,6 +51,67 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.8),
                        ::testing::Values(0.2, 0.4),
                        ::testing::Values(1e-3, 1e-5)));
+
+/// Noise-free RCT with exact arm means: 1000 treated (cost mean 0.75,
+/// revenue mean 0.40) and 1000 control (cost mean 0.25, revenue mean
+/// 0.05), so tau_c = 0.5 and tau_r = 0.35 hold *exactly* — not in
+/// expectation — and the closed-form convergence point is
+/// roi* = tau_r / tau_c = 0.7 to the last bit.
+RctDataset MakeGoldenRct() {
+  RctDataset d;
+  const int kPerArm = 1000;
+  d.x = Matrix(2 * kPerArm, 1);
+  for (int arm = 1; arm >= 0; --arm) {
+    int cost_ones = arm == 1 ? 750 : 250;
+    int revenue_ones = arm == 1 ? 400 : 50;
+    for (int i = 0; i < kPerArm; ++i) {
+      d.treatment.push_back(arm);
+      d.y_cost.push_back(i < cost_ones ? 1.0 : 0.0);
+      d.y_revenue.push_back(i < revenue_ones ? 1.0 : 0.0);
+    }
+  }
+  return d;
+}
+
+// Golden regression for Algorithm 2: on the exact fixture the search must
+// land on the known closed form within the epsilon-derived tolerance AND
+// within the bisection iteration bound. A change to the search (step
+// rule, stopping conditions, loss derivative) that shifts either the
+// value or the work done fails here first.
+TEST(RoiStarGolden, ConvergesToClosedFormWithinIterationBound) {
+  RctDataset d = MakeGoldenRct();
+  ASSERT_DOUBLE_EQ(AnalyticRoiStar(d.treatment, d.y_revenue, d.y_cost),
+                   0.7);
+
+  for (double epsilon : {1e-3, 1e-5, 1e-7}) {
+    double searched =
+        BinarySearchRoiStar(d.treatment, d.y_revenue, d.y_cost, epsilon);
+    // Two stopping rules share epsilon; the derivative rule dominates the
+    // achievable accuracy at eps * (1 + 1 / tau_c) (see RoiStarParam).
+    double tolerance = epsilon * (1.0 + 1.0 / 0.5) + 1e-12;
+    EXPECT_NEAR(searched, 0.7, tolerance) << "epsilon=" << epsilon;
+
+    // Bisection halves [0, 1] once per iteration, so it needs at most
+    // ceil(log2(1 / eps)) iterations to reach width eps, plus one for
+    // the final derivative evaluation. The iteration gauge is set by
+    // every search, making the bound observable without new plumbing.
+    double iterations = obs::MetricsRegistry::Global()
+                            .GetGauge("roi_star.iterations")
+                            ->value();
+    double bound = std::ceil(std::log2(1.0 / epsilon)) + 1.0;
+    EXPECT_GT(iterations, 0.0) << "epsilon=" << epsilon;
+    EXPECT_LE(iterations, bound) << "epsilon=" << epsilon;
+  }
+}
+
+// The golden value must not drift across repeated searches (the search
+// reads no global state, so two runs are bitwise equal).
+TEST(RoiStarGolden, RepeatedSearchesBitwiseEqual) {
+  RctDataset d = MakeGoldenRct();
+  double first = BinarySearchRoiStar(d, 1e-5);
+  double second = BinarySearchRoiStar(d, 1e-5);
+  EXPECT_EQ(first, second);
+}
 
 TEST(RoiStarTest, RecoversDesignRoi) {
   RctDataset d = MakeRct(300000, 0.6, 0.3, 11);

@@ -1,0 +1,24 @@
+#!/bin/bash
+# Runs the prediction-engine micro-benchmarks (batched forward, parallel
+# MC dropout) and writes Google Benchmark's JSON report to
+# BENCH_predict.json at the repo root — the committed record backing the
+# speedup table in EXPERIMENTS.md.
+#
+# Usage: bench_to_json.sh <build dir> [output json]
+set -eu
+
+build_dir=${1:?usage: bench_to_json.sh <build dir> [output json]}
+out=${2:-"$(dirname "$0")/../BENCH_predict.json"}
+
+bench="${build_dir}/bench/bench_micro"
+if [[ ! -x "${bench}" ]]; then
+  echo "bench_micro not built at ${bench}" >&2
+  exit 1
+fi
+
+"${bench}" \
+  --benchmark_filter='BM_BatchForward|BM_ParallelMcDropout' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "${out}"
+echo "wrote ${out}"

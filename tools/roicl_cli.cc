@@ -107,13 +107,15 @@ void PreregisterStandardMetrics() {
   for (const char* name :
        {"train.loss", "train.final_loss", "train.grad_norm", "train.lr",
         "conformal.q_hat", "conformal.calibration_n",
-        "mc_dropout.samples_per_sec", "roi_star.iterations",
-        "roi_star.bracket_width", "allocate.budget_used_frac",
-        "allocate.selected", "threadpool.queue_depth"}) {
+        "mc_dropout.samples_per_sec", "exp.predict_samples_per_sec",
+        "roi_star.iterations", "roi_star.bracket_width",
+        "allocate.budget_used_frac", "allocate.selected",
+        "threadpool.queue_depth"}) {
     registry.GetGauge(name);
   }
   registry.GetHistogram("conformal.score", obs::ConformalScoreBuckets());
   registry.GetHistogram("threadpool.task_us", obs::LatencyMicrosBuckets());
+  registry.GetHistogram("mc_dropout.batch_us", obs::LatencyMicrosBuckets());
 }
 
 void SetupObservability(const Flags& flags) {
@@ -210,6 +212,11 @@ core::DrpConfig DrpConfigFromFlags(const Flags& flags) {
   config.train.patience = flags.GetInt("patience", 12);
   config.train.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
   config.restarts = flags.GetInt("restarts", 3);
+  // Batched prediction engine knobs. Neither changes any predicted value
+  // (results are bit-identical at every setting); they only trade memory
+  // and parallelism against wall clock.
+  config.predict.batch_size = flags.GetInt("batch-size", 256);
+  config.predict.num_threads = flags.GetInt("threads", 0);
   return config;
 }
 
@@ -395,7 +402,10 @@ void PrintUsage() {
       "usage: roicl <generate|train|predict|evaluate|allocate> [--flags]\n"
       "run with a subcommand and no flags to see its required arguments\n"
       "observability flags (any subcommand): --log-level LEVEL, "
-      "--log-json FILE, --metrics-out FILE, --trace-out FILE\n",
+      "--log-json FILE, --metrics-out FILE, --trace-out FILE\n"
+      "prediction engine flags (train/predict/evaluate/allocate): "
+      "--batch-size N (default 256), --threads N "
+      "(0 = shared pool, 1 = serial; results are identical either way)\n",
       stderr);
 }
 

@@ -1,0 +1,35 @@
+#!/bin/bash
+# Builds the concurrency-sensitive tests under ThreadSanitizer
+# (-DROICL_SANITIZE=thread) and runs them. Wired into ctest as the `tsan`
+# label so `ctest -L tsan` gives a data-race gate over the ThreadPool,
+# the obs metrics/trace singletons, and the batched parallel prediction
+# engine.
+#
+# Usage: run_tsan.sh <repo root> [build dir]
+# The TSan build tree is kept separate (default <repo root>/build-tsan)
+# and incremental, so repeat runs only recompile what changed.
+set -eu
+
+repo_root=${1:?usage: run_tsan.sh <repo root> [build dir]}
+build_dir=${2:-"${repo_root}/build-tsan"}
+
+# The race-prone surfaces and the tests that exercise them:
+#   common_misc_test   ThreadPool submit/ParallelFor/shutdown
+#   obs_test           concurrent metrics registry and trace collector
+#   determinism_test   batched parallel forward + MC-dropout engine
+tsan_tests=(common_misc_test obs_test determinism_test)
+
+cmake -S "${repo_root}" -B "${build_dir}" -DROICL_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "${build_dir}" --target "${tsan_tests[@]}" -j "$(nproc)"
+
+status=0
+for test in "${tsan_tests[@]}"; do
+  echo "== tsan: ${test} =="
+  # halt_on_error keeps the first race's report adjacent to its cause;
+  # the non-zero exit fails this script and therefore the ctest entry.
+  if ! TSAN_OPTIONS="halt_on_error=1" "${build_dir}/tests/${test}"; then
+    status=1
+  fi
+done
+exit ${status}
