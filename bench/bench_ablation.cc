@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "common/math_util.h"
 #include "core/conformal.h"
 #include "core/rdrp.h"
 #include "core/roi_star.h"
@@ -53,7 +54,7 @@ double MeanWidth(const core::RdrpModel& model, const RctDataset& test) {
   std::vector<metrics::Interval> intervals = model.PredictIntervals(test.x);
   double acc = 0.0;
   for (const auto& interval : intervals) acc += interval.width();
-  return acc / intervals.size();
+  return acc / static_cast<double>(intervals.size());
 }
 
 void SweepMcPasses(const Env& env) {

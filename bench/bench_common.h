@@ -66,7 +66,9 @@ inline std::vector<uint64_t> BenchSeeds(int default_count) {
   if (FastMode()) count = 1;
   if (count < 1) count = 1;
   std::vector<uint64_t> seeds;
-  for (int i = 0; i < count; ++i) seeds.push_back(2024 + i);
+  for (int i = 0; i < count; ++i) {
+    seeds.push_back(2024 + static_cast<uint64_t>(i));
+  }
   return seeds;
 }
 

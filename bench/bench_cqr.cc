@@ -14,6 +14,7 @@
 
 #include "bench/bench_common.h"
 #include "common/rng.h"
+#include "common/math_util.h"
 #include "common/stats.h"
 #include "core/conformal.h"
 #include "core/cqr.h"
@@ -31,13 +32,14 @@ void MakeData(int n, uint64_t seed, Matrix* x, std::vector<double>* y,
               std::vector<double>* noise_scale) {
   Rng rng(seed);
   *x = Matrix(n, 1);
-  y->resize(n);
-  noise_scale->resize(n);
+  y->resize(AsSize(n));
+  noise_scale->resize(AsSize(n));
   for (int i = 0; i < n; ++i) {
+    const size_t si = AsSize(i);
     double xi = rng.Uniform(-2.0, 2.0);
     (*x)(i, 0) = xi;
-    (*noise_scale)[i] = 0.1 + 0.4 * std::fabs(xi);
-    (*y)[i] = std::sin(2.0 * xi) + (*noise_scale)[i] * rng.Normal();
+    (*noise_scale)[si] = 0.1 + 0.4 * std::fabs(xi);
+    (*y)[si] = std::sin(2.0 * xi) + (*noise_scale)[si] * rng.Normal();
   }
 }
 
@@ -73,8 +75,8 @@ int main() {
                                       nn::ActivationKind::kRelu,
                                       /*dropout_rate=*/0.2, &rng);
   nn::MseLoss mse(&y_train);
-  std::vector<int> index(x_train.rows());
-  for (int i = 0; i < x_train.rows(); ++i) index[i] = i;
+  std::vector<int> index(AsSize(x_train.rows()));
+  for (int i = 0; i < x_train.rows(); ++i) index[AsSize(i)] = i;
   nn::TrainConfig train_config;
   train_config.epochs = bench::FastMode() ? 20 : 80;
   train_config.learning_rate = 5e-3;
@@ -83,23 +85,25 @@ int main() {
   auto mc_stats = [&](const Matrix& x) {
     // Local MC dropout: mean + std across stochastic passes.
     int passes = 30;
-    std::vector<double> sum(x.rows(), 0.0), sum_sq(x.rows(), 0.0);
+    std::vector<double> sum(AsSize(x.rows()), 0.0);
+    std::vector<double> sum_sq(AsSize(x.rows()), 0.0);
     Rng mc_rng(5);
     for (int p = 0; p < passes; ++p) {
       Matrix out = mean_net.Forward(x, nn::Mode::kMcSample, &mc_rng);
       for (int i = 0; i < x.rows(); ++i) {
-        sum[i] += out(i, 0);
-        sum_sq[i] += out(i, 0) * out(i, 0);
+        sum[AsSize(i)] += out(i, 0);
+        sum_sq[AsSize(i)] += out(i, 0) * out(i, 0);
       }
     }
     std::pair<std::vector<double>, std::vector<double>> result;
-    result.first.resize(x.rows());
-    result.second.resize(x.rows());
+    result.first.resize(AsSize(x.rows()));
+    result.second.resize(AsSize(x.rows()));
     for (int i = 0; i < x.rows(); ++i) {
-      double mean = sum[i] / passes;
-      result.first[i] = mean;
-      result.second[i] = std::sqrt(
-          std::max(0.0, sum_sq[i] / passes - mean * mean));
+      const size_t si = AsSize(i);
+      double mean = sum[si] / passes;
+      result.first[si] = mean;
+      result.second[si] = std::sqrt(
+          std::max(0.0, sum_sq[si] / passes - mean * mean));
     }
     return result;
   };

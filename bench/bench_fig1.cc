@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "common/math_util.h"
 #include "core/drp_model.h"
 #include "data/split.h"
 #include "exp/datasets.h"
@@ -29,13 +30,13 @@ void PrintDecileCurve(const char* label,
   std::printf("  %-28s AUCC=%.4f\n", label, metrics::Aucc(scores, test));
   std::printf("    frac_cost : ");
   for (int d = 1; d <= 10; ++d) {
-    size_t idx = curve.points.size() * d / 10 - 1;
+    size_t idx = curve.points.size() * AsSize(d) / 10 - 1;
     std::printf("%5.2f ",
                 curve.points[idx].cumulative_cost / curve.total_cost);
   }
   std::printf("\n    frac_rev  : ");
   for (int d = 1; d <= 10; ++d) {
-    size_t idx = curve.points.size() * d / 10 - 1;
+    size_t idx = curve.points.size() * AsSize(d) / 10 - 1;
     std::printf("%5.2f ",
                 curve.points[idx].cumulative_revenue / curve.total_revenue);
   }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "common/math_util.h"
 #include "exp/ablation.h"
 
 namespace {
@@ -19,8 +20,8 @@ void PrintBar(const char* label, double aucc, double lo, double hi) {
   int filled = static_cast<int>(50.0 * (aucc - lo) / span + 0.5);
   filled = std::clamp(filled, 0, 50);
   std::printf("  %-16s %.4f |%s%s|\n", label, aucc,
-              std::string(filled, '#').c_str(),
-              std::string(50 - filled, ' ').c_str());
+              std::string(roicl::AsSize(filled), '#').c_str(),
+              std::string(roicl::AsSize(50 - filled), ' ').c_str());
 }
 
 }  // namespace

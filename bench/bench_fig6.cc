@@ -14,6 +14,7 @@
 
 #include "abtest/simulator.h"
 #include "bench/bench_common.h"
+#include "common/math_util.h"
 #include "core/drp_model.h"
 #include "core/rdrp.h"
 #include "exp/datasets.h"
@@ -25,7 +26,7 @@ namespace {
 void PrintLift(const char* label, double lift_pct) {
   int bars = std::clamp(static_cast<int>(lift_pct), 0, 60);
   std::printf("  %-6s +%6.2f%% |%s\n", label, lift_pct,
-              std::string(bars, '#').c_str());
+              std::string(AsSize(bars), '#').c_str());
 }
 
 }  // namespace
@@ -68,9 +69,9 @@ int main() {
       abtest::AbTestResult result =
           abtest::RunAbTest(generator, exp::HasCovariateShift(setting),
                             drp, rdrp, seeded_ab);
-      drp_lift += result.LiftOverRandomPct(result.drp_arm) / seeds.size();
-      rdrp_lift +=
-          result.LiftOverRandomPct(result.rdrp_arm) / seeds.size();
+      double runs = static_cast<double>(seeds.size());
+      drp_lift += result.LiftOverRandomPct(result.drp_arm) / runs;
+      rdrp_lift += result.LiftOverRandomPct(result.rdrp_arm) / runs;
     }
     std::printf("\n(%s)  train_n=%d, %s deployment, mean of %zu runs\n",
                 exp::SettingName(setting).c_str(), train_n,

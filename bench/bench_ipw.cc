@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "common/math_util.h"
 #include "common/stats.h"
 #include "core/drp_model.h"
 #include "core/ipw_drp.h"
@@ -49,7 +50,7 @@ int main() {
       drp_config.train.epochs = bench::FastMode() ? 15 : 80;
       drp_config.train.learning_rate = 5e-3;
       drp_config.train.patience = 10;
-      drp_config.train.seed = 100 + s;
+      drp_config.train.seed = 100 + static_cast<uint64_t>(s);
 
       core::DrpModel plain(drp_config);
       plain.Fit(train);
@@ -62,8 +63,10 @@ int main() {
       core::IpwDrpModel ipw(ipw_config);
       ipw.Fit(train);
 
-      std::vector<double> truth(test.n());
-      for (int i = 0; i < test.n(); ++i) truth[i] = test.TrueRoi(i);
+      std::vector<double> truth(AsSize(test.n()));
+      for (int i = 0; i < test.n(); ++i) {
+        truth[AsSize(i)] = test.TrueRoi(i);
+      }
       plain_total += SpearmanCorrelation(plain.PredictRoi(test.x), truth);
       ipw_total += SpearmanCorrelation(ipw.PredictRoi(test.x), truth);
     }

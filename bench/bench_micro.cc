@@ -22,6 +22,7 @@
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "trees/causal_forest.h"
+#include "common/math_util.h"
 
 namespace roicl {
 namespace {
@@ -49,7 +50,7 @@ void BM_BinarySearchRoiStar(benchmark::State& state) {
 void BM_ConformalQuantile(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Rng rng(7);
-  std::vector<double> scores(n);
+  std::vector<double> scores(roicl::AsSize(n));
   for (double& s : scores) s = rng.Exponential(1.0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ConformalQuantile(scores, 0.1));
@@ -126,7 +127,7 @@ void BM_Aucc(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   RctDataset data = MakeData(n);
   Rng rng(9);
-  std::vector<double> scores(n);
+  std::vector<double> scores(roicl::AsSize(n));
   for (double& s : scores) s = rng.Uniform();
   for (auto _ : state) {
     benchmark::DoNotOptimize(metrics::Aucc(scores, data));
@@ -137,10 +138,10 @@ void BM_Aucc(benchmark::State& state) {
 void BM_GreedyAllocate(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Rng rng(11);
-  std::vector<double> roi(n), cost(n);
+  std::vector<double> roi(roicl::AsSize(n)), cost(roicl::AsSize(n));
   for (int i = 0; i < n; ++i) {
-    roi[i] = rng.Uniform();
-    cost[i] = rng.Uniform(0.1, 1.0);
+    roi[roicl::AsSize(i)] = rng.Uniform();
+    cost[roicl::AsSize(i)] = rng.Uniform(0.1, 1.0);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(

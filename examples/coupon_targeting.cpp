@@ -22,6 +22,7 @@
 #include "synth/synthetic_generator.h"
 #include "uplift/meta_learners.h"
 #include "uplift/tpm.h"
+#include "common/math_util.h"
 
 using namespace roicl;
 
@@ -44,7 +45,7 @@ Campaign RunCampaign(const std::string& name,
   campaign.spent = alloc.spent;
   campaign.treated = static_cast<int>(alloc.selected.size());
   for (int i : alloc.selected) {
-    campaign.incremental_conversions += population.true_tau_r[i];
+    campaign.incremental_conversions += population.true_tau_r[roicl::AsSize(i)];
   }
   return campaign;
 }
@@ -73,7 +74,7 @@ int main() {
   std::vector<Campaign> results;
 
   // Random targeting baseline.
-  std::vector<double> random_scores(population.n());
+  std::vector<double> random_scores(roicl::AsSize(population.n()));
   for (double& s : random_scores) s = rng.Uniform();
   results.push_back(
       RunCampaign("Random", random_scores, population, budget));
@@ -101,9 +102,9 @@ int main() {
                                 population, budget));
 
   // Oracle upper bound.
-  std::vector<double> oracle(population.n());
+  std::vector<double> oracle(roicl::AsSize(population.n()));
   for (int i = 0; i < population.n(); ++i) {
-    oracle[i] = population.TrueRoi(i);
+    oracle[roicl::AsSize(i)] = population.TrueRoi(i);
   }
   results.push_back(
       RunCampaign("Oracle", oracle, population, budget));

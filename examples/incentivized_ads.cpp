@@ -17,6 +17,7 @@
 #include "data/split.h"
 #include "exp/methods.h"
 #include "synth/synthetic_generator.h"
+#include "common/math_util.h"
 
 using namespace roicl;
 
@@ -69,9 +70,9 @@ int main() {
   std::printf("\nPer-day incremental revenue:\n  day  random    DRP   rDRP\n");
   for (int day = 0; day < config.num_days; ++day) {
     std::printf("  %3d  %6.1f %6.1f %6.1f\n", day + 1,
-                result.random_arm.daily_revenue[day],
-                result.drp_arm.daily_revenue[day],
-                result.rdrp_arm.daily_revenue[day]);
+                result.random_arm.daily_revenue[roicl::AsSize(day)],
+                result.drp_arm.daily_revenue[roicl::AsSize(day)],
+                result.rdrp_arm.daily_revenue[roicl::AsSize(day)]);
   }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "core/ipw_drp.h"
 #include "metrics/cost_curve.h"
 #include "synth/synthetic_generator.h"
+#include "common/math_util.h"
 
 using namespace roicl;
 
@@ -53,17 +54,17 @@ int main() {
 
   // Sanity: the estimated propensity should track the logging policy.
   std::vector<double> e_hat = ipw.propensity().Predict(population.x);
-  std::vector<double> e_true(population.n());
+  std::vector<double> e_true(roicl::AsSize(population.n()));
   for (int i = 0; i < population.n(); ++i) {
-    e_true[i] = generator.Propensity(population.x.RowPtr(i));
+    e_true[roicl::AsSize(i)] = generator.Propensity(population.x.RowPtr(i));
   }
   std::printf("propensity model vs logging policy: corr = %.3f\n",
               PearsonCorrelation(e_hat, e_true));
 
   // Ranking quality against the simulator's ground truth.
-  std::vector<double> truth(population.n());
+  std::vector<double> truth(roicl::AsSize(population.n()));
   for (int i = 0; i < population.n(); ++i) {
-    truth[i] = population.TrueRoi(i);
+    truth[roicl::AsSize(i)] = population.TrueRoi(i);
   }
   std::printf("\nSpearman correlation with the true ROI ranking:\n");
   std::printf("  naive DRP (logs as-if-RCT): %.4f\n",

@@ -14,6 +14,7 @@
 #include "exp/datasets.h"
 #include "metrics/cost_curve.h"
 #include "synth/synthetic_generator.h"
+#include "common/math_util.h"
 
 using namespace roicl;
 
@@ -63,7 +64,8 @@ int main() {
   std::printf(
       "Interval coverage of test roi*: %.3f (target ~0.90 at alpha=0.1, "
       "minus calib-vs-test roi* drift)\n",
-      static_cast<double>(covered) / intervals.size());
+      static_cast<double>(covered) /
+                  static_cast<double>(intervals.size()));
 
   // 5. Solve the C-BTAP: spend 15%% of the all-in incremental cost.
   double total_cost = 0.0;
@@ -72,7 +74,7 @@ int main() {
       rdrp_scores, test.true_tau_c, 0.15 * total_cost,
       /*skip_unaffordable=*/true);
   double revenue = 0.0;
-  for (int i : alloc.selected) revenue += test.true_tau_r[i];
+  for (int i : alloc.selected) revenue += test.true_tau_r[roicl::AsSize(i)];
   std::printf(
       "Greedy allocation: treated %zu of %d users, spent %.1f, expected "
       "incremental revenue %.1f\n",

@@ -15,6 +15,7 @@
 
 #include "core/multi_treatment.h"
 #include "synth/multi_treatment.h"
+#include "common/math_util.h"
 
 using namespace roicl;
 
@@ -69,12 +70,12 @@ int main() {
   auto realize = [&](const core::MultiAllocationResult& alloc,
                      const char* label) {
     double revenue = 0.0;
-    std::vector<int> arm_counts(model.num_arms() + 1, 0);
+    std::vector<int> arm_counts(roicl::AsSize(model.num_arms() + 1), 0);
     for (int i = 0; i < campaign.n(); ++i) {
-      int arm = alloc.assignment[i];
+      int arm = alloc.assignment[roicl::AsSize(i)];
       if (arm > 0) {
-        revenue += campaign.true_tau_r[arm - 1][i];
-        arm_counts[arm]++;
+        revenue += campaign.true_tau_r[roicl::AsSize(arm - 1)][roicl::AsSize(i)];
+        arm_counts[roicl::AsSize(arm)]++;
       }
     }
     std::printf("  %-12s spent %7.1f of %7.1f -> incremental revenue %7.2f"
@@ -92,7 +93,7 @@ int main() {
 
   Rng noise(22);
   std::vector<std::vector<double>> random_scores(
-      3, std::vector<double>(campaign.n()));
+      3, std::vector<double>(roicl::AsSize(campaign.n())));
   for (auto& arm_scores : random_scores) {
     for (double& s : arm_scores) s = noise.Uniform();
   }

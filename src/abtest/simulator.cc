@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "core/greedy.h"
 
 namespace roicl::abtest {
@@ -40,7 +41,7 @@ AbTestResult RunAbTest(const synth::SyntheticGenerator& generator,
                                         population.true_tau_c.end(), 0.0);
     double budget = config.budget_fraction * total_cost;
 
-    std::vector<double> random_scores(population.n());
+    std::vector<double> random_scores(AsSize(population.n()));
     for (double& s : random_scores) s = day_rng.Uniform();
     std::vector<double> drp_scores = drp.PredictRoi(population.x);
     std::vector<double> rdrp_scores = rdrp.PredictRoi(population.x);
@@ -49,7 +50,9 @@ AbTestResult RunAbTest(const synth::SyntheticGenerator& generator,
       core::AllocationResult alloc = core::GreedyAllocate(
           scores, population.true_tau_c, budget, /*skip_unaffordable=*/true);
       double revenue = 0.0;
-      for (int i : alloc.selected) revenue += population.true_tau_r[i];
+        for (int i : alloc.selected) {
+        revenue += population.true_tau_r[AsSize(i)];
+      }
       arm->daily_revenue.push_back(revenue);
       arm->total_revenue += revenue;
     };

@@ -1,6 +1,7 @@
 #ifndef ROICL_COMMON_MACROS_H_
 #define ROICL_COMMON_MACROS_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -42,6 +43,29 @@
   } while (0)
 #else
 #define ROICL_DCHECK(condition) ROICL_CHECK(condition)
+#endif
+
+/// Debug-only finiteness check for a double-valued expression. NaN or
+/// infinity in a score, quantile, or ROI estimate silently poisons every
+/// downstream ranking, so debug builds abort at the first non-finite
+/// value with the offending expression and its value. Compiled out under
+/// NDEBUG: the expression is not evaluated in release builds, so it must
+/// be side-effect free.
+#ifdef NDEBUG
+#define ROICL_DCHECK_FINITE(value) \
+  do {                             \
+  } while (0)
+#else
+#define ROICL_DCHECK_FINITE(value)                                          \
+  do {                                                                      \
+    const double roicl_dcheck_finite_v_ = (value);                          \
+    if (!std::isfinite(roicl_dcheck_finite_v_)) {                           \
+      std::fprintf(stderr,                                                  \
+                   "ROICL_DCHECK_FINITE failed at %s:%d: %s = %g\n",        \
+                   __FILE__, __LINE__, #value, roicl_dcheck_finite_v_);     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
 #endif
 
 #endif  // ROICL_COMMON_MACROS_H_

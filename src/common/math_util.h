@@ -3,10 +3,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <limits>
 
 #include "common/macros.h"
 
 namespace roicl {
+
+/// Casts a non-negative `int` index to `size_t` for container subscripts.
+/// The strict build (-Wsign-conversion, see ROICL_STRICT) bans implicit
+/// int->size_t conversions because a negative index wraps to a huge
+/// offset; this helper is the sanctioned spelling and adds the
+/// negativity check the implicit conversion silently skipped.
+inline size_t AsSize(int i) {
+  ROICL_DCHECK(i >= 0);
+  return static_cast<size_t>(i);
+}
+
+/// Casts a container size to `int`, checking that it fits. Row/column
+/// counts in this library are ints by design (they are bounded by memory
+/// long before INT_MAX), so the narrowing is safe — but only with this
+/// check, which makes an overflow loud instead of wrapping negative.
+inline int AsInt(size_t n) {
+  ROICL_DCHECK(n <= static_cast<size_t>(std::numeric_limits<int>::max()));
+  return static_cast<int>(n);
+}
 
 /// Numerically stable logistic sigmoid.
 inline double Sigmoid(double x) {

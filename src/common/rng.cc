@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl {
 
@@ -130,13 +131,13 @@ int Rng::Poisson(double mean) {
 
 std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
   ROICL_CHECK(k >= 0 && k <= n);
-  std::vector<int> pool(n);
+  std::vector<int> pool(AsSize(n));
   std::iota(pool.begin(), pool.end(), 0);
   for (int i = 0; i < k; ++i) {
     int j = i + static_cast<int>(UniformInt(static_cast<uint32_t>(n - i)));
-    std::swap(pool[i], pool[j]);
+    std::swap(pool[AsSize(i)], pool[AsSize(j)]);
   }
-  pool.resize(k);
+  pool.resize(AsSize(k));
   return pool;
 }
 

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl {
 
@@ -70,7 +71,9 @@ double ConformalQuantile(std::vector<double> scores, double alpha) {
   size_t rank = static_cast<size_t>(raw_rank);
   if (rank > n) return std::numeric_limits<double>::infinity();
   // rank is 1-based: the rank-th smallest score.
-  std::nth_element(scores.begin(), scores.begin() + (rank - 1), scores.end());
+  std::nth_element(scores.begin(),
+                   scores.begin() + static_cast<ptrdiff_t>(rank - 1),
+                   scores.end());
   return scores[rank - 1];
 }
 
@@ -97,15 +100,15 @@ std::vector<double> Ranks(const std::vector<double>& values) {
   std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
-            [&](int i, int j) { return values[i] < values[j]; });
+            [&](int i, int j) { return values[AsSize(i)] < values[AsSize(j)]; });
   std::vector<double> ranks(n, 0.0);
   size_t i = 0;
   while (i < n) {
     size_t j = i;
-    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    while (j + 1 < n && values[AsSize(order[j + 1])] == values[AsSize(order[i])]) ++j;
     // Average rank for the tie block [i, j].
     double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
-    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    for (size_t k = i; k <= j; ++k) ranks[AsSize(order[k])] = avg;
     i = j + 1;
   }
   return ranks;

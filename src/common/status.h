@@ -21,8 +21,9 @@ enum class StatusCode {
 
 /// Minimal status object for recoverable failures (file I/O, parsing,
 /// user-supplied configuration). Invariant violations use ROICL_CHECK
-/// instead.
-class Status {
+/// instead. [[nodiscard]] at class scope makes silently dropping any
+/// returned Status a compile-time warning (an error under ROICL_STRICT).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -59,8 +60,9 @@ class Status {
 };
 
 /// Value-or-error wrapper. `ok()` must be checked before `value()`.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value and from Status, mirroring absl::StatusOr usage.
   StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}

@@ -1,10 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/macros.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roicl {
 namespace {
@@ -78,13 +78,11 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
       QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
     }
-    auto task_start = std::chrono::steady_clock::now();
+    uint64_t task_start_us = obs::MonotonicMicros();
     task();
     TasksCounter()->Increment();
     TaskLatencyHistogram()->Observe(
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - task_start)
-            .count());
+        static_cast<double>(obs::MonotonicMicros() - task_start_us));
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "metrics/cost_curve.h"
@@ -83,16 +84,19 @@ CalibrationForm SelectCalibrationForm(const std::vector<double>& roi_hat,
   }
 
   std::vector<RunningStats> gain(forms.size());
-  std::vector<int> sample(n);
-  std::vector<double> resampled(n);
+  std::vector<int> sample(AsSize(n));
+  std::vector<double> resampled(AsSize(n));
   for (int b = 0; b < kBootstrap; ++b) {
     for (int i = 0; i < n; ++i) {
-      sample[i] = static_cast<int>(rng.UniformInt(static_cast<uint32_t>(n)));
+      sample[AsSize(i)] =
+          static_cast<int>(rng.UniformInt(static_cast<uint32_t>(n)));
     }
     RctDataset boot = calibration.Subset(sample);
     double none_aucc = 0.0;
     for (size_t f = 0; f < forms.size(); ++f) {
-      for (int i = 0; i < n; ++i) resampled[i] = scores[f][sample[i]];
+      for (int i = 0; i < n; ++i) {
+        resampled[AsSize(i)] = scores[f][AsSize(sample[AsSize(i)])];
+      }
       double aucc = metrics::Aucc(resampled, boot);
       if (forms[f] == CalibrationForm::kNone) {
         none_aucc = aucc;

@@ -22,6 +22,7 @@ std::vector<double> ConformalScores(const std::vector<double>& roi_star,
   for (size_t i = 0; i < roi_hat.size(); ++i) {
     scores[i] = std::fabs(roi_star[i] - roi_hat[i]) /
                 std::max(r_hat[i], std_floor);
+    ROICL_DCHECK_FINITE(scores[i]);
   }
   return scores;
 }
@@ -44,6 +45,7 @@ double ConformalScoreQuantile(const std::vector<double>& scores,
   registry.GetGauge("conformal.calibration_n")
       ->Set(static_cast<double>(scores.size()));
   double q_hat = ConformalQuantile(scores, alpha);
+  ROICL_DCHECK_FINITE(q_hat);
   registry.GetGauge("conformal.q_hat")->Set(q_hat);
   obs::Debug("conformal quantile", {{"q_hat", q_hat},
                                     {"alpha", alpha},

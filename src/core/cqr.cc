@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "common/stats.h"
 
 namespace roicl::core {
@@ -43,7 +44,7 @@ double PinballPairLoss::Compute(const Matrix& preds,
   double n = static_cast<double>(preds.rows());
   double loss = 0.0;
   for (int i = 0; i < preds.rows(); ++i) {
-    double y = (*targets_)[index[i]];
+    double y = (*targets_)[AsSize(index[AsSize(i)])];
     loss += PinballValue(y, preds(i, 0), lo_quantile_) +
             PinballValue(y, preds(i, 1), hi_quantile_);
     (*grad)(i, 0) = PinballGrad(y, preds(i, 0), lo_quantile_) / n;
@@ -63,13 +64,13 @@ void CqrModel::Fit(const Matrix& x, const std::vector<double>& y) {
                        config_.activation, config_.dropout, &rng));
 
   PinballPairLoss loss(&y, config_.alpha / 2.0, 1.0 - config_.alpha / 2.0);
-  std::vector<int> train_index(x.rows());
-  for (int i = 0; i < x.rows(); ++i) train_index[i] = i;
+  std::vector<int> train_index(AsSize(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) train_index[AsSize(i)] = i;
   std::vector<int> validation_index;
   if (config_.train.patience > 0 && x.rows() >= 100) {
     int n_val = std::max(1, x.rows() / 10);
     validation_index.assign(train_index.end() - n_val, train_index.end());
-    train_index.resize(train_index.size() - n_val);
+    train_index.resize(train_index.size() - AsSize(n_val));
   }
   nn::TrainNetwork(net_.get(), x_scaled, train_index, validation_index,
                    loss, config_.train);
@@ -80,13 +81,13 @@ std::vector<metrics::Interval> CqrModel::PredictRawIntervals(
   ROICL_CHECK_MSG(fitted(), "PredictRawIntervals() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
   Matrix out = net_->Forward(x_scaled, nn::Mode::kInfer, nullptr);
-  std::vector<metrics::Interval> intervals(x.rows());
+  std::vector<metrics::Interval> intervals(AsSize(x.rows()));
   for (int i = 0; i < x.rows(); ++i) {
     // Quantile crossing can happen with independently trained heads;
     // sort the pair (the standard fix).
     double lo = std::min(out(i, 0), out(i, 1));
     double hi = std::max(out(i, 0), out(i, 1));
-    intervals[i] = {lo, hi};
+    intervals[AsSize(i)] = {lo, hi};
   }
   return intervals;
 }

@@ -39,38 +39,42 @@ class DirectRankLoss : public nn::BatchLoss {
     *grad = Matrix(n, 1);
 
     int n1 = 0, n0 = 0;
-    for (int i = 0; i < n; ++i) ((*treatment_)[index[i]] == 1 ? n1 : n0)++;
+    for (int i = 0; i < n; ++i) {
+      ((*treatment_)[AsSize(index[AsSize(i)])] == 1 ? n1 : n0)++;
+    }
     if (n1 == 0 || n0 == 0) return 0.0;  // degenerate batch: skip
 
     // Stable softmax over the batch.
     double max_s = preds(0, 0);
     for (int i = 1; i < n; ++i) max_s = std::max(max_s, preds(i, 0));
-    std::vector<double> p(n);
+    std::vector<double> p(AsSize(n));
     double z = 0.0;
     for (int i = 0; i < n; ++i) {
-      p[i] = std::exp(preds(i, 0) - max_s);
-      z += p[i];
+      p[AsSize(i)] = std::exp(preds(i, 0) - max_s);
+      z += p[AsSize(i)];
     }
     for (double& v : p) v /= z;
 
-    std::vector<double> c(n), d(n);
+    std::vector<double> c(AsSize(n)), d(AsSize(n));
     double r_val = 0.0, c_val = 0.0;
     for (int i = 0; i < n; ++i) {
-      int row = index[i];
+      const size_t si = AsSize(i);
+      const size_t row = AsSize(index[si]);
       double g = (*treatment_)[row] == 1
                      ? static_cast<double>(n) / n1
                      : -static_cast<double>(n) / n0;
-      c[i] = g * (*y_revenue_)[row];
-      d[i] = g * (*y_cost_)[row];
-      r_val += c[i] * p[i];
-      c_val += d[i] * p[i];
+      c[si] = g * (*y_revenue_)[row];
+      d[si] = g * (*y_cost_)[row];
+      r_val += c[si] * p[si];
+      c_val += d[si] * p[si];
     }
     bool clipped = c_val <= cost_floor_;
     double c_safe = std::max(c_val, cost_floor_);
     double loss = -r_val / c_safe;
     for (int k = 0; k < n; ++k) {
-      double dr = p[k] * (c[k] - r_val);
-      double dc = clipped ? 0.0 : p[k] * (d[k] - c_val);
+      const size_t sk = AsSize(k);
+      double dr = p[sk] * (c[sk] - r_val);
+      double dc = clipped ? 0.0 : p[sk] * (d[sk] - c_val);
       (*grad)(k, 0) = -(dr * c_safe - r_val * dc) / (c_safe * c_safe);
     }
     return loss;
@@ -96,13 +100,13 @@ void DirectRankModel::Fit(const RctDataset& train) {
 
   DirectRankLoss loss(&train.treatment, &train.y_revenue, &train.y_cost,
                       config_.cost_floor);
-  std::vector<int> train_index(train.n());
-  for (int i = 0; i < train.n(); ++i) train_index[i] = i;
+  std::vector<int> train_index(AsSize(train.n()));
+  for (int i = 0; i < train.n(); ++i) train_index[AsSize(i)] = i;
   std::vector<int> validation_index;
   if (config_.train.patience > 0 && train.n() >= 100) {
     int n_val = std::max(1, train.n() / 10);
     validation_index.assign(train_index.end() - n_val, train_index.end());
-    train_index.resize(train_index.size() - n_val);
+    train_index.resize(train_index.size() - AsSize(n_val));
   }
 
   // Multi-restart, mirroring DrpModel (see there for rationale).
@@ -144,7 +148,10 @@ std::vector<double> DirectRankModel::PredictRoi(const Matrix& x) const {
   std::vector<double> roi = out.Col(0);
   // DR only learns a ranking; the sigmoid maps it into (0, 1) so the
   // downstream tooling can treat all direct models uniformly.
-  for (double& v : roi) v = Sigmoid(v);
+  for (double& v : roi) {
+    v = Sigmoid(v);
+    ROICL_DCHECK_FINITE(v);
+  }
   return roi;
 }
 

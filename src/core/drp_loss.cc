@@ -16,7 +16,7 @@ double DrpLoss::Compute(const Matrix& preds, const std::vector<int>& index,
 
   double w1 = 0.0, w0 = 0.0;
   for (int i = 0; i < preds.rows(); ++i) {
-    int row = index[i];
+    const size_t row = AsSize(index[AsSize(i)]);
     double w = weights_ != nullptr ? (*weights_)[row] : 1.0;
     ROICL_DCHECK(w >= 0.0);
     ((*treatment_)[row] == 1 ? w1 : w0) += w;
@@ -28,7 +28,7 @@ double DrpLoss::Compute(const Matrix& preds, const std::vector<int>& index,
 
   double loss = 0.0;
   for (int i = 0; i < preds.rows(); ++i) {
-    int row = index[i];
+    const size_t row = AsSize(index[AsSize(i)]);
     double s = preds(i, 0);
     double yr = (*y_revenue_)[row];
     double yc = (*y_cost_)[row];

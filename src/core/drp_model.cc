@@ -30,13 +30,13 @@ void DrpModel::Fit(const RctDataset& train) {
   }
 
   DrpLoss loss(&train.treatment, &train.y_revenue, &train.y_cost);
-  std::vector<int> train_index(train.n());
-  for (int i = 0; i < train.n(); ++i) train_index[i] = i;
+  std::vector<int> train_index(AsSize(train.n()));
+  for (int i = 0; i < train.n(); ++i) train_index[AsSize(i)] = i;
   std::vector<int> validation_index;
   if (config_.train.patience > 0 && train.n() >= 100) {
     int n_val = std::max(1, train.n() / 10);
     validation_index.assign(train_index.end() - n_val, train_index.end());
-    train_index.resize(train_index.size() - n_val);
+    train_index.resize(train_index.size() - AsSize(n_val));
   }
 
   // Multi-restart: a noisy causal loss occasionally sends one run to a
@@ -88,7 +88,10 @@ std::vector<double> DrpModel::PredictScore(const Matrix& x) const {
 
 std::vector<double> DrpModel::PredictRoi(const Matrix& x) const {
   std::vector<double> scores = PredictScore(x);
-  for (double& s : scores) s = Sigmoid(s);
+  for (double& s : scores) {
+    s = Sigmoid(s);
+    ROICL_DCHECK_FINITE(s);
+  }
   return scores;
 }
 

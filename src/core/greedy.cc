@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,13 +19,18 @@ AllocationResult GreedyAllocate(const std::vector<double>& roi_scores,
   ROICL_CHECK(budget >= 0.0);
   obs::ScopedSpan span("allocate");
   int n = static_cast<int>(roi_scores.size());
-  std::vector<int> order(n);
+#ifndef NDEBUG
+  // A NaN sort key violates std::sort's strict weak ordering (undefined
+  // behaviour), so debug builds reject it before ordering on the scores.
+  for (double s : roi_scores) ROICL_DCHECK_FINITE(s);
+#endif
+  std::vector<int> order(AsSize(n));
   std::iota(order.begin(), order.end(), 0);
   {
     obs::ScopedSpan sort_span("allocate.sort");
     std::sort(order.begin(), order.end(), [&](int a, int b) {
-      if (roi_scores[a] != roi_scores[b]) {
-        return roi_scores[a] > roi_scores[b];
+      if (roi_scores[AsSize(a)] != roi_scores[AsSize(b)]) {
+        return roi_scores[AsSize(a)] > roi_scores[AsSize(b)];
       }
       return a < b;
     });
@@ -32,10 +38,10 @@ AllocationResult GreedyAllocate(const std::vector<double>& roi_scores,
 
   AllocationResult result;
   for (int i : order) {
-    ROICL_CHECK_MSG(costs[i] >= 0.0, "negative cost at index %d", i);
-    if (result.spent + costs[i] <= budget) {
+    ROICL_CHECK_MSG(costs[AsSize(i)] >= 0.0, "negative cost at index %d", i);
+    if (result.spent + costs[AsSize(i)] <= budget) {
       result.selected.push_back(i);
-      result.spent += costs[i];
+      result.spent += costs[AsSize(i)];
     } else if (!skip_unaffordable) {
       break;  // the paper's variant: stop once the budget is reached
     }
@@ -66,8 +72,8 @@ double KnapsackBruteForce(const std::vector<double>& values,
     double value = 0.0, cost = 0.0;
     for (int i = 0; i < n; ++i) {
       if (mask & (1u << i)) {
-        value += values[i];
-        cost += costs[i];
+        value += values[AsSize(i)];
+        cost += costs[AsSize(i)];
       }
     }
     if (cost <= budget) best = std::max(best, value);
@@ -80,7 +86,7 @@ double SelectionValue(const std::vector<int>& selected,
   double total = 0.0;
   for (int i : selected) {
     ROICL_CHECK(i >= 0 && i < static_cast<int>(values.size()));
-    total += values[i];
+    total += values[AsSize(i)];
   }
   return total;
 }

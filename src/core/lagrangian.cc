@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::core {
 namespace {
@@ -71,13 +72,15 @@ LagrangianResult LagrangianAllocate(const std::vector<double>& values,
     if (!picked[i] && values[i] > 0.0) rest.push_back(static_cast<int>(i));
   }
   std::sort(rest.begin(), rest.end(), [&](int a, int b) {
-    return values[a] / costs[a] > values[b] / costs[b];
+    return values[AsSize(a)] / costs[AsSize(a)] >
+           values[AsSize(b)] / costs[AsSize(b)];
   });
   for (int i : rest) {
-    if (result.spent + costs[i] <= budget) {
+    const size_t si = AsSize(i);
+    if (result.spent + costs[si] <= budget) {
       result.selected.push_back(i);
-      result.spent += costs[i];
-      result.value += values[i];
+      result.spent += costs[si];
+      result.value += values[si];
     }
   }
 

@@ -1,6 +1,5 @@
 #include "core/mc_dropout.h"
 
-#include <chrono>
 #include <cmath>
 
 #include "common/macros.h"
@@ -17,12 +16,12 @@ McDropoutStats RunMcDropout(nn::Network* net, const Matrix& x, int passes,
   ROICL_CHECK(net != nullptr);
   ROICL_CHECK(passes >= 2);
   obs::ScopedSpan span("mc_dropout");
-  auto wall_start = std::chrono::steady_clock::now();
+  uint64_t wall_start_us = obs::MonotonicMicros();
   int n = x.rows();
 
   McDropoutStats stats;
-  stats.mean.resize(n);
-  stats.stddev.resize(n);
+  stats.mean.resize(AsSize(n));
+  stats.stddev.resize(AsSize(n));
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::Histogram* batch_latency = registry.GetHistogram(
@@ -33,16 +32,16 @@ McDropoutStats RunMcDropout(nn::Network* net, const Matrix& x, int passes,
   // the result independent of block scheduling.
   nn::ForEachRowBlock(n, opts, [&](int /*block*/, int row_begin,
                                    int row_end) {
-    auto block_start = std::chrono::steady_clock::now();
+    uint64_t block_start_us = obs::MonotonicMicros();
     int rows = row_end - row_begin;
-    std::vector<int> row_ids(rows);
-    for (int r = 0; r < rows; ++r) row_ids[r] = row_begin + r;
+    std::vector<int> row_ids(AsSize(rows));
+    for (int r = 0; r < rows; ++r) row_ids[AsSize(r)] = row_begin + r;
     Matrix x_block = x.SelectRows(row_ids);
 
-    std::vector<double> sum(rows, 0.0);
-    std::vector<double> sum_sq(rows, 0.0);
+    std::vector<double> sum(AsSize(rows), 0.0);
+    std::vector<double> sum_sq(AsSize(rows), 0.0);
     nn::RowRngs rngs;
-    rngs.reserve(rows);
+    rngs.reserve(AsSize(rows));
     for (int pass = 0; pass < passes; ++pass) {
       rngs.clear();
       uint64_t pass_base =
@@ -57,26 +56,24 @@ McDropoutStats RunMcDropout(nn::Network* net, const Matrix& x, int passes,
       for (int r = 0; r < rows; ++r) {
         double v = out(r, 0);
         if (sigmoid_output) v = Sigmoid(v);
-        sum[r] += v;
-        sum_sq[r] += v * v;
+        sum[AsSize(r)] += v;
+        sum_sq[AsSize(r)] += v * v;
       }
     }
 
     double inv = 1.0 / static_cast<double>(passes);
     for (int r = 0; r < rows; ++r) {
-      double mean = sum[r] * inv;
-      double var = std::max(0.0, sum_sq[r] * inv - mean * mean);
-      stats.mean[row_begin + r] = mean;
-      stats.stddev[row_begin + r] = std::sqrt(var);
+      double mean = sum[AsSize(r)] * inv;
+      double var = std::max(0.0, sum_sq[AsSize(r)] * inv - mean * mean);
+      stats.mean[AsSize(row_begin + r)] = mean;
+      stats.stddev[AsSize(row_begin + r)] = std::sqrt(var);
     }
-    batch_latency->Observe(std::chrono::duration<double, std::micro>(
-                               std::chrono::steady_clock::now() - block_start)
-                               .count());
+    batch_latency->Observe(
+        static_cast<double>(obs::MonotonicMicros() - block_start_us));
   });
 
-  double seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - wall_start)
-                       .count();
+  double seconds =
+      static_cast<double>(obs::MonotonicMicros() - wall_start_us) * 1e-6;
   uint64_t samples =
       static_cast<uint64_t>(n) * static_cast<uint64_t>(passes);
   registry.GetCounter("mc_dropout.samples")->Increment(samples);

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::core {
 
@@ -40,7 +41,7 @@ std::vector<std::vector<double>> DivideAndConquerRdrp::PredictRoiPerArm(
 
 const RdrpModel& DivideAndConquerRdrp::arm_model(int arm) const {
   ROICL_CHECK(arm >= 1 && arm <= num_arms());
-  return *models_[arm - 1];
+  return *models_[AsSize(arm - 1)];
 }
 
 MultiAllocationResult GreedyAllocateMulti(
@@ -78,11 +79,12 @@ MultiAllocationResult GreedyAllocateMulti(
   MultiAllocationResult result;
   result.assignment.assign(n, -1);
   for (const Pair& pair : pairs) {
-    if (result.assignment[pair.user] != -1) continue;  // one arm per user
-    double cost = costs[pair.arm - 1][pair.user];
+    const size_t user = AsSize(pair.user);
+    if (result.assignment[user] != -1) continue;  // one arm per user
+    double cost = costs[AsSize(pair.arm - 1)][user];
     ROICL_CHECK(cost >= 0.0);
     if (result.spent + cost <= budget) {
-      result.assignment[pair.user] = pair.arm;
+      result.assignment[user] = pair.arm;
       result.spent += cost;
     }
   }

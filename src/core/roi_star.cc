@@ -45,6 +45,7 @@ double BinarySearchRoiStar(const std::vector<int>& treatment,
                                     {"iterations", iterations},
                                     {"bracket_width", roi_r - roi_l},
                                     {"n", treatment.size()}});
+  ROICL_DCHECK_FINITE(roi_star);
   return roi_star;
 }
 
@@ -79,11 +80,13 @@ std::vector<double> BinnedRoiStar(const std::vector<double>& scores,
   std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
-            [&](int a, int b) { return scores[a] < scores[b]; });
+            [&](int a, int b) {
+              return scores[AsSize(a)] < scores[AsSize(b)];
+            });
   std::vector<int> bin_of(n);
   for (size_t rank = 0; rank < n; ++rank) {
     int bin = static_cast<int>(rank * static_cast<size_t>(num_bins) / n);
-    bin_of[order[rank]] = std::min(bin, num_bins - 1);
+    bin_of[AsSize(order[rank])] = std::min(bin, num_bins - 1);
   }
 
   std::vector<double> result(n, global);

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/math_util.h"
+
 namespace roicl {
 namespace {
 
@@ -36,13 +38,14 @@ Status WriteDatasetCsv(const RctDataset& dataset, const std::string& path) {
   out.precision(12);
   for (int i = 0; i < dataset.n(); ++i) {
     const double* row = dataset.x.RowPtr(i);
+    const size_t si = AsSize(i);
     for (int c = 0; c < dataset.dim(); ++c) out << row[c] << ",";
-    out << dataset.treatment[i] << "," << dataset.y_revenue[i] << ","
-        << dataset.y_cost[i];
+    out << dataset.treatment[si] << "," << dataset.y_revenue[si] << ","
+        << dataset.y_cost[si];
     if (oracle) {
-      out << "," << dataset.true_tau_r[i] << "," << dataset.true_tau_c[i];
+      out << "," << dataset.true_tau_r[si] << "," << dataset.true_tau_c[si];
     }
-    if (segments) out << "," << dataset.segment[i];
+    if (segments) out << "," << dataset.segment[si];
     out << "\n";
   }
   if (!out) return Status::IoError("write failed: " + path);
@@ -97,19 +100,21 @@ StatusOr<RctDataset> ReadDatasetCsv(const std::string& path) {
     }
     std::vector<double> features;
     features.reserve(feature_cols.size());
-    for (int c : feature_cols) features.push_back(std::atof(fields[c].c_str()));
+    for (int c : feature_cols) {
+      features.push_back(std::atof(fields[AsSize(c)].c_str()));
+    }
     dataset.x.AppendRow(features);
-    dataset.treatment.push_back(std::atoi(fields[col_treatment].c_str()));
-    dataset.y_revenue.push_back(std::atof(fields[col_yr].c_str()));
-    dataset.y_cost.push_back(std::atof(fields[col_yc].c_str()));
+    dataset.treatment.push_back(std::atoi(fields[AsSize(col_treatment)].c_str()));
+    dataset.y_revenue.push_back(std::atof(fields[AsSize(col_yr)].c_str()));
+    dataset.y_cost.push_back(std::atof(fields[AsSize(col_yc)].c_str()));
     if (col_tau_r >= 0) {
-      dataset.true_tau_r.push_back(std::atof(fields[col_tau_r].c_str()));
+      dataset.true_tau_r.push_back(std::atof(fields[AsSize(col_tau_r)].c_str()));
     }
     if (col_tau_c >= 0) {
-      dataset.true_tau_c.push_back(std::atof(fields[col_tau_c].c_str()));
+      dataset.true_tau_c.push_back(std::atof(fields[AsSize(col_tau_c)].c_str()));
     }
     if (col_segment >= 0) {
-      dataset.segment.push_back(std::atoi(fields[col_segment].c_str()));
+      dataset.segment.push_back(std::atoi(fields[AsSize(col_segment)].c_str()));
     }
   }
   dataset.Validate();

@@ -1,6 +1,7 @@
 #include "data/dataset.h"
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl {
 
@@ -17,9 +18,9 @@ int RctDataset::NumControl() const {
 double RctDataset::TrueRoi(int i) const {
   ROICL_CHECK(has_ground_truth());
   ROICL_CHECK(i >= 0 && i < n());
-  ROICL_CHECK_MSG(true_tau_c[i] > 0.0,
+  ROICL_CHECK_MSG(true_tau_c[AsSize(i)] > 0.0,
                   "TrueRoi requires positive cost effect (Assumption 4)");
-  return true_tau_r[i] / true_tau_c[i];
+  return true_tau_r[AsSize(i)] / true_tau_c[AsSize(i)];
 }
 
 namespace {
@@ -32,7 +33,7 @@ std::vector<T> SelectVector(const std::vector<T>& values,
   out.reserve(indices.size());
   for (int i : indices) {
     ROICL_CHECK(i >= 0 && i < static_cast<int>(values.size()));
-    out.push_back(values[i]);
+    out.push_back(values[AsSize(i)]);
   }
   return out;
 }

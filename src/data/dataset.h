@@ -27,24 +27,24 @@ struct RctDataset {
   std::vector<double> true_tau_c;  ///< tau_c(x_i), if known.
   std::vector<int> segment;        ///< latent segment id, if known.
 
-  int n() const { return x.rows(); }
-  int dim() const { return x.cols(); }
-  bool has_ground_truth() const {
+  [[nodiscard]] int n() const { return x.rows(); }
+  [[nodiscard]] int dim() const { return x.cols(); }
+  [[nodiscard]] bool has_ground_truth() const {
     return !true_tau_r.empty() && !true_tau_c.empty();
   }
 
   /// Number of treated samples (N_1 in the paper).
-  int NumTreated() const;
+  [[nodiscard]] int NumTreated() const;
   /// Number of control samples (N_0).
-  int NumControl() const;
+  [[nodiscard]] int NumControl() const;
 
   /// Ground-truth ROI of sample i = tau_r(x_i) / tau_c(x_i).
   /// Requires has_ground_truth() and positive tau_c.
-  double TrueRoi(int i) const;
+  [[nodiscard]] double TrueRoi(int i) const;
 
   /// Returns the subset of the dataset at `indices`, preserving any oracle
   /// columns that are present.
-  RctDataset Subset(const std::vector<int>& indices) const;
+  [[nodiscard]] RctDataset Subset(const std::vector<int>& indices) const;
 
   /// Aborts if the internal columns disagree in length or treatments are
   /// not binary. Call after hand-assembling a dataset.
@@ -53,15 +53,17 @@ struct RctDataset {
   /// Difference of group means for a column:
   /// mean(values | t=1) - mean(values | t=0). Requires both groups
   /// non-empty. This is the RCT estimate of the average treatment effect.
-  static double DiffInMeans(const std::vector<int>& treatment,
-                            const std::vector<double>& values);
+  [[nodiscard]] static double DiffInMeans(
+      const std::vector<int>& treatment, const std::vector<double>& values);
 
   /// tau_hat_r: RCT difference-in-means estimate of average revenue lift.
-  double AverageRevenueLift() const {
+  [[nodiscard]] double AverageRevenueLift() const {
     return DiffInMeans(treatment, y_revenue);
   }
   /// tau_hat_c: RCT difference-in-means estimate of average cost lift.
-  double AverageCostLift() const { return DiffInMeans(treatment, y_cost); }
+  [[nodiscard]] double AverageCostLift() const {
+    return DiffInMeans(treatment, y_cost);
+  }
 };
 
 /// Three-way split used by Algorithm 4: train / calibration / test.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "common/stats.h"
 
 namespace roicl {
@@ -10,15 +11,15 @@ namespace roicl {
 void StandardScaler::Fit(const Matrix& x) {
   ROICL_CHECK(x.rows() > 0);
   int d = x.cols();
-  means_.assign(d, 0.0);
-  stddevs_.assign(d, 1.0);
+  means_.assign(AsSize(d), 0.0);
+  stddevs_.assign(AsSize(d), 1.0);
   for (int c = 0; c < d; ++c) {
     RunningStats stats;
     for (int r = 0; r < x.rows(); ++r) stats.Add(x(r, c));
-    means_[c] = stats.mean();
+    means_[AsSize(c)] = stats.mean();
     double sd = stats.stddev();
     // Constant columns are centered but not scaled.
-    stddevs_[c] = sd > 1e-12 ? sd : 1.0;
+    stddevs_[AsSize(c)] = sd > 1e-12 ? sd : 1.0;
   }
   fitted_ = true;
 }
@@ -30,7 +31,7 @@ Matrix StandardScaler::Transform(const Matrix& x) const {
   for (int r = 0; r < out.rows(); ++r) {
     double* row = out.RowPtr(r);
     for (int c = 0; c < out.cols(); ++c) {
-      row[c] = (row[c] - means_[c]) / stddevs_[c];
+      row[c] = (row[c] - means_[AsSize(c)]) / stddevs_[AsSize(c)];
     }
   }
   return out;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl {
 
@@ -39,13 +40,15 @@ RctDataset Subsample(const RctDataset& dataset, double rate, Rng* rng) {
   // Stratify by treatment so both arms survive aggressive subsampling.
   std::vector<int> treated, control;
   for (int i = 0; i < dataset.n(); ++i) {
-    (dataset.treatment[i] == 1 ? treated : control).push_back(i);
+    (dataset.treatment[AsSize(i)] == 1 ? treated : control).push_back(i);
   }
   auto pick = [&](std::vector<int>& group) {
-    int k = std::max(1, static_cast<int>(std::round(rate * group.size())));
+    int k = std::max(
+        1, static_cast<int>(
+               std::round(rate * static_cast<double>(group.size()))));
     k = std::min(k, static_cast<int>(group.size()));
     rng->Shuffle(&group);
-    group.resize(k);
+    group.resize(AsSize(k));
   };
   pick(treated);
   pick(control);

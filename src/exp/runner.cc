@@ -1,7 +1,5 @@
 #include "exp/runner.h"
 
-#include <chrono>
-
 #include "common/macros.h"
 #include "metrics/cost_curve.h"
 #include "obs/log.h"
@@ -14,12 +12,10 @@ double EvaluateMethodOnSplits(uplift::RoiModel* model,
                               const DatasetSplits& splits) {
   ROICL_CHECK(model != nullptr);
   model->FitWithCalibration(splits.train, splits.calibration);
-  auto predict_start = std::chrono::steady_clock::now();
+  uint64_t predict_start_us = obs::MonotonicMicros();
   std::vector<double> scores = model->PredictRoi(splits.test.x);
   double predict_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    predict_start)
-          .count();
+      static_cast<double>(obs::MonotonicMicros() - predict_start_us) * 1e-6;
   if (predict_seconds > 0.0) {
     obs::MetricsRegistry::Global()
         .GetGauge("exp.predict_samples_per_sec")
@@ -41,16 +37,16 @@ std::vector<OfflineCell> RunSetting(DatasetId dataset, Setting setting,
   cells.reserve(methods.size());
   for (const MethodSpec& spec : methods) {
     obs::ScopedSpan method_span("exp.method", spec.name);
-    auto start = std::chrono::steady_clock::now();
+    uint64_t start_us = obs::MonotonicMicros();
     std::unique_ptr<uplift::RoiModel> model = spec.factory();
     double aucc = EvaluateMethodOnSplits(model.get(), splits);
-    auto end = std::chrono::steady_clock::now();
+    uint64_t end_us = obs::MonotonicMicros();
     OfflineCell cell;
     cell.method = spec.name;
     cell.dataset = dataset;
     cell.setting = setting;
     cell.aucc = aucc;
-    cell.seconds = std::chrono::duration<double>(end - start).count();
+    cell.seconds = static_cast<double>(end_us - start_us) * 1e-6;
     cells.push_back(cell);
     if (verbose) {
       obs::Info("method evaluated", {{"dataset", DatasetName(dataset)},

@@ -1,6 +1,9 @@
 #include "linalg/matrix.h"
 
 #include <algorithm>
+#include <cstddef>
+
+#include "common/math_util.h"
 
 namespace roicl {
 
@@ -8,7 +11,7 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     : rows_(static_cast<int>(rows.size())), cols_(0) {
   if (rows_ == 0) return;
   cols_ = static_cast<int>(rows.begin()->size());
-  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  data_.reserve(static_cast<size_t>(rows_) * static_cast<size_t>(cols_));
   for (const auto& row : rows) {
     ROICL_CHECK_MSG(static_cast<int>(row.size()) == cols_,
                     "ragged initializer list");
@@ -35,8 +38,8 @@ std::vector<double> Matrix::Row(int r) const {
 
 std::vector<double> Matrix::Col(int c) const {
   ROICL_CHECK(c >= 0 && c < cols_);
-  std::vector<double> out(rows_);
-  for (int r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  std::vector<double> out(AsSize(rows_));
+  for (int r = 0; r < rows_; ++r) out[AsSize(r)] = (*this)(r, c);
   return out;
 }
 
@@ -152,12 +155,12 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
 
 std::vector<double> Matvec(const Matrix& a, const std::vector<double>& x) {
   ROICL_CHECK(a.cols() == static_cast<int>(x.size()));
-  std::vector<double> y(a.rows(), 0.0);
+  std::vector<double> y(AsSize(a.rows()), 0.0);
   for (int i = 0; i < a.rows(); ++i) {
     const double* row = a.RowPtr(i);
     double acc = 0.0;
-    for (int j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
-    y[i] = acc;
+    for (int j = 0; j < a.cols(); ++j) acc += row[j] * x[AsSize(j)];
+    y[AsSize(i)] = acc;
   }
   return y;
 }
@@ -170,10 +173,10 @@ double Dot(const std::vector<double>& a, const std::vector<double>& b) {
 }
 
 std::vector<double> ColumnSums(const Matrix& a) {
-  std::vector<double> sums(a.cols(), 0.0);
+  std::vector<double> sums(AsSize(a.cols()), 0.0);
   for (int r = 0; r < a.rows(); ++r) {
     const double* row = a.RowPtr(r);
-    for (int c = 0; c < a.cols(); ++c) sums[c] += row[c];
+    for (int c = 0; c < a.cols(); ++c) sums[AsSize(c)] += row[c];
   }
   return sums;
 }
@@ -195,7 +198,7 @@ Matrix VStack(const Matrix& a, const Matrix& b) {
   Matrix out(a.rows() + b.rows(), a.cols());
   std::copy(a.data().begin(), a.data().end(), out.data().begin());
   std::copy(b.data().begin(), b.data().end(),
-            out.data().begin() + a.data().size());
+            out.data().begin() + static_cast<ptrdiff_t>(a.data().size()));
   return out;
 }
 

@@ -18,7 +18,7 @@ class Matrix {
   /// Creates a rows x cols matrix filled with `fill`.
   Matrix(int rows, int cols, double fill = 0.0)
       : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, fill) {
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
     ROICL_CHECK(rows >= 0 && cols >= 0);
   }
 
@@ -27,49 +27,49 @@ class Matrix {
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
 
   /// Builds a single-column matrix from a vector.
-  static Matrix ColumnVector(const std::vector<double>& values);
+  [[nodiscard]] static Matrix ColumnVector(const std::vector<double>& values);
 
   /// Identity matrix of size n.
-  static Matrix Identity(int n);
+  [[nodiscard]] static Matrix Identity(int n);
 
-  int rows() const { return rows_; }
-  int cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
 
   double& operator()(int r, int c) {
     ROICL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    return data_[Index(r, c)];
   }
   double operator()(int r, int c) const {
     ROICL_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    return data_[Index(r, c)];
   }
 
   /// Raw row pointer (row-major storage).
   double* RowPtr(int r) {
     ROICL_DCHECK(r >= 0 && r < rows_);
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return data_.data() + Index(r, 0);
   }
   const double* RowPtr(int r) const {
     ROICL_DCHECK(r >= 0 && r < rows_);
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return data_.data() + Index(r, 0);
   }
 
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }
 
   /// Copies row r into a vector.
-  std::vector<double> Row(int r) const;
+  [[nodiscard]] std::vector<double> Row(int r) const;
 
   /// Copies column c into a vector.
-  std::vector<double> Col(int c) const;
+  [[nodiscard]] std::vector<double> Col(int c) const;
 
   /// Returns a new matrix holding the given subset of rows, in order.
-  Matrix SelectRows(const std::vector<int>& indices) const;
+  [[nodiscard]] Matrix SelectRows(const std::vector<int>& indices) const;
 
   /// Returns the transpose.
-  Matrix Transposed() const;
+  [[nodiscard]] Matrix Transposed() const;
 
   /// Element-wise in-place operations.
   Matrix& operator+=(const Matrix& other);
@@ -80,6 +80,11 @@ class Matrix {
   void AppendRow(const std::vector<double>& row);
 
  private:
+  size_t Index(int r, int c) const {
+    return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(c);
+  }
+
   int rows_;
   int cols_;
   std::vector<double> data_;
@@ -92,7 +97,7 @@ class Matrix {
 /// every output element the k-accumulation order is plain ascending k, so
 /// the result is bit-identical for any row partition of A — the invariant
 /// the batched prediction engine's determinism tests rely on.
-Matrix Matmul(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix Matmul(const Matrix& a, const Matrix& b);
 
 /// Matmul variant writing into a preallocated output (overwrites `c`).
 /// Avoids the allocation on hot batched-forward paths. `c` must already
@@ -100,19 +105,21 @@ Matrix Matmul(const Matrix& a, const Matrix& b);
 void MatmulInto(const Matrix& a, const Matrix& b, Matrix* c);
 
 /// y = A * x for a column vector x (size A.cols()).
-std::vector<double> Matvec(const Matrix& a, const std::vector<double>& x);
+[[nodiscard]] std::vector<double> Matvec(const Matrix& a,
+                                         const std::vector<double>& x);
 
 /// Dot product of equal-length vectors.
-double Dot(const std::vector<double>& a, const std::vector<double>& b);
+[[nodiscard]] double Dot(const std::vector<double>& a,
+                         const std::vector<double>& b);
 
 /// Sum over rows: returns a vector of length a.cols().
-std::vector<double> ColumnSums(const Matrix& a);
+[[nodiscard]] std::vector<double> ColumnSums(const Matrix& a);
 
 /// Horizontal concatenation [a | b]; row counts must match.
-Matrix HStack(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix HStack(const Matrix& a, const Matrix& b);
 
 /// Vertical concatenation; column counts must match.
-Matrix VStack(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix VStack(const Matrix& a, const Matrix& b);
 
 }  // namespace roicl
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/math_util.h"
+
 namespace roicl {
 
 Status CholeskyDecompose(const Matrix& a, Matrix* lower) {
@@ -40,18 +42,18 @@ StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
   if (!status.ok()) return status;
   int n = a.rows();
   // Forward substitution: L z = b.
-  std::vector<double> z(n);
+  std::vector<double> z(AsSize(n));
   for (int i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (int k = 0; k < i; ++k) sum -= l(i, k) * z[k];
-    z[i] = sum / l(i, i);
+    double sum = b[AsSize(i)];
+    for (int k = 0; k < i; ++k) sum -= l(i, k) * z[AsSize(k)];
+    z[AsSize(i)] = sum / l(i, i);
   }
   // Back substitution: L^T x = z.
-  std::vector<double> x(n);
+  std::vector<double> x(AsSize(n));
   for (int i = n - 1; i >= 0; --i) {
-    double sum = z[i];
-    for (int k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
-    x[i] = sum / l(i, i);
+    double sum = z[AsSize(i)];
+    for (int k = i + 1; k < n; ++k) sum -= l(k, i) * x[AsSize(k)];
+    x[AsSize(i)] = sum / l(i, i);
   }
   return x;
 }
@@ -69,23 +71,32 @@ StatusOr<std::vector<double>> SolveRidge(const Matrix& x,
   if (lambda < 0.0) {
     return Status::InvalidArgument("lambda must be non-negative");
   }
+  // A zero-feature design without an intercept has nothing to solve for;
+  // rejecting it (and pinning the checked column count in a local) also
+  // guarantees d >= 1 below — the static analyzer otherwise explores the
+  // impossible d == 0 path and reports null dereferences on it.
+  const int cols = x.cols();
+  ROICL_CHECK(cols >= 0);
+  if (cols == 0 && !fit_intercept) {
+    return Status::InvalidArgument("design matrix has no columns");
+  }
   int n = x.rows();
-  int d = x.cols() + (fit_intercept ? 1 : 0);
+  int d = cols + (fit_intercept ? 1 : 0);
 
   // Normal equations: (X^T X + lambda I) w = X^T y, built directly so we
   // never materialize the augmented design matrix.
   Matrix gram(d, d);
-  std::vector<double> xty(d, 0.0);
+  std::vector<double> xty(AsSize(d), 0.0);
   for (int r = 0; r < n; ++r) {
     const double* row = x.RowPtr(r);
-    for (int i = 0; i < x.cols(); ++i) {
-      xty[i] += row[i] * y[r];
-      for (int j = i; j < x.cols(); ++j) gram(i, j) += row[i] * row[j];
+    for (int i = 0; i < cols; ++i) {
+      xty[AsSize(i)] += row[i] * y[AsSize(r)];
+      for (int j = i; j < cols; ++j) gram(i, j) += row[i] * row[j];
     }
     if (fit_intercept) {
       int b = d - 1;
-      xty[b] += y[r];
-      for (int i = 0; i < x.cols(); ++i) gram(i, b) += row[i];
+      xty[AsSize(b)] += y[AsSize(r)];
+      for (int i = 0; i < cols; ++i) gram(i, b) += row[i];
       gram(b, b) += 1.0;
     }
   }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::metrics {
 
@@ -14,21 +15,23 @@ CostCurve ComputeCostCurve(const std::vector<double>& scores,
   ROICL_CHECK(static_cast<int>(scores.size()) == n);
   ROICL_CHECK(n > 0);
 
-  std::vector<int> order(n);
+  std::vector<int> order(AsSize(n));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    if (scores[AsSize(a)] != scores[AsSize(b)]) {
+      return scores[AsSize(a)] > scores[AsSize(b)];
+    }
     return a < b;  // deterministic tie-break
   });
 
   CostCurve curve;
-  curve.points.reserve(n + 1);
+  curve.points.reserve(AsSize(n + 1));
   curve.points.push_back({0, 0.0, 0.0});
 
   double sum_r1 = 0.0, sum_r0 = 0.0, sum_c1 = 0.0, sum_c0 = 0.0;
   int n1 = 0, n0 = 0;
   for (int rank = 0; rank < n; ++rank) {
-    int i = order[rank];
+    const size_t i = AsSize(order[AsSize(rank)]);
     if (dataset.treatment[i] == 1) {
       sum_r1 += dataset.y_revenue[i];
       sum_c1 += dataset.y_cost[i];
@@ -85,8 +88,10 @@ double Aucc(const std::vector<double>& scores, const RctDataset& dataset) {
 
 double OracleAucc(const RctDataset& dataset) {
   ROICL_CHECK(dataset.has_ground_truth());
-  std::vector<double> oracle(dataset.n());
-  for (int i = 0; i < dataset.n(); ++i) oracle[i] = dataset.TrueRoi(i);
+  std::vector<double> oracle(AsSize(dataset.n()));
+  for (int i = 0; i < dataset.n(); ++i) {
+    oracle[AsSize(i)] = dataset.TrueRoi(i);
+  }
   return Aucc(oracle, dataset);
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::metrics {
 
@@ -16,10 +17,12 @@ double QiniCoefficient(const std::vector<double>& scores,
   const std::vector<double>& y =
       use_revenue ? dataset.y_revenue : dataset.y_cost;
 
-  std::vector<int> order(n);
+  std::vector<int> order(AsSize(n));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    if (scores[AsSize(a)] != scores[AsSize(b)]) {
+      return scores[AsSize(a)] > scores[AsSize(b)];
+    }
     return a < b;
   });
 
@@ -30,7 +33,7 @@ double QiniCoefficient(const std::vector<double>& scores,
   double area = 0.0;
   double prev_q = 0.0;
   for (int rank = 0; rank < n; ++rank) {
-    int i = order[rank];
+    const size_t i = AsSize(order[AsSize(rank)]);
     if (dataset.treatment[i] == 1) {
       sum1 += y[i];
       ++n1;

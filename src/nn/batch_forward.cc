@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "common/thread_pool.h"
 
 namespace roicl::nn {
@@ -38,8 +39,10 @@ Matrix BatchedInferForward(Network* net, const Matrix& x,
   std::mutex init_mutex;
   ForEachRowBlock(x.rows(), opts, [&](int /*block*/, int row_begin,
                                       int row_end) {
-    std::vector<int> rows(row_end - row_begin);
-    for (int r = row_begin; r < row_end; ++r) rows[r - row_begin] = r;
+    std::vector<int> rows(AsSize(row_end - row_begin));
+    for (int r = row_begin; r < row_end; ++r) {
+      rows[AsSize(r - row_begin)] = r;
+    }
     Matrix block_out =
         net->Forward(x.SelectRows(rows), Mode::kInfer, nullptr);
     // First finished block sizes the output; every block then writes its

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::nn {
 
@@ -43,7 +44,9 @@ Matrix Dense::Backward(const Matrix& grad_output) {
   // dW += X^T g ; db += colsum(g) ; dX = g W^T.
   grad_weights_ += Matmul(cached_input_.Transposed(), grad_output);
   std::vector<double> col_sums = ColumnSums(grad_output);
-  for (int c = 0; c < grad_bias_.cols(); ++c) grad_bias_(0, c) += col_sums[c];
+  for (int c = 0; c < grad_bias_.cols(); ++c) {
+    grad_bias_(0, c) += col_sums[AsSize(c)];
+  }
   return Matmul(grad_output, weights_.Transposed());
 }
 

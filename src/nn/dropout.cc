@@ -1,6 +1,7 @@
 #include "nn/dropout.h"
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::nn {
 
@@ -49,7 +50,7 @@ Matrix Dropout::ForwardRows(const Matrix& input, Mode mode,
   double scale = 1.0 / keep;
   Matrix out = input;
   for (int r = 0; r < out.rows(); ++r) {
-    Rng& rng = (*row_rngs)[r];
+    Rng& rng = (*row_rngs)[AsSize(r)];
     double* row = out.RowPtr(r);
     for (int c = 0; c < out.cols(); ++c) {
       row[c] *= rng.Bernoulli(keep) ? scale : 0.0;

@@ -16,7 +16,7 @@ double MseLoss::Compute(const Matrix& preds, const std::vector<int>& index,
   double n = static_cast<double>(preds.rows());
   double loss = 0.0;
   for (int i = 0; i < preds.rows(); ++i) {
-    double target = (*targets_)[index[i]];
+    double target = (*targets_)[AsSize(index[AsSize(i)])];
     double diff = preds(i, 0) - target;
     loss += diff * diff;
     (*grad)(i, 0) = 2.0 * diff / n;
@@ -34,7 +34,7 @@ double BceWithLogitsLoss::Compute(const Matrix& preds,
   double n = static_cast<double>(preds.rows());
   double loss = 0.0;
   for (int i = 0; i < preds.rows(); ++i) {
-    double y = (*targets_)[index[i]];
+    double y = (*targets_)[AsSize(index[AsSize(i)])];
     double z = preds(i, 0);
     // Stable softplus form: BCE = max(z,0) - z*y + log(1 + exp(-|z|)).
     loss += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));

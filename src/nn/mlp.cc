@@ -55,9 +55,12 @@ Matrix Mlp::Forward(const Matrix& input, Mode mode, Rng* rng) {
 
 Matrix Mlp::ForwardRows(const Matrix& input, Mode mode, RowRngs* row_rngs) {
   ROICL_CHECK(!layers_.empty());
+  ROICL_DCHECK(row_rngs == nullptr ||
+               static_cast<int>(row_rngs->size()) == input.rows());
   Matrix activation = input;
   for (auto& layer : layers_) {
     activation = layer->ForwardRows(activation, mode, row_rngs);
+    ROICL_DCHECK(activation.rows() == input.rows());
   }
   return activation;
 }

@@ -73,8 +73,9 @@ TrainResult TrainNetwork(Network* net, const Matrix& x,
          start += static_cast<size_t>(config.batch_size)) {
       size_t end = std::min(order.size(),
                             start + static_cast<size_t>(config.batch_size));
-      std::vector<int> batch_index(order.begin() + start,
-                                   order.begin() + end);
+      std::vector<int> batch_index(
+          order.begin() + static_cast<ptrdiff_t>(start),
+          order.begin() + static_cast<ptrdiff_t>(end));
       Matrix batch = x.SelectRows(batch_index);
       Matrix preds = net->Forward(batch, Mode::kTrain, &rng);
       Matrix grad;

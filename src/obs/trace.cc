@@ -78,6 +78,8 @@ uint64_t TraceCollector::NowMicros() const {
           .count());
 }
 
+uint64_t MonotonicMicros() { return TraceCollector::Global().NowMicros(); }
+
 ScopedSpan::ScopedSpan(std::string_view name, std::string_view detail) {
   TraceCollector& collector = TraceCollector::Global();
   if (!collector.enabled()) return;

@@ -71,6 +71,14 @@ class TraceCollector {
   std::chrono::steady_clock::time_point epoch_;
 };
 
+/// Monotonic microseconds since process start (the trace collector's
+/// construction). This is the one sanctioned wall-clock read for library
+/// code: timing observability (latency histograms, throughput gauges)
+/// goes through here so tools/check_determinism.sh can ban every other
+/// `std::chrono::*_clock::now()` — clock reads must never feed
+/// computation, only metrics.
+uint64_t MonotonicMicros();
+
 /// RAII span: records the enclosing scope's duration under `name` when
 /// collection is enabled at construction time. Move/copy are disabled;
 /// spans live exactly as long as their scope.

@@ -11,16 +11,18 @@ namespace roicl::synth {
 double MultiTreatmentDataset::TrueRoi(int i, int arm) const {
   ROICL_CHECK(arm >= 1 && arm <= num_arms());
   ROICL_CHECK(i >= 0 && i < n());
-  double tau_c = true_tau_c[arm - 1][i];
+  double tau_c = true_tau_c[AsSize(arm - 1)][AsSize(i)];
   ROICL_CHECK(tau_c > 0.0);
-  return true_tau_r[arm - 1][i] / tau_c;
+  return true_tau_r[AsSize(arm - 1)][AsSize(i)] / tau_c;
 }
 
 RctDataset MultiTreatmentDataset::BinarySubproblem(int arm) const {
   ROICL_CHECK(arm >= 1 && arm <= num_arms());
   std::vector<int> keep;
   for (int i = 0; i < n(); ++i) {
-    if (treatment[i] == 0 || treatment[i] == arm) keep.push_back(i);
+    if (treatment[AsSize(i)] == 0 || treatment[AsSize(i)] == arm) {
+      keep.push_back(i);
+    }
   }
   RctDataset out;
   out.x = x.SelectRows(keep);
@@ -30,11 +32,12 @@ RctDataset MultiTreatmentDataset::BinarySubproblem(int arm) const {
   out.true_tau_r.reserve(keep.size());
   out.true_tau_c.reserve(keep.size());
   for (int i : keep) {
-    out.treatment.push_back(treatment[i] == arm ? 1 : 0);
-    out.y_revenue.push_back(y_revenue[i]);
-    out.y_cost.push_back(y_cost[i]);
-    out.true_tau_r.push_back(true_tau_r[arm - 1][i]);
-    out.true_tau_c.push_back(true_tau_c[arm - 1][i]);
+    const size_t si = AsSize(i);
+    out.treatment.push_back(treatment[si] == arm ? 1 : 0);
+    out.y_revenue.push_back(y_revenue[si]);
+    out.y_cost.push_back(y_cost[si]);
+    out.true_tau_r.push_back(true_tau_r[AsSize(arm - 1)][si]);
+    out.true_tau_c.push_back(true_tau_c[AsSize(arm - 1)][si]);
   }
   return out;
 }
@@ -62,12 +65,13 @@ MultiTreatmentGenerator::MultiTreatmentGenerator(
 
 double MultiTreatmentGenerator::TauC(const double* x, int arm) const {
   ROICL_CHECK(arm >= 1 && arm <= num_arms());
-  return arms_[arm - 1].cost_scale * base_.TauC(x);
+  return arms_[AsSize(arm - 1)].cost_scale * base_.TauC(x);
 }
 
 double MultiTreatmentGenerator::TauR(const double* x, int arm) const {
   ROICL_CHECK(arm >= 1 && arm <= num_arms());
-  double roi = Clamp(base_.Roi(x) + arms_[arm - 1].roi_shift, 0.02, 0.98);
+  double roi =
+      Clamp(base_.Roi(x) + arms_[AsSize(arm - 1)].roi_shift, 0.02, 0.98);
   return roi * TauC(x, arm);
 }
 
@@ -81,30 +85,31 @@ MultiTreatmentDataset MultiTreatmentGenerator::Generate(int n, bool shifted,
 
   MultiTreatmentDataset data;
   data.x = std::move(base_draw.x);
-  data.treatment.resize(n);
-  data.y_revenue.resize(n);
-  data.y_cost.resize(n);
-  data.true_tau_r.assign(num_arms(), std::vector<double>(n));
-  data.true_tau_c.assign(num_arms(), std::vector<double>(n));
+  data.treatment.resize(AsSize(n));
+  data.y_revenue.resize(AsSize(n));
+  data.y_cost.resize(AsSize(n));
+  data.true_tau_r.assign(AsSize(num_arms()), std::vector<double>(AsSize(n)));
+  data.true_tau_c.assign(AsSize(num_arms()), std::vector<double>(AsSize(n)));
 
   for (int i = 0; i < n; ++i) {
     const double* row = data.x.RowPtr(i);
+    const size_t si = AsSize(i);
     for (int k = 1; k <= num_arms(); ++k) {
-      data.true_tau_c[k - 1][i] = TauC(row, k);
-      data.true_tau_r[k - 1][i] = TauR(row, k);
+      data.true_tau_c[AsSize(k - 1)][si] = TauC(row, k);
+      data.true_tau_r[AsSize(k - 1)][si] = TauR(row, k);
     }
     // Uniform assignment over {control, arm 1, .., arm K}.
     int t = static_cast<int>(rng->UniformInt(
         static_cast<uint32_t>(num_arms() + 1)));
-    data.treatment[i] = t;
+    data.treatment[si] = t;
     double p_cost = base_.BaseCostRate(row);
     double p_rev = base_.BaseRevenueRate(row);
     if (t > 0) {
-      p_cost += data.true_tau_c[t - 1][i];
-      p_rev += data.true_tau_r[t - 1][i];
+      p_cost += data.true_tau_c[AsSize(t - 1)][si];
+      p_rev += data.true_tau_r[AsSize(t - 1)][si];
     }
-    data.y_cost[i] = rng->Bernoulli(Clamp(p_cost, 0.0, 0.99)) ? 1.0 : 0.0;
-    data.y_revenue[i] =
+    data.y_cost[si] = rng->Bernoulli(Clamp(p_cost, 0.0, 0.99)) ? 1.0 : 0.0;
+    data.y_revenue[si] =
         rng->Bernoulli(Clamp(p_rev, 0.0, 0.99)) ? 1.0 : 0.0;
   }
   return data;

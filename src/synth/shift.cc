@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "common/stats.h"
 
 namespace roicl::synth {
@@ -27,8 +28,10 @@ RctDataset ResampleWithCovariateShift(const RctDataset& dataset, int feature,
     weights[i] = std::exp(std::min(gamma * z, 30.0));
   }
 
-  std::vector<int> indices(n_out);
-  for (int i = 0; i < n_out; ++i) indices[i] = rng->Categorical(weights);
+  std::vector<int> indices(AsSize(n_out));
+  for (int i = 0; i < n_out; ++i) {
+    indices[AsSize(i)] = rng->Categorical(weights);
+  }
   return dataset.Subset(indices);
 }
 

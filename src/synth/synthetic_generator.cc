@@ -31,9 +31,9 @@ SyntheticGenerator::SyntheticGenerator(const SyntheticConfig& config)
   // the caller's RNG so different splits/sizes stay consistent with the
   // same underlying population.
   Rng structure_rng(config_.structure_seed, /*stream=*/17);
-  segment_means_.resize(config_.num_segments);
+  segment_means_.resize(AsSize(config_.num_segments));
   for (auto& mean : segment_means_) {
-    mean.resize(config_.num_features);
+    mean.resize(AsSize(config_.num_features));
     for (double& v : mean) {
       if (config_.feature_kind == FeatureKind::kDiscrete) {
         v = structure_rng.Uniform(1.0, 8.0);
@@ -44,7 +44,7 @@ SyntheticGenerator::SyntheticGenerator(const SyntheticConfig& config)
   }
   double scale = 1.0 / std::sqrt(static_cast<double>(basis_size_));
   auto draw_weights = [&](std::vector<double>* w) {
-    w->resize(basis_size_);
+    w->resize(AsSize(basis_size_));
     for (double& v : *w) v = structure_rng.Normal(0.0, 1.0) * scale;
   };
   draw_weights(&w_roi_);
@@ -56,7 +56,7 @@ SyntheticGenerator::SyntheticGenerator(const SyntheticConfig& config)
 void SyntheticGenerator::Basis(const double* x,
                                std::vector<double>* phi) const {
   int m = config_.num_informative;
-  phi->resize(basis_size_);
+  phi->resize(AsSize(basis_size_));
   // For discrete features, center around the segment-mean midpoint so the
   // basis has comparable scale to the continuous case.
   double center =
@@ -64,12 +64,13 @@ void SyntheticGenerator::Basis(const double* x,
   double spread =
       config_.feature_kind == FeatureKind::kDiscrete ? 2.5 : 1.5;
   for (int j = 0; j < m; ++j) {
-    (*phi)[j] = (x[j] - center) / spread;
+    (*phi)[AsSize(j)] = (x[j] - center) / spread;
   }
   for (int j = 0; j + 1 < m; ++j) {
-    (*phi)[m + j] = std::tanh((*phi)[j] * (*phi)[j + 1]);
+    (*phi)[AsSize(m + j)] =
+        std::tanh((*phi)[AsSize(j)] * (*phi)[AsSize(j + 1)]);
   }
-  (*phi)[2 * m - 1] = std::sin((*phi)[0] * 1.3);
+  (*phi)[AsSize(2 * m - 1)] = std::sin((*phi)[0] * 1.3);
 }
 
 double SyntheticGenerator::Roi(const double* x) const {
@@ -125,20 +126,22 @@ RctDataset SyntheticGenerator::Generate(int n, bool shifted,
                                            : config_.train_segment_weights;
   RctDataset dataset;
   dataset.x = Matrix(n, config_.num_features);
-  dataset.treatment.resize(n);
-  dataset.y_revenue.resize(n);
-  dataset.y_cost.resize(n);
-  dataset.true_tau_r.resize(n);
-  dataset.true_tau_c.resize(n);
-  dataset.segment.resize(n);
+  dataset.treatment.resize(AsSize(n));
+  dataset.y_revenue.resize(AsSize(n));
+  dataset.y_cost.resize(AsSize(n));
+  dataset.true_tau_r.resize(AsSize(n));
+  dataset.true_tau_c.resize(AsSize(n));
+  dataset.segment.resize(AsSize(n));
 
   for (int i = 0; i < n; ++i) {
+    const size_t si = AsSize(i);
     int seg = rng->Categorical(weights);
-    dataset.segment[i] = seg;
+    dataset.segment[si] = seg;
     double* row = dataset.x.RowPtr(i);
     for (int j = 0; j < config_.num_features; ++j) {
       double v =
-          segment_means_[seg][j] + rng->Normal(0.0, config_.feature_noise);
+          segment_means_[AsSize(seg)][AsSize(j)] +
+          rng->Normal(0.0, config_.feature_noise);
       if (config_.feature_kind == FeatureKind::kDiscrete) {
         v = Clamp(std::round(v), 0.0, 9.0);
       }
@@ -146,16 +149,17 @@ RctDataset SyntheticGenerator::Generate(int n, bool shifted,
     }
     double tau_c = TauC(row);
     double tau_r = TauR(row);
-    dataset.true_tau_c[i] = tau_c;
-    dataset.true_tau_r[i] = tau_r;
+    dataset.true_tau_c[si] = tau_c;
+    dataset.true_tau_r[si] = tau_r;
 
     int t = rng->Bernoulli(Propensity(row)) ? 1 : 0;
-    dataset.treatment[i] = t;
+    dataset.treatment[si] = t;
 
     double p_cost = BaseCostRate(row) + (t == 1 ? tau_c : 0.0);
     double p_rev = BaseRevenueRate(row) + (t == 1 ? tau_r : 0.0);
-    dataset.y_cost[i] = rng->Bernoulli(Clamp(p_cost, 0.0, 0.99)) ? 1.0 : 0.0;
-    dataset.y_revenue[i] =
+    dataset.y_cost[si] =
+        rng->Bernoulli(Clamp(p_cost, 0.0, 0.99)) ? 1.0 : 0.0;
+    dataset.y_revenue[si] =
         rng->Bernoulli(Clamp(p_rev, 0.0, 0.99)) ? 1.0 : 0.0;
   }
   return dataset;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 
@@ -37,7 +38,7 @@ ArmStats CollectStats(const std::vector<int>& treatment,
                       const std::vector<double>& y,
                       const std::vector<int>& index) {
   ArmStats stats;
-  for (int i : index) stats.Add(treatment[i], y[i]);
+  for (int i : index) stats.Add(treatment[AsSize(i)], y[AsSize(i)]);
   return stats;
 }
 
@@ -62,11 +63,11 @@ void CausalTree::Fit(const Matrix& x, const std::vector<int>& treatment,
 int CausalTree::Grow(const Matrix& x, const std::vector<int>& treatment,
                      const std::vector<double>& y, std::vector<int>&& index,
                      const CausalForestConfig& config, Rng* rng, int depth) {
-  int node_id = static_cast<int>(nodes_.size());
+  int node_id = AsInt(nodes_.size());
   nodes_.emplace_back();
   ArmStats node_stats = CollectStats(treatment, y, index);
-  nodes_[node_id].num_samples = node_stats.Total();
-  nodes_[node_id].value = node_stats.Tau();
+  nodes_[AsSize(node_id)].num_samples = node_stats.Total();
+  nodes_[AsSize(node_id)].value = node_stats.Tau();
 
   if (depth >= config.tree.max_depth ||
       node_stats.Total() < 2 * config.tree.min_samples_leaf ||
@@ -90,7 +91,9 @@ int CausalTree::Grow(const Matrix& x, const std::vector<int>& treatment,
     for (double threshold : thresholds) {
       ArmStats left;
       for (int i : index) {
-        if (x(i, feature) <= threshold) left.Add(treatment[i], y[i]);
+        if (x(i, feature) <= threshold) {
+          left.Add(treatment[AsSize(i)], y[AsSize(i)]);
+        }
       }
       ArmStats right;
       right.sum1 = node_stats.sum1 - left.sum1;
@@ -126,10 +129,11 @@ int CausalTree::Grow(const Matrix& x, const std::vector<int>& treatment,
                   depth + 1);
   int right = Grow(x, treatment, y, std::move(right_index), config, rng,
                    depth + 1);
-  nodes_[node_id].feature = best_feature;
-  nodes_[node_id].threshold = best_threshold;
-  nodes_[node_id].left = left;
-  nodes_[node_id].right = right;
+  TreeNode& node = nodes_[AsSize(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
   return node_id;
 }
 
@@ -144,13 +148,13 @@ void CausalTree::HonestReestimate(const Matrix& x,
   std::vector<ArmStats> leaf_stats(nodes_.size());
   for (int i : estimate_index) {
     const double* row = x.RowPtr(i);
-    int node = 0;
+    size_t node = 0;
     while (!nodes_[node].is_leaf()) {
-      node = row[nodes_[node].feature] <= nodes_[node].threshold
-                 ? nodes_[node].left
-                 : nodes_[node].right;
+      node = AsSize(row[nodes_[node].feature] <= nodes_[node].threshold
+                        ? nodes_[node].left
+                        : nodes_[node].right);
     }
-    leaf_stats[node].Add(treatment[i], y[i]);
+    leaf_stats[node].Add(treatment[AsSize(i)], y[AsSize(i)]);
   }
   for (size_t n = 0; n < nodes_.size(); ++n) {
     if (nodes_[n].is_leaf() && leaf_stats[n].n1 > 0 &&
@@ -186,25 +190,25 @@ void CausalForest::Fit(const Matrix& x, const std::vector<int>& treatment,
 
   Rng seeder(config.seed, /*stream=*/19);
   std::vector<Rng> tree_rngs;
-  tree_rngs.reserve(config.num_trees);
+  tree_rngs.reserve(AsSize(config.num_trees));
   for (int t = 0; t < config.num_trees; ++t) {
     tree_rngs.push_back(seeder.Split());
   }
 
-  trees_.assign(config.num_trees, CausalTree());
+  trees_.assign(AsSize(config.num_trees), CausalTree());
   GlobalThreadPool().ParallelFor(0, config.num_trees, [&](int t) {
-    Rng& rng = tree_rngs[t];
+    Rng& rng = tree_rngs[AsSize(t)];
     std::vector<int> sample = rng.SampleWithoutReplacement(n, subsample);
     std::vector<int> split_index, estimate_index;
     if (config.honest) {
-      size_t half = sample.size() / 2;
+      auto half = static_cast<ptrdiff_t>(sample.size() / 2);
       split_index.assign(sample.begin(), sample.begin() + half);
       estimate_index.assign(sample.begin() + half, sample.end());
     } else {
       split_index = sample;
     }
-    trees_[t].Fit(x, treatment, y, split_index, estimate_index, config,
-                  &rng);
+    trees_[AsSize(t)].Fit(x, treatment, y, split_index, estimate_index,
+                          config, &rng);
   });
 }
 
@@ -217,9 +221,9 @@ double CausalForest::PredictCate(const double* row) const {
 
 std::vector<double> CausalForest::PredictCate(const Matrix& x) const {
   ROICL_CHECK_MSG(fitted(), "PredictCate() before Fit()");
-  std::vector<double> out(x.rows());
+  std::vector<double> out(AsSize(x.rows()));
   GlobalThreadPool().ParallelFor(0, x.rows(), [&](int r) {
-    out[r] = PredictCate(x.RowPtr(r));
+    out[AsSize(r)] = PredictCate(x.RowPtr(r));
   });
   return out;
 }
@@ -233,9 +237,9 @@ double CausalForest::PredictCateStdDev(const double* row) const {
 
 std::vector<double> CausalForest::PredictCateStdDev(const Matrix& x) const {
   ROICL_CHECK_MSG(fitted(), "PredictCateStdDev() before Fit()");
-  std::vector<double> out(x.rows());
+  std::vector<double> out(AsSize(x.rows()));
   GlobalThreadPool().ParallelFor(0, x.rows(), [&](int r) {
-    out[r] = PredictCateStdDev(x.RowPtr(r));
+    out[AsSize(r)] = PredictCateStdDev(x.RowPtr(r));
   });
   return out;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "common/thread_pool.h"
 
 namespace roicl::trees {
@@ -29,19 +30,20 @@ void RandomForestRegressor::Fit(const Matrix& x,
   // scheduling.
   Rng seeder(config_.seed, /*stream=*/11);
   std::vector<Rng> tree_rngs;
-  tree_rngs.reserve(config_.num_trees);
+  tree_rngs.reserve(AsSize(config_.num_trees));
   for (int t = 0; t < config_.num_trees; ++t) {
     tree_rngs.push_back(seeder.Split());
   }
 
-  trees_.assign(config_.num_trees, RegressionTree());
+  trees_.assign(AsSize(config_.num_trees), RegressionTree());
   GlobalThreadPool().ParallelFor(0, config_.num_trees, [&](int t) {
-    Rng& rng = tree_rngs[t];
-    std::vector<int> bag(bag_size);
+    Rng& rng = tree_rngs[AsSize(t)];
+    std::vector<int> bag(AsSize(bag_size));
     for (int i = 0; i < bag_size; ++i) {
-      bag[i] = static_cast<int>(rng.UniformInt(static_cast<uint32_t>(n)));
+      bag[AsSize(i)] =
+          static_cast<int>(rng.UniformInt(static_cast<uint32_t>(n)));
     }
-    trees_[t].Fit(x, y, bag, tree_config, &rng);
+    trees_[AsSize(t)].Fit(x, y, bag, tree_config, &rng);
   });
 }
 
@@ -54,9 +56,9 @@ double RandomForestRegressor::Predict(const double* row) const {
 
 std::vector<double> RandomForestRegressor::Predict(const Matrix& x) const {
   ROICL_CHECK_MSG(fitted(), "Predict() before Fit()");
-  std::vector<double> out(x.rows());
+  std::vector<double> out(AsSize(x.rows()));
   GlobalThreadPool().ParallelFor(0, x.rows(), [&](int r) {
-    out[r] = Predict(x.RowPtr(r));
+    out[AsSize(r)] = Predict(x.RowPtr(r));
   });
   return out;
 }

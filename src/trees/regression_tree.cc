@@ -3,13 +3,14 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::trees {
 namespace {
 
 double MeanOf(const std::vector<double>& y, const std::vector<int>& index) {
   double sum = 0.0;
-  for (int i : index) sum += y[i];
+  for (int i : index) sum += y[AsSize(i)];
   return index.empty() ? 0.0 : sum / static_cast<double>(index.size());
 }
 
@@ -28,10 +29,11 @@ void RegressionTree::Fit(const Matrix& x, const std::vector<double>& y,
 int RegressionTree::Grow(const Matrix& x, const std::vector<double>& y,
                          std::vector<int>&& index, const TreeConfig& config,
                          Rng* rng, int depth) {
-  int node_id = static_cast<int>(nodes_.size());
+  int node_id = AsInt(nodes_.size());
   nodes_.emplace_back();
-  nodes_[node_id].num_samples = static_cast<int>(index.size());
-  nodes_[node_id].value = MeanOf(y, index);
+  TreeNode& root = nodes_[AsSize(node_id)];
+  root.num_samples = AsInt(index.size());
+  root.value = MeanOf(y, index);
 
   if (depth >= config.max_depth ||
       static_cast<int>(index.size()) < 2 * config.min_samples_leaf) {
@@ -47,7 +49,7 @@ int RegressionTree::Grow(const Matrix& x, const std::vector<double>& y,
   std::vector<int> features =
       SampleFeatures(x.cols(), config.max_features, rng);
   double parent_sum = 0.0;
-  for (int i : index) parent_sum += y[i];
+  for (int i : index) parent_sum += y[AsSize(i)];
   double n_total = static_cast<double>(index.size());
   double parent_score = parent_sum * parent_sum / n_total;
 
@@ -59,7 +61,7 @@ int RegressionTree::Grow(const Matrix& x, const std::vector<double>& y,
       int n_left = 0;
       for (int i : index) {
         if (x(i, feature) <= threshold) {
-          sum_left += y[i];
+          sum_left += y[AsSize(i)];
           ++n_left;
         }
       }
@@ -94,10 +96,11 @@ int RegressionTree::Grow(const Matrix& x, const std::vector<double>& y,
 
   int left = Grow(x, y, std::move(left_index), config, rng, depth + 1);
   int right = Grow(x, y, std::move(right_index), config, rng, depth + 1);
-  nodes_[node_id].feature = best_feature;
-  nodes_[node_id].threshold = best_threshold;
-  nodes_[node_id].left = left;
-  nodes_[node_id].right = right;
+  TreeNode& node = nodes_[AsSize(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
   return node_id;
 }
 
@@ -107,8 +110,8 @@ double RegressionTree::Predict(const double* row) const {
 }
 
 std::vector<double> RegressionTree::Predict(const Matrix& x) const {
-  std::vector<double> out(x.rows());
-  for (int r = 0; r < x.rows(); ++r) out[r] = Predict(x.RowPtr(r));
+  std::vector<double> out(AsSize(x.rows()));
+  for (int r = 0; r < x.rows(); ++r) out[AsSize(r)] = Predict(x.RowPtr(r));
   return out;
 }
 

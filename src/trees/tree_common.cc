@@ -3,15 +3,16 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::trees {
 
 double PredictTree(const std::vector<TreeNode>& nodes, const double* row) {
   ROICL_DCHECK(!nodes.empty());
-  int node = 0;
+  size_t node = 0;
   while (!nodes[node].is_leaf()) {
     const TreeNode& n = nodes[node];
-    node = row[n.feature] <= n.threshold ? n.left : n.right;
+    node = AsSize(row[n.feature] <= n.threshold ? n.left : n.right);
   }
   return nodes[node].value;
 }
@@ -27,11 +28,12 @@ std::vector<double> CandidateThresholds(const Matrix& x,
   if (values.front() == values.back()) return {};
 
   std::vector<double> thresholds;
-  thresholds.reserve(num_candidates);
+  thresholds.reserve(AsSize(num_candidates));
   // Midpoints of an evenly spaced quantile grid; duplicates collapse.
   for (int k = 1; k <= num_candidates; ++k) {
     size_t pos = static_cast<size_t>(
-        static_cast<double>(k) / (num_candidates + 1) * (values.size() - 1));
+        static_cast<double>(k) / (num_candidates + 1) *
+        static_cast<double>(values.size() - 1));
     double v = values[pos];
     if (v >= values.back()) continue;  // would send everything left
     if (thresholds.empty() || thresholds.back() != v) thresholds.push_back(v);
@@ -42,8 +44,8 @@ std::vector<double> CandidateThresholds(const Matrix& x,
 std::vector<int> SampleFeatures(int num_features, int max_features,
                                 Rng* rng) {
   if (max_features <= 0 || max_features >= num_features) {
-    std::vector<int> all(num_features);
-    for (int i = 0; i < num_features; ++i) all[i] = i;
+    std::vector<int> all(AsSize(num_features));
+    for (int i = 0; i < num_features; ++i) all[AsSize(i)] = i;
     return all;
   }
   ROICL_CHECK(rng != nullptr);

@@ -1,6 +1,7 @@
 #include "uplift/meta_learners.h"
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::uplift {
 namespace {
@@ -20,7 +21,7 @@ std::vector<double> SelectValues(const std::vector<double>& values,
                                  const std::vector<int>& indices) {
   std::vector<double> out;
   out.reserve(indices.size());
-  for (int i : indices) out.push_back(values[i]);
+  for (int i : indices) out.push_back(values[AsSize(i)]);
   return out;
 }
 
@@ -32,7 +33,7 @@ void SLearner::Fit(const Matrix& x, const std::vector<int>& treatment,
   ROICL_CHECK(treatment.size() == y.size());
   Matrix t_col(x.rows(), 1);
   for (int r = 0; r < x.rows(); ++r) {
-    t_col(r, 0) = static_cast<double>(treatment[r]);
+    t_col(r, 0) = static_cast<double>(treatment[AsSize(r)]);
   }
   Matrix augmented = HStack(x, t_col);
   model_ = base_factory_();
@@ -45,8 +46,10 @@ std::vector<double> SLearner::PredictCate(const Matrix& x) const {
   Matrix zeros(x.rows(), 1, 0.0);
   std::vector<double> mu1 = model_->Predict(HStack(x, ones));
   std::vector<double> mu0 = model_->Predict(HStack(x, zeros));
-  std::vector<double> tau(x.rows());
-  for (int i = 0; i < x.rows(); ++i) tau[i] = mu1[i] - mu0[i];
+  std::vector<double> tau(AsSize(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) {
+    tau[AsSize(i)] = mu1[AsSize(i)] - mu0[AsSize(i)];
+  }
   return tau;
 }
 
@@ -67,8 +70,10 @@ std::vector<double> TLearner::PredictCate(const Matrix& x) const {
                   "PredictCate() before Fit()");
   std::vector<double> mu1 = mu1_->Predict(x);
   std::vector<double> mu0 = mu0_->Predict(x);
-  std::vector<double> tau(x.rows());
-  for (int i = 0; i < x.rows(); ++i) tau[i] = mu1[i] - mu0[i];
+  std::vector<double> tau(AsSize(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) {
+    tau[AsSize(i)] = mu1[AsSize(i)] - mu0[AsSize(i)];
+  }
   return tau;
 }
 
@@ -91,11 +96,11 @@ void XLearner::Fit(const Matrix& x, const std::vector<int>& treatment,
   std::vector<double> mu1_on_control = stage1.mu1()->Predict(x_control);
   std::vector<double> d1(treated.size());
   for (size_t i = 0; i < treated.size(); ++i) {
-    d1[i] = y[treated[i]] - mu0_on_treated[i];
+    d1[i] = y[AsSize(treated[i])] - mu0_on_treated[i];
   }
   std::vector<double> d0(control.size());
   for (size_t i = 0; i < control.size(); ++i) {
-    d0[i] = mu1_on_control[i] - y[control[i]];
+    d0[i] = mu1_on_control[i] - y[AsSize(control[i])];
   }
   tau1_ = base_factory_();
   tau1_->Fit(x_treated, d1);
@@ -111,9 +116,10 @@ std::vector<double> XLearner::PredictCate(const Matrix& x) const {
                   "PredictCate() before Fit()");
   std::vector<double> t0 = tau0_->Predict(x);
   std::vector<double> t1 = tau1_->Predict(x);
-  std::vector<double> tau(x.rows());
+  std::vector<double> tau(AsSize(x.rows()));
   for (int i = 0; i < x.rows(); ++i) {
-    tau[i] = propensity_ * t0[i] + (1.0 - propensity_) * t1[i];
+    tau[AsSize(i)] =
+        propensity_ * t0[AsSize(i)] + (1.0 - propensity_) * t1[AsSize(i)];
   }
   return tau;
 }

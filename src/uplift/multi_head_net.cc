@@ -1,6 +1,7 @@
 #include "uplift/multi_head_net.h"
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::uplift {
 
@@ -13,7 +14,7 @@ Matrix MultiHeadNet::Forward(const Matrix& input, nn::Mode mode, Rng* rng) {
   Matrix rep = trunk_.Forward(input, mode, rng);
   Matrix out(input.rows(), num_heads());
   for (int h = 0; h < num_heads(); ++h) {
-    Matrix head_out = heads_[h].Forward(rep, mode, rng);
+    Matrix head_out = heads_[AsSize(h)].Forward(rep, mode, rng);
     ROICL_CHECK_MSG(head_out.cols() == 1,
                     "each head must output one column");
     for (int r = 0; r < out.rows(); ++r) out(r, h) = head_out(r, 0);
@@ -23,10 +24,13 @@ Matrix MultiHeadNet::Forward(const Matrix& input, nn::Mode mode, Rng* rng) {
 
 Matrix MultiHeadNet::ForwardRows(const Matrix& input, nn::Mode mode,
                                  nn::RowRngs* row_rngs) {
+  ROICL_DCHECK(row_rngs == nullptr ||
+               static_cast<int>(row_rngs->size()) == input.rows());
   Matrix rep = trunk_.ForwardRows(input, mode, row_rngs);
+  ROICL_DCHECK(rep.rows() == input.rows());
   Matrix out(input.rows(), num_heads());
   for (int h = 0; h < num_heads(); ++h) {
-    Matrix head_out = heads_[h].ForwardRows(rep, mode, row_rngs);
+    Matrix head_out = heads_[AsSize(h)].ForwardRows(rep, mode, row_rngs);
     ROICL_CHECK_MSG(head_out.cols() == 1,
                     "each head must output one column");
     for (int r = 0; r < out.rows(); ++r) out(r, h) = head_out(r, 0);
@@ -42,7 +46,7 @@ Matrix MultiHeadNet::Backward(const Matrix& grad_output) {
     for (int r = 0; r < grad_output.rows(); ++r) {
       head_grad(r, 0) = grad_output(r, h);
     }
-    Matrix g = heads_[h].Backward(head_grad);
+    Matrix g = heads_[AsSize(h)].Backward(head_grad);
     if (h == 0) {
       grad_rep = std::move(g);
     } else {

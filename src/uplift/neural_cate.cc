@@ -24,9 +24,9 @@ class FactualMseLoss : public nn::BatchLoss {
     double n = static_cast<double>(preds.rows());
     double loss = 0.0;
     for (int i = 0; i < preds.rows(); ++i) {
-      int row = index[i];
-      int col = (*treatment_)[row];
-      double diff = preds(i, col) - (*y_)[row];
+      int row = index[AsSize(i)];
+      int col = (*treatment_)[AsSize(row)];
+      double diff = preds(i, col) - (*y_)[AsSize(row)];
       loss += diff * diff;
       (*grad)(i, col) = 2.0 * diff / n;
     }
@@ -54,9 +54,9 @@ class DragonnetLoss : public nn::BatchLoss {
     double n = static_cast<double>(preds.rows());
     double loss = 0.0;
     for (int i = 0; i < preds.rows(); ++i) {
-      int row = index[i];
-      int t = (*treatment_)[row];
-      double diff = preds(i, t) - (*y_)[row];
+      int row = index[AsSize(i)];
+      int t = (*treatment_)[AsSize(row)];
+      double diff = preds(i, t) - (*y_)[AsSize(row)];
       loss += diff * diff;
       (*grad)(i, t) = 2.0 * diff / n;
 
@@ -90,10 +90,10 @@ class OffsetLoss : public nn::BatchLoss {
     double n = static_cast<double>(preds.rows());
     double loss = 0.0;
     for (int i = 0; i < preds.rows(); ++i) {
-      int row = index[i];
-      double t = static_cast<double>((*treatment_)[row]);
+      int row = index[AsSize(i)];
+      double t = static_cast<double>((*treatment_)[AsSize(row)]);
       double y_hat = preds(i, 0) + t * preds(i, 1);
-      double diff = y_hat - (*y_)[row];
+      double diff = y_hat - (*y_)[AsSize(row)];
       loss += diff * diff;
       (*grad)(i, 0) = 2.0 * diff / n;
       (*grad)(i, 1) = 2.0 * diff * t / n;
@@ -200,7 +200,7 @@ std::unique_ptr<nn::Network> BuildNet(NeuralCateKind kind, int input_dim,
                                    config.activation, config.dropout, rng);
   int num_heads = kind == NeuralCateKind::kDragonnet ? 3 : 2;
   std::vector<nn::Mlp> heads;
-  heads.reserve(num_heads);
+  heads.reserve(AsSize(num_heads));
   for (int h = 0; h < num_heads; ++h) {
     heads.push_back(nn::Mlp::MakeMlp(rep_dim, config.head_hidden, 1,
                                      config.activation, config.dropout,
@@ -259,11 +259,15 @@ std::vector<double> NeuralCate::PredictCate(const Matrix& x) const {
   ROICL_CHECK_MSG(net_ != nullptr, "PredictCate() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
   Matrix preds = nn::BatchedInferForward(net_.get(), x_scaled);
-  std::vector<double> tau(x.rows());
+  std::vector<double> tau(AsSize(x.rows()));
   if (kind_ == NeuralCateKind::kOffsetnet) {
-    for (int i = 0; i < x.rows(); ++i) tau[i] = preds(i, 1);  // delta head
+    for (int i = 0; i < x.rows(); ++i) {
+      tau[AsSize(i)] = preds(i, 1);  // delta head
+    }
   } else {
-    for (int i = 0; i < x.rows(); ++i) tau[i] = preds(i, 1) - preds(i, 0);
+    for (int i = 0; i < x.rows(); ++i) {
+      tau[AsSize(i)] = preds(i, 1) - preds(i, 0);
+    }
   }
   return tau;
 }

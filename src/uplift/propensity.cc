@@ -24,8 +24,8 @@ void PropensityModel::Fit(const Matrix& x,
     targets[i] = static_cast<double>(treatment[i]);
   }
   nn::BceWithLogitsLoss loss(&targets);
-  std::vector<int> index(x.rows());
-  for (int i = 0; i < x.rows(); ++i) index[i] = i;
+  std::vector<int> index(AsSize(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) index[AsSize(i)] = i;
   nn::TrainNetwork(net_.get(), x_scaled, index, {}, loss, config_.train);
 }
 
@@ -33,9 +33,9 @@ std::vector<double> PropensityModel::Predict(const Matrix& x) const {
   ROICL_CHECK_MSG(fitted(), "Predict() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
   Matrix out = nn::BatchedInferForward(net_.get(), x_scaled);
-  std::vector<double> e(x.rows());
+  std::vector<double> e(AsSize(x.rows()));
   for (int i = 0; i < x.rows(); ++i) {
-    e[i] = Clamp(Sigmoid(out(i, 0)), config_.clip_lo, config_.clip_hi);
+    e[AsSize(i)] = Clamp(Sigmoid(out(i, 0)), config_.clip_lo, config_.clip_hi);
   }
   return e;
 }

@@ -1,6 +1,7 @@
 #include "uplift/regressor.h"
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "linalg/solve.h"
 
 namespace roicl::uplift {
@@ -16,13 +17,13 @@ void RidgeRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
 std::vector<double> RidgeRegressor::Predict(const Matrix& x) const {
   ROICL_CHECK_MSG(!weights_.empty(), "Predict() before Fit()");
   ROICL_CHECK(x.cols() + 1 == static_cast<int>(weights_.size()));
-  std::vector<double> out(x.rows());
+  std::vector<double> out(AsSize(x.rows()));
   double intercept = weights_.back();
   for (int r = 0; r < x.rows(); ++r) {
     const double* row = x.RowPtr(r);
     double acc = intercept;
-    for (int c = 0; c < x.cols(); ++c) acc += row[c] * weights_[c];
-    out[r] = acc;
+    for (int c = 0; c < x.cols(); ++c) acc += row[c] * weights_[AsSize(c)];
+    out[AsSize(r)] = acc;
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 
 namespace roicl::uplift {
 
@@ -27,9 +28,11 @@ std::vector<double> TpmRoiModel::PredictRoi(const Matrix& x) const {
                   "PredictRoi() before Fit()");
   std::vector<double> tau_r = revenue_model_->PredictCate(x);
   std::vector<double> tau_c = cost_model_->PredictCate(x);
-  std::vector<double> roi(x.rows());
+  std::vector<double> roi(AsSize(x.rows()));
   for (int i = 0; i < x.rows(); ++i) {
-    roi[i] = tau_r[i] / std::max(tau_c[i], cost_floor_);
+    roi[AsSize(i)] =
+        tau_r[AsSize(i)] / std::max(tau_c[AsSize(i)], cost_floor_);
+    ROICL_DCHECK_FINITE(roi[AsSize(i)]);
   }
   return roi;
 }

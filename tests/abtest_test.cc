@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "core/drp_model.h"
 #include "core/rdrp.h"
 
@@ -16,9 +17,9 @@ class OracleModel : public uplift::RoiModel {
       : generator_(generator) {}
   void Fit(const RctDataset&) override {}
   std::vector<double> PredictRoi(const Matrix& x) const override {
-    std::vector<double> roi(x.rows());
+    std::vector<double> roi(AsSize(x.rows()));
     for (int i = 0; i < x.rows(); ++i) {
-      roi[i] = generator_->Roi(x.RowPtr(i));
+      roi[AsSize(i)] = generator_->Roi(x.RowPtr(i));
     }
     return roi;
   }

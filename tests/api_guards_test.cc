@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "abtest/simulator.h"
 #include "core/calibration.h"
 #include "core/rdrp.h"
@@ -133,11 +134,11 @@ TEST(CoreGuardsTest, ZeroMarginRestoresPaperArgmax) {
   int n = 4000;
   RctDataset calib;
   calib.x = Matrix(n, 1);
-  std::vector<double> roi_hat(n), rq(n);
+  std::vector<double> roi_hat(AsSize(n)), rq(AsSize(n));
   for (int i = 0; i < n; ++i) {
     double true_roi = rng.Uniform(0.1, 0.9);
-    roi_hat[i] = 0.5;                  // useless point estimate
-    rq[i] = true_roi;                  // all signal in the "interval" term
+    roi_hat[AsSize(i)] = 0.5;                  // useless point estimate
+    rq[AsSize(i)] = true_roi;                  // all signal in the "interval" term
     int t = rng.Bernoulli(0.5) ? 1 : 0;
     calib.treatment.push_back(t);
     calib.y_cost.push_back(rng.Bernoulli(0.2 + t * 0.3) ? 1.0 : 0.0);
@@ -157,7 +158,7 @@ TEST(AbTestGuardsTest, RejectsBadConfig) {
    public:
     void Fit(const RctDataset&) override {}
     std::vector<double> PredictRoi(const Matrix& x) const override {
-      return std::vector<double>(x.rows(), 0.5);
+      return std::vector<double>(AsSize(x.rows()), 0.5);
     }
     std::string name() const override { return "dummy"; }
   };

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "metrics/cost_curve.h"
 #include "synth/synthetic_generator.h"
@@ -58,12 +59,12 @@ TEST(SelectCalibrationFormTest, SelectionMaximizesCalibrationAucc) {
 
   // A noisy point estimate and an uncertainty that is informative: large
   // where the point estimate is corrupted.
-  std::vector<double> roi_hat(calib.n()), rq(calib.n());
+  std::vector<double> roi_hat(AsSize(calib.n())), rq(AsSize(calib.n()));
   for (int i = 0; i < calib.n(); ++i) {
     double truth = calib.TrueRoi(i);
     bool corrupted = rng.Bernoulli(0.4);
-    roi_hat[i] = corrupted ? rng.Uniform(0.0, 1.0) : truth;
-    rq[i] = corrupted ? 0.5 + 0.2 * rng.Uniform() : 0.05 * rng.Uniform();
+    roi_hat[AsSize(i)] = corrupted ? rng.Uniform(0.0, 1.0) : truth;
+    rq[AsSize(i)] = corrupted ? 0.5 + 0.2 * rng.Uniform() : 0.05 * rng.Uniform();
   }
   CalibrationForm best = SelectCalibrationForm(roi_hat, rq, calib);
   double best_aucc = metrics::Aucc(
@@ -82,10 +83,10 @@ TEST(SelectCalibrationFormTest, NeverWorseThanRawOnSelectionSet) {
   synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
   Rng rng(4);
   RctDataset calib = generator.Generate(2000, false, &rng);
-  std::vector<double> roi_hat(calib.n()), rq(calib.n());
+  std::vector<double> roi_hat(AsSize(calib.n())), rq(AsSize(calib.n()));
   for (int i = 0; i < calib.n(); ++i) {
-    roi_hat[i] = rng.Uniform();
-    rq[i] = rng.Uniform(0.0, 0.3);
+    roi_hat[AsSize(i)] = rng.Uniform();
+    rq[AsSize(i)] = rng.Uniform(0.0, 0.3);
   }
   CalibrationForm best = SelectCalibrationForm(roi_hat, rq, calib);
   EXPECT_GE(metrics::Aucc(ApplyCalibrationForm(best, roi_hat, rq), calib),

@@ -1,7 +1,7 @@
 #!/bin/bash
 # End-to-end smoke test of the roicl CLI: generate -> train -> predict ->
 # evaluate -> allocate. Run by ctest with the build dir as argument.
-set -e
+set -euo pipefail
 BUILD_DIR="$1"
 WORK=$(mktemp -d)
 trap "rm -rf $WORK" EXIT

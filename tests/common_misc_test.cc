@@ -93,7 +93,7 @@ TEST(ThreadPoolTest, WaitIsReusable) {
 TEST(ThreadPoolTest, ParallelForCoversRange) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(257);
-  pool.ParallelFor(0, 257, [&hits](int i) { hits[i].fetch_add(1); });
+  pool.ParallelFor(0, 257, [&hits](int i) { hits[AsSize(i)].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 

@@ -76,11 +76,11 @@ TEST_P(ConformalCoverageProperty, EmpiricalCoverageMeetsNominalLevel) {
   std::vector<double> coverages;
   coverages.reserve(kSeedsPerSetting);
   for (int s = 0; s < kSeedsPerSetting; ++s) {
-    coverages.push_back(RunOnce(GetParam(), /*seed=*/1000 + 77 * s));
+    coverages.push_back(RunOnce(GetParam(), /*seed=*/1000 + 77 * static_cast<uint64_t>(s)));
   }
 
   double mean = std::accumulate(coverages.begin(), coverages.end(), 0.0) /
-                coverages.size();
+                static_cast<double>(coverages.size());
 
   // The guarantee is marginal over calibration draws, so individual runs
   // fluctuate; and our deployment target (the *test* split's roi*)
@@ -108,8 +108,8 @@ TEST_P(ConformalCoverageProperty, EmpiricalCoverageMeetsNominalLevel) {
 INSTANTIATE_TEST_SUITE_P(SufficientSettings, ConformalCoverageProperty,
                          ::testing::Values(exp::Setting::kSuNo,
                                            exp::Setting::kSuCo),
-                         [](const auto& info) {
-                           return exp::SettingName(info.param);
+                         [](const auto& param_info) {
+                           return exp::SettingName(param_info.param);
                          });
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "metrics/coverage.h"
 
@@ -14,11 +15,11 @@ namespace {
 void MakeData(int n, uint64_t seed, Matrix* x, std::vector<double>* y) {
   Rng rng(seed);
   *x = Matrix(n, 1);
-  y->resize(n);
+  y->resize(AsSize(n));
   for (int i = 0; i < n; ++i) {
     double xi = rng.Uniform(-2.0, 2.0);
     (*x)(i, 0) = xi;
-    (*y)[i] =
+    (*y)[AsSize(i)] =
         std::sin(2.0 * xi) + (0.1 + 0.4 * std::fabs(xi)) * rng.Normal();
   }
 }

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "data/csv.h"
 #include "data/dataset.h"
@@ -15,18 +16,18 @@ namespace {
 RctDataset MakeToyDataset(int n, Rng* rng) {
   RctDataset dataset;
   dataset.x = Matrix(n, 3);
-  dataset.treatment.resize(n);
-  dataset.y_revenue.resize(n);
-  dataset.y_cost.resize(n);
-  dataset.true_tau_r.resize(n);
-  dataset.true_tau_c.resize(n);
+  dataset.treatment.resize(AsSize(n));
+  dataset.y_revenue.resize(AsSize(n));
+  dataset.y_cost.resize(AsSize(n));
+  dataset.true_tau_r.resize(AsSize(n));
+  dataset.true_tau_c.resize(AsSize(n));
   for (int i = 0; i < n; ++i) {
     for (int c = 0; c < 3; ++c) dataset.x(i, c) = rng->Normal();
-    dataset.treatment[i] = rng->Bernoulli(0.5) ? 1 : 0;
-    dataset.y_revenue[i] = rng->Uniform();
-    dataset.y_cost[i] = rng->Uniform();
-    dataset.true_tau_r[i] = 0.1 + 0.1 * rng->Uniform();
-    dataset.true_tau_c[i] = 0.3 + 0.1 * rng->Uniform();
+    dataset.treatment[AsSize(i)] = rng->Bernoulli(0.5) ? 1 : 0;
+    dataset.y_revenue[AsSize(i)] = rng->Uniform();
+    dataset.y_cost[AsSize(i)] = rng->Uniform();
+    dataset.true_tau_r[AsSize(i)] = 0.1 + 0.1 * rng->Uniform();
+    dataset.true_tau_c[AsSize(i)] = 0.3 + 0.1 * rng->Uniform();
   }
   return dataset;
 }
@@ -46,7 +47,7 @@ TEST(RctDatasetTest, TrueRoiIsRatio) {
   RctDataset dataset = MakeToyDataset(10, &rng);
   for (int i = 0; i < 10; ++i) {
     EXPECT_NEAR(dataset.TrueRoi(i),
-                dataset.true_tau_r[i] / dataset.true_tau_c[i], 1e-12);
+                dataset.true_tau_r[AsSize(i)] / dataset.true_tau_c[AsSize(i)], 1e-12);
   }
 }
 
@@ -172,7 +173,7 @@ TEST(CsvTest, RoundTripWithGroundTruth) {
   EXPECT_EQ(got.segment, dataset.segment);
   for (int i = 0; i < 40; ++i) {
     EXPECT_NEAR(got.x(i, 1), dataset.x(i, 1), 1e-9);
-    EXPECT_NEAR(got.true_tau_r[i], dataset.true_tau_r[i], 1e-9);
+    EXPECT_NEAR(got.true_tau_r[AsSize(i)], dataset.true_tau_r[AsSize(i)], 1e-9);
   }
   std::remove(path.c_str());
 }

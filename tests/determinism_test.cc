@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "core/drp_model.h"
 #include "core/mc_dropout.h"
 #include "core/rdrp.h"
@@ -128,12 +129,12 @@ TEST(BatchForwardDeterminism, MatchesPerRowForward) {
   Matrix x = RandomMatrix(151, 7, /*seed=*/62);
 
   // Per-row reference: forward each row alone in inference mode.
-  std::vector<double> per_row(x.rows());
+  std::vector<double> per_row(AsSize(x.rows()));
   for (int r = 0; r < x.rows(); ++r) {
     Matrix row(1, x.cols());
     for (int c = 0; c < x.cols(); ++c) row(0, c) = x(r, c);
     Matrix out = net.Forward(row, nn::Mode::kInfer, nullptr);
-    per_row[r] = out(0, 0);
+    per_row[AsSize(r)] = out(0, 0);
   }
 
   for (int threads : kThreadSettings) {
@@ -147,7 +148,7 @@ TEST(BatchForwardDeterminism, MatchesPerRowForward) {
       // ISSUE tolerance: batch forward must match the per-row forward to
       // 1e-12. (The dot products run in identical order, so in practice
       // the match is exact.)
-      EXPECT_NEAR(batched(r, 0), per_row[r], 1e-12) << "row " << r;
+      EXPECT_NEAR(batched(r, 0), per_row[AsSize(r)], 1e-12) << "row " << r;
     }
   }
 }
@@ -230,9 +231,9 @@ TEST_F(PipelineDeterminismTest, RdrpTwoSameSeedRunsIdentical) {
 
 TEST(ForestDeterminism, BatchedPredictMatchesPerRow) {
   Matrix x = RandomMatrix(300, 4, /*seed=*/81);
-  std::vector<double> y(x.rows());
+  std::vector<double> y(AsSize(x.rows()));
   for (int r = 0; r < x.rows(); ++r) {
-    y[r] = x(r, 0) + 0.5 * x(r, 1) * x(r, 2);
+    y[AsSize(r)] = x(r, 0) + 0.5 * x(r, 1) * x(r, 2);
   }
   trees::ForestConfig config;
   config.num_trees = 20;
@@ -242,7 +243,7 @@ TEST(ForestDeterminism, BatchedPredictMatchesPerRow) {
   std::vector<double> batched = forest.Predict(x);
   ASSERT_EQ(static_cast<int>(batched.size()), x.rows());
   for (int r = 0; r < x.rows(); ++r) {
-    EXPECT_EQ(batched[r], forest.Predict(x.RowPtr(r))) << "row " << r;
+    EXPECT_EQ(batched[AsSize(r)], forest.Predict(x.RowPtr(r))) << "row " << r;
   }
 
   // Two batched sweeps agree (the pool schedule is irrelevant).
@@ -252,12 +253,12 @@ TEST(ForestDeterminism, BatchedPredictMatchesPerRow) {
 TEST(ForestDeterminism, CausalForestBatchedPredictMatchesPerRow) {
   Matrix x = RandomMatrix(260, 4, /*seed=*/91);
   Rng rng(92);
-  std::vector<int> treatment(x.rows());
-  std::vector<double> y(x.rows());
+  std::vector<int> treatment(AsSize(x.rows()));
+  std::vector<double> y(AsSize(x.rows()));
   for (int r = 0; r < x.rows(); ++r) {
-    treatment[r] = rng.Bernoulli(0.5) ? 1 : 0;
+    treatment[AsSize(r)] = rng.Bernoulli(0.5) ? 1 : 0;
     double tau = 0.4 * x(r, 0);
-    y[r] = x(r, 1) + treatment[r] * tau + 0.1 * rng.Normal();
+    y[AsSize(r)] = x(r, 1) + treatment[AsSize(r)] * tau + 0.1 * rng.Normal();
   }
   trees::CausalForestConfig config;
   config.num_trees = 16;
@@ -269,8 +270,8 @@ TEST(ForestDeterminism, CausalForestBatchedPredictMatchesPerRow) {
   ASSERT_EQ(static_cast<int>(cate.size()), x.rows());
   ASSERT_EQ(static_cast<int>(stddev.size()), x.rows());
   for (int r = 0; r < x.rows(); ++r) {
-    EXPECT_EQ(cate[r], forest.PredictCate(x.RowPtr(r))) << "row " << r;
-    EXPECT_EQ(stddev[r], forest.PredictCateStdDev(x.RowPtr(r)))
+    EXPECT_EQ(cate[AsSize(r)], forest.PredictCate(x.RowPtr(r))) << "row " << r;
+    EXPECT_EQ(stddev[AsSize(r)], forest.PredictCateStdDev(x.RowPtr(r)))
         << "row " << r;
   }
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "uplift/meta_learners.h"
@@ -14,13 +15,13 @@ void MakeData(int n, uint64_t seed, double propensity, Matrix* x,
               std::vector<int>* t, std::vector<double>* y) {
   Rng rng(seed);
   *x = Matrix(n, 2);
-  t->resize(n);
-  y->resize(n);
+  t->resize(AsSize(n));
+  y->resize(AsSize(n));
   for (int i = 0; i < n; ++i) {
     (*x)(i, 0) = rng.Normal();
     (*x)(i, 1) = rng.Normal();
-    (*t)[i] = rng.Bernoulli(propensity) ? 1 : 0;
-    (*y)[i] = (*x)(i, 0) + (*t)[i] * (1.0 + 2.0 * (*x)(i, 1)) +
+    (*t)[AsSize(i)] = rng.Bernoulli(propensity) ? 1 : 0;
+    (*y)[AsSize(i)] = (*x)(i, 0) + (*t)[AsSize(i)] * (1.0 + 2.0 * (*x)(i, 1)) +
               rng.Normal(0.0, 0.2);
   }
 }
@@ -30,7 +31,7 @@ double CateMse(const CateModel& model, const Matrix& x) {
   double mse = 0.0;
   for (int i = 0; i < x.rows(); ++i) {
     double truth = 1.0 + 2.0 * x(i, 1);
-    mse += (tau[i] - truth) * (tau[i] - truth);
+    mse += (tau[AsSize(i)] - truth) * (tau[AsSize(i)] - truth);
   }
   return mse / x.rows();
 }

@@ -39,7 +39,7 @@ TEST(DrpLossTest, GradientMatchesFiniteDifference) {
   Matrix preds(64, 1);
   for (int i = 0; i < 64; ++i) preds(i, 0) = rng.Normal();
   std::vector<int> index(64);
-  for (int i = 0; i < 64; ++i) index[i] = i;
+  for (int i = 0; i < 64; ++i) index[AsSize(i)] = i;
 
   Matrix grad;
   loss.Compute(preds, index, &grad);

@@ -61,7 +61,7 @@ TEST_F(DirectModelTest, DrpScoreIsLogitOfRoi) {
   std::vector<double> scores = drp.PredictScore(test_->x);
   std::vector<double> roi = drp.PredictRoi(test_->x);
   for (int i = 0; i < 20; ++i) {
-    EXPECT_NEAR(roi[i], Sigmoid(scores[i]), 1e-12);
+    EXPECT_NEAR(roi[AsSize(i)], Sigmoid(scores[AsSize(i)]), 1e-12);
   }
 }
 
@@ -96,7 +96,7 @@ TEST_F(DirectModelTest, DrpDeterministicBySeed) {
   b.Fit(*train_);
   std::vector<double> ra = a.PredictRoi(test_->x);
   std::vector<double> rb = b.PredictRoi(test_->x);
-  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(ra[i], rb[i]);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(ra[AsSize(i)], rb[AsSize(i)]);
 }
 
 TEST_F(DirectModelTest, McDropoutStatsAreSane) {
@@ -109,9 +109,9 @@ TEST_F(DirectModelTest, McDropoutStatsAreSane) {
   double mean_std = Mean(stats.stddev);
   EXPECT_GT(mean_std, 0.0) << "dropout must induce prediction variance";
   for (int i = 0; i < test_->n(); ++i) {
-    EXPECT_GE(stats.stddev[i], 0.0);
-    EXPECT_GT(stats.mean[i], 0.0);
-    EXPECT_LT(stats.mean[i], 1.0);
+    EXPECT_GE(stats.stddev[AsSize(i)], 0.0);
+    EXPECT_GT(stats.mean[AsSize(i)], 0.0);
+    EXPECT_LT(stats.mean[AsSize(i)], 1.0);
   }
   // MC mean tracks the deterministic point estimate.
   std::vector<double> point = drp.PredictRoi(test_->x);
@@ -144,7 +144,7 @@ TEST_F(DirectModelTest, McStdShrinksWithMorePassesOnAverageStability) {
     for (size_t i = 0; i < a.mean.size(); ++i) {
       acc += std::fabs(a.mean[i] - b.mean[i]);
     }
-    return acc / a.mean.size();
+    return acc / static_cast<double>(a.mean.size());
   };
   EXPECT_LT(disagreement(80, 1, 2), disagreement(5, 3, 4));
 }

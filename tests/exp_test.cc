@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "exp/datasets.h"
 #include "exp/methods.h"
 #include "exp/runner.h"
@@ -73,12 +74,12 @@ TEST(BuildSplitsTest, CalibAndTestShareDistribution) {
   sizes.test = 8000;
   DatasetSplits splits = BuildSplits(generator, Setting::kInCo, sizes, 3);
   int k = generator.config().num_segments;
-  std::vector<double> hc(k, 0.0), ht(k, 0.0);
+  std::vector<double> hc(AsSize(k), 0.0), ht(AsSize(k), 0.0);
   for (int s : splits.calibration.segment) {
-    hc[s] += 1.0 / splits.calibration.n();
+    hc[AsSize(s)] += 1.0 / splits.calibration.n();
   }
-  for (int s : splits.test.segment) ht[s] += 1.0 / splits.test.n();
-  for (int s = 0; s < k; ++s) EXPECT_NEAR(hc[s], ht[s], 0.03);
+  for (int s : splits.test.segment) ht[AsSize(s)] += 1.0 / splits.test.n();
+  for (int s = 0; s < k; ++s) EXPECT_NEAR(hc[AsSize(s)], ht[AsSize(s)], 0.03);
 }
 
 TEST(MethodsTest, Table1HasTenMethodsInPaperOrder) {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/conformal.h"
@@ -157,12 +158,12 @@ TEST(DegenerateDataTest, AuccWithSingleArmPrefixes) {
   RctDataset data;
   int n = 100;
   data.x = Matrix(n, 1);
-  std::vector<double> scores(n);
+  std::vector<double> scores(AsSize(n));
   for (int i = 0; i < n; ++i) {
     data.treatment.push_back(i < 50 ? 1 : 0);
     data.y_revenue.push_back(i % 3 == 0 ? 1.0 : 0.0);
     data.y_cost.push_back(i % 2 == 0 ? 1.0 : 0.0);
-    scores[i] = n - i;  // rank exactly in index order
+    scores[AsSize(i)] = n - i;  // rank exactly in index order
   }
   double aucc = metrics::Aucc(scores, data);
   EXPECT_TRUE(std::isfinite(aucc));
@@ -182,8 +183,8 @@ TEST(MetricPropertyTest, AuccInvariantToScoreShiftAndScale) {
   synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
   Rng rng(4);
   RctDataset data = generator.Generate(3000, false, &rng);
-  std::vector<double> scores(data.n());
-  for (int i = 0; i < data.n(); ++i) scores[i] = data.TrueRoi(i);
+  std::vector<double> scores(AsSize(data.n()));
+  for (int i = 0; i < data.n(); ++i) scores[AsSize(i)] = data.TrueRoi(i);
   std::vector<double> affine(scores);
   for (double& s : affine) s = 7.0 * s - 3.0;
   EXPECT_DOUBLE_EQ(metrics::Aucc(scores, data),
@@ -194,13 +195,13 @@ TEST(MetricPropertyTest, AuccInvariantToRowPermutation) {
   synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
   Rng rng(5);
   RctDataset data = generator.Generate(2000, false, &rng);
-  std::vector<double> scores(data.n());
-  for (int i = 0; i < data.n(); ++i) scores[i] = data.TrueRoi(i);
+  std::vector<double> scores(AsSize(data.n()));
+  for (int i = 0; i < data.n(); ++i) scores[AsSize(i)] = data.TrueRoi(i);
 
   std::vector<int> perm = rng.Permutation(data.n());
   RctDataset shuffled = data.Subset(perm);
-  std::vector<double> shuffled_scores(data.n());
-  for (int i = 0; i < data.n(); ++i) shuffled_scores[i] = scores[perm[i]];
+  std::vector<double> shuffled_scores(AsSize(data.n()));
+  for (int i = 0; i < data.n(); ++i) shuffled_scores[AsSize(i)] = scores[AsSize(perm[AsSize(i)])];
   EXPECT_NEAR(metrics::Aucc(scores, data),
               metrics::Aucc(shuffled_scores, shuffled), 1e-9);
 }

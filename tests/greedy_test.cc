@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 
 namespace roicl::core {
@@ -68,11 +69,11 @@ class GreedyApproximation : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(GreedyApproximation, WithinAdditiveBoundOfOptimum) {
   Rng rng(GetParam());
   int n = 4 + static_cast<int>(rng.UniformInt(10));
-  std::vector<double> values(n), costs(n), roi(n);
+  std::vector<double> values(AsSize(n)), costs(AsSize(n)), roi(AsSize(n));
   for (int i = 0; i < n; ++i) {
-    costs[i] = rng.Uniform(0.2, 2.0);
-    roi[i] = rng.Uniform(0.05, 0.95);  // value density (ROI)
-    values[i] = roi[i] * costs[i];     // tau_r = roi * tau_c
+    costs[AsSize(i)] = rng.Uniform(0.2, 2.0);
+    roi[AsSize(i)] = rng.Uniform(0.05, 0.95);  // value density (ROI)
+    values[AsSize(i)] = roi[AsSize(i)] * costs[AsSize(i)];     // tau_r = roi * tau_c
   }
   double budget = rng.Uniform(0.5, 0.6 * n);
   double optimum = KnapsackBruteForce(values, costs, budget);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "core/rdrp.h"
 #include "core/roi_star.h"
 #include "data/csv.h"
@@ -69,7 +70,10 @@ TEST_P(PipelinePerDataset, GeneratedDataSurvivesCsvRoundTrip) {
   synth::SyntheticGenerator generator = exp::MakeGenerator(GetParam());
   Rng rng(9);
   RctDataset data = generator.Generate(200, true, &rng);
-  std::string path = ::testing::TempDir() + "/roicl_integration.csv";
+  // Parameterized instances run as separate concurrent processes under
+  // `ctest -j`; the path must be unique per instance or they race on it.
+  std::string path = ::testing::TempDir() + "/roicl_integration_" +
+                     exp::DatasetName(GetParam()) + ".csv";
   ASSERT_TRUE(WriteDatasetCsv(data, path).ok());
   StatusOr<RctDataset> loaded = ReadDatasetCsv(path);
   ASSERT_TRUE(loaded.ok());
@@ -82,8 +86,8 @@ TEST_P(PipelinePerDataset, GeneratedDataSurvivesCsvRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(AllDatasets, PipelinePerDataset,
                          ::testing::ValuesIn(exp::AllDatasets()),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case exp::DatasetId::kCriteo:
                                return "Criteo";
                              case exp::DatasetId::kMeituan:
@@ -166,10 +170,10 @@ TEST(ConsistencyTest, QiniAndAuccAgreeOnOracleVsRandom) {
       exp::MakeGenerator(exp::DatasetId::kCriteo);
   Rng rng(7);
   RctDataset data = generator.Generate(8000, false, &rng);
-  std::vector<double> oracle(data.n()), random_scores(data.n());
+  std::vector<double> oracle(AsSize(data.n())), random_scores(AsSize(data.n()));
   for (int i = 0; i < data.n(); ++i) {
-    oracle[i] = data.true_tau_r[i];
-    random_scores[i] = rng.Uniform();
+    oracle[AsSize(i)] = data.true_tau_r[AsSize(i)];
+    random_scores[AsSize(i)] = rng.Uniform();
   }
   EXPECT_GT(metrics::Aucc(oracle, data), metrics::Aucc(random_scores, data));
   EXPECT_GT(metrics::QiniCoefficient(oracle, data),

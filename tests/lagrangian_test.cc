@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "core/greedy.h"
 
@@ -19,10 +20,10 @@ TEST(LagrangianTest, EverythingFitsAtZeroLambda) {
 TEST(LagrangianTest, RespectsBudget) {
   Rng rng(1);
   int n = 200;
-  std::vector<double> values(n), costs(n);
+  std::vector<double> values(AsSize(n)), costs(AsSize(n));
   for (int i = 0; i < n; ++i) {
-    costs[i] = rng.Uniform(0.1, 2.0);
-    values[i] = rng.Uniform(0.0, 1.0) * costs[i];
+    costs[AsSize(i)] = rng.Uniform(0.1, 2.0);
+    values[AsSize(i)] = rng.Uniform(0.0, 1.0) * costs[AsSize(i)];
   }
   double budget = 20.0;
   LagrangianResult result = LagrangianAllocate(values, costs, budget);
@@ -33,10 +34,10 @@ TEST(LagrangianTest, UpperBoundDominatesOptimum) {
   Rng rng(2);
   for (int trial = 0; trial < 20; ++trial) {
     int n = 4 + static_cast<int>(rng.UniformInt(10));
-    std::vector<double> values(n), costs(n);
+    std::vector<double> values(AsSize(n)), costs(AsSize(n));
     for (int i = 0; i < n; ++i) {
-      costs[i] = rng.Uniform(0.2, 2.0);
-      values[i] = rng.Uniform(0.05, 0.95) * costs[i];
+      costs[AsSize(i)] = rng.Uniform(0.2, 2.0);
+      values[AsSize(i)] = rng.Uniform(0.05, 0.95) * costs[AsSize(i)];
     }
     double budget = rng.Uniform(0.5, 0.5 * n);
     double optimum = KnapsackBruteForce(values, costs, budget);
@@ -52,11 +53,11 @@ TEST(LagrangianTest, MatchesGreedyQuality) {
   Rng rng(3);
   for (int trial = 0; trial < 10; ++trial) {
     int n = 100;
-    std::vector<double> values(n), costs(n), roi(n);
+    std::vector<double> values(AsSize(n)), costs(AsSize(n)), roi(AsSize(n));
     for (int i = 0; i < n; ++i) {
-      costs[i] = rng.Uniform(0.1, 1.5);
-      roi[i] = rng.Uniform(0.05, 0.95);
-      values[i] = roi[i] * costs[i];
+      costs[AsSize(i)] = rng.Uniform(0.1, 1.5);
+      roi[AsSize(i)] = rng.Uniform(0.05, 0.95);
+      values[AsSize(i)] = roi[AsSize(i)] * costs[AsSize(i)];
     }
     double budget = rng.Uniform(2.0, 20.0);
     LagrangianResult lagrangian = LagrangianAllocate(values, costs, budget);

@@ -1,0 +1,109 @@
+#!/bin/bash
+# Self-check for the custom lints under tools/: each one must FAIL on a
+# deliberately-bad fixture tree and PASS on this repository. A lint that
+# silently stopped matching (regex rot, directory rename) would otherwise
+# keep reporting success forever — this test is the lint for the lints.
+#
+# Usage: lint_selfcheck_test.sh <repo root>
+set -euo pipefail
+
+repo_root=${1:?usage: lint_selfcheck_test.sh <repo root>}
+tools="${repo_root}/tools"
+fixture=$(mktemp -d "${TMPDIR:-/tmp}/roicl_lint_selfcheck.XXXXXX")
+trap 'rm -rf "${fixture}"' EXIT
+
+status=0
+
+expect_fail() {
+  local label=$1
+  shift
+  if "$@" >/dev/null 2>&1; then
+    echo "FAIL: ${label}: lint passed on a bad fixture"
+    status=1
+  else
+    echo "ok: ${label} rejects the bad fixture"
+  fi
+}
+
+expect_pass() {
+  local label=$1
+  shift
+  if "$@" >/dev/null 2>&1; then
+    echo "ok: ${label} passes on the real repo"
+  else
+    echo "FAIL: ${label}: lint fails on the real repo"
+    status=1
+  fi
+}
+
+# --- Fixture: a miniature repo with one violation per lint. -------------
+mkdir -p "${fixture}/src/core" "${fixture}/tools" "${fixture}/tests"
+
+# check_determinism: ambient entropy in library code.
+cat > "${fixture}/src/core/bad_rng.cc" <<'EOF'
+#include <random>
+int Draw() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+EOF
+
+# check_include_guards: #pragma once, wrong guard name, and a
+# header-scope using directive.
+cat > "${fixture}/src/core/bad_header.h" <<'EOF'
+#pragma once
+using namespace std;
+int F();
+EOF
+
+# check_scripts: missing strict mode and missing executable bit.
+cat > "${fixture}/tools/sloppy.sh" <<'EOF'
+#!/bin/bash
+echo "no strict mode here"
+EOF
+chmod -x "${fixture}/tools/sloppy.sh"
+
+# check_no_raw_io: a printf outside the sanctioned sinks.
+cat > "${fixture}/src/core/bad_io.cc" <<'EOF'
+#include <cstdio>
+void Shout() { std::printf("raw stdout write\n"); }
+EOF
+
+# check_scripts, registration rule: a lint that exists but is wired into
+# no CMakeLists. Regression test for a silent-abort bug where grep's
+# exit-1-on-no-match killed the lint (under set -e -o pipefail) before
+# it could report the unregistered script — so assert the message, not
+# just the exit code.
+cat > "${fixture}/tools/check_unwired.sh" <<'EOF'
+#!/bin/bash
+set -euo pipefail
+exit 0
+EOF
+chmod +x "${fixture}/tools/check_unwired.sh"
+
+# --- Each lint must reject its fixture... -------------------------------
+expect_fail check_determinism bash "${tools}/check_determinism.sh" "${fixture}"
+expect_fail check_include_guards \
+  bash "${tools}/check_include_guards.sh" "${fixture}"
+expect_fail check_scripts bash "${tools}/check_scripts.sh" "${fixture}"
+expect_fail check_no_raw_io bash "${tools}/check_no_raw_io.sh" "${fixture}"
+
+# Capture first: under pipefail the lint's expected exit 1 would mask
+# grep's verdict in a direct pipeline.
+check_scripts_out=$(bash "${tools}/check_scripts.sh" "${fixture}" 2>&1 || true)
+if grep -q 'check_unwired.sh: referenced 0 times' \
+    <<<"${check_scripts_out}"; then
+  echo "ok: check_scripts reports the unregistered lint by name"
+else
+  echo "FAIL: check_scripts did not report the unregistered lint"
+  status=1
+fi
+
+# --- ...and accept the real tree. ---------------------------------------
+expect_pass check_determinism bash "${tools}/check_determinism.sh" "${repo_root}"
+expect_pass check_include_guards \
+  bash "${tools}/check_include_guards.sh" "${repo_root}"
+expect_pass check_scripts bash "${tools}/check_scripts.sh" "${repo_root}"
+expect_pass check_no_raw_io bash "${tools}/check_no_raw_io.sh" "${repo_root}"
+
+exit "${status}"

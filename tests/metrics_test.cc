@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "metrics/cost_curve.h"
 #include "metrics/coverage.h"
@@ -19,7 +20,7 @@ RctDataset MakeEvaluationRct(int n, uint64_t seed) {
 
 TEST(CostCurveTest, StartsAtOriginEndsAtTotals) {
   RctDataset d = MakeEvaluationRct(3000, 1);
-  std::vector<double> scores(d.n());
+  std::vector<double> scores(AsSize(d.n()));
   Rng rng(2);
   for (double& s : scores) s = rng.Uniform();
   CostCurve curve = ComputeCostCurve(scores, d);
@@ -36,19 +37,20 @@ TEST(CostCurveTest, StartsAtOriginEndsAtTotals) {
 TEST(AuccTest, RandomScoresNearHalf) {
   RctDataset d = MakeEvaluationRct(20000, 3);
   Rng rng(4);
-  std::vector<double> scores(d.n());
+  std::vector<double> scores(AsSize(d.n()));
   for (double& s : scores) s = rng.Uniform();
   EXPECT_NEAR(Aucc(scores, d), 0.5, 0.05);
 }
 
 TEST(AuccTest, OracleBeatsRandomBeatsAntiOracle) {
   RctDataset d = MakeEvaluationRct(20000, 5);
-  std::vector<double> oracle(d.n()), anti(d.n()), random_scores(d.n());
+  std::vector<double> oracle(AsSize(d.n())), anti(AsSize(d.n())),
+      random_scores(AsSize(d.n()));
   Rng rng(6);
   for (int i = 0; i < d.n(); ++i) {
-    oracle[i] = d.TrueRoi(i);
-    anti[i] = -oracle[i];
-    random_scores[i] = rng.Uniform();
+    oracle[AsSize(i)] = d.TrueRoi(i);
+    anti[AsSize(i)] = -oracle[AsSize(i)];
+    random_scores[AsSize(i)] = rng.Uniform();
   }
   double aucc_oracle = Aucc(oracle, d);
   double aucc_random = Aucc(random_scores, d);
@@ -60,10 +62,10 @@ TEST(AuccTest, OracleBeatsRandomBeatsAntiOracle) {
 
 TEST(AuccTest, InvariantToMonotoneTransformOfScores) {
   RctDataset d = MakeEvaluationRct(5000, 7);
-  std::vector<double> scores(d.n()), transformed(d.n());
+  std::vector<double> scores(AsSize(d.n())), transformed(AsSize(d.n()));
   for (int i = 0; i < d.n(); ++i) {
-    scores[i] = d.TrueRoi(i);
-    transformed[i] = std::exp(3.0 * scores[i]) + 5.0;
+    scores[AsSize(i)] = d.TrueRoi(i);
+    transformed[AsSize(i)] = std::exp(3.0 * scores[AsSize(i)]) + 5.0;
   }
   EXPECT_DOUBLE_EQ(Aucc(scores, d), Aucc(transformed, d));
 }
@@ -83,11 +85,11 @@ TEST(AuccTest, DegenerateOutcomesGiveHalf) {
 
 TEST(QiniTest, OracleRevenueRankingBeatsRandom) {
   RctDataset d = MakeEvaluationRct(20000, 8);
-  std::vector<double> oracle(d.n()), random_scores(d.n());
+  std::vector<double> oracle(AsSize(d.n())), random_scores(AsSize(d.n()));
   Rng rng(9);
   for (int i = 0; i < d.n(); ++i) {
-    oracle[i] = d.true_tau_r[i];
-    random_scores[i] = rng.Uniform();
+    oracle[AsSize(i)] = d.true_tau_r[AsSize(i)];
+    random_scores[AsSize(i)] = rng.Uniform();
   }
   EXPECT_GT(QiniCoefficient(oracle, d), QiniCoefficient(random_scores, d));
   EXPECT_NEAR(QiniCoefficient(random_scores, d), 0.0, 0.05);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "metrics/cost_curve.h"
 #include "synth/multi_treatment.h"
 
@@ -32,7 +33,7 @@ TEST(MultiTreatmentGeneratorTest, GeneratesAllArms) {
   for (int t : data.treatment) {
     ASSERT_GE(t, 0);
     ASSERT_LE(t, 2);
-    counts[t]++;
+    counts[AsSize(t)]++;
   }
   for (int c : counts) EXPECT_NEAR(c / 3000.0, 1.0 / 3.0, 0.05);
 }
@@ -42,7 +43,7 @@ TEST(MultiTreatmentGeneratorTest, ArmEffectsScaleAsConfigured) {
   Rng rng(2);
   synth::MultiTreatmentDataset data = generator.Generate(100, false, &rng);
   for (int i = 0; i < data.n(); ++i) {
-    EXPECT_NEAR(data.true_tau_c[1][i], 1.8 * data.true_tau_c[0][i], 1e-12);
+    EXPECT_NEAR(data.true_tau_c[1][AsSize(i)], 1.8 * data.true_tau_c[0][AsSize(i)], 1e-12);
     // ROI of arm 2 is shifted down by 0.08 (up to the clamp).
     double roi1 = data.TrueRoi(i, 1);
     double roi2 = data.TrueRoi(i, 2);
@@ -65,7 +66,7 @@ TEST(MultiTreatmentGeneratorTest, BinarySubproblemIsValidRct) {
     // average effect.
     double mean_tau_c = 0.0;
     for (int i = 0; i < data.n(); ++i) {
-      mean_tau_c += data.true_tau_c[arm - 1][i];
+      mean_tau_c += data.true_tau_c[AsSize(arm - 1)][AsSize(i)];
     }
     mean_tau_c /= data.n();
     EXPECT_NEAR(sub.AverageCostLift(), mean_tau_c, 0.08);
@@ -136,8 +137,8 @@ TEST(DivideAndConquerRdrpTest, EndToEndBeatsRandomAllocation) {
   auto realize = [&](const core::MultiAllocationResult& alloc) {
     double revenue = 0.0;
     for (int i = 0; i < test.n(); ++i) {
-      int arm = alloc.assignment[i];
-      if (arm > 0) revenue += test.true_tau_r[arm - 1][i];
+      int arm = alloc.assignment[AsSize(i)];
+      if (arm > 0) revenue += test.true_tau_r[AsSize(arm - 1)][AsSize(i)];
     }
     return revenue;
   };
@@ -147,7 +148,7 @@ TEST(DivideAndConquerRdrpTest, EndToEndBeatsRandomAllocation) {
 
   Rng noise(5);
   std::vector<std::vector<double>> random_scores(
-      2, std::vector<double>(test.n()));
+      2, std::vector<double>(AsSize(test.n())));
   for (auto& arm_scores : random_scores) {
     for (double& s : arm_scores) s = noise.Uniform();
   }

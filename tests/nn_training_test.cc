@@ -94,16 +94,16 @@ TEST(TrainNetworkTest, LearnsLinearRegression) {
   Rng rng(11);
   int n = 600;
   Matrix x(n, 2);
-  std::vector<double> y(n);
+  std::vector<double> y(AsSize(n));
   for (int i = 0; i < n; ++i) {
     x(i, 0) = rng.Normal();
     x(i, 1) = rng.Normal();
-    y[i] = 2.0 * x(i, 0) - 1.0 * x(i, 1) + 0.3;
+    y[AsSize(i)] = 2.0 * x(i, 0) - 1.0 * x(i, 1) + 0.3;
   }
   Mlp net = Mlp::MakeMlp(2, {}, 1, ActivationKind::kRelu, 0.0, &rng);
   MseLoss loss(&y);
-  std::vector<int> index(n);
-  for (int i = 0; i < n; ++i) index[i] = i;
+  std::vector<int> index(AsSize(n));
+  for (int i = 0; i < n; ++i) index[AsSize(i)] = i;
   TrainConfig config;
   config.epochs = 120;
   config.learning_rate = 0.05;
@@ -126,7 +126,7 @@ TEST(TrainNetworkTest, LearnsXorWithHiddenLayer) {
   Matrix preds = net.Forward(x, Mode::kInfer, nullptr);
   for (int i = 0; i < 4; ++i) {
     double p = Sigmoid(preds(i, 0));
-    EXPECT_NEAR(p, y[i], 0.2) << "sample " << i;
+    EXPECT_NEAR(p, y[AsSize(i)], 0.2) << "sample " << i;
   }
 }
 
@@ -134,10 +134,10 @@ TEST(TrainNetworkTest, EarlyStoppingRestoresBestModel) {
   Rng rng(13);
   int n = 400;
   Matrix x(n, 1);
-  std::vector<double> y(n);
+  std::vector<double> y(AsSize(n));
   for (int i = 0; i < n; ++i) {
     x(i, 0) = rng.Normal();
-    y[i] = 0.5 * x(i, 0) + rng.Normal(0.0, 0.5);  // noisy: overfittable
+    y[AsSize(i)] = 0.5 * x(i, 0) + rng.Normal(0.0, 0.5);  // noisy: overfittable
   }
   Mlp net = Mlp::MakeMlp(1, {32, 32}, 1, ActivationKind::kRelu, 0.0, &rng);
   MseLoss loss(&y);

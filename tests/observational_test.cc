@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/stats.h"
 #include "core/drp_loss.h"
 #include "core/drp_model.h"
@@ -57,10 +58,10 @@ TEST(ConfoundedGeneratorTest, TreatmentRateTracksPropensity) {
   for (int i = 0; i < data.n(); ++i) {
     double e = generator.Propensity(data.x.RowPtr(i));
     if (e < 0.4) {
-      low_sum += data.treatment[i];
+      low_sum += data.treatment[AsSize(i)];
       ++low_n;
     } else if (e > 0.6) {
-      high_sum += data.treatment[i];
+      high_sum += data.treatment[AsSize(i)];
       ++high_n;
     }
   }
@@ -83,9 +84,9 @@ TEST(PropensityModelTest, RecoversTruePropensity) {
   model.Fit(data.x, data.treatment);
 
   std::vector<double> predicted = model.Predict(data.x);
-  std::vector<double> truth(data.n());
+  std::vector<double> truth(AsSize(data.n()));
   for (int i = 0; i < data.n(); ++i) {
-    truth[i] = generator.Propensity(data.x.RowPtr(i));
+    truth[AsSize(i)] = generator.Propensity(data.x.RowPtr(i));
   }
   EXPECT_GT(PearsonCorrelation(predicted, truth), 0.8);
 }
@@ -102,7 +103,7 @@ TEST(PropensityModelTest, PredictionsAreClipped) {
   for (int i = 0; i < 500; ++i) {
     x(i, 0) = rng.Normal();
     x(i, 1) = rng.Normal();
-    t[i] = x(i, 0) > 0 ? 1 : 0;  // perfectly separable
+    t[AsSize(i)] = x(i, 0) > 0 ? 1 : 0;  // perfectly separable
   }
   model.Fit(x, t);
   for (double e : model.Predict(x)) {
@@ -120,7 +121,7 @@ TEST(PropensityModelTest, InverseWeightsMatchDefinition) {
   std::vector<int> t(200);
   for (int i = 0; i < 200; ++i) {
     x(i, 0) = rng.Normal();
-    t[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    t[AsSize(i)] = rng.Bernoulli(0.5) ? 1 : 0;
   }
   model.Fit(x, t);
   std::vector<double> e = model.Predict(x);
@@ -130,11 +131,11 @@ TEST(PropensityModelTest, InverseWeightsMatchDefinition) {
   std::vector<double> stabilized = model.InverseWeights(x, t);
   std::vector<double> raw = model.InverseWeights(x, t, /*stabilized=*/false);
   for (int i = 0; i < 200; ++i) {
-    double expected_raw = t[i] == 1 ? 1.0 / e[i] : 1.0 / (1.0 - e[i]);
-    EXPECT_NEAR(raw[i], expected_raw, 1e-12);
+    double expected_raw = t[AsSize(i)] == 1 ? 1.0 / e[AsSize(i)] : 1.0 / (1.0 - e[AsSize(i)]);
+    EXPECT_NEAR(raw[AsSize(i)], expected_raw, 1e-12);
     double expected_stab =
-        t[i] == 1 ? p1 / e[i] : (1.0 - p1) / (1.0 - e[i]);
-    EXPECT_NEAR(stabilized[i], expected_stab, 1e-12);
+        t[AsSize(i)] == 1 ? p1 / e[AsSize(i)] : (1.0 - p1) / (1.0 - e[AsSize(i)]);
+    EXPECT_NEAR(stabilized[AsSize(i)], expected_stab, 1e-12);
   }
 }
 
@@ -169,13 +170,13 @@ TEST(IpwDrpTest, BeatsPlainDrpOnConfoundedData) {
     core::IpwDrpModel ipw(ipw_config);
     ipw.Fit(train);
 
-    std::vector<double> truth(test.n());
-    for (int i = 0; i < test.n(); ++i) truth[i] = test.TrueRoi(i);
+    std::vector<double> truth(AsSize(test.n()));
+    for (int i = 0; i < test.n(); ++i) truth[AsSize(i)] = test.TrueRoi(i);
     plain_total += SpearmanCorrelation(plain.PredictRoi(test.x), truth);
     ipw_total += SpearmanCorrelation(ipw.PredictRoi(test.x), truth);
   }
-  double plain_corr = plain_total / seeds.size();
-  double ipw_corr = ipw_total / seeds.size();
+  double plain_corr = plain_total / static_cast<double>(seeds.size());
+  double ipw_corr = ipw_total / static_cast<double>(seeds.size());
   EXPECT_GT(ipw_corr, plain_corr)
       << "plain=" << plain_corr << " ipw=" << ipw_corr;
   EXPECT_GT(ipw_corr, 0.1);
@@ -213,20 +214,20 @@ TEST(WeightedDrpLossTest, UniformWeightsMatchUnweighted) {
 TEST(WeightedDrpLossTest, WeightedGradientMatchesFiniteDifference) {
   Rng rng(9);
   int n = 32;
-  std::vector<int> t(n);
-  std::vector<double> yr(n), yc(n), w(n);
+  std::vector<int> t(AsSize(n));
+  std::vector<double> yr(AsSize(n)), yc(AsSize(n)), w(AsSize(n));
   for (int i = 0; i < n; ++i) {
-    t[i] = rng.Bernoulli(0.5) ? 1 : 0;
-    yr[i] = rng.Bernoulli(0.3) ? 1.0 : 0.0;
-    yc[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
-    w[i] = rng.Uniform(0.5, 3.0);
+    t[AsSize(i)] = rng.Bernoulli(0.5) ? 1 : 0;
+    yr[AsSize(i)] = rng.Bernoulli(0.3) ? 1.0 : 0.0;
+    yc[AsSize(i)] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    w[AsSize(i)] = rng.Uniform(0.5, 3.0);
   }
   core::DrpLoss loss(&t, &yr, &yc, &w);
   Matrix preds(n, 1);
-  std::vector<int> index(n);
+  std::vector<int> index(AsSize(n));
   for (int i = 0; i < n; ++i) {
     preds(i, 0) = rng.Normal();
-    index[i] = i;
+    index[AsSize(i)] = i;
   }
   Matrix grad;
   loss.Compute(preds, index, &grad);

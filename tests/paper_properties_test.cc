@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/stats.h"
 #include "core/drp_model.h"
 #include "core/greedy.h"
@@ -102,7 +103,8 @@ TEST_P(RdrpCoverage, IntervalsCoverTestConvergencePoint) {
   for (const auto& interval : intervals) {
     covered += interval.Contains(star_test);
   }
-  double coverage = static_cast<double>(covered) / intervals.size();
+  double coverage =
+      static_cast<double>(covered) / static_cast<double>(intervals.size());
   // alpha = 0.1 minus slack for the calib-vs-test roi* drift.
   EXPECT_GE(coverage, 0.80) << exp::DatasetName(GetParam());
 }
@@ -115,24 +117,27 @@ INSTANTIATE_TEST_SUITE_P(AllDatasets, RdrpCoverage,
 TEST(GreedyOrderProperty, SelectionFollowsRoiRanking) {
   Rng rng(19);
   int n = 500;
-  std::vector<double> roi(n), cost(n);
+  std::vector<double> roi(AsSize(n)), cost(AsSize(n));
   for (int i = 0; i < n; ++i) {
-    roi[i] = rng.Uniform(0.05, 0.95);
-    cost[i] = 1.0;  // uniform costs isolate the ordering property
+    roi[AsSize(i)] = rng.Uniform(0.05, 0.95);
+    cost[AsSize(i)] = 1.0;  // uniform costs isolate the ordering property
   }
   core::AllocationResult alloc = core::GreedyAllocate(roi, cost, 100.0);
   ASSERT_EQ(alloc.selected.size(), 100u);
   // Every selected individual has ROI >= every unselected one.
   double min_selected = 1.0;
-  for (int i : alloc.selected) min_selected = std::min(min_selected, roi[i]);
-  std::vector<char> chosen(n, 0);
-  for (int i : alloc.selected) chosen[i] = 1;
+  for (int i : alloc.selected) min_selected = std::min(min_selected, roi[AsSize(i)]);
+  std::vector<char> chosen(AsSize(n), 0);
+  for (int i : alloc.selected) chosen[AsSize(i)] = 1;
   for (int i = 0; i < n; ++i) {
-    if (!chosen[i]) EXPECT_LE(roi[i], min_selected + 1e-12);
+    if (!chosen[AsSize(i)]) {
+      EXPECT_LE(roi[AsSize(i)], min_selected + 1e-12);
+    }
   }
   // And the selection order itself is descending.
   for (size_t k = 1; k < alloc.selected.size(); ++k) {
-    EXPECT_GE(roi[alloc.selected[k - 1]], roi[alloc.selected[k]] - 1e-12);
+    EXPECT_GE(roi[AsSize(alloc.selected[k - 1])],
+              roi[AsSize(alloc.selected[k])] - 1e-12);
   }
 }
 

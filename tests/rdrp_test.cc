@@ -71,7 +71,8 @@ TEST_F(RdrpTest, IntervalsCoverTestConvergencePoint) {
   for (const auto& interval : intervals) {
     covered += interval.Contains(roi_star_test);
   }
-  double coverage = static_cast<double>(covered) / intervals.size();
+  double coverage =
+      static_cast<double>(covered) / static_cast<double>(intervals.size());
   // Eq. 4 with alpha = 0.1, minus finite-sample slack: the calibration
   // roi* and the test roi* differ slightly, so allow a margin.
   EXPECT_GE(coverage, 0.82);

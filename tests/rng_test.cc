@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/stats.h"
 
 namespace roicl {
@@ -108,7 +109,7 @@ TEST(RngTest, CategoricalFollowsWeights) {
   std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
   std::vector<int> counts(4, 0);
   const int kDraws = 100000;
-  for (int i = 0; i < kDraws; ++i) counts[rng.Categorical(weights)]++;
+  for (int i = 0; i < kDraws; ++i) counts[AsSize(rng.Categorical(weights))]++;
   EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
   EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.01);
   EXPECT_EQ(counts[2], 0);
@@ -155,13 +156,13 @@ TEST(RngTest, PermutationIsBijection) {
   Rng rng(59);
   std::vector<int> perm = rng.Permutation(50);
   std::sort(perm.begin(), perm.end());
-  for (int i = 0; i < 50; ++i) EXPECT_EQ(perm[i], i);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(perm[AsSize(i)], i);
 }
 
 TEST(RngTest, PermutationUniformFirstElement) {
   Rng rng(61);
   std::vector<int> first_counts(5, 0);
-  for (int i = 0; i < 20000; ++i) first_counts[rng.Permutation(5)[0]]++;
+  for (int i = 0; i < 20000; ++i) first_counts[AsSize(rng.Permutation(5)[0])]++;
   for (int c : first_counts) {
     EXPECT_NEAR(c / 20000.0, 0.2, 0.02);
   }

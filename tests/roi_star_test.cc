@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "synth/synthetic_generator.h"
@@ -132,8 +133,8 @@ TEST(RoiStarTest, SyntheticGeneratorConsistency) {
   RctDataset d = generator.Generate(100000, false, &rng);
   double sum_r = 0.0, sum_c = 0.0;
   for (int i = 0; i < d.n(); ++i) {
-    sum_r += d.true_tau_r[i];
-    sum_c += d.true_tau_c[i];
+    sum_r += d.true_tau_r[AsSize(i)];
+    sum_c += d.true_tau_c[AsSize(i)];
   }
   EXPECT_NEAR(BinarySearchRoiStar(d), sum_r / sum_c, 0.05);
 }
@@ -158,7 +159,7 @@ TEST(BinnedRoiStarTest, DetectsBinwiseRoiDifference) {
   std::vector<double> scores(20000);
   for (int i = 0; i < 20000; ++i) {
     bool high = i >= 10000;
-    scores[i] = high ? 0.9 : 0.1;
+    scores[AsSize(i)] = high ? 0.9 : 0.1;
     double roi = high ? 0.7 : 0.2;
     int t = rng.Bernoulli(0.5) ? 1 : 0;
     d.treatment.push_back(t);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 
 namespace roicl {
@@ -52,32 +53,32 @@ TEST(SolveRidgeTest, RecoversLinearFunction) {
   Rng rng(5);
   int n = 500, d = 4;
   Matrix x(n, d);
-  std::vector<double> y(n);
+  std::vector<double> y(AsSize(n));
   std::vector<double> true_w = {1.0, -2.0, 0.5, 3.0};
   double true_b = 0.7;
   for (int r = 0; r < n; ++r) {
     double acc = true_b;
     for (int c = 0; c < d; ++c) {
       x(r, c) = rng.Normal();
-      acc += x(r, c) * true_w[c];
+      acc += x(r, c) * true_w[AsSize(c)];
     }
-    y[r] = acc + rng.Normal(0.0, 0.01);
+    y[AsSize(r)] = acc + rng.Normal(0.0, 0.01);
   }
   StatusOr<std::vector<double>> w = SolveRidge(x, y, 1e-6);
   ASSERT_TRUE(w.ok());
-  for (int c = 0; c < d; ++c) EXPECT_NEAR(w.value()[c], true_w[c], 0.02);
-  EXPECT_NEAR(w.value()[d], true_b, 0.02);
+  for (int c = 0; c < d; ++c) EXPECT_NEAR(w.value()[AsSize(c)], true_w[AsSize(c)], 0.02);
+  EXPECT_NEAR(w.value()[AsSize(d)], true_b, 0.02);
 }
 
 TEST(SolveRidgeTest, RegularizationShrinksWeights) {
   Rng rng(6);
   int n = 100;
   Matrix x(n, 2);
-  std::vector<double> y(n);
+  std::vector<double> y(AsSize(n));
   for (int r = 0; r < n; ++r) {
     x(r, 0) = rng.Normal();
     x(r, 1) = rng.Normal();
-    y[r] = 2.0 * x(r, 0) - x(r, 1);
+    y[AsSize(r)] = 2.0 * x(r, 0) - x(r, 1);
   }
   double small = std::fabs(SolveRidge(x, y, 0.01).value()[0]);
   double large = std::fabs(SolveRidge(x, y, 1000.0).value()[0]);

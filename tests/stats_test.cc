@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 
 namespace roicl {
@@ -84,7 +85,7 @@ class ConformalQuantileProperty
 TEST_P(ConformalQuantileProperty, DominatesEnoughScores) {
   auto [n, alpha] = GetParam();
   Rng rng(static_cast<uint64_t>(n * 1000 + alpha * 100));
-  std::vector<double> scores(n);
+  std::vector<double> scores(AsSize(n));
   for (double& s : scores) s = rng.Exponential(1.0);
   double q = ConformalQuantile(scores, alpha);
   if (std::isinf(q)) {

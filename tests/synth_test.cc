@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/stats.h"
 #include "synth/shift.h"
 
@@ -30,8 +31,8 @@ TEST_P(PresetTest, GroundTruthRespectsAssumptions) {
   RctDataset dataset = generator.Generate(1000, false, &rng);
   for (int i = 0; i < dataset.n(); ++i) {
     // Assumption 4: positive effects; Assumption 3: ROI in (0, 1).
-    EXPECT_GT(dataset.true_tau_c[i], 0.0);
-    EXPECT_GT(dataset.true_tau_r[i], 0.0);
+    EXPECT_GT(dataset.true_tau_c[AsSize(i)], 0.0);
+    EXPECT_GT(dataset.true_tau_r[AsSize(i)], 0.0);
     double roi = dataset.TrueRoi(i);
     EXPECT_GT(roi, 0.0);
     EXPECT_LT(roi, 1.0);
@@ -43,8 +44,8 @@ TEST_P(PresetTest, OutcomesAreBinary) {
   Rng rng(3);
   RctDataset dataset = generator.Generate(500, false, &rng);
   for (int i = 0; i < dataset.n(); ++i) {
-    EXPECT_TRUE(dataset.y_cost[i] == 0.0 || dataset.y_cost[i] == 1.0);
-    EXPECT_TRUE(dataset.y_revenue[i] == 0.0 || dataset.y_revenue[i] == 1.0);
+    EXPECT_TRUE(dataset.y_cost[AsSize(i)] == 0.0 || dataset.y_cost[AsSize(i)] == 1.0);
+    EXPECT_TRUE(dataset.y_revenue[AsSize(i)] == 0.0 || dataset.y_revenue[AsSize(i)] == 1.0);
   }
 }
 
@@ -65,17 +66,17 @@ TEST_P(PresetTest, ShiftChangesSegmentMixOnly) {
   RctDataset shifted = generator.Generate(20000, true, &rng);
   // Segment histograms differ...
   int k = generator.config().num_segments;
-  std::vector<double> h0(k, 0.0), h1(k, 0.0);
-  for (int s : plain.segment) h0[s] += 1.0 / plain.n();
-  for (int s : shifted.segment) h1[s] += 1.0 / shifted.n();
+  std::vector<double> h0(AsSize(k), 0.0), h1(AsSize(k), 0.0);
+  for (int s : plain.segment) h0[AsSize(s)] += 1.0 / plain.n();
+  for (int s : shifted.segment) h1[AsSize(s)] += 1.0 / shifted.n();
   double tv = 0.0;
-  for (int s = 0; s < k; ++s) tv += std::fabs(h0[s] - h1[s]);
+  for (int s = 0; s < k; ++s) tv += std::fabs(h0[AsSize(s)] - h1[AsSize(s)]);
   EXPECT_GT(tv / 2.0, 0.2) << "shift should move substantial mass";
   // ...but P(Y|X) is the same mechanism: the oracles agree on any row.
   for (int i = 0; i < 50; ++i) {
     const double* row = shifted.x.RowPtr(i);
-    EXPECT_NEAR(shifted.true_tau_c[i], generator.TauC(row), 1e-12);
-    EXPECT_NEAR(shifted.true_tau_r[i], generator.TauR(row), 1e-12);
+    EXPECT_NEAR(shifted.true_tau_c[AsSize(i)], generator.TauC(row), 1e-12);
+    EXPECT_NEAR(shifted.true_tau_r[AsSize(i)], generator.TauR(row), 1e-12);
   }
 }
 
@@ -88,7 +89,7 @@ TEST_P(PresetTest, DeterministicGivenSeed) {
   EXPECT_EQ(a.treatment, b.treatment);
   for (int i = 0; i < 100; ++i) {
     EXPECT_DOUBLE_EQ(a.x(i, 0), b.x(i, 0));
-    EXPECT_DOUBLE_EQ(a.y_revenue[i], b.y_revenue[i]);
+    EXPECT_DOUBLE_EQ(a.y_revenue[AsSize(i)], b.y_revenue[AsSize(i)]);
   }
 }
 
@@ -96,8 +97,8 @@ TEST_P(PresetTest, RoiIsHeterogeneous) {
   SyntheticGenerator generator(GetParam());
   Rng rng(6);
   RctDataset dataset = generator.Generate(5000, false, &rng);
-  std::vector<double> rois(dataset.n());
-  for (int i = 0; i < dataset.n(); ++i) rois[i] = dataset.TrueRoi(i);
+  std::vector<double> rois(AsSize(dataset.n()));
+  for (int i = 0; i < dataset.n(); ++i) rois[AsSize(i)] = dataset.TrueRoi(i);
   EXPECT_GT(StdDev(rois), 0.05) << "degenerate ROI would make C-BTAP moot";
 }
 
@@ -105,8 +106,8 @@ INSTANTIATE_TEST_SUITE_P(AllPresets, PresetTest,
                          ::testing::Values(CriteoSynthConfig(),
                                            MeituanSynthConfig(),
                                            AlibabaSynthConfig()),
-                         [](const auto& info) {
-                           std::string name = info.param.name;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param.name;
                            for (char& c : name) {
                              if (!isalnum(static_cast<unsigned char>(c))) {
                                c = '_';
@@ -142,7 +143,7 @@ TEST(ResampleWithCovariateShiftTest, ShiftsTargetFeatureMean) {
   EXPECT_GT(mean_after, mean_before + 0.2);
   // Rows are copied whole, so ground truth stays consistent.
   for (int i = 0; i < 20; ++i) {
-    EXPECT_NEAR(shifted.true_tau_c[i],
+    EXPECT_NEAR(shifted.true_tau_c[AsSize(i)],
                 generator.TauC(shifted.x.RowPtr(i)), 1e-12);
   }
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "trees/causal_forest.h"
@@ -15,11 +16,11 @@ namespace {
 void MakeStepData(int n, Matrix* x, std::vector<double>* y, Rng* rng,
                   double noise = 0.05) {
   *x = Matrix(n, 2);
-  y->resize(n);
+  y->resize(AsSize(n));
   for (int i = 0; i < n; ++i) {
     (*x)(i, 0) = rng->Normal();
     (*x)(i, 1) = rng->Normal();
-    (*y)[i] = ((*x)(i, 0) > 0.0 ? 3.0 : 0.0) + rng->Normal(0.0, noise);
+    (*y)[AsSize(i)] = ((*x)(i, 0) > 0.0 ? 3.0 : 0.0) + rng->Normal(0.0, noise);
   }
 }
 
@@ -34,14 +35,16 @@ TEST(TreeCommonTest, CandidateThresholdsAreInteriorAndSorted) {
   Rng rng(1);
   for (int i = 0; i < 100; ++i) x(i, 0) = rng.Uniform();
   std::vector<int> index(100);
-  for (int i = 0; i < 100; ++i) index[i] = i;
+  for (int i = 0; i < 100; ++i) index[AsSize(i)] = i;
   std::vector<double> thresholds = CandidateThresholds(x, index, 0, 16);
   ASSERT_FALSE(thresholds.empty());
   double max_value = 0.0;
   for (int i = 0; i < 100; ++i) max_value = std::max(max_value, x(i, 0));
   for (size_t i = 0; i < thresholds.size(); ++i) {
     EXPECT_LT(thresholds[i], max_value);
-    if (i > 0) EXPECT_GT(thresholds[i], thresholds[i - 1]);
+    if (i > 0) {
+      EXPECT_GT(thresholds[i], thresholds[i - 1]);
+    }
   }
 }
 
@@ -66,7 +69,7 @@ TEST(RegressionTreeTest, FindsTheStepSplit) {
   std::vector<double> y;
   MakeStepData(1000, &x, &y, &rng);
   std::vector<int> index(1000);
-  for (int i = 0; i < 1000; ++i) index[i] = i;
+  for (int i = 0; i < 1000; ++i) index[AsSize(i)] = i;
   RegressionTree tree;
   TreeConfig config;
   config.max_depth = 2;
@@ -82,7 +85,7 @@ TEST(RegressionTreeTest, DepthZeroIsMeanPredictor) {
   std::vector<double> y;
   MakeStepData(500, &x, &y, &rng);
   std::vector<int> index(500);
-  for (int i = 0; i < 500; ++i) index[i] = i;
+  for (int i = 0; i < 500; ++i) index[AsSize(i)] = i;
   RegressionTree tree;
   TreeConfig config;
   config.max_depth = 0;
@@ -97,7 +100,7 @@ TEST(RegressionTreeTest, RespectsMinSamplesLeaf) {
   std::vector<double> y;
   MakeStepData(100, &x, &y, &rng);
   std::vector<int> index(100);
-  for (int i = 0; i < 100; ++i) index[i] = i;
+  for (int i = 0; i < 100; ++i) index[AsSize(i)] = i;
   RegressionTree tree;
   TreeConfig config;
   config.min_samples_leaf = 60;  // cannot split 100 into two >= 60 halves
@@ -109,10 +112,10 @@ TEST(RandomForestTest, BeatsSingleTreeOnSmoothTarget) {
   Rng rng(6);
   int n = 2000;
   Matrix x(n, 3);
-  std::vector<double> y(n);
+  std::vector<double> y(AsSize(n));
   for (int i = 0; i < n; ++i) {
     for (int c = 0; c < 3; ++c) x(i, c) = rng.Normal();
-    y[i] = std::sin(x(i, 0)) + 0.5 * x(i, 1) + rng.Normal(0.0, 0.1);
+    y[AsSize(i)] = std::sin(x(i, 0)) + 0.5 * x(i, 1) + rng.Normal(0.0, 0.1);
   }
   ForestConfig config;
   config.num_trees = 40;
@@ -153,15 +156,15 @@ TEST(RandomForestTest, DeterministicBySeed) {
 void MakeCausalData(int n, Matrix* x, std::vector<int>* t,
                     std::vector<double>* y, Rng* rng) {
   *x = Matrix(n, 2);
-  t->resize(n);
-  y->resize(n);
+  t->resize(AsSize(n));
+  y->resize(AsSize(n));
   for (int i = 0; i < n; ++i) {
     (*x)(i, 0) = rng->Normal();
     (*x)(i, 1) = rng->Normal();
-    (*t)[i] = rng->Bernoulli(0.5) ? 1 : 0;
+    (*t)[AsSize(i)] = rng->Bernoulli(0.5) ? 1 : 0;
     double tau = (*x)(i, 0) > 0.0 ? 2.0 : 0.5;
     double base = 1.0 + 0.3 * (*x)(i, 1);
-    (*y)[i] = base + (*t)[i] * tau + rng->Normal(0.0, 0.3);
+    (*y)[AsSize(i)] = base + (*t)[AsSize(i)] * tau + rng->Normal(0.0, 0.3);
   }
 }
 
@@ -210,13 +213,13 @@ TEST(CausalForestTest, ConstantEffectGivesFlatPredictions) {
   Rng rng(11);
   int n = 3000;
   Matrix x(n, 2);
-  std::vector<int> t(n);
-  std::vector<double> y(n);
+  std::vector<int> t(AsSize(n));
+  std::vector<double> y(AsSize(n));
   for (int i = 0; i < n; ++i) {
     x(i, 0) = rng.Normal();
     x(i, 1) = rng.Normal();
-    t[i] = rng.Bernoulli(0.5) ? 1 : 0;
-    y[i] = 1.0 + t[i] * 1.5 + rng.Normal(0.0, 0.2);
+    t[AsSize(i)] = rng.Bernoulli(0.5) ? 1 : 0;
+    y[AsSize(i)] = 1.0 + t[AsSize(i)] * 1.5 + rng.Normal(0.0, 0.2);
   }
   CausalForestConfig config;
   config.num_trees = 30;

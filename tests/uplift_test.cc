@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "synth/synthetic_generator.h"
@@ -20,13 +21,13 @@ namespace {
 void MakeLinearCausalData(int n, Matrix* x, std::vector<int>* t,
                           std::vector<double>* y, Rng* rng) {
   *x = Matrix(n, 2);
-  t->resize(n);
-  y->resize(n);
+  t->resize(AsSize(n));
+  y->resize(AsSize(n));
   for (int i = 0; i < n; ++i) {
     (*x)(i, 0) = rng->Normal();
     (*x)(i, 1) = rng->Normal();
-    (*t)[i] = rng->Bernoulli(0.5) ? 1 : 0;
-    (*y)[i] = (*x)(i, 0) + (*t)[i] * (1.0 + 2.0 * (*x)(i, 1)) +
+    (*t)[AsSize(i)] = rng->Bernoulli(0.5) ? 1 : 0;
+    (*y)[AsSize(i)] = (*x)(i, 0) + (*t)[AsSize(i)] * (1.0 + 2.0 * (*x)(i, 1)) +
               rng->Normal(0.0, 0.1);
   }
 }
@@ -36,7 +37,7 @@ double CateMse(const CateModel& model, const Matrix& x) {
   double mse = 0.0;
   for (int i = 0; i < x.rows(); ++i) {
     double truth = 1.0 + 2.0 * x(i, 1);
-    mse += (tau[i] - truth) * (tau[i] - truth);
+    mse += (tau[AsSize(i)] - truth) * (tau[AsSize(i)] - truth);
   }
   return mse / x.rows();
 }
@@ -47,7 +48,7 @@ TEST(RidgeRegressorTest, FitsLinearData) {
   std::vector<double> y(200);
   for (int i = 0; i < 200; ++i) {
     x(i, 0) = rng.Normal();
-    y[i] = 3.0 * x(i, 0) + 1.0;
+    y[AsSize(i)] = 3.0 * x(i, 0) + 1.0;
   }
   RidgeRegressor ridge(1e-6);
   ridge.Fit(x, y);
@@ -61,7 +62,7 @@ TEST(ForestRegressorTest, FitsStepData) {
   std::vector<double> y(800);
   for (int i = 0; i < 800; ++i) {
     x(i, 0) = rng.Normal();
-    y[i] = x(i, 0) > 0 ? 1.0 : 0.0;
+    y[AsSize(i)] = x(i, 0) > 0 ? 1.0 : 0.0;
   }
   trees::ForestConfig config;
   config.num_trees = 20;
@@ -110,8 +111,8 @@ TEST_F(MetaLearnerTest, CausalForestCateAdaptsToHeterogeneity) {
   learner.Fit(x_, t_, y_);
   std::vector<double> tau = learner.PredictCate(x_);
   // Forests approximate the linear effect in steps; require correlation.
-  std::vector<double> truth(x_.rows());
-  for (int i = 0; i < x_.rows(); ++i) truth[i] = 1.0 + 2.0 * x_(i, 1);
+  std::vector<double> truth(AsSize(x_.rows()));
+  for (int i = 0; i < x_.rows(); ++i) truth[AsSize(i)] = 1.0 + 2.0 * x_(i, 1);
   EXPECT_GT(PearsonCorrelation(tau, truth), 0.8);
 }
 
@@ -131,8 +132,8 @@ TEST_P(NeuralCateParamTest, LearnsHeterogeneousEffectDirection) {
   NeuralCate model(GetParam(), config);
   model.Fit(x, t, y);
   std::vector<double> tau = model.PredictCate(x);
-  std::vector<double> truth(x.rows());
-  for (int i = 0; i < x.rows(); ++i) truth[i] = 1.0 + 2.0 * x(i, 1);
+  std::vector<double> truth(AsSize(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) truth[AsSize(i)] = 1.0 + 2.0 * x(i, 1);
   EXPECT_GT(PearsonCorrelation(tau, truth), 0.7)
       << "kind=" << static_cast<int>(GetParam());
   EXPECT_NEAR(Mean(tau), 1.0, 0.35);
@@ -143,8 +144,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, NeuralCateParamTest,
                                            NeuralCateKind::kDragonnet,
                                            NeuralCateKind::kOffsetnet,
                                            NeuralCateKind::kSnet),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case NeuralCateKind::kTarnet:
                                return "TARNet";
                              case NeuralCateKind::kDragonnet:
@@ -172,8 +173,8 @@ TEST(TpmRoiModelTest, RanksByRoiOnSyntheticRct) {
   std::vector<double> roi = tpm.PredictRoi(test.x);
   ASSERT_EQ(static_cast<int>(roi.size()), test.n());
 
-  std::vector<double> truth(test.n());
-  for (int i = 0; i < test.n(); ++i) truth[i] = test.TrueRoi(i);
+  std::vector<double> truth(AsSize(test.n()));
+  for (int i = 0; i < test.n(); ++i) truth[AsSize(i)] = test.TrueRoi(i);
   EXPECT_GT(SpearmanCorrelation(roi, truth), 0.1)
       << "TPM ranking should beat random on synthetic data";
 }
@@ -194,7 +195,7 @@ TEST(TpmRoiModelTest, CostFloorGuardsDivision) {
     void Fit(const Matrix&, const std::vector<int>&,
              const std::vector<double>&) override {}
     std::vector<double> PredictCate(const Matrix& x) const override {
-      return std::vector<double>(x.rows(), 0.0);
+      return std::vector<double>(AsSize(x.rows()), 0.0);
     }
   };
   TpmRoiModel tpm("TPM-zero", [] { return std::make_unique<ZeroCate>(); },

@@ -5,7 +5,7 @@
 # speedup table in EXPERIMENTS.md.
 #
 # Usage: bench_to_json.sh <build dir> [output json]
-set -eu
+set -euo pipefail
 
 build_dir=${1:?usage: bench_to_json.sh <build dir> [output json]}
 out=${2:-"$(dirname "$0")/../BENCH_predict.json"}

@@ -1,0 +1,54 @@
+#!/bin/bash
+# Build-matrix driver: configures and builds every supported build mode
+# and prints one pass/fail row per configuration. Meant for manual runs
+# and release gating, not for ctest — several rows are themselves full
+# builds (and the sanitizer rows would recurse into ctest), so wiring it
+# into the suite would multiply CI time by the matrix size.
+#
+# Usage: check_build_matrix.sh <repo root> [config ...]
+#   configs: release strict asan ubsan tsan   (default: all)
+# Build trees live under <repo root>/build-matrix/<config> and are
+# incremental across runs. Exits non-zero if any requested row fails.
+set -euo pipefail
+
+repo_root=${1:?usage: check_build_matrix.sh <repo root> [config ...]}
+shift || true
+configs=("$@")
+if [ "${#configs[@]}" -eq 0 ]; then
+  configs=(release strict asan ubsan tsan)
+fi
+
+cmake_args_for() {
+  case "$1" in
+    release) echo "-DCMAKE_BUILD_TYPE=Release" ;;
+    strict)  echo "-DCMAKE_BUILD_TYPE=Release -DROICL_STRICT=ON" ;;
+    asan)    echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DROICL_SANITIZE=address" ;;
+    ubsan)   echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DROICL_SANITIZE=undefined" ;;
+    tsan)    echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DROICL_SANITIZE=thread" ;;
+    *) echo "unknown config '$1'" >&2; return 1 ;;
+  esac
+}
+
+declare -A result
+status=0
+for config in "${configs[@]}"; do
+  args=$(cmake_args_for "${config}")
+  tree="${repo_root}/build-matrix/${config}"
+  echo "== ${config}: cmake ${args} =="
+  # shellcheck disable=SC2086  # args is a deliberate word-split flag list
+  if cmake -S "${repo_root}" -B "${tree}" ${args} >/dev/null &&
+      cmake --build "${tree}" -j "$(nproc)" >/dev/null 2>&1; then
+    result[${config}]=PASS
+  else
+    result[${config}]=FAIL
+    status=1
+  fi
+done
+
+echo
+printf '%-10s %s\n' config result
+printf '%-10s %s\n' ------ ------
+for config in "${configs[@]}"; do
+  printf '%-10s %s\n' "${config}" "${result[${config}]}"
+done
+exit "${status}"

@@ -1,0 +1,41 @@
+#!/bin/bash
+# Determinism lint: bans ambient-nondeterminism sources in library, tool,
+# and example code. The prediction engine's bitwise-reproducibility
+# guarantee (see DESIGN.md, "Batched parallel prediction") rests on every
+# random draw flowing through common/rng's seeded counter-based streams —
+# one stray rand()/random_device/time-seed silently breaks replayability
+# without failing a single functional test.
+#
+# Banned patterns:
+#   rand( / std::rand(         C global RNG (shared hidden state)
+#   srand(                     seeding the C global RNG (usually from time)
+#   std::random_device         hardware entropy — different every run
+#   time(nullptr|NULL|0)       wall-clock seeds
+#   std::chrono::*_clock::now  wall/steady clock reads in computation
+#
+# Allowlist (reviewed call sites only):
+#   src/common/rng             the seeded RNG implementation itself
+#   src/obs/                   timestamps for logs/metrics/traces are
+#                              observability data, not computation inputs —
+#                              library code gets time via obs::MonotonicMicros
+# bench/ is not scanned: benchmark timing is its whole purpose.
+#
+# Usage: check_determinism.sh <repo root>; exits non-zero on violations.
+set -euo pipefail
+cd "${1:?usage: check_determinism.sh <repo root>}"
+
+pattern='(^|[^[:alnum:]_])rand[[:space:]]*\(|(^|[^[:alnum:]_])srand[[:space:]]*\(|std::random_device|[^[:alnum:]_]time[[:space:]]*\([[:space:]]*(nullptr|NULL|0)[[:space:]]*\)|std::chrono::[a-z_]+_clock::now'
+
+violations=$(grep -rnE --include='*.cc' --include='*.h' "${pattern}" \
+    src/ tools/ examples/ 2>/dev/null \
+  | grep -v '^src/common/rng' \
+  | grep -v '^src/obs/' \
+  || true)
+
+if [ -n "${violations}" ]; then
+  echo "nondeterminism sources found (route randomness through common/rng,"
+  echo "time through obs::MonotonicMicros):"
+  echo "${violations}"
+  exit 1
+fi
+echo "no ambient nondeterminism outside the allowlist"

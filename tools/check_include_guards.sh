@@ -1,0 +1,42 @@
+#!/bin/bash
+# Header hygiene lint:
+#   1. Every header under src/ carries a classic include guard named after
+#      its path (src/nn/dense.h -> ROICL_NN_DENSE_H_) — one consistent
+#      style repo-wide, no #pragma once mixed in.
+#   2. No `using namespace` at any scope in headers: a header-level using
+#      directive leaks into every includer and can silently change
+#      overload resolution there.
+#
+# Usage: check_include_guards.sh <repo root>; exits non-zero on violations.
+set -euo pipefail
+cd "${1:?usage: check_include_guards.sh <repo root>}"
+
+status=0
+
+while IFS= read -r header; do
+  rel=${header#src/}
+  guard="ROICL_$(echo "${rel%.h}" | tr '[:lower:]/' '[:upper:]_')_H_"
+
+  if grep -q '#pragma once' "${header}"; then
+    echo "${header}: uses #pragma once (repo style is ifndef guards)"
+    status=1
+  fi
+  if ! grep -q "^#ifndef ${guard}\$" "${header}" \
+     || ! grep -q "^#define ${guard}\$" "${header}"; then
+    echo "${header}: missing or misnamed include guard (expected ${guard})"
+    status=1
+  fi
+done < <(find src -name '*.h' | sort)
+
+using_hits=$(grep -rn --include='*.h' \
+    -E '^[[:space:]]*using[[:space:]]+namespace[[:space:]]' src/ || true)
+if [ -n "${using_hits}" ]; then
+  echo "using-namespace directive in headers (leaks into every includer):"
+  echo "${using_hits}"
+  status=1
+fi
+
+if [ "${status}" -eq 0 ]; then
+  echo "all headers guarded consistently, none import namespaces"
+fi
+exit "${status}"

@@ -9,7 +9,7 @@
 #   src/common/macros.h  fatal-check macros print right before abort()
 #
 # Usage: check_no_raw_io.sh <repo root>; exits non-zero on violations.
-set -eu
+set -euo pipefail
 cd "${1:?usage: check_no_raw_io.sh <repo root>}"
 
 violations=$(grep -rn --include='*.cc' --include='*.h' \

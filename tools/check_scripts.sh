@@ -1,0 +1,61 @@
+#!/bin/bash
+# Shell-script hygiene lint. PR 1 shipped a ctest entry that failed only
+# because a script lost its executable bit in checkout; this lint makes
+# that class of regression impossible:
+#   1. every *.sh under tools/ and tests/ parses (bash -n);
+#   2. every script opts into strict shell semantics (set -euo pipefail)
+#      so an unset variable or mid-pipeline failure can't be swallowed;
+#   3. every script has the executable bit set;
+#   4. ctest test names are unique across the tree (no double
+#      registration), and every tools/check_*.sh lint is registered in
+#      exactly one add_test() so a new lint can't silently go unwired.
+#
+# Usage: check_scripts.sh <repo root>; exits non-zero on violations.
+set -euo pipefail
+cd "${1:?usage: check_scripts.sh <repo root>}"
+
+status=0
+
+while IFS= read -r script; do
+  if ! bash -n "${script}" 2>/dev/null; then
+    echo "${script}: does not parse (bash -n failed)"
+    status=1
+  fi
+  if ! grep -q '^set -euo pipefail$' "${script}"; then
+    echo "${script}: missing 'set -euo pipefail'"
+    status=1
+  fi
+  if [ ! -x "${script}" ]; then
+    echo "${script}: executable bit not set"
+    status=1
+  fi
+done < <(find tools tests -name '*.sh' | sort)
+
+# add_test names must be unique tree-wide.
+dupes=$(grep -rh --include='CMakeLists.txt' -oE 'add_test\(NAME [A-Za-z0-9_]+' . \
+  | sort | uniq -d || true)
+if [ -n "${dupes}" ]; then
+  echo "ctest test registered more than once:"
+  echo "${dupes}"
+  status=1
+fi
+
+# Every lint under tools/ must be wired into ctest exactly once.
+while IFS= read -r lint; do
+  name=$(basename "${lint}")
+  # `|| true` inside the group: grep exits 1 on zero matches, which under
+  # `set -e -o pipefail` would abort the whole lint instead of reporting
+  # the unregistered script.
+  count=$({ grep -r --include='CMakeLists.txt' -c "${name}" . || true; } \
+    | awk -F: '{s+=$2} END {print s+0}')
+  if [ "${count}" -ne 1 ]; then
+    echo "${lint}: referenced ${count} times in CMakeLists (expected exactly 1 add_test)"
+    status=1
+  fi
+done < <(find tools -name 'check_*.sh' ! -name 'check_build_matrix.sh' \
+  | sort)  # the build-matrix driver is a manual meta-tool, not a ctest lint
+
+if [ "${status}" -eq 0 ]; then
+  echo "all scripts strict, executable, and registered exactly once"
+fi
+exit "${status}"

@@ -13,7 +13,7 @@
 //   roicl generate --dataset criteo --n 5000 --seed 2 --shifted --out calib.csv
 //   roicl train --model rdrp --train train.csv --calib calib.csv --out m.rdrp
 //   roicl evaluate --model-type rdrp --model m.rdrp --data test.csv
-//   roicl allocate --model-type rdrp --model m.rdrp --data test.csv \
+//   roicl allocate --model-type rdrp --model m.rdrp --data test.csv
 //       --budget-frac 0.15
 //
 // Observability flags (all subcommands):
@@ -43,6 +43,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "synth/synthetic_generator.h"
+#include "common/math_util.h"
 
 using namespace roicl;
 
@@ -362,9 +363,10 @@ int CmdEvaluate(const Flags& flags) {
       width += interval.width();
     }
     std::printf("coverage of this set's roi* (%.4f): %.3f\n", roi_star,
-                static_cast<double>(covered) / scored.intervals.size());
+                static_cast<double>(covered) /
+                    static_cast<double>(scored.intervals.size()));
     std::printf("mean interval width: %.4f\n",
-                width / scored.intervals.size());
+                width / static_cast<double>(scored.intervals.size()));
   }
   return 0;
 }
@@ -385,7 +387,7 @@ int CmdAllocate(const Flags& flags) {
       core::GreedyAllocate(scored.scores, data.true_tau_c, budget,
                            /*skip_unaffordable=*/true);
   double revenue = 0.0;
-  for (int i : alloc.selected) revenue += data.true_tau_r[i];
+  for (int i : alloc.selected) revenue += data.true_tau_r[roicl::AsSize(i)];
   std::printf("budget            : %.2f (%.0f%% of all-in)\n", budget,
               100.0 * flags.GetDouble("budget-frac", 0.15));
   std::printf("treated           : %zu of %d\n", alloc.selected.size(),

@@ -8,7 +8,7 @@
 # Usage: run_tsan.sh <repo root> [build dir]
 # The TSan build tree is kept separate (default <repo root>/build-tsan)
 # and incremental, so repeat runs only recompile what changed.
-set -eu
+set -euo pipefail
 
 repo_root=${1:?usage: run_tsan.sh <repo root> [build dir]}
 build_dir=${2:-"${repo_root}/build-tsan"}
