@@ -9,7 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <future>
+#include <numeric>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/stats.h"
@@ -21,6 +26,8 @@
 #include "metrics/cost_curve.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/service.h"
 #include "trees/causal_forest.h"
 #include "common/math_util.h"
 
@@ -205,6 +212,59 @@ void BM_CausalForestFit(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 
+/// End-to-end serving throughput: a ScoringService fed micro-batched
+/// requests (128 rows each), swept over engine thread counts. The
+/// pipeline is trained once and reloaded from its artifact per run, so
+/// the benchmark covers the exact train-once/serve-many path the CLI
+/// `serve` subcommand uses. Recorded to BENCH_serve.json by
+/// tools/bench_to_json.sh.
+void BM_ScoringServiceThroughput(benchmark::State& state) {
+  static const std::string& blob = [] {
+    pipeline::Hyperparams hp;
+    hp.neural_epochs = 4;
+    hp.restarts = 1;
+    RctDataset train = MakeData(2000);
+    pipeline::Pipeline trained =
+        std::move(pipeline::Pipeline::Train("DRP", hp, train,
+                                            /*calibration=*/nullptr, {}))
+            .value();
+    std::ostringstream out;
+    ROICL_CHECK(trained.Save(out).ok());
+    return *new std::string(out.str());
+  }();
+  std::istringstream in(blob);
+  pipeline::Pipeline loaded =
+      std::move(pipeline::Pipeline::Load(in)).value();
+  pipeline::ServiceOptions options;
+  options.engine.num_threads = static_cast<int>(state.range(0));
+  pipeline::ScoringService service(std::move(loaded), options);
+
+  RctDataset data = MakeData(4096);
+  constexpr int kRequestRows = 128;
+  std::vector<Matrix> requests;
+  for (int start = 0; start < data.x.rows(); start += kRequestRows) {
+    int end = std::min(start + kRequestRows, data.x.rows());
+    std::vector<int> rows(AsSize(end - start));
+    std::iota(rows.begin(), rows.end(), start);
+    requests.push_back(data.x.SelectRows(rows));
+  }
+
+  for (auto _ : state) {
+    std::vector<std::future<StatusOr<std::vector<double>>>> futures;
+    futures.reserve(requests.size());
+    for (const Matrix& request : requests) {
+      futures.push_back(service.Submit(request));
+    }
+    for (auto& future : futures) {
+      StatusOr<std::vector<double>> result = future.get();
+      ROICL_CHECK(result.ok());
+      benchmark::DoNotOptimize(result.value().data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.x.rows()));
+}
+
 BENCHMARK(BM_BinarySearchRoiStar)
     ->Args({1000, 100})
     ->Args({1000, 10000})
@@ -257,6 +317,14 @@ BENCHMARK(BM_RdrpTrainPredictObsOverhead)
     ->Arg(0)   // observability quiet
     ->Arg(1)   // log level INFO (the default)
     ->Arg(2)   // + trace collection
+    ->Unit(benchmark::kMillisecond);
+// UseRealTime: the client thread mostly waits on futures while the
+// dispatcher scores, so CPU-time-based rates would overstate throughput.
+BENCHMARK(BM_ScoringServiceThroughput)
+    ->Arg(1)   // serial engine
+    ->Arg(2)
+    ->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

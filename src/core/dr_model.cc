@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-
+#include <iomanip>
 #include <limits>
+#include <string>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/math_util.h"
 #include "core/mc_dropout.h"
 #include "metrics/cost_curve.h"
+#include "nn/dense.h"
+#include "nn/serialize.h"
 
 namespace roicl::core {
 namespace {
@@ -144,7 +148,8 @@ void DirectRankModel::Fit(const RctDataset& train) {
 std::vector<double> DirectRankModel::PredictRoi(const Matrix& x) const {
   ROICL_CHECK_MSG(fitted(), "PredictRoi() before Fit()");
   Matrix x_scaled = scaler_.Transform(x);
-  Matrix out = nn::BatchedInferForward(net_.get(), x_scaled);
+  Matrix out = nn::BatchedInferForward(net_.get(), x_scaled,
+                                       config_.predict);
   std::vector<double> roi = out.Col(0);
   // DR only learns a ranking; the sigmoid maps it into (0, 1) so the
   // downstream tooling can treat all direct models uniformly.
@@ -162,6 +167,68 @@ McDropoutStats DirectRankModel::PredictMcRoi(
   Matrix x_scaled = scaler_.Transform(x);
   return RunMcDropout(net_.get(), x_scaled, passes, seed,
                       /*sigmoid_output=*/true, opts);
+}
+
+Status DirectRankModel::Save(std::ostream& out) const {
+  if (!fitted()) return Status::FailedPrecondition("model not fitted");
+  out << "roicl-dr-v1\n";
+  out << std::setprecision(17);
+  const std::vector<double>& means = scaler_.means();
+  const std::vector<double>& stds = scaler_.stddevs();
+  out << means.size();
+  for (double m : means) out << ' ' << m;
+  for (double s : stds) out << ' ' << s;
+  out << '\n';
+  return nn::SaveMlp(*net_, out);
+}
+
+StatusOr<DirectRankModel> DirectRankModel::Load(
+    std::istream& in, const DirectRankConfig& config) {
+  std::string magic;
+  if (!(in >> magic)) {
+    return Status::InvalidArgument("empty or truncated dr model stream");
+  }
+  if (magic != "roicl-dr-v1") {
+    if (magic.rfind("roicl-dr-v", 0) == 0) {
+      return Status::InvalidArgument("unsupported dr format version '" +
+                                     magic + "' (expected roicl-dr-v1)");
+    }
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-dr-v1)");
+  }
+  size_t dim = 0;
+  if (!(in >> dim) || dim == 0 || dim > 1000000) {
+    return Status::InvalidArgument("bad feature dimension");
+  }
+  std::vector<double> means(dim), stds(dim);
+  for (double& v : means) {
+    if (!(in >> v)) return Status::InvalidArgument("truncated means");
+  }
+  for (double& v : stds) {
+    if (!(in >> v)) return Status::InvalidArgument("truncated stds");
+    if (v <= 0.0) return Status::InvalidArgument("non-positive stddev");
+  }
+  StatusOr<nn::Mlp> net = nn::LoadMlp(in);
+  if (!net.ok()) return net.status();
+  int net_input = -1;
+  for (size_t l = 0; l < net.value().num_layers(); ++l) {
+    if (const auto* dense =
+            dynamic_cast<const nn::Dense*>(net.value().layer(l))) {
+      net_input = dense->in_features();
+      break;
+    }
+  }
+  if (net_input != static_cast<int>(dim)) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: scaler has " + std::to_string(dim) +
+        " features but the network expects " + std::to_string(net_input));
+  }
+
+  DirectRankModel model(config);
+  model.scaler_ =
+      StandardScaler::FromMoments(std::move(means), std::move(stds));
+  model.net_ = std::make_unique<nn::Mlp>(std::move(net).value());
+  return model;
 }
 
 }  // namespace roicl::core

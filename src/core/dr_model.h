@@ -1,10 +1,13 @@
 #ifndef ROICL_CORE_DR_MODEL_H_
 #define ROICL_CORE_DR_MODEL_H_
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/direct_model.h"
 #include "data/scaler.h"
 #include "nn/mlp.h"
@@ -30,6 +33,9 @@ struct DirectRankConfig {
   /// Floor for the incremental-cost denominator inside the loss.
   double cost_floor = 1e-3;
   uint64_t seed = 78;
+  /// Batched prediction-engine knobs (row-block size, thread count).
+  /// Throughput only — predictions are bit-identical across settings.
+  nn::BatchOptions predict;
 };
 
 /// The Direct Rank (DR) baseline of Du, Lee & Ghaffarizadeh (2019):
@@ -53,6 +59,24 @@ class DirectRankModel : public DirectRoiModel {
                               const nn::BatchOptions& opts) const override;
 
   bool fitted() const { return net_ != nullptr; }
+
+  /// Feature dimension the model was fitted on (-1 before Fit/Load).
+  int feature_dim() const {
+    return scaler_.fitted() ? static_cast<int>(scaler_.means().size()) : -1;
+  }
+
+  /// Re-points the batched prediction engine. Throughput knob only.
+  void set_predict_options(const nn::BatchOptions& opts) {
+    config_.predict = opts;
+  }
+
+  /// Serializes the fitted model (scaler + network, "roicl-dr-v1") so a
+  /// trained ranker can be deployed without retraining. Requires fitted().
+  Status Save(std::ostream& out) const;
+  /// Restores a model saved by Save(). `config` supplies runtime knobs;
+  /// the architecture comes from the stream.
+  static StatusOr<DirectRankModel> Load(
+      std::istream& in, const DirectRankConfig& config = DirectRankConfig());
 
  private:
   DirectRankConfig config_;

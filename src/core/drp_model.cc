@@ -3,10 +3,12 @@
 #include <fstream>
 #include <iomanip>
 #include <limits>
+#include <string>
 
 #include "common/macros.h"
 #include "common/math_util.h"
 #include "core/drp_loss.h"
+#include "nn/dense.h"
 #include "nn/serialize.h"
 #include "core/mc_dropout.h"
 #include "metrics/cost_curve.h"
@@ -126,8 +128,16 @@ Status DrpModel::SaveToFile(const std::string& path) const {
 StatusOr<DrpModel> DrpModel::Load(std::istream& in,
                                   const DrpConfig& config) {
   std::string magic;
-  if (!(in >> magic) || magic != "roicl-drp-v1") {
-    return Status::InvalidArgument("bad magic (expected roicl-drp-v1)");
+  if (!(in >> magic)) {
+    return Status::InvalidArgument("empty or truncated drp model stream");
+  }
+  if (magic != "roicl-drp-v1") {
+    if (magic.rfind("roicl-drp-v", 0) == 0) {
+      return Status::InvalidArgument("unsupported drp format version '" +
+                                     magic + "' (expected roicl-drp-v1)");
+    }
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-drp-v1)");
   }
   size_t dim = 0;
   if (!(in >> dim) || dim == 0 || dim > 1000000) {
@@ -143,6 +153,22 @@ StatusOr<DrpModel> DrpModel::Load(std::istream& in,
   }
   StatusOr<nn::Mlp> net = nn::LoadMlp(in);
   if (!net.ok()) return net.status();
+
+  // Cross-check: the network's first dense layer must consume exactly the
+  // scaler's feature dimension, or predictions would index out of range.
+  int net_input = -1;
+  for (size_t l = 0; l < net.value().num_layers(); ++l) {
+    if (const auto* dense =
+            dynamic_cast<const nn::Dense*>(net.value().layer(l))) {
+      net_input = dense->in_features();
+      break;
+    }
+  }
+  if (net_input != static_cast<int>(dim)) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: scaler has " + std::to_string(dim) +
+        " features but the network expects " + std::to_string(net_input));
+  }
 
   DrpModel model(config);
   model.scaler_ =

@@ -61,6 +61,17 @@ class DrpModel : public DirectRoiModel {
   const DrpConfig& config() const { return config_; }
   bool fitted() const { return net_ != nullptr; }
 
+  /// Feature dimension the model was fitted on (-1 before Fit/Load).
+  int feature_dim() const {
+    return scaler_.fitted() ? static_cast<int>(scaler_.means().size()) : -1;
+  }
+
+  /// Re-points the batched prediction engine (row-block size, thread
+  /// count). Throughput knob only — output bits never change.
+  void set_predict_options(const nn::BatchOptions& opts) {
+    config_.predict = opts;
+  }
+
   /// Serializes the fitted model (scaler + network) to a stream/file so a
   /// model trained offline can be deployed without retraining. Requires
   /// fitted().

@@ -125,8 +125,16 @@ Status RdrpModel::SaveToFile(const std::string& path) const {
 StatusOr<RdrpModel> RdrpModel::Load(std::istream& in,
                                     const RdrpConfig& config) {
   std::string magic;
-  if (!(in >> magic) || magic != "roicl-rdrp-v1") {
-    return Status::InvalidArgument("bad magic (expected roicl-rdrp-v1)");
+  if (!(in >> magic)) {
+    return Status::InvalidArgument("empty or truncated rdrp model stream");
+  }
+  if (magic != "roicl-rdrp-v1") {
+    if (magic.rfind("roicl-rdrp-v", 0) == 0) {
+      return Status::InvalidArgument("unsupported rdrp format version '" +
+                                     magic + "' (expected roicl-rdrp-v1)");
+    }
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-rdrp-v1)");
   }
   double q_hat = 0.0, roi_star = 0.0;
   int form = 0;

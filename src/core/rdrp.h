@@ -74,6 +74,17 @@ class RdrpModel : public uplift::RoiModel {
   }
 
   const DrpModel& drp() const { return drp_; }
+
+  /// Feature dimension of the underlying DRP net (-1 before Fit/Load).
+  int feature_dim() const { return drp_.feature_dim(); }
+
+  /// Re-points the batched prediction engine for both the point forward
+  /// and the MC-dropout sweep. Throughput knob only — bits never change.
+  void set_predict_options(const nn::BatchOptions& opts) {
+    config_.drp.predict = opts;
+    drp_.set_predict_options(opts);
+  }
+
   double q_hat() const { return q_hat_; }
   double roi_star() const { return roi_star_global_; }
   CalibrationForm selected_form() const { return form_; }

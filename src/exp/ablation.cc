@@ -2,18 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "common/macros.h"
 #include "core/calibration.h"
 #include "core/conformal.h"
-#include "core/dr_model.h"
-#include "core/drp_model.h"
 #include "core/roi_star.h"
+#include "exp/methods.h"
 #include "metrics/cost_curve.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "pipeline/registry.h"
 
 namespace roicl::exp {
 namespace {
+
+/// Builds a named scorer through the registry; the ablation table is
+/// static, so a missing registration is a programming error.
+std::unique_ptr<pipeline::RoiScorer> CreateScorer(
+    const std::string& name, const MethodHyperparams& hp) {
+  StatusOr<std::unique_ptr<pipeline::RoiScorer>> scorer =
+      pipeline::ScorerRegistry::Global().Create(name, hp);
+  ROICL_CHECK_MSG(scorer.ok(), "scorer '%s' unavailable: %s", name.c_str(),
+                  scorer.status().message().c_str());
+  return std::move(scorer).value();
+}
 
 /// MC-form calibration shared by the "w/ MC" and "w/ MC w/ CP" variants:
 /// select the best Eq. 5a-5c form on the calibration set with the given
@@ -56,16 +69,16 @@ AblationRow RunAblationSetting(DatasetId dataset, Setting setting,
   row.setting = setting;
 
   // ---- DR branch: train once, reuse for DR and DR w/ MC. ----
-  core::DirectRankModel dr(MakeDrConfig(hp));
-  dr.Fit(splits.train);
-  std::vector<double> dr_test = dr.PredictRoi(test.x);
+  std::unique_ptr<pipeline::RoiScorer> dr = CreateScorer("DR", hp);
+  dr->Fit(splits.train);
+  std::vector<double> dr_test = dr->PredictRoi(test.x);
   row.dr = metrics::Aucc(dr_test, test);
   {
-    std::vector<double> dr_calib = dr.PredictRoi(calib.x);
+    std::vector<double> dr_calib = dr->PredictRoi(calib.x);
     core::McDropoutStats mc_calib =
-        dr.PredictMcRoi(calib.x, hp.mc_passes, hp.seed + 11);
+        dr->ScoreMc(calib.x, hp.mc_passes, hp.seed + 11).value();
     core::McDropoutStats mc_test =
-        dr.PredictMcRoi(test.x, hp.mc_passes, hp.seed + 12);
+        dr->ScoreMc(test.x, hp.mc_passes, hp.seed + 12).value();
     // q_hat = 1: MC only, no conformal scaling (DR's non-convex loss
     // rules out the Algorithm-2 convergence point, per §V-B).
     row.dr_mc = EvaluateCalibrated(dr_calib, mc_calib.stddev, dr_test,
@@ -74,16 +87,16 @@ AblationRow RunAblationSetting(DatasetId dataset, Setting setting,
   }
 
   // ---- DRP branch: train once, reuse for DRP, w/ MC, w/ MC w/ CP. ----
-  core::DrpModel drp(MakeDrpConfig(hp));
-  drp.Fit(splits.train);
-  std::vector<double> drp_test = drp.PredictRoi(test.x);
+  std::unique_ptr<pipeline::RoiScorer> drp = CreateScorer("DRP", hp);
+  drp->Fit(splits.train);
+  std::vector<double> drp_test = drp->PredictRoi(test.x);
   row.drp = metrics::Aucc(drp_test, test);
 
-  std::vector<double> drp_calib = drp.PredictRoi(calib.x);
+  std::vector<double> drp_calib = drp->PredictRoi(calib.x);
   core::McDropoutStats mc_calib =
-      drp.PredictMcRoi(calib.x, hp.mc_passes, hp.seed + 13);
+      drp->ScoreMc(calib.x, hp.mc_passes, hp.seed + 13).value();
   core::McDropoutStats mc_test =
-      drp.PredictMcRoi(test.x, hp.mc_passes, hp.seed + 14);
+      drp->ScoreMc(test.x, hp.mc_passes, hp.seed + 14).value();
 
   row.drp_mc = EvaluateCalibrated(drp_calib, mc_calib.stddev, drp_test,
                                   mc_test.stddev, /*q_hat=*/1.0, calib,

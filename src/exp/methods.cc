@@ -1,154 +1,62 @@
 #include "exp/methods.h"
 
-#include "uplift/causal_forest_cate.h"
-#include "uplift/meta_learners.h"
-#include "uplift/tpm.h"
+#include "common/macros.h"
 
 namespace roicl::exp {
 
-core::DrpConfig MakeDrpConfig(const MethodHyperparams& hp) {
-  core::DrpConfig config;
-  config.hidden_units = hp.drp_hidden;
-  config.dropout = hp.drp_dropout;
-  config.train.epochs = hp.neural_epochs;
-  config.train.batch_size = hp.batch_size;
-  config.train.learning_rate = hp.learning_rate;
-  config.train.patience = hp.patience;
-  config.train.seed = hp.seed;
-  config.seed = hp.seed + 1;
-  return config;
-}
-
-core::DirectRankConfig MakeDrConfig(const MethodHyperparams& hp) {
-  core::DirectRankConfig config;
-  config.hidden_units = hp.drp_hidden;
-  config.dropout = hp.drp_dropout;
-  config.train.epochs = hp.neural_epochs;
-  config.train.batch_size = hp.batch_size;
-  config.train.learning_rate = hp.learning_rate;
-  config.train.patience = hp.patience;
-  config.train.seed = hp.seed;
-  config.seed = hp.seed + 2;
-  return config;
-}
-
-core::RdrpConfig MakeRdrpConfig(const MethodHyperparams& hp) {
-  core::RdrpConfig config;
-  config.drp = MakeDrpConfig(hp);  // identical DRP for fair comparison
-  config.mc_passes = hp.mc_passes;
-  config.alpha = hp.alpha;
-  config.mc_seed = hp.seed + 3;
-  return config;
-}
-
-uplift::NeuralCateConfig MakeNeuralCateConfig(const MethodHyperparams& hp) {
-  uplift::NeuralCateConfig config;
-  config.trunk_hidden = {hp.cate_trunk};
-  config.head_hidden = {hp.cate_head};
-  config.dropout = 0.1;
-  config.train.epochs = hp.cate_epochs;
-  config.train.batch_size = hp.batch_size;
-  config.train.learning_rate = hp.learning_rate;
-  config.train.patience = hp.cate_patience;
-  config.train.seed = hp.seed + 4;
-  config.seed = hp.seed + 5;
-  return config;
-}
-
-trees::ForestConfig MakeForestConfig(const MethodHyperparams& hp) {
-  trees::ForestConfig config;
-  config.num_trees = hp.forest_trees;
-  config.tree.max_depth = hp.forest_depth;
-  config.seed = hp.seed + 6;
-  return config;
-}
-
-trees::CausalForestConfig MakeCausalForestConfig(
-    const MethodHyperparams& hp) {
-  trees::CausalForestConfig config;
-  config.num_trees = hp.causal_forest_trees;
-  config.tree.max_depth = hp.forest_depth;
-  config.seed = hp.seed + 7;
-  return config;
-}
-
-MethodSpec TpmSlMethod(const MethodHyperparams& hp) {
-  trees::ForestConfig forest = MakeForestConfig(hp);
-  return {"TPM-SL", [forest] {
-            return std::make_unique<uplift::TpmRoiModel>(
-                "TPM-SL", [forest] {
-                  return std::make_unique<uplift::SLearner>(
-                      uplift::MakeForestFactory(forest));
-                });
+MethodSpec RegistryMethod(const std::string& name,
+                          const MethodHyperparams& hp) {
+  pipeline::ScorerRegistry& registry = pipeline::ScorerRegistry::Global();
+  StatusOr<std::string> resolved = registry.Resolve(name);
+  ROICL_CHECK_MSG(resolved.ok(), "unregistered method '%s': %s",
+                  name.c_str(), resolved.status().message().c_str());
+  std::string canonical = resolved.value();
+  return {canonical, [canonical, hp]() -> std::unique_ptr<uplift::RoiModel> {
+            StatusOr<std::unique_ptr<pipeline::RoiScorer>> scorer =
+                pipeline::ScorerRegistry::Global().Create(canonical, hp);
+            ROICL_CHECK_MSG(scorer.ok(), "scorer construction failed: %s",
+                            scorer.status().message().c_str());
+            return std::move(scorer).value();
           }};
-}
-
-MethodSpec TpmXlMethod(const MethodHyperparams& hp) {
-  trees::ForestConfig forest = MakeForestConfig(hp);
-  return {"TPM-XL", [forest] {
-            return std::make_unique<uplift::TpmRoiModel>(
-                "TPM-XL", [forest] {
-                  return std::make_unique<uplift::XLearner>(
-                      uplift::MakeForestFactory(forest));
-                });
-          }};
-}
-
-MethodSpec TpmCfMethod(const MethodHyperparams& hp) {
-  trees::CausalForestConfig cf = MakeCausalForestConfig(hp);
-  return {"TPM-CF", [cf] {
-            return std::make_unique<uplift::TpmRoiModel>("TPM-CF", [cf] {
-              return std::make_unique<uplift::CausalForestCate>(cf);
-            });
-          }};
-}
-
-MethodSpec TpmNeuralMethod(const MethodHyperparams& hp,
-                           uplift::NeuralCateKind kind,
-                           const std::string& name) {
-  uplift::NeuralCateConfig config = MakeNeuralCateConfig(hp);
-  return {name, [name, kind, config] {
-            return std::make_unique<uplift::TpmRoiModel>(
-                name, uplift::MakeNeuralCateFactory(kind, config));
-          }};
-}
-
-MethodSpec DrMethod(const MethodHyperparams& hp) {
-  core::DirectRankConfig config = MakeDrConfig(hp);
-  return {"DR", [config] {
-            return std::make_unique<core::DirectRankModel>(config);
-          }};
-}
-
-MethodSpec DrpMethod(const MethodHyperparams& hp) {
-  core::DrpConfig config = MakeDrpConfig(hp);
-  return {"DRP",
-          [config] { return std::make_unique<core::DrpModel>(config); }};
-}
-
-MethodSpec RdrpMethod(const MethodHyperparams& hp) {
-  core::RdrpConfig config = MakeRdrpConfig(hp);
-  return {"rDRP",
-          [config] { return std::make_unique<core::RdrpModel>(config); }};
 }
 
 std::vector<MethodSpec> Table1Methods(const MethodHyperparams& hp) {
   std::vector<MethodSpec> methods;
-  methods.push_back(TpmSlMethod(hp));
-  methods.push_back(TpmXlMethod(hp));
-  methods.push_back(TpmCfMethod(hp));
-  methods.push_back(TpmNeuralMethod(hp, uplift::NeuralCateKind::kDragonnet,
-                                    "TPM-DragonNet"));
-  methods.push_back(TpmNeuralMethod(hp, uplift::NeuralCateKind::kTarnet,
-                                    "TPM-TARNet"));
-  methods.push_back(TpmNeuralMethod(hp, uplift::NeuralCateKind::kOffsetnet,
-                                    "TPM-OffsetNet"));
-  methods.push_back(
-      TpmNeuralMethod(hp, uplift::NeuralCateKind::kSnet, "TPM-SNet"));
-  methods.push_back(DrMethod(hp));
-  methods.push_back(DrpMethod(hp));
-  methods.push_back(RdrpMethod(hp));
+  methods.reserve(kTable1MethodNames.size());
+  for (const char* name : kTable1MethodNames) {
+    methods.push_back(RegistryMethod(name, hp));
+  }
   return methods;
+}
+
+MethodSpec TpmSlMethod(const MethodHyperparams& hp) {
+  return RegistryMethod("TPM-SL", hp);
+}
+
+MethodSpec TpmXlMethod(const MethodHyperparams& hp) {
+  return RegistryMethod("TPM-XL", hp);
+}
+
+MethodSpec TpmCfMethod(const MethodHyperparams& hp) {
+  return RegistryMethod("TPM-CF", hp);
+}
+
+MethodSpec TpmNeuralMethod(const MethodHyperparams& hp,
+                           uplift::NeuralCateKind /*kind*/,
+                           const std::string& name) {
+  return RegistryMethod(name, hp);
+}
+
+MethodSpec DrMethod(const MethodHyperparams& hp) {
+  return RegistryMethod("DR", hp);
+}
+
+MethodSpec DrpMethod(const MethodHyperparams& hp) {
+  return RegistryMethod("DRP", hp);
+}
+
+MethodSpec RdrpMethod(const MethodHyperparams& hp) {
+  return RegistryMethod("rDRP", hp);
 }
 
 }  // namespace roicl::exp

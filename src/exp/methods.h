@@ -1,16 +1,14 @@
 #ifndef ROICL_EXP_METHODS_H_
 #define ROICL_EXP_METHODS_H_
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/dr_model.h"
-#include "core/drp_model.h"
-#include "core/rdrp.h"
-#include "trees/causal_forest.h"
-#include "trees/random_forest.h"
+#include "pipeline/hyperparams.h"
+#include "pipeline/registry.h"
 #include "uplift/neural_cate.h"
 #include "uplift/roi_model.h"
 
@@ -22,54 +20,52 @@ struct MethodSpec {
   std::function<std::unique_ptr<uplift::RoiModel>()> factory;
 };
 
-/// One knob block controlling every method, so all ten benchmark rows are
-/// trained under comparable budgets (the paper keeps DRP/rDRP
-/// hyperparameters identical for fairness).
-struct MethodHyperparams {
-  // Direct neural models (DRP, DR).
-  int neural_epochs = 120;
-  int batch_size = 256;
-  double learning_rate = 5e-3;
-  int patience = 12;
-  int drp_hidden = 0;  // auto from data size
-  double drp_dropout = 0.2;
+/// The shared hyperparam block now lives in the pipeline layer (it is
+/// half of every saved artifact); exp keeps the historical names as
+/// aliases so experiment and bench code reads unchanged.
+using MethodHyperparams = pipeline::Hyperparams;
 
-  // Neural CATE baselines (TARNet/DragonNet/OffsetNet/SNet).
-  int cate_epochs = 20;
-  int cate_patience = 4;
-  int cate_trunk = 32;
-  int cate_head = 16;
+inline core::DrpConfig MakeDrpConfig(const MethodHyperparams& hp) {
+  return pipeline::MakeDrpConfig(hp);
+}
+inline core::DirectRankConfig MakeDrConfig(const MethodHyperparams& hp) {
+  return pipeline::MakeDrConfig(hp);
+}
+inline core::RdrpConfig MakeRdrpConfig(const MethodHyperparams& hp) {
+  return pipeline::MakeRdrpConfig(hp);
+}
+inline uplift::NeuralCateConfig MakeNeuralCateConfig(
+    const MethodHyperparams& hp) {
+  return pipeline::MakeNeuralCateConfig(hp);
+}
+inline trees::ForestConfig MakeForestConfig(const MethodHyperparams& hp) {
+  return pipeline::MakeForestConfig(hp);
+}
+inline trees::CausalForestConfig MakeCausalForestConfig(
+    const MethodHyperparams& hp) {
+  return pipeline::MakeCausalForestConfig(hp);
+}
 
-  // Tree ensembles.
-  int forest_trees = 30;
-  int forest_depth = 6;
-  int causal_forest_trees = 40;
+/// The ten Table-I method names in the paper's row order. This array is
+/// the single source of truth the registry-completeness lint greps: every
+/// entry must resolve through pipeline::ScorerRegistry.
+inline constexpr std::array<const char*, 10> kTable1MethodNames = {
+    "TPM-SL",     "TPM-XL",        "TPM-CF", "TPM-DragonNet",
+    "TPM-TARNet", "TPM-OffsetNet", "TPM-SNet", "DR",
+    "DRP",        "rDRP"};
 
-  // Meta-learner ridge penalty.
-  double ridge_lambda = 1.0;
+/// One MethodSpec whose factory builds `name` through the global scorer
+/// registry. CHECK-fails on an unregistered name (benchmark tables are
+/// static; user-facing lookups go through the registry's StatusOr API).
+MethodSpec RegistryMethod(const std::string& name,
+                          const MethodHyperparams& hp);
 
-  // rDRP knobs.
-  int mc_passes = 30;
-  double alpha = 0.1;
-
-  uint64_t seed = 1234;
-};
-
-/// Derived config helpers.
-core::DrpConfig MakeDrpConfig(const MethodHyperparams& hp);
-core::DirectRankConfig MakeDrConfig(const MethodHyperparams& hp);
-core::RdrpConfig MakeRdrpConfig(const MethodHyperparams& hp);
-uplift::NeuralCateConfig MakeNeuralCateConfig(const MethodHyperparams& hp);
-trees::ForestConfig MakeForestConfig(const MethodHyperparams& hp);
-trees::CausalForestConfig MakeCausalForestConfig(
-    const MethodHyperparams& hp);
-
-/// The ten Table-I methods in the paper's row order:
-/// TPM-SL, TPM-XL, TPM-CF, TPM-DragonNet, TPM-TARNet, TPM-OffsetNet,
-/// TPM-SNet, DR, DRP, rDRP.
+/// The ten Table-I methods in the paper's row order, all dispatched
+/// through the registry.
 std::vector<MethodSpec> Table1Methods(const MethodHyperparams& hp);
 
-/// Individual factories (used by the ablation and A/B benches).
+/// Individual factories (used by the ablation and A/B benches). All are
+/// registry lookups — no per-family construction chains live here.
 MethodSpec TpmSlMethod(const MethodHyperparams& hp);
 MethodSpec TpmXlMethod(const MethodHyperparams& hp);
 MethodSpec TpmCfMethod(const MethodHyperparams& hp);

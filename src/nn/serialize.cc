@@ -81,14 +81,25 @@ Status SaveMlp(Mlp& net, std::ostream& out) {
 
 StatusOr<Mlp> LoadMlp(std::istream& in) {
   std::string magic;
-  if (!(in >> magic) || magic != kMagic) {
-    return Status::InvalidArgument("bad magic (expected roicl-mlp-v1)");
+  if (!(in >> magic)) {
+    return Status::InvalidArgument(
+        "empty or truncated stream (expected roicl-mlp-v1 header)");
+  }
+  if (magic != kMagic) {
+    if (magic.rfind("roicl-mlp-v", 0) == 0) {
+      return Status::InvalidArgument("unsupported mlp format version '" +
+                                     magic + "' (this build reads " +
+                                     kMagic + ")");
+    }
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-mlp-v1)");
   }
   size_t num_layers = 0;
   if (!(in >> num_layers) || num_layers > 10000) {
     return Status::InvalidArgument("bad layer count");
   }
   Mlp net;
+  int prev_width = -1;  // output width of the previous dense layer
   for (size_t l = 0; l < num_layers; ++l) {
     std::string kind;
     if (!(in >> kind)) return Status::InvalidArgument("truncated layers");
@@ -98,6 +109,14 @@ StatusOr<Mlp> LoadMlp(std::istream& in) {
           out_features <= 0) {
         return Status::InvalidArgument("bad dense header");
       }
+      if (prev_width >= 0 && in_features != prev_width) {
+        return Status::InvalidArgument(
+            "dense layer width mismatch: layer " + std::to_string(l) +
+            " expects " + std::to_string(in_features) +
+            " inputs but the previous dense layer produces " +
+            std::to_string(prev_width));
+      }
+      prev_width = out_features;
       auto dense = std::make_unique<Dense>(in_features, out_features,
                                            Init::kZero, nullptr);
       StatusOr<Matrix> weights = ReadMatrix(in);
@@ -143,6 +162,54 @@ StatusOr<Mlp> LoadMlpFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   return LoadMlp(in);
+}
+
+Status SaveNetworkParams(Network& net, std::ostream& out) {
+  std::vector<Matrix*> params = net.Params();
+  out << "roicl-params-v1\n" << params.size() << '\n';
+  out << std::setprecision(17);
+  for (Matrix* p : params) WriteMatrix(*p, out);
+  if (!out) return Status::IoError("stream write failed");
+  return Status::Ok();
+}
+
+Status LoadNetworkParams(Network* net, std::istream& in) {
+  std::string magic;
+  if (!(in >> magic)) {
+    return Status::InvalidArgument(
+        "empty or truncated stream (expected roicl-params-v1 header)");
+  }
+  if (magic != "roicl-params-v1") {
+    if (magic.rfind("roicl-params-v", 0) == 0) {
+      return Status::InvalidArgument(
+          "unsupported params format version '" + magic +
+          "' (this build reads roicl-params-v1)");
+    }
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-params-v1)");
+  }
+  std::vector<Matrix*> params = net->Params();
+  size_t count = 0;
+  if (!(in >> count) || count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: blob has " + std::to_string(count) +
+        ", network expects " + std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    StatusOr<Matrix> m = ReadMatrix(in);
+    if (!m.ok()) return m.status();
+    if (m.value().rows() != params[i]->rows() ||
+        m.value().cols() != params[i]->cols()) {
+      return Status::InvalidArgument(
+          "parameter " + std::to_string(i) + " shape mismatch: blob is " +
+          std::to_string(m.value().rows()) + "x" +
+          std::to_string(m.value().cols()) + ", network expects " +
+          std::to_string(params[i]->rows()) + "x" +
+          std::to_string(params[i]->cols()));
+    }
+    *params[i] = std::move(m).value();
+  }
+  return Status::Ok();
 }
 
 }  // namespace roicl::nn

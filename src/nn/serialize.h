@@ -15,12 +15,28 @@ namespace roicl::nn {
 /// save/load round trip is bit-exact for doubles.
 Status SaveMlp(Mlp& net, std::ostream& out);
 
-/// Reads an Mlp previously written by SaveMlp.
+/// Reads an Mlp previously written by SaveMlp. Malformed input — a
+/// truncated stream, an unknown or version-bumped magic, a dense layer
+/// whose input width does not match the previous layer's output — returns
+/// a descriptive InvalidArgument Status; it never crashes.
 StatusOr<Mlp> LoadMlp(std::istream& in);
 
 /// Convenience file wrappers.
 Status SaveMlpToFile(Mlp& net, const std::string& path);
 StatusOr<Mlp> LoadMlpFromFile(const std::string& path);
+
+/// Architecture-agnostic parameter blob ("roicl-params-v1"): the flat
+/// Params() list of any Network, written as shape-prefixed matrices.
+/// Pairs with LoadNetworkParams into a freshly constructed network of the
+/// identical architecture (rebuilt from its config); shapes are checked
+/// parameter-by-parameter on load. This is how multi-head CATE networks
+/// round-trip without per-layer-kind serialization.
+Status SaveNetworkParams(Network& net, std::ostream& out);
+
+/// Restores a parameter blob written by SaveNetworkParams into `net`.
+/// Fails with a descriptive Status on magic/version mismatch, truncation,
+/// parameter-count mismatch, or any per-parameter shape mismatch.
+Status LoadNetworkParams(Network* net, std::istream& in);
 
 }  // namespace roicl::nn
 

@@ -1,0 +1,81 @@
+#ifndef ROICL_PIPELINE_HYPERPARAMS_H_
+#define ROICL_PIPELINE_HYPERPARAMS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/dr_model.h"
+#include "core/drp_model.h"
+#include "core/rdrp.h"
+#include "trees/causal_forest.h"
+#include "trees/random_forest.h"
+#include "uplift/neural_cate.h"
+
+namespace roicl::pipeline {
+
+/// One knob block controlling every registered scorer, so all ten
+/// benchmark rows are trained under comparable budgets (the paper keeps
+/// DRP/rDRP hyperparameters identical for fairness).
+///
+/// This struct is the portable half of a Pipeline artifact: it is
+/// serialized as a single `k=v` line and must be able to reconstruct the
+/// exact per-family configs (including every derived seed) so a loaded
+/// model reproduces its training-time predictions bit for bit.
+struct Hyperparams {
+  // Direct neural models (DRP, DR).
+  int neural_epochs = 120;
+  int batch_size = 256;
+  double learning_rate = 5e-3;
+  int patience = 12;
+  int drp_hidden = 0;  // auto from data size
+  double drp_dropout = 0.2;
+  int restarts = 3;
+
+  // Neural CATE baselines (TARNet/DragonNet/OffsetNet/SNet).
+  int cate_epochs = 20;
+  int cate_patience = 4;
+  int cate_trunk = 32;
+  int cate_head = 16;
+
+  // Tree ensembles.
+  int forest_trees = 30;
+  int forest_depth = 6;
+  int causal_forest_trees = 40;
+
+  // Meta-learner ridge penalty.
+  double ridge_lambda = 1.0;
+
+  // rDRP knobs.
+  int mc_passes = 30;
+  double alpha = 0.1;
+
+  // Batched prediction-engine knobs (throughput only; never the bits).
+  int predict_batch_size = 256;
+  int predict_threads = 0;
+
+  uint64_t seed = 1234;
+};
+
+/// Derived config helpers. Every scorer family derives its full config —
+/// architecture, training budget, and seed offsets — from the one shared
+/// block through these, so an artifact that stores `Hyperparams` can
+/// rebuild identical models.
+core::DrpConfig MakeDrpConfig(const Hyperparams& hp);
+core::DirectRankConfig MakeDrConfig(const Hyperparams& hp);
+core::RdrpConfig MakeRdrpConfig(const Hyperparams& hp);
+uplift::NeuralCateConfig MakeNeuralCateConfig(const Hyperparams& hp);
+trees::ForestConfig MakeForestConfig(const Hyperparams& hp);
+trees::CausalForestConfig MakeCausalForestConfig(const Hyperparams& hp);
+
+/// Renders `hp` as one `key=value key=value ...` line (doubles at full
+/// round-trip precision). Keys are emitted in a fixed order.
+std::string SerializeHyperparams(const Hyperparams& hp);
+
+/// Parses a line written by SerializeHyperparams. Unknown keys are an
+/// error (they signal a newer writer); missing keys keep their defaults,
+/// so older artifacts stay loadable when new knobs are added.
+StatusOr<Hyperparams> ParseHyperparams(const std::string& line);
+
+}  // namespace roicl::pipeline
+
+#endif  // ROICL_PIPELINE_HYPERPARAMS_H_

@@ -1,0 +1,211 @@
+#include "pipeline/pipeline.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/log.h"
+
+namespace roicl::pipeline {
+namespace {
+
+constexpr char kMagic[] = "roicl-pipeline-v1";
+constexpr char kMagicPrefix[] = "roicl-pipeline-v";
+
+/// Reads one "<key> <rest of line>" manifest entry; the value may be
+/// empty. Returns false on stream end or key mismatch.
+bool ReadKeyedLine(std::istream& in, const std::string& key,
+                   std::string* value) {
+  std::string token;
+  if (!(in >> token) || token != key) return false;
+  // Consume the single separating space (if any), then take the rest of
+  // the line verbatim so dataset names may contain spaces.
+  if (in.peek() == ' ') in.get();
+  std::getline(in, *value);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+StatusOr<Pipeline> Pipeline::Train(const std::string& scorer_name,
+                                   const Hyperparams& hp,
+                                   const RctDataset& train,
+                                   const RctDataset* calibration,
+                                   Provenance provenance) {
+  ScorerRegistry& registry = ScorerRegistry::Global();
+  StatusOr<std::string> resolved = registry.Resolve(scorer_name);
+  if (!resolved.ok()) return resolved.status();
+  StatusOr<std::unique_ptr<RoiScorer>> scorer =
+      registry.Create(resolved.value(), hp);
+  if (!scorer.ok()) return scorer.status();
+
+  Pipeline pipeline;
+  pipeline.scorer_name_ = resolved.value();
+  pipeline.hp_ = hp;
+  pipeline.provenance_ = std::move(provenance);
+  pipeline.scorer_ = std::move(scorer).value();
+  if (calibration != nullptr) {
+    pipeline.scorer_->FitWithCalibration(train, *calibration);
+  } else {
+    pipeline.scorer_->Fit(train);
+  }
+  pipeline.feature_dim_ = train.dim();
+  obs::Info("pipeline trained", {{"scorer", pipeline.scorer_name_},
+                                 {"n", train.n()},
+                                 {"dim", pipeline.feature_dim_}});
+  return pipeline;
+}
+
+StatusOr<std::vector<double>> Pipeline::Score(const Matrix& x) const {
+  if (x.cols() != feature_dim_) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: pipeline expects " +
+        std::to_string(feature_dim_) + " features but input has " +
+        std::to_string(x.cols()));
+  }
+  return scorer_->PredictRoi(x);
+}
+
+StatusOr<core::McDropoutStats> Pipeline::ScoreMc(const Matrix& x,
+                                                 int passes,
+                                                 uint64_t seed) const {
+  if (x.cols() != feature_dim_) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: pipeline expects " +
+        std::to_string(feature_dim_) + " features but input has " +
+        std::to_string(x.cols()));
+  }
+  return scorer_->ScoreMc(x, passes, seed);
+}
+
+StatusOr<std::vector<metrics::Interval>> Pipeline::ScoreIntervals(
+    const Matrix& x) const {
+  if (x.cols() != feature_dim_) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: pipeline expects " +
+        std::to_string(feature_dim_) + " features but input has " +
+        std::to_string(x.cols()));
+  }
+  return scorer_->ScoreIntervals(x);
+}
+
+Status Pipeline::Save(std::ostream& out) const {
+  if (scorer_ == nullptr || feature_dim_ <= 0) {
+    return Status::FailedPrecondition("pipeline not trained");
+  }
+  out << kMagic << '\n';
+  out << "scorer " << scorer_name_ << '\n';
+  out << "feature_dim " << feature_dim_ << '\n';
+  out << "provenance.seed " << provenance_.seed << '\n';
+  out << "provenance.dataset " << provenance_.dataset << '\n';
+  out << "provenance.git " << provenance_.git_describe << '\n';
+  out << "provenance.tool " << provenance_.tool << '\n';
+  out << "hyperparams " << SerializeHyperparams(hp_) << '\n';
+  out << "model\n";
+  if (Status status = scorer_->SaveModel(out); !status.ok()) return status;
+  if (!out) return Status::IoError("stream write failed");
+  return Status::Ok();
+}
+
+Status Pipeline::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return Save(out);
+}
+
+StatusOr<Pipeline> Pipeline::Load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic)) {
+    return Status::InvalidArgument("empty or truncated pipeline stream");
+  }
+  if (magic != kMagic) {
+    if (magic.rfind(kMagicPrefix, 0) == 0) {
+      return Status::InvalidArgument("unsupported pipeline format version '" +
+                                     magic + "' (expected " + kMagic + ")");
+    }
+    return Status::InvalidArgument("bad magic '" + magic + "' (expected " +
+                                   kMagic + ")");
+  }
+  std::string scorer_name;
+  if (!ReadKeyedLine(in, "scorer", &scorer_name) || scorer_name.empty()) {
+    return Status::InvalidArgument("missing scorer name in manifest");
+  }
+  std::string dim_text;
+  if (!ReadKeyedLine(in, "feature_dim", &dim_text)) {
+    return Status::InvalidArgument("missing feature_dim in manifest");
+  }
+  int feature_dim = 0;
+  {
+    std::istringstream dim_in(dim_text);
+    if (!(dim_in >> feature_dim) || feature_dim <= 0 ||
+        feature_dim > 1000000) {
+      return Status::InvalidArgument("bad manifest feature_dim '" +
+                                     dim_text + "'");
+    }
+  }
+  Provenance provenance;
+  std::string seed_text;
+  if (!ReadKeyedLine(in, "provenance.seed", &seed_text)) {
+    return Status::InvalidArgument("missing provenance.seed in manifest");
+  }
+  {
+    std::istringstream seed_in(seed_text);
+    if (!(seed_in >> provenance.seed)) {
+      return Status::InvalidArgument("bad provenance.seed '" + seed_text +
+                                     "'");
+    }
+  }
+  if (!ReadKeyedLine(in, "provenance.dataset", &provenance.dataset) ||
+      !ReadKeyedLine(in, "provenance.git", &provenance.git_describe) ||
+      !ReadKeyedLine(in, "provenance.tool", &provenance.tool)) {
+    return Status::InvalidArgument("truncated provenance block");
+  }
+  std::string hp_line;
+  if (!ReadKeyedLine(in, "hyperparams", &hp_line)) {
+    return Status::InvalidArgument("missing hyperparams in manifest");
+  }
+  StatusOr<Hyperparams> hp = ParseHyperparams(hp_line);
+  if (!hp.ok()) return hp.status();
+  std::string marker;
+  if (!(in >> marker) || marker != "model") {
+    return Status::InvalidArgument("missing model section marker");
+  }
+
+  ScorerRegistry& registry = ScorerRegistry::Global();
+  if (!registry.Has(scorer_name)) {
+    StatusOr<std::string> resolved = registry.Resolve(scorer_name);
+    if (!resolved.ok()) return resolved.status();
+    scorer_name = resolved.value();
+  }
+  StatusOr<std::unique_ptr<RoiScorer>> scorer =
+      registry.Create(scorer_name, hp.value());
+  if (!scorer.ok()) return scorer.status();
+  if (Status status = scorer.value()->LoadModel(in); !status.ok()) {
+    return status;
+  }
+  // Strict manifest/model agreement: a tampered or mispaired blob must
+  // not survive to prediction time.
+  int model_dim = scorer.value()->feature_dim();
+  if (model_dim > 0 && model_dim != feature_dim) {
+    return Status::InvalidArgument(
+        "manifest/model feature-dimension mismatch: manifest says " +
+        std::to_string(feature_dim) + ", model expects " +
+        std::to_string(model_dim));
+  }
+
+  Pipeline pipeline;
+  pipeline.scorer_name_ = scorer_name;
+  pipeline.feature_dim_ = feature_dim;
+  pipeline.hp_ = hp.value();
+  pipeline.provenance_ = std::move(provenance);
+  pipeline.scorer_ = std::move(scorer).value();
+  return pipeline;
+}
+
+StatusOr<Pipeline> Pipeline::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return Load(in);
+}
+
+}  // namespace roicl::pipeline

@@ -1,0 +1,94 @@
+#ifndef ROICL_PIPELINE_PIPELINE_H_
+#define ROICL_PIPELINE_PIPELINE_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "pipeline/hyperparams.h"
+#include "pipeline/registry.h"
+#include "pipeline/scorer.h"
+
+namespace roicl::pipeline {
+
+/// Training provenance baked into every artifact so a served score can be
+/// traced back to the run that produced it.
+struct Provenance {
+  uint64_t seed = 0;
+  std::string dataset;       ///< e.g. "synth:insufficient" or a CSV path.
+  std::string git_describe;  ///< build identity of the training binary.
+  std::string tool;          ///< producing command, e.g. "roicl_cli train".
+};
+
+/// A versioned, self-describing bundle of everything needed to score:
+/// the scorer name (registry key), the shared hyperparam block (from
+/// which every per-family config and derived seed is rebuilt), the
+/// feature dimension, provenance, and the fitted model state.
+///
+/// Train once, Save, then Load anywhere and get bit-identical
+/// predictions — the contract the round-trip tests enforce for every
+/// registered scorer at multiple engine thread counts.
+class Pipeline {
+ public:
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  /// Trains a fresh `scorer_name` scorer (resolved through the global
+  /// registry) on `train`, calibrating on `calibration` when non-null
+  /// (rDRP's Algorithm 4; point methods ignore it).
+  static StatusOr<Pipeline> Train(const std::string& scorer_name,
+                                  const Hyperparams& hp,
+                                  const RctDataset& train,
+                                  const RctDataset* calibration,
+                                  Provenance provenance);
+
+  /// Point ROI scores. Rejects a feature-dimension mismatch with a
+  /// descriptive error instead of crashing.
+  StatusOr<std::vector<double>> Score(const Matrix& x) const;
+
+  /// MC-dropout uncertainty via the scorer (when supported).
+  StatusOr<core::McDropoutStats> ScoreMc(const Matrix& x, int passes,
+                                         uint64_t seed) const;
+
+  /// Conformal intervals via the scorer (when supported).
+  StatusOr<std::vector<metrics::Interval>> ScoreIntervals(
+      const Matrix& x) const;
+
+  /// Serializes the manifest + model blob ("roicl-pipeline-v1").
+  Status Save(std::ostream& out) const;
+  Status SaveToFile(const std::string& path) const;
+
+  /// Restores an artifact written by Save: version check, manifest parse,
+  /// scorer construction through the registry, model load, and a strict
+  /// feature-dimension cross-check between manifest and model.
+  static StatusOr<Pipeline> Load(std::istream& in);
+  static StatusOr<Pipeline> LoadFromFile(const std::string& path);
+
+  /// Re-points the scorer's batched prediction engine (throughput only).
+  void set_batch_options(const nn::BatchOptions& opts) {
+    scorer_->set_batch_options(opts);
+  }
+
+  const RoiScorer& scorer() const { return *scorer_; }
+  const std::string& scorer_name() const { return scorer_name_; }
+  int feature_dim() const { return feature_dim_; }
+  const Hyperparams& hyperparams() const { return hp_; }
+  const Provenance& provenance() const { return provenance_; }
+
+ private:
+  Pipeline() = default;
+
+  std::string scorer_name_;
+  int feature_dim_ = -1;
+  Hyperparams hp_;
+  Provenance provenance_;
+  std::unique_ptr<RoiScorer> scorer_;
+};
+
+}  // namespace roicl::pipeline
+
+#endif  // ROICL_PIPELINE_PIPELINE_H_

@@ -1,0 +1,80 @@
+#include "pipeline/registry.h"
+
+#include <cctype>
+#include <utility>
+
+namespace roicl::pipeline {
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+ScorerRegistry& ScorerRegistry::Global() {
+  static ScorerRegistry* registry = [] {
+    auto* r = new ScorerRegistry();
+    internal::RegisterBuiltinScorers(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScorerRegistry::Register(const std::string& name,
+                              ScorerFactory factory) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back({name, std::move(factory)});
+}
+
+bool ScorerRegistry::Has(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return true;
+  }
+  return false;
+}
+
+StatusOr<std::string> ScorerRegistry::Resolve(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return entry.name;
+  }
+  std::string lower = ToLower(name);
+  for (const Entry& entry : entries_) {
+    if (ToLower(entry.name) == lower) return entry.name;
+  }
+  std::string known;
+  for (const Entry& entry : entries_) {
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  return Status::NotFound("unknown method '" + name +
+                          "'; registered methods: " + known);
+}
+
+StatusOr<std::unique_ptr<RoiScorer>> ScorerRegistry::Create(
+    const std::string& name, const Hyperparams& hp) const {
+  StatusOr<std::string> resolved = Resolve(name);
+  if (!resolved.ok()) return resolved.status();
+  for (const Entry& entry : entries_) {
+    if (entry.name == resolved.value()) return entry.factory(hp);
+  }
+  return Status::Internal("registry entry vanished for '" + name + "'");
+}
+
+std::vector<std::string> ScorerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace roicl::pipeline

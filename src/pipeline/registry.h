@@ -1,0 +1,66 @@
+#ifndef ROICL_PIPELINE_REGISTRY_H_
+#define ROICL_PIPELINE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pipeline/hyperparams.h"
+#include "pipeline/scorer.h"
+
+namespace roicl::pipeline {
+
+/// Builds a fresh, unfitted scorer configured from the shared hyperparam
+/// block.
+using ScorerFactory =
+    std::function<std::unique_ptr<RoiScorer>(const Hyperparams&)>;
+
+/// Name -> factory registry for every benchmark method. exp/, the CLI and
+/// the serving layer construct models exclusively through this, so adding
+/// a method is one Register call — no switch chain to extend.
+class ScorerRegistry {
+ public:
+  /// The process-wide registry, with the ten Table-I methods
+  /// pre-registered on first use.
+  static ScorerRegistry& Global();
+
+  /// Registers `factory` under `name` (e.g. "rDRP"). Re-registering an
+  /// existing name replaces its factory (useful for tests).
+  void Register(const std::string& name, ScorerFactory factory);
+
+  /// Exact-match lookup (no alias resolution).
+  bool Has(const std::string& name) const;
+
+  /// Resolves `name` to its canonical registered spelling: exact match
+  /// first, then case-insensitive (so the CLI accepts "rdrp" for "rDRP").
+  /// NotFound lists every registered name.
+  StatusOr<std::string> Resolve(const std::string& name) const;
+
+  /// Creates a fresh scorer for `name` (resolved as in Resolve).
+  StatusOr<std::unique_ptr<RoiScorer>> Create(const std::string& name,
+                                              const Hyperparams& hp) const;
+
+  /// Registered names in registration order (Table-I row order for the
+  /// built-ins).
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    ScorerFactory factory;
+  };
+  std::vector<Entry> entries_;
+};
+
+namespace internal {
+/// Defined in builtin_scorers.cc; called once by ScorerRegistry::Global().
+/// The hard symbol reference keeps the built-in registrations from being
+/// dropped by the linker when the library is consumed statically.
+void RegisterBuiltinScorers(ScorerRegistry* registry);
+}  // namespace internal
+
+}  // namespace roicl::pipeline
+
+#endif  // ROICL_PIPELINE_REGISTRY_H_

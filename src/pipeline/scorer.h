@@ -1,0 +1,70 @@
+#ifndef ROICL_PIPELINE_SCORER_H_
+#define ROICL_PIPELINE_SCORER_H_
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/status.h"
+#include "core/direct_model.h"
+#include "metrics/coverage.h"
+#include "nn/batch_forward.h"
+#include "uplift/roi_model.h"
+
+namespace roicl::pipeline {
+
+/// The polymorphic scoring interface every benchmark method is served
+/// through: a point ROI estimate (inherited from uplift::RoiModel), plus
+/// two optional capabilities — MC-dropout uncertainty and conformal
+/// intervals — and serialization hooks so a fitted scorer can travel
+/// inside a Pipeline artifact.
+///
+/// Capability discovery is explicit (`has_mc_uncertainty()` /
+/// `has_intervals()`): callers branch on the capability, never on the
+/// concrete type, which is what lets exp/, the CLI and the serving layer
+/// dispatch through the registry with no per-family switch chains.
+class RoiScorer : public uplift::RoiModel {
+ public:
+  /// True when ScoreMc is implemented (direct neural models only: TPM
+  /// cannot, because the std of a ratio is not the ratio of stds).
+  virtual bool has_mc_uncertainty() const { return false; }
+
+  /// MC-dropout mean/std of the predicted ROI over `passes` stochastic
+  /// forward passes. Deterministic given `seed` at any engine setting.
+  virtual StatusOr<core::McDropoutStats> ScoreMc(const Matrix& /*x*/,
+                                                 int /*passes*/,
+                                                 uint64_t /*seed*/) const {
+    return Status::FailedPrecondition(
+        "scorer does not support MC-dropout uncertainty");
+  }
+
+  /// True when ScoreIntervals is implemented (conformal methods only).
+  virtual bool has_intervals() const { return false; }
+
+  /// Conformal intervals with coverage >= 1 - alpha (rDRP's Eq. 4).
+  virtual StatusOr<std::vector<metrics::Interval>> ScoreIntervals(
+      const Matrix& /*x*/) const {
+    return Status::FailedPrecondition(
+        "scorer does not produce conformal intervals");
+  }
+
+  /// Re-points the batched prediction engine (row-block size, thread
+  /// count). Throughput knob only — scores are bit-identical across
+  /// settings. Default: no engine to configure (tree/meta families).
+  virtual void set_batch_options(const nn::BatchOptions& /*opts*/) {}
+
+  /// Feature dimension the scorer was fitted on, or -1 before Fit/Load.
+  virtual int feature_dim() const = 0;
+
+  /// Serializes the fitted model state (no hyperparameters — those live
+  /// in the Pipeline manifest). Requires a fitted scorer.
+  virtual Status SaveModel(std::ostream& out) const = 0;
+
+  /// Restores state written by SaveModel into this (configured but
+  /// unfitted) scorer. Malformed input returns a descriptive Status.
+  virtual Status LoadModel(std::istream& in) = 0;
+};
+
+}  // namespace roicl::pipeline
+
+#endif  // ROICL_PIPELINE_SCORER_H_

@@ -1,0 +1,152 @@
+#include "pipeline/service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/math_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace roicl::pipeline {
+namespace {
+
+std::vector<double> OccupancyBuckets() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}
+
+}  // namespace
+
+ScoringService::ScoringService(Pipeline pipeline, ServiceOptions options)
+    : pipeline_(std::move(pipeline)), options_(options) {
+  pipeline_.set_batch_options(options_.engine);
+  obs::Info("scoring service up",
+            {{"scorer", pipeline_.scorer_name()},
+             {"feature_dim", pipeline_.feature_dim()},
+             {"max_batch_requests", options_.max_batch_requests},
+             {"engine_threads", options_.engine.num_threads}});
+  dispatcher_ = std::thread([this] { Loop(); });
+}
+
+ScoringService::~ScoringService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Fail anything still queued so no future is left dangling.
+  for (Request& request : queue_) {
+    request.promise.set_value(
+        Status::FailedPrecondition("scoring service shut down"));
+  }
+}
+
+std::future<StatusOr<std::vector<double>>> ScoringService::Submit(
+    Matrix x, int64_t deadline_micros) {
+  Request request;
+  request.x = std::move(x);
+  request.enqueue_micros = obs::MonotonicMicros();
+  request.deadline_micros = deadline_micros > 0
+                                ? deadline_micros
+                                : options_.default_deadline_micros;
+  std::future<StatusOr<std::vector<double>>> future =
+      request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      request.promise.set_value(
+          Status::FailedPrecondition("scoring service shut down"));
+      return future;
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+      obs::MetricsRegistry::Global().GetCounter("serve.rejected")
+          ->Increment();
+      request.promise.set_value(Status::FailedPrecondition(
+          "scoring queue full (" + std::to_string(queue_.size()) +
+          " requests)"));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+    obs::MetricsRegistry::Global().GetGauge("serve.queue_depth")
+        ->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+StatusOr<std::vector<double>> ScoringService::Score(
+    Matrix x, int64_t deadline_micros) {
+  return Submit(std::move(x), deadline_micros).get();
+}
+
+uint64_t ScoringService::requests_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_;
+}
+
+void ScoringService::Loop() {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter* requests = metrics.GetCounter("serve.requests");
+  obs::Counter* deadline_exceeded =
+      metrics.GetCounter("serve.deadline_exceeded");
+  obs::Counter* errors = metrics.GetCounter("serve.errors");
+  obs::Gauge* queue_depth = metrics.GetGauge("serve.queue_depth");
+  obs::Histogram* occupancy =
+      metrics.GetHistogram("serve.batch_occupancy", OccupancyBuckets());
+  obs::Histogram* latency = metrics.GetHistogram(
+      "serve.latency_micros", obs::LatencyMicrosBuckets());
+
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      int take = std::min<int>(options_.max_batch_requests,
+                               static_cast<int>(queue_.size()));
+      batch.reserve(AsSize(take));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth->Set(static_cast<double>(queue_.size()));
+    }
+    occupancy->Observe(static_cast<double>(batch.size()));
+
+    // Score each request's matrix independently (see class comment: the
+    // MC-dropout streams key on absolute row indices, so concatenating
+    // requests would change stochastic scorers' bits). The engine still
+    // parallelizes across each request's row blocks.
+    for (Request& request : batch) {
+      requests->Increment();
+      uint64_t now = obs::MonotonicMicros();
+      int64_t waited =
+          static_cast<int64_t>(now - request.enqueue_micros);
+      if (request.deadline_micros > 0 &&
+          waited > request.deadline_micros) {
+        deadline_exceeded->Increment();
+        request.promise.set_value(Status::FailedPrecondition(
+            "deadline exceeded: waited " + std::to_string(waited) +
+            "us, deadline " + std::to_string(request.deadline_micros) +
+            "us"));
+        continue;
+      }
+      StatusOr<std::vector<double>> result = pipeline_.Score(request.x);
+      if (!result.ok()) errors->Increment();
+      latency->Observe(static_cast<double>(obs::MonotonicMicros() -
+                                           request.enqueue_micros));
+      // Count before fulfilling the promise: a client that has observed
+      // its future resolve must already be visible in requests_served().
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++served_;
+      }
+      request.promise.set_value(std::move(result));
+    }
+  }
+}
+
+}  // namespace roicl::pipeline

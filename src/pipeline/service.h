@@ -1,0 +1,91 @@
+#ifndef ROICL_PIPELINE_SERVICE_H_
+#define ROICL_PIPELINE_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/batch_forward.h"
+#include "pipeline/pipeline.h"
+
+namespace roicl::pipeline {
+
+/// Knobs for a long-lived scoring service.
+struct ServiceOptions {
+  /// Engine options applied to the pipeline's scorer (row-block size,
+  /// thread count for the batched prediction engine). Throughput only.
+  nn::BatchOptions engine;
+  /// Max requests drained per dispatch cycle (micro-batch bound).
+  int max_batch_requests = 32;
+  /// Requests queued beyond this are rejected immediately.
+  int max_queue = 1024;
+  /// Deadline applied to requests that don't carry their own; 0 = none.
+  /// A request still queued when its deadline passes fails with
+  /// FailedPrecondition instead of occupying the engine.
+  int64_t default_deadline_micros = 0;
+};
+
+/// Long-lived serving front end: loads a Pipeline once, then serves
+/// Score(batch) requests from a single dispatcher thread that drains the
+/// queue in micro-batches through the batched prediction engine.
+///
+/// Each request's matrix is scored independently — never concatenated
+/// with other requests — because the MC-dropout RNG streams key on the
+/// absolute row index within the scored matrix; concatenation would
+/// change the bits for stochastic scorers. Micro-batching still
+/// amortizes dispatcher wakeups, and each Score call fans out across the
+/// thread pool internally.
+///
+/// Metrics (obs registry): serve.requests, serve.deadline_exceeded,
+/// serve.errors counters; serve.queue_depth gauge; serve.batch_occupancy
+/// and serve.latency_micros histograms (p99 via the histogram buckets).
+class ScoringService {
+ public:
+  explicit ScoringService(Pipeline pipeline, ServiceOptions options = {});
+  ~ScoringService();
+
+  ScoringService(const ScoringService&) = delete;
+  ScoringService& operator=(const ScoringService&) = delete;
+
+  /// Enqueues a scoring request; the future resolves when the dispatcher
+  /// has scored it (or rejected it: queue full, deadline exceeded,
+  /// dimension mismatch). `deadline_micros` overrides the default; 0
+  /// falls back to options.default_deadline_micros.
+  std::future<StatusOr<std::vector<double>>> Submit(
+      Matrix x, int64_t deadline_micros = 0);
+
+  /// Blocking convenience: Submit and wait.
+  StatusOr<std::vector<double>> Score(Matrix x,
+                                      int64_t deadline_micros = 0);
+
+  const Pipeline& pipeline() const { return pipeline_; }
+  uint64_t requests_served() const;
+
+ private:
+  struct Request {
+    Matrix x;
+    uint64_t enqueue_micros = 0;
+    int64_t deadline_micros = 0;
+    std::promise<StatusOr<std::vector<double>>> promise;
+  };
+
+  void Loop();
+
+  Pipeline pipeline_;
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  uint64_t served_ = 0;
+  std::thread dispatcher_;
+};
+
+}  // namespace roicl::pipeline
+
+#endif  // ROICL_PIPELINE_SERVICE_H_

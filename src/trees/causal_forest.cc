@@ -1,6 +1,7 @@
 #include "trees/causal_forest.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/macros.h"
 #include "common/math_util.h"
@@ -242,6 +243,37 @@ std::vector<double> CausalForest::PredictCateStdDev(const Matrix& x) const {
     out[AsSize(r)] = PredictCateStdDev(x.RowPtr(r));
   });
   return out;
+}
+
+Status CausalForest::Save(std::ostream& out) const {
+  if (!fitted()) return Status::FailedPrecondition("forest not fitted");
+  out << "roicl-cforest-v1\n" << trees_.size() << '\n';
+  for (const CausalTree& tree : trees_) {
+    WriteTreeNodes(tree.nodes(), out);
+  }
+  if (!out) return Status::IoError("stream write failed");
+  return Status::Ok();
+}
+
+Status CausalForest::Load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != "roicl-cforest-v1") {
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-cforest-v1)");
+  }
+  size_t num_trees = 0;
+  if (!(in >> num_trees) || num_trees == 0 || num_trees > 1000000) {
+    return Status::InvalidArgument("bad forest tree count");
+  }
+  std::vector<CausalTree> trees;
+  trees.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    StatusOr<std::vector<TreeNode>> nodes = ReadTreeNodes(in);
+    if (!nodes.ok()) return nodes.status();
+    trees.push_back(CausalTree::FromNodes(std::move(nodes).value()));
+  }
+  trees_ = std::move(trees);
+  return Status::Ok();
 }
 
 }  // namespace roicl::trees

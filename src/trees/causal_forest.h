@@ -1,8 +1,11 @@
 #ifndef ROICL_TREES_CAUSAL_FOREST_H_
 #define ROICL_TREES_CAUSAL_FOREST_H_
 
+#include <istream>
+#include <ostream>
 #include <vector>
 
+#include "common/status.h"
 #include "trees/tree_common.h"
 
 namespace roicl::trees {
@@ -41,6 +44,14 @@ class CausalTree {
 
   bool fitted() const { return !nodes_.empty(); }
   const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Rebuilds a tree from a node array (deserialization). The array must
+  /// already be structurally validated (ReadTreeNodes does this).
+  static CausalTree FromNodes(std::vector<TreeNode> nodes) {
+    CausalTree tree;
+    tree.nodes_ = std::move(nodes);
+    return tree;
+  }
 
  private:
   int Grow(const Matrix& x, const std::vector<int>& treatment,
@@ -81,6 +92,14 @@ class CausalForest {
 
   bool fitted() const { return !trees_.empty(); }
   int num_trees() const { return static_cast<int>(trees_.size()); }
+
+  /// Serializes the fitted ensemble ("roicl-cforest-v1"). Requires
+  /// fitted().
+  Status Save(std::ostream& out) const;
+  /// Replaces this forest's trees with an ensemble written by Save().
+  /// Malformed input returns a descriptive Status and leaves the forest
+  /// unchanged.
+  Status Load(std::istream& in);
 
  private:
   CausalForestConfig config_;

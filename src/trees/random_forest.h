@@ -1,8 +1,11 @@
 #ifndef ROICL_TREES_RANDOM_FOREST_H_
 #define ROICL_TREES_RANDOM_FOREST_H_
 
+#include <istream>
+#include <ostream>
 #include <vector>
 
+#include "common/status.h"
 #include "trees/regression_tree.h"
 
 namespace roicl::trees {
@@ -37,6 +40,14 @@ class RandomForestRegressor {
 
   bool fitted() const { return !trees_.empty(); }
   int num_trees() const { return static_cast<int>(trees_.size()); }
+
+  /// Serializes the fitted ensemble ("roicl-forest-v1": tree count, then
+  /// each tree's node array). Requires fitted().
+  Status Save(std::ostream& out) const;
+  /// Replaces this forest's trees with an ensemble written by Save().
+  /// Malformed input returns a descriptive Status and leaves the forest
+  /// unchanged.
+  Status Load(std::istream& in);
 
  private:
   ForestConfig config_;

@@ -26,6 +26,14 @@ class RegressionTree {
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   const std::vector<TreeNode>& nodes() const { return nodes_; }
 
+  /// Rebuilds a tree from a node array (deserialization). The array must
+  /// already be structurally validated (ReadTreeNodes does this).
+  static RegressionTree FromNodes(std::vector<TreeNode> nodes) {
+    RegressionTree tree;
+    tree.nodes_ = std::move(nodes);
+    return tree;
+  }
+
  private:
   int Grow(const Matrix& x, const std::vector<double>& y,
            std::vector<int>&& index, const TreeConfig& config, Rng* rng,

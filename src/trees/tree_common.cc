@@ -1,6 +1,8 @@
 #include "trees/tree_common.h"
 
 #include <algorithm>
+#include <iomanip>
+#include <string>
 
 #include "common/macros.h"
 #include "common/math_util.h"
@@ -15,6 +17,42 @@ double PredictTree(const std::vector<TreeNode>& nodes, const double* row) {
     node = AsSize(row[n.feature] <= n.threshold ? n.left : n.right);
   }
   return nodes[node].value;
+}
+
+void WriteTreeNodes(const std::vector<TreeNode>& nodes, std::ostream& out) {
+  out << nodes.size() << '\n' << std::setprecision(17);
+  for (const TreeNode& n : nodes) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.left << ' '
+        << n.right << ' ' << n.value << ' ' << n.num_samples << '\n';
+  }
+}
+
+StatusOr<std::vector<TreeNode>> ReadTreeNodes(std::istream& in) {
+  size_t count = 0;
+  if (!(in >> count) || count == 0 || count > 100000000) {
+    return Status::InvalidArgument("bad tree node count");
+  }
+  std::vector<TreeNode> nodes(count);
+  for (size_t i = 0; i < count; ++i) {
+    TreeNode& n = nodes[i];
+    if (!(in >> n.feature >> n.threshold >> n.left >> n.right >> n.value >>
+          n.num_samples)) {
+      return Status::InvalidArgument("truncated tree nodes (read " +
+                                     std::to_string(i) + " of " +
+                                     std::to_string(count) + ")");
+    }
+    if (n.is_leaf()) continue;
+    // Pre-order layout: children strictly follow their parent.
+    bool in_range = n.left > static_cast<int>(i) &&
+                    n.right > static_cast<int>(i) &&
+                    n.left < static_cast<int>(count) &&
+                    n.right < static_cast<int>(count);
+    if (!in_range) {
+      return Status::InvalidArgument("tree node " + std::to_string(i) +
+                                     " has out-of-range children");
+    }
+  }
+  return nodes;
 }
 
 std::vector<double> CandidateThresholds(const Matrix& x,

@@ -1,9 +1,12 @@
 #ifndef ROICL_TREES_TREE_COMMON_H_
 #define ROICL_TREES_TREE_COMMON_H_
 
+#include <istream>
+#include <ostream>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "linalg/matrix.h"
 
 namespace roicl::trees {
@@ -35,6 +38,17 @@ struct TreeNode {
 
 /// Walks a node array from the root (index 0) for one feature row.
 double PredictTree(const std::vector<TreeNode>& nodes, const double* row);
+
+/// Writes one tree's node array: `<count>` then one node per line
+/// (feature threshold left right value num_samples), doubles at 17
+/// significant digits so a save/load round trip is bit-exact.
+void WriteTreeNodes(const std::vector<TreeNode>& nodes, std::ostream& out);
+
+/// Reads a node array written by WriteTreeNodes. Validates structure:
+/// child indices must stay in range and never point at or before their
+/// parent (the arrays are built pre-order), internal nodes need a valid
+/// feature. Truncated or inconsistent input returns a descriptive Status.
+StatusOr<std::vector<TreeNode>> ReadTreeNodes(std::istream& in);
 
 /// Builds up to `config.candidate_thresholds` distinct candidate split
 /// points for `feature` from the rows in `index`, using an evenly spaced

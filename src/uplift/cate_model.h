@@ -2,9 +2,12 @@
 #define ROICL_UPLIFT_CATE_MODEL_H_
 
 #include <functional>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <vector>
 
+#include "common/status.h"
 #include "linalg/matrix.h"
 
 namespace roicl::uplift {
@@ -23,6 +26,18 @@ class CateModel {
                    const std::vector<double>& y) = 0;
 
   virtual std::vector<double> PredictCate(const Matrix& x) const = 0;
+
+  /// Serialization hooks. Models that can round-trip their fitted state
+  /// override both; the defaults fail loudly so unsupported models never
+  /// silently write or read garbage.
+  virtual Status Save(std::ostream& /*out*/) const {
+    return Status::FailedPrecondition(
+        "cate model does not support serialization");
+  }
+  virtual Status Load(std::istream& /*in*/) {
+    return Status::FailedPrecondition(
+        "cate model does not support serialization");
+  }
 };
 
 /// Factory producing fresh CATE models (TPM needs two independent ones).

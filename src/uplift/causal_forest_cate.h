@@ -22,6 +22,9 @@ class CausalForestCate : public CateModel {
     return forest_.PredictCate(x);
   }
 
+  Status Save(std::ostream& out) const override { return forest_.Save(out); }
+  Status Load(std::istream& in) override { return forest_.Load(in); }
+
   const trees::CausalForest& forest() const { return forest_; }
 
  private:

@@ -1,5 +1,9 @@
 #include "uplift/meta_learners.h"
 
+#include <iomanip>
+#include <string>
+#include <utility>
+
 #include "common/macros.h"
 #include "common/math_util.h"
 
@@ -51,6 +55,28 @@ std::vector<double> SLearner::PredictCate(const Matrix& x) const {
     tau[AsSize(i)] = mu1[AsSize(i)] - mu0[AsSize(i)];
   }
   return tau;
+}
+
+Status SLearner::Save(std::ostream& out) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("s-learner not fitted");
+  }
+  out << "roicl-slearner-v1\n";
+  if (Status status = model_->Save(out); !status.ok()) return status;
+  if (!out) return Status::IoError("stream write failed");
+  return Status::Ok();
+}
+
+Status SLearner::Load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != "roicl-slearner-v1") {
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-slearner-v1)");
+  }
+  std::unique_ptr<Regressor> model = base_factory_();
+  if (Status status = model->Load(in); !status.ok()) return status;
+  model_ = std::move(model);
+  return Status::Ok();
 }
 
 void TLearner::Fit(const Matrix& x, const std::vector<int>& treatment,
@@ -122,6 +148,39 @@ std::vector<double> XLearner::PredictCate(const Matrix& x) const {
         propensity_ * t0[AsSize(i)] + (1.0 - propensity_) * t1[AsSize(i)];
   }
   return tau;
+}
+
+Status XLearner::Save(std::ostream& out) const {
+  if (tau0_ == nullptr || tau1_ == nullptr) {
+    return Status::FailedPrecondition("x-learner not fitted");
+  }
+  out << "roicl-xlearner-v1\n"
+      << std::setprecision(17) << propensity_ << '\n';
+  if (Status status = tau0_->Save(out); !status.ok()) return status;
+  if (Status status = tau1_->Save(out); !status.ok()) return status;
+  if (!out) return Status::IoError("stream write failed");
+  return Status::Ok();
+}
+
+Status XLearner::Load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != "roicl-xlearner-v1") {
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-xlearner-v1)");
+  }
+  double propensity = 0.0;
+  if (!(in >> propensity) || !(propensity > 0.0 && propensity < 1.0)) {
+    return Status::InvalidArgument(
+        "x-learner propensity must be in (0, 1)");
+  }
+  std::unique_ptr<Regressor> tau0 = base_factory_();
+  if (Status status = tau0->Load(in); !status.ok()) return status;
+  std::unique_ptr<Regressor> tau1 = base_factory_();
+  if (Status status = tau1->Load(in); !status.ok()) return status;
+  tau0_ = std::move(tau0);
+  tau1_ = std::move(tau1);
+  propensity_ = propensity;
+  return Status::Ok();
 }
 
 void DrLearner::Fit(const Matrix& x, const std::vector<int>& treatment,

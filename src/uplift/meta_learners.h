@@ -20,6 +20,11 @@ class SLearner : public CateModel {
            const std::vector<double>& y) override;
   std::vector<double> PredictCate(const Matrix& x) const override;
 
+  /// Delegates to the base regressor's Save/Load ("roicl-slearner-v1"
+  /// envelope); Load builds a fresh base learner from the factory.
+  Status Save(std::ostream& out) const override;
+  Status Load(std::istream& in) override;
+
  private:
   RegressorFactory base_factory_;
   std::unique_ptr<Regressor> model_;
@@ -60,6 +65,12 @@ class XLearner : public CateModel {
   void Fit(const Matrix& x, const std::vector<int>& treatment,
            const std::vector<double>& y) override;
   std::vector<double> PredictCate(const Matrix& x) const override;
+
+  /// Serializes the two stage-2 regressors plus the estimated propensity
+  /// ("roicl-xlearner-v1"); Load builds fresh base learners from the
+  /// factory.
+  Status Save(std::ostream& out) const override;
+  Status Load(std::istream& in) override;
 
  private:
   RegressorFactory base_factory_;

@@ -1,10 +1,14 @@
 #include "uplift/neural_cate.h"
 
 #include <cmath>
+#include <iomanip>
+#include <string>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/math_util.h"
 #include "nn/batch_forward.h"
+#include "nn/serialize.h"
 
 namespace roicl::uplift {
 namespace {
@@ -270,6 +274,63 @@ std::vector<double> NeuralCate::PredictCate(const Matrix& x) const {
     }
   }
   return tau;
+}
+
+Status NeuralCate::Save(std::ostream& out) const {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("neural cate model not fitted");
+  }
+  const std::vector<double>& means = scaler_.means();
+  const std::vector<double>& stds = scaler_.stddevs();
+  out << "roicl-ncate-v1\n" << means.size() << '\n';
+  out << std::setprecision(17);
+  for (size_t i = 0; i < means.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << means[i];
+  }
+  out << '\n';
+  for (size_t i = 0; i < stds.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << stds[i];
+  }
+  out << '\n';
+  return nn::SaveNetworkParams(*net_, out);
+}
+
+Status NeuralCate::Load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != "roicl-ncate-v1") {
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-ncate-v1)");
+  }
+  int dim = 0;
+  if (!(in >> dim) || dim <= 0 || dim > 1000000) {
+    return Status::InvalidArgument("bad neural cate feature dimension");
+  }
+  std::vector<double> means(AsSize(dim)), stds(AsSize(dim));
+  for (double& m : means) {
+    if (!(in >> m)) {
+      return Status::InvalidArgument("truncated scaler means");
+    }
+  }
+  for (double& s : stds) {
+    if (!(in >> s)) {
+      return Status::InvalidArgument("truncated scaler stddevs");
+    }
+    if (!(s > 0.0)) {
+      return Status::InvalidArgument("scaler stddevs must be positive");
+    }
+  }
+  // Rebuild the architecture exactly as Fit() does (same config, same
+  // init stream) and then overwrite every parameter from the blob.
+  Rng rng(config_.seed, /*stream=*/23);
+  std::unique_ptr<nn::Network> net = BuildNet(kind_, dim, config_, &rng);
+  if (Status status = nn::LoadNetworkParams(net.get(), in); !status.ok()) {
+    return status;
+  }
+  scaler_ = StandardScaler::FromMoments(std::move(means), std::move(stds));
+  net_ = std::move(net);
+  return Status::Ok();
 }
 
 CateModelFactory MakeNeuralCateFactory(NeuralCateKind kind,

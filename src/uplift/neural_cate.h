@@ -47,6 +47,14 @@ class NeuralCate : public CateModel {
            const std::vector<double>& y) override;
   std::vector<double> PredictCate(const Matrix& x) const override;
 
+  /// Serializes scaler moments plus the flat parameter blob
+  /// ("roicl-ncate-v1"). Requires Fit().
+  Status Save(std::ostream& out) const override;
+  /// Rebuilds the architecture from this model's config (kind, widths,
+  /// seed) and restores the saved parameters; shape mismatches return a
+  /// descriptive Status.
+  Status Load(std::istream& in) override;
+
   NeuralCateKind kind() const { return kind_; }
 
  private:

@@ -2,9 +2,12 @@
 #define ROICL_UPLIFT_REGRESSOR_H_
 
 #include <functional>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <vector>
 
+#include "common/status.h"
 #include "linalg/matrix.h"
 #include "trees/random_forest.h"
 
@@ -17,6 +20,18 @@ class Regressor {
   virtual ~Regressor() = default;
   virtual void Fit(const Matrix& x, const std::vector<double>& y) = 0;
   virtual std::vector<double> Predict(const Matrix& x) const = 0;
+
+  /// Serialization hooks. Concrete learners that can round-trip their
+  /// fitted state override both; the defaults return FailedPrecondition
+  /// so unsupported learners fail loudly instead of writing garbage.
+  virtual Status Save(std::ostream& /*out*/) const {
+    return Status::FailedPrecondition(
+        "regressor does not support serialization");
+  }
+  virtual Status Load(std::istream& /*in*/) {
+    return Status::FailedPrecondition(
+        "regressor does not support serialization");
+  }
 };
 
 /// Factory producing fresh base learners (meta-learners need several
@@ -31,6 +46,12 @@ class RidgeRegressor : public Regressor {
   void Fit(const Matrix& x, const std::vector<double>& y) override;
   std::vector<double> Predict(const Matrix& x) const override;
 
+  /// Writes the fitted weight vector ("roicl-ridge-v1"). Requires Fit().
+  Status Save(std::ostream& out) const override;
+  /// Restores weights written by Save(); malformed input returns a
+  /// descriptive Status and leaves the regressor unchanged.
+  Status Load(std::istream& in) override;
+
  private:
   double lambda_;
   std::vector<double> weights_;  // last entry is the intercept
@@ -44,6 +65,9 @@ class ForestRegressor : public Regressor {
 
   void Fit(const Matrix& x, const std::vector<double>& y) override;
   std::vector<double> Predict(const Matrix& x) const override;
+
+  Status Save(std::ostream& out) const override { return forest_.Save(out); }
+  Status Load(std::istream& in) override { return forest_.Load(in); }
 
  private:
   trees::RandomForestRegressor forest_;

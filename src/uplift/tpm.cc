@@ -1,6 +1,8 @@
 #include "uplift/tpm.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/math_util.h"
@@ -17,10 +19,44 @@ TpmRoiModel::TpmRoiModel(std::string display_name, CateModelFactory factory,
 
 void TpmRoiModel::Fit(const RctDataset& train) {
   train.Validate();
+  feature_dim_ = train.x.cols();
   revenue_model_ = factory_();
   revenue_model_->Fit(train.x, train.treatment, train.y_revenue);
   cost_model_ = factory_();
   cost_model_->Fit(train.x, train.treatment, train.y_cost);
+}
+
+Status TpmRoiModel::Save(std::ostream& out) const {
+  if (revenue_model_ == nullptr || cost_model_ == nullptr) {
+    return Status::FailedPrecondition("tpm model not fitted");
+  }
+  out << "roicl-tpm-v1\n" << feature_dim_ << '\n';
+  if (Status status = revenue_model_->Save(out); !status.ok()) {
+    return status;
+  }
+  if (Status status = cost_model_->Save(out); !status.ok()) return status;
+  if (!out) return Status::IoError("stream write failed");
+  return Status::Ok();
+}
+
+Status TpmRoiModel::Load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != "roicl-tpm-v1") {
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-tpm-v1)");
+  }
+  int dim = 0;
+  if (!(in >> dim) || dim <= 0 || dim > 1000000) {
+    return Status::InvalidArgument("bad tpm feature dimension");
+  }
+  std::unique_ptr<CateModel> revenue = factory_();
+  if (Status status = revenue->Load(in); !status.ok()) return status;
+  std::unique_ptr<CateModel> cost = factory_();
+  if (Status status = cost->Load(in); !status.ok()) return status;
+  feature_dim_ = dim;
+  revenue_model_ = std::move(revenue);
+  cost_model_ = std::move(cost);
+  return Status::Ok();
 }
 
 std::vector<double> TpmRoiModel::PredictRoi(const Matrix& x) const {

@@ -29,10 +29,20 @@ class TpmRoiModel : public RoiModel {
   std::vector<double> PredictRoi(const Matrix& x) const override;
   std::string name() const override { return display_name_; }
 
+  /// Serializes the revenue and cost CATE models ("roicl-tpm-v1").
+  /// Requires Fit() and a CATE family that supports serialization.
+  Status Save(std::ostream& out) const;
+  /// Restores a pair written by Save() into fresh factory instances.
+  Status Load(std::istream& in);
+
+  /// Feature dimension recorded at Fit() time (-1 before Fit/Load).
+  int feature_dim() const { return feature_dim_; }
+
  private:
   std::string display_name_;
   CateModelFactory factory_;
   double cost_floor_;
+  int feature_dim_ = -1;
   std::unique_ptr<CateModel> revenue_model_;
   std::unique_ptr<CateModel> cost_model_;
 };

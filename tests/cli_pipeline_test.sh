@@ -1,0 +1,103 @@
+#!/bin/bash
+# End-to-end test of the train-once/serve-many flow:
+#   train --save-pipeline -> score --pipeline -> serve --pipeline
+# The acceptance bar: `roicl serve` must score a held-out CSV bitwise
+# identical to in-process prediction, at several engine settings.
+# Run by ctest with the build dir as argument.
+set -euo pipefail
+BUILD_DIR="$1"
+WORK=$(mktemp -d)
+trap "rm -rf $WORK" EXIT
+CLI="$BUILD_DIR/tools/roicl"
+
+$CLI generate --dataset criteo --n 2000 --seed 1 --out $WORK/train.csv
+$CLI generate --dataset criteo --n 600 --seed 2 --shifted \
+    --out $WORK/calib.csv
+$CLI generate --dataset criteo --n 777 --seed 3 --out $WORK/test.csv
+
+# --- Point method: train once, then score and serve must agree. --------
+$CLI train --method drp --train $WORK/train.csv --epochs 8 --restarts 1 \
+    --save-pipeline $WORK/drp.pipe
+$CLI score --pipeline $WORK/drp.pipe --data $WORK/test.csv \
+    --out $WORK/inproc.csv
+[ "$(head -1 $WORK/inproc.csv)" = "roi" ]
+[ "$(wc -l < $WORK/inproc.csv)" -eq 778 ]
+# Serving through the long-lived ScoringService is bitwise identical to
+# in-process scoring, at different request splits and thread counts.
+for opts in "--request-rows 64 --threads 1" \
+            "--request-rows 100 --threads 4" \
+            "--request-rows 1000 --threads 8"; do
+  $CLI serve --pipeline $WORK/drp.pipe --data $WORK/test.csv \
+      --out $WORK/served.csv $opts
+  cmp $WORK/inproc.csv $WORK/served.csv \
+    || { echo "serve output differs from in-process ($opts)"; exit 1; }
+done
+
+# --- Conformal method: pipeline carries calibration state. -------------
+$CLI train --method rdrp --train $WORK/train.csv --calib $WORK/calib.csv \
+    --epochs 8 --restarts 1 --save-pipeline $WORK/rdrp.pipe
+$CLI score --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+    --out $WORK/rdrp_scores.csv
+[ "$(head -1 $WORK/rdrp_scores.csv)" = "roi,interval_lo,interval_hi" ]
+# Scoring the same artifact twice is deterministic.
+$CLI score --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+    --out $WORK/rdrp_scores2.csv
+cmp $WORK/rdrp_scores.csv $WORK/rdrp_scores2.csv
+# serve returns point scores only. rDRP's calibrated score may consume
+# MC-dropout std, whose RNG streams key on within-request row indices —
+# so served bits are a function of the request split. Two guarantees to
+# pin: (a) served as ONE request, the roi column is bitwise identical to
+# score's; (b) any fixed split is bitwise reproducible run-to-run.
+$CLI serve --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+    --out $WORK/rdrp_served.csv --request-rows 1000000
+cut -d, -f1 $WORK/rdrp_scores.csv > $WORK/rdrp_roi_col.csv
+cmp $WORK/rdrp_roi_col.csv $WORK/rdrp_served.csv \
+    || { echo "single-request rDRP serve differs from score's roi"; exit 1; }
+$CLI serve --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+    --out $WORK/rdrp_served77a.csv --request-rows 77 --threads 2
+$CLI serve --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+    --out $WORK/rdrp_served77b.csv --request-rows 77 --threads 4
+cmp $WORK/rdrp_served77a.csv $WORK/rdrp_served77b.csv \
+    || { echo "chunked rDRP serve is not reproducible"; exit 1; }
+# evaluate and allocate accept --pipeline too.
+$CLI evaluate --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+  | grep -q "AUCC"
+$CLI allocate --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+    --budget-frac 0.2 | grep -q "incr. revenue"
+
+# --- A non-neural method round-trips through the same artifact. --------
+$CLI train --method tpm-sl --train $WORK/train.csv --forest-trees 5 \
+    --save-pipeline $WORK/sl.pipe
+$CLI score --pipeline $WORK/sl.pipe --data $WORK/test.csv \
+    --out $WORK/sl1.csv
+$CLI serve --pipeline $WORK/sl.pipe --data $WORK/test.csv \
+    --out $WORK/sl2.csv --request-rows 50
+cmp $WORK/sl1.csv $WORK/sl2.csv
+
+# --- Error paths return non-zero with useful messages. -----------------
+if $CLI train --method nonsense --train $WORK/train.csv \
+    --save-pipeline $WORK/x 2>$WORK/err.txt; then
+  echo "expected failure for unknown method"; exit 1
+fi
+grep -q "registered methods" $WORK/err.txt
+grep -q "rDRP" $WORK/err.txt
+if $CLI score --pipeline /nonexistent --data $WORK/test.csv \
+    --out $WORK/x.csv; then
+  echo "expected failure for missing pipeline"; exit 1
+fi
+if $CLI serve --pipeline $WORK/drp.pipe --data $WORK/calib.csv \
+    --out $WORK/x.csv --request-rows 0; then
+  echo "expected failure for bad --request-rows"; exit 1
+fi
+# A pipeline artifact is refused by the raw-blob loader with a clear
+# error (and vice versa the manifest guards catch raw blobs).
+if $CLI evaluate --model-type drp --model $WORK/drp.pipe \
+    --data $WORK/test.csv; then
+  echo "expected failure for pipeline fed to raw loader"; exit 1
+fi
+
+# `roicl methods` lists the registry (used by docs and scripts).
+$CLI methods | grep -qx "rDRP"
+[ "$($CLI methods | wc -l)" -ge 10 ]
+
+echo "CLI pipeline test passed"

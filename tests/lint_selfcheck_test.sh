@@ -81,12 +81,37 @@ exit 0
 EOF
 chmod +x "${fixture}/tools/check_unwired.sh"
 
+# check_registry_complete: a Table-I name with no Register() call.
+mkdir -p "${fixture}/src/exp" "${fixture}/src/pipeline"
+cat > "${fixture}/src/exp/methods.h" <<'EOF'
+inline constexpr std::array<const char*, 2> kTable1MethodNames = {
+    "DRP", "rDRP"};
+EOF
+cat > "${fixture}/src/pipeline/builtin_scorers.cc" <<'EOF'
+void RegisterBuiltinScorers(ScorerRegistry* registry) {
+  registry->Register("DRP", MakeDrp);
+  // rDRP registration deliberately missing.
+}
+EOF
+
 # --- Each lint must reject its fixture... -------------------------------
 expect_fail check_determinism bash "${tools}/check_determinism.sh" "${fixture}"
 expect_fail check_include_guards \
   bash "${tools}/check_include_guards.sh" "${fixture}"
 expect_fail check_scripts bash "${tools}/check_scripts.sh" "${fixture}"
 expect_fail check_no_raw_io bash "${tools}/check_no_raw_io.sh" "${fixture}"
+expect_fail check_registry_complete \
+  bash "${tools}/check_registry_complete.sh" "${fixture}"
+
+# The registry lint names the missing method, not just "failed".
+registry_out=$(bash "${tools}/check_registry_complete.sh" "${fixture}" \
+  2>&1 || true)
+if grep -q "method 'rDRP' from kTable1MethodNames" <<<"${registry_out}"; then
+  echo "ok: check_registry_complete reports the unregistered method"
+else
+  echo "FAIL: check_registry_complete did not name the missing method"
+  status=1
+fi
 
 # Capture first: under pipefail the lint's expected exit 1 would mask
 # grep's verdict in a direct pipeline.
@@ -105,5 +130,7 @@ expect_pass check_include_guards \
   bash "${tools}/check_include_guards.sh" "${repo_root}"
 expect_pass check_scripts bash "${tools}/check_scripts.sh" "${repo_root}"
 expect_pass check_no_raw_io bash "${tools}/check_no_raw_io.sh" "${repo_root}"
+expect_pass check_registry_complete \
+  bash "${tools}/check_registry_complete.sh" "${repo_root}"
 
 exit "${status}"

@@ -1,0 +1,215 @@
+// ScoringService contract: N client threads submitting interleaved
+// requests get exactly the scores a serial in-process pass produces,
+// bit for bit. Also covers queue rejection, deadlines, and clean
+// shutdown. This test runs under ThreadSanitizer (tools/run_tsan.sh) as
+// the data-race gate for the serving layer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/math_util.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/service.h"
+#include "synth/synthetic_generator.h"
+
+namespace {
+
+using namespace roicl;
+
+RctDataset Gen(int n, uint64_t seed) {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(seed);
+  return generator.Generate(n, /*shifted=*/false, &rng);
+}
+
+pipeline::Pipeline TrainSmallDrp() {
+  pipeline::Hyperparams hp;
+  hp.neural_epochs = 3;
+  hp.restarts = 1;
+  RctDataset train = Gen(200, 7);
+  return std::move(pipeline::Pipeline::Train("DRP", hp, train,
+                                             /*calibration=*/nullptr, {}))
+      .value();
+}
+
+TEST(ScoringService, InterleavedThreadsMatchSerialBitwise) {
+  pipeline::Pipeline pipeline = TrainSmallDrp();
+
+  // Distinct request payloads, each with its own serial reference score.
+  constexpr int kRequests = 24;
+  std::vector<Matrix> payloads;
+  std::vector<std::vector<double>> expected;
+  for (int i = 0; i < kRequests; ++i) {
+    RctDataset data = Gen(17 + i % 5, 100 + static_cast<uint64_t>(i));
+    expected.push_back(pipeline.Score(data.x).value());
+    payloads.push_back(data.x);
+  }
+
+  pipeline::ServiceOptions options;
+  options.engine.batch_size = 8;
+  options.engine.num_threads = 2;
+  pipeline::ScoringService service(std::move(pipeline), options);
+
+  // N threads submit interleaved slices of the request list.
+  constexpr int kThreads = 6;
+  std::vector<std::future<StatusOr<std::vector<double>>>> futures(
+      kRequests);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = t; i < kRequests; i += kThreads) {
+        futures[AsSize(i)] = service.Submit(payloads[AsSize(i)]);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int i = 0; i < kRequests; ++i) {
+    StatusOr<std::vector<double>> result = futures[AsSize(i)].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.value().size(), expected[AsSize(i)].size());
+    for (size_t r = 0; r < expected[AsSize(i)].size(); ++r) {
+      ASSERT_EQ(result.value()[r], expected[AsSize(i)][r])
+          << "request " << i << " row " << r;
+    }
+  }
+  EXPECT_EQ(service.requests_served(), static_cast<uint64_t>(kRequests));
+}
+
+TEST(ScoringService, BlockingScoreMatchesSubmit) {
+  pipeline::Pipeline pipeline = TrainSmallDrp();
+  RctDataset data = Gen(20, 55);
+  std::vector<double> expected = pipeline.Score(data.x).value();
+
+  pipeline::ScoringService service(std::move(pipeline), {});
+  StatusOr<std::vector<double>> got = service.Score(data.x);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), expected);
+}
+
+TEST(ScoringService, RejectsWrongDimensionWithoutCrashing) {
+  pipeline::ScoringService service(TrainSmallDrp(), {});
+  int dim = service.pipeline().feature_dim();
+  Matrix wrong(3, dim + 1, 0.25);
+  StatusOr<std::vector<double>> result = service.Score(wrong);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("feature dimension mismatch"),
+            std::string::npos)
+      << result.status().ToString();
+  // The service stays usable after a bad request.
+  RctDataset data = Gen(5, 66);
+  EXPECT_TRUE(service.Score(data.x).ok());
+}
+
+TEST(ScoringService, QueueOverflowRejectsInsteadOfBlocking) {
+  pipeline::ServiceOptions options;
+  options.max_queue = 1;
+  pipeline::ScoringService service(TrainSmallDrp(), options);
+
+  // A large blocker request keeps the dispatcher busy while the burst
+  // lands, so the one-slot queue overflows. A fast machine could in
+  // principle still drain between submits, so retry a bounded number of
+  // times rather than assume timing.
+  RctDataset blocker_data = Gen(60000, 76);
+  RctDataset data = Gen(8, 77);
+  constexpr int kBurst = 64;
+  int ok = 0, rejected = 0;
+  for (int attempt = 0; attempt < 5 && rejected == 0; ++attempt) {
+    ok = rejected = 0;
+    std::future<StatusOr<std::vector<double>>> blocker =
+        service.Submit(blocker_data.x);
+    std::vector<std::future<StatusOr<std::vector<double>>>> futures;
+    futures.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i) {
+      futures.push_back(service.Submit(data.x));
+    }
+    for (auto& future : futures) {
+      StatusOr<std::vector<double>> result = future.get();
+      if (result.ok()) {
+        ++ok;
+      } else {
+        ASSERT_NE(result.status().message().find("queue full"),
+                  std::string::npos)
+            << result.status().ToString();
+        ++rejected;
+      }
+    }
+    ASSERT_TRUE(blocker.get().ok());
+    ASSERT_EQ(ok + rejected, kBurst);
+  }
+  EXPECT_GE(rejected, 1);
+  // Overflow rejections never wedge the service.
+  EXPECT_TRUE(service.Score(data.x).ok());
+}
+
+TEST(ScoringService, ExpiredDeadlinesFailWithDescriptiveStatus) {
+  pipeline::ScoringService service(TrainSmallDrp(), {});
+  RctDataset data = Gen(32, 88);
+  constexpr int kBurst = 32;
+  std::vector<std::future<StatusOr<std::vector<double>>>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(service.Submit(data.x, /*deadline_micros=*/1));
+  }
+  for (auto& future : futures) {
+    StatusOr<std::vector<double>> result = future.get();
+    // Each request either made its (1us) deadline or failed with the
+    // deadline status — never anything else, and never a hang.
+    if (!result.ok()) {
+      EXPECT_NE(result.status().message().find("deadline exceeded"),
+                std::string::npos)
+          << result.status().ToString();
+    }
+  }
+}
+
+TEST(ScoringService, ConcurrentSubmittersAndDestructorRaceCleanly) {
+  // Shutdown while clients are still submitting: every future must
+  // resolve (scored or "shut down"), nothing hangs, nothing races.
+  RctDataset data = Gen(16, 99);
+  std::vector<std::future<StatusOr<std::vector<double>>>> futures;
+  std::mutex futures_mu;
+  {
+    pipeline::ScoringService service(TrainSmallDrp(), {});
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+      clients.emplace_back([&] {
+        while (!stop.load()) {
+          auto future = service.Submit(data.x);
+          std::lock_guard<std::mutex> lock(futures_mu);
+          futures.push_back(std::move(future));
+          if (futures.size() > 64) return;
+        }
+      });
+    }
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(futures_mu);
+        if (futures.size() >= 32) break;
+      }
+      std::this_thread::yield();
+    }
+    stop.store(true);
+    for (std::thread& client : clients) client.join();
+    // Service destructor runs here with requests possibly still queued.
+  }
+  for (auto& future : futures) {
+    StatusOr<std::vector<double>> result = future.get();
+    if (!result.ok()) {
+      EXPECT_NE(result.status().message().find("shut down"),
+                std::string::npos)
+          << result.status().ToString();
+    }
+  }
+}
+
+}  // namespace

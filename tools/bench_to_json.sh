@@ -1,14 +1,16 @@
 #!/bin/bash
-# Runs the prediction-engine micro-benchmarks (batched forward, parallel
-# MC dropout) and writes Google Benchmark's JSON report to
-# BENCH_predict.json at the repo root — the committed record backing the
-# speedup table in EXPERIMENTS.md.
+# Runs the prediction-engine micro-benchmarks and writes Google
+# Benchmark's JSON reports to the repo root — the committed records
+# backing the speedup tables in EXPERIMENTS.md:
+#   BENCH_predict.json  batched forward + parallel MC dropout
+#   BENCH_serve.json    ScoringService end-to-end throughput
 #
-# Usage: bench_to_json.sh <build dir> [output json]
+# Usage: bench_to_json.sh <build dir> [predict json] [serve json]
 set -euo pipefail
 
-build_dir=${1:?usage: bench_to_json.sh <build dir> [output json]}
-out=${2:-"$(dirname "$0")/../BENCH_predict.json"}
+build_dir=${1:?usage: bench_to_json.sh <build dir> [predict json] [serve json]}
+predict_out=${2:-"$(dirname "$0")/../BENCH_predict.json"}
+serve_out=${3:-"$(dirname "$0")/../BENCH_serve.json"}
 
 bench="${build_dir}/bench/bench_micro"
 if [[ ! -x "${bench}" ]]; then
@@ -20,5 +22,12 @@ fi
   --benchmark_filter='BM_BatchForward|BM_ParallelMcDropout' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
-  --benchmark_format=json > "${out}"
-echo "wrote ${out}"
+  --benchmark_format=json > "${predict_out}"
+echo "wrote ${predict_out}"
+
+"${bench}" \
+  --benchmark_filter='BM_ScoringServiceThroughput' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "${serve_out}"
+echo "wrote ${serve_out}"

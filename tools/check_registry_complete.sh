@@ -1,0 +1,47 @@
+#!/bin/bash
+# Registry-completeness lint: every benchmark method named in
+# exp/methods.h's kTable1MethodNames must be registered with the scorer
+# registry in pipeline/builtin_scorers.cc. A method added to the Table-I
+# list but not the registry would CHECK-fail at runtime in exp/ and be
+# invisible to the CLI; this catches it at lint time. The registration
+# calls use greppable string literals (`Register("NAME"`) by convention
+# so this check stays a pure text match.
+#
+# Usage: check_registry_complete.sh <repo root>; exits non-zero on
+# violations.
+set -euo pipefail
+cd "${1:?usage: check_registry_complete.sh <repo root>}"
+
+methods_h=src/exp/methods.h
+builtins=src/pipeline/builtin_scorers.cc
+status=0
+
+for file in "${methods_h}" "${builtins}"; do
+  if [ ! -f "${file}" ]; then
+    echo "${file}: missing (registry lint cannot run)"
+    exit 1
+  fi
+done
+
+# Pull the quoted names out of the kTable1MethodNames initializer. The
+# count guard protects against regex rot: an array rename or reformat
+# that empties the extraction must fail loudly, not pass vacuously.
+names=$(awk '/kTable1MethodNames/,/};/' "${methods_h}" \
+  | grep -oE '"[^"]+"' | tr -d '"' || true)
+count=$(grep -c . <<<"${names}" || true)
+if [ -z "${names}" ] || [ "${count}" -lt 2 ]; then
+  echo "${methods_h}: could not extract kTable1MethodNames (regex rot?)"
+  exit 1
+fi
+
+while IFS= read -r name; do
+  if ! grep -qF "Register(\"${name}\"" "${builtins}"; then
+    echo "${builtins}: method '${name}' from kTable1MethodNames has no Register(\"${name}\" call"
+    status=1
+  fi
+done <<<"${names}"
+
+if [ "${status}" -eq 0 ]; then
+  echo "all ${count} Table-I methods are registered"
+fi
+exit "${status}"

@@ -2,19 +2,36 @@
 //
 // Subcommands:
 //   generate  synthesize an RCT dataset to CSV
-//   train     fit DRP or rDRP on CSV data and save the model
-//   predict   score a CSV with a saved model (ROI and, for rDRP,
-//             conformal interval bounds)
+//   methods   list every method registered with the scorer registry
+//   train     fit any registered method on CSV data; save a raw model
+//             blob (--out) and/or a versioned pipeline artifact
+//             (--save-pipeline)
+//   predict   score a CSV with a saved model or pipeline (ROI and, for
+//             conformal methods, interval bounds)
+//   score     score a CSV with a pipeline artifact (pipeline-only
+//             spelling of predict, for train-once/serve-many flows)
+//   serve     run a long-lived ScoringService over a pipeline artifact
+//             and push a CSV through it as micro-batched requests
 //   evaluate  AUCC / Qini of a saved model on labelled CSV data
 //   allocate  greedy C-BTAP budget allocation with a saved model
+//
+// Every model is constructed through pipeline::ScorerRegistry — there is
+// no per-method construction chain here; `roicl methods` shows the names.
 //
 // Examples:
 //   roicl generate --dataset criteo --n 20000 --seed 1 --out train.csv
 //   roicl generate --dataset criteo --n 5000 --seed 2 --shifted --out calib.csv
-//   roicl train --model rdrp --train train.csv --calib calib.csv --out m.rdrp
-//   roicl evaluate --model-type rdrp --model m.rdrp --data test.csv
-//   roicl allocate --model-type rdrp --model m.rdrp --data test.csv
-//       --budget-frac 0.15
+//   roicl train --method rdrp --train train.csv --calib calib.csv
+//       --save-pipeline m.pipeline
+//   roicl score --pipeline m.pipeline --data test.csv --out scores.csv
+//   roicl serve --pipeline m.pipeline --data test.csv --out scores.csv
+//       --request-rows 128 --threads 4
+//   roicl evaluate --pipeline m.pipeline --data test.csv
+//
+// Legacy spellings stay supported: `train --model rdrp ... --out m.rdrp`
+// writes a raw model blob, and predict/evaluate/allocate accept
+// `--model-type rdrp --model m.rdrp` (resolved through the same
+// registry, so any registered name works, case-insensitively).
 //
 // Observability flags (all subcommands):
 //   --log-level LEVEL   debug|info|warn|error|off (default info; the
@@ -27,13 +44,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <map>
+#include <memory>
+#include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/drp_model.h"
+#include "common/math_util.h"
+#include "common/status.h"
 #include "core/greedy.h"
-#include "core/rdrp.h"
 #include "core/roi_star.h"
 #include "data/csv.h"
 #include "exp/datasets.h"
@@ -42,8 +63,16 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/registry.h"
+#include "pipeline/service.h"
 #include "synth/synthetic_generator.h"
-#include "common/math_util.h"
+
+// Injected by the build (git describe at configure time) so pipeline
+// artifacts record which tree trained them.
+#ifndef ROICL_GIT_DESCRIBE
+#define ROICL_GIT_DESCRIBE "unknown"
+#endif
 
 using namespace roicl;
 
@@ -102,7 +131,9 @@ void PreregisterStandardMetrics() {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   for (const char* name :
        {"train.epochs", "train.early_stops", "mc_dropout.samples",
-        "roi_star.searches", "allocate.calls", "threadpool.tasks"}) {
+        "roi_star.searches", "allocate.calls", "threadpool.tasks",
+        "serve.requests", "serve.rejected", "serve.deadline_exceeded",
+        "serve.errors"}) {
     registry.GetCounter(name);
   }
   for (const char* name :
@@ -111,7 +142,7 @@ void PreregisterStandardMetrics() {
         "mc_dropout.samples_per_sec", "exp.predict_samples_per_sec",
         "roi_star.iterations", "roi_star.bracket_width",
         "allocate.budget_used_frac", "allocate.selected",
-        "threadpool.queue_depth"}) {
+        "threadpool.queue_depth", "serve.queue_depth"}) {
     registry.GetGauge(name);
   }
   registry.GetHistogram("conformal.score", obs::ConformalScoreBuckets());
@@ -204,21 +235,62 @@ RctDataset LoadCsvOrDie(const std::string& path) {
   return std::move(data).value();
 }
 
-core::DrpConfig DrpConfigFromFlags(const Flags& flags) {
-  core::DrpConfig config;
-  config.hidden_units = flags.GetInt("hidden", 0);
-  config.dropout = flags.GetDouble("dropout", 0.2);
-  config.train.epochs = flags.GetInt("epochs", 120);
-  config.train.learning_rate = flags.GetDouble("lr", 5e-3);
-  config.train.patience = flags.GetInt("patience", 12);
-  config.train.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
-  config.restarts = flags.GetInt("restarts", 3);
+/// The shared hyperparam block from CLI flags. Flags not given keep the
+/// paper defaults, so `train --method X` alone reproduces the benchmark
+/// configuration for X.
+pipeline::Hyperparams HyperparamsFromFlags(const Flags& flags) {
+  pipeline::Hyperparams hp;
+  hp.neural_epochs = flags.GetInt("epochs", hp.neural_epochs);
+  hp.learning_rate = flags.GetDouble("lr", hp.learning_rate);
+  hp.patience = flags.GetInt("patience", hp.patience);
+  hp.drp_hidden = flags.GetInt("hidden", hp.drp_hidden);
+  hp.drp_dropout = flags.GetDouble("dropout", hp.drp_dropout);
+  hp.restarts = flags.GetInt("restarts", hp.restarts);
+  hp.cate_epochs = flags.GetInt("cate-epochs", hp.cate_epochs);
+  hp.forest_trees = flags.GetInt("forest-trees", hp.forest_trees);
+  hp.forest_depth = flags.GetInt("forest-depth", hp.forest_depth);
+  hp.causal_forest_trees =
+      flags.GetInt("causal-forest-trees", hp.causal_forest_trees);
+  hp.mc_passes = flags.GetInt("mc-passes", hp.mc_passes);
+  hp.alpha = flags.GetDouble("alpha", hp.alpha);
+  hp.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
   // Batched prediction engine knobs. Neither changes any predicted value
   // (results are bit-identical at every setting); they only trade memory
   // and parallelism against wall clock.
-  config.predict.batch_size = flags.GetInt("batch-size", 256);
-  config.predict.num_threads = flags.GetInt("threads", 0);
-  return config;
+  hp.predict_batch_size = flags.GetInt("batch-size", hp.predict_batch_size);
+  hp.predict_threads = flags.GetInt("threads", hp.predict_threads);
+  return hp;
+}
+
+nn::BatchOptions BatchOptionsFromFlags(const Flags& flags) {
+  nn::BatchOptions opts;
+  opts.batch_size = flags.GetInt("batch-size", opts.batch_size);
+  opts.num_threads = flags.GetInt("threads", opts.num_threads);
+  return opts;
+}
+
+/// Resolves a user-supplied method name through the registry; prints the
+/// registry's unknown-name error (which lists every registered method)
+/// and exits 2 on failure.
+std::string ResolveMethodOrDie(const std::string& name) {
+  StatusOr<std::string> resolved =
+      pipeline::ScorerRegistry::Global().Resolve(name);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "%s\n", resolved.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(resolved).value();
+}
+
+pipeline::Pipeline LoadPipelineOrDie(const std::string& path) {
+  StatusOr<pipeline::Pipeline> loaded =
+      pipeline::Pipeline::LoadFromFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "failed to load pipeline %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(loaded).value();
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -239,93 +311,148 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
-int CmdTrain(const Flags& flags) {
-  std::string model_type = flags.Get("model", "rdrp");
-  RctDataset train = LoadCsvOrDie(flags.Require("train"));
-  std::string out = flags.Require("out");
-
-  if (model_type == "drp") {
-    core::DrpModel model(DrpConfigFromFlags(flags));
-    model.Fit(train);
-    Status status = model.SaveToFile(out);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
-    }
-    std::printf("trained DRP on %d samples -> %s\n", train.n(),
-                out.c_str());
-    return 0;
+int CmdMethods(const Flags& /*flags*/) {
+  for (const std::string& name :
+       pipeline::ScorerRegistry::Global().Names()) {
+    std::printf("%s\n", name.c_str());
   }
-  if (model_type == "rdrp") {
-    core::RdrpConfig config;
-    config.drp = DrpConfigFromFlags(flags);
-    config.alpha = flags.GetDouble("alpha", 0.1);
-    config.mc_passes = flags.GetInt("mc-passes", 30);
-    core::RdrpModel model(config);
-    if (flags.Has("calib")) {
-      RctDataset calib = LoadCsvOrDie(flags.Get("calib"));
-      model.FitWithCalibration(train, calib);
-    } else {
-      std::fprintf(stderr,
-                   "warning: no --calib set; calibrating on the training "
-                   "data (Assumption 6 will not hold)\n");
-      model.Fit(train);
-    }
-    Status status = model.SaveToFile(out);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
-    }
-    std::printf(
-        "trained rDRP on %d samples (roi*=%.4f, q_hat=%.4f, form %s) -> "
-        "%s\n",
-        train.n(), model.roi_star(), model.q_hat(),
-        core::CalibrationFormName(model.selected_form()).c_str(),
-        out.c_str());
-    return 0;
-  }
-  std::fprintf(stderr, "unknown --model '%s' (drp | rdrp)\n",
-               model_type.c_str());
-  return 2;
+  return 0;
 }
 
-/// Loads either model type and returns scores (+ intervals for rdrp).
-struct LoadedModel {
+int CmdTrain(const Flags& flags) {
+  // --method is the canonical spelling; --model is the legacy alias.
+  std::string method =
+      ResolveMethodOrDie(flags.Get("method", flags.Get("model", "rdrp")));
+  bool save_pipeline = flags.Has("save-pipeline");
+  bool save_raw = flags.Has("out");
+  if (!save_pipeline && !save_raw) {
+    std::fprintf(stderr,
+                 "train needs --save-pipeline PATH (versioned artifact) "
+                 "and/or --out PATH (raw model blob)\n");
+    return 2;
+  }
+  RctDataset train = LoadCsvOrDie(flags.Require("train"));
+  RctDataset calib;
+  const RctDataset* calib_ptr = nullptr;
+  if (flags.Has("calib")) {
+    calib = LoadCsvOrDie(flags.Get("calib"));
+    calib_ptr = &calib;
+  } else {
+    std::fprintf(stderr,
+                 "warning: no --calib set; conformal methods calibrate on "
+                 "the training data (Assumption 6 will not hold)\n");
+  }
+
+  pipeline::Hyperparams hp = HyperparamsFromFlags(flags);
+  pipeline::Provenance provenance;
+  provenance.seed = hp.seed;
+  provenance.dataset = flags.Get("train");
+  provenance.git_describe = ROICL_GIT_DESCRIBE;
+  provenance.tool = "roicl train";
+
+  StatusOr<pipeline::Pipeline> trained =
+      pipeline::Pipeline::Train(method, hp, train, calib_ptr, provenance);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "%s\n", trained.status().ToString().c_str());
+    return 1;
+  }
+  pipeline::Pipeline pipeline = std::move(trained).value();
+
+  if (save_pipeline) {
+    std::string path = flags.Get("save-pipeline");
+    Status status = pipeline.SaveToFile(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trained %s on %d samples -> pipeline %s\n",
+                method.c_str(), train.n(), path.c_str());
+  }
+  if (save_raw) {
+    std::string path = flags.Get("out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    Status status = pipeline.scorer().SaveModel(out);
+    if (!status.ok() || !out) {
+      std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trained %s on %d samples -> %s\n", method.c_str(),
+                train.n(), path.c_str());
+  }
+  return 0;
+}
+
+/// Scores from either a pipeline artifact (--pipeline) or a raw model
+/// blob (--model-type NAME --model PATH); intervals are filled when the
+/// scorer supports them.
+struct ScoredBatch {
   std::vector<double> scores;
-  std::vector<metrics::Interval> intervals;  // empty for drp
+  std::vector<metrics::Interval> intervals;  // empty for point methods
 };
 
-LoadedModel ScoreWithModel(const Flags& flags, const Matrix& x) {
-  std::string model_type = flags.Get("model-type", "rdrp");
+ScoredBatch ScoreWithModel(const Flags& flags, const Matrix& x) {
+  ScoredBatch out;
+  if (flags.Has("pipeline")) {
+    pipeline::Pipeline loaded = LoadPipelineOrDie(flags.Get("pipeline"));
+    loaded.set_batch_options(BatchOptionsFromFlags(flags));
+    StatusOr<std::vector<double>> scores = loaded.Score(x);
+    if (!scores.ok()) {
+      std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.scores = std::move(scores).value();
+    if (loaded.scorer().has_intervals()) {
+      StatusOr<std::vector<metrics::Interval>> intervals =
+          loaded.ScoreIntervals(x);
+      if (!intervals.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     intervals.status().ToString().c_str());
+        std::exit(1);
+      }
+      out.intervals = std::move(intervals).value();
+    }
+    return out;
+  }
+
+  std::string method = ResolveMethodOrDie(flags.Get("model-type", "rdrp"));
   std::string path = flags.Require("model");
-  LoadedModel out;
-  if (model_type == "drp") {
-    StatusOr<core::DrpModel> model = core::DrpModel::LoadFromFile(path);
-    if (!model.ok()) {
-      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+  StatusOr<std::unique_ptr<pipeline::RoiScorer>> created =
+      pipeline::ScorerRegistry::Global().Create(
+          method, HyperparamsFromFlags(flags));
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<pipeline::RoiScorer> scorer = std::move(created).value();
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open model file %s\n", path.c_str());
+    std::exit(1);
+  }
+  if (Status status = scorer->LoadModel(in); !status.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  out.scores = scorer->PredictRoi(x);
+  if (scorer->has_intervals()) {
+    StatusOr<std::vector<metrics::Interval>> intervals =
+        scorer->ScoreIntervals(x);
+    if (!intervals.ok()) {
+      std::fprintf(stderr, "%s\n", intervals.status().ToString().c_str());
       std::exit(1);
     }
-    out.scores = model.value().PredictRoi(x);
-  } else if (model_type == "rdrp") {
-    StatusOr<core::RdrpModel> model = core::RdrpModel::LoadFromFile(path);
-    if (!model.ok()) {
-      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
-      std::exit(1);
-    }
-    out.scores = model.value().PredictRoi(x);
-    out.intervals = model.value().PredictIntervals(x);
-  } else {
-    std::fprintf(stderr, "unknown --model-type '%s' (drp | rdrp)\n",
-                 model_type.c_str());
-    std::exit(2);
+    out.intervals = std::move(intervals).value();
   }
   return out;
 }
 
-int CmdPredict(const Flags& flags) {
-  RctDataset data = LoadCsvOrDie(flags.Require("data"));
-  LoadedModel scored = ScoreWithModel(flags, data.x);
-  std::string out_path = flags.Require("out");
+int WriteScoresCsv(const std::string& out_path, const ScoredBatch& scored) {
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -342,14 +469,78 @@ int CmdPredict(const Flags& flags) {
     }
     out << '\n';
   }
+  return 0;
+}
+
+int CmdPredict(const Flags& flags) {
+  RctDataset data = LoadCsvOrDie(flags.Require("data"));
+  ScoredBatch scored = ScoreWithModel(flags, data.x);
+  std::string out_path = flags.Require("out");
+  if (int rc = WriteScoresCsv(out_path, scored); rc != 0) return rc;
   std::printf("wrote %zu predictions to %s\n", scored.scores.size(),
               out_path.c_str());
   return 0;
 }
 
+int CmdScore(const Flags& flags) {
+  flags.Require("pipeline");  // score is the pipeline-only spelling
+  return CmdPredict(flags);
+}
+
+int CmdServe(const Flags& flags) {
+  pipeline::Pipeline loaded = LoadPipelineOrDie(flags.Require("pipeline"));
+  RctDataset data = LoadCsvOrDie(flags.Require("data"));
+  std::string out_path = flags.Require("out");
+
+  pipeline::ServiceOptions options;
+  options.engine = BatchOptionsFromFlags(flags);
+  options.max_batch_requests = flags.GetInt("max-batch", 32);
+  options.max_queue = flags.GetInt("max-queue", 1 << 20);
+  options.default_deadline_micros = flags.GetInt("deadline-micros", 0);
+  int request_rows = flags.GetInt("request-rows", 128);
+  if (request_rows <= 0) {
+    std::fprintf(stderr, "--request-rows must be positive\n");
+    return 2;
+  }
+
+  if (loaded.scorer().has_intervals()) {
+    obs::Info("serve returns point scores only; use `score --pipeline` "
+              "for conformal intervals",
+              {{"scorer", loaded.scorer_name()}});
+  }
+  pipeline::ScoringService service(std::move(loaded), options);
+
+  // Split the CSV into request-sized row blocks and push them through the
+  // service like concurrent clients would. Point scores are row-wise, so
+  // any split reproduces the in-process scores bit for bit.
+  std::vector<std::future<StatusOr<std::vector<double>>>> futures;
+  for (int start = 0; start < data.x.rows(); start += request_rows) {
+    int end = std::min(start + request_rows, data.x.rows());
+    std::vector<int> rows(AsSize(end - start));
+    std::iota(rows.begin(), rows.end(), start);
+    futures.push_back(service.Submit(data.x.SelectRows(rows)));
+  }
+
+  ScoredBatch scored;
+  scored.scores.reserve(AsSize(data.n()));
+  for (auto& future : futures) {
+    StatusOr<std::vector<double>> result = future.get();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<double>& chunk = result.value();
+    scored.scores.insert(scored.scores.end(), chunk.begin(), chunk.end());
+  }
+  if (int rc = WriteScoresCsv(out_path, scored); rc != 0) return rc;
+  std::printf("served %zu requests (%d rows, <=%d rows each) -> %s\n",
+              futures.size(), data.n(), request_rows, out_path.c_str());
+  return 0;
+}
+
 int CmdEvaluate(const Flags& flags) {
   RctDataset data = LoadCsvOrDie(flags.Require("data"));
-  LoadedModel scored = ScoreWithModel(flags, data.x);
+  ScoredBatch scored = ScoreWithModel(flags, data.x);
   std::printf("n          : %d\n", data.n());
   std::printf("AUCC       : %.4f\n", metrics::Aucc(scored.scores, data));
   std::printf("Qini (rev) : %.4f\n",
@@ -373,7 +564,7 @@ int CmdEvaluate(const Flags& flags) {
 
 int CmdAllocate(const Flags& flags) {
   RctDataset data = LoadCsvOrDie(flags.Require("data"));
-  LoadedModel scored = ScoreWithModel(flags, data.x);
+  ScoredBatch scored = ScoreWithModel(flags, data.x);
   if (!data.has_ground_truth()) {
     std::fprintf(stderr,
                  "allocate requires true_tau_c columns (synthetic data) "
@@ -401,12 +592,19 @@ int CmdAllocate(const Flags& flags) {
 
 void PrintUsage() {
   std::fputs(
-      "usage: roicl <generate|train|predict|evaluate|allocate> [--flags]\n"
+      "usage: roicl "
+      "<generate|methods|train|predict|score|serve|evaluate|allocate> "
+      "[--flags]\n"
       "run with a subcommand and no flags to see its required arguments\n"
+      "train once, serve many:\n"
+      "  train --method NAME --train CSV [--calib CSV] "
+      "--save-pipeline FILE\n"
+      "  score --pipeline FILE --data CSV --out CSV\n"
+      "  serve --pipeline FILE --data CSV --out CSV [--request-rows N]\n"
+      "`roicl methods` lists every registered method name\n"
       "observability flags (any subcommand): --log-level LEVEL, "
       "--log-json FILE, --metrics-out FILE, --trace-out FILE\n"
-      "prediction engine flags (train/predict/evaluate/allocate): "
-      "--batch-size N (default 256), --threads N "
+      "prediction engine flags: --batch-size N (default 256), --threads N "
       "(0 = shared pool, 1 = serial; results are identical either way)\n",
       stderr);
 }
@@ -414,8 +612,11 @@ void PrintUsage() {
 int RunCommand(const std::string& command, const Flags& flags) {
   obs::ScopedSpan span("roicl." + command);
   if (command == "generate") return CmdGenerate(flags);
+  if (command == "methods") return CmdMethods(flags);
   if (command == "train") return CmdTrain(flags);
   if (command == "predict") return CmdPredict(flags);
+  if (command == "score") return CmdScore(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "allocate") return CmdAllocate(flags);
   PrintUsage();

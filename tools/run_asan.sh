@@ -22,8 +22,10 @@ build_dir=${2:-"${repo_root}/build-asan"}
 #   common_misc_test   ThreadPool lifetime
 #   greedy_test        allocation result vectors
 #   uplift_test        multi-head nets and meta-learner ensembles
+#   pipeline_roundtrip_test  pipeline artifact manifest/blob parsing
 asan_tests=(matrix_test solve_test data_test serialize_test nn_layers_test
-            common_misc_test greedy_test uplift_test)
+            common_misc_test greedy_test uplift_test
+            pipeline_roundtrip_test)
 
 cmake -S "${repo_root}" -B "${build_dir}" -DROICL_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

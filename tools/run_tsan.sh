@@ -14,10 +14,12 @@ repo_root=${1:?usage: run_tsan.sh <repo root> [build dir]}
 build_dir=${2:-"${repo_root}/build-tsan"}
 
 # The race-prone surfaces and the tests that exercise them:
-#   common_misc_test   ThreadPool submit/ParallelFor/shutdown
-#   obs_test           concurrent metrics registry and trace collector
-#   determinism_test   batched parallel forward + MC-dropout engine
-tsan_tests=(common_misc_test obs_test determinism_test)
+#   common_misc_test      ThreadPool submit/ParallelFor/shutdown
+#   obs_test              concurrent metrics registry and trace collector
+#   determinism_test      batched parallel forward + MC-dropout engine
+#   scoring_service_test  ScoringService queue/dispatcher/shutdown
+tsan_tests=(common_misc_test obs_test determinism_test
+            scoring_service_test)
 
 cmake -S "${repo_root}" -B "${build_dir}" -DROICL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
