@@ -24,6 +24,7 @@
 #include "core/roi_star.h"
 #include "exp/datasets.h"
 #include "metrics/cost_curve.h"
+#include "monitor/monitor.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "pipeline/pipeline.h"
@@ -265,6 +266,81 @@ void BM_ScoringServiceThroughput(benchmark::State& state) {
                           static_cast<int64_t>(data.x.rows()));
 }
 
+// Shared conformal fixture for the monitor benchmarks: one trained rDRP
+// pipeline plus the calibration set its references were captured from.
+struct MonitorFixture {
+  pipeline::Pipeline pipeline;
+  RctDataset calibration;
+};
+
+MonitorFixture& SharedMonitorFixture() {
+  static MonitorFixture& fixture = *[] {
+    pipeline::Hyperparams hp;
+    hp.neural_epochs = 4;
+    hp.restarts = 1;
+    hp.mc_passes = 6;
+    RctDataset train = MakeData(2000);
+    Rng rng(43);
+    RctDataset calib = Generator().Generate(600, false, &rng);
+    pipeline::Pipeline trained =
+        std::move(pipeline::Pipeline::Train("rDRP", hp, train, &calib, {}))
+            .value();
+    return new MonitorFixture{std::move(trained), std::move(calib)};
+  }();
+  return fixture;
+}
+
+/// Serving-path overhead of drift monitoring: ObserveScored bins every
+/// feature column and the score stream into the live windows (plus a
+/// detector evaluation each time `window_rows` accumulate), fanned out
+/// over engine threads (arg 0). Items = rows ingested; recorded to
+/// BENCH_monitor.json by tools/bench_to_json.sh.
+void BM_MonitorUpdate(benchmark::State& state) {
+  MonitorFixture& fixture = SharedMonitorFixture();
+  monitor::MonitorOptions options;
+  options.engine.batch_size = 128;
+  options.engine.num_threads = static_cast<int>(state.range(0));
+  std::unique_ptr<monitor::ServingMonitor> mon =
+      std::move(monitor::ServingMonitor::FromCalibration(
+                    &fixture.pipeline, fixture.calibration, options))
+          .value();
+  RctDataset data = MakeData(2048);
+  std::vector<double> scores = fixture.pipeline.Score(data.x).value();
+  for (auto _ : state) {
+    mon->ObserveScored(data.x, scores);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.x.rows()));
+}
+
+/// One forced rolling recalibration over a full labeled feedback window
+/// of arg-0 rows: the Eq. (3) MC sweep over the window, the Algorithm 2
+/// roi* search, the windowed quantile, and the atomic q_hat swap.
+void BM_RollingRecalibrate(benchmark::State& state) {
+  MonitorFixture& fixture = SharedMonitorFixture();
+  int window = static_cast<int>(state.range(0));
+  monitor::MonitorOptions options;
+  options.recalibrator.min_labeled = 50;
+  options.recalibrator.max_window = static_cast<size_t>(window);
+  std::unique_ptr<monitor::ServingMonitor> mon =
+      std::move(monitor::ServingMonitor::FromCalibration(
+                    &fixture.pipeline, fixture.calibration, options))
+          .value();
+  mon->BindQuantileSwap([&fixture](double q_hat) {
+    return fixture.pipeline.SetConformalQuantile(q_hat);
+  });
+  RctDataset feedback = MakeData(window);
+  ROICL_CHECK(mon->AddOutcomes(feedback).ok());
+  for (auto _ : state) {
+    StatusOr<monitor::RecalibrationResult> result =
+        mon->MaybeRecalibrate(/*force=*/true);
+    ROICL_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(window));
+}
+
 BENCHMARK(BM_BinarySearchRoiStar)
     ->Args({1000, 100})
     ->Args({1000, 10000})
@@ -325,6 +401,16 @@ BENCHMARK(BM_ScoringServiceThroughput)
     ->Arg(2)
     ->Arg(8)
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MonitorUpdate)
+    ->Arg(1)   // inline serial binning
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RollingRecalibrate)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/macros.h"
 #include "common/stats.h"
@@ -45,12 +46,30 @@ double ConformalScoreQuantile(const std::vector<double>& scores,
   registry.GetGauge("conformal.calibration_n")
       ->Set(static_cast<double>(scores.size()));
   double q_hat = ConformalQuantile(scores, alpha);
-  ROICL_DCHECK_FINITE(q_hat);
+  if (!std::isfinite(q_hat)) {
+    // Legal per the contract (intervals trivially cover) but almost never
+    // what a caller wants: the calibration window is too small for the
+    // requested alpha. Make the starved window loud.
+    registry.GetCounter("conformal.qhat_infinite")->Increment();
+    obs::Warn("conformal quantile is infinite (calibration window too "
+              "small for alpha); intervals are trivial",
+              {{"alpha", alpha}, {"calibration_n", scores.size()}});
+  }
   registry.GetGauge("conformal.q_hat")->Set(q_hat);
   obs::Debug("conformal quantile", {{"q_hat", q_hat},
                                     {"alpha", alpha},
                                     {"calibration_n", scores.size()}});
   return q_hat;
+}
+
+double WindowedConformalScoreQuantile(const std::vector<double>& scores,
+                                      size_t window, double alpha) {
+  if (window == 0 || window >= scores.size()) {
+    return ConformalScoreQuantile(scores, alpha);
+  }
+  std::vector<double> tail(scores.end() - static_cast<ptrdiff_t>(window),
+                           scores.end());
+  return ConformalScoreQuantile(tail, alpha);
 }
 
 std::vector<metrics::Interval> ConformalIntervals(

@@ -1,6 +1,7 @@
 #ifndef ROICL_CORE_CONFORMAL_H_
 #define ROICL_CORE_CONFORMAL_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "metrics/coverage.h"
@@ -25,9 +26,19 @@ std::vector<double> ConformalScores(double roi_star,
 
 /// Algorithm 3, steps 2-5: the ceil((1-alpha)(n+1))/n empirical quantile
 /// q_hat of the calibration scores. Returns +inf for tiny calibration sets
-/// where the rank exceeds n (intervals then trivially cover).
+/// where the rank exceeds n (intervals then trivially cover); that case
+/// also emits a WARN log and bumps the `conformal.qhat_infinite` counter
+/// so a starved calibration window is visible in the metrics snapshot.
 double ConformalScoreQuantile(const std::vector<double>& scores,
                               double alpha);
+
+/// Rolling-window entry point for online recalibration: the conformal
+/// quantile over the most recent `window` scores (`scores` is in arrival
+/// order; `window` of 0, or >= scores.size(), uses every score). Shares
+/// ConformalScoreQuantile's metrics and starved-window warning, so a
+/// sliding window that shrank below ceil((1-alpha)(n+1)) is loud.
+double WindowedConformalScoreQuantile(const std::vector<double>& scores,
+                                      std::size_t window, double alpha);
 
 /// Algorithm 3, step 6: C(x) = [roi_hat - r_hat * q_hat,
 ///                              roi_hat + r_hat * q_hat] per sample.

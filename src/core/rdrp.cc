@@ -1,9 +1,10 @@
 #include "core/rdrp.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
-#include <cmath>
+#include <utility>
 
 #include "common/macros.h"
 #include "core/conformal.h"
@@ -13,6 +14,34 @@
 #include "obs/trace.h"
 
 namespace roicl::core {
+
+RdrpModel::RdrpModel(RdrpModel&& other) noexcept
+    : config_(std::move(other.config_)),
+      drp_(std::move(other.drp_)),
+      calibrated_(other.calibrated_),
+      q_hat_(other.q_hat_.load(std::memory_order_relaxed)),
+      roi_star_global_(other.roi_star_global_),
+      form_(other.form_) {}
+
+RdrpModel& RdrpModel::operator=(RdrpModel&& other) noexcept {
+  if (this != &other) {
+    config_ = std::move(other.config_);
+    drp_ = std::move(other.drp_);
+    calibrated_ = other.calibrated_;
+    q_hat_.store(other.q_hat_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    roi_star_global_ = other.roi_star_global_;
+    form_ = other.form_;
+  }
+  return *this;
+}
+
+void RdrpModel::set_q_hat(double q_hat) {
+  ROICL_CHECK_MSG(calibrated_, "set_q_hat() before FitWithCalibration()");
+  ROICL_CHECK_MSG(std::isfinite(q_hat) && q_hat >= 0.0,
+                  "set_q_hat() requires a finite non-negative quantile");
+  q_hat_.store(q_hat, std::memory_order_relaxed);
+}
 
 void RdrpModel::FitWithCalibration(const RctDataset& train,
                                    const RctDataset& calibration) {
@@ -42,29 +71,30 @@ void RdrpModel::FitWithCalibration(const RctDataset& train,
     // Line 7: conformal score quantile.
     std::vector<double> scores =
         ConformalScores(roi_star, roi_hat, mc.stddev, config_.std_floor);
-    q_hat_ = ConformalScoreQuantile(scores, config_.alpha);
-    if (!std::isfinite(q_hat_)) {
+    double q_hat = ConformalScoreQuantile(scores, config_.alpha);
+    if (!std::isfinite(q_hat)) {
       // Calibration set too small for the requested alpha
       // (ceil((1-alpha)(n+1)) > n): fall back to the max score, the most
       // conservative finite quantile.
-      q_hat_ = *std::max_element(scores.begin(), scores.end());
+      q_hat = *std::max_element(scores.begin(), scores.end());
       obs::MetricsRegistry::Global().GetGauge("conformal.q_hat")
-          ->Set(q_hat_);
+          ->Set(q_hat);
       obs::Warn("conformal quantile infinite; using max score",
-                {{"q_hat", q_hat_}, {"calibration_n", calibration.n()}});
+                {{"q_hat", q_hat}, {"calibration_n", calibration.n()}});
     }
+    q_hat_.store(q_hat, std::memory_order_relaxed);
 
     // Line 8: pick the calibration form that maximizes AUCC on the
     // calibration set.
     std::vector<double> rq(roi_hat.size());
     for (size_t i = 0; i < rq.size(); ++i) {
-      rq[i] = std::max(mc.stddev[i], config_.std_floor) * q_hat_;
+      rq[i] = std::max(mc.stddev[i], config_.std_floor) * q_hat;
     }
     form_ = SelectCalibrationForm(roi_hat, rq, calibration);
   }
   calibrated_ = true;
   obs::Info("rdrp calibrated",
-            {{"q_hat", q_hat_},
+            {{"q_hat", q_hat()},
              {"roi_star", roi_star_global_},
              {"form", CalibrationFormName(form_)},
              {"calibration_n", calibration.n()},
@@ -84,8 +114,11 @@ std::vector<double> RdrpModel::PredictRoi(const Matrix& x) const {
   // Algorithm 4, lines 10-12.
   std::vector<double> roi_hat = drp_.PredictRoi(x);
   std::vector<double> r_hat = McStdDev(x);
+  // One load per predict call: a concurrent recalibration swap gives this
+  // whole batch either the old or the new quantile, never a mix.
+  const double q_hat_snapshot = q_hat();
   std::vector<double> rq(r_hat.size());
-  for (size_t i = 0; i < rq.size(); ++i) rq[i] = r_hat[i] * q_hat_;
+  for (size_t i = 0; i < rq.size(); ++i) rq[i] = r_hat[i] * q_hat_snapshot;
   return ApplyCalibrationForm(form_, roi_hat, rq);
 }
 
@@ -97,7 +130,7 @@ std::vector<metrics::Interval> RdrpModel::PredictIntervals(
   std::vector<double> roi_hat = drp_.PredictRoi(x);
   std::vector<double> r_hat = McStdDev(x);
   std::vector<metrics::Interval> intervals =
-      ConformalIntervals(roi_hat, r_hat, q_hat_, config_.std_floor);
+      ConformalIntervals(roi_hat, r_hat, q_hat(), config_.std_floor);
   if (config_.clip_to_unit) {
     for (metrics::Interval& interval : intervals) {
       interval.lo = std::max(interval.lo, 0.0);
@@ -111,7 +144,7 @@ Status RdrpModel::Save(std::ostream& out) const {
   if (!calibrated_) return Status::FailedPrecondition("not calibrated");
   out << "roicl-rdrp-v1\n";
   out << std::setprecision(17);
-  out << q_hat_ << ' ' << roi_star_global_ << ' '
+  out << q_hat() << ' ' << roi_star_global_ << ' '
       << static_cast<int>(form_) << '\n';
   return drp_.Save(out);
 }
@@ -147,7 +180,7 @@ StatusOr<RdrpModel> RdrpModel::Load(std::istream& in,
 
   RdrpModel model(config);
   model.drp_ = std::move(drp).value();
-  model.q_hat_ = q_hat;
+  model.q_hat_.store(q_hat, std::memory_order_relaxed);
   model.roi_star_global_ = roi_star;
   model.form_ = static_cast<CalibrationForm>(form);
   model.calibrated_ = true;

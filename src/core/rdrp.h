@@ -1,6 +1,7 @@
 #ifndef ROICL_CORE_RDRP_H_
 #define ROICL_CORE_RDRP_H_
 
+#include <atomic>
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -54,6 +55,11 @@ class RdrpModel : public uplift::RoiModel {
   explicit RdrpModel(const RdrpConfig& config)
       : config_(config), drp_(config.drp) {}
 
+  // q_hat_ is an atomic (it can be swapped by the online recalibrator
+  // while the serving path reads it), so the moves are hand-written.
+  RdrpModel(RdrpModel&& other) noexcept;
+  RdrpModel& operator=(RdrpModel&& other) noexcept;
+
   void Fit(const RctDataset& train) override {
     FitWithCalibration(train, train);
   }
@@ -73,6 +79,13 @@ class RdrpModel : public uplift::RoiModel {
     return drp_.PredictRoi(x);
   }
 
+  /// Floored MC-dropout stds r_hat(x) — the uncertainty scalar Eq. (3)
+  /// divides by. Exposed so the online recalibrator can recompute
+  /// conformal scores on a feedback window.
+  std::vector<double> PredictMcStd(const Matrix& x) const {
+    return McStdDev(x);
+  }
+
   const DrpModel& drp() const { return drp_; }
 
   /// Feature dimension of the underlying DRP net (-1 before Fit/Load).
@@ -85,7 +98,13 @@ class RdrpModel : public uplift::RoiModel {
     drp_.set_predict_options(opts);
   }
 
-  double q_hat() const { return q_hat_; }
+  double q_hat() const { return q_hat_.load(std::memory_order_relaxed); }
+  /// Atomically swaps the conformal quantile in place — the online
+  /// recalibration hook. A concurrent PredictRoi/PredictIntervals sees
+  /// either the old or the new value, never a torn mix: each predict call
+  /// loads q_hat exactly once. Requires a calibrated model and a finite,
+  /// non-negative quantile.
+  void set_q_hat(double q_hat);
   double roi_star() const { return roi_star_global_; }
   CalibrationForm selected_form() const { return form_; }
   bool calibrated() const { return calibrated_; }
@@ -106,7 +125,7 @@ class RdrpModel : public uplift::RoiModel {
   RdrpConfig config_;
   DrpModel drp_;
   bool calibrated_ = false;
-  double q_hat_ = 0.0;
+  std::atomic<double> q_hat_{0.0};
   double roi_star_global_ = 0.0;
   CalibrationForm form_ = CalibrationForm::kNone;
 };

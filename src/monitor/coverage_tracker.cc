@@ -1,0 +1,43 @@
+#include "monitor/coverage_tracker.h"
+
+#include "common/macros.h"
+
+namespace roicl::monitor {
+
+CoverageTracker::CoverageTracker(CoverageTrackerOptions options)
+    : options_(options), ring_(options.window, 0) {
+  ROICL_CHECK(options_.window > 0);
+  ROICL_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+  ROICL_CHECK(options_.slack >= 0.0);
+}
+
+bool CoverageTracker::Observe(bool covered) {
+  if (size_ == ring_.size()) {
+    covered_in_ring_ -= static_cast<std::size_t>(ring_[next_]);
+  } else {
+    ++size_;
+  }
+  ring_[next_] = covered ? 1 : 0;
+  covered_in_ring_ += static_cast<std::size_t>(ring_[next_]);
+  next_ = (next_ + 1) % ring_.size();
+
+  bool newly_alerting = false;
+  if (size_ >= options_.min_count) {
+    bool below = coverage() < alert_threshold();
+    newly_alerting = below && !alerting_;
+    alerting_ = below;
+  }
+  return newly_alerting;
+}
+
+double CoverageTracker::coverage() const {
+  if (size_ == 0) return 1.0;
+  return static_cast<double>(covered_in_ring_) /
+         static_cast<double>(size_);
+}
+
+double CoverageTracker::alert_threshold() const {
+  return 1.0 - options_.alpha - options_.slack;
+}
+
+}  // namespace roicl::monitor

@@ -1,0 +1,54 @@
+#ifndef ROICL_MONITOR_COVERAGE_TRACKER_H_
+#define ROICL_MONITOR_COVERAGE_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Shadow coverage tracking: a running empirical-coverage estimate over
+/// labeled feedback. Each observation is one bit — did the served
+/// conformal interval contain the feedback window's convergence point —
+/// kept in a bounded ring so the estimate follows the live distribution
+/// instead of averaging over forgotten regimes. The estimate feeds the
+/// `monitor.coverage` gauge; dipping below 1 - alpha - slack raises an
+/// edge-triggered alert (one WARN per excursion, not one per sample).
+namespace roicl::monitor {
+
+struct CoverageTrackerOptions {
+  /// Ring capacity: the estimate is over the most recent `window` bits.
+  std::size_t window = 500;
+  /// Conformal coverage target is 1 - alpha.
+  double alpha = 0.1;
+  /// Alert slack epsilon: alert when coverage < 1 - alpha - slack.
+  double slack = 0.05;
+  /// No alerts until this many observations (estimate too noisy).
+  std::size_t min_count = 50;
+};
+
+class CoverageTracker {
+ public:
+  explicit CoverageTracker(CoverageTrackerOptions options);
+
+  /// Records one coverage bit; returns true when this observation newly
+  /// raised the alert (the caller logs/counts the excursion).
+  bool Observe(bool covered);
+
+  /// Empirical coverage over the ring; 1.0 before any observation.
+  double coverage() const;
+  std::size_t count() const { return size_; }
+  bool alerting() const { return alerting_; }
+  double alert_threshold() const;
+
+ private:
+  CoverageTrackerOptions options_;
+  std::vector<uint8_t> ring_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+  std::size_t covered_in_ring_ = 0;
+  bool alerting_ = false;
+};
+
+}  // namespace roicl::monitor
+
+#endif  // ROICL_MONITOR_COVERAGE_TRACKER_H_

@@ -1,0 +1,141 @@
+#ifndef ROICL_MONITOR_MONITOR_H_
+#define ROICL_MONITOR_MONITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "monitor/coverage_tracker.h"
+#include "monitor/drift.h"
+#include "monitor/recalibrate.h"
+#include "nn/batch_forward.h"
+#include "pipeline/pipeline.h"
+
+/// \file
+/// The serving-path monitor: glues the streaming drift detector, the
+/// rolling conformal recalibrator, and the shadow coverage tracker to a
+/// live `Pipeline` / `ScoringService`.
+///
+/// Two input streams feed it:
+///  * the *scored* stream (every served request's features and scores),
+///    via `ObserveScored` — typically bound to
+///    `ServiceOptions::on_scored`; label-free, drives drift detection;
+///  * the *feedback* stream (delayed labeled outcomes), via
+///    `AddOutcomes`; drives the coverage tracker, the ACI state, the
+///    conformal-score drift channel, and the sliding recalibration
+///    window.
+///
+/// A drift trigger latches; the next `MaybeRecalibrate` call recomputes
+/// q_hat (labeled window when possible, ACI fallback otherwise) and swaps
+/// it into the live pipeline through the bound swap callback — atomically
+/// with respect to concurrent scoring (see RdrpModel::set_q_hat).
+namespace roicl::monitor {
+
+struct MonitorOptions {
+  /// Bins per drift channel (quantile bins over calibration samples).
+  int drift_bins = 10;
+  DriftThresholds thresholds;
+  /// Drift channels are evaluated once this many scored rows accumulate
+  /// (tumbling windows).
+  uint64_t window_rows = 512;
+  /// Monitor at most this many leading feature columns (per-channel cost
+  /// is small but not free on wide feature spaces).
+  int max_feature_channels = 8;
+  /// Feedback sliding-window and fallback knobs.
+  RecalibratorOptions recalibrator;
+  /// Coverage-ring knobs (alpha is overridden from the pipeline target).
+  CoverageTrackerOptions coverage;
+  /// Recalibrate every this many feedback outcomes even without a drift
+  /// trigger; 0 disables cadence-based recalibration (drift-only).
+  uint64_t recalibrate_every = 0;
+  /// Engine settings for parallel drift accumulation over scored rows.
+  nn::BatchOptions engine;
+};
+
+/// See file comment. Thread-safe: all entry points serialize on one
+/// mutex, so the service dispatcher thread, the feedback thread, and an
+/// operator thread calling MaybeRecalibrate may interleave freely.
+class ServingMonitor {
+ public:
+  /// Captures reference distributions from the calibration set: one
+  /// channel per monitored feature column, one for the served score
+  /// stream, and one for the conformal scores themselves (the most
+  /// decision-relevant reference). Requires a pipeline whose scorer
+  /// carries a conformal quantile (rDRP). Returned by pointer: the
+  /// monitor owns a mutex (and is captured by reference in service
+  /// callbacks), so it is neither movable nor copyable.
+  static StatusOr<std::unique_ptr<ServingMonitor>> FromCalibration(
+      const pipeline::Pipeline* pipeline, const RctDataset& calibration,
+      MonitorOptions options);
+
+  ServingMonitor(const ServingMonitor&) = delete;
+  ServingMonitor& operator=(const ServingMonitor&) = delete;
+
+  /// Installs the q_hat swap target (e.g. binding
+  /// ScoringService::SetConformalQuantile). Without one,
+  /// MaybeRecalibrate computes but cannot swap and returns an error.
+  void BindQuantileSwap(std::function<Status(double)> swap);
+
+  /// Ingests one served batch: bins every monitored feature column and
+  /// the scores into the live drift windows, evaluating the detector
+  /// whenever `window_rows` rows have accumulated. Binning fans out
+  /// across row blocks per `options.engine`; per-block partial counts
+  /// merge in block order, so the committed state is bit-identical at
+  /// any thread count.
+  void ObserveScored(const Matrix& x, const std::vector<double>& scores);
+
+  /// Ingests labeled feedback: extends the recalibration window, updates
+  /// the conformal-score drift channel, the coverage ring, and the ACI
+  /// state. One MC sweep over `feedback.x` recomputes Eq. (3) scores.
+  Status AddOutcomes(const RctDataset& feedback);
+
+  /// Recalibrates and swaps q_hat when a drift trigger is latched or the
+  /// feedback cadence elapsed (always, when `force`). Returns
+  /// performed = false when nothing triggered.
+  StatusOr<RecalibrationResult> MaybeRecalibrate(bool force = false);
+
+  bool drift_latched() const;
+  /// Reports from the most recent window evaluation (empty before one).
+  std::vector<DriftReport> last_reports() const;
+  double coverage() const;
+  double adaptive_alpha() const;
+  std::uint64_t rows_seen() const;
+
+ private:
+  ServingMonitor(const pipeline::Pipeline* pipeline, MonitorOptions options,
+                 DriftDetector detector, RollingRecalibrator recalibrator,
+                 CoverageTracker tracker, double roi_star_calibration);
+
+  /// Evaluates the drift detector over the accumulated window, updates
+  /// metrics, and latches any trigger. Caller holds mu_.
+  void EvaluateWindowLocked();
+
+  const pipeline::Pipeline* pipeline_;
+  MonitorOptions options_;
+  std::function<Status(double)> swap_;
+
+  mutable std::mutex mu_;
+  DriftDetector detector_;
+  RollingRecalibrator recalibrator_;
+  CoverageTracker tracker_;
+  /// Frozen calibration-time convergence point: the coverage fallback
+  /// target while the feedback window cannot support Algorithm 2.
+  double roi_star_calibration_;
+  std::vector<int> feature_channels_;  ///< column -> channel index
+  int score_channel_ = -1;
+  int conformal_channel_ = -1;
+  std::uint64_t rows_since_eval_ = 0;
+  std::uint64_t rows_seen_ = 0;
+  std::uint64_t outcomes_since_recal_ = 0;
+  bool drift_latched_ = false;
+  std::vector<DriftReport> last_reports_;
+};
+
+}  // namespace roicl::monitor
+
+#endif  // ROICL_MONITOR_MONITOR_H_

@@ -1,0 +1,138 @@
+#include "monitor/recalibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/macros.h"
+#include "core/conformal.h"
+#include "core/roi_star.h"
+#include "obs/trace.h"
+
+namespace roicl::monitor {
+namespace {
+
+/// Keeps the ACI state a usable error rate: alpha pinned into (0, 1) so
+/// the conformal rank stays defined at both extremes.
+constexpr double kAlphaMin = 1e-3;
+constexpr double kAlphaMax = 0.5;
+
+}  // namespace
+
+AdaptiveAlpha::AdaptiveAlpha(double target_alpha, double gamma)
+    : target_(target_alpha), gamma_(gamma), alpha_(target_alpha) {
+  ROICL_CHECK_MSG(target_alpha > 0.0 && target_alpha < 1.0,
+                  "target alpha must be in (0, 1)");
+  ROICL_CHECK_MSG(gamma >= 0.0, "ACI gamma must be non-negative");
+}
+
+double AdaptiveAlpha::Update(bool covered) {
+  double err = covered ? 0.0 : 1.0;
+  alpha_ = std::clamp(alpha_ + gamma_ * (target_ - err), kAlphaMin,
+                      kAlphaMax);
+  return alpha_;
+}
+
+RollingRecalibrator::RollingRecalibrator(
+    std::vector<double> calibration_scores, double target_alpha,
+    RecalibratorOptions options)
+    : calibration_scores_(std::move(calibration_scores)),
+      target_alpha_(target_alpha),
+      options_(options),
+      aci_(target_alpha, options.gamma) {
+  ROICL_CHECK_MSG(!calibration_scores_.empty(),
+                  "recalibrator needs calibration scores for the "
+                  "label-free fallback");
+  ROICL_CHECK(options_.max_window > 0);
+}
+
+void RollingRecalibrator::AddOutcome(FeedbackSample sample) {
+  window_.push_back(std::move(sample));
+  while (window_.size() > options_.max_window) window_.pop_front();
+}
+
+bool RollingRecalibrator::CanRecalibrateLabeled() const {
+  if (window_.size() < options_.min_labeled) return false;
+  bool has_treated = false;
+  bool has_control = false;
+  for (const FeedbackSample& sample : window_) {
+    if (sample.treatment == 1) {
+      has_treated = true;
+    } else {
+      has_control = true;
+    }
+  }
+  if (!has_treated || !has_control) return false;
+  // Assumption 4: Algorithm 2 needs a positive average cost lift.
+  std::vector<int> treatment;
+  std::vector<double> y_cost;
+  treatment.reserve(window_.size());
+  y_cost.reserve(window_.size());
+  for (const FeedbackSample& sample : window_) {
+    treatment.push_back(sample.treatment);
+    y_cost.push_back(sample.y_cost);
+  }
+  return RctDataset::DiffInMeans(treatment, y_cost) > 0.0;
+}
+
+RctDataset RollingRecalibrator::WindowDataset() const {
+  ROICL_CHECK_MSG(!window_.empty(), "empty feedback window");
+  RctDataset dataset;
+  for (const FeedbackSample& sample : window_) {
+    dataset.x.AppendRow(sample.x);
+    dataset.treatment.push_back(sample.treatment);
+    dataset.y_revenue.push_back(sample.y_revenue);
+    dataset.y_cost.push_back(sample.y_cost);
+  }
+  return dataset;
+}
+
+StatusOr<RecalibrationResult> RollingRecalibrator::Recalibrate(
+    const pipeline::Pipeline& pipeline, double q_hat_current) const {
+  obs::ScopedSpan span("monitor.recalibrate");
+  RecalibrationResult result;
+  result.q_hat_before = q_hat_current;
+  result.window_n = window_.size();
+
+  double q_new = 0.0;
+  if (CanRecalibrateLabeled()) {
+    RctDataset window = WindowDataset();
+    StatusOr<pipeline::RoiScorer::ConformalInputs> inputs =
+        pipeline.ConformalScoreInputs(window.x);
+    if (!inputs.ok()) return inputs.status();
+    // Algorithm 2 on the window, then Algorithm 3 at the target alpha:
+    // a fresh split-conformal calibration on current-traffic labels.
+    result.roi_star = core::BinarySearchRoiStar(
+        window.treatment, window.y_revenue, window.y_cost,
+        options_.epsilon);
+    std::vector<double> scores = core::ConformalScores(
+        result.roi_star, inputs.value().roi_hat, inputs.value().r_hat);
+    q_new = core::ConformalScoreQuantile(scores, target_alpha_);
+    if (!std::isfinite(q_new)) {
+      // Same convention as train-time calibration: the most conservative
+      // finite quantile when the rank exceeds the window.
+      q_new = *std::max_element(scores.begin(), scores.end());
+    }
+    result.labeled = true;
+    result.alpha_used = target_alpha_;
+  } else {
+    // Label-free fallback: requantile the original calibration scores at
+    // the ACI-adjusted alpha. Miscoverage feedback has pushed alpha
+    // below target, so the rank moves up the score distribution and the
+    // intervals widen — no labels required.
+    result.labeled = false;
+    result.alpha_used = aci_.value();
+    q_new = core::WindowedConformalScoreQuantile(
+        calibration_scores_, calibration_scores_.size(),
+        result.alpha_used);
+    if (!std::isfinite(q_new)) {
+      q_new = *std::max_element(calibration_scores_.begin(),
+                                calibration_scores_.end());
+    }
+  }
+  result.q_hat_after = q_new;
+  result.performed = true;
+  return result;
+}
+
+}  // namespace roicl::monitor

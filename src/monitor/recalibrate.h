@@ -1,0 +1,121 @@
+#ifndef ROICL_MONITOR_RECALIBRATE_H_
+#define ROICL_MONITOR_RECALIBRATE_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "pipeline/pipeline.h"
+
+/// \file
+/// Rolling conformal recalibration: a bounded sliding window of labeled
+/// feedback (delayed conversions, holdout traffic) from which roi*
+/// (Algorithm 2) and q_hat (Algorithm 3's ceil((1-alpha)(n+1))/n
+/// quantile) are recomputed online, restoring the >= 1 - alpha coverage
+/// guarantee after covariate shift. When the window cannot support the
+/// labeled path (an RCT arm missing, non-positive average cost lift, or
+/// too few samples), an ACI-style adaptive-alpha step over the original
+/// calibration scores serves as the label-free fallback.
+namespace roicl::monitor {
+
+/// One labeled feedback observation for the sliding window.
+struct FeedbackSample {
+  std::vector<double> x;
+  int treatment = 0;
+  double y_revenue = 0.0;
+  double y_cost = 0.0;
+};
+
+/// Adaptive conformal inference (Gibbs & Candes, 2021):
+///   alpha_{t+1} = alpha_t + gamma * (alpha_target - err_t),
+/// with err_t = 1 when the step's interval missed. Miscoverage above
+/// target shrinks alpha (widening intervals) and vice versa. The state is
+/// clamped to (0, 1) so the quantile stays defined.
+class AdaptiveAlpha {
+ public:
+  AdaptiveAlpha(double target_alpha, double gamma);
+
+  /// One ACI step; returns the updated alpha.
+  double Update(bool covered);
+  double value() const { return alpha_; }
+  void Reset() { alpha_ = target_; }
+
+ private:
+  double target_;
+  double gamma_;
+  double alpha_;
+};
+
+/// What a recalibration did (or why it did nothing).
+struct RecalibrationResult {
+  /// False when no swap happened (window empty and no fallback possible).
+  bool performed = false;
+  /// True when the labeled Algorithm 2 + 3 path ran; false when the
+  /// label-free ACI fallback supplied the quantile.
+  bool labeled = false;
+  double q_hat_before = 0.0;
+  double q_hat_after = 0.0;
+  /// Window convergence point (labeled path only).
+  double roi_star = 0.0;
+  /// Alpha used for the quantile (the target, or the ACI state for the
+  /// fallback).
+  double alpha_used = 0.0;
+  std::size_t window_n = 0;
+};
+
+struct RecalibratorOptions {
+  /// Sliding-window bound: oldest feedback is evicted beyond this.
+  std::size_t max_window = 2000;
+  /// Labeled recalibration needs at least this many window samples.
+  std::size_t min_labeled = 50;
+  /// Algorithm 2 stopping constant.
+  double epsilon = 1e-4;
+  /// ACI step size gamma.
+  double gamma = 0.02;
+};
+
+/// The sliding window plus the recalibration math. Not thread-safe: the
+/// owning ServingMonitor serializes access.
+class RollingRecalibrator {
+ public:
+  /// `calibration_scores` are the train-time conformal scores (Eq. 3 on
+  /// the calibration set) — the label-free fallback requantiles them at
+  /// the ACI-adjusted alpha.
+  RollingRecalibrator(std::vector<double> calibration_scores,
+                      double target_alpha, RecalibratorOptions options);
+
+  void AddOutcome(FeedbackSample sample);
+  std::size_t window_n() const { return window_.size(); }
+
+  /// True when the window supports Algorithm 2: both RCT arms present,
+  /// positive average cost lift, and >= min_labeled samples.
+  bool CanRecalibrateLabeled() const;
+
+  /// The window as a dataset (for score recomputation through the
+  /// pipeline). Requires a non-empty window.
+  RctDataset WindowDataset() const;
+
+  /// One ACI step on the adaptive alpha (driven by per-outcome coverage).
+  void ObserveCoverage(bool covered) { aci_.Update(covered); }
+  double adaptive_alpha() const { return aci_.value(); }
+
+  /// Recomputes q_hat: the labeled path when the window supports it,
+  /// otherwise the ACI fallback over the calibration scores. Never swaps
+  /// anything itself — returns the new quantile for the caller to install.
+  /// `pipeline` supplies ConformalScoreInputs for the window rows.
+  StatusOr<RecalibrationResult> Recalibrate(
+      const pipeline::Pipeline& pipeline, double q_hat_current) const;
+
+ private:
+  std::vector<double> calibration_scores_;
+  double target_alpha_;
+  RecalibratorOptions options_;
+  AdaptiveAlpha aci_;
+  std::deque<FeedbackSample> window_;
+};
+
+}  // namespace roicl::monitor
+
+#endif  // ROICL_MONITOR_RECALIBRATE_H_

@@ -1,0 +1,186 @@
+#include "monitor/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "obs/log.h"
+#include "synth/shift.h"
+
+namespace roicl::monitor {
+namespace {
+
+/// Late-bound target for the service's on_scored callback: the service
+/// must exist before the monitor (the monitor watches the service-owned
+/// pipeline), so the callback dereferences through this holder that is
+/// filled in once the monitor is up. No request is scored before then —
+/// the replay loop is the only traffic source.
+struct MonitorHook {
+  ServingMonitor* monitor = nullptr;
+};
+
+/// Consecutive row indices [begin, end) of `source`.
+std::vector<int> RowRange(int begin, int end) {
+  std::vector<int> indices(AsSize(end - begin));
+  std::iota(indices.begin(), indices.end(), begin);
+  return indices;
+}
+
+double MeanOrOne(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+StatusOr<ReplayResult> RunReplay(pipeline::Pipeline pipeline,
+                                 const RctDataset& calibration,
+                                 const RctDataset& stream,
+                                 const ReplayOptions& options) {
+  if (options.batch_rows <= 0 || options.num_batches <= 0) {
+    return Status::InvalidArgument(
+        "batch_rows and num_batches must be positive");
+  }
+  if (options.shift_at_batch < 0) {
+    return Status::InvalidArgument("shift_at_batch must be >= 0");
+  }
+  if (stream.n() == 0) {
+    return Status::InvalidArgument("empty replay stream");
+  }
+  if (options.shift_feature < 0 || options.shift_feature >= stream.dim()) {
+    return Status::InvalidArgument("shift_feature out of range");
+  }
+  if (!std::isfinite(options.shift_gamma)) {
+    return Status::InvalidArgument("shift_gamma must be finite");
+  }
+  if (!pipeline.has_conformal_quantile()) {
+    return Status::FailedPrecondition(
+        "monitor-replay requires a scorer with a conformal quantile "
+        "(rDRP); scorer '" +
+        pipeline.scorer_name() + "' has none");
+  }
+
+  // Pre-materialize both traffic regimes with one sequential RNG so the
+  // whole replay is a pure function of (pipeline, datasets, options).
+  // gamma = 0 makes the resampling weights uniform, so the pre-shift
+  // stream is a plain bootstrap of `stream`.
+  Rng rng(options.seed);
+  int shift_batch = std::min(options.shift_at_batch, options.num_batches);
+  int n_pre = shift_batch * options.batch_rows;
+  int n_post = (options.num_batches - shift_batch) * options.batch_rows;
+  RctDataset pre;
+  RctDataset post;
+  if (n_pre > 0) {
+    pre = synth::ResampleWithCovariateShift(stream, options.shift_feature,
+                                            0.0, n_pre, &rng);
+  }
+  if (n_post > 0) {
+    post = synth::ResampleWithCovariateShift(
+        stream, options.shift_feature, options.shift_gamma, n_post, &rng);
+  }
+
+  auto hook = std::make_shared<MonitorHook>();
+  pipeline::ServiceOptions service_options = options.service;
+  service_options.on_scored = [hook](const Matrix& x,
+                                     const std::vector<double>& scores) {
+    if (hook->monitor != nullptr) hook->monitor->ObserveScored(x, scores);
+  };
+  pipeline::ScoringService service(std::move(pipeline), service_options);
+
+  StatusOr<std::unique_ptr<ServingMonitor>> monitor_or =
+      ServingMonitor::FromCalibration(&service.pipeline(), calibration,
+                                      options.monitor);
+  if (!monitor_or.ok()) return monitor_or.status();
+  ServingMonitor& monitor = *monitor_or.value();
+  hook->monitor = &monitor;
+  monitor.BindQuantileSwap(
+      [&service](double q_hat) {
+        return service.SetConformalQuantile(q_hat);
+      });
+
+  ReplayResult result;
+  result.shift_batch = shift_batch < options.num_batches ? shift_batch : -1;
+  StatusOr<double> q0 = service.pipeline().conformal_quantile();
+  if (!q0.ok()) return q0.status();
+  result.q_hat_initial = q0.value();
+
+  std::vector<double> pre_cov;
+  std::vector<double> mid_cov;
+  std::vector<double> post_cov;
+  for (int b = 0; b < options.num_batches; ++b) {
+    bool shifted = b >= shift_batch;
+    const RctDataset& source = shifted ? post : pre;
+    int local = shifted ? (b - shift_batch) * options.batch_rows
+                        : b * options.batch_rows;
+    RctDataset batch =
+        source.Subset(RowRange(local, local + options.batch_rows));
+
+    // Serve the batch (the on_scored hook feeds the drift detector),
+    // then hand the same rows back as labeled shadow feedback.
+    StatusOr<std::vector<double>> scores = service.Score(batch.x);
+    if (!scores.ok()) return scores.status();
+    if (Status status = monitor.AddOutcomes(batch); !status.ok()) {
+      return status;
+    }
+
+    ReplayBatchStat stat;
+    stat.batch = b;
+    stat.shifted = shifted;
+    stat.drift_latched = monitor.drift_latched();
+    for (const DriftReport& report : monitor.last_reports()) {
+      stat.max_psi = std::max(stat.max_psi, report.psi);
+      stat.max_ks = std::max(stat.max_ks, report.ks);
+    }
+    if (stat.drift_latched && shifted && result.detect_batch < 0) {
+      result.detect_batch = b;
+    }
+
+    StatusOr<RecalibrationResult> recal = monitor.MaybeRecalibrate();
+    if (!recal.ok()) return recal.status();
+    stat.recalibrated = recal.value().performed;
+    if (stat.recalibrated && shifted && result.recalibrate_batch < 0) {
+      result.recalibrate_batch = b;
+    }
+
+    stat.coverage = monitor.coverage();
+    StatusOr<double> q_live = service.pipeline().conformal_quantile();
+    if (!q_live.ok()) return q_live.status();
+    stat.q_hat = q_live.value();
+    result.batches.push_back(stat);
+
+    if (!shifted) {
+      pre_cov.push_back(stat.coverage);
+    } else if (result.recalibrate_batch < 0 ||
+               b < result.recalibrate_batch) {
+      mid_cov.push_back(stat.coverage);
+    } else {
+      post_cov.push_back(stat.coverage);
+    }
+  }
+
+  result.q_hat_final = result.batches.empty()
+                           ? result.q_hat_initial
+                           : result.batches.back().q_hat;
+  result.coverage_pre_shift = MeanOrOne(pre_cov);
+  result.coverage_shift_to_recal = MeanOrOne(mid_cov);
+  result.coverage_post_recal = MeanOrOne(post_cov);
+  obs::Info("replay done",
+            {{"batches", options.num_batches},
+             {"shift_batch", result.shift_batch},
+             {"detect_batch", result.detect_batch},
+             {"recalibrate_batch", result.recalibrate_batch},
+             {"q_hat_initial", result.q_hat_initial},
+             {"q_hat_final", result.q_hat_final},
+             {"coverage_post_recal", result.coverage_post_recal}});
+  return result;
+}
+
+}  // namespace roicl::monitor

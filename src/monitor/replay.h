@@ -1,0 +1,81 @@
+#ifndef ROICL_MONITOR_REPLAY_H_
+#define ROICL_MONITOR_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "monitor/monitor.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/service.h"
+
+/// \file
+/// Shift-replay harness: streams a labeled dataset through a live
+/// ScoringService in fixed-size batches, injecting covariate shift
+/// (synth::ResampleWithCovariateShift) from a chosen batch onward, with
+/// the ServingMonitor watching the scored stream and the labeled
+/// feedback. Records, per batch, the drift state, the rolling empirical
+/// coverage, and the live q_hat — the detection-latency and
+/// coverage-recovery curves of EXPERIMENTS.md and the `monitor-replay`
+/// CLI subcommand.
+namespace roicl::monitor {
+
+struct ReplayOptions {
+  /// Rows per served batch.
+  int batch_rows = 64;
+  /// Number of batches streamed in total.
+  int num_batches = 40;
+  /// Batches with index >= shift_at_batch draw from the shifted stream.
+  int shift_at_batch = 20;
+  /// Covariate-shift injection (see synth::ResampleWithCovariateShift).
+  int shift_feature = 0;
+  double shift_gamma = 2.5;
+  /// Seed for the resampling streams (pre- and post-shift draws).
+  uint64_t seed = 7;
+  MonitorOptions monitor;
+  pipeline::ServiceOptions service;
+};
+
+/// Per-batch trace point of a replay.
+struct ReplayBatchStat {
+  int batch = 0;
+  bool shifted = false;          ///< batch drawn from the shifted stream
+  bool drift_latched = false;    ///< detector latched after this batch
+  bool recalibrated = false;     ///< a q_hat swap happened on this batch
+  double coverage = 1.0;         ///< rolling empirical coverage
+  double q_hat = 0.0;            ///< live quantile after this batch
+  double max_psi = 0.0;          ///< max over channels, last evaluation
+  double max_ks = 0.0;
+};
+
+struct ReplayResult {
+  std::vector<ReplayBatchStat> batches;
+  int shift_batch = -1;
+  /// First batch at which the detector latched at/after the shift; -1 if
+  /// never detected.
+  int detect_batch = -1;
+  /// First batch with a recalibration swap at/after the shift; -1 never.
+  int recalibrate_batch = -1;
+  double q_hat_initial = 0.0;
+  double q_hat_final = 0.0;
+  /// Mean per-batch coverage over the three replay phases: before the
+  /// shift, between shift and recalibration, and after recalibration.
+  double coverage_pre_shift = 1.0;
+  double coverage_shift_to_recal = 1.0;
+  double coverage_post_recal = 1.0;
+};
+
+/// Runs the replay. `pipeline` is consumed (the service owns it);
+/// `calibration` anchors the monitor's references; `stream` supplies the
+/// labeled traffic to resample from (pre-shift batches are unweighted
+/// resamples, post-shift batches are importance-resampled). The pipeline
+/// scorer must carry a conformal quantile (rDRP).
+StatusOr<ReplayResult> RunReplay(pipeline::Pipeline pipeline,
+                                 const RctDataset& calibration,
+                                 const RctDataset& stream,
+                                 const ReplayOptions& options);
+
+}  // namespace roicl::monitor
+
+#endif  // ROICL_MONITOR_REPLAY_H_

@@ -52,6 +52,37 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return counts;
 }
 
+double Histogram::ApproxQuantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return std::nan("");
+  // Rank of the target observation (1-based ceil, like the "higher"
+  // conformal convention at q = 1).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] < rank) {
+      seen += counts[i];
+      continue;
+    }
+    // Bucket i holds the target rank. Interpolate within its bounds; the
+    // overflow bucket has no upper bound, so report its lower edge (an
+    // honest floor rather than an invented extrapolation).
+    double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    if (i == bounds_.size()) return lo;
+    double hi = bounds_[i];
+    double frac = (static_cast<double>(rank - seen) - 0.5) /
+                  static_cast<double>(counts[i]);
+    return lo + frac * (hi - lo);
+  }
+  return bounds_.back();
+}
+
 void Histogram::Reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -153,7 +184,13 @@ std::string MetricsRegistry::SnapshotJson() const {
       if (i > 0) out += ',';
       out += std::to_string(counts[i]);
     }
-    out += "]}";
+    out += "],\"p50\":";
+    out += RenderJsonNumber(histogram->ApproxQuantile(0.50));
+    out += ",\"p95\":";
+    out += RenderJsonNumber(histogram->ApproxQuantile(0.95));
+    out += ",\"p99\":";
+    out += RenderJsonNumber(histogram->ApproxQuantile(0.99));
+    out += '}';
   }
   out += "}}";
   return out;

@@ -64,6 +64,15 @@ class Histogram {
   /// Per-bucket (non-cumulative) counts; size == upper_bounds().size() + 1,
   /// the last entry being the overflow bucket.
   std::vector<uint64_t> BucketCounts() const;
+
+  /// Approximate quantile (`q` in [0, 1]) reconstructed from the bucket
+  /// counts by linear interpolation within the bucket holding the target
+  /// rank (0 is the floor of the first bucket, the last finite bound
+  /// caps the overflow bucket). Exact-ish: the error is bounded by the
+  /// bucket width around the quantile. NaN when the histogram is empty —
+  /// SnapshotJson renders that as null.
+  double ApproxQuantile(double q) const;
+
   void Reset();
 
  private:

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <memory>
 #include <string>
 #include <utility>
@@ -162,6 +163,35 @@ class RdrpScorer : public RoiScorer {
       return Status::FailedPrecondition("scorer not calibrated");
     }
     return model_.PredictIntervals(x);
+  }
+
+  bool has_conformal_quantile() const override { return true; }
+  StatusOr<double> conformal_quantile() const override {
+    if (!model_.calibrated()) {
+      return Status::FailedPrecondition("scorer not calibrated");
+    }
+    return model_.q_hat();
+  }
+  Status SetConformalQuantile(double q_hat) override {
+    if (!model_.calibrated()) {
+      return Status::FailedPrecondition("scorer not calibrated");
+    }
+    if (!std::isfinite(q_hat) || q_hat < 0.0) {
+      return Status::InvalidArgument(
+          "conformal quantile must be finite and non-negative");
+    }
+    model_.set_q_hat(q_hat);
+    return Status::Ok();
+  }
+  StatusOr<ConformalInputs> ConformalScoreInputs(
+      const Matrix& x) const override {
+    if (!model_.calibrated()) {
+      return Status::FailedPrecondition("scorer not calibrated");
+    }
+    ConformalInputs inputs;
+    inputs.roi_hat = model_.PredictPointRoi(x);
+    inputs.r_hat = model_.PredictMcStd(x);
+    return inputs;
   }
 
   void set_batch_options(const nn::BatchOptions& opts) override {

@@ -89,6 +89,17 @@ StatusOr<std::vector<metrics::Interval>> Pipeline::ScoreIntervals(
   return scorer_->ScoreIntervals(x);
 }
 
+StatusOr<RoiScorer::ConformalInputs> Pipeline::ConformalScoreInputs(
+    const Matrix& x) const {
+  if (x.cols() != feature_dim_) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: pipeline expects " +
+        std::to_string(feature_dim_) + " features but input has " +
+        std::to_string(x.cols()));
+  }
+  return scorer_->ConformalScoreInputs(x);
+}
+
 Status Pipeline::Save(std::ostream& out) const {
   if (scorer_ == nullptr || feature_dim_ <= 0) {
     return Status::FailedPrecondition("pipeline not trained");

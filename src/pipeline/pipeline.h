@@ -58,6 +58,21 @@ class Pipeline {
   StatusOr<std::vector<metrics::Interval>> ScoreIntervals(
       const Matrix& x) const;
 
+  /// Conformal-quantile plumbing for the online recalibrator (rDRP
+  /// only): read / atomically swap q_hat, and recompute Eq. (3) score
+  /// ingredients on a feedback window. All forward to the scorer.
+  bool has_conformal_quantile() const {
+    return scorer_->has_conformal_quantile();
+  }
+  StatusOr<double> conformal_quantile() const {
+    return scorer_->conformal_quantile();
+  }
+  Status SetConformalQuantile(double q_hat) {
+    return scorer_->SetConformalQuantile(q_hat);
+  }
+  StatusOr<RoiScorer::ConformalInputs> ConformalScoreInputs(
+      const Matrix& x) const;
+
   /// Serializes the manifest + model blob ("roicl-pipeline-v1").
   Status Save(std::ostream& out) const;
   Status SaveToFile(const std::string& path) const;

@@ -48,6 +48,38 @@ class RoiScorer : public uplift::RoiModel {
         "scorer does not produce conformal intervals");
   }
 
+  /// True when the scorer carries a swappable conformal quantile q_hat
+  /// (rDRP). Implies has_intervals().
+  virtual bool has_conformal_quantile() const { return false; }
+
+  /// The live conformal quantile (requires has_conformal_quantile()).
+  virtual StatusOr<double> conformal_quantile() const {
+    return Status::FailedPrecondition(
+        "scorer does not carry a conformal quantile");
+  }
+
+  /// Atomically swaps the conformal quantile — the online-recalibration
+  /// hook. Concurrent Score/ScoreIntervals calls see either the old or
+  /// the new value, never a torn mix.
+  virtual Status SetConformalQuantile(double /*q_hat*/) {
+    return Status::FailedPrecondition(
+        "scorer does not carry a conformal quantile");
+  }
+
+  /// The Eq. (3) score ingredients on fresh rows: the *uncalibrated*
+  /// point estimate roi_hat and the floored MC std r_hat, so a feedback
+  /// window can recompute conformal scores |roi* - roi_hat| / r_hat
+  /// exactly as calibration did. Requires has_conformal_quantile().
+  struct ConformalInputs {
+    std::vector<double> roi_hat;
+    std::vector<double> r_hat;
+  };
+  virtual StatusOr<ConformalInputs> ConformalScoreInputs(
+      const Matrix& /*x*/) const {
+    return Status::FailedPrecondition(
+        "scorer does not carry a conformal quantile");
+  }
+
   /// Re-points the batched prediction engine (row-block size, thread
   /// count). Throughput knob only — scores are bit-identical across
   /// settings. Default: no engine to configure (tree/meta families).

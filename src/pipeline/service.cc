@@ -87,6 +87,15 @@ uint64_t ScoringService::requests_served() const {
   return served_;
 }
 
+Status ScoringService::SetConformalQuantile(double q_hat) {
+  if (!pipeline_.has_conformal_quantile()) {
+    return Status::FailedPrecondition(
+        "served scorer '" + pipeline_.scorer_name() +
+        "' carries no conformal quantile");
+  }
+  return pipeline_.SetConformalQuantile(q_hat);
+}
+
 void ScoringService::Loop() {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   obs::Counter* requests = metrics.GetCounter("serve.requests");
@@ -135,7 +144,11 @@ void ScoringService::Loop() {
         continue;
       }
       StatusOr<std::vector<double>> result = pipeline_.Score(request.x);
-      if (!result.ok()) errors->Increment();
+      if (!result.ok()) {
+        errors->Increment();
+      } else if (options_.on_scored) {
+        options_.on_scored(request.x, result.value());
+      }
       latency->Observe(static_cast<double>(obs::MonotonicMicros() -
                                            request.enqueue_micros));
       // Count before fulfilling the promise: a client that has observed

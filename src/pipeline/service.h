@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -27,6 +28,12 @@ struct ServiceOptions {
   /// A request still queued when its deadline passes fails with
   /// FailedPrecondition instead of occupying the engine.
   int64_t default_deadline_micros = 0;
+  /// Called on the dispatcher thread after every successfully scored
+  /// request, with the request's features and the produced scores. The
+  /// hook the serving monitor hangs its drift detector on; it runs
+  /// inline, so a slow callback backpressures the queue by design.
+  std::function<void(const Matrix& x, const std::vector<double>& scores)>
+      on_scored;
 };
 
 /// Long-lived serving front end: loads a Pipeline once, then serves
@@ -64,6 +71,13 @@ class ScoringService {
 
   const Pipeline& pipeline() const { return pipeline_; }
   uint64_t requests_served() const;
+
+  /// Atomically swaps the conformal quantile in the live pipeline — the
+  /// online-recalibration entry point. Safe against in-flight Submit:
+  /// the scorer's q_hat is an atomic loaded once per predict call, so a
+  /// concurrent request sees either the old or the new quantile, never a
+  /// torn mix. Fails when the scorer carries no conformal quantile.
+  Status SetConformalQuantile(double q_hat);
 
  private:
   struct Request {

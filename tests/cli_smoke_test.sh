@@ -33,4 +33,40 @@ if $CLI evaluate --model-type rdrp --model /nonexistent \
     --data $WORK/test.csv; then
   echo "expected failure for missing model"; exit 1
 fi
+
+# Flag hardening: misspelled and out-of-range flags must be rejected up
+# front (exit 2) with a one-line error naming the offender — not parsed
+# into silent defaults.
+check_rejects() {
+  local needle="$1"; shift
+  local rc=0
+  "$@" 2>$WORK/err.txt || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "expected exit 2 from: $*, got $rc"; exit 1
+  fi
+  grep -qF -- "$needle" $WORK/err.txt \
+    || { echo "missing '$needle' in error for: $*"; cat $WORK/err.txt; exit 1; }
+}
+check_rejects "unknown flag --aplha" \
+  $CLI train --model drp --train $WORK/train.csv --aplha 0.1 --out $WORK/x
+check_rejects "unknown flag --shifted" \
+  $CLI evaluate --model-type rdrp --model $WORK/model.rdrp \
+      --data $WORK/test.csv --shifted
+check_rejects "--alpha must be in (0, 1)" \
+  $CLI train --model rdrp --train $WORK/train.csv --calib $WORK/calib.csv \
+      --alpha 1.5 --out $WORK/x
+check_rejects "--alpha must be in (0, 1)" \
+  $CLI train --model rdrp --train $WORK/train.csv --calib $WORK/calib.csv \
+      --alpha abc --out $WORK/x
+check_rejects "--batch-size must be positive" \
+  $CLI predict --model-type rdrp --model $WORK/model.rdrp \
+      --data $WORK/test.csv --batch-size 0 --out $WORK/x.csv
+check_rejects "--threads must be >= 0" \
+  $CLI predict --model-type rdrp --model $WORK/model.rdrp \
+      --data $WORK/test.csv --threads -1 --out $WORK/x.csv
+# --threads 0 is the documented "shared pool" setting, not an error.
+$CLI predict --model-type rdrp --model $WORK/model.rdrp \
+    --data $WORK/test.csv --threads 0 --out $WORK/threads0.csv
+[ "$(wc -l < $WORK/threads0.csv)" -eq 801 ]
+
 echo "CLI smoke test passed"

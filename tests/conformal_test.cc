@@ -1,10 +1,12 @@
 #include "core/conformal.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace roicl::core {
 namespace {
@@ -90,6 +92,45 @@ TEST(ConformalQuantileTest, MonotoneInAlpha) {
     EXPECT_LE(q, prev) << "alpha=" << alpha;
     prev = q;
   }
+}
+
+TEST(ConformalQuantileTest, StarvedCalibrationCountsAndReturnsInfinity) {
+  // ceil((1 - 0.1) * (n + 1)) > n for n = 3, so the quantile degenerates
+  // to +inf (trivially covering intervals). That must be observable: the
+  // conformal.qhat_infinite counter advances once per occurrence.
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("conformal.qhat_infinite");
+  counter->Reset();
+  double q = ConformalScoreQuantile({1.0, 2.0, 3.0}, 0.1);
+  EXPECT_TRUE(std::isinf(q));
+  EXPECT_GT(q, 0.0);
+  EXPECT_EQ(counter->value(), 1u);
+  // A healthy set leaves the counter alone.
+  std::vector<double> scores(100);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<double>(i);
+  }
+  EXPECT_TRUE(std::isfinite(ConformalScoreQuantile(scores, 0.1)));
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(WindowedConformalQuantileTest, UsesOnlyTheMostRecentScores) {
+  // Arrival order: 100 small scores, then 100 large ones. A window of
+  // 100 must quantile only the large tail; the full set mixes both.
+  std::vector<double> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(0.01 * i);
+  for (int i = 0; i < 100; ++i) scores.push_back(10.0 + 0.01 * i);
+  double windowed = WindowedConformalScoreQuantile(scores, 100, 0.1);
+  EXPECT_GE(windowed, 10.0) << "old scores leaked into the window";
+  EXPECT_EQ(windowed, ConformalScoreQuantile(
+                          {scores.begin() + 100, scores.end()}, 0.1));
+  // window = 0 and window >= n both mean "use everything".
+  EXPECT_EQ(WindowedConformalScoreQuantile(scores, 0, 0.1),
+            ConformalScoreQuantile(scores, 0.1));
+  EXPECT_EQ(WindowedConformalScoreQuantile(scores, 5000, 0.1),
+            ConformalScoreQuantile(scores, 0.1));
+  // A starved window degenerates to +inf like the full-set quantile.
+  EXPECT_TRUE(std::isinf(WindowedConformalScoreQuantile(scores, 3, 0.1)));
 }
 
 }  // namespace

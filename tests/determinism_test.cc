@@ -4,7 +4,9 @@
 // tests pin that contract for the MC-dropout sweep, the rDRP pipeline,
 // the forests, and the plain batched inference forward.
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,6 +15,7 @@
 #include "core/drp_model.h"
 #include "core/mc_dropout.h"
 #include "core/rdrp.h"
+#include "monitor/drift.h"
 #include "nn/batch_forward.h"
 #include "nn/mlp.h"
 #include "synth/synthetic_generator.h"
@@ -248,6 +251,65 @@ TEST(ForestDeterminism, BatchedPredictMatchesPerRow) {
 
   // Two batched sweeps agree (the pool schedule is irrelevant).
   ExpectBitIdentical(batched, forest.Predict(x), "forest rerun");
+}
+
+// The monitor's drift state extends the engine's determinism contract:
+// window counts are integer bins, so any partition of the stream across
+// any number of threads, merged in any order, must commit the same bits
+// and therefore the same PSI / binned-KS statistics.
+TEST(MonitorDeterminism, DriftStateBitIdenticalAcrossPartitions) {
+  Rng ref_rng(311);
+  std::vector<double> reference(1000);
+  for (double& v : reference) v = ref_rng.Normal();
+  monitor::ReferenceDistribution dist =
+      monitor::ReferenceDistribution::FromSamples(reference, 10);
+  monitor::DriftDetector detector;
+  int channel = detector.AddChannel("stream", dist);
+
+  Rng stream_rng(312);
+  std::vector<double> stream(5000);
+  for (double& v : stream) v = 0.4 + 1.3 * stream_rng.Normal();
+
+  monitor::WindowCounts serial = detector.MakeCounts(channel);
+  for (double v : stream) detector.Accumulate(channel, v, &serial);
+  double psi_serial = monitor::PopulationStabilityIndex(dist, serial);
+  double ks_serial = monitor::BinnedKsStatistic(dist, serial);
+
+  for (int threads : {2, 3, 8}) {
+    // Contiguous chunks, one genuinely concurrent accumulator each.
+    std::vector<monitor::WindowCounts> partials(
+        AsSize(threads), detector.MakeCounts(channel));
+    std::vector<std::thread> workers;
+    workers.reserve(AsSize(threads));
+    size_t chunk = (stream.size() + AsSize(threads) - 1) / AsSize(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        size_t begin = AsSize(t) * chunk;
+        size_t end = std::min(stream.size(), begin + chunk);
+        for (size_t i = begin; i < end; ++i) {
+          detector.Accumulate(channel, stream[i], &partials[AsSize(t)]);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    // Merge forward and backward; both must equal the serial bits.
+    monitor::WindowCounts forward = detector.MakeCounts(channel);
+    monitor::WindowCounts backward = detector.MakeCounts(channel);
+    for (int t = 0; t < threads; ++t) {
+      forward.Merge(partials[AsSize(t)]);
+      backward.Merge(partials[AsSize(threads - 1 - t)]);
+    }
+    for (const monitor::WindowCounts* merged : {&forward, &backward}) {
+      EXPECT_EQ(merged->counts, serial.counts) << "threads=" << threads;
+      EXPECT_EQ(merged->total, serial.total) << "threads=" << threads;
+      EXPECT_EQ(monitor::PopulationStabilityIndex(dist, *merged),
+                psi_serial)
+          << "threads=" << threads;
+      EXPECT_EQ(monitor::BinnedKsStatistic(dist, *merged), ks_serial)
+          << "threads=" << threads;
+    }
+  }
 }
 
 TEST(ForestDeterminism, CausalForestBatchedPredictMatchesPerRow) {

@@ -1,0 +1,161 @@
+// Property test for the monitoring subsystem's reason to exist: after a
+// covariate shift, the *static* calibration-time q_hat loses its
+// conformal coverage guarantee (the shifted population's scores are no
+// longer exchangeable with the calibration scores), while the rolling
+// recalibrator — fed a labeled feedback window from the shifted
+// distribution — restores empirical coverage to >= 1 - alpha. Checked
+// across >= 10 independent seeds end to end: train -> calibrate ->
+// shift -> ServingMonitor::AddOutcomes -> MaybeRecalibrate -> evaluate
+// on a held-out shifted set.
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/conformal.h"
+#include "core/roi_star.h"
+#include "monitor/monitor.h"
+#include "pipeline/pipeline.h"
+#include "synth/shift.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl {
+namespace {
+
+constexpr double kAlpha = 0.1;
+constexpr int kSeeds = 10;
+// Tilt feature 4: across these fixed seeds it moves the covariate
+// distribution hard (exp(2.5 x) importance resampling) while every
+// 400-row shifted window keeps the positive average cost lift that
+// Algorithm 2's labeled path requires (minimum 0.08 over the 10 seeds);
+// tilting feature 0 instead flips the lift sign on several seeds and
+// would silently punt every run to the ACI fallback.
+constexpr double kShiftGamma = 2.5;
+constexpr int kShiftFeature = 4;
+
+RctDataset Gen(int n, uint64_t seed) {
+  synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
+  Rng rng(seed);
+  return generator.Generate(n, /*shifted=*/false, &rng);
+}
+
+struct SeedOutcome {
+  double static_coverage = 0.0;  ///< frozen q_hat on shifted traffic
+  double recal_coverage = 0.0;   ///< rolling q_hat on the same traffic
+};
+
+/// Fraction of `data`'s conformal intervals (at quantile `q_hat`)
+/// containing the set's own roi* — the deployment coverage notion of
+/// Definition 2, evaluated against the shifted population.
+double CoverageAt(const pipeline::Pipeline& pipeline,
+                  const RctDataset& data, double q_hat) {
+  pipeline::RoiScorer::ConformalInputs inputs =
+      pipeline.ConformalScoreInputs(data.x).value();
+  double roi_star = core::BinarySearchRoiStar(data);
+  std::vector<double> scores =
+      core::ConformalScores(roi_star, inputs.roi_hat, inputs.r_hat);
+  int covered = 0;
+  for (double score : scores) covered += score <= q_hat;
+  return static_cast<double>(covered) /
+         static_cast<double>(scores.size());
+}
+
+SeedOutcome RunOnce(uint64_t seed) {
+  pipeline::Hyperparams hp;
+  hp.alpha = kAlpha;
+  hp.neural_epochs = 6;
+  hp.restarts = 1;
+  hp.mc_passes = 8;
+  hp.seed = seed;
+  RctDataset train = Gen(600, seed);
+  RctDataset calib = Gen(300, seed + 1);
+  pipeline::Pipeline pipeline =
+      std::move(pipeline::Pipeline::Train("rDRP", hp, train, &calib, {}))
+          .value();
+  double q_static = pipeline.conformal_quantile().value();
+
+  // The shifted regime: a labeled feedback window the monitor learns
+  // from, and a held-out evaluation set from the same shifted
+  // distribution that neither path has seen.
+  Rng rng(seed + 7);
+  RctDataset base = Gen(1500, seed + 2);
+  RctDataset feedback = synth::ResampleWithCovariateShift(
+      base, kShiftFeature, kShiftGamma, 400, &rng);
+  RctDataset eval = synth::ResampleWithCovariateShift(
+      base, kShiftFeature, kShiftGamma, 500, &rng);
+
+  SeedOutcome outcome;
+  outcome.static_coverage = CoverageAt(pipeline, eval, q_static);
+
+  monitor::MonitorOptions options;
+  options.recalibrator.min_labeled = 100;
+  options.recalibrator.max_window = 400;
+  std::unique_ptr<monitor::ServingMonitor> monitor =
+      std::move(monitor::ServingMonitor::FromCalibration(&pipeline, calib,
+                                                         options))
+          .value();
+  monitor->BindQuantileSwap([&pipeline](double q_hat) {
+    return pipeline.SetConformalQuantile(q_hat);
+  });
+  EXPECT_TRUE(monitor->AddOutcomes(feedback).ok());
+  StatusOr<monitor::RecalibrationResult> recal =
+      monitor->MaybeRecalibrate(/*force=*/true);
+  EXPECT_TRUE(recal.ok()) << recal.status().ToString();
+  EXPECT_TRUE(recal.value().performed);
+  EXPECT_TRUE(recal.value().labeled)
+      << "400 two-arm feedback samples must take the Algorithm 2 path";
+
+  double q_recal = pipeline.conformal_quantile().value();
+  EXPECT_EQ(q_recal, recal.value().q_hat_after) << "swap not applied";
+  outcome.recal_coverage = CoverageAt(pipeline, eval, q_recal);
+  return outcome;
+}
+
+TEST(DriftCoverageProperty, RollingRecalibrationRestoresCoverage) {
+  std::vector<SeedOutcome> outcomes;
+  outcomes.reserve(kSeeds);
+  for (int s = 0; s < kSeeds; ++s) {
+    SCOPED_TRACE("seed index " + std::to_string(s));
+    outcomes.push_back(RunOnce(2000 + 131 * static_cast<uint64_t>(s)));
+  }
+
+  double static_mean = 0.0;
+  double recal_mean = 0.0;
+  for (const SeedOutcome& outcome : outcomes) {
+    static_mean += outcome.static_coverage;
+    recal_mean += outcome.recal_coverage;
+  }
+  static_mean /= kSeeds;
+  recal_mean /= kSeeds;
+
+  // Under the shift, the frozen quantile must have lost its nominal
+  // level — that is the failure mode the monitor exists to repair.
+  // (Measured with these fixed seeds: static 0.853, recalibrated 0.912.)
+  EXPECT_LT(static_mean, 1.0 - kAlpha)
+      << "shift did not break static coverage; property is vacuous";
+
+  // The recalibrated quantile restores it. Margin: 3 sigma of the
+  // pooled Binomial(kSeeds * 500, 1 - alpha) estimate plus 0.03 slack
+  // for the feedback-window vs eval-set roi* mismatch (finite-sample
+  // noise between two 400/500-row resamples).
+  double binomial_sigma = std::sqrt(kAlpha * (1.0 - kAlpha) /
+                                    static_cast<double>(kSeeds * 500));
+  double threshold = (1.0 - kAlpha) - 3.0 * binomial_sigma - 0.03;
+  EXPECT_GE(recal_mean, threshold)
+      << "mean recalibrated coverage " << recal_mean << " below "
+      << threshold;
+  EXPECT_GT(recal_mean, static_mean)
+      << "recalibration did not improve coverage under shift";
+
+  // No individual seed may collapse after recalibration.
+  for (size_t s = 0; s < outcomes.size(); ++s) {
+    EXPECT_GE(outcomes[s].recal_coverage, 0.60) << "seed index " << s;
+  }
+}
+
+}  // namespace
+}  // namespace roicl

@@ -81,6 +81,46 @@ exit 0
 EOF
 chmod +x "${fixture}/tools/check_unwired.sh"
 
+# check_metric_names: a counter minted in library code (across a line
+# break, to exercise the flattening) that the CLI never preregisters.
+# The 12 preregistered decoys keep both extractions above the
+# regex-rot count guards.
+mkdir -p "${fixture}/src/obs" "${fixture}/tools"
+cat > "${fixture}/src/obs/bad_metrics.cc" <<'EOF'
+void Touch(MetricsRegistry& registry) {
+  registry.GetCounter("decoy.metric_0");
+  registry.GetCounter("decoy.metric_1");
+  registry.GetCounter("decoy.metric_2");
+  registry.GetCounter("decoy.metric_3");
+  registry.GetCounter("decoy.metric_4");
+  registry.GetCounter("decoy.metric_5");
+  registry.GetCounter("decoy.metric_6");
+  registry.GetCounter("decoy.metric_7");
+  registry.GetCounter("decoy.metric_8");
+  registry.GetGauge("decoy.metric_9");
+  registry.GetGauge("decoy.metric_10");
+  registry.GetHistogram(
+      "monitor.unregistered_us", LatencyMicrosBuckets());
+}
+EOF
+cat > "${fixture}/tools/roicl_cli.cc" <<'EOF'
+void PreregisterStandardMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("decoy.metric_0");
+  registry.GetCounter("decoy.metric_1");
+  registry.GetCounter("decoy.metric_2");
+  registry.GetCounter("decoy.metric_3");
+  registry.GetCounter("decoy.metric_4");
+  registry.GetCounter("decoy.metric_5");
+  registry.GetCounter("decoy.metric_6");
+  registry.GetCounter("decoy.metric_7");
+  registry.GetCounter("decoy.metric_8");
+  registry.GetGauge("decoy.metric_9");
+  registry.GetGauge("decoy.metric_10");
+  registry.GetHistogram("decoy.metric_11", LatencyMicrosBuckets());
+}
+EOF
+
 # check_registry_complete: a Table-I name with no Register() call.
 mkdir -p "${fixture}/src/exp" "${fixture}/src/pipeline"
 cat > "${fixture}/src/exp/methods.h" <<'EOF'
@@ -102,6 +142,18 @@ expect_fail check_scripts bash "${tools}/check_scripts.sh" "${fixture}"
 expect_fail check_no_raw_io bash "${tools}/check_no_raw_io.sh" "${fixture}"
 expect_fail check_registry_complete \
   bash "${tools}/check_registry_complete.sh" "${fixture}"
+expect_fail check_metric_names \
+  bash "${tools}/check_metric_names.sh" "${fixture}"
+
+# The metric lint names the unregistered metric, not just "failed".
+metric_out=$(bash "${tools}/check_metric_names.sh" "${fixture}" 2>&1 || true)
+if grep -q "metric 'monitor.unregistered_us' used in src/" \
+    <<<"${metric_out}"; then
+  echo "ok: check_metric_names reports the unregistered metric"
+else
+  echo "FAIL: check_metric_names did not name the unregistered metric"
+  status=1
+fi
 
 # The registry lint names the missing method, not just "failed".
 registry_out=$(bash "${tools}/check_registry_complete.sh" "${fixture}" \
@@ -132,5 +184,7 @@ expect_pass check_scripts bash "${tools}/check_scripts.sh" "${repo_root}"
 expect_pass check_no_raw_io bash "${tools}/check_no_raw_io.sh" "${repo_root}"
 expect_pass check_registry_complete \
   bash "${tools}/check_registry_complete.sh" "${repo_root}"
+expect_pass check_metric_names \
+  bash "${tools}/check_metric_names.sh" "${repo_root}"
 
 exit "${status}"

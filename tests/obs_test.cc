@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -392,6 +393,56 @@ TEST(MetricsTest, HistogramBucketing) {
   histogram.Reset();
   EXPECT_EQ(histogram.count(), 0u);
   EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+}
+
+TEST(MetricsTest, ApproxQuantileInterpolatesWithinBuckets) {
+  Histogram histogram({10.0, 20.0});
+  EXPECT_TRUE(std::isnan(histogram.ApproxQuantile(0.5)));
+  for (int i = 0; i < 4; ++i) histogram.Observe(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 4; ++i) histogram.Observe(15.0);  // bucket (10, 20]
+  // Rank ceil(0.5 * 8) = 4 lands on the last of bucket 0's four
+  // observations: 0 + (4 - 0.5) / 4 * 10.
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.50), 8.75);
+  // Rank 8 is the last of bucket 1's: 10 + (8 - 4 - 0.5) / 4 * 10.
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.95), 18.75);
+  // q is clamped; q = 0 still targets rank 1.
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(-1.0),
+                   histogram.ApproxQuantile(0.0));
+  EXPECT_DOUBLE_EQ(histogram.ApproxQuantile(0.0), 1.25);
+  // Observations past the last bound report that bound (an honest
+  // floor: the overflow bucket has no upper edge to interpolate to).
+  Histogram overflow({1.0});
+  overflow.Observe(50.0);
+  EXPECT_DOUBLE_EQ(overflow.ApproxQuantile(0.5), 1.0);
+}
+
+TEST(MetricsTest, SnapshotJsonCarriesPercentiles) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* histogram = registry.GetHistogram(
+      "obs_test.percentile_histogram", {10.0, 20.0});
+  Histogram* empty = registry.GetHistogram(
+      "obs_test.percentile_empty_histogram", {1.0});
+  histogram->Reset();
+  empty->Reset();
+  for (int i = 0; i < 4; ++i) histogram->Observe(5.0);
+  for (int i = 0; i < 4; ++i) histogram->Observe(15.0);
+
+  JsonValue snapshot;
+  ASSERT_TRUE(ParseJson(registry.SnapshotJson(), &snapshot));
+  const JsonValue& hist =
+      snapshot.At("histograms").At("obs_test.percentile_histogram");
+  ASSERT_TRUE(hist.At("p50").is_number());
+  EXPECT_DOUBLE_EQ(hist.At("p50").number(), 8.75);
+  ASSERT_TRUE(hist.At("p95").is_number());
+  EXPECT_DOUBLE_EQ(hist.At("p95").number(), 18.75);
+  ASSERT_TRUE(hist.At("p99").is_number());
+  // An empty histogram's quantile is NaN, which must degrade to null
+  // rather than corrupt the JSON document.
+  const JsonValue& empty_hist =
+      snapshot.At("histograms").At("obs_test.percentile_empty_histogram");
+  EXPECT_TRUE(std::holds_alternative<std::nullptr_t>(
+      empty_hist.At("p50").value));
+  histogram->Reset();
 }
 
 TEST(MetricsTest, ConcurrentUpdatesFromThreadPoolWorkers) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <mutex>
@@ -210,6 +211,91 @@ TEST(ScoringService, ConcurrentSubmittersAndDestructorRaceCleanly) {
           << result.status().ToString();
     }
   }
+}
+
+// The monitor's quantile swap races live traffic by design: q_hat is an
+// atomic inside the rDRP scorer and its point score depends on it
+// (Algorithm 4 folds q_hat * r_hat into the calibrated ROI). The
+// no-tearing contract: every concurrently scored row must be bitwise
+// equal to the score at SOME quantile that was actually written — a torn
+// double would produce a score matching none of them. TSan-covered via
+// run_tsan.sh.
+TEST(ScoringService, QuantileSwapNeverTearsConcurrentSubmits) {
+  pipeline::Hyperparams hp;
+  hp.neural_epochs = 3;
+  hp.restarts = 1;
+  hp.mc_passes = 4;
+  RctDataset train = Gen(200, 7);
+  RctDataset calib = Gen(120, 8);
+  pipeline::Pipeline pipeline =
+      std::move(pipeline::Pipeline::Train("rDRP", hp, train, &calib, {}))
+          .value();
+  RctDataset data = Gen(24, 55);
+
+  // Serial references: the score vector at the trained quantile and at
+  // each value the swapper will write.
+  constexpr int kSwaps = 16;
+  const double q_initial = pipeline.conformal_quantile().value();
+  std::vector<double> quantiles = {q_initial};
+  for (int i = 1; i <= kSwaps; ++i) {
+    quantiles.push_back(q_initial * (1.0 + 0.25 * i));
+  }
+  std::vector<std::vector<double>> references;
+  for (double q : quantiles) {
+    ASSERT_TRUE(pipeline.SetConformalQuantile(q).ok());
+    references.push_back(pipeline.Score(data.x).value());
+  }
+  ASSERT_TRUE(pipeline.SetConformalQuantile(q_initial).ok());
+
+  pipeline::ServiceOptions options;
+  options.engine.batch_size = 8;
+  options.engine.num_threads = 2;
+  pipeline::ScoringService service(std::move(pipeline), options);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&] {
+      while (!stop.load()) {
+        StatusOr<std::vector<double>> got = service.Score(data.x);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ASSERT_EQ(got.value().size(), references[0].size());
+        for (size_t r = 0; r < got.value().size(); ++r) {
+          bool matches_some_written_quantile = false;
+          for (const std::vector<double>& reference : references) {
+            matches_some_written_quantile |=
+                got.value()[r] == reference[r];
+          }
+          EXPECT_TRUE(matches_some_written_quantile)
+              << "row " << r << " scored " << got.value()[r]
+              << " which matches no written quantile (torn q_hat?)";
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (size_t i = 1; i < quantiles.size(); ++i) {
+      ASSERT_TRUE(service.SetConformalQuantile(quantiles[i]).ok());
+      std::this_thread::yield();
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      StatusOr<double> q = service.pipeline().conformal_quantile();
+      ASSERT_TRUE(q.ok());
+      // Readers may only ever observe exactly-written values.
+      EXPECT_NE(std::find(quantiles.begin(), quantiles.end(), q.value()),
+                quantiles.end())
+          << "observed quantile " << q.value() << " was never written";
+      std::this_thread::yield();
+    }
+  });
+  swapper.join();
+  reader.join();
+  for (std::thread& client : clients) client.join();
+  EXPECT_DOUBLE_EQ(service.pipeline().conformal_quantile().value(),
+                   quantiles.back());
 }
 
 }  // namespace

@@ -4,13 +4,16 @@
 # backing the speedup tables in EXPERIMENTS.md:
 #   BENCH_predict.json  batched forward + parallel MC dropout
 #   BENCH_serve.json    ScoringService end-to-end throughput
+#   BENCH_monitor.json  drift-monitor ingest + rolling recalibration
 #
 # Usage: bench_to_json.sh <build dir> [predict json] [serve json]
+#        [monitor json]
 set -euo pipefail
 
-build_dir=${1:?usage: bench_to_json.sh <build dir> [predict json] [serve json]}
+build_dir=${1:?usage: bench_to_json.sh <build dir> [predict json] [serve json] [monitor json]}
 predict_out=${2:-"$(dirname "$0")/../BENCH_predict.json"}
 serve_out=${3:-"$(dirname "$0")/../BENCH_serve.json"}
+monitor_out=${4:-"$(dirname "$0")/../BENCH_monitor.json"}
 
 bench="${build_dir}/bench/bench_micro"
 if [[ ! -x "${bench}" ]]; then
@@ -31,3 +34,10 @@ echo "wrote ${predict_out}"
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${serve_out}"
 echo "wrote ${serve_out}"
+
+"${bench}" \
+  --benchmark_filter='BM_MonitorUpdate|BM_RollingRecalibrate' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "${monitor_out}"
+echo "wrote ${monitor_out}"

@@ -1,6 +1,9 @@
 #!/bin/bash
 # Build-matrix driver: configures and builds every supported build mode
-# and prints one pass/fail row per configuration. Meant for manual runs
+# and prints one pass/fail row per configuration. Each row also runs the
+# monitor subsystem's pure-logic drift/coverage tests in that mode — a
+# seconds-long smoke (no model training) that puts the newest serving
+# surface through every compiler/sanitizer flavor. Meant for manual runs
 # and release gating, not for ctest — several rows are themselves full
 # builds (and the sanitizer rows would recurse into ctest), so wiring it
 # into the suite would multiply CI time by the matrix size.
@@ -29,6 +32,12 @@ cmake_args_for() {
   esac
 }
 
+# Training-free monitor tests: drift statistics, window merging, the
+# coverage ring, and the ACI walk. Fast enough to run under TSan too.
+monitor_smoke_filter='ReferenceDistribution.*:DriftStatistics.*'
+monitor_smoke_filter+=':WindowCounts.*:DriftDetector.*'
+monitor_smoke_filter+=':CoverageTracker.*:AdaptiveAlpha.*'
+
 declare -A result
 status=0
 for config in "${configs[@]}"; do
@@ -37,7 +46,9 @@ for config in "${configs[@]}"; do
   echo "== ${config}: cmake ${args} =="
   # shellcheck disable=SC2086  # args is a deliberate word-split flag list
   if cmake -S "${repo_root}" -B "${tree}" ${args} >/dev/null &&
-      cmake --build "${tree}" -j "$(nproc)" >/dev/null 2>&1; then
+      cmake --build "${tree}" -j "$(nproc)" >/dev/null 2>&1 &&
+      "${tree}/tests/monitor_test" \
+        --gtest_filter="${monitor_smoke_filter}" >/dev/null 2>&1; then
     result[${config}]=PASS
   else
     result[${config}]=FAIL

@@ -1,0 +1,63 @@
+#!/bin/bash
+# Metric-name lint: every metric a library creates by string literal
+# (GetCounter/GetGauge/GetHistogram in src/) must be preregistered in the
+# CLI's PreregisterStandardMetrics. Preregistration is what makes metrics
+# visible in snapshots while still zero — a name minted deep in src/ but
+# missing from the CLI list silently disappears from dashboards until its
+# first increment, which for error counters may be never. Files are
+# flattened before matching so multi-line calls (the name on the line
+# after `GetHistogram(`) still count; calls whose name is a runtime
+# variable are out of scope by construction.
+#
+# Usage: check_metric_names.sh <repo root>; exits non-zero on violations.
+set -euo pipefail
+cd "${1:?usage: check_metric_names.sh <repo root>}"
+
+cli=tools/roicl_cli.cc
+if [ ! -f "${cli}" ] || [ ! -d src ]; then
+  echo "missing ${cli} or src/ (metric-name lint cannot run)"
+  exit 1
+fi
+
+# Names used in library code: flatten each file, pull the literal first
+# argument of the registry getters.
+used=$(
+  grep -rlE 'Get(Counter|Gauge|Histogram)' src \
+      --include='*.cc' --include='*.h' \
+    | while IFS= read -r file; do
+        tr '\n' ' ' < "${file}" \
+          | grep -oE 'Get(Counter|Gauge|Histogram) *\( *"[^"]+"' || true
+      done \
+    | grep -oE '"[^"]+"' | tr -d '"' | sort -u
+)
+
+# Names preregistered by the CLI: every string literal inside
+# PreregisterStandardMetrics is a metric name by convention.
+preregistered=$(awk '/void PreregisterStandardMetrics/,/^}/' "${cli}" \
+  | grep -oE '"[^"]+"' | tr -d '"' | sort -u)
+
+# Count guards against regex rot: a rename that empties either
+# extraction must fail loudly, not pass vacuously.
+used_count=$(grep -c . <<<"${used}" || true)
+pre_count=$(grep -c . <<<"${preregistered}" || true)
+if [ "${used_count}" -lt 10 ]; then
+  echo "src/: extracted only ${used_count} metric names (regex rot?)"
+  exit 1
+fi
+if [ "${pre_count}" -lt 10 ]; then
+  echo "${cli}: could not extract PreregisterStandardMetrics (regex rot?)"
+  exit 1
+fi
+
+status=0
+while IFS= read -r name; do
+  if ! grep -qFx "${name}" <<<"${preregistered}"; then
+    echo "${cli}: metric '${name}' used in src/ is not preregistered in PreregisterStandardMetrics"
+    status=1
+  fi
+done <<<"${used}"
+
+if [ "${status}" -eq 0 ]; then
+  echo "all ${used_count} src/ metric names are preregistered"
+fi
+exit "${status}"

@@ -14,6 +14,12 @@
 //             and push a CSV through it as micro-batched requests
 //   evaluate  AUCC / Qini of a saved model on labelled CSV data
 //   allocate  greedy C-BTAP budget allocation with a saved model
+//   monitor-replay
+//             stream a labelled CSV through a live ScoringService with
+//             covariate shift injected mid-stream; the ServingMonitor
+//             detects the drift and recalibrates q_hat online. Prints the
+//             per-batch drift/coverage/q_hat trace plus the detection
+//             latency and the coverage before/after recalibration.
 //
 // Every model is constructed through pipeline::ScorerRegistry — there is
 // no per-method construction chain here; `roicl methods` shows the names.
@@ -27,6 +33,8 @@
 //   roicl serve --pipeline m.pipeline --data test.csv --out scores.csv
 //       --request-rows 128 --threads 4
 //   roicl evaluate --pipeline m.pipeline --data test.csv
+//   roicl monitor-replay --pipeline m.pipeline --calib calib.csv
+//       --data test.csv --shift-at 20 --shift-gamma 2.5
 //
 // Legacy spellings stay supported: `train --model rdrp ... --out m.rdrp`
 // writes a raw model blob, and predict/evaluate/allocate accept
@@ -48,6 +56,7 @@
 #include <map>
 #include <memory>
 #include <numeric>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,6 +69,7 @@
 #include "exp/datasets.h"
 #include "metrics/cost_curve.h"
 #include "metrics/qini.h"
+#include "monitor/replay.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -89,11 +99,14 @@ class Flags {
         std::exit(2);
       }
       std::string key = arg.substr(2);
+      // Assign a std::string, not a literal: GCC 12's -Wrestrict
+      // false-positives on char_traits::copy when a literal assignment
+      // is inlined this deep (documented FP class, fixed in GCC 13).
+      std::string value = "1";
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "1";
+        value = argv[++i];
       }
+      values_.insert_or_assign(std::move(key), std::move(value));
     }
   }
 
@@ -120,9 +133,96 @@ class Flags {
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
+  /// Every parsed flag name, for unknown-flag validation.
+  std::vector<std::string> Keys() const {
+    std::vector<std::string> keys;
+    keys.reserve(values_.size());
+    for (const auto& [key, value] : values_) keys.push_back(key);
+    return keys;
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Rejects any flag outside the subcommand's vocabulary with a one-line
+/// error naming the flag. A silently-ignored typo (`--aplha 0.2`) is far
+/// worse than an exit-2 rejection: the run would proceed with the paper
+/// default and report results for a configuration the user did not ask
+/// for. Unknown subcommands fall through to the usage text in RunCommand.
+void RejectUnknownFlags(const std::string& command, const Flags& flags) {
+  static const std::set<std::string> kObservability = {
+      "log-level", "log-json", "metrics-out", "trace-out"};
+  static const std::set<std::string> kEngine = {"batch-size", "threads"};
+  // Commands that construct scorers accept the full hyperparam block
+  // (HyperparamsFromFlags), which subsumes the engine knobs.
+  static const std::set<std::string> kHyper = {
+      "epochs", "lr", "patience", "hidden", "dropout", "restarts",
+      "cate-epochs", "forest-trees", "forest-depth", "causal-forest-trees",
+      "mc-passes", "alpha", "seed", "batch-size", "threads"};
+  static const std::map<std::string, std::set<std::string>> kPerCommand = {
+      {"generate", {"dataset", "n", "seed", "shifted", "out"}},
+      {"methods", {}},
+      {"train", {"method", "model", "train", "calib", "save-pipeline",
+                 "out"}},
+      {"predict", {"pipeline", "model-type", "model", "data", "out"}},
+      {"score", {"pipeline", "data", "out"}},
+      {"serve", {"pipeline", "data", "out", "max-batch", "max-queue",
+                 "deadline-micros", "request-rows"}},
+      {"evaluate", {"pipeline", "model-type", "model", "data"}},
+      {"allocate",
+       {"pipeline", "model-type", "model", "data", "budget-frac"}},
+      {"monitor-replay",
+       {"pipeline", "calib", "data", "batch-rows", "num-batches",
+        "shift-at", "shift-feature", "shift-gamma", "seed", "window-rows",
+        "drift-bins", "psi-threshold", "ks-threshold", "min-window",
+        "feedback-window", "min-labeled", "aci-gamma", "coverage-window",
+        "coverage-slack", "recalibrate-every"}},
+  };
+  static const std::set<std::string> kHyperCommands = {
+      "train", "predict", "evaluate", "allocate"};
+  static const std::set<std::string> kEngineCommands = {
+      "score", "serve", "monitor-replay"};
+  auto it = kPerCommand.find(command);
+  if (it == kPerCommand.end()) return;
+  for (const std::string& key : flags.Keys()) {
+    if (kObservability.count(key) > 0 || it->second.count(key) > 0) continue;
+    if (kHyperCommands.count(command) > 0 && kHyper.count(key) > 0) continue;
+    if (kEngineCommands.count(command) > 0 && kEngine.count(key) > 0) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag --%s for subcommand %s\n",
+                 key.c_str(), command.c_str());
+    std::exit(2);
+  }
+}
+
+/// Range checks for flags shared across subcommands. `--threads 0` stays
+/// valid — it selects the shared global pool (see nn::BatchOptions) and
+/// is the default in every test harness; only negative counts are
+/// nonsense. Non-numeric text parses to 0 via atoi/atof and lands in the
+/// rejected range for alpha and batch-size.
+void ValidateFlagRanges(const Flags& flags) {
+  if (flags.Has("alpha")) {
+    double alpha = flags.GetDouble("alpha", 0.0);
+    if (!(alpha > 0.0 && alpha < 1.0)) {
+      std::fprintf(stderr, "--alpha must be in (0, 1), got '%s'\n",
+                   flags.Get("alpha").c_str());
+      std::exit(2);
+    }
+  }
+  if (flags.Has("batch-size") && flags.GetInt("batch-size", 0) <= 0) {
+    std::fprintf(stderr, "--batch-size must be positive, got '%s'\n",
+                 flags.Get("batch-size").c_str());
+    std::exit(2);
+  }
+  if (flags.Has("threads") && flags.GetInt("threads", 0) < 0) {
+    std::fprintf(stderr,
+                 "--threads must be >= 0 (0 = shared pool), got '%s'\n",
+                 flags.Get("threads").c_str());
+    std::exit(2);
+  }
+}
 
 /// Touches every metric the pipeline can emit so a snapshot written by any
 /// subcommand carries the full schema (untouched instruments read zero).
@@ -133,7 +233,9 @@ void PreregisterStandardMetrics() {
        {"train.epochs", "train.early_stops", "mc_dropout.samples",
         "roi_star.searches", "allocate.calls", "threadpool.tasks",
         "serve.requests", "serve.rejected", "serve.deadline_exceeded",
-        "serve.errors"}) {
+        "serve.errors", "conformal.qhat_infinite", "monitor.windows",
+        "monitor.drift_triggers", "monitor.recalibrations",
+        "monitor.coverage_alerts", "monitor.outcomes"}) {
     registry.GetCounter(name);
   }
   for (const char* name :
@@ -142,12 +244,23 @@ void PreregisterStandardMetrics() {
         "mc_dropout.samples_per_sec", "exp.predict_samples_per_sec",
         "roi_star.iterations", "roi_star.bracket_width",
         "allocate.budget_used_frac", "allocate.selected",
-        "threadpool.queue_depth", "serve.queue_depth"}) {
+        "threadpool.queue_depth", "serve.queue_depth", "monitor.coverage",
+        "monitor.q_hat_before", "monitor.q_hat_after",
+        "monitor.roi_star_window", "monitor.alpha_effective",
+        "monitor.max_psi", "monitor.max_ks"}) {
     registry.GetGauge(name);
   }
   registry.GetHistogram("conformal.score", obs::ConformalScoreBuckets());
   registry.GetHistogram("threadpool.task_us", obs::LatencyMicrosBuckets());
   registry.GetHistogram("mc_dropout.batch_us", obs::LatencyMicrosBuckets());
+  // Bounds must equal service.cc's OccupancyBuckets — first registration
+  // fixes the layout.
+  registry.GetHistogram("serve.batch_occupancy",
+                        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  registry.GetHistogram("serve.latency_micros", obs::LatencyMicrosBuckets());
+  registry.GetHistogram("monitor.update_us", obs::LatencyMicrosBuckets());
+  registry.GetHistogram("monitor.recalibrate_us",
+                        obs::LatencyMicrosBuckets());
 }
 
 void SetupObservability(const Flags& flags) {
@@ -193,6 +306,18 @@ void FinishObservability(const Flags& flags) {
     registry.ForEachGauge([&](const std::string& name, double value) {
       fields.emplace_back(name, value);
     });
+    // Histograms summarize as latency-style percentiles; empty ones are
+    // omitted (their quantiles are undefined, and preregistration means
+    // most subcommands leave most histograms untouched).
+    registry.ForEachHistogram(
+        [&](const std::string& name, const obs::Histogram& histogram) {
+          if (histogram.count() == 0) return;
+          fields.emplace_back(name + ".p50", histogram.ApproxQuantile(0.5));
+          fields.emplace_back(name + ".p95",
+                              histogram.ApproxQuantile(0.95));
+          fields.emplace_back(name + ".p99",
+                              histogram.ApproxQuantile(0.99));
+        });
     logger.LogV(obs::LogLevel::kInfo, "metrics summary", fields);
   }
   if (flags.Has("metrics-out")) {
@@ -590,17 +715,98 @@ int CmdAllocate(const Flags& flags) {
   return 0;
 }
 
+int CmdMonitorReplay(const Flags& flags) {
+  pipeline::Pipeline loaded = LoadPipelineOrDie(flags.Require("pipeline"));
+  RctDataset calib = LoadCsvOrDie(flags.Require("calib"));
+  RctDataset stream = LoadCsvOrDie(flags.Require("data"));
+
+  monitor::ReplayOptions options;
+  options.batch_rows = flags.GetInt("batch-rows", options.batch_rows);
+  options.num_batches = flags.GetInt("num-batches", options.num_batches);
+  options.shift_at_batch = flags.GetInt("shift-at", options.num_batches / 2);
+  options.shift_feature =
+      flags.GetInt("shift-feature", options.shift_feature);
+  options.shift_gamma = flags.GetDouble("shift-gamma", options.shift_gamma);
+  options.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int>(options.seed)));
+  monitor::MonitorOptions& mon = options.monitor;
+  mon.drift_bins = flags.GetInt("drift-bins", mon.drift_bins);
+  mon.thresholds.psi = flags.GetDouble("psi-threshold", mon.thresholds.psi);
+  mon.thresholds.ks = flags.GetDouble("ks-threshold", mon.thresholds.ks);
+  mon.thresholds.min_window = static_cast<uint64_t>(flags.GetInt(
+      "min-window", static_cast<int>(mon.thresholds.min_window)));
+  mon.window_rows = static_cast<uint64_t>(
+      flags.GetInt("window-rows", static_cast<int>(mon.window_rows)));
+  mon.recalibrator.max_window = static_cast<size_t>(flags.GetInt(
+      "feedback-window", static_cast<int>(mon.recalibrator.max_window)));
+  mon.recalibrator.min_labeled = static_cast<size_t>(flags.GetInt(
+      "min-labeled", static_cast<int>(mon.recalibrator.min_labeled)));
+  mon.recalibrator.gamma =
+      flags.GetDouble("aci-gamma", mon.recalibrator.gamma);
+  mon.coverage.window = static_cast<size_t>(flags.GetInt(
+      "coverage-window", static_cast<int>(mon.coverage.window)));
+  mon.coverage.slack = flags.GetDouble("coverage-slack", mon.coverage.slack);
+  mon.recalibrate_every =
+      static_cast<uint64_t>(flags.GetInt("recalibrate-every", 0));
+  mon.engine = BatchOptionsFromFlags(flags);
+  options.service.engine = mon.engine;
+
+  StatusOr<monitor::ReplayResult> replayed =
+      monitor::RunReplay(std::move(loaded), calib, stream, options);
+  if (!replayed.ok()) {
+    std::fprintf(stderr, "%s\n", replayed.status().ToString().c_str());
+    return 1;
+  }
+  const monitor::ReplayResult& result = replayed.value();
+
+  std::printf(
+      "batch  stream   max_psi  max_ks  drift  recal  coverage     q_hat\n");
+  for (const monitor::ReplayBatchStat& stat : result.batches) {
+    std::printf("%5d  %-7s %8.3f %7.3f  %-5s  %-5s  %8.3f  %8.4f\n",
+                stat.batch, stat.shifted ? "shifted" : "base", stat.max_psi,
+                stat.max_ks, stat.drift_latched ? "yes" : "-",
+                stat.recalibrated ? "yes" : "-", stat.coverage, stat.q_hat);
+  }
+  if (result.shift_batch >= 0) {
+    std::printf("shift injected       : batch %d\n", result.shift_batch);
+  } else {
+    std::printf("shift injected       : never\n");
+  }
+  if (result.detect_batch >= 0 && result.shift_batch >= 0) {
+    std::printf("drift detected       : batch %d (latency %d batches)\n",
+                result.detect_batch,
+                result.detect_batch - result.shift_batch);
+  } else {
+    std::printf("drift detected       : never\n");
+  }
+  if (result.recalibrate_batch >= 0) {
+    std::printf("recalibrated         : batch %d (q_hat %.4f -> %.4f)\n",
+                result.recalibrate_batch, result.q_hat_initial,
+                result.q_hat_final);
+  } else {
+    std::printf("recalibrated         : never\n");
+  }
+  std::printf("coverage pre-shift   : %.3f\n", result.coverage_pre_shift);
+  std::printf("coverage shift->recal: %.3f\n",
+              result.coverage_shift_to_recal);
+  std::printf("coverage post-recal  : %.3f\n", result.coverage_post_recal);
+  return 0;
+}
+
 void PrintUsage() {
   std::fputs(
       "usage: roicl "
-      "<generate|methods|train|predict|score|serve|evaluate|allocate> "
-      "[--flags]\n"
+      "<generate|methods|train|predict|score|serve|evaluate|allocate"
+      "|monitor-replay> [--flags]\n"
       "run with a subcommand and no flags to see its required arguments\n"
       "train once, serve many:\n"
       "  train --method NAME --train CSV [--calib CSV] "
       "--save-pipeline FILE\n"
       "  score --pipeline FILE --data CSV --out CSV\n"
       "  serve --pipeline FILE --data CSV --out CSV [--request-rows N]\n"
+      "  monitor-replay --pipeline FILE --calib CSV --data CSV\n"
+      "      [--shift-at N --shift-gamma G --window-rows N "
+      "--num-batches N]\n"
       "`roicl methods` lists every registered method name\n"
       "observability flags (any subcommand): --log-level LEVEL, "
       "--log-json FILE, --metrics-out FILE, --trace-out FILE\n"
@@ -619,6 +825,7 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "serve") return CmdServe(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "allocate") return CmdAllocate(flags);
+  if (command == "monitor-replay") return CmdMonitorReplay(flags);
   PrintUsage();
   return 2;
 }
@@ -632,6 +839,8 @@ int main(int argc, char** argv) {
   }
   std::string command = argv[1];
   Flags flags(argc, argv, 2);
+  RejectUnknownFlags(command, flags);
+  ValidateFlagRanges(flags);
   SetupObservability(flags);
   int exit_code = RunCommand(command, flags);
   FinishObservability(flags);

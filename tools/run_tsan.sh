@@ -17,9 +17,11 @@ build_dir=${2:-"${repo_root}/build-tsan"}
 #   common_misc_test      ThreadPool submit/ParallelFor/shutdown
 #   obs_test              concurrent metrics registry and trace collector
 #   determinism_test      batched parallel forward + MC-dropout engine
-#   scoring_service_test  ScoringService queue/dispatcher/shutdown
+#   scoring_service_test  ScoringService queue/dispatcher/shutdown,
+#                         atomic q_hat swap racing live Submits
+#   monitor_test          ServingMonitor mutex + outcome/recalibrate races
 tsan_tests=(common_misc_test obs_test determinism_test
-            scoring_service_test)
+            scoring_service_test monitor_test)
 
 cmake -S "${repo_root}" -B "${build_dir}" -DROICL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
