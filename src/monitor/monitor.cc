@@ -9,6 +9,7 @@
 #include "core/roi_star.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace roicl::monitor {
@@ -131,6 +132,11 @@ void ServingMonitor::BindQuantileSwap(std::function<Status(double)> swap) {
   swap_ = std::move(swap);
 }
 
+void ServingMonitor::BindSlo(obs::SloEngine* slo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slo_ = slo;
+}
+
 void ServingMonitor::ObserveScored(const Matrix& x,
                                    const std::vector<double>& scores) {
   ROICL_CHECK(AsSize(x.rows()) == scores.size());
@@ -206,6 +212,7 @@ void ServingMonitor::EvaluateWindowLocked() {
   }
   metrics.GetGauge("monitor.max_psi")->Set(max_psi);
   metrics.GetGauge("monitor.max_ks")->Set(max_ks);
+  if (slo_ != nullptr) slo_->RecordDriftWindow(triggered);
   if (triggered) {
     metrics.GetCounter("monitor.drift_triggers")->Increment();
     drift_latched_ = true;
@@ -259,6 +266,7 @@ Status ServingMonitor::AddOutcomes(const RctDataset& feedback) {
   detector_.Commit(conformal_channel_, counts);
   for (double score : scores) {
     bool covered = score <= q_hat.value();
+    if (slo_ != nullptr) slo_->RecordCoverage(covered);
     recalibrator_.ObserveCoverage(covered);
     if (tracker_.Observe(covered)) {
       metrics.GetCounter("monitor.coverage_alerts")->Increment();

@@ -34,6 +34,10 @@
 /// q_hat (labeled window when possible, ACI fallback otherwise) and swaps
 /// it into the live pipeline through the bound swap callback — atomically
 /// with respect to concurrent scoring (see RdrpModel::set_q_hat).
+namespace roicl::obs {
+class SloEngine;
+}  // namespace roicl::obs
+
 namespace roicl::monitor {
 
 struct MonitorOptions {
@@ -81,6 +85,13 @@ class ServingMonitor {
   /// MaybeRecalibrate computes but cannot swap and returns an error.
   void BindQuantileSwap(std::function<Status(double)> swap);
 
+  /// Routes monitor events into a declarative SLO engine: every labeled
+  /// outcome becomes a coverage event (covered iff its conformal score is
+  /// within the live quantile) and every drift-window evaluation becomes
+  /// a drift event (bad iff any channel triggered). The engine must
+  /// outlive the monitor; nullptr detaches.
+  void BindSlo(obs::SloEngine* slo);
+
   /// Ingests one served batch: bins every monitored feature column and
   /// the scores into the live drift windows, evaluating the detector
   /// whenever `window_rows` rows have accumulated. Binning fans out
@@ -118,6 +129,7 @@ class ServingMonitor {
   const pipeline::Pipeline* pipeline_;
   MonitorOptions options_;
   std::function<Status(double)> swap_;
+  obs::SloEngine* slo_ = nullptr;
 
   mutable std::mutex mu_;
   DriftDetector detector_;

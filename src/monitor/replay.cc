@@ -89,7 +89,8 @@ StatusOr<ReplayResult> RunReplay(pipeline::Pipeline pipeline,
 
   auto hook = std::make_shared<MonitorHook>();
   pipeline::ServiceOptions service_options = options.service;
-  service_options.on_scored = [hook](const Matrix& x,
+  service_options.on_scored = [hook](const pipeline::ServeContext&,
+                                     const Matrix& x,
                                      const std::vector<double>& scores) {
     if (hook->monitor != nullptr) hook->monitor->ObserveScored(x, scores);
   };

@@ -33,15 +33,37 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
   for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  exemplars_.resize(bounds_.size() + 1);
+}
+
+size_t Histogram::BucketIndex(double v) const {
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+      bounds_.begin());
 }
 
 void Histogram::Observe(double v) {
-  size_t index = static_cast<size_t>(
-      std::lower_bound(bounds_.begin(), bounds_.end(), v) -
-      bounds_.begin());
-  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&sum_, v);
+}
+
+void Histogram::ObserveWithExemplar(double v, uint64_t trace_id) {
+  Observe(v);
+  Exemplar offer{v, trace_id, true};
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  Exemplar& slot = exemplars_[BucketIndex(v)];
+  // Keep the lexicographic max of (value, trace_id): deterministic under
+  // any interleaving, and "slowest wins" within a bucket.
+  if (!slot.valid || offer.value > slot.value ||
+      (offer.value == slot.value && offer.trace_id > slot.trace_id)) {
+    slot = offer;
+  }
+}
+
+std::vector<Exemplar> Histogram::Exemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplars_;
 }
 
 std::vector<uint64_t> Histogram::BucketCounts() const {
@@ -89,6 +111,8 @@ void Histogram::Reset() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  for (Exemplar& slot : exemplars_) slot = Exemplar{};
 }
 
 std::vector<double> LatencyMicrosBuckets() {
@@ -190,6 +214,26 @@ std::string MetricsRegistry::SnapshotJson() const {
     out += RenderJsonNumber(histogram->ApproxQuantile(0.95));
     out += ",\"p99\":";
     out += RenderJsonNumber(histogram->ApproxQuantile(0.99));
+    std::vector<Exemplar> exemplars = histogram->Exemplars();
+    bool any_valid = false;
+    for (const Exemplar& e : exemplars) any_valid |= e.valid;
+    if (any_valid) {
+      out += ",\"exemplars\":[";
+      bool first_exemplar = true;
+      for (size_t i = 0; i < exemplars.size(); ++i) {
+        if (!exemplars[i].valid) continue;
+        if (!first_exemplar) out += ',';
+        first_exemplar = false;
+        out += "{\"bucket\":";
+        out += std::to_string(i);
+        out += ",\"value\":";
+        out += RenderJsonNumber(exemplars[i].value);
+        out += ",\"trace_id\":";
+        out += std::to_string(exemplars[i].trace_id);
+        out += '}';
+      }
+      out += ']';
+    }
     out += '}';
   }
   out += "}}";
@@ -200,6 +244,73 @@ bool MetricsRegistry::WriteSnapshotJson(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
   out << SnapshotJson() << '\n';
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + PromNumber(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    const std::vector<double>& bounds = histogram->upper_bounds();
+    std::vector<uint64_t> counts = histogram->BucketCounts();
+    std::vector<Exemplar> exemplars = histogram->Exemplars();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out += prom + "_bucket{le=\"";
+      out += i < bounds.size() ? PromNumber(bounds[i]) : "+Inf";
+      out += "\"} " + std::to_string(cumulative);
+      if (i < exemplars.size() && exemplars[i].valid) {
+        // OpenMetrics exemplar suffix: the slow sample's trace ID rides
+        // along on the bucket it landed in.
+        out += " # {trace_id=\"" +
+               std::to_string(exemplars[i].trace_id) + "\"} " +
+               PromNumber(exemplars[i].value);
+      }
+      out += '\n';
+    }
+    out += prom + "_sum " + PromNumber(histogram->sum()) + "\n";
+    out += prom + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  return out;
+}
+
+bool MetricsRegistry::WritePrometheusText(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << PrometheusText();
   return static_cast<bool>(out);
 }
 

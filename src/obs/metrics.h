@@ -48,6 +48,15 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// One retained exemplar: a sampled observation that carries the trace ID
+/// of the request that produced it, so a slow histogram bucket can be
+/// chased back to a complete per-request flow in the exported trace.
+struct Exemplar {
+  double value = 0.0;
+  uint64_t trace_id = 0;
+  bool valid = false;
+};
+
 /// Fixed-bucket histogram. Bucket `i` counts observations
 /// `v <= upper_bounds[i]`; one implicit overflow bucket catches the rest.
 /// Observe() is two relaxed atomic adds plus a CAS loop for the sum.
@@ -57,6 +66,20 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void Observe(double v);
+
+  /// Observe() plus an exemplar offer: the bucket `v` lands in retains
+  /// the largest (value, trace_id) pair offered so far. Max-keeping (not
+  /// last-write-wins) makes the retained exemplar independent of thread
+  /// interleaving: given deterministic values and a deterministic sampled
+  /// set of trace IDs, the final exemplars are identical at any thread
+  /// count. Callers decide *whether* to offer (see the counter-RNG
+  /// sampling in pipeline::ExemplarSampler); the slot mutex is only
+  /// touched on the sampled path.
+  void ObserveWithExemplar(double v, uint64_t trace_id);
+
+  /// Per-bucket exemplar slots (size upper_bounds().size() + 1, overflow
+  /// last); entries with valid == false have retained nothing.
+  std::vector<Exemplar> Exemplars() const;
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -76,10 +99,14 @@ class Histogram {
   void Reset();
 
  private:
+  size_t BucketIndex(double v) const;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  mutable std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;  ///< one slot per bucket, overflow last
 };
 
 /// Canonical bucket layouts shared by instrumentation sites and the CLI's
@@ -106,6 +133,16 @@ class MetricsRegistry {
   std::string SnapshotJson() const;
   /// Writes SnapshotJson() to `path`; false on I/O failure.
   bool WriteSnapshotJson(const std::string& path) const;
+
+  /// Prometheus/OpenMetrics text exposition: counters and gauges as
+  /// single samples, histograms as cumulative `_bucket{le=...}` series
+  /// plus `_sum`/`_count`. Metric names are sanitized ('.' and '-' become
+  /// '_'); retained exemplars ride along OpenMetrics-style
+  /// (`... # {trace_id="17"} 9501`). The scrape-endpoint twin of
+  /// SnapshotJson for dashboards that speak Prometheus.
+  std::string PrometheusText() const;
+  /// Writes PrometheusText() to `path`; false on I/O failure.
+  bool WritePrometheusText(const std::string& path) const;
 
   /// Zeroes every registered instrument (registration survives).
   /// For tests and benchmark repetitions.

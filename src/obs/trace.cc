@@ -24,6 +24,18 @@ void TraceCollector::Record(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
+void TraceCollector::RecordFlowEvent(std::string_view name, char phase,
+                                     uint64_t flow_id) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name.assign(name);
+  event.ts_us = NowMicros();
+  event.tid = CurrentThreadId();
+  event.phase = phase;
+  event.flow_id = flow_id;
+  Record(std::move(event));
+}
+
 std::vector<TraceEvent> TraceCollector::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_;
@@ -47,10 +59,22 @@ std::string TraceCollector::ToChromeJson() const {
     if (i > 0) out += ',';
     out += "\n{\"name\":\"";
     out += JsonEscape(event.name);
-    out += "\",\"ph\":\"X\",\"ts\":";
+    out += "\",\"ph\":\"";
+    out += event.phase;
+    out += '"';
+    if (event.phase == 's' || event.phase == 't' || event.phase == 'f') {
+      // Flow events: Chrome binds s/t/f arrows by (cat, id); "bp":"e"
+      // attaches the finish arrow to the enclosing slice, not the next.
+      out += ",\"cat\":\"flow\",\"id\":";
+      out += std::to_string(event.flow_id);
+      if (event.phase == 'f') out += ",\"bp\":\"e\"";
+    }
+    out += ",\"ts\":";
     out += std::to_string(event.ts_us);
-    out += ",\"dur\":";
-    out += std::to_string(event.dur_us);
+    if (event.phase == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(event.dur_us);
+    }
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(event.tid);
     if (!event.detail.empty()) {

@@ -18,6 +18,13 @@
 /// overlapping X-events on the same thread track, and `CurrentDepth()`
 /// exposes the per-thread nesting level for tests and diagnostics.
 ///
+/// `RecordFlowEvent` adds chrome://tracing *flow* events ("ph":"s"/"t"/
+/// "f"), the arrows Chrome draws between slices on different thread
+/// tracks. A request that is enqueued on a client thread and scored on
+/// the dispatcher thread emits one flow per request (id = its trace ID),
+/// visually stitching queue wait -> batch assembly -> scorer compute ->
+/// monitor observe into one request-scoped lane across threads.
+///
 /// Collection is off by default, in which case a span costs one relaxed
 /// atomic load. The CLI's `--trace-out FILE` enables collection and
 /// writes the JSON on exit; load the file via chrome://tracing or
@@ -34,6 +41,11 @@ struct TraceEvent {
   uint64_t ts_us = 0;
   uint64_t dur_us = 0;
   uint32_t tid = 0;
+  /// Trace-event phase: 'X' complete span (the default), or a flow event
+  /// 's' (start), 't' (step), 'f' (finish) binding slices across threads.
+  char phase = 'X';
+  /// Flow binding id (the request's trace ID); meaningful for s/t/f.
+  uint64_t flow_id = 0;
 };
 
 class TraceCollector {
@@ -49,6 +61,12 @@ class TraceCollector {
   }
 
   void Record(TraceEvent event);
+
+  /// Records one flow event when collection is enabled (no-op otherwise).
+  /// `phase` must be 's', 't', or 'f'; `flow_id` binds the arrows of one
+  /// request together across thread tracks.
+  void RecordFlowEvent(std::string_view name, char phase, uint64_t flow_id);
+
   std::vector<TraceEvent> Snapshot() const;
   size_t size() const;
   void Clear();

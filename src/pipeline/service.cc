@@ -17,6 +17,21 @@ std::vector<double> OccupancyBuckets() {
   return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
 }
 
+/// Routes a stage latency into its histogram, attaching the request's
+/// trace ID when the request was exemplar-sampled.
+void ObserveStage(obs::Histogram* histogram, double value, bool sampled,
+                  uint64_t trace_id) {
+  if (sampled) {
+    histogram->ObserveWithExemplar(value, trace_id);
+  } else {
+    histogram->Observe(value);
+  }
+}
+
+std::string TraceTag(bool tracing, uint64_t trace_id) {
+  return tracing ? "trace=" + std::to_string(trace_id) : std::string();
+}
+
 }  // namespace
 
 ScoringService::ScoringService(Pipeline pipeline, ServiceOptions options)
@@ -48,10 +63,16 @@ std::future<StatusOr<std::vector<double>>> ScoringService::Submit(
     Matrix x, int64_t deadline_micros) {
   Request request;
   request.x = std::move(x);
+  request.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
   request.enqueue_micros = obs::MonotonicMicros();
   request.deadline_micros = deadline_micros > 0
                                 ? deadline_micros
                                 : options_.default_deadline_micros;
+  obs::TraceCollector& collector = obs::TraceCollector::Global();
+  const bool tracing = collector.enabled();
+  obs::ScopedSpan span("serve.submit",
+                       TraceTag(tracing, request.trace_id));
+  const uint64_t trace_id = request.trace_id;
   std::future<StatusOr<std::vector<double>>> future =
       request.promise.get_future();
   {
@@ -73,6 +94,10 @@ std::future<StatusOr<std::vector<double>>> ScoringService::Submit(
     obs::MetricsRegistry::Global().GetGauge("serve.queue_depth")
         ->Set(static_cast<double>(queue_.size()));
   }
+  // Flow start on the client thread, inside the submit span, only for
+  // admitted requests — the dispatcher steps ('t') and finishes ('f')
+  // the same flow id on its own track.
+  if (tracing) collector.RecordFlowEvent("serve.request", 's', trace_id);
   cv_.notify_one();
   return future;
 }
@@ -107,13 +132,33 @@ void ScoringService::Loop() {
       metrics.GetHistogram("serve.batch_occupancy", OccupancyBuckets());
   obs::Histogram* latency = metrics.GetHistogram(
       "serve.latency_micros", obs::LatencyMicrosBuckets());
+  obs::Histogram* stage_queue = metrics.GetHistogram(
+      "serve.stage.queue_us", obs::LatencyMicrosBuckets());
+  obs::Histogram* stage_assemble = metrics.GetHistogram(
+      "serve.stage.assemble_us", obs::LatencyMicrosBuckets());
+  obs::Histogram* stage_score = metrics.GetHistogram(
+      "serve.stage.score_us", obs::LatencyMicrosBuckets());
+  obs::Histogram* stage_conformal = metrics.GetHistogram(
+      "serve.stage.conformal_us", obs::LatencyMicrosBuckets());
+  obs::Histogram* stage_observe = metrics.GetHistogram(
+      "serve.stage.observe_us", obs::LatencyMicrosBuckets());
+  obs::Gauge* interval_width = metrics.GetGauge("serve.interval_width");
+  obs::TraceCollector& collector = obs::TraceCollector::Global();
+  const ExemplarSampler sampler{options_.exemplar_seed,
+                                options_.exemplar_rate};
+  // Shadow conformal-interval cadence; disarmed permanently on the first
+  // "scorer doesn't support intervals" error instead of failing per tick.
+  uint64_t shadow_tick = 0;
+  bool shadow_armed = options_.shadow_interval_every > 0;
 
   for (;;) {
     std::vector<Request> batch;
+    uint64_t assemble_start = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (stopping_) return;
+      assemble_start = obs::MonotonicMicros();
       int take = std::min<int>(options_.max_batch_requests,
                                static_cast<int>(queue_.size()));
       batch.reserve(AsSize(take));
@@ -123,6 +168,8 @@ void ScoringService::Loop() {
       }
       queue_depth->Set(static_cast<double>(queue_.size()));
     }
+    const uint64_t assemble_us =
+        obs::MonotonicMicros() - assemble_start;
     occupancy->Observe(static_cast<double>(batch.size()));
 
     // Score each request's matrix independently (see class comment: the
@@ -131,26 +178,88 @@ void ScoringService::Loop() {
     // parallelizes across each request's row blocks.
     for (Request& request : batch) {
       requests->Increment();
-      uint64_t now = obs::MonotonicMicros();
-      int64_t waited =
-          static_cast<int64_t>(now - request.enqueue_micros);
+      const bool tracing = collector.enabled();
+      const bool sampled = sampler.Sample(request.trace_id);
+      const std::string trace_tag = TraceTag(tracing, request.trace_id);
+      obs::ScopedSpan process_span("serve.process", trace_tag);
+      if (tracing) {
+        collector.RecordFlowEvent("serve.request", 't', request.trace_id);
+      }
+      const uint64_t dequeued = obs::MonotonicMicros();
+      const uint64_t queue_us = dequeued - request.enqueue_micros;
+      ObserveStage(stage_queue, static_cast<double>(queue_us), sampled,
+                   request.trace_id);
+      ObserveStage(stage_assemble, static_cast<double>(assemble_us),
+                   sampled, request.trace_id);
       if (request.deadline_micros > 0 &&
-          waited > request.deadline_micros) {
+          static_cast<int64_t>(queue_us) > request.deadline_micros) {
         deadline_exceeded->Increment();
+        if (tracing) {
+          collector.RecordFlowEvent("serve.request", 'f',
+                                    request.trace_id);
+        }
         request.promise.set_value(Status::FailedPrecondition(
-            "deadline exceeded: waited " + std::to_string(waited) +
+            "deadline exceeded: waited " + std::to_string(queue_us) +
             "us, deadline " + std::to_string(request.deadline_micros) +
             "us"));
         continue;
       }
-      StatusOr<std::vector<double>> result = pipeline_.Score(request.x);
+      StatusOr<std::vector<double>> result = [&] {
+        obs::ScopedSpan score_span("serve.score", trace_tag);
+        return pipeline_.Score(request.x);
+      }();
+      const uint64_t scored = obs::MonotonicMicros();
+      const uint64_t score_us = scored - dequeued;
+      ObserveStage(stage_score, static_cast<double>(score_us), sampled,
+                   request.trace_id);
       if (!result.ok()) {
         errors->Increment();
-      } else if (options_.on_scored) {
-        options_.on_scored(request.x, result.value());
+      } else {
+        if (shadow_armed &&
+            ++shadow_tick %
+                    static_cast<uint64_t>(options_.shadow_interval_every) ==
+                0) {
+          obs::ScopedSpan conformal_span("serve.conformal", trace_tag);
+          StatusOr<std::vector<metrics::Interval>> intervals =
+              pipeline_.ScoreIntervals(request.x);
+          if (intervals.ok() && !intervals.value().empty()) {
+            double width_sum = 0.0;
+            for (const metrics::Interval& iv : intervals.value()) {
+              width_sum += iv.width();
+            }
+            interval_width->Set(
+                width_sum / static_cast<double>(intervals.value().size()));
+          } else if (!intervals.ok()) {
+            shadow_armed = false;
+            obs::Warn("shadow interval stage disarmed",
+                      {{"reason", intervals.status().message()}});
+          }
+          ObserveStage(stage_conformal,
+                       static_cast<double>(obs::MonotonicMicros() - scored),
+                       sampled, request.trace_id);
+        }
+        if (options_.on_scored) {
+          obs::ScopedSpan observe_span("serve.observe", trace_tag);
+          const uint64_t observe_start = obs::MonotonicMicros();
+          ServeContext ctx;
+          ctx.trace_id = request.trace_id;
+          ctx.queue_us = queue_us;
+          ctx.score_us = score_us;
+          ctx.exemplar = sampled;
+          options_.on_scored(ctx, request.x, result.value());
+          ObserveStage(
+              stage_observe,
+              static_cast<double>(obs::MonotonicMicros() - observe_start),
+              sampled, request.trace_id);
+        }
       }
-      latency->Observe(static_cast<double>(obs::MonotonicMicros() -
-                                           request.enqueue_micros));
+      ObserveStage(latency,
+                   static_cast<double>(obs::MonotonicMicros() -
+                                       request.enqueue_micros),
+                   sampled, request.trace_id);
+      if (tracing) {
+        collector.RecordFlowEvent("serve.request", 'f', request.trace_id);
+      }
       // Count before fulfilling the promise: a client that has observed
       // its future resolve must already be visible in requests_served().
       {

@@ -1,0 +1,101 @@
+#!/bin/bash
+# Observability-surface tests for the roicl CLI: parent-directory creation
+# for the export flags (and exit 2 naming flag + path when creation is
+# impossible), the Prometheus text exposition with exemplars, the
+# load-replay subcommand's JSON report against the committed SLO spec,
+# and a mid-serve SIGTERM flushing a metrics summary that still carries
+# the serve.* histograms (exit 128+15). Run by ctest with the build dir
+# as argument.
+set -euo pipefail
+BUILD_DIR="$1"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+CLI="$BUILD_DIR/tools/roicl"
+
+$CLI generate --dataset criteo --n 1200 --seed 1 --out $WORK/train.csv
+$CLI generate --dataset criteo --n 400 --seed 2 --out $WORK/calib.csv
+$CLI generate --dataset criteo --n 2000 --seed 3 --out $WORK/stream.csv
+$CLI train --method rdrp --train $WORK/train.csv --calib $WORK/calib.csv \
+    --epochs 3 --restarts 1 --save-pipeline $WORK/m.pipeline
+
+# --metrics-out / --metrics-prom / --trace-out create missing parent
+# directories instead of failing at exit (after the work is done).
+$CLI evaluate --pipeline $WORK/m.pipeline --data $WORK/calib.csv \
+    --metrics-out $WORK/deep/a/b/metrics.json \
+    --metrics-prom $WORK/deep/c/metrics.prom \
+    --trace-out $WORK/deep/d/trace.json > /dev/null
+[ -s $WORK/deep/a/b/metrics.json ]
+[ -s $WORK/deep/c/metrics.prom ]
+[ -s $WORK/deep/d/trace.json ]
+grep -q '"counters"' $WORK/deep/a/b/metrics.json
+grep -q '# TYPE' $WORK/deep/c/metrics.prom
+
+# An uncreatable parent (nested under a regular file) exits 2 up front,
+# naming the flag and the path — before any training/scoring runs.
+touch $WORK/blocker
+rc=0
+$CLI evaluate --pipeline $WORK/m.pipeline --data $WORK/calib.csv \
+    --metrics-out $WORK/blocker/sub/metrics.json 2>$WORK/err.txt || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "expected exit 2 for uncreatable --metrics-out parent, got $rc"
+  exit 1
+fi
+grep -q "cannot create parent directory for --metrics-out" $WORK/err.txt
+grep -qF "$WORK/blocker/sub/metrics.json" $WORK/err.txt
+rc=0
+$CLI evaluate --pipeline $WORK/m.pipeline --data $WORK/calib.csv \
+    --trace-out $WORK/blocker/sub/trace.json 2>$WORK/err.txt || rc=$?
+[ "$rc" -eq 2 ]
+grep -q "cannot create parent directory for --trace-out" $WORK/err.txt
+
+# load-replay: all five phases against the committed SLO spec, a
+# machine-readable report, exemplars in the Prometheus exposition, and
+# request flows in the trace.
+$CLI load-replay --pipeline $WORK/m.pipeline --calib $WORK/calib.csv \
+    --data $WORK/stream.csv --slo-spec $REPO_ROOT/configs/serving.slo \
+    --out $WORK/load.json --metrics-prom $WORK/load.prom \
+    --trace-out $WORK/load_trace.json > $WORK/load.txt
+for phase in baseline burst deadline_heavy oversized swap_storm; do
+  grep -q "\"phase\":\"$phase\"" $WORK/load.json
+done
+grep -q '"stages":' $WORK/load.json
+grep -q '"slo":{' $WORK/load.json
+grep -q '"slo_worst_state":"' $WORK/load.json
+grep -q '"interrupted":false' $WORK/load.json
+grep -q 'serve_stage_score_us_bucket' $WORK/load.prom
+grep -q 'trace_id=' $WORK/load.prom
+grep -q '"ph":"s"' $WORK/load_trace.json
+grep -q '"ph":"f"' $WORK/load_trace.json
+# Malformed spec: exit 2 naming the problem.
+printf 'slo x kind=bogus target=0.1 short_window=1 long_window=2\n' \
+    > $WORK/bad.slo
+rc=0
+$CLI load-replay --pipeline $WORK/m.pipeline --calib $WORK/calib.csv \
+    --data $WORK/stream.csv --slo-spec $WORK/bad.slo 2>$WORK/err.txt \
+    || rc=$?
+[ "$rc" -eq 2 ]
+grep -q "bad --slo-spec" $WORK/err.txt
+
+# SIGTERM mid-serve: the run exits 128+15, reports the interruption, and
+# the flushed metrics summary still carries the serve.* histograms.
+$CLI generate --dataset criteo --n 300000 --seed 4 --out $WORK/big.csv
+$CLI serve --pipeline $WORK/m.pipeline --data $WORK/big.csv \
+    --out $WORK/big_scores.csv --request-rows 4 \
+    2>$WORK/serve_err.txt >/dev/null & pid=$!
+sleep 3
+kill -TERM $pid 2>/dev/null || true
+rc=0
+wait $pid || rc=$?
+if [ "$rc" -ne 143 ]; then
+  echo "expected exit 143 from SIGTERM during serve, got $rc"
+  cat $WORK/serve_err.txt
+  exit 1
+fi
+grep -q "serve interrupted by signal" $WORK/serve_err.txt
+grep -q "metrics summary" $WORK/serve_err.txt
+grep -q "serve.latency_micros.p50=" $WORK/serve_err.txt
+grep -q "serve.stage.queue_us.p50=" $WORK/serve_err.txt
+grep -q "serve.stage.score_us.p50=" $WORK/serve_err.txt
+
+echo "CLI observability test passed"

@@ -121,6 +121,14 @@ void PreregisterStandardMetrics() {
 }
 EOF
 
+# check_slo_specs: a spec with an unknown kind, a window inversion, and
+# a duplicate record name.
+mkdir -p "${fixture}/configs"
+cat > "${fixture}/configs/bad.slo" <<'EOF'
+slo latency kind=p99_latency_us target=5000 short_window=64 long_window=8
+slo latency kind=made_up_kind target=0.5 short_window=8 long_window=64
+EOF
+
 # check_registry_complete: a Table-I name with no Register() call.
 mkdir -p "${fixture}/src/exp" "${fixture}/src/pipeline"
 cat > "${fixture}/src/exp/methods.h" <<'EOF'
@@ -144,6 +152,19 @@ expect_fail check_registry_complete \
   bash "${tools}/check_registry_complete.sh" "${fixture}"
 expect_fail check_metric_names \
   bash "${tools}/check_metric_names.sh" "${fixture}"
+expect_fail check_slo_specs bash "${tools}/check_slo_specs.sh" "${fixture}"
+
+# The SLO lint pinpoints the violations, not just "failed".
+slo_out=$(bash "${tools}/check_slo_specs.sh" "${fixture}" 2>&1 || true)
+for needle in "unknown kind made_up_kind" "long_window must exceed" \
+    "duplicate slo name latency"; do
+  if grep -q "${needle}" <<<"${slo_out}"; then
+    echo "ok: check_slo_specs reports '${needle}'"
+  else
+    echo "FAIL: check_slo_specs did not report '${needle}'"
+    status=1
+  fi
+done
 
 # The metric lint names the unregistered metric, not just "failed".
 metric_out=$(bash "${tools}/check_metric_names.sh" "${fixture}" 2>&1 || true)
@@ -186,5 +207,6 @@ expect_pass check_registry_complete \
   bash "${tools}/check_registry_complete.sh" "${repo_root}"
 expect_pass check_metric_names \
   bash "${tools}/check_metric_names.sh" "${repo_root}"
+expect_pass check_slo_specs bash "${tools}/check_slo_specs.sh" "${repo_root}"
 
 exit "${status}"

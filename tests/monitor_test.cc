@@ -436,7 +436,8 @@ TEST(ServingMonitor, ConcurrentObserveOutcomesAndRecalibrateAreRaceFree) {
   auto hook = std::make_shared<std::atomic<ServingMonitor*>>(nullptr);
   pipeline::ServiceOptions service_options;
   service_options.engine.num_threads = 2;
-  service_options.on_scored = [hook](const Matrix& x,
+  service_options.on_scored = [hook](const pipeline::ServeContext&,
+                                     const Matrix& x,
                                      const std::vector<double>& scores) {
     ServingMonitor* monitor = hook->load();
     if (monitor != nullptr) monitor->ObserveScored(x, scores);

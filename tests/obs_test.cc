@@ -21,6 +21,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pipeline/service.h"
 
 namespace roicl::obs {
 namespace {
@@ -599,6 +600,139 @@ TEST(TraceTest, ChromeJsonRoundTrips) {
   EXPECT_TRUE(ParseJson(buffer.str(), &from_file));
   std::remove(path.c_str());
   collector.Clear();
+}
+
+TEST(TraceTest, FlowEventsCarryCategoryIdAndBindingPoint) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Clear();
+  collector.SetEnabled(false);
+  collector.RecordFlowEvent("ignored", 's', 1);
+  EXPECT_EQ(collector.size(), 0u) << "flow events are free when disabled";
+
+  collector.SetEnabled(true);
+  collector.RecordFlowEvent("serve.request", 's', 42);
+  collector.RecordFlowEvent("serve.request", 't', 42);
+  collector.RecordFlowEvent("serve.request", 'f', 42);
+  collector.SetEnabled(false);
+
+  JsonValue trace;
+  ASSERT_TRUE(ParseJson(collector.ToChromeJson(), &trace));
+  ASSERT_TRUE(trace.is_array());
+  ASSERT_EQ(trace.array().size(), 3u);
+  std::string phases;
+  for (const JsonValue& event : trace.array()) {
+    phases += event.At("ph").string();
+    // Chrome binds flow arrows by (cat, id); a missing cat silently
+    // detaches every arrow, so pin the exact fields.
+    EXPECT_EQ(event.At("cat").string(), "flow");
+    EXPECT_DOUBLE_EQ(event.At("id").number(), 42.0);
+    EXPECT_FALSE(event.Has("dur")) << "flow events carry no duration";
+    if (event.At("ph").string() == "f") {
+      EXPECT_EQ(event.At("bp").string(), "e");
+    } else {
+      EXPECT_FALSE(event.Has("bp"));
+    }
+  }
+  EXPECT_EQ(phases, "stf") << "export must preserve record order";
+  collector.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Exemplars and Prometheus exposition
+
+TEST(ExemplarTest, MaxKeepingRetentionWithTraceIdTieBreak) {
+  Histogram histogram({10.0, 100.0});
+  histogram.ObserveWithExemplar(5.0, 11);
+  histogram.ObserveWithExemplar(7.0, 3);    // larger value evicts trace 11
+  histogram.ObserveWithExemplar(7.0, 9);    // value tie: larger id wins
+  histogram.ObserveWithExemplar(250.0, 21);  // lands in the overflow slot
+  std::vector<Exemplar> exemplars = histogram.Exemplars();
+  ASSERT_EQ(exemplars.size(), 3u);
+  ASSERT_TRUE(exemplars[0].valid);
+  EXPECT_DOUBLE_EQ(exemplars[0].value, 7.0);
+  EXPECT_EQ(exemplars[0].trace_id, 9u);
+  EXPECT_FALSE(exemplars[1].valid) << "no observation in (10, 100]";
+  ASSERT_TRUE(exemplars[2].valid);
+  EXPECT_EQ(exemplars[2].trace_id, 21u);
+  EXPECT_EQ(histogram.count(), 4u)
+      << "the exemplar path must still count as a plain observation";
+  histogram.Reset();
+  for (const Exemplar& exemplar : histogram.Exemplars()) {
+    EXPECT_FALSE(exemplar.valid);
+  }
+}
+
+TEST(ExemplarTest, SampledSetIsThreadCountInvariant) {
+  // The serving path samples exemplars with a counter RNG keyed on
+  // (seed, trace_id) and the histogram retains per-bucket maxima; both
+  // are pure functions of the request stream, so replaying the same
+  // stream at different parallelism must surface identical exemplar
+  // trace IDs (ISSUE: determinism at thread counts {1, 8}).
+  constexpr int kRequests = 4096;
+  const pipeline::ExemplarSampler sampler{/*seed=*/17, /*rate=*/0.05};
+  auto value_of = [](uint64_t trace_id) {
+    return static_cast<double>((trace_id * 9973) % 100000) + 0.5;
+  };
+  std::vector<std::vector<uint64_t>> runs;
+  for (int threads : {1, 8}) {
+    Histogram histogram(LatencyMicrosBuckets());
+    ThreadPool pool(threads);
+    pool.ParallelFor(0, kRequests, [&](int i) {
+      uint64_t trace_id = static_cast<uint64_t>(i) + 1;
+      double value = value_of(trace_id);
+      if (sampler.Sample(trace_id)) {
+        histogram.ObserveWithExemplar(value, trace_id);
+      } else {
+        histogram.Observe(value);
+      }
+    });
+    std::vector<uint64_t> ids;
+    for (const Exemplar& exemplar : histogram.Exemplars()) {
+      ids.push_back(exemplar.valid ? exemplar.trace_id : 0);
+    }
+    runs.push_back(std::move(ids));
+  }
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], runs[1])
+      << "exemplar trace IDs must not depend on thread interleaving";
+  int valid = 0;
+  for (uint64_t id : runs[0]) valid += id != 0 ? 1 : 0;
+  EXPECT_GT(valid, 0) << "sampling rate too low to exercise retention";
+}
+
+TEST(ExemplarTest, SamplerRateZeroNeverSamples) {
+  const pipeline::ExemplarSampler off{/*seed=*/17, /*rate=*/0.0};
+  for (uint64_t id = 1; id <= 100; ++id) EXPECT_FALSE(off.Sample(id));
+}
+
+TEST(PrometheusTest, TextExpositionCarriesTypesBucketsAndExemplars) {
+  MetricsRegistry registry;  // local: keep the global registry pristine
+  registry.GetCounter("prom.test-counter")->Increment(3);
+  registry.GetGauge("prom.test_gauge")->Set(1.5);
+  Histogram* histogram =
+      registry.GetHistogram("prom.test_hist", {10.0, 100.0});
+  histogram->Observe(5.0);
+  histogram->Observe(50.0);
+  histogram->ObserveWithExemplar(75.0, 42);
+
+  std::string text = registry.PrometheusText();
+  // Names are sanitized ('.' and '-' become '_') and typed.
+  EXPECT_NE(text.find("# TYPE prom_test_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_test_counter 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_test_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_gauge 1.5\n"), std::string::npos);
+  // Histogram buckets are cumulative with a +Inf catch-all, and the
+  // sampled bucket carries its OpenMetrics exemplar suffix.
+  EXPECT_NE(text.find("prom_test_hist_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("prom_test_hist_bucket{le=\"100\"} 3 # {trace_id=\"42\"} 75\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("prom_test_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_test_hist_sum 130\n"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_hist_count 3\n"), std::string::npos);
 }
 
 TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {

@@ -5,15 +5,20 @@
 #   BENCH_predict.json  batched forward + parallel MC dropout
 #   BENCH_serve.json    ScoringService end-to-end throughput
 #   BENCH_monitor.json  drift-monitor ingest + rolling recalibration
+#   BENCH_load.json     load-replay adversarial-traffic report (not a
+#                       Google Benchmark: the harness's own JSON, with
+#                       phase latencies, the serve.stage.* breakdown,
+#                       exemplar trace IDs, and the SLO verdict)
 #
 # Usage: bench_to_json.sh <build dir> [predict json] [serve json]
-#        [monitor json]
+#        [monitor json] [load json]
 set -euo pipefail
 
-build_dir=${1:?usage: bench_to_json.sh <build dir> [predict json] [serve json] [monitor json]}
+build_dir=${1:?usage: bench_to_json.sh <build dir> [predict json] [serve json] [monitor json] [load json]}
 predict_out=${2:-"$(dirname "$0")/../BENCH_predict.json"}
 serve_out=${3:-"$(dirname "$0")/../BENCH_serve.json"}
 monitor_out=${4:-"$(dirname "$0")/../BENCH_monitor.json"}
+load_out=${5:-"$(dirname "$0")/../BENCH_load.json"}
 
 bench="${build_dir}/bench/bench_micro"
 if [[ ! -x "${bench}" ]]; then
@@ -41,3 +46,26 @@ echo "wrote ${serve_out}"
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${monitor_out}"
 echo "wrote ${monitor_out}"
+
+# BENCH_load.json: the canonical load-replay run — synth Criteo traffic,
+# a small rDRP pipeline, and the committed configs/serving.slo. Seeds are
+# pinned so the report reproduces (see EXPERIMENTS.md, "Replay
+# adversarial load").
+cli="${build_dir}/tools/roicl"
+if [[ ! -x "${cli}" ]]; then
+  echo "roicl CLI not built at ${cli}" >&2
+  exit 1
+fi
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+work=$(mktemp -d)
+trap 'rm -rf "${work}"' EXIT
+"${cli}" generate --dataset criteo --n 4000 --seed 1 --out "${work}/train.csv"
+"${cli}" generate --dataset criteo --n 1500 --seed 2 --out "${work}/calib.csv"
+"${cli}" generate --dataset criteo --n 2000 --seed 3 --out "${work}/stream.csv"
+"${cli}" train --method rdrp --train "${work}/train.csv" \
+  --calib "${work}/calib.csv" --epochs 3 --restarts 1 \
+  --save-pipeline "${work}/m.pipeline"
+"${cli}" load-replay --pipeline "${work}/m.pipeline" \
+  --calib "${work}/calib.csv" --data "${work}/stream.csv" \
+  --slo-spec "${repo_root}/configs/serving.slo" --out "${load_out}"
+echo "wrote ${load_out}"

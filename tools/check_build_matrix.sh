@@ -38,6 +38,11 @@ monitor_smoke_filter='ReferenceDistribution.*:DriftStatistics.*'
 monitor_smoke_filter+=':WindowCounts.*:DriftDetector.*'
 monitor_smoke_filter+=':CoverageTracker.*:AdaptiveAlpha.*'
 
+# Load-replay smoke: one small rDRP training, then the harness spins up
+# the full service + monitor + SLO stack and is cancelled at the first
+# poll — the cheapest row that still drives the serving path end to end.
+load_replay_smoke_filter='LoadReplayTest.CancellationStopsEarly*'
+
 declare -A result
 status=0
 for config in "${configs[@]}"; do
@@ -48,7 +53,9 @@ for config in "${configs[@]}"; do
   if cmake -S "${repo_root}" -B "${tree}" ${args} >/dev/null &&
       cmake --build "${tree}" -j "$(nproc)" >/dev/null 2>&1 &&
       "${tree}/tests/monitor_test" \
-        --gtest_filter="${monitor_smoke_filter}" >/dev/null 2>&1; then
+        --gtest_filter="${monitor_smoke_filter}" >/dev/null 2>&1 &&
+      "${tree}/tests/load_replay_test" \
+        --gtest_filter="${load_replay_smoke_filter}" >/dev/null 2>&1; then
     result[${config}]=PASS
   else
     result[${config}]=FAIL

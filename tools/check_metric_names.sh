@@ -57,6 +57,21 @@ while IFS= read -r name; do
   fi
 done <<<"${used}"
 
+# Family guards: the per-stage serving histograms and the SLO-engine
+# metrics are load-bearing — load-replay reads serve.stage.* back out of
+# the registry for its breakdown and the SLO verdict surfaces through
+# slo.*. A rename or removal must fail here, not as an empty BENCH column.
+for member in \
+    serve.stage.queue_us serve.stage.assemble_us serve.stage.score_us \
+    serve.stage.conformal_us serve.stage.observe_us \
+    slo.events slo.warn_transitions slo.breach_transitions \
+    slo.worst_state; do
+  if ! grep -qFx "${member}" <<<"${used}"; then
+    echo "src/: expected metric family member '${member}' is no longer minted anywhere"
+    status=1
+  fi
+done
+
 if [ "${status}" -eq 0 ]; then
   echo "all ${used_count} src/ metric names are preregistered"
 fi

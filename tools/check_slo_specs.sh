@@ -1,0 +1,119 @@
+#!/bin/bash
+# SLO-spec lint: every *.slo file in the tree must parse under the grammar
+# that src/obs/slo.cc enforces at runtime (`slo <name> key=value ...`, one
+# record per line, `#` comments). The CLI only loads the spec the user
+# passes via --slo-spec, so a typo in a committed spec would otherwise sit
+# unnoticed until someone replays with it and gets exit 2 at the worst
+# time. Checked per record: known keys only, a valid kind, a target in
+# range for that kind, integer windows with long > short, and
+# 0 < warn_burn <= breach_burn. Duplicate record names within a file are
+# rejected too (SloEngine keys its trackers by name).
+#
+# Usage: check_slo_specs.sh <repo root>; exits non-zero on violations.
+set -euo pipefail
+cd "${1:?usage: check_slo_specs.sh <repo root>}"
+
+specs=$(find . -name '*.slo' -not -path './build*/*' -not -path './.git/*' \
+  | sort)
+if [ -z "${specs}" ]; then
+  echo "no *.slo files found (spec lint cannot run — configs/ renamed?)"
+  exit 1
+fi
+
+status=0
+while IFS= read -r file; do
+  if ! awk '
+    BEGIN { req[1] = "kind"; req[2] = "target"
+            req[3] = "short_window"; req[4] = "long_window" }
+    /^[[:space:]]*(#|$)/ { next }
+    {
+      records++
+      if ($1 != "slo" || NF < 3) {
+        printf "%s:%d: expected `slo <name> key=value ...`\n", FILENAME, FNR
+        bad = 1; next
+      }
+      name = $2
+      if (name !~ /^[A-Za-z_][A-Za-z0-9_]*$/) {
+        printf "%s:%d: bad slo name %s\n", FILENAME, FNR, name; bad = 1
+      }
+      if (seen[name]++) {
+        printf "%s:%d: duplicate slo name %s\n", FILENAME, FNR, name; bad = 1
+      }
+      delete have
+      for (i = 3; i <= NF; i++) {
+        if (split($i, kv, "=") != 2 || kv[2] == "") {
+          printf "%s:%d: malformed token %s\n", FILENAME, FNR, $i
+          bad = 1; continue
+        }
+        k = kv[1]; v = kv[2]
+        if (k !~ /^(kind|target|short_window|long_window|warn_burn|breach_burn)$/) {
+          printf "%s:%d: unknown key %s\n", FILENAME, FNR, k; bad = 1; continue
+        }
+        if (k in have) {
+          printf "%s:%d: duplicate key %s\n", FILENAME, FNR, k; bad = 1
+        }
+        have[k] = v
+        if (k != "kind" && v !~ /^-?[0-9]+([.][0-9]+)?$/) {
+          printf "%s:%d: %s=%s is not a number\n", FILENAME, FNR, k, v
+          bad = 1
+        }
+      }
+      for (r in req) if (!(req[r] in have)) {
+        printf "%s:%d: missing required key %s\n", FILENAME, FNR, req[r]
+        bad = 1
+      }
+      if (("kind" in have) && \
+          have["kind"] !~ /^(p99_latency_us|reject_rate|coverage_floor|drift_alert_budget)$/) {
+        printf "%s:%d: unknown kind %s\n", FILENAME, FNR, have["kind"]
+        bad = 1
+      } else if (("kind" in have) && ("target" in have)) {
+        t = have["target"] + 0
+        kind = have["kind"]
+        if (kind == "p99_latency_us" && t <= 0) {
+          printf "%s:%d: p99_latency_us target must be > 0\n", FILENAME, FNR
+          bad = 1
+        }
+        if (kind != "p99_latency_us" && (t <= 0 || t >= 1)) {
+          printf "%s:%d: %s target must be in (0, 1)\n", FILENAME, FNR, kind
+          bad = 1
+        }
+      }
+      if (("short_window" in have) && \
+          (have["short_window"] !~ /^[0-9]+$/ || have["short_window"] + 0 < 1)) {
+        printf "%s:%d: short_window must be an integer >= 1\n", FILENAME, FNR
+        bad = 1
+      }
+      if (("long_window" in have) && have["long_window"] !~ /^[0-9]+$/) {
+        printf "%s:%d: long_window must be an integer\n", FILENAME, FNR
+        bad = 1
+      }
+      if (("short_window" in have) && ("long_window" in have) && \
+          have["long_window"] + 0 <= have["short_window"] + 0) {
+        printf "%s:%d: long_window must exceed short_window\n", FILENAME, FNR
+        bad = 1
+      }
+      if (("warn_burn" in have) && have["warn_burn"] + 0 <= 0) {
+        printf "%s:%d: warn_burn must be > 0\n", FILENAME, FNR; bad = 1
+      }
+      if (("warn_burn" in have) && ("breach_burn" in have) && \
+          have["breach_burn"] + 0 < have["warn_burn"] + 0) {
+        printf "%s:%d: breach_burn must be >= warn_burn\n", FILENAME, FNR
+        bad = 1
+      }
+    }
+    END {
+      if (records == 0) {
+        printf "%s: no slo records (empty spec)\n", FILENAME; bad = 1
+      }
+      exit bad
+    }
+  ' "${file}"; then
+    status=1
+  fi
+done <<<"${specs}"
+
+if [ "${status}" -eq 0 ]; then
+  count=$(grep -c . <<<"${specs}")
+  echo "all ${count} *.slo files parse cleanly"
+fi
+exit "${status}"

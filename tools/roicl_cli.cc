@@ -20,6 +20,16 @@
 //             detects the drift and recalibrates q_hat online. Prints the
 //             per-batch drift/coverage/q_hat trace plus the detection
 //             latency and the coverage before/after recalibration.
+//   load-replay
+//             drive a live ScoringService + ServingMonitor through
+//             adversarial traffic phases (baseline, queue-overflow
+//             bursts, deadline-heavy mixes, oversized batches, a racing
+//             conformal-quantile swap storm) with an SLO engine watching
+//             (--slo-spec FILE). Prints per-phase latency percentiles
+//             and reject rates; --out FILE writes the full JSON report
+//             (latency percentiles, per-stage serve.stage.* breakdown,
+//             exemplar trace IDs, SLO verdicts) — the BENCH_load.json
+//             producer.
 //
 // Every model is constructed through pipeline::ScorerRegistry — there is
 // no per-method construction chain here; `roicl methods` shows the names.
@@ -46,11 +56,20 @@
 //                       ROICL_LOG_LEVEL env var wins when set)
 //   --log-json FILE     mirror log records to FILE as JSON lines
 //   --metrics-out FILE  write the metrics-registry snapshot JSON on exit
+//   --metrics-prom FILE write the Prometheus text exposition on exit
 //   --trace-out FILE    collect trace spans, write chrome://tracing JSON
+//
+// Output-path parent directories are created on startup; an uncreatable
+// parent exits 2 naming the path. SIGINT/SIGTERM interrupt serve and
+// load-replay cleanly: in-flight loops drain, the metrics summary and
+// every --*-out file are still written, and the process exits 128+sig.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <map>
@@ -69,9 +88,11 @@
 #include "exp/datasets.h"
 #include "metrics/cost_curve.h"
 #include "metrics/qini.h"
+#include "monitor/load_replay.h"
 #include "monitor/replay.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/registry.h"
@@ -87,6 +108,24 @@
 using namespace roicl;
 
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; long-running loops (serve,
+/// load-replay) poll it and drain early so FinishObservability still
+/// flushes the serve.* histograms and every --*-out file. Plain atomics:
+/// both are lock-free on every supported target, making the handler
+/// async-signal-safe.
+std::atomic<bool> g_interrupted{false};
+std::atomic<int> g_signal{0};
+
+void HandleSignal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+void InstallSignalHandlers() {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+}
 
 /// Minimal --flag value parser; flags without values are booleans.
 class Flags {
@@ -152,7 +191,7 @@ class Flags {
 /// for. Unknown subcommands fall through to the usage text in RunCommand.
 void RejectUnknownFlags(const std::string& command, const Flags& flags) {
   static const std::set<std::string> kObservability = {
-      "log-level", "log-json", "metrics-out", "trace-out"};
+      "log-level", "log-json", "metrics-out", "metrics-prom", "trace-out"};
   static const std::set<std::string> kEngine = {"batch-size", "threads"};
   // Commands that construct scorers accept the full hyperparam block
   // (HyperparamsFromFlags), which subsumes the engine knobs.
@@ -178,11 +217,17 @@ void RejectUnknownFlags(const std::string& command, const Flags& flags) {
         "drift-bins", "psi-threshold", "ks-threshold", "min-window",
         "feedback-window", "min-labeled", "aci-gamma", "coverage-window",
         "coverage-slack", "recalibrate-every"}},
+      {"load-replay",
+       {"pipeline", "calib", "data", "out", "slo-spec", "requests",
+        "request-rows", "client-threads", "burst-factor",
+        "tight-deadline-micros", "oversized-factor", "swap-storm-swaps",
+        "feedback-rows", "seed", "max-batch", "max-queue", "window-rows",
+        "exemplar-rate", "exemplar-seed", "shadow-interval-every"}},
   };
   static const std::set<std::string> kHyperCommands = {
       "train", "predict", "evaluate", "allocate"};
   static const std::set<std::string> kEngineCommands = {
-      "score", "serve", "monitor-replay"};
+      "score", "serve", "monitor-replay", "load-replay"};
   auto it = kPerCommand.find(command);
   if (it == kPerCommand.end()) return;
   for (const std::string& key : flags.Keys()) {
@@ -235,7 +280,8 @@ void PreregisterStandardMetrics() {
         "serve.requests", "serve.rejected", "serve.deadline_exceeded",
         "serve.errors", "conformal.qhat_infinite", "monitor.windows",
         "monitor.drift_triggers", "monitor.recalibrations",
-        "monitor.coverage_alerts", "monitor.outcomes"}) {
+        "monitor.coverage_alerts", "monitor.outcomes", "slo.events",
+        "slo.warn_transitions", "slo.breach_transitions"}) {
     registry.GetCounter(name);
   }
   for (const char* name :
@@ -244,10 +290,11 @@ void PreregisterStandardMetrics() {
         "mc_dropout.samples_per_sec", "exp.predict_samples_per_sec",
         "roi_star.iterations", "roi_star.bracket_width",
         "allocate.budget_used_frac", "allocate.selected",
-        "threadpool.queue_depth", "serve.queue_depth", "monitor.coverage",
+        "threadpool.queue_depth", "serve.queue_depth",
+        "serve.interval_width", "monitor.coverage",
         "monitor.q_hat_before", "monitor.q_hat_after",
         "monitor.roi_star_window", "monitor.alpha_effective",
-        "monitor.max_psi", "monitor.max_ks"}) {
+        "monitor.max_psi", "monitor.max_ks", "slo.worst_state"}) {
     registry.GetGauge(name);
   }
   registry.GetHistogram("conformal.score", obs::ConformalScoreBuckets());
@@ -258,12 +305,39 @@ void PreregisterStandardMetrics() {
   registry.GetHistogram("serve.batch_occupancy",
                         {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
   registry.GetHistogram("serve.latency_micros", obs::LatencyMicrosBuckets());
+  registry.GetHistogram("serve.stage.queue_us", obs::LatencyMicrosBuckets());
+  registry.GetHistogram("serve.stage.assemble_us",
+                        obs::LatencyMicrosBuckets());
+  registry.GetHistogram("serve.stage.score_us", obs::LatencyMicrosBuckets());
+  registry.GetHistogram("serve.stage.conformal_us",
+                        obs::LatencyMicrosBuckets());
+  registry.GetHistogram("serve.stage.observe_us",
+                        obs::LatencyMicrosBuckets());
   registry.GetHistogram("monitor.update_us", obs::LatencyMicrosBuckets());
   registry.GetHistogram("monitor.recalibrate_us",
                         obs::LatencyMicrosBuckets());
 }
 
+/// Creates the parent directory of an output path up front. A typo'd
+/// directory must fail at startup naming the path — not at exit, after
+/// the work, with the artifact silently missing.
+void EnsureParentDirOrDie(const std::string& path, const char* flag) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create parent directory for --%s %s: %s\n",
+                 flag, path.c_str(), ec.message().c_str());
+    std::exit(2);
+  }
+}
+
 void SetupObservability(const Flags& flags) {
+  for (const char* flag :
+       {"metrics-out", "metrics-prom", "trace-out", "log-json"}) {
+    if (flags.Has(flag)) EnsureParentDirOrDie(flags.Get(flag), flag);
+  }
   obs::Logger& logger = obs::Logger::Global();
   std::string level_text = flags.Get("log-level");
   if (!level_text.empty()) {
@@ -326,6 +400,14 @@ void FinishObservability(const Flags& flags) {
       obs::Info("wrote metrics snapshot", {{"path", path}});
     } else {
       obs::Error("cannot write metrics snapshot", {{"path", path}});
+    }
+  }
+  if (flags.Has("metrics-prom")) {
+    std::string path = flags.Get("metrics-prom");
+    if (registry.WritePrometheusText(path)) {
+      obs::Info("wrote prometheus exposition", {{"path", path}});
+    } else {
+      obs::Error("cannot write prometheus exposition", {{"path", path}});
     }
   }
   if (flags.Has("trace-out")) {
@@ -640,15 +722,22 @@ int CmdServe(const Flags& flags) {
   // any split reproduces the in-process scores bit for bit.
   std::vector<std::future<StatusOr<std::vector<double>>>> futures;
   for (int start = 0; start < data.x.rows(); start += request_rows) {
+    if (g_interrupted.load(std::memory_order_relaxed)) break;
     int end = std::min(start + request_rows, data.x.rows());
     std::vector<int> rows(AsSize(end - start));
     std::iota(rows.begin(), rows.end(), start);
     futures.push_back(service.Submit(data.x.SelectRows(rows)));
   }
 
+  // On SIGINT/SIGTERM the drain stops early: the partial CSV is still
+  // written, and — because we return through FinishObservability rather
+  // than dying in the loop — the exit metrics summary carries the
+  // serve.* histograms for everything scored so far.
   ScoredBatch scored;
   scored.scores.reserve(AsSize(data.n()));
+  size_t drained = 0;
   for (auto& future : futures) {
+    if (g_interrupted.load(std::memory_order_relaxed)) break;
     StatusOr<std::vector<double>> result = future.get();
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -656,10 +745,115 @@ int CmdServe(const Flags& flags) {
     }
     const std::vector<double>& chunk = result.value();
     scored.scores.insert(scored.scores.end(), chunk.begin(), chunk.end());
+    ++drained;
   }
   if (int rc = WriteScoresCsv(out_path, scored); rc != 0) return rc;
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    obs::Warn("serve interrupted by signal; partial results flushed",
+              {{"signal", g_signal.load()},
+               {"requests_drained", AsInt(drained)},
+               {"requests_submitted", AsInt(futures.size())}});
+  }
   std::printf("served %zu requests (%d rows, <=%d rows each) -> %s\n",
-              futures.size(), data.n(), request_rows, out_path.c_str());
+              drained, data.n(), request_rows, out_path.c_str());
+  return 0;
+}
+
+int CmdLoadReplay(const Flags& flags) {
+  pipeline::Pipeline loaded = LoadPipelineOrDie(flags.Require("pipeline"));
+  RctDataset calib = LoadCsvOrDie(flags.Require("calib"));
+  RctDataset stream = LoadCsvOrDie(flags.Require("data"));
+
+  monitor::LoadReplayOptions options;
+  options.requests_per_phase = flags.GetInt("requests", 64);
+  options.rows_per_request = flags.GetInt("request-rows", 32);
+  options.client_threads = flags.GetInt("client-threads", 2);
+  options.burst_factor = flags.GetInt("burst-factor", options.burst_factor);
+  options.tight_deadline_micros =
+      flags.GetInt("tight-deadline-micros",
+                   static_cast<int>(options.tight_deadline_micros));
+  options.oversized_factor = flags.GetInt("oversized-factor", 32);
+  options.swap_storm_swaps =
+      flags.GetInt("swap-storm-swaps", options.swap_storm_swaps);
+  options.feedback_rows = flags.GetInt("feedback-rows", 256);
+  options.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int>(options.seed)));
+  options.monitor.window_rows = static_cast<uint64_t>(flags.GetInt(
+      "window-rows", static_cast<int>(options.monitor.window_rows)));
+  options.monitor.engine = BatchOptionsFromFlags(flags);
+  options.service.engine = options.monitor.engine;
+  options.service.max_batch_requests = flags.GetInt("max-batch", 8);
+  // The default queue is deliberately small: the burst phase must
+  // overflow it, or the reject-rate SLO has nothing to measure.
+  options.service.max_queue = flags.GetInt("max-queue", 64);
+  options.service.exemplar_seed = static_cast<uint64_t>(flags.GetInt(
+      "exemplar-seed", static_cast<int>(options.service.exemplar_seed)));
+  options.service.exemplar_rate =
+      flags.GetDouble("exemplar-rate", options.service.exemplar_rate);
+  options.service.shadow_interval_every =
+      flags.GetInt("shadow-interval-every", 7);
+  if (flags.Has("slo-spec")) {
+    std::string error;
+    if (!obs::LoadSloSpecs(flags.Get("slo-spec"), &options.slos, &error)) {
+      std::fprintf(stderr, "bad --slo-spec %s: %s\n",
+                   flags.Get("slo-spec").c_str(), error.c_str());
+      return 2;
+    }
+  }
+  options.cancelled = [] {
+    return g_interrupted.load(std::memory_order_relaxed);
+  };
+
+  StatusOr<monitor::LoadReplayResult> replayed = monitor::RunLoadReplay(
+      std::move(loaded), calib, stream, options);
+  if (!replayed.ok()) {
+    std::fprintf(stderr, "%s\n", replayed.status().ToString().c_str());
+    return 1;
+  }
+  const monitor::LoadReplayResult& result = replayed.value();
+
+  std::printf(
+      "phase            sub    ok   rej   ddl  err    p50_us    p95_us"
+      "    p99_us\n");
+  for (const monitor::LoadPhaseStat& stat : result.phases) {
+    std::printf("%-14s %5d %5d %5d %5d %4d %9.0f %9.0f %9.0f\n",
+                stat.phase.c_str(), stat.submitted, stat.ok, stat.rejected,
+                stat.deadline_exceeded, stat.errors, stat.p50_us,
+                stat.p95_us, stat.p99_us);
+  }
+  std::printf("stage breakdown      :");
+  for (const monitor::StageBreakdown& stage : result.stages) {
+    std::printf(" %s p99=%.0fus", stage.stage.c_str(), stage.p99_us);
+  }
+  std::printf("\n");
+  std::printf("reject rate          : %.4f (%d of %d)\n",
+              result.reject_rate, result.total_rejected,
+              result.total_submitted);
+  std::printf("latency p50/p95/p99  : %.0f / %.0f / %.0f us\n",
+              result.p50_us, result.p95_us, result.p99_us);
+  std::printf("quantile swaps raced : %d\n", result.quantile_swaps);
+  std::printf("slo worst state      : %s\n",
+              result.slo_worst_state.c_str());
+  if (result.interrupted) {
+    std::printf("interrupted          : yes (signal %d)\n",
+                g_signal.load());
+  }
+
+  if (flags.Has("out")) {
+    std::string out_path = flags.Get("out");
+    EnsureParentDirOrDie(out_path, "out");
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << result.ToJson() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
   return 0;
 }
 
@@ -797,7 +991,7 @@ void PrintUsage() {
   std::fputs(
       "usage: roicl "
       "<generate|methods|train|predict|score|serve|evaluate|allocate"
-      "|monitor-replay> [--flags]\n"
+      "|monitor-replay|load-replay> [--flags]\n"
       "run with a subcommand and no flags to see its required arguments\n"
       "train once, serve many:\n"
       "  train --method NAME --train CSV [--calib CSV] "
@@ -807,9 +1001,12 @@ void PrintUsage() {
       "  monitor-replay --pipeline FILE --calib CSV --data CSV\n"
       "      [--shift-at N --shift-gamma G --window-rows N "
       "--num-batches N]\n"
+      "  load-replay --pipeline FILE --calib CSV --data CSV\n"
+      "      [--slo-spec FILE --out JSON --requests N --max-queue N]\n"
       "`roicl methods` lists every registered method name\n"
       "observability flags (any subcommand): --log-level LEVEL, "
-      "--log-json FILE, --metrics-out FILE, --trace-out FILE\n"
+      "--log-json FILE, --metrics-out FILE, --metrics-prom FILE, "
+      "--trace-out FILE\n"
       "prediction engine flags: --batch-size N (default 256), --threads N "
       "(0 = shared pool, 1 = serial; results are identical either way)\n",
       stderr);
@@ -826,6 +1023,7 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "allocate") return CmdAllocate(flags);
   if (command == "monitor-replay") return CmdMonitorReplay(flags);
+  if (command == "load-replay") return CmdLoadReplay(flags);
   PrintUsage();
   return 2;
 }
@@ -842,7 +1040,13 @@ int main(int argc, char** argv) {
   RejectUnknownFlags(command, flags);
   ValidateFlagRanges(flags);
   SetupObservability(flags);
+  InstallSignalHandlers();
   int exit_code = RunCommand(command, flags);
   FinishObservability(flags);
+  // Conventional 128+sig exit after the observability flush — scripts
+  // see the interruption, but the metrics/trace files are intact.
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    return 128 + g_signal.load(std::memory_order_relaxed);
+  }
   return exit_code;
 }

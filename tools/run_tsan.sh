@@ -20,8 +20,11 @@ build_dir=${2:-"${repo_root}/build-tsan"}
 #   scoring_service_test  ScoringService queue/dispatcher/shutdown,
 #                         atomic q_hat swap racing live Submits
 #   monitor_test          ServingMonitor mutex + outcome/recalibrate races
+#   load_replay_test      adversarial replay: open-loop client threads,
+#                         exemplar slots, SLO engine, and the swap_storm
+#                         phase racing SetConformalQuantile mid-flight
 tsan_tests=(common_misc_test obs_test determinism_test
-            scoring_service_test monitor_test)
+            scoring_service_test monitor_test load_replay_test)
 
 cmake -S "${repo_root}" -B "${build_dir}" -DROICL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
