@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <future>
 #include <numeric>
 #include <sstream>
@@ -16,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "alloc/row_source.h"
+#include "alloc/streaming.h"
 #include "common/macros.h"
 #include "common/stats.h"
 #include "core/drp_model.h"
@@ -156,6 +159,46 @@ void BM_GreedyAllocate(benchmark::State& state) {
         core::GreedyAllocate(roi, cost, 0.2 * n, true));
   }
   state.SetComplexityN(n);
+}
+
+// Planet-scale allocation: Arg(0) is the row count, Arg(1) the mode
+// (0 = greedy frontier merge, 1 = dual threshold). The synthetic
+// population is a pure function of (seed, index) — no materialization —
+// and the whole allocation runs inside a hard 64 MiB accounted cap,
+// where the in-memory reference would need ~229 MiB for the raw arrays
+// alone at 10M rows. Config mirrors EXPERIMENTS.md ("Streaming
+// allocation at 10M rows"): pinned seed, 8 shards, budget 0.2% of
+// all-in spend.
+void BM_StreamingAllocate(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const uint64_t seed = 20240942;
+  alloc::SyntheticRowSource source(rows, seed, /*chunk_rows=*/65536);
+  StatusOr<double> total = alloc::StreamingTotalCost(&source);
+  ROICL_CHECK(total.ok());
+  double budget = 0.002 * total.value();
+  alloc::StreamingOptions options;
+  options.mode = state.range(1) == 0 ? alloc::AllocMode::kGreedy
+                                     : alloc::AllocMode::kDual;
+  options.num_shards = 8;
+  options.memory_cap_bytes = size_t{64} << 20;
+  size_t peak = 0;
+  int64_t selected = 0;
+  for (auto _ : state) {
+    StatusOr<alloc::StreamingResult> result =
+        alloc::StreamingAllocate(&source, budget, options);
+    ROICL_CHECK(result.ok());
+    ROICL_CHECK(result.value().peak_memory_bytes <=
+                options.memory_cap_bytes);
+    peak = std::max(peak, result.value().peak_memory_bytes);
+    selected = static_cast<int64_t>(result.value().selected.size());
+    benchmark::DoNotOptimize(result.value().spent);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["peak_mib"] =
+      static_cast<double>(peak) / (1024.0 * 1024.0);
+  state.counters["cap_mib"] =
+      static_cast<double>(options.memory_cap_bytes) / (1024.0 * 1024.0);
+  state.counters["selected"] = static_cast<double>(selected);
 }
 
 void BM_DrpTrainEpoch(benchmark::State& state) {
@@ -381,6 +424,11 @@ BENCHMARK(BM_GreedyAllocate)
     ->Arg(100000)
     ->Complexity(benchmark::oNLogN)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StreamingAllocate)
+    ->Args({1000000, 0})
+    ->Args({10000000, 0})   // the acceptance row: >= 10M users, 64 MiB cap
+    ->Args({10000000, 1})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DrpTrainEpoch)
     ->Arg(2000)
     ->Arg(8000)

@@ -1,0 +1,79 @@
+#include "alloc/row_source.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace roicl::alloc {
+namespace {
+
+/// Maps 64 random bits to a double in [0, 1) with the standard 53-bit
+/// mantissa construction.
+double UnitDouble(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+VectorRowSource::VectorRowSource(std::vector<double> roi,
+                                 std::vector<double> cost, int chunk_rows)
+    : roi_(std::move(roi)),
+      cost_(std::move(cost)),
+      chunk_rows_(chunk_rows) {
+  ROICL_CHECK(roi_.size() == cost_.size());
+  ROICL_CHECK(chunk_rows > 0);
+}
+
+bool VectorRowSource::Next(RowChunk* chunk) {
+  ROICL_CHECK(chunk != nullptr);
+  if (pos_ >= total_rows()) return false;
+  int64_t take = std::min(chunk_rows_, total_rows() - pos_);
+  chunk->base_index = pos_;
+  chunk->roi.assign(roi_.begin() + pos_, roi_.begin() + pos_ + take);
+  chunk->cost.assign(cost_.begin() + pos_, cost_.begin() + pos_ + take);
+  pos_ += take;
+  return true;
+}
+
+size_t VectorRowSource::chunk_bytes() const {
+  return static_cast<size_t>(chunk_rows_) * 2 * sizeof(double);
+}
+
+SyntheticRowSource::SyntheticRowSource(int64_t n, uint64_t seed,
+                                       int chunk_rows)
+    : n_(n), seed_(seed), chunk_rows_(chunk_rows) {
+  ROICL_CHECK(n >= 0);
+  ROICL_CHECK(chunk_rows > 0);
+}
+
+void SyntheticRowSource::RowAt(uint64_t seed, int64_t i, double* roi,
+                               double* cost) {
+  // One SplitMix64 stream per row, keyed by (seed, i): chunk boundaries
+  // and pass count can never perturb a row's values.
+  SplitMix64 mix(seed ^
+                 (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(i) + 1)));
+  *roi = 0.05 + 0.90 * UnitDouble(mix.Next());
+  *cost = 0.2 + 1.8 * UnitDouble(mix.Next());
+}
+
+bool SyntheticRowSource::Next(RowChunk* chunk) {
+  ROICL_CHECK(chunk != nullptr);
+  if (pos_ >= n_) return false;
+  int64_t take = std::min(chunk_rows_, n_ - pos_);
+  chunk->base_index = pos_;
+  chunk->roi.resize(static_cast<size_t>(take));
+  chunk->cost.resize(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    RowAt(seed_, pos_ + i, &chunk->roi[static_cast<size_t>(i)],
+          &chunk->cost[static_cast<size_t>(i)]);
+  }
+  pos_ += take;
+  return true;
+}
+
+size_t SyntheticRowSource::chunk_bytes() const {
+  return static_cast<size_t>(chunk_rows_) * 2 * sizeof(double);
+}
+
+}  // namespace roicl::alloc

@@ -1,0 +1,103 @@
+#ifndef ROICL_ALLOC_ROW_SOURCE_H_
+#define ROICL_ALLOC_ROW_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Chunked row streams for the planet-scale budget allocator.
+///
+/// `core::GreedyAllocate` (Algorithm 1) needs the whole population
+/// memory-resident; the streaming allocator (`alloc/streaming.h`) instead
+/// pulls (roi, cost) rows through this interface one bounded chunk at a
+/// time, so the population size never appears in its memory footprint.
+/// Every implementation must be deterministic: repeated passes over the
+/// same source yield bitwise-identical rows in identical order, which is
+/// what makes the dual-threshold mode's multi-pass bisection and the
+/// bitwise-equivalence guarantee of the greedy mode well defined.
+
+namespace roicl::alloc {
+
+/// One chunk of the user stream: parallel arrays of predicted ROI scores
+/// and incremental treatment costs tau_c for the rows
+/// [base_index, base_index + size()). The allocator holds at most one
+/// chunk at a time.
+struct RowChunk {
+  int64_t base_index = 0;
+  std::vector<double> roi;
+  std::vector<double> cost;
+
+  int64_t size() const { return static_cast<int64_t>(roi.size()); }
+};
+
+/// Pull-based chunked row stream. `Next` fills `chunk` with the next
+/// block and returns true, or returns false at end of stream. `Reset`
+/// rewinds to the first row — the dual-threshold mode re-streams the
+/// source once per refinement pass instead of materializing it.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  virtual bool Next(RowChunk* chunk) = 0;
+  virtual void Reset() = 0;
+
+  /// Total rows the stream yields per pass (known up front).
+  virtual int64_t total_rows() const = 0;
+
+  /// Bytes of chunk buffer a `Next` call may hand out — charged against
+  /// the allocator's memory cap, so "streaming" cannot cheat the cap by
+  /// inflating the chunk size.
+  virtual size_t chunk_bytes() const = 0;
+};
+
+/// Adapts in-memory score/cost vectors (the CLI's scored-CSV path and the
+/// equivalence tests) to the chunked interface.
+class VectorRowSource : public RowSource {
+ public:
+  /// `roi` and `cost` must have equal length; `chunk_rows > 0`.
+  VectorRowSource(std::vector<double> roi, std::vector<double> cost,
+                  int chunk_rows);
+
+  bool Next(RowChunk* chunk) override;
+  void Reset() override { pos_ = 0; }
+  int64_t total_rows() const override {
+    return static_cast<int64_t>(roi_.size());
+  }
+  size_t chunk_bytes() const override;
+
+ private:
+  std::vector<double> roi_;
+  std::vector<double> cost_;
+  int64_t chunk_rows_;
+  int64_t pos_ = 0;
+};
+
+/// Deterministic synthetic population for scale tests and benchmarks:
+/// row i's (roi, cost) pair is a pure function of (seed, i) via
+/// SplitMix64, so a 10M-row allocation needs no 10M-row materialization,
+/// any chunking yields identical rows, and a pinned seed reproduces the
+/// exact stream. roi is uniform in [0.05, 0.95), cost uniform in
+/// [0.2, 2.0) — the ranges the greedy property tests draw from.
+class SyntheticRowSource : public RowSource {
+ public:
+  SyntheticRowSource(int64_t n, uint64_t seed, int chunk_rows);
+
+  bool Next(RowChunk* chunk) override;
+  void Reset() override { pos_ = 0; }
+  int64_t total_rows() const override { return n_; }
+  size_t chunk_bytes() const override;
+
+  /// The (roi, cost) pair for row `i` — pure function of (seed, i).
+  static void RowAt(uint64_t seed, int64_t i, double* roi, double* cost);
+
+ private:
+  int64_t n_;
+  uint64_t seed_;
+  int64_t chunk_rows_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace roicl::alloc
+
+#endif  // ROICL_ALLOC_ROW_SOURCE_H_

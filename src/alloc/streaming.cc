@@ -1,0 +1,509 @@
+#include "alloc/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "common/thread_pool.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace roicl::alloc {
+namespace {
+
+/// Buffered arrivals trigger a compaction once they reach
+/// max(kMinCompactRows, |kept|) — amortized O(log f) per row.
+constexpr size_t kMinCompactRows = 64;
+
+Status ValidateRow(int64_t index, double roi, double cost) {
+  if (!std::isfinite(roi)) {
+    return Status::InvalidArgument("non-finite roi score at row " +
+                                   std::to_string(index));
+  }
+  if (!(cost >= 0.0) || !std::isfinite(cost)) {
+    return Status::InvalidArgument("negative or non-finite cost at row " +
+                                   std::to_string(index));
+  }
+  return Status::Ok();
+}
+
+Status CapExceeded(const MemoryAccountant& accountant) {
+  return Status::FailedPrecondition(
+      "streaming allocation exceeded its memory cap (" +
+      std::to_string(accountant.cap()) +
+      " bytes); raise the cap or lower the budget/shard count");
+}
+
+/// Appends to `result->selected`, growing the vector through the
+/// accountant so the selection buffer counts against the cap too.
+bool PushSelected(int64_t index, MemoryAccountant* accountant,
+                  StreamingResult* result) {
+  std::vector<int64_t>& selected = result->selected;
+  if (selected.size() == selected.capacity()) {
+    size_t grow = std::max<size_t>(1024, selected.capacity() * 2);
+    if (!accountant->TryCharge((grow - selected.capacity()) *
+                               sizeof(int64_t))) {
+      return false;
+    }
+    selected.reserve(grow);
+  }
+  selected.push_back(index);
+  return true;
+}
+
+}  // namespace
+
+bool RankBefore(const FrontierItem& a, const FrontierItem& b) {
+  if (a.roi != b.roi) return a.roi > b.roi;
+  return a.index < b.index;
+}
+
+bool MemoryAccountant::TryCharge(size_t bytes) {
+  size_t current = current_.load(std::memory_order_relaxed);
+  while (true) {
+    if (current + bytes > cap_) return false;
+    if (current_.compare_exchange_weak(current, current + bytes,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  size_t now = current + bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (peak < now && !peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryAccountant::Release(size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+ShardFrontier::ShardFrontier(double budget, MemoryAccountant* accountant)
+    : budget_(budget), accountant_(accountant) {
+  ROICL_CHECK(budget >= 0.0);
+  ROICL_CHECK(accountant != nullptr);
+}
+
+ShardFrontier::~ShardFrontier() { accountant_->Release(charged_bytes_); }
+
+bool ShardFrontier::EnsureCharged(size_t target_bytes) {
+  if (target_bytes > charged_bytes_) {
+    if (!accountant_->TryCharge(target_bytes - charged_bytes_)) return false;
+  } else {
+    accountant_->Release(charged_bytes_ - target_bytes);
+  }
+  charged_bytes_ = target_bytes;
+  return true;
+}
+
+bool ShardFrontier::Add(int64_t index, double roi, double cost) {
+  ROICL_DCHECK(std::isfinite(roi));
+  ROICL_DCHECK(cost >= 0.0);
+  if (saturated_) {
+    // Discard fast path: ranked at/after the sentinel r_cut, whose exact
+    // shard-prefix spend already exceeds the budget, so (FP-monotone
+    // superset sums) the global greedy can never reach this row.
+    FrontierItem candidate{roi, cost, index};
+    if (!RankBefore(candidate, kept_.back())) {
+      ++evictions_;
+      return true;
+    }
+  }
+  if (pending_.size() == pending_.capacity()) {
+    size_t grow = std::max(kMinCompactRows, pending_.capacity() * 2);
+    if (!EnsureCharged((kept_.capacity() + grow) * sizeof(FrontierItem))) {
+      return false;
+    }
+    pending_.reserve(grow);
+  }
+  pending_.push_back(FrontierItem{roi, cost, index});
+  if (pending_.size() >= std::max(kMinCompactRows, kept_.size())) {
+    return Compact();
+  }
+  return true;
+}
+
+bool ShardFrontier::Compact() {
+  if (pending_.empty()) return true;
+  std::sort(pending_.begin(), pending_.end(), RankBefore);
+  size_t need = kept_.size() + pending_.size();
+  // The merge double-buffers; charge the transient target up front so the
+  // accounted peak covers the real high-water mark.
+  if (!EnsureCharged((kept_.capacity() + pending_.capacity() + need) *
+                     sizeof(FrontierItem))) {
+    return false;
+  }
+  std::vector<FrontierItem> merged;
+  merged.reserve(need);
+  std::merge(kept_.begin(), kept_.end(), pending_.begin(), pending_.end(),
+             std::back_inserter(merged), RankBefore);
+  // Exact invariant: keep the rank-order prefix r_1..r_cut where the
+  // floating-point prefix sum first exceeds the budget; r_cut stays as
+  // the stop sentinel. Costs are non-negative, so rows past the cut can
+  // never be selected by the reference greedy (see streaming.h).
+  double spent = 0.0;
+  size_t cut = merged.size();
+  bool found = false;
+  for (size_t j = 0; j < merged.size(); ++j) {
+    spent += merged[j].cost;
+    if (spent > budget_) {
+      cut = j + 1;
+      found = true;
+      break;
+    }
+  }
+  if (cut < merged.size()) {
+    evictions_ += static_cast<int64_t>(merged.size() - cut);
+    merged.resize(cut);
+  }
+  saturated_ = found;
+  kept_.swap(merged);
+  pending_.clear();
+  merged = std::vector<FrontierItem>();  // release the old buffer now
+  return EnsureCharged((kept_.capacity() + pending_.capacity()) *
+                       sizeof(FrontierItem));
+}
+
+namespace {
+
+StatusOr<StreamingResult> GreedyStream(RowSource* source, double budget,
+                                       const StreamingOptions& options,
+                                       MemoryAccountant* accountant) {
+  obs::ScopedSpan span("alloc.greedy");
+  const int num_shards = options.num_shards;
+  std::vector<std::unique_ptr<ShardFrontier>> shards;
+  shards.reserve(AsSize(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards.push_back(std::make_unique<ShardFrontier>(budget, accountant));
+  }
+
+  StreamingResult result;
+  source->Reset();
+  RowChunk chunk;
+  bool over_cap = false;
+  {
+    obs::ScopedSpan stream_span("alloc.greedy.stream");
+    while (!over_cap && source->Next(&chunk)) {
+      const int64_t size = chunk.size();
+      result.rows_streamed += size;
+      // Validate the chunk serially first: the first bad row reported is
+      // then deterministic at any shard count or thread interleaving.
+      for (int64_t i = 0; i < size; ++i) {
+        Status row_status =
+            ValidateRow(chunk.base_index + i, chunk.roi[AsSize64(i)],
+                        chunk.cost[AsSize64(i)]);
+        if (!row_status.ok()) return row_status;
+      }
+      if (options.parallel_shards && num_shards > 1) {
+        // Shards are disjoint (row -> index % num_shards), so each task
+        // touches only its own frontier; the accountant is atomic. Every
+        // shard sees its rows in index order regardless of interleaving,
+        // making the outcome bitwise-identical to the serial path.
+        std::atomic<bool> chunk_over_cap{false};
+        GlobalThreadPool().ParallelFor(0, num_shards, [&](int s) {
+          ShardFrontier* frontier = shards[AsSize(s)].get();
+          for (int64_t i = 0; i < size; ++i) {
+            int64_t index = chunk.base_index + i;
+            if (index % num_shards != s) continue;
+            if (!frontier->Add(index, chunk.roi[AsSize64(i)],
+                               chunk.cost[AsSize64(i)])) {
+              chunk_over_cap.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+        });
+        over_cap = chunk_over_cap.load(std::memory_order_relaxed);
+      } else {
+        for (int64_t i = 0; i < size && !over_cap; ++i) {
+          int64_t index = chunk.base_index + i;
+          int s = static_cast<int>(index % num_shards);
+          over_cap = !shards[AsSize(s)]->Add(index, chunk.roi[AsSize64(i)],
+                                             chunk.cost[AsSize64(i)]);
+        }
+      }
+    }
+  }
+  if (over_cap) return CapExceeded(*accountant);
+
+  obs::ScopedSpan merge_span("alloc.merge");
+  size_t total = 0;
+  for (std::unique_ptr<ShardFrontier>& shard : shards) {
+    if (!shard->Compact()) return CapExceeded(*accountant);
+    total += shard->items().size();
+    result.frontier_evictions += shard->evictions();
+  }
+  if (!accountant->TryCharge(total * sizeof(FrontierItem))) {
+    return CapExceeded(*accountant);
+  }
+  std::vector<FrontierItem> merged;
+  merged.reserve(total);
+  for (std::unique_ptr<ShardFrontier>& shard : shards) {
+    merged.insert(merged.end(), shard->items().begin(),
+                  shard->items().end());
+  }
+  std::sort(merged.begin(), merged.end(), RankBefore);
+  result.merge_candidates = static_cast<int64_t>(total);
+
+  // Exact reconciliation: replay Algorithm 1's stop-at-first-overflow
+  // scan over the merged candidates. The merged list contains the full
+  // reference selection plus its stop row in identical rank order, so
+  // the scan selects the same rows and accumulates the same FP spend as
+  // core::GreedyAllocate over the whole population.
+  for (const FrontierItem& item : merged) {
+    if (result.spent + item.cost <= budget) {
+      if (!PushSelected(item.index, accountant, &result)) {
+        return CapExceeded(*accountant);
+      }
+      result.spent += item.cost;
+      result.value += item.roi * item.cost;
+    } else {
+      break;  // the paper's variant: stop once the budget is reached
+    }
+  }
+  return result;
+}
+
+StatusOr<StreamingResult> DualStream(RowSource* source, double budget,
+                                     const StreamingOptions& options,
+                                     MemoryAccountant* accountant) {
+  obs::ScopedSpan span("alloc.dual");
+  StreamingResult result;
+
+  // Pass 1: validation + threshold bracket statistics.
+  int64_t n = 0;
+  double spend_at_zero = 0.0;
+  double max_roi = 0.0;
+  {
+    obs::ScopedSpan stats_span("alloc.dual.stats");
+    source->Reset();
+    RowChunk chunk;
+    while (source->Next(&chunk)) {
+      const int64_t size = chunk.size();
+      result.rows_streamed += size;
+      n += size;
+      for (int64_t i = 0; i < size; ++i) {
+        double roi = chunk.roi[AsSize64(i)];
+        double cost = chunk.cost[AsSize64(i)];
+        Status row_status = ValidateRow(chunk.base_index + i, roi, cost);
+        if (!row_status.ok()) return row_status;
+        if (roi > 0.0) spend_at_zero += cost;
+        max_roi = std::max(max_roi, roi);
+      }
+    }
+  }
+  if (n == 0) return result;
+
+  // Bisect the scalar ROI threshold to budget feasibility. Each pass
+  // streams once and measures spend at `dual_grid` candidate thresholds
+  // simultaneously (cost histogram + suffix sums), narrowing the bracket
+  // by a factor of grid+1 per pass. The upper end of the bracket is
+  // always measured-feasible.
+  double theta = 0.0;
+  if (spend_at_zero > budget) {
+    obs::ScopedSpan bisect_span("alloc.dual.bisect");
+    double lo = 0.0;
+    double hi = max_roi;  // spend({roi > max_roi}) == 0 <= budget
+    const int grid = options.dual_grid;
+    std::vector<double> candidates(AsSize(grid));
+    std::vector<double> bucket_cost(AsSize(grid) + 1);
+    std::vector<double> spend(AsSize(grid));
+    for (int pass = 0; pass < options.dual_passes; ++pass) {
+      double step = (hi - lo) / static_cast<double>(grid + 1);
+      if (!(step > 0.0)) break;  // bracket below FP resolution
+      for (int g = 0; g < grid; ++g) {
+        candidates[AsSize(g)] = lo + step * static_cast<double>(g + 1);
+      }
+      std::fill(bucket_cost.begin(), bucket_cost.end(), 0.0);
+      source->Reset();
+      RowChunk chunk;
+      while (source->Next(&chunk)) {
+        const int64_t size = chunk.size();
+        result.rows_streamed += size;
+        for (int64_t i = 0; i < size; ++i) {
+          double roi = chunk.roi[AsSize64(i)];
+          // Number of candidates strictly below roi = the highest g with
+          // candidates[g] < roi, plus one; bucket grid catches the rest.
+          size_t b = static_cast<size_t>(
+              std::lower_bound(candidates.begin(), candidates.end(), roi) -
+              candidates.begin());
+          bucket_cost[b] += chunk.cost[AsSize64(i)];
+        }
+      }
+      // spend(candidates[g]) = total cost of rows with roi > candidate =
+      // suffix sum of buckets above g.
+      double suffix = 0.0;
+      for (int g = grid - 1; g >= 0; --g) {
+        suffix += bucket_cost[AsSize(g) + 1];
+        spend[AsSize(g)] = suffix;
+      }
+      int feasible = -1;
+      for (int g = 0; g < grid; ++g) {
+        if (spend[AsSize(g)] <= budget) {
+          feasible = g;
+          break;
+        }
+      }
+      if (feasible < 0) {
+        lo = candidates[AsSize(grid - 1)];
+      } else {
+        hi = candidates[AsSize(feasible)];
+        if (feasible > 0) lo = candidates[AsSize(feasible - 1)];
+      }
+    }
+    theta = hi;
+  }
+  result.dual_threshold = theta;
+
+  // Final pass: emit the threshold selection in index order, accumulate
+  // the Lagrangian bound, and feed every rejected row through a repair
+  // frontier (bounded by the full budget >= the actual slack, so the
+  // stop-variant repair over it is exact).
+  {
+    obs::ScopedSpan select_span("alloc.dual.select");
+    ShardFrontier repair(budget, accountant);
+    double ub_sum = 0.0;
+    source->Reset();
+    RowChunk chunk;
+    while (source->Next(&chunk)) {
+      const int64_t size = chunk.size();
+      result.rows_streamed += size;
+      for (int64_t i = 0; i < size; ++i) {
+        double roi = chunk.roi[AsSize64(i)];
+        double cost = chunk.cost[AsSize64(i)];
+        int64_t index = chunk.base_index + i;
+        if (roi > theta) {
+          ub_sum += (roi - theta) * cost;
+          if (result.spent + cost <= budget) {
+            if (!PushSelected(index, accountant, &result)) {
+              return CapExceeded(*accountant);
+            }
+            result.spent += cost;
+            result.value += roi * cost;
+            continue;
+          }
+          // Feasibility guard for FP-edge rows: the bisection measured
+          // spend with bucket sums, the emission re-measures with a
+          // running sum; within rounding of the boundary the two can
+          // disagree, and spent <= budget must win.
+          ++result.dual_threshold_overflow;
+        }
+        if (options.dual_repair && !repair.Add(index, roi, cost)) {
+          return CapExceeded(*accountant);
+        }
+      }
+    }
+    result.dual_upper_bound = theta * budget + ub_sum;
+    if (options.dual_repair) {
+      if (!repair.Compact()) return CapExceeded(*accountant);
+      result.frontier_evictions = repair.evictions();
+      result.merge_candidates = static_cast<int64_t>(repair.items().size());
+      for (const FrontierItem& item : repair.items()) {
+        if (result.spent + item.cost <= budget) {
+          if (!PushSelected(item.index, accountant, &result)) {
+            return CapExceeded(*accountant);
+          }
+          result.spent += item.cost;
+          result.value += item.roi * item.cost;
+        } else {
+          break;
+        }
+      }
+    }
+    result.dual_gap = result.dual_upper_bound - result.value;
+  }
+  return result;
+}
+
+void RecordMetrics(const StreamingOptions& options,
+                   const StreamingResult& result) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("alloc.streaming_calls")->Increment();
+  registry.GetCounter("alloc.rows_streamed")
+      ->Increment(static_cast<uint64_t>(result.rows_streamed));
+  registry.GetCounter("alloc.frontier_evictions")
+      ->Increment(static_cast<uint64_t>(result.frontier_evictions));
+  registry.GetCounter("alloc.threshold_overflow")
+      ->Increment(static_cast<uint64_t>(result.dual_threshold_overflow));
+  registry.GetGauge("alloc.shards")
+      ->Set(static_cast<double>(options.num_shards));
+  registry.GetGauge("alloc.selected")
+      ->Set(static_cast<double>(result.selected.size()));
+  registry.GetGauge("alloc.merge_candidates")
+      ->Set(static_cast<double>(result.merge_candidates));
+  registry.GetGauge("alloc.peak_memory_bytes")
+      ->Set(static_cast<double>(result.peak_memory_bytes));
+  registry.GetGauge("alloc.dual_threshold")->Set(result.dual_threshold);
+  registry.GetGauge("alloc.dual_gap")->Set(result.dual_gap);
+  obs::Debug("streaming allocation",
+             {{"mode", options.mode == AllocMode::kGreedy ? "greedy" : "dual"},
+              {"shards", options.num_shards},
+              {"rows_streamed", result.rows_streamed},
+              {"selected", result.selected.size()},
+              {"spent", result.spent},
+              {"evictions", result.frontier_evictions},
+              {"peak_memory_bytes", result.peak_memory_bytes}});
+}
+
+}  // namespace
+
+StatusOr<StreamingResult> StreamingAllocate(RowSource* source, double budget,
+                                            const StreamingOptions& options) {
+  ROICL_CHECK(source != nullptr);
+  obs::ScopedSpan span("alloc.streaming");
+  if (!std::isfinite(budget) || budget < 0.0) {
+    return Status::InvalidArgument("budget must be finite and >= 0");
+  }
+  if (options.num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (options.mode == AllocMode::kDual &&
+      (options.dual_passes < 1 || options.dual_grid < 2)) {
+    return Status::InvalidArgument(
+        "dual mode needs dual_passes >= 1 and dual_grid >= 2");
+  }
+  MemoryAccountant accountant(options.memory_cap_bytes);
+  if (!accountant.TryCharge(source->chunk_bytes())) {
+    return Status::FailedPrecondition(
+        "memory cap (" + std::to_string(options.memory_cap_bytes) +
+        " bytes) cannot hold one chunk buffer (" +
+        std::to_string(source->chunk_bytes()) + " bytes)");
+  }
+  StatusOr<StreamingResult> streamed =
+      options.mode == AllocMode::kGreedy
+          ? GreedyStream(source, budget, options, &accountant)
+          : DualStream(source, budget, options, &accountant);
+  if (!streamed.ok()) return streamed.status();
+  StreamingResult result = std::move(streamed).value();
+  result.peak_memory_bytes = accountant.peak();
+  RecordMetrics(options, result);
+  return result;
+}
+
+StatusOr<double> StreamingTotalCost(RowSource* source) {
+  ROICL_CHECK(source != nullptr);
+  obs::ScopedSpan span("alloc.total_cost");
+  source->Reset();
+  RowChunk chunk;
+  double total = 0.0;
+  while (source->Next(&chunk)) {
+    const int64_t size = chunk.size();
+    for (int64_t i = 0; i < size; ++i) {
+      Status row_status =
+          ValidateRow(chunk.base_index + i, chunk.roi[AsSize64(i)],
+                      chunk.cost[AsSize64(i)]);
+      if (!row_status.ok()) return row_status;
+      total += chunk.cost[AsSize64(i)];
+    }
+  }
+  return total;
+}
+
+}  // namespace roicl::alloc

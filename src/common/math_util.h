@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 #include "common/macros.h"
@@ -16,6 +17,14 @@ namespace roicl {
 /// offset; this helper is the sanctioned spelling and adds the
 /// negativity check the implicit conversion silently skipped.
 inline size_t AsSize(int i) {
+  ROICL_DCHECK(i >= 0);
+  return static_cast<size_t>(i);
+}
+
+/// `AsSize` for 64-bit row indices: the streaming allocator addresses
+/// populations past INT_MAX rows, so its loop indices are int64_t; this
+/// is the checked spelling of the int64 -> size_t subscript cast.
+inline size_t AsSize64(int64_t i) {
   ROICL_DCHECK(i >= 0);
   return static_cast<size_t>(i);
 }

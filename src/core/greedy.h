@@ -14,7 +14,15 @@ struct AllocationResult {
 /// Algorithm 1 of the paper: sort individuals by predicted ROI descending
 /// and allocate the binary treatment until the budget is exhausted.
 /// `costs[i]` is the (estimated or true) incremental cost tau_c(x_i) of
-/// treating individual i; ties in `roi_scores` break by index.
+/// treating individual i.
+///
+/// Allocation order is the documented strict total order
+/// **(roi descending, index ascending)**: duplicate ROI keys break by
+/// stable individual index. This is a repo-wide contract — the streaming
+/// allocator (`alloc::RankBefore`) and the Lagrangian primal repair rank
+/// by the same order, which is what makes bitwise equivalence between
+/// the in-memory and streaming allocators well defined even on inputs
+/// with thousands of duplicate keys.
 ///
 /// `skip_unaffordable = false` reproduces the paper's "allocate until the
 /// budget B is reached" (stop at the first individual that does not fit);

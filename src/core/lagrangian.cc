@@ -71,9 +71,17 @@ LagrangianResult LagrangianAllocate(const std::vector<double>& values,
   for (size_t i = 0; i < n; ++i) {
     if (!picked[i] && values[i] > 0.0) rest.push_back(static_cast<int>(i));
   }
+  // Strict total order (ratio desc, index asc): std::sort on the bare
+  // ratio is unstable, so duplicate ratios — common when values are
+  // roi * cost with duplicated roi — made the repair order, and thus the
+  // selected set at a binding budget, depend on sort internals. Ties now
+  // break by stable index, matching the allocation order documented in
+  // core/greedy.h and alloc::RankBefore.
   std::sort(rest.begin(), rest.end(), [&](int a, int b) {
-    return values[AsSize(a)] / costs[AsSize(a)] >
-           values[AsSize(b)] / costs[AsSize(b)];
+    double ra = values[AsSize(a)] / costs[AsSize(a)];
+    double rb = values[AsSize(b)] / costs[AsSize(b)];
+    if (ra != rb) return ra > rb;
+    return a < b;
   });
   for (int i : rest) {
     const size_t si = AsSize(i);

@@ -51,6 +51,52 @@ TEST(GreedyAllocateTest, TiesBreakByIndexDeterministically) {
   EXPECT_EQ(result.selected, (std::vector<int>{0, 1}));
 }
 
+TEST(GreedyAllocateTest, BudgetExactlyExhaustedBoundary) {
+  // spent + cost <= budget must admit the row that lands exactly on the
+  // budget — for both the stop and the skip variant.
+  std::vector<double> roi = {0.9, 0.8, 0.7};
+  std::vector<double> cost = {1.5, 0.5, 1.0};
+  for (bool skip : {false, true}) {
+    AllocationResult result = GreedyAllocate(roi, cost, 3.0, skip);
+    EXPECT_EQ(result.selected, (std::vector<int>{0, 1, 2})) << skip;
+    EXPECT_DOUBLE_EQ(result.spent, 3.0);
+  }
+}
+
+TEST(GreedyAllocateTest, SingleUserPopulation) {
+  for (bool skip : {false, true}) {
+    AllocationResult fits = GreedyAllocate({0.5}, {1.0}, 1.0, skip);
+    EXPECT_EQ(fits.selected, (std::vector<int>{0}));
+    EXPECT_DOUBLE_EQ(fits.spent, 1.0);
+    AllocationResult too_costly = GreedyAllocate({0.5}, {2.0}, 1.0, skip);
+    EXPECT_TRUE(too_costly.selected.empty());
+    EXPECT_DOUBLE_EQ(too_costly.spent, 0.0);
+  }
+}
+
+TEST(GreedyAllocateTest, EmptyPopulation) {
+  for (bool skip : {false, true}) {
+    AllocationResult result = GreedyAllocate({}, {}, 5.0, skip);
+    EXPECT_TRUE(result.selected.empty());
+    EXPECT_DOUBLE_EQ(result.spent, 0.0);
+  }
+}
+
+TEST(GreedyAllocateTest, ThousandDuplicateKeysRankByIndex) {
+  // Regression for the documented (roi desc, index asc) total order:
+  // 1000 identical ROI keys must allocate in exact index order under
+  // both variants, independent of sort internals.
+  std::vector<double> roi(1000, 0.5);
+  std::vector<double> cost(1000, 1.0);
+  for (bool skip : {false, true}) {
+    AllocationResult result = GreedyAllocate(roi, cost, 250.0, skip);
+    ASSERT_EQ(result.selected.size(), 250u);
+    for (int i = 0; i < 250; ++i) {
+      EXPECT_EQ(result.selected[AsSize(i)], i);
+    }
+  }
+}
+
 TEST(KnapsackBruteForceTest, KnownOptimum) {
   std::vector<double> values = {6.0, 10.0, 12.0};
   std::vector<double> costs = {1.0, 2.0, 3.0};

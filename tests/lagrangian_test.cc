@@ -1,5 +1,7 @@
 #include "core/lagrangian.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/math_util.h"
@@ -87,6 +89,45 @@ TEST(LagrangianTest, ZeroBudget) {
 
 TEST(LagrangianTest, RejectsNonPositiveCosts) {
   EXPECT_DEATH(LagrangianAllocate({1.0}, {0.0}, 1.0), "positive");
+}
+
+TEST(LagrangianTest, EmptyPopulation) {
+  LagrangianResult result = LagrangianAllocate({}, {}, 5.0);
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_DOUBLE_EQ(result.spent, 0.0);
+  EXPECT_DOUBLE_EQ(result.upper_bound, 0.0);
+}
+
+TEST(LagrangianTest, SingleUserPopulation) {
+  LagrangianResult fits = LagrangianAllocate({0.5}, {1.0}, 1.0);
+  EXPECT_EQ(fits.selected, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(fits.spent, 1.0);
+  LagrangianResult too_costly = LagrangianAllocate({0.5}, {2.0}, 1.0);
+  EXPECT_TRUE(too_costly.selected.empty());
+}
+
+TEST(LagrangianTest, BudgetExactlyExhaustedBoundary) {
+  // Repair admits the row landing exactly on the remaining budget.
+  LagrangianResult result =
+      LagrangianAllocate({0.9, 0.4, 0.2}, {1.0, 1.0, 1.0}, 3.0);
+  EXPECT_EQ(result.selected.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.spent, 3.0);
+}
+
+TEST(LagrangianTest, DuplicateRatioRepairIsIndexStable) {
+  // Regression for the unstable repair sort: 1000 items with identical
+  // value/cost ratio and a budget for 250 must repair in exact index
+  // order — before the (ratio, index) total order, the picked set
+  // depended on std::sort internals.
+  std::vector<double> values(1000, 0.5);
+  std::vector<double> costs(1000, 1.0);
+  LagrangianResult result = LagrangianAllocate(values, costs, 250.0);
+  ASSERT_EQ(result.selected.size(), 250u);
+  std::vector<int> sorted = result.selected;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 250; ++i) {
+    EXPECT_EQ(sorted[AsSize(i)], i);
+  }
 }
 
 }  // namespace

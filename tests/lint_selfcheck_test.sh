@@ -129,6 +129,21 @@ slo latency kind=p99_latency_us target=5000 short_window=64 long_window=8
 slo latency kind=made_up_kind target=0.5 short_window=8 long_window=64
 EOF
 
+# check_testnames: an orphan test source registered in no
+# roicl_add_test(), next to enough registered tests (and one wired .sh
+# harness) to clear the regex-rot count guards.
+cat > "${fixture}/tests/orphan_test.cc" <<'EOF'
+// Deliberately unregistered: compiles nowhere, runs never.
+EOF
+{
+  for i in $(seq 0 10); do
+    touch "${fixture}/tests/decoy${i}_test.cc"
+    echo "roicl_add_test(decoy${i}_test decoy${i}_test.cc)"
+  done
+  echo "add_test(NAME wired_sh COMMAND bash wired_test.sh)"
+} > "${fixture}/tests/CMakeLists.txt"
+touch "${fixture}/tests/wired_test.sh"
+
 # check_registry_complete: a Table-I name with no Register() call.
 mkdir -p "${fixture}/src/exp" "${fixture}/src/pipeline"
 cat > "${fixture}/src/exp/methods.h" <<'EOF'
@@ -153,6 +168,7 @@ expect_fail check_registry_complete \
 expect_fail check_metric_names \
   bash "${tools}/check_metric_names.sh" "${fixture}"
 expect_fail check_slo_specs bash "${tools}/check_slo_specs.sh" "${fixture}"
+expect_fail check_testnames bash "${tools}/check_testnames.sh" "${fixture}"
 
 # The SLO lint pinpoints the violations, not just "failed".
 slo_out=$(bash "${tools}/check_slo_specs.sh" "${fixture}" 2>&1 || true)
@@ -186,6 +202,15 @@ else
   status=1
 fi
 
+# The testname lint names the orphan source, not just "failed".
+testnames_out=$(bash "${tools}/check_testnames.sh" "${fixture}" 2>&1 || true)
+if grep -q "tests/orphan_test.cc: not registered" <<<"${testnames_out}"; then
+  echo "ok: check_testnames reports the orphan test by name"
+else
+  echo "FAIL: check_testnames did not name the orphan test"
+  status=1
+fi
+
 # Capture first: under pipefail the lint's expected exit 1 would mask
 # grep's verdict in a direct pipeline.
 check_scripts_out=$(bash "${tools}/check_scripts.sh" "${fixture}" 2>&1 || true)
@@ -208,5 +233,6 @@ expect_pass check_registry_complete \
 expect_pass check_metric_names \
   bash "${tools}/check_metric_names.sh" "${repo_root}"
 expect_pass check_slo_specs bash "${tools}/check_slo_specs.sh" "${repo_root}"
+expect_pass check_testnames bash "${tools}/check_testnames.sh" "${repo_root}"
 
 exit "${status}"

@@ -5,20 +5,25 @@
 #   BENCH_predict.json  batched forward + parallel MC dropout
 #   BENCH_serve.json    ScoringService end-to-end throughput
 #   BENCH_monitor.json  drift-monitor ingest + rolling recalibration
+#   BENCH_allocate.json streaming budget allocation: 1M/10M synthetic
+#                       users, sharded greedy + dual threshold, inside
+#                       a hard 64 MiB accounted memory cap (peak_mib /
+#                       cap_mib counters record the accounting)
 #   BENCH_load.json     load-replay adversarial-traffic report (not a
 #                       Google Benchmark: the harness's own JSON, with
 #                       phase latencies, the serve.stage.* breakdown,
 #                       exemplar trace IDs, and the SLO verdict)
 #
 # Usage: bench_to_json.sh <build dir> [predict json] [serve json]
-#        [monitor json] [load json]
+#        [monitor json] [load json] [allocate json]
 set -euo pipefail
 
-build_dir=${1:?usage: bench_to_json.sh <build dir> [predict json] [serve json] [monitor json] [load json]}
+build_dir=${1:?usage: bench_to_json.sh <build dir> [predict json] [serve json] [monitor json] [load json] [allocate json]}
 predict_out=${2:-"$(dirname "$0")/../BENCH_predict.json"}
 serve_out=${3:-"$(dirname "$0")/../BENCH_serve.json"}
 monitor_out=${4:-"$(dirname "$0")/../BENCH_monitor.json"}
 load_out=${5:-"$(dirname "$0")/../BENCH_load.json"}
+allocate_out=${6:-"$(dirname "$0")/../BENCH_allocate.json"}
 
 bench="${build_dir}/bench/bench_micro"
 if [[ ! -x "${bench}" ]]; then
@@ -46,6 +51,15 @@ echo "wrote ${serve_out}"
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${monitor_out}"
 echo "wrote ${monitor_out}"
+
+# Single repetition: one 10M-row pass already takes seconds and the
+# allocation is deterministic (pinned seed, pure-function row source) —
+# iteration noise, not run-to-run variance, is the only jitter.
+"${bench}" \
+  --benchmark_filter='BM_StreamingAllocate' \
+  --benchmark_repetitions=1 \
+  --benchmark_format=json > "${allocate_out}"
+echo "wrote ${allocate_out}"
 
 # BENCH_load.json: the canonical load-replay run — synth Criteo traffic,
 # a small rDRP pipeline, and the committed configs/serving.slo. Seeds are

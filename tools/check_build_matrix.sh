@@ -43,6 +43,11 @@ monitor_smoke_filter+=':CoverageTracker.*:AdaptiveAlpha.*'
 # poll — the cheapest row that still drives the serving path end to end.
 load_replay_smoke_filter='LoadReplayTest.CancellationStopsEarly*'
 
+# Streaming-allocate smoke: the sharded frontier merge proven bitwise
+# against the in-memory greedy, plus a dual-threshold feasibility run —
+# sub-second, so it rides along in every sanitizer row too.
+alloc_smoke_filter='StreamingSmoke.*'
+
 declare -A result
 status=0
 for config in "${configs[@]}"; do
@@ -55,7 +60,9 @@ for config in "${configs[@]}"; do
       "${tree}/tests/monitor_test" \
         --gtest_filter="${monitor_smoke_filter}" >/dev/null 2>&1 &&
       "${tree}/tests/load_replay_test" \
-        --gtest_filter="${load_replay_smoke_filter}" >/dev/null 2>&1; then
+        --gtest_filter="${load_replay_smoke_filter}" >/dev/null 2>&1 &&
+      "${tree}/tests/alloc_equivalence_test" \
+        --gtest_filter="${alloc_smoke_filter}" >/dev/null 2>&1; then
     result[${config}]=PASS
   else
     result[${config}]=FAIL

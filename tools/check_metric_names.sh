@@ -65,7 +65,11 @@ for member in \
     serve.stage.queue_us serve.stage.assemble_us serve.stage.score_us \
     serve.stage.conformal_us serve.stage.observe_us \
     slo.events slo.warn_transitions slo.breach_transitions \
-    slo.worst_state; do
+    slo.worst_state \
+    alloc.streaming_calls alloc.rows_streamed alloc.frontier_evictions \
+    alloc.threshold_overflow alloc.shards alloc.selected \
+    alloc.merge_candidates alloc.peak_memory_bytes alloc.dual_threshold \
+    alloc.dual_gap; do
   if ! grep -qFx "${member}" <<<"${used}"; then
     echo "src/: expected metric family member '${member}' is no longer minted anywhere"
     status=1

@@ -1,0 +1,74 @@
+#!/bin/bash
+# Test-registration lint: every test source under tests/ must actually be
+# wired into ctest. A `*_test.cc` that exists but appears in no
+# roicl_add_test() — or a `*_test.sh` harness referenced by no add_test()
+# — compiles green locally, shows up in code review as "covered", and
+# never runs anywhere. This PR class is easy to hit when a test file is
+# added but the CMakeLists hunk is dropped in a rebase.
+#
+#   1. every tests/*_test.cc is named in a roicl_add_test() entry in
+#      tests/CMakeLists.txt (exactly once — double registration would
+#      collide at the add_executable level anyway, but the count guard
+#      catches copy-paste dupes before CMake does, with a better message);
+#   2. every tests/*_test.sh is referenced by some add_test() COMMAND;
+#   3. count guards against regex rot: the tree is known to contain many
+#      registered tests, so an extraction that suddenly finds almost
+#      nothing fails loudly instead of passing vacuously.
+#
+# Usage: check_testnames.sh <repo root>; exits non-zero on violations.
+set -euo pipefail
+cd "${1:?usage: check_testnames.sh <repo root>}"
+
+cmakelists=tests/CMakeLists.txt
+if [ ! -f "${cmakelists}" ] || [ ! -d tests ]; then
+  echo "missing ${cmakelists} or tests/ (testname lint cannot run)"
+  exit 1
+fi
+
+status=0
+
+# Rule 1: every *_test.cc appears in exactly one roicl_add_test() call.
+# Flatten first so two-line registrations still match.
+flattened=$(tr '\n' ' ' < "${cmakelists}")
+cc_total=0
+while IFS= read -r source; do
+  name=$(basename "${source}")
+  cc_total=$((cc_total + 1))
+  count=$(grep -oE "roicl_add_test\( *[A-Za-z0-9_]+ +${name}" \
+    <<<"${flattened}" | grep -c . || true)
+  if [ "${count}" -eq 0 ]; then
+    echo "${source}: not registered in any roicl_add_test() in ${cmakelists}"
+    status=1
+  elif [ "${count}" -gt 1 ]; then
+    echo "${source}: registered ${count} times in ${cmakelists}"
+    status=1
+  fi
+done < <(find tests -maxdepth 1 -name '*_test.cc' | sort)
+
+# Rule 2: every *_test.sh harness is referenced by some add_test().
+sh_total=0
+while IFS= read -r script; do
+  name=$(basename "${script}")
+  sh_total=$((sh_total + 1))
+  if ! grep -q "${name}" "${cmakelists}"; then
+    echo "${script}: referenced by no add_test() in ${cmakelists}"
+    status=1
+  fi
+done < <(find tests -maxdepth 1 -name '*_test.sh' | sort)
+
+# Rule 3: count guards. The repo carries dozens of .cc tests and at
+# least one .sh harness; near-zero extraction means the find/grep above
+# rotted, not that the tree emptied.
+if [ "${cc_total}" -lt 10 ]; then
+  echo "tests/: found only ${cc_total} *_test.cc files (regex rot?)"
+  status=1
+fi
+if [ "${sh_total}" -lt 1 ]; then
+  echo "tests/: found no *_test.sh harnesses (regex rot?)"
+  status=1
+fi
+
+if [ "${status}" -eq 0 ]; then
+  echo "all ${cc_total} test sources and ${sh_total} harnesses registered"
+fi
+exit "${status}"

@@ -80,6 +80,8 @@
 #include <utility>
 #include <vector>
 
+#include "alloc/row_source.h"
+#include "alloc/streaming.h"
 #include "common/math_util.h"
 #include "common/status.h"
 #include "core/greedy.h"
@@ -210,7 +212,9 @@ void RejectUnknownFlags(const std::string& command, const Flags& flags) {
                  "deadline-micros", "request-rows"}},
       {"evaluate", {"pipeline", "model-type", "model", "data"}},
       {"allocate",
-       {"pipeline", "model-type", "model", "data", "budget-frac"}},
+       {"pipeline", "model-type", "model", "data", "budget-frac",
+        "streaming", "mode", "shards", "memory-cap-mb", "chunk-rows",
+        "synthetic-rows"}},
       {"monitor-replay",
        {"pipeline", "calib", "data", "batch-rows", "num-batches",
         "shift-at", "shift-feature", "shift-gamma", "seed", "window-rows",
@@ -267,6 +271,26 @@ void ValidateFlagRanges(const Flags& flags) {
                  flags.Get("threads").c_str());
     std::exit(2);
   }
+  if (flags.Has("mode")) {
+    std::string mode = flags.Get("mode");
+    if (mode != "greedy" && mode != "dual") {
+      std::fprintf(stderr, "--mode must be greedy or dual, got '%s'\n",
+                   mode.c_str());
+      std::exit(2);
+    }
+  }
+  for (const char* key : {"shards", "memory-cap-mb", "chunk-rows"}) {
+    if (flags.Has(key) && flags.GetInt(key, 0) <= 0) {
+      std::fprintf(stderr, "--%s must be positive, got '%s'\n", key,
+                   flags.Get(key).c_str());
+      std::exit(2);
+    }
+  }
+  if (flags.Has("synthetic-rows") && flags.GetInt("synthetic-rows", 0) < 0) {
+    std::fprintf(stderr, "--synthetic-rows must be >= 0, got '%s'\n",
+                 flags.Get("synthetic-rows").c_str());
+    std::exit(2);
+  }
 }
 
 /// Touches every metric the pipeline can emit so a snapshot written by any
@@ -281,7 +305,9 @@ void PreregisterStandardMetrics() {
         "serve.errors", "conformal.qhat_infinite", "monitor.windows",
         "monitor.drift_triggers", "monitor.recalibrations",
         "monitor.coverage_alerts", "monitor.outcomes", "slo.events",
-        "slo.warn_transitions", "slo.breach_transitions"}) {
+        "slo.warn_transitions", "slo.breach_transitions",
+        "alloc.streaming_calls", "alloc.rows_streamed",
+        "alloc.frontier_evictions", "alloc.threshold_overflow"}) {
     registry.GetCounter(name);
   }
   for (const char* name :
@@ -294,7 +320,10 @@ void PreregisterStandardMetrics() {
         "serve.interval_width", "monitor.coverage",
         "monitor.q_hat_before", "monitor.q_hat_after",
         "monitor.roi_star_window", "monitor.alpha_effective",
-        "monitor.max_psi", "monitor.max_ks", "slo.worst_state"}) {
+        "monitor.max_psi", "monitor.max_ks", "slo.worst_state",
+        "alloc.shards", "alloc.selected", "alloc.merge_candidates",
+        "alloc.peak_memory_bytes", "alloc.dual_threshold",
+        "alloc.dual_gap"}) {
     registry.GetGauge(name);
   }
   registry.GetHistogram("conformal.score", obs::ConformalScoreBuckets());
@@ -881,7 +910,93 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+/// `allocate --streaming`: bounded-memory sharded allocation over a
+/// chunked row stream (see src/alloc/streaming.h). The source is either
+/// the deterministic synthetic population (`--synthetic-rows N` — scale
+/// runs need no N-row CSV on disk) or the scored dataset adapted to the
+/// chunk interface. Greedy mode is bitwise-identical to the in-memory
+/// reference greedy; dual mode reports the Lagrangian threshold and gap.
+int CmdAllocateStreaming(const Flags& flags) {
+  std::unique_ptr<alloc::RowSource> source;
+  std::vector<double> true_tau_r;  // CSV path only, for revenue readout
+  int chunk_rows = flags.GetInt("chunk-rows", 65536);
+  if (flags.Has("synthetic-rows")) {
+    int64_t rows = flags.GetInt("synthetic-rows", 0);
+    uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 20240942));
+    source = std::make_unique<alloc::SyntheticRowSource>(rows, seed,
+                                                         chunk_rows);
+  } else {
+    RctDataset data = LoadCsvOrDie(flags.Require("data"));
+    if (!data.has_ground_truth()) {
+      std::fprintf(stderr,
+                   "allocate requires true_tau_c columns (synthetic data) "
+                   "to account spend\n");
+      return 1;
+    }
+    ScoredBatch scored = ScoreWithModel(flags, data.x);
+    true_tau_r = data.true_tau_r;
+    source = std::make_unique<alloc::VectorRowSource>(
+        std::move(scored.scores), std::move(data.true_tau_c), chunk_rows);
+  }
+
+  StatusOr<double> total_cost = alloc::StreamingTotalCost(source.get());
+  if (!total_cost.ok()) {
+    std::fprintf(stderr, "%s\n", total_cost.status().ToString().c_str());
+    return 1;
+  }
+  double budget_frac = flags.GetDouble("budget-frac", 0.15);
+  double budget = budget_frac * total_cost.value();
+
+  alloc::StreamingOptions options;
+  options.mode = flags.Get("mode", "greedy") == "dual"
+                     ? alloc::AllocMode::kDual
+                     : alloc::AllocMode::kGreedy;
+  options.num_shards = flags.GetInt("shards", 1);
+  options.memory_cap_bytes =
+      static_cast<size_t>(flags.GetInt("memory-cap-mb", 256)) << 20;
+  options.parallel_shards = flags.GetInt("threads", 0) > 0;
+
+  StatusOr<alloc::StreamingResult> allocated =
+      alloc::StreamingAllocate(source.get(), budget, options);
+  if (!allocated.ok()) {
+    std::fprintf(stderr, "%s\n", allocated.status().ToString().c_str());
+    return 1;
+  }
+  const alloc::StreamingResult& result = allocated.value();
+
+  std::printf("mode              : %s\n",
+              options.mode == alloc::AllocMode::kDual ? "dual" : "greedy");
+  std::printf("budget            : %.2f (%.0f%% of all-in)\n", budget,
+              100.0 * budget_frac);
+  std::printf("rows streamed     : %lld\n",
+              static_cast<long long>(result.rows_streamed));
+  std::printf("treated           : %zu of %lld\n", result.selected.size(),
+              static_cast<long long>(source->total_rows()));
+  std::printf("spent             : %.2f\n", result.spent);
+  std::printf("est. value        : %.2f\n", result.value);
+  if (!true_tau_r.empty()) {
+    double revenue = 0.0;
+    for (int64_t i : result.selected) {
+      revenue += true_tau_r[roicl::AsSize64(i)];
+    }
+    std::printf("incr. revenue     : %.2f\n", revenue);
+  }
+  std::printf("shards            : %d\n", options.num_shards);
+  std::printf("peak memory       : %.2f MiB (cap %.0f MiB)\n",
+              static_cast<double>(result.peak_memory_bytes) / 1048576.0,
+              static_cast<double>(options.memory_cap_bytes) / 1048576.0);
+  std::printf("frontier evictions: %lld\n",
+              static_cast<long long>(result.frontier_evictions));
+  if (options.mode == alloc::AllocMode::kDual) {
+    std::printf("dual threshold    : %.6f\n", result.dual_threshold);
+    std::printf("dual upper bound  : %.2f\n", result.dual_upper_bound);
+    std::printf("dual gap          : %.4f\n", result.dual_gap);
+  }
+  return 0;
+}
+
 int CmdAllocate(const Flags& flags) {
+  if (flags.Has("streaming")) return CmdAllocateStreaming(flags);
   RctDataset data = LoadCsvOrDie(flags.Require("data"));
   ScoredBatch scored = ScoreWithModel(flags, data.x);
   if (!data.has_ground_truth()) {
@@ -1003,6 +1118,10 @@ void PrintUsage() {
       "--num-batches N]\n"
       "  load-replay --pipeline FILE --calib CSV --data CSV\n"
       "      [--slo-spec FILE --out JSON --requests N --max-queue N]\n"
+      "  allocate --streaming [--synthetic-rows N | --pipeline FILE "
+      "--data CSV]\n"
+      "      [--mode greedy|dual --shards N --memory-cap-mb MB "
+      "--chunk-rows N --budget-frac F --seed N]\n"
       "`roicl methods` lists every registered method name\n"
       "observability flags (any subcommand): --log-level LEVEL, "
       "--log-json FILE, --metrics-out FILE, --metrics-prom FILE, "

@@ -23,8 +23,12 @@ build_dir=${2:-"${repo_root}/build-tsan"}
 #   load_replay_test      adversarial replay: open-loop client threads,
 #                         exemplar slots, SLO engine, and the swap_storm
 #                         phase racing SetConformalQuantile mid-flight
+#   alloc_fuzz_test       concurrent shard accumulation: disjoint
+#                         frontiers racing on the shared atomic memory
+#                         accountant (ConcurrentShardAccumulation case)
 tsan_tests=(common_misc_test obs_test determinism_test
-            scoring_service_test monitor_test load_replay_test)
+            scoring_service_test monitor_test load_replay_test
+            alloc_fuzz_test)
 
 cmake -S "${repo_root}" -B "${build_dir}" -DROICL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
