@@ -38,6 +38,11 @@ namespace roicl::alloc {
 /// frontier. Thread-safe: shards may accumulate concurrently. `TryCharge`
 /// refuses charges that would exceed the cap — the allocator surfaces
 /// that as kFailedPrecondition instead of quietly growing.
+///
+/// Concurrency contract: lock-free by design — a CAS loop over `current_`
+/// plus a max-CAS on `peak_`; there is deliberately no Mutex here, so the
+/// class carries no capability annotations (nothing for Thread Safety
+/// Analysis to check; see DESIGN.md, "Concurrency contracts").
 class MemoryAccountant {
  public:
   explicit MemoryAccountant(size_t cap_bytes) : cap_(cap_bytes) {}

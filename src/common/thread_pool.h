@@ -1,12 +1,12 @@
 #ifndef ROICL_COMMON_THREAD_POOL_H_
 #define ROICL_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace roicl {
 
@@ -24,10 +24,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ROICL_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and all in-flight tasks are done.
-  void Wait();
+  void Wait() ROICL_EXCLUDES(mutex_);
 
   unsigned num_threads() const {
     return static_cast<unsigned>(workers_.size());
@@ -39,15 +39,15 @@ class ThreadPool {
   void ParallelFor(int begin, int end, const std::function<void(int)>& body);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ROICL_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  int in_flight_ = 0;
-  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  ///< written only in the constructor
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> queue_ ROICL_GUARDED_BY(mutex_);
+  int in_flight_ ROICL_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ ROICL_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool shared by library components that want parallelism

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/macros.h"
 #include "common/math_util.h"
 #include "obs/log.h"
@@ -82,7 +83,7 @@ PhaseOutcome RunTraffic(pipeline::ScoringService* service,
                         obs::SloEngine* slo,
                         const std::function<bool()>& cancelled) {
   PhaseOutcome merged;
-  std::mutex merge_mu;
+  Mutex merge_mu;
   std::atomic<bool> stop{false};
   auto worker = [&](int share) {
     PhaseOutcome local;
@@ -131,7 +132,7 @@ PhaseOutcome RunTraffic(pipeline::ScoringService* service,
       }
     }
     for (auto& [t0, future] : in_flight) settle(t0, future.get());
-    std::lock_guard<std::mutex> lock(merge_mu);
+    MutexLock lock(merge_mu);
     merged.submitted += local.submitted;
     merged.ok += local.ok;
     merged.rejected += local.rejected;

@@ -100,14 +100,13 @@ StatusOr<std::unique_ptr<ServingMonitor>> ServingMonitor::FromCalibration(
                                    options.recalibrator);
   CoverageTracker tracker(options.coverage);
 
+  const int num_channels = detector.num_channels();
   std::unique_ptr<ServingMonitor> monitor(new ServingMonitor(
       pipeline, std::move(options), std::move(detector),
-      std::move(recalibrator), std::move(tracker), roi_star));
-  monitor->feature_channels_ = std::move(feature_channels);
-  monitor->score_channel_ = score_channel;
-  monitor->conformal_channel_ = conformal_channel;
+      std::move(recalibrator), std::move(tracker), roi_star,
+      std::move(feature_channels), score_channel, conformal_channel));
   obs::Info("serving monitor up",
-            {{"channels", monitor->detector_.num_channels()},
+            {{"channels", num_channels},
              {"calibration_n", calibration.n()},
              {"roi_star", roi_star},
              {"alpha", alpha}});
@@ -119,21 +118,26 @@ ServingMonitor::ServingMonitor(const pipeline::Pipeline* pipeline,
                                DriftDetector detector,
                                RollingRecalibrator recalibrator,
                                CoverageTracker tracker,
-                               double roi_star_calibration)
+                               double roi_star_calibration,
+                               std::vector<int> feature_channels,
+                               int score_channel, int conformal_channel)
     : pipeline_(pipeline),
       options_(std::move(options)),
+      roi_star_calibration_(roi_star_calibration),
+      feature_channels_(std::move(feature_channels)),
+      score_channel_(score_channel),
+      conformal_channel_(conformal_channel),
       detector_(std::move(detector)),
       recalibrator_(std::move(recalibrator)),
-      tracker_(std::move(tracker)),
-      roi_star_calibration_(roi_star_calibration) {}
+      tracker_(std::move(tracker)) {}
 
 void ServingMonitor::BindQuantileSwap(std::function<Status(double)> swap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   swap_ = std::move(swap);
 }
 
 void ServingMonitor::BindSlo(obs::SloEngine* slo) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slo_ = slo;
 }
 
@@ -141,7 +145,7 @@ void ServingMonitor::ObserveScored(const Matrix& x,
                                    const std::vector<double>& scores) {
   ROICL_CHECK(AsSize(x.rows()) == scores.size());
   if (x.rows() == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t start_us = obs::MonotonicMicros();
 
   // One partial-count buffer per (row block, channel): worker threads
@@ -161,17 +165,24 @@ void ServingMonitor::ObserveScored(const Matrix& x,
     }
     block_counts.push_back(detector_.MakeCounts(score_channel_));
   }
+  // The worker lambda runs on pool threads while this thread holds mu_,
+  // so it may only *read* detector state (Accumulate writes into the
+  // per-block counts, never the detector). Bind the guarded member to a
+  // local reference here, in the provably-locked scope: the analysis
+  // checks a lambda body as a separate function holding no capabilities,
+  // so a direct detector_ mention inside it would not type-check.
+  const DriftDetector& detector = detector_;
   nn::ForEachRowBlock(
       n, options_.engine,
       [&](int block, int row_begin, int row_end) {
         std::vector<WindowCounts>& counts = partials[AsSize(block)];
         for (int r = row_begin; r < row_end; ++r) {
           for (size_t f = 0; f < feature_channels_.size(); ++f) {
-            detector_.Accumulate(feature_channels_[f], x(r, AsInt(f)),
-                                 &counts[f]);
+            detector.Accumulate(feature_channels_[f], x(r, AsInt(f)),
+                                &counts[f]);
           }
-          detector_.Accumulate(score_channel_, scores[AsSize(r)],
-                               &counts[AsSize(num_live - 1)]);
+          detector.Accumulate(score_channel_, scores[AsSize(r)],
+                              &counts[AsSize(num_live - 1)]);
         }
       });
   for (const std::vector<WindowCounts>& block_counts : partials) {
@@ -221,7 +232,7 @@ void ServingMonitor::EvaluateWindowLocked() {
 
 Status ServingMonitor::AddOutcomes(const RctDataset& feedback) {
   if (feedback.n() == 0) return Status::Ok();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   obs::ScopedSpan span("monitor.add_outcomes");
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
 
@@ -286,7 +297,7 @@ Status ServingMonitor::AddOutcomes(const RctDataset& feedback) {
 }
 
 StatusOr<RecalibrationResult> ServingMonitor::MaybeRecalibrate(bool force) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool cadence = options_.recalibrate_every > 0 &&
                  outcomes_since_recal_ >= options_.recalibrate_every;
   if (!force && !drift_latched_ && !cadence) {
@@ -329,27 +340,27 @@ StatusOr<RecalibrationResult> ServingMonitor::MaybeRecalibrate(bool force) {
 }
 
 bool ServingMonitor::drift_latched() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return drift_latched_;
 }
 
 std::vector<DriftReport> ServingMonitor::last_reports() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_reports_;
 }
 
 double ServingMonitor::coverage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tracker_.coverage();
 }
 
 double ServingMonitor::adaptive_alpha() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recalibrator_.adaptive_alpha();
 }
 
 std::uint64_t ServingMonitor::rows_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rows_seen_;
 }
 

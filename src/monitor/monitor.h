@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "data/dataset.h"
 #include "monitor/coverage_tracker.h"
@@ -83,14 +83,15 @@ class ServingMonitor {
   /// Installs the q_hat swap target (e.g. binding
   /// ScoringService::SetConformalQuantile). Without one,
   /// MaybeRecalibrate computes but cannot swap and returns an error.
-  void BindQuantileSwap(std::function<Status(double)> swap);
+  void BindQuantileSwap(std::function<Status(double)> swap)
+      ROICL_EXCLUDES(mu_);
 
   /// Routes monitor events into a declarative SLO engine: every labeled
   /// outcome becomes a coverage event (covered iff its conformal score is
   /// within the live quantile) and every drift-window evaluation becomes
   /// a drift event (bad iff any channel triggered). The engine must
   /// outlive the monitor; nullptr detaches.
-  void BindSlo(obs::SloEngine* slo);
+  void BindSlo(obs::SloEngine* slo) ROICL_EXCLUDES(mu_);
 
   /// Ingests one served batch: bins every monitored feature column and
   /// the scores into the live drift windows, evaluating the detector
@@ -98,54 +99,65 @@ class ServingMonitor {
   /// across row blocks per `options.engine`; per-block partial counts
   /// merge in block order, so the committed state is bit-identical at
   /// any thread count.
-  void ObserveScored(const Matrix& x, const std::vector<double>& scores);
+  void ObserveScored(const Matrix& x, const std::vector<double>& scores)
+      ROICL_EXCLUDES(mu_);
 
   /// Ingests labeled feedback: extends the recalibration window, updates
   /// the conformal-score drift channel, the coverage ring, and the ACI
   /// state. One MC sweep over `feedback.x` recomputes Eq. (3) scores.
-  Status AddOutcomes(const RctDataset& feedback);
+  Status AddOutcomes(const RctDataset& feedback) ROICL_EXCLUDES(mu_);
 
   /// Recalibrates and swaps q_hat when a drift trigger is latched or the
   /// feedback cadence elapsed (always, when `force`). Returns
   /// performed = false when nothing triggered.
-  StatusOr<RecalibrationResult> MaybeRecalibrate(bool force = false);
+  StatusOr<RecalibrationResult> MaybeRecalibrate(bool force = false)
+      ROICL_EXCLUDES(mu_);
 
-  bool drift_latched() const;
+  bool drift_latched() const ROICL_EXCLUDES(mu_);
   /// Reports from the most recent window evaluation (empty before one).
-  std::vector<DriftReport> last_reports() const;
-  double coverage() const;
-  double adaptive_alpha() const;
-  std::uint64_t rows_seen() const;
+  std::vector<DriftReport> last_reports() const ROICL_EXCLUDES(mu_);
+  double coverage() const ROICL_EXCLUDES(mu_);
+  double adaptive_alpha() const ROICL_EXCLUDES(mu_);
+  std::uint64_t rows_seen() const ROICL_EXCLUDES(mu_);
 
  private:
+  /// Channel indices are constructor parameters (not assigned after the
+  /// fact by FromCalibration) so that every member write happens before
+  /// the monitor is published — the annotations surfaced the old
+  /// post-construction assignment as the one unguarded write in the
+  /// class.
   ServingMonitor(const pipeline::Pipeline* pipeline, MonitorOptions options,
                  DriftDetector detector, RollingRecalibrator recalibrator,
-                 CoverageTracker tracker, double roi_star_calibration);
+                 CoverageTracker tracker, double roi_star_calibration,
+                 std::vector<int> feature_channels, int score_channel,
+                 int conformal_channel);
 
   /// Evaluates the drift detector over the accumulated window, updates
   /// metrics, and latches any trigger. Caller holds mu_.
-  void EvaluateWindowLocked();
+  void EvaluateWindowLocked() ROICL_REQUIRES(mu_);
 
+  // Immutable after construction (set before the monitor is published);
+  // read freely without mu_.
   const pipeline::Pipeline* pipeline_;
   MonitorOptions options_;
-  std::function<Status(double)> swap_;
-  obs::SloEngine* slo_ = nullptr;
-
-  mutable std::mutex mu_;
-  DriftDetector detector_;
-  RollingRecalibrator recalibrator_;
-  CoverageTracker tracker_;
   /// Frozen calibration-time convergence point: the coverage fallback
   /// target while the feedback window cannot support Algorithm 2.
   double roi_star_calibration_;
   std::vector<int> feature_channels_;  ///< column -> channel index
   int score_channel_ = -1;
   int conformal_channel_ = -1;
-  std::uint64_t rows_since_eval_ = 0;
-  std::uint64_t rows_seen_ = 0;
-  std::uint64_t outcomes_since_recal_ = 0;
-  bool drift_latched_ = false;
-  std::vector<DriftReport> last_reports_;
+
+  mutable Mutex mu_;
+  std::function<Status(double)> swap_ ROICL_GUARDED_BY(mu_);
+  obs::SloEngine* slo_ ROICL_GUARDED_BY(mu_) = nullptr;
+  DriftDetector detector_ ROICL_GUARDED_BY(mu_);
+  RollingRecalibrator recalibrator_ ROICL_GUARDED_BY(mu_);
+  CoverageTracker tracker_ ROICL_GUARDED_BY(mu_);
+  std::uint64_t rows_since_eval_ ROICL_GUARDED_BY(mu_) = 0;
+  std::uint64_t rows_seen_ ROICL_GUARDED_BY(mu_) = 0;
+  std::uint64_t outcomes_since_recal_ ROICL_GUARDED_BY(mu_) = 0;
+  bool drift_latched_ ROICL_GUARDED_BY(mu_) = false;
+  std::vector<DriftReport> last_reports_ ROICL_GUARDED_BY(mu_);
 };
 
 }  // namespace roicl::monitor

@@ -1,8 +1,8 @@
 #include "nn/batch_forward.h"
 
 #include <algorithm>
-#include <mutex>
 
+#include "common/annotated_mutex.h"
 #include "common/macros.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
@@ -36,7 +36,7 @@ Matrix BatchedInferForward(Network* net, const Matrix& x,
                            const BatchOptions& opts) {
   ROICL_CHECK(net != nullptr);
   Matrix out;
-  std::mutex init_mutex;
+  Mutex init_mutex;
   ForEachRowBlock(x.rows(), opts, [&](int /*block*/, int row_begin,
                                       int row_end) {
     std::vector<int> rows(AsSize(row_end - row_begin));
@@ -48,7 +48,7 @@ Matrix BatchedInferForward(Network* net, const Matrix& x,
     // First finished block sizes the output; every block then writes its
     // disjoint row range, so concurrent writes never overlap.
     {
-      std::lock_guard<std::mutex> lock(init_mutex);
+      MutexLock lock(init_mutex);
       if (out.empty()) out = Matrix(x.rows(), block_out.cols());
     }
     for (int r = row_begin; r < row_end; ++r) {

@@ -200,13 +200,13 @@ Logger& Logger::Global() {
 }
 
 void Logger::AddSink(std::unique_ptr<LogSink> sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sinks_.push_back(std::move(sink));
 }
 
 std::vector<std::unique_ptr<LogSink>> Logger::SwapSinks(
     std::vector<std::unique_ptr<LogSink>> sinks) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sinks_.swap(sinks);
   return sinks;
 }
@@ -220,7 +220,7 @@ void Logger::LogImpl(LogLevel level, std::string_view message,
   record.num_fields = num_fields;
   record.unix_seconds = UnixSecondsNow();
   record.thread_id = CurrentThreadId();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::unique_ptr<LogSink>& sink : sinks_) sink->Write(record);
 }
 

@@ -7,10 +7,11 @@
 #include <fstream>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 /// \file
 /// Structured, leveled, thread-safe logging for the roicl library.
@@ -152,11 +153,11 @@ class Logger {
                level_.load(std::memory_order_relaxed);
   }
 
-  void AddSink(std::unique_ptr<LogSink> sink);
+  void AddSink(std::unique_ptr<LogSink> sink) ROICL_EXCLUDES(mutex_);
   /// Replaces the sink list, returning the previous sinks (tests use
   /// this to install a capture sink and restore the original).
   std::vector<std::unique_ptr<LogSink>> SwapSinks(
-      std::vector<std::unique_ptr<LogSink>> sinks);
+      std::vector<std::unique_ptr<LogSink>> sinks) ROICL_EXCLUDES(mutex_);
 
   void Log(LogLevel level, std::string_view message,
            std::initializer_list<LogField> fields = {}) {
@@ -172,11 +173,14 @@ class Logger {
 
  private:
   void LogImpl(LogLevel level, std::string_view message,
-               const LogField* fields, size_t num_fields);
+               const LogField* fields, size_t num_fields)
+      ROICL_EXCLUDES(mutex_);
 
   std::atomic<int> level_;
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<LogSink>> sinks_;
+  Mutex mutex_;
+  /// Sink list AND each sink's Write() are serialized under mutex_; that
+  /// serialization is the "sinks need no locking of their own" contract.
+  std::vector<std::unique_ptr<LogSink>> sinks_ ROICL_GUARDED_BY(mutex_);
 };
 
 /// Convenience wrappers over Logger::Global().

@@ -51,7 +51,7 @@ void Histogram::Observe(double v) {
 void Histogram::ObserveWithExemplar(double v, uint64_t trace_id) {
   Observe(v);
   Exemplar offer{v, trace_id, true};
-  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  MutexLock lock(exemplar_mu_);
   Exemplar& slot = exemplars_[BucketIndex(v)];
   // Keep the lexicographic max of (value, trace_id): deterministic under
   // any interleaving, and "slowest wins" within a bucket.
@@ -62,7 +62,7 @@ void Histogram::ObserveWithExemplar(double v, uint64_t trace_id) {
 }
 
 std::vector<Exemplar> Histogram::Exemplars() const {
-  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  MutexLock lock(exemplar_mu_);
   return exemplars_;
 }
 
@@ -111,7 +111,7 @@ void Histogram::Reset() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  MutexLock lock(exemplar_mu_);
   for (Exemplar& slot : exemplars_) slot = Exemplar{};
 }
 
@@ -131,7 +131,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -141,7 +141,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -152,7 +152,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -164,7 +164,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -268,7 +268,7 @@ std::string PromNumber(double v) {
 }  // namespace
 
 std::string MetricsRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     std::string prom = PromName(name);
@@ -315,7 +315,7 @@ bool MetricsRegistry::WritePrometheusText(const std::string& path) const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
@@ -323,20 +323,20 @@ void MetricsRegistry::Reset() {
 
 void MetricsRegistry::ForEachCounter(
     const std::function<void(const std::string&, uint64_t)>& fn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) fn(name, counter->value());
 }
 
 void MetricsRegistry::ForEachGauge(
     const std::function<void(const std::string&, double)>& fn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, gauge] : gauges_) fn(name, gauge->value());
 }
 
 void MetricsRegistry::ForEachHistogram(
     const std::function<void(const std::string&, const Histogram&)>& fn)
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, histogram] : histograms_) fn(name, *histogram);
 }
 

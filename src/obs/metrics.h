@@ -6,10 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 /// \file
 /// Process-wide metrics registry: named counters, gauges, and fixed-bucket
@@ -75,11 +76,12 @@ class Histogram {
   /// count. Callers decide *whether* to offer (see the counter-RNG
   /// sampling in pipeline::ExemplarSampler); the slot mutex is only
   /// touched on the sampled path.
-  void ObserveWithExemplar(double v, uint64_t trace_id);
+  void ObserveWithExemplar(double v, uint64_t trace_id)
+      ROICL_EXCLUDES(exemplar_mu_);
 
   /// Per-bucket exemplar slots (size upper_bounds().size() + 1, overflow
   /// last); entries with valid == false have retained nothing.
-  std::vector<Exemplar> Exemplars() const;
+  std::vector<Exemplar> Exemplars() const ROICL_EXCLUDES(exemplar_mu_);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -96,7 +98,7 @@ class Histogram {
   /// SnapshotJson renders that as null.
   double ApproxQuantile(double q) const;
 
-  void Reset();
+  void Reset() ROICL_EXCLUDES(exemplar_mu_);
 
  private:
   size_t BucketIndex(double v) const;
@@ -105,8 +107,10 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  mutable std::mutex exemplar_mu_;
-  std::vector<Exemplar> exemplars_;  ///< one slot per bucket, overflow last
+  mutable Mutex exemplar_mu_;
+  /// One slot per bucket, overflow last. The vector itself is sized once in
+  /// the constructor; the slots are what the mutex guards.
+  std::vector<Exemplar> exemplars_ ROICL_GUARDED_BY(exemplar_mu_);
 };
 
 /// Canonical bucket layouts shared by instrumentation sites and the CLI's
@@ -122,15 +126,16 @@ class MetricsRegistry {
   /// Finds or creates the named instrument. For histograms, the bucket
   /// layout is fixed by whichever call registers the name first; later
   /// calls return the existing instrument unchanged.
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  Counter* GetCounter(std::string_view name) ROICL_EXCLUDES(mutex_);
+  Gauge* GetGauge(std::string_view name) ROICL_EXCLUDES(mutex_);
   Histogram* GetHistogram(std::string_view name,
-                          std::vector<double> upper_bounds);
+                          std::vector<double> upper_bounds)
+      ROICL_EXCLUDES(mutex_);
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:
   ///   {"count":N,"sum":S,"bounds":[...],"counts":[...]}}}
   /// Non-finite gauge values are emitted as null to keep the JSON valid.
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const ROICL_EXCLUDES(mutex_);
   /// Writes SnapshotJson() to `path`; false on I/O failure.
   bool WriteSnapshotJson(const std::string& path) const;
 
@@ -140,28 +145,35 @@ class MetricsRegistry {
   /// '_'); retained exemplars ride along OpenMetrics-style
   /// (`... # {trace_id="17"} 9501`). The scrape-endpoint twin of
   /// SnapshotJson for dashboards that speak Prometheus.
-  std::string PrometheusText() const;
+  std::string PrometheusText() const ROICL_EXCLUDES(mutex_);
   /// Writes PrometheusText() to `path`; false on I/O failure.
   bool WritePrometheusText(const std::string& path) const;
 
   /// Zeroes every registered instrument (registration survives).
   /// For tests and benchmark repetitions.
-  void Reset();
+  void Reset() ROICL_EXCLUDES(mutex_);
 
   void ForEachCounter(
-      const std::function<void(const std::string&, uint64_t)>& fn) const;
+      const std::function<void(const std::string&, uint64_t)>& fn) const
+      ROICL_EXCLUDES(mutex_);
   void ForEachGauge(
-      const std::function<void(const std::string&, double)>& fn) const;
+      const std::function<void(const std::string&, double)>& fn) const
+      ROICL_EXCLUDES(mutex_);
   void ForEachHistogram(
       const std::function<void(const std::string&, const Histogram&)>& fn)
-      const;
+      const ROICL_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-      histograms_;
+  /// Guards registration only; instrument updates are lock-free atomics on
+  /// the pointers handed out. Acquired before any Histogram::exemplar_mu_
+  /// (SnapshotJson/PrometheusText read exemplars under the registry lock).
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ROICL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      ROICL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      ROICL_GUARDED_BY(mutex_);
 };
 
 }  // namespace roicl::obs

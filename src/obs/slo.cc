@@ -206,7 +206,7 @@ SloEngine::SloEngine(std::vector<SloSpec> specs) {
 }
 
 void SloEngine::RecordLatency(double latency_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Tracker& tracker : trackers_) {
     if (tracker.spec.kind != SloKind::kP99LatencyUs) continue;
     tracker.events += 1;
@@ -233,7 +233,7 @@ void SloEngine::RecordDriftWindow(bool triggered) {
 }
 
 void SloEngine::RecordKind(SloKind kind, bool bad) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Tracker& tracker : trackers_) {
     if (tracker.spec.kind != kind) continue;
     tracker.events += 1;
@@ -305,7 +305,7 @@ void SloEngine::EvaluateLocked(Tracker* tracker) {
 }
 
 SloState SloEngine::StateOf(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const Tracker& tracker : trackers_) {
     if (tracker.spec.name == name) return tracker.state;
   }
@@ -313,7 +313,7 @@ SloState SloEngine::StateOf(std::string_view name) const {
 }
 
 SloState SloEngine::WorstState() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SloState worst = SloState::kOk;
   for (const Tracker& tracker : trackers_) {
     if (static_cast<int>(tracker.state) > static_cast<int>(worst)) {
@@ -324,7 +324,7 @@ SloState SloEngine::WorstState() const {
 }
 
 SloState SloEngine::PeakWorstState() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SloState worst = SloState::kOk;
   for (const Tracker& tracker : trackers_) {
     if (static_cast<int>(tracker.peak) > static_cast<int>(worst)) {
@@ -335,7 +335,7 @@ SloState SloEngine::PeakWorstState() const {
 }
 
 std::string SloEngine::VerdictJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\"slos\":[";
   SloState worst = SloState::kOk;
   SloState worst_peak = SloState::kOk;

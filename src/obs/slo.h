@@ -4,10 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 /// \file
 /// Declarative SLO engine: specs parsed from a `.slo` config are evaluated
@@ -86,29 +87,33 @@ class SloEngine {
  public:
   explicit SloEngine(std::vector<SloSpec> specs);
 
-  void RecordLatency(double latency_us);   ///< kP99LatencyUs specs
-  void RecordAdmission(bool admitted);     ///< kRejectRate specs
-  void RecordCoverage(bool covered);       ///< kCoverageFloor specs
-  void RecordDriftWindow(bool triggered);  ///< kDriftAlertBudget specs
+  void RecordLatency(double latency_us)  ///< kP99LatencyUs specs
+      ROICL_EXCLUDES(mutex_);
+  void RecordAdmission(bool admitted)  ///< kRejectRate specs
+      ROICL_EXCLUDES(mutex_);
+  void RecordCoverage(bool covered)  ///< kCoverageFloor specs
+      ROICL_EXCLUDES(mutex_);
+  void RecordDriftWindow(bool triggered)  ///< kDriftAlertBudget specs
+      ROICL_EXCLUDES(mutex_);
 
   /// Current state of the named spec; kOk for unknown names (an absent
   /// spec cannot breach).
-  SloState StateOf(std::string_view name) const;
+  SloState StateOf(std::string_view name) const ROICL_EXCLUDES(mutex_);
 
   /// Worst state across all specs.
-  SloState WorstState() const;
+  SloState WorstState() const ROICL_EXCLUDES(mutex_);
 
   /// Worst state any spec has *ever* reached — a breach that recovered
   /// still reads BREACH here. Replay reports use this: the verdict at
   /// the end of a run must not forget a mid-run page.
-  SloState PeakWorstState() const;
+  SloState PeakWorstState() const ROICL_EXCLUDES(mutex_);
 
   /// {"slos":[{"name":...,"kind":...,"target":...,"state":"OK",
   ///   "peak":"OK","short_burn":...,"long_burn":...,"events":N,
   ///   "bad_events":N}],"worst":"OK","worst_peak":"OK"} — the verdict
   /// snapshot written next to metrics. `state`/`worst` are current;
   /// `peak`/`worst_peak` latch the worst ever reached.
-  std::string VerdictJson() const;
+  std::string VerdictJson() const ROICL_EXCLUDES(mutex_);
 
  private:
   struct Tracker {
@@ -123,11 +128,11 @@ class SloEngine {
     double long_burn = 0.0;
   };
 
-  void RecordKind(SloKind kind, bool bad);
-  void EvaluateLocked(Tracker* tracker);
+  void RecordKind(SloKind kind, bool bad) ROICL_EXCLUDES(mutex_);
+  void EvaluateLocked(Tracker* tracker) ROICL_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<Tracker> trackers_;
+  mutable Mutex mutex_;
+  std::vector<Tracker> trackers_ ROICL_GUARDED_BY(mutex_);
 };
 
 }  // namespace roicl::obs

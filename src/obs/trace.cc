@@ -20,7 +20,7 @@ TraceCollector& TraceCollector::Global() {
 }
 
 void TraceCollector::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
@@ -37,22 +37,22 @@ void TraceCollector::RecordFlowEvent(std::string_view name, char phase,
 }
 
 std::vector<TraceEvent> TraceCollector::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
 size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
 }
 
 std::string TraceCollector::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "[";
   for (size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& event = events_[i];

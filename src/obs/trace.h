@@ -4,10 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 /// \file
 /// RAII trace spans exportable as Chrome `chrome://tracing` JSON.
@@ -60,20 +61,21 @@ class TraceCollector {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  void Record(TraceEvent event);
+  void Record(TraceEvent event) ROICL_EXCLUDES(mutex_);
 
   /// Records one flow event when collection is enabled (no-op otherwise).
   /// `phase` must be 's', 't', or 'f'; `flow_id` binds the arrows of one
   /// request together across thread tracks.
-  void RecordFlowEvent(std::string_view name, char phase, uint64_t flow_id);
+  void RecordFlowEvent(std::string_view name, char phase, uint64_t flow_id)
+      ROICL_EXCLUDES(mutex_);
 
-  std::vector<TraceEvent> Snapshot() const;
-  size_t size() const;
-  void Clear();
+  std::vector<TraceEvent> Snapshot() const ROICL_EXCLUDES(mutex_);
+  size_t size() const ROICL_EXCLUDES(mutex_);
+  void Clear() ROICL_EXCLUDES(mutex_);
 
   /// Chrome trace-event JSON: an array of
   /// {"name":...,"ph":"X","ts":...,"dur":...,"pid":1,"tid":...} objects.
-  std::string ToChromeJson() const;
+  std::string ToChromeJson() const ROICL_EXCLUDES(mutex_);
   /// Writes ToChromeJson() to `path`; false on I/O failure.
   bool WriteChromeJson(const std::string& path) const;
 
@@ -84,9 +86,9 @@ class TraceCollector {
   TraceCollector();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::chrono::steady_clock::time_point epoch_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ ROICL_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point epoch_;  ///< set once, then read-only
 };
 
 /// Monotonic microseconds since process start (the trace collector's

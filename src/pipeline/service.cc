@@ -47,12 +47,15 @@ ScoringService::ScoringService(Pipeline pipeline, ServiceOptions options)
 
 ScoringService::~ScoringService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
-  // Fail anything still queued so no future is left dangling.
+  // Fail anything still queued so no future is left dangling. The
+  // dispatcher is gone, but the lock keeps the guarded-access discipline
+  // uniform (the analysis does not check destructors; TSan does).
+  MutexLock lock(mu_);
   for (Request& request : queue_) {
     request.promise.set_value(
         Status::FailedPrecondition("scoring service shut down"));
@@ -76,7 +79,7 @@ std::future<StatusOr<std::vector<double>>> ScoringService::Submit(
   std::future<StatusOr<std::vector<double>>> future =
       request.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       request.promise.set_value(
           Status::FailedPrecondition("scoring service shut down"));
@@ -98,7 +101,7 @@ std::future<StatusOr<std::vector<double>>> ScoringService::Submit(
   // admitted requests — the dispatcher steps ('t') and finishes ('f')
   // the same flow id on its own track.
   if (tracing) collector.RecordFlowEvent("serve.request", 's', trace_id);
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -108,7 +111,7 @@ StatusOr<std::vector<double>> ScoringService::Score(
 }
 
 uint64_t ScoringService::requests_served() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return served_;
 }
 
@@ -155,8 +158,11 @@ void ScoringService::Loop() {
     std::vector<Request> batch;
     uint64_t assemble_start = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit while loop, not a predicate lambda: the analysis checks a
+      // lambda as a separate function holding no capabilities, so the
+      // guarded reads must stay in this provably-locked scope.
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (stopping_) return;
       assemble_start = obs::MonotonicMicros();
       int take = std::min<int>(options_.max_batch_requests,
@@ -263,7 +269,7 @@ void ScoringService::Loop() {
       // Count before fulfilling the promise: a client that has observed
       // its future resolve must already be visible in requests_served().
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++served_;
       }
       request.promise.set_value(std::move(result));

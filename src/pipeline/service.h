@@ -2,14 +2,13 @@
 #define ROICL_PIPELINE_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "nn/batch_forward.h"
@@ -114,14 +113,14 @@ class ScoringService {
   /// dimension mismatch). `deadline_micros` overrides the default; 0
   /// falls back to options.default_deadline_micros.
   std::future<StatusOr<std::vector<double>>> Submit(
-      Matrix x, int64_t deadline_micros = 0);
+      Matrix x, int64_t deadline_micros = 0) ROICL_EXCLUDES(mu_);
 
   /// Blocking convenience: Submit and wait.
   StatusOr<std::vector<double>> Score(Matrix x,
                                       int64_t deadline_micros = 0);
 
   const Pipeline& pipeline() const { return pipeline_; }
-  uint64_t requests_served() const;
+  uint64_t requests_served() const ROICL_EXCLUDES(mu_);
 
   /// Atomically swaps the conformal quantile in the live pipeline — the
   /// online-recalibration entry point. Safe against in-flight Submit:
@@ -139,16 +138,16 @@ class ScoringService {
     std::promise<StatusOr<std::vector<double>>> promise;
   };
 
-  void Loop();
+  void Loop() ROICL_EXCLUDES(mu_);
 
   Pipeline pipeline_;
   ServiceOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;
-  uint64_t served_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Request> queue_ ROICL_GUARDED_BY(mu_);
+  bool stopping_ ROICL_GUARDED_BY(mu_) = false;
+  uint64_t served_ ROICL_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> next_trace_id_{1};
   std::thread dispatcher_;
 };

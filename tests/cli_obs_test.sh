@@ -83,7 +83,20 @@ $CLI generate --dataset criteo --n 300000 --seed 4 --out $WORK/big.csv
 $CLI serve --pipeline $WORK/m.pipeline --data $WORK/big.csv \
     --out $WORK/big_scores.csv --request-rows 4 \
     2>$WORK/serve_err.txt >/dev/null & pid=$!
-sleep 3
+# Readiness-gated kill, not a fixed sleep: on a loaded machine (ctest -j)
+# the 300k-row CSV load alone can outlast any fixed delay, and a SIGTERM
+# before the first request completes flushes empty serve.* histograms.
+# Wait for the service-up log line, then give the engine a moment to
+# finish a few 4-row batches; 300k rows take far longer than that to
+# drain, so the kill still lands mid-serve.
+for _ in $(seq 1 600); do
+  if grep -q "scoring service up" $WORK/serve_err.txt 2>/dev/null; then
+    break
+  fi
+  kill -0 $pid 2>/dev/null || break
+  sleep 0.2
+done
+sleep 2
 kill -TERM $pid 2>/dev/null || true
 rc=0
 wait $pid || rc=$?

@@ -1,14 +1,17 @@
 #!/bin/bash
-# Self-check for the custom lints under tools/: each one must FAIL on a
-# deliberately-bad fixture tree and PASS on this repository. A lint that
-# silently stopped matching (regex rot, directory rename) would otherwise
-# keep reporting success forever — this test is the lint for the lints.
+# Self-check for the manifest-driven lints under tools/lint/: each one
+# must FAIL on a deliberately-bad fixture tree and PASS on this
+# repository. A lint that silently stopped matching (regex rot, directory
+# rename) would otherwise keep reporting success forever — this test is
+# the lint for the lints. Every invocation goes through
+# tools/lint/run_lints.sh so the engine's spec resolution and name
+# dispatch are exercised on both the bad and the good path.
 #
 # Usage: lint_selfcheck_test.sh <repo root>
 set -euo pipefail
 
 repo_root=${1:?usage: lint_selfcheck_test.sh <repo root>}
-tools="${repo_root}/tools"
+runner="${repo_root}/tools/lint/run_lints.sh"
 fixture=$(mktemp -d "${TMPDIR:-/tmp}/roicl_lint_selfcheck.XXXXXX")
 trap 'rm -rf "${fixture}"' EXIT
 
@@ -69,17 +72,53 @@ cat > "${fixture}/src/core/bad_io.cc" <<'EOF'
 void Shout() { std::printf("raw stdout write\n"); }
 EOF
 
-# check_scripts, registration rule: a lint that exists but is wired into
-# no CMakeLists. Regression test for a silent-abort bug where grep's
-# exit-1-on-no-match killed the lint (under set -e -o pipefail) before
-# it could report the unregistered script — so assert the message, not
-# just the exit code.
+# check_lint_manifest, top-level-gate rule: a lint that exists but is
+# wired into no CMakeLists. Regression test for a silent-abort bug where
+# grep's exit-1-on-no-match killed the lint (under set -e -o pipefail)
+# before it could report the unregistered script — so assert the
+# message, not just the exit code.
 cat > "${fixture}/tools/check_unwired.sh" <<'EOF'
 #!/bin/bash
 set -euo pipefail
 exit 0
 EOF
 chmod +x "${fixture}/tools/check_unwired.sh"
+
+# check_lock_discipline: a raw std::mutex in library code, plus a Mutex
+# member that no ROICL_* contract in its header ever references.
+cat > "${fixture}/src/core/bad_raw_lock.cc" <<'EOF'
+#include <mutex>
+std::mutex raw_mu;
+void Bump(int* n) {
+  std::lock_guard<std::mutex> lock(raw_mu);
+  ++*n;
+}
+EOF
+cat > "${fixture}/src/core/bad_naked_mutex.h" <<'EOF'
+#ifndef ROICL_CORE_BAD_NAKED_MUTEX_H_
+#define ROICL_CORE_BAD_NAKED_MUTEX_H_
+class Unguarded {
+ public:
+  void Touch();
+
+ private:
+  Mutex naked_mu_;
+  int value_ = 0;
+};
+#endif  // ROICL_CORE_BAD_NAKED_MUTEX_H_
+EOF
+
+# check_unordered: an unordered container whose iteration order would
+# leak into output.
+cat > "${fixture}/src/core/bad_unordered.cc" <<'EOF'
+#include <string>
+#include <unordered_map>
+int Sum(const std::unordered_map<std::string, int>& m) {
+  int total = 0;
+  for (const auto& [key, value] : m) total += value;
+  return total;
+}
+EOF
 
 # check_metric_names: a counter minted in library code (across a line
 # break, to exercise the flattening) that the CLI never preregisters.
@@ -158,20 +197,29 @@ void RegisterBuiltinScorers(ScorerRegistry* registry) {
 EOF
 
 # --- Each lint must reject its fixture... -------------------------------
-expect_fail check_determinism bash "${tools}/check_determinism.sh" "${fixture}"
+expect_fail check_determinism bash "${runner}" "${fixture}" check_determinism
 expect_fail check_include_guards \
-  bash "${tools}/check_include_guards.sh" "${fixture}"
-expect_fail check_scripts bash "${tools}/check_scripts.sh" "${fixture}"
-expect_fail check_no_raw_io bash "${tools}/check_no_raw_io.sh" "${fixture}"
+  bash "${runner}" "${fixture}" check_include_guards
+expect_fail check_scripts bash "${runner}" "${fixture}" check_scripts
+expect_fail check_no_raw_io bash "${runner}" "${fixture}" check_no_raw_io
 expect_fail check_registry_complete \
-  bash "${tools}/check_registry_complete.sh" "${fixture}"
+  bash "${runner}" "${fixture}" check_registry_complete
 expect_fail check_metric_names \
-  bash "${tools}/check_metric_names.sh" "${fixture}"
-expect_fail check_slo_specs bash "${tools}/check_slo_specs.sh" "${fixture}"
-expect_fail check_testnames bash "${tools}/check_testnames.sh" "${fixture}"
+  bash "${runner}" "${fixture}" check_metric_names
+expect_fail check_slo_specs bash "${runner}" "${fixture}" check_slo_specs
+expect_fail check_testnames bash "${runner}" "${fixture}" check_testnames
+expect_fail check_lock_discipline \
+  bash "${runner}" "${fixture}" check_lock_discipline
+expect_fail check_unordered bash "${runner}" "${fixture}" check_unordered
+expect_fail check_lint_manifest \
+  bash "${runner}" "${fixture}" check_lint_manifest
+# The engine itself must fail loudly on a name the manifest doesn't know,
+# not vacuously pass by running zero lints.
+expect_fail run_lints_unknown_name \
+  bash "${runner}" "${repo_root}" check_no_such_lint
 
 # The SLO lint pinpoints the violations, not just "failed".
-slo_out=$(bash "${tools}/check_slo_specs.sh" "${fixture}" 2>&1 || true)
+slo_out=$(bash "${runner}" "${fixture}" check_slo_specs 2>&1 || true)
 for needle in "unknown kind made_up_kind" "long_window must exceed" \
     "duplicate slo name latency"; do
   if grep -q "${needle}" <<<"${slo_out}"; then
@@ -183,7 +231,7 @@ for needle in "unknown kind made_up_kind" "long_window must exceed" \
 done
 
 # The metric lint names the unregistered metric, not just "failed".
-metric_out=$(bash "${tools}/check_metric_names.sh" "${fixture}" 2>&1 || true)
+metric_out=$(bash "${runner}" "${fixture}" check_metric_names 2>&1 || true)
 if grep -q "metric 'monitor.unregistered_us' used in src/" \
     <<<"${metric_out}"; then
   echo "ok: check_metric_names reports the unregistered metric"
@@ -193,7 +241,7 @@ else
 fi
 
 # The registry lint names the missing method, not just "failed".
-registry_out=$(bash "${tools}/check_registry_complete.sh" "${fixture}" \
+registry_out=$(bash "${runner}" "${fixture}" check_registry_complete \
   2>&1 || true)
 if grep -q "method 'rDRP' from kTable1MethodNames" <<<"${registry_out}"; then
   echo "ok: check_registry_complete reports the unregistered method"
@@ -203,7 +251,7 @@ else
 fi
 
 # The testname lint names the orphan source, not just "failed".
-testnames_out=$(bash "${tools}/check_testnames.sh" "${fixture}" 2>&1 || true)
+testnames_out=$(bash "${runner}" "${fixture}" check_testnames 2>&1 || true)
 if grep -q "tests/orphan_test.cc: not registered" <<<"${testnames_out}"; then
   echo "ok: check_testnames reports the orphan test by name"
 else
@@ -213,26 +261,36 @@ fi
 
 # Capture first: under pipefail the lint's expected exit 1 would mask
 # grep's verdict in a direct pipeline.
-check_scripts_out=$(bash "${tools}/check_scripts.sh" "${fixture}" 2>&1 || true)
+manifest_out=$(bash "${runner}" "${fixture}" check_lint_manifest 2>&1 || true)
 if grep -q 'check_unwired.sh: referenced 0 times' \
-    <<<"${check_scripts_out}"; then
-  echo "ok: check_scripts reports the unregistered lint by name"
+    <<<"${manifest_out}"; then
+  echo "ok: check_lint_manifest reports the unregistered lint by name"
 else
-  echo "FAIL: check_scripts did not report the unregistered lint"
+  echo "FAIL: check_lint_manifest did not report the unregistered lint"
   status=1
 fi
 
-# --- ...and accept the real tree. ---------------------------------------
-expect_pass check_determinism bash "${tools}/check_determinism.sh" "${repo_root}"
-expect_pass check_include_guards \
-  bash "${tools}/check_include_guards.sh" "${repo_root}"
-expect_pass check_scripts bash "${tools}/check_scripts.sh" "${repo_root}"
-expect_pass check_no_raw_io bash "${tools}/check_no_raw_io.sh" "${repo_root}"
-expect_pass check_registry_complete \
-  bash "${tools}/check_registry_complete.sh" "${repo_root}"
-expect_pass check_metric_names \
-  bash "${tools}/check_metric_names.sh" "${repo_root}"
-expect_pass check_slo_specs bash "${tools}/check_slo_specs.sh" "${repo_root}"
-expect_pass check_testnames bash "${tools}/check_testnames.sh" "${repo_root}"
+# The lock lint names both the raw primitive and the contract-less member.
+lock_out=$(bash "${runner}" "${fixture}" check_lock_discipline 2>&1 || true)
+for needle in "bad_raw_lock.cc" "Mutex member 'naked_mu_'"; do
+  if grep -q "${needle}" <<<"${lock_out}"; then
+    echo "ok: check_lock_discipline reports '${needle}'"
+  else
+    echo "FAIL: check_lock_discipline did not report '${needle}'"
+    status=1
+  fi
+done
+
+# The unordered lint names the offending file, not just "failed".
+unordered_out=$(bash "${runner}" "${fixture}" check_unordered 2>&1 || true)
+if grep -q 'bad_unordered.cc' <<<"${unordered_out}"; then
+  echo "ok: check_unordered reports the unordered-container site"
+else
+  echo "FAIL: check_unordered did not name the unordered-container site"
+  status=1
+fi
+
+# --- ...and accept the real tree (one full-manifest engine run). --------
+expect_pass full_manifest bash "${runner}" "${repo_root}"
 
 exit "${status}"

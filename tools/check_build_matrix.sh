@@ -9,17 +9,34 @@
 # into the suite would multiply CI time by the matrix size.
 #
 # Usage: check_build_matrix.sh <repo root> [config ...]
-#   configs: release strict asan ubsan tsan   (default: all)
+#   configs: release strict asan ubsan tsan tsa   (default: all)
 # Build trees live under <repo root>/build-matrix/<config> and are
 # incremental across runs. Exits non-zero if any requested row fails.
+# The tsa row (Clang Thread Safety Analysis, -Werror) requires a clang++;
+# without one it reports SKIP loudly rather than failing the matrix —
+# GCC cannot run the analysis (the annotations compile away).
 set -euo pipefail
 
 repo_root=${1:?usage: check_build_matrix.sh <repo root> [config ...]}
 shift || true
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(release strict asan ubsan tsan)
+  configs=(release strict asan ubsan tsan tsa)
 fi
+
+# Same probe order as tools/check_tsa.sh: explicit override first, then
+# the unversioned name, then recent versioned names.
+find_clangxx() {
+  for candidate in "${ROICL_CLANGXX:-}" clang++ clang++-21 clang++-20 \
+      clang++-19 clang++-18 clang++-17 clang++-16 clang++-15 clang++-14; do
+    [ -n "${candidate}" ] || continue
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      command -v "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
 
 cmake_args_for() {
   case "$1" in
@@ -28,6 +45,7 @@ cmake_args_for() {
     asan)    echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DROICL_SANITIZE=address" ;;
     ubsan)   echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DROICL_SANITIZE=undefined" ;;
     tsan)    echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DROICL_SANITIZE=thread" ;;
+    tsa)     echo "-DCMAKE_BUILD_TYPE=Release -DROICL_TSA=ON" ;;
     *) echo "unknown config '$1'" >&2; return 1 ;;
   esac
 }
@@ -52,6 +70,16 @@ declare -A result
 status=0
 for config in "${configs[@]}"; do
   args=$(cmake_args_for "${config}")
+  if [ "${config}" = "tsa" ]; then
+    if clangxx=$(find_clangxx); then
+      args+=" -DCMAKE_CXX_COMPILER=${clangxx}"
+    else
+      echo "== tsa: SKIP — no clang++ on PATH (set ROICL_CLANGXX to" \
+        "override); GCC cannot run Thread Safety Analysis =="
+      result[${config}]=SKIP
+      continue
+    fi
+  fi
   tree="${repo_root}/build-matrix/${config}"
   echo "== ${config}: cmake ${args} =="
   # shellcheck disable=SC2086  # args is a deliberate word-split flag list

@@ -1,0 +1,104 @@
+#!/bin/bash
+# Manifest-completeness check for the tools/lint/ engine — the rule that
+# keeps a new lint from silently going unwired anywhere along the chain
+# script -> spec -> ctest -> selfcheck:
+#
+#   1. every tools/lint/check_*.sh has exactly one spec referencing it,
+#      and every spec's script exists;
+#   2. every spec carries name=/script=/scope=/fixtures= keys, and name
+#      matches the spec filename;
+#   3. every spec's name is wired into exactly one add_test() across the
+#      tree's CMakeLists;
+#   4. every lint's fixtures= file exists and mentions the lint by name
+#      (selfcheck coverage — a lint nobody proves can still fail is rot
+#      waiting to happen);
+#   5. legacy top-level rule: every tools/check_*.sh gate (build-matrix
+#      driver excepted) is referenced by exactly one add_test.
+#
+# Rules 1-4 apply when the target tree has a tools/lint/ manifest; rule 5
+# always applies. Usage: check_lint_manifest.sh <repo root>.
+set -euo pipefail
+cd "${1:?usage: check_lint_manifest.sh <repo root>}"
+
+status=0
+
+count_addtest() {
+  # Lines registering the test: a literal add_test(NAME <name>), or the
+  # roicl_add_lint(<name>) wrapper tests/CMakeLists.txt expands into one.
+  { grep -rh --include='CMakeLists.txt' -oE \
+      "(add_test\(NAME |roicl_add_lint\()${1}[^A-Za-z0-9_]" . || true; } | wc -l
+}
+
+if [ -d tools/lint/specs ]; then
+  specs=(tools/lint/specs/*.spec)
+
+  # --- Rules 2-4 over the specs.
+  for spec in "${specs[@]}"; do
+    name=$(sed -n 's/^name=//p' "${spec}" | head -n 1)
+    script=$(sed -n 's/^script=//p' "${spec}" | head -n 1)
+    scope=$(sed -n 's/^scope=//p' "${spec}" | head -n 1)
+    fixtures=$(sed -n 's/^fixtures=//p' "${spec}" | head -n 1)
+    for key in name script scope fixtures; do
+      if [ -z "${!key}" ]; then
+        echo "${spec}: missing required key '${key}='"
+        status=1
+      fi
+    done
+    [ -n "${name}" ] || continue
+    if [ "$(basename "${spec}" .spec)" != "${name}" ]; then
+      echo "${spec}: name '${name}' does not match spec filename"
+      status=1
+    fi
+    if [ -n "${script}" ] && [ ! -f "tools/lint/${script}" ]; then
+      echo "${spec}: script 'tools/lint/${script}' does not exist"
+      status=1
+    fi
+    wired=$(count_addtest "${name}")
+    if [ "${wired}" -ne 1 ]; then
+      echo "${script:-${name}}: referenced ${wired} times in CMakeLists (expected exactly 1 add_test)"
+      status=1
+    fi
+    if [ -n "${fixtures}" ]; then
+      if [ ! -f "${fixtures}" ]; then
+        echo "${spec}: fixtures file '${fixtures}' does not exist"
+        status=1
+      elif ! grep -q "${name}" "${fixtures}"; then
+        echo "${spec}: fixtures file '${fixtures}' never mentions '${name}' (no selfcheck coverage)"
+        status=1
+      fi
+    fi
+  done
+
+  # --- Rule 1: no spec-less scripts.
+  for script in tools/lint/check_*.sh; do
+    base=$(basename "${script}")
+    refs=$({ grep -l "^script=${base}$" tools/lint/specs/*.spec || true; } \
+      | wc -l)
+    if [ "${refs}" -ne 1 ]; then
+      echo "${base}: referenced by ${refs} specs (expected exactly 1)"
+      status=1
+    fi
+  done
+fi
+
+# --- Rule 5: top-level gates stay wired (the pre-manifest rule; now
+# covers tools/check_tsa.sh). The build-matrix driver is a manual
+# meta-tool, not a ctest entry.
+while IFS= read -r gate; do
+  name=$(basename "${gate}")
+  # `|| true` inside the group: grep exits 1 on zero matches, which under
+  # `set -e -o pipefail` would abort the whole lint instead of reporting
+  # the unregistered script. Comment lines don't count as wiring.
+  count=$({ grep -rh --include='CMakeLists.txt' "${name}" . || true; } \
+    | { grep -cv '^[[:space:]]*#' || true; })
+  if [ "${count}" -ne 1 ]; then
+    echo "${name}: referenced ${count} times in CMakeLists (expected exactly 1 add_test)"
+    status=1
+  fi
+done < <(find tools -maxdepth 1 -name 'check_*.sh' \
+  ! -name 'check_build_matrix.sh' | sort)
+
+if [ "${status}" -eq 0 ]; then
+  echo "lint manifest complete: scripts, specs, ctest wiring, and selfcheck coverage agree"
+fi
+exit "${status}"

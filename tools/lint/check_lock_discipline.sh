@@ -1,0 +1,64 @@
+#!/bin/bash
+# Lock-discipline lint for the capability-annotated mutex layer
+# (src/common/annotated_mutex.h):
+#
+#   1. no raw std:: locking primitive (std::mutex, std::condition_variable,
+#      std::lock_guard, std::unique_lock, std::scoped_lock,
+#      std::shared_mutex, std::shared_lock, std::recursive_mutex) anywhere
+#      in src/ outside annotated_mutex.h itself — every lock must be a
+#      roicl::Mutex so Clang Thread Safety Analysis can see it;
+#   2. every `Mutex` member declared in a src/ header must be referenced
+#      by at least one ROICL_GUARDED_BY / ROICL_PT_GUARDED_BY /
+#      ROICL_REQUIRES / ROICL_ACQUIRE / ROICL_RELEASE / ROICL_EXCLUDES in
+#      that same header — a mutex that guards nothing and gates nothing is
+#      either dead weight or an undeclared contract.
+#
+# Regex-rot guard: when the tree ships annotated_mutex.h, rule 2 must find
+# at least 5 annotated Mutex members — if the declaration regex stops
+# matching, the lint fails instead of passing vacuously.
+#
+# Usage: check_lock_discipline.sh <repo root>; exits non-zero on violations.
+set -euo pipefail
+cd "${1:?usage: check_lock_discipline.sh <repo root>}"
+
+status=0
+
+# --- Rule 1: no raw locking primitives outside the annotated layer.
+raw_pattern='std::(mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_mutex|shared_lock|recursive_mutex)\b'
+raw_hits=$(grep -rnE --include='*.h' --include='*.cc' "${raw_pattern}" src \
+  | grep -v 'src/common/annotated_mutex.h' || true)
+if [ -n "${raw_hits}" ]; then
+  echo "raw std:: locking primitives outside common/annotated_mutex.h"
+  echo "(use roicl::Mutex / MutexLock / CondVar so the thread-safety"
+  echo "analysis can check the contract):"
+  echo "${raw_hits}"
+  status=1
+fi
+
+# --- Rule 2: every Mutex member in a header is tied to a contract.
+members_found=0
+while IFS=: read -r header line decl; do
+  [ -n "${header}" ] || continue
+  members_found=$((members_found + 1))
+  member=$(sed -E 's/.*Mutex ([A-Za-z0-9_]+_);.*/\1/' <<<"${decl}")
+  if ! grep -qE "ROICL_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|EXCLUDES)\(${member}\)" \
+      "${header}"; then
+    echo "${header}:${line}: Mutex member '${member}' is referenced by no"
+    echo "  ROICL_GUARDED_BY/ROICL_REQUIRES/... contract in this header"
+    status=1
+  fi
+done < <(grep -rnE --include='*.h' \
+  '^[[:space:]]*(mutable[[:space:]]+)?Mutex[[:space:]]+[A-Za-z0-9_]+_;' \
+  src | grep -v 'src/common/annotated_mutex.h' || true)
+
+if [ -f src/common/annotated_mutex.h ] && [ "${members_found}" -lt 5 ]; then
+  echo "regex-rot guard: found only ${members_found} annotated Mutex members"
+  echo "in src/ headers (expected >= 5 in a tree that ships"
+  echo "annotated_mutex.h) — the member-declaration pattern has rotted"
+  status=1
+fi
+
+if [ "${status}" -eq 0 ]; then
+  echo "lock discipline clean: ${members_found} Mutex members, all under contract"
+fi
+exit "${status}"

@@ -7,8 +7,10 @@
 #      so an unset variable or mid-pipeline failure can't be swallowed;
 #   3. every script has the executable bit set;
 #   4. ctest test names are unique across the tree (no double
-#      registration), and every tools/check_*.sh lint is registered in
-#      exactly one add_test() so a new lint can't silently go unwired.
+#      registration).
+# Lint-registration completeness (every lint wired into exactly one
+# add_test) lives in tools/lint/check_lint_manifest.sh, next to the
+# manifest it checks.
 #
 # Usage: check_scripts.sh <repo root>; exits non-zero on violations.
 set -euo pipefail
@@ -40,22 +42,7 @@ if [ -n "${dupes}" ]; then
   status=1
 fi
 
-# Every lint under tools/ must be wired into ctest exactly once.
-while IFS= read -r lint; do
-  name=$(basename "${lint}")
-  # `|| true` inside the group: grep exits 1 on zero matches, which under
-  # `set -e -o pipefail` would abort the whole lint instead of reporting
-  # the unregistered script.
-  count=$({ grep -r --include='CMakeLists.txt' -c "${name}" . || true; } \
-    | awk -F: '{s+=$2} END {print s+0}')
-  if [ "${count}" -ne 1 ]; then
-    echo "${lint}: referenced ${count} times in CMakeLists (expected exactly 1 add_test)"
-    status=1
-  fi
-done < <(find tools -name 'check_*.sh' ! -name 'check_build_matrix.sh' \
-  | sort)  # the build-matrix driver is a manual meta-tool, not a ctest lint
-
 if [ "${status}" -eq 0 ]; then
-  echo "all scripts strict, executable, and registered exactly once"
+  echo "all scripts strict, executable, and uniquely registered"
 fi
 exit "${status}"

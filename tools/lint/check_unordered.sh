@@ -1,0 +1,32 @@
+#!/bin/bash
+# Nondeterminism lint, container half: bans std::unordered_* containers
+# (and their includes) in src/. Their iteration order is
+# implementation-defined — it varies across libstdc++ versions, hash
+# seeds, and insertion histories — and every container in this tree
+# ultimately feeds an exported artifact: metric snapshots, Prometheus
+# text, serialized pipelines, allocation rankings. Ordered std::map /
+# std::set keep those outputs byte-stable, which the determinism tests
+# assert. The entropy half of this discipline (rand()/time()/clock reads)
+# is tools/lint/check_determinism.sh.
+#
+# Usage: check_unordered.sh <repo root>; exits non-zero on violations.
+set -euo pipefail
+cd "${1:?usage: check_unordered.sh <repo root>}"
+
+status=0
+
+hits=$(grep -rnE --include='*.h' --include='*.cc' \
+  'std::unordered_(map|set|multimap|multiset)\b|#include <unordered_(map|set)>' \
+  src || true)
+if [ -n "${hits}" ]; then
+  echo "unordered containers in src/ (iteration order is"
+  echo "implementation-defined and feeds exported output; use std::map /"
+  echo "std::set, or justify a new sanctioned site in this lint):"
+  echo "${hits}"
+  status=1
+fi
+
+if [ "${status}" -eq 0 ]; then
+  echo "no unordered containers in src/"
+fi
+exit "${status}"

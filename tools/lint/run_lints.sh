@@ -1,0 +1,79 @@
+#!/bin/bash
+# Manifest-driven lint engine. Every source-tree lint lives in this
+# directory next to a spec file under specs/ declaring its name, script,
+# scope, and selfcheck-fixture location; this runner is the single entry
+# point ctest (and humans) go through:
+#
+#   run_lints.sh <target root>              # run every lint in the manifest
+#   run_lints.sh <target root> <name>...    # run the named lints only
+#   run_lints.sh --list                     # print the manifest
+#
+# Scripts and specs are resolved relative to THIS file's directory, while
+# the lints scan the <target root> argument — so the selfcheck can aim the
+# real lints at a deliberately-bad fixture tree. Spec format (key=value,
+# '#' comments):
+#
+#   name=check_example          # lint name == ctest test name
+#   script=check_example.sh     # executable, relative to tools/lint/
+#   scope=src tests             # directories the lint scans (documentation;
+#                               # the scripts do their own traversal)
+#   fixtures=tests/lint_selfcheck_test.sh   # where its bad fixture lives
+#
+# tools/lint/check_lint_manifest.sh enforces manifest completeness: every
+# script has a spec, every spec a script, every name exactly one add_test,
+# and every lint a selfcheck fixture.
+set -euo pipefail
+
+lint_dir=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
+spec_dir="${lint_dir}/specs"
+
+spec_field() {
+  sed -n "s/^${2}=//p" "${1}" | head -n 1
+}
+
+if [ "${1:-}" = "--list" ]; then
+  for spec in "${spec_dir}"/*.spec; do
+    printf '%-24s %s\n' "$(spec_field "${spec}" name)" \
+      "$(spec_field "${spec}" scope)"
+  done
+  exit 0
+fi
+
+target_root=${1:?usage: run_lints.sh <target root> [lint name...]}
+shift
+
+selected=("$@")
+status=0
+ran=0
+
+for spec in "${spec_dir}"/*.spec; do
+  name=$(spec_field "${spec}" name)
+  script=$(spec_field "${spec}" script)
+  if [ "${#selected[@]}" -gt 0 ]; then
+    wanted=0
+    for want in "${selected[@]}"; do
+      if [ "${want}" = "${name}" ]; then wanted=1; fi
+    done
+    [ "${wanted}" -eq 1 ] || continue
+  fi
+  if bash "${lint_dir}/${script}" "${target_root}"; then
+    echo "lint ${name}: PASS"
+  else
+    echo "lint ${name}: FAIL" >&2
+    status=1
+  fi
+  ran=$((ran + 1))
+done
+
+# Asking for a lint the manifest doesn't know must fail loudly, not
+# vacuously pass — the exact rot this engine exists to prevent.
+if [ "${#selected[@]}" -gt 0 ] && [ "${ran}" -ne "${#selected[@]}" ]; then
+  echo "run_lints.sh: ran ${ran} of ${#selected[@]} requested lints;" \
+    "unknown name among: ${selected[*]}" >&2
+  status=1
+fi
+if [ "${ran}" -eq 0 ]; then
+  echo "run_lints.sh: no lints ran" >&2
+  status=1
+fi
+exit "${status}"

@@ -14,6 +14,8 @@ repo_root=${1:?usage: run_tsan.sh <repo root> [build dir]}
 build_dir=${2:-"${repo_root}/build-tsan"}
 
 # The race-prone surfaces and the tests that exercise them:
+#   annotated_mutex_test  Mutex/MutexLock/CondVar wrapper semantics:
+#                         contention, TryLock, wait/notify reacquisition
 #   common_misc_test      ThreadPool submit/ParallelFor/shutdown
 #   obs_test              concurrent metrics registry and trace collector
 #   determinism_test      batched parallel forward + MC-dropout engine
@@ -26,9 +28,9 @@ build_dir=${2:-"${repo_root}/build-tsan"}
 #   alloc_fuzz_test       concurrent shard accumulation: disjoint
 #                         frontiers racing on the shared atomic memory
 #                         accountant (ConcurrentShardAccumulation case)
-tsan_tests=(common_misc_test obs_test determinism_test
-            scoring_service_test monitor_test load_replay_test
-            alloc_fuzz_test)
+tsan_tests=(annotated_mutex_test common_misc_test obs_test
+            determinism_test scoring_service_test monitor_test
+            load_replay_test alloc_fuzz_test)
 
 cmake -S "${repo_root}" -B "${build_dir}" -DROICL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

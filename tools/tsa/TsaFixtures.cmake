@@ -1,0 +1,65 @@
+# Configure-time verification that Clang Thread Safety Analysis actually
+# fires. Included by the top-level CMakeLists.txt only under ROICL_TSA
+# (which already guarantees a clang compiler).
+#
+# Each bad_*.cc fixture carries an `// EXPECT: <text>` line naming the
+# diagnostic it must provoke; we try_compile it with the TSA flags and
+# FATAL_ERROR unless the compile FAILS *and* the output contains the
+# expected text. good_contract.cc must compile cleanly. Running this at
+# configure time means a toolchain where the analysis silently stopped
+# firing (wrong clang, stripped attributes, macro rot) cannot produce a
+# "TSA-clean" build: the configure itself aborts.
+
+set(ROICL_TSA_FIXTURE_DIR ${CMAKE_SOURCE_DIR}/tools/tsa)
+set(ROICL_TSA_FIXTURE_FLAGS
+    -Wthread-safety -Wthread-safety-beta
+    -Werror=thread-safety -Werror=thread-safety-beta)
+
+function(roicl_tsa_expect_fail fixture)
+  set(src ${ROICL_TSA_FIXTURE_DIR}/${fixture})
+  file(STRINGS ${src} expect_line REGEX "// EXPECT: ")
+  string(REGEX REPLACE ".*// EXPECT: " "" expected "${expect_line}")
+  if(expected STREQUAL "")
+    message(FATAL_ERROR "TSA fixture ${fixture} carries no EXPECT line")
+  endif()
+  try_compile(compiled ${CMAKE_BINARY_DIR}/tsa_fixtures ${src}
+              COMPILE_DEFINITIONS "${ROICL_TSA_FIXTURE_FLAGS}"
+              CMAKE_FLAGS
+                -DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src
+                -DCMAKE_CXX_STANDARD=20
+              OUTPUT_VARIABLE output)
+  if(compiled)
+    message(FATAL_ERROR
+            "TSA negative fixture ${fixture} COMPILED: the analysis did "
+            "not fire (expected diagnostic: '${expected}')")
+  endif()
+  string(FIND "${output}" "${expected}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "TSA fixture ${fixture} failed to compile but without the "
+            "expected diagnostic '${expected}'; compiler output:\n"
+            "${output}")
+  endif()
+  message(STATUS "TSA fixture ${fixture}: analysis fired ('${expected}')")
+endfunction()
+
+function(roicl_tsa_expect_pass fixture)
+  set(src ${ROICL_TSA_FIXTURE_DIR}/${fixture})
+  try_compile(compiled ${CMAKE_BINARY_DIR}/tsa_fixtures ${src}
+              COMPILE_DEFINITIONS "${ROICL_TSA_FIXTURE_FLAGS}"
+              CMAKE_FLAGS
+                -DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src
+                -DCMAKE_CXX_STANDARD=20
+              OUTPUT_VARIABLE output)
+  if(NOT compiled)
+    message(FATAL_ERROR
+            "TSA positive fixture ${fixture} did not compile cleanly:\n"
+            "${output}")
+  endif()
+  message(STATUS "TSA fixture ${fixture}: clean")
+endfunction()
+
+roicl_tsa_expect_fail(bad_unguarded_read.cc)
+roicl_tsa_expect_fail(bad_lock_order.cc)
+roicl_tsa_expect_fail(bad_missing_release.cc)
+roicl_tsa_expect_pass(good_contract.cc)

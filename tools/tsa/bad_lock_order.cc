@@ -1,0 +1,40 @@
+// Negative fixture for Clang Thread Safety Analysis: acquires two mutexes
+// against their declared ROICL_ACQUIRED_AFTER ordering edge — the static
+// shape of an ABBA deadlock. Lock-order checking ships behind
+// -Wthread-safety-beta, which is why the ROICL_TSA mode and
+// tools/check_tsa.sh pass it alongside -Wthread-safety. Must FAIL to
+// compile; the harnesses grep for the EXPECT line below.
+//
+// EXPECT: must be acquired before
+
+#include "common/annotated_mutex.h"
+
+namespace {
+
+class Transfer {
+ public:
+  void CorrectOrder() {
+    roicl::MutexLock hold_a(mu_a_);
+    roicl::MutexLock hold_b(mu_b_);
+  }
+
+  // BAD: takes mu_b_ first despite mu_b_ being declared acquired-after
+  // mu_a_ — combined with CorrectOrder on another thread, a deadlock.
+  void InvertedOrder() {
+    roicl::MutexLock hold_b(mu_b_);
+    roicl::MutexLock hold_a(mu_a_);
+  }
+
+ private:
+  roicl::Mutex mu_a_;
+  roicl::Mutex mu_b_ ROICL_ACQUIRED_AFTER(mu_a_);
+};
+
+}  // namespace
+
+int main() {
+  Transfer transfer;
+  transfer.CorrectOrder();
+  transfer.InvertedOrder();
+  return 0;
+}

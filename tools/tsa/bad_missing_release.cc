@@ -1,0 +1,33 @@
+// Negative fixture for Clang Thread Safety Analysis: an early return
+// leaves the function with the mutex still held, so one path acquires
+// without releasing. Must FAIL to compile under -Wthread-safety
+// -Werror=thread-safety; the harnesses grep for the EXPECT line below.
+//
+// EXPECT: still held at the end of function
+
+#include "common/annotated_mutex.h"
+
+namespace {
+
+class Latch {
+ public:
+  // BAD: the flag path returns while mu_ is held; every later Lock()
+  // deadlocks. RAII MutexLock makes this impossible, which is why bare
+  // Lock()/Unlock() is reserved for the wrappers and fixtures like this.
+  void LeakyLock(bool flag) {
+    mu_.Lock();
+    if (flag) return;
+    mu_.Unlock();
+  }
+
+ private:
+  roicl::Mutex mu_;
+};
+
+}  // namespace
+
+int main() {
+  Latch latch;
+  latch.LeakyLock(false);
+  return 0;
+}

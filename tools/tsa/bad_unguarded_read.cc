@@ -1,0 +1,34 @@
+// Negative fixture for Clang Thread Safety Analysis: reads a
+// ROICL_GUARDED_BY member without holding its mutex. Must FAIL to compile
+// under -Wthread-safety -Werror=thread-safety; tools/check_tsa.sh and the
+// configure-time try_compile in tools/tsa/TsaFixtures.cmake both assert
+// the failure and grep for the EXPECT line below.
+//
+// EXPECT: requires holding mutex
+
+#include "common/annotated_mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    roicl::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // BAD: guarded read with no lock held — the defect this fixture pins.
+  int UnguardedRead() const { return balance_; }
+
+ private:
+  mutable roicl::Mutex mu_;
+  int balance_ ROICL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.UnguardedRead();
+}

@@ -1,0 +1,61 @@
+// Positive fixture for Clang Thread Safety Analysis: exercises every
+// annotation the repo's mutex layer uses — GUARDED_BY with scoped RAII
+// locking, REQUIRES on a locked helper, EXCLUDES on entry points,
+// ACQUIRED_AFTER honored in the declared order, TryLock's conditional
+// capability, and the while-loop CondVar wait. Must compile CLEANLY under
+// -Wthread-safety -Wthread-safety-beta -Werror=thread-safety
+// -Werror=thread-safety-beta: a diagnostic here means the wrappers'
+// contracts regressed, not the code under test.
+
+#include "common/annotated_mutex.h"
+
+namespace {
+
+class BoundedCounter {
+ public:
+  void Increment() ROICL_EXCLUDES(mu_) {
+    roicl::MutexLock lock(mu_);
+    ++value_;
+    BumpLocked();
+    cv_.NotifyAll();
+  }
+
+  void WaitUntilAtLeast(int target) ROICL_EXCLUDES(mu_) {
+    roicl::MutexLock lock(mu_);
+    while (value_ < target) cv_.Wait(mu_);
+  }
+
+  bool TryIncrement() ROICL_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    ++value_;
+    mu_.Unlock();
+    return true;
+  }
+
+  void OrderedPair() ROICL_EXCLUDES(mu_, aux_mu_) {
+    roicl::MutexLock outer(mu_);
+    roicl::MutexLock inner(aux_mu_);
+    ++aux_value_;
+  }
+
+ private:
+  void BumpLocked() ROICL_REQUIRES(mu_) { ++bumps_; }
+
+  roicl::Mutex mu_;
+  roicl::Mutex aux_mu_ ROICL_ACQUIRED_AFTER(mu_);
+  roicl::CondVar cv_;
+  int value_ ROICL_GUARDED_BY(mu_) = 0;
+  int bumps_ ROICL_GUARDED_BY(mu_) = 0;
+  int aux_value_ ROICL_GUARDED_BY(aux_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  BoundedCounter counter;
+  counter.Increment();
+  counter.TryIncrement();
+  counter.OrderedPair();
+  counter.WaitUntilAtLeast(1);
+  return 0;
+}
