@@ -8,6 +8,12 @@
 
 namespace roicl::core {
 
+/// The one floor applied to MC-dropout stds before Eq. (3) divides by
+/// them. Shared by core (RdrpConfig, interval backends), pipeline and
+/// monitor so a collapsed posterior is floored identically at
+/// calibration, serving and recalibration time.
+inline constexpr double kDefaultStdFloor = 1e-4;
+
 /// Eq. (3): conformal scores on a calibration set,
 ///   score_i = |roi*_i - roi_hat_i| / r_hat_i,
 /// where roi* is the loss-convergence ROI (global or per-bin), roi_hat the
@@ -16,13 +22,13 @@ namespace roicl::core {
 std::vector<double> ConformalScores(const std::vector<double>& roi_star,
                                     const std::vector<double>& roi_hat,
                                     const std::vector<double>& r_hat,
-                                    double std_floor = 1e-4);
+                                    double std_floor = kDefaultStdFloor);
 
 /// Convenience overload for the paper's global (scalar) roi*.
 std::vector<double> ConformalScores(double roi_star,
                                     const std::vector<double>& roi_hat,
                                     const std::vector<double>& r_hat,
-                                    double std_floor = 1e-4);
+                                    double std_floor = kDefaultStdFloor);
 
 /// Algorithm 3, steps 2-5: the ceil((1-alpha)(n+1))/n empirical quantile
 /// q_hat of the calibration scores. Returns +inf for tiny calibration sets
@@ -44,7 +50,7 @@ double WindowedConformalScoreQuantile(const std::vector<double>& scores,
 ///                              roi_hat + r_hat * q_hat] per sample.
 std::vector<metrics::Interval> ConformalIntervals(
     const std::vector<double>& roi_hat, const std::vector<double>& r_hat,
-    double q_hat, double std_floor = 1e-4);
+    double q_hat, double std_floor = kDefaultStdFloor);
 
 }  // namespace roicl::core
 

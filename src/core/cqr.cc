@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/math_util.h"
 #include "common/stats.h"
+#include "nn/serialize.h"
 
 namespace roicl::core {
 namespace {
@@ -118,6 +121,55 @@ std::vector<metrics::Interval> CqrModel::PredictIntervals(
     interval.hi += q_hat_;
   }
   return intervals;
+}
+
+Status CqrModel::Save(std::ostream& out) const {
+  if (!fitted()) return Status::FailedPrecondition("CqrModel::Save before Fit()");
+  out << "roicl-cqr-v1\n";
+  out << std::setprecision(17);
+  const std::vector<double>& means = scaler_.means();
+  const std::vector<double>& stddevs = scaler_.stddevs();
+  out << means.size() << '\n';
+  for (size_t i = 0; i < means.size(); ++i) {
+    out << means[i] << (i + 1 < means.size() ? ' ' : '\n');
+  }
+  for (size_t i = 0; i < stddevs.size(); ++i) {
+    out << stddevs[i] << (i + 1 < stddevs.size() ? ' ' : '\n');
+  }
+  return nn::SaveMlp(*net_, out);
+}
+
+StatusOr<CqrModel> CqrModel::Load(std::istream& in, const CqrConfig& config) {
+  std::string magic;
+  if (!(in >> magic)) {
+    return Status::InvalidArgument("empty or truncated cqr model stream");
+  }
+  if (magic != "roicl-cqr-v1") {
+    return Status::InvalidArgument("bad cqr magic '" + magic +
+                                   "' (expected roicl-cqr-v1)");
+  }
+  size_t dim = 0;
+  if (!(in >> dim) || dim == 0 || dim > 1000000) {
+    return Status::InvalidArgument("bad cqr scaler dimension");
+  }
+  std::vector<double> means(dim), stddevs(dim);
+  for (double& m : means) {
+    if (!(in >> m) || !std::isfinite(m)) {
+      return Status::InvalidArgument("bad cqr scaler means");
+    }
+  }
+  for (double& s : stddevs) {
+    if (!(in >> s) || !std::isfinite(s) || s <= 0.0) {
+      return Status::InvalidArgument("bad cqr scaler stddevs");
+    }
+  }
+  StatusOr<nn::Mlp> net = nn::LoadMlp(in);
+  if (!net.ok()) return net.status();
+  CqrModel model(config);
+  model.scaler_ = StandardScaler::FromMoments(std::move(means),
+                                              std::move(stddevs));
+  model.net_ = std::make_unique<nn::Mlp>(std::move(net).value());
+  return model;
 }
 
 }  // namespace roicl::core

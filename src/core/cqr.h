@@ -1,9 +1,12 @@
 #ifndef ROICL_CORE_CQR_H_
 #define ROICL_CORE_CQR_H_
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <vector>
 
+#include "common/status.h"
 #include "data/scaler.h"
 #include "metrics/coverage.h"
 #include "nn/mlp.h"
@@ -72,6 +75,18 @@ class CqrModel {
   bool fitted() const { return net_ != nullptr; }
   bool calibrated() const { return calibrated_; }
   double q_hat() const { return q_hat_; }
+
+  /// Serializes the fitted quantile network and the feature scaler
+  /// ("roicl-cqr-v1", 17-digit text, bit-exact round trip). Requires
+  /// fitted(). The conformal correction q_hat is deliberately not
+  /// written: when CQR serves as an interval backend that state lives in
+  /// (and is persisted by) the owning core::IntervalBackend.
+  Status Save(std::ostream& out) const;
+
+  /// Restores a model written by Save(). Malformed input — truncation,
+  /// bad magic, non-positive scaler stddevs, a corrupt network blob —
+  /// returns a descriptive InvalidArgument; it never crashes.
+  static StatusOr<CqrModel> Load(std::istream& in, const CqrConfig& config);
 
  private:
   CqrConfig config_;

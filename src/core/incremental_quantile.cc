@@ -1,0 +1,219 @@
+#include "core/incremental_quantile.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace roicl::core {
+namespace {
+
+/// splitmix64 of the insertion counter: a fixed, well-mixed priority
+/// stream that keeps the treap balanced in expectation while staying
+/// fully deterministic across runs and platforms.
+std::uint64_t MixPriority(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct IncrementalQuantile::Node {
+  double value;
+  std::uint64_t priority;
+  /// Multiplicity of `value` in this node.
+  std::size_t count;
+  /// Total multiplicity in this subtree (count + children's totals).
+  std::size_t subtree;
+  Node* left = nullptr;
+  Node* right = nullptr;
+
+  Node(double v, std::uint64_t p) : value(v), priority(p), count(1),
+                                    subtree(1) {}
+};
+
+namespace {
+
+using Node = IncrementalQuantile::Node;
+
+std::size_t SubtreeOf(const Node* node) {
+  return node == nullptr ? 0 : node->subtree;
+}
+
+void Pull(Node* node) {
+  node->subtree =
+      node->count + SubtreeOf(node->left) + SubtreeOf(node->right);
+}
+
+/// Splits by value: `left` gets values < pivot, `right` values >= pivot.
+void Split(Node* node, double pivot, Node** left, Node** right) {
+  if (node == nullptr) {
+    *left = nullptr;
+    *right = nullptr;
+    return;
+  }
+  if (node->value < pivot) {
+    Split(node->right, pivot, &node->right, right);
+    *left = node;
+  } else {
+    Split(node->left, pivot, left, &node->left);
+    *right = node;
+  }
+  Pull(node);
+}
+
+/// Joins two treaps where every value in `left` precedes every value in
+/// `right`.
+Node* Merge(Node* left, Node* right) {
+  if (left == nullptr) return right;
+  if (right == nullptr) return left;
+  if (left->priority > right->priority) {
+    left->right = Merge(left->right, right);
+    Pull(left);
+    return left;
+  }
+  right->left = Merge(left, right->left);
+  Pull(right);
+  return right;
+}
+
+Node* Find(Node* node, double value) {
+  while (node != nullptr) {
+    if (value < node->value) {
+      node = node->left;
+    } else if (node->value < value) {
+      node = node->right;
+    } else {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+void BumpSubtreesOnPath(Node* node, double value, std::ptrdiff_t delta) {
+  while (node != nullptr) {
+    node->subtree = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(node->subtree) + delta);
+    if (value < node->value) {
+      node = node->left;
+    } else if (node->value < value) {
+      node = node->right;
+    } else {
+      return;
+    }
+  }
+  ROICL_CHECK_MSG(false, "value vanished from its own search path");
+}
+
+void Destroy(Node* node) {
+  if (node == nullptr) return;
+  Destroy(node->left);
+  Destroy(node->right);
+  delete node;
+}
+
+}  // namespace
+
+IncrementalQuantile::~IncrementalQuantile() { Destroy(root_); }
+
+IncrementalQuantile::IncrementalQuantile(IncrementalQuantile&& other) noexcept
+    : root_(other.root_), size_(other.size_), inserted_(other.inserted_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+IncrementalQuantile& IncrementalQuantile::operator=(
+    IncrementalQuantile&& other) noexcept {
+  if (this != &other) {
+    Destroy(root_);
+    root_ = other.root_;
+    size_ = other.size_;
+    inserted_ = other.inserted_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void IncrementalQuantile::Insert(double value) {
+  ROICL_CHECK_MSG(std::isfinite(value),
+                  "IncrementalQuantile stores finite scores only");
+  if (Node* existing = Find(root_, value)) {
+    ++existing->count;
+    BumpSubtreesOnPath(root_, value, +1);
+    ++size_;
+    ++inserted_;
+    return;
+  }
+  Node* node = new Node(value, MixPriority(++inserted_));
+  Node* left = nullptr;
+  Node* right = nullptr;
+  Split(root_, value, &left, &right);
+  root_ = Merge(Merge(left, node), right);
+  ++size_;
+}
+
+bool IncrementalQuantile::Erase(double value) {
+  Node* existing = Find(root_, value);
+  if (existing == nullptr) return false;
+  if (existing->count > 1) {
+    --existing->count;
+    BumpSubtreesOnPath(root_, value, -1);
+    --size_;
+    return true;
+  }
+  Node* left = nullptr;
+  Node* mid = nullptr;
+  Node* right = nullptr;
+  Split(root_, value, &left, &mid);
+  // `mid` now holds values >= `value`; peel the == node off its front.
+  Split(mid, std::nextafter(value, std::numeric_limits<double>::infinity()),
+        &mid, &right);
+  ROICL_CHECK(mid != nullptr && mid->left == nullptr &&
+              mid->right == nullptr);
+  delete mid;
+  root_ = Merge(left, right);
+  --size_;
+  return true;
+}
+
+double IncrementalQuantile::Kth(std::size_t k) const {
+  ROICL_CHECK_MSG(k >= 1 && k <= size_, "rank out of range");
+  const Node* node = root_;
+  while (true) {
+    ROICL_CHECK(node != nullptr);
+    std::size_t left_total = SubtreeOf(node->left);
+    if (k <= left_total) {
+      node = node->left;
+    } else if (k <= left_total + node->count) {
+      return node->value;
+    } else {
+      k -= left_total + node->count;
+      node = node->right;
+    }
+  }
+}
+
+double IncrementalQuantile::QHat(double alpha) const {
+  ROICL_CHECK(size_ > 0);
+  ROICL_CHECK(alpha > 0.0 && alpha < 1.0);
+  // Identical rank arithmetic to common/stats.h ConformalQuantile — the
+  // bitwise-equality contract depends on matching it expression for
+  // expression.
+  double raw_rank =
+      std::ceil((1.0 - alpha) * static_cast<double>(size_ + 1));
+  auto rank = static_cast<std::size_t>(raw_rank);
+  if (rank > size_) return std::numeric_limits<double>::infinity();
+  return Kth(rank);
+}
+
+void IncrementalQuantile::Clear() {
+  Destroy(root_);
+  root_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace roicl::core

@@ -1,0 +1,72 @@
+#ifndef ROICL_CORE_INCREMENTAL_QUANTILE_H_
+#define ROICL_CORE_INCREMENTAL_QUANTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// Order-statistic structure for online conformal quantiles (exact
+/// conformal prediction via incremental/decremental updates, Cherubin et
+/// al. 2021): a balanced search tree over calibration scores with subtree
+/// counts, so the ceil((1-alpha)(n+1)) rank selection that
+/// common/stats.h's ConformalQuantile performs in O(n) per call becomes
+/// O(log n) per insert/evict with O(log n) rank lookup. The k-th smallest
+/// element is a property of the multiset, not of the tree shape, so QHat
+/// is bitwise-identical to the batch quantile under arbitrary
+/// insert/evict interleavings — the invariant the rolling recalibrator's
+/// hot path relies on (proven by IncrementalQuantileMatchesBatch).
+namespace roicl::core {
+
+/// Treap keyed by score value with duplicate counts and subtree sizes.
+/// Priorities are derived deterministically from a monotone insertion
+/// counter (splitmix64), so identical operation sequences produce
+/// identical trees — no ambient entropy (check_determinism).
+class IncrementalQuantile {
+ public:
+  /// Tree node; defined in the .cc (opaque to callers, public so the
+  /// implementation's file-local helpers can name it).
+  struct Node;
+
+  IncrementalQuantile() = default;
+  ~IncrementalQuantile();
+
+  IncrementalQuantile(IncrementalQuantile&&) noexcept;
+  IncrementalQuantile& operator=(IncrementalQuantile&&) noexcept;
+  IncrementalQuantile(const IncrementalQuantile&) = delete;
+  IncrementalQuantile& operator=(const IncrementalQuantile&) = delete;
+
+  /// Inserts one score (duplicates allowed; finite values only).
+  void Insert(double value);
+
+  /// Removes one instance of `value`; returns false when absent. The
+  /// sliding-window evict path: the caller re-presents the exact double
+  /// it inserted, so lookup is exact equality.
+  bool Erase(double value);
+
+  /// Number of stored scores (with multiplicity).
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The k-th smallest stored score, 1-based. Requires 1 <= k <= size().
+  double Kth(std::size_t k) const;
+
+  /// Algorithm 3's conformal quantile over the stored scores: the
+  /// ceil((1-alpha)(n+1))-th smallest, +inf when that rank exceeds n
+  /// (starved window; caller decides the fallback). Uses the identical
+  /// rank expression as common/stats.h ConformalQuantile, so the result
+  /// is bitwise-equal to the batch path.
+  double QHat(double alpha) const;
+
+  /// Drops every stored score (the re-anchor rebuild path).
+  void Clear();
+
+ private:
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  /// Monotone insertion counter feeding the deterministic priority hash.
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_INCREMENTAL_QUANTILE_H_

@@ -21,7 +21,8 @@ RdrpModel::RdrpModel(RdrpModel&& other) noexcept
       calibrated_(other.calibrated_),
       q_hat_(other.q_hat_.load(std::memory_order_relaxed)),
       roi_star_global_(other.roi_star_global_),
-      form_(other.form_) {}
+      form_(other.form_),
+      backend_(std::move(other.backend_)) {}
 
 RdrpModel& RdrpModel::operator=(RdrpModel&& other) noexcept {
   if (this != &other) {
@@ -32,8 +33,19 @@ RdrpModel& RdrpModel::operator=(RdrpModel&& other) noexcept {
                  std::memory_order_relaxed);
     roi_star_global_ = other.roi_star_global_;
     form_ = other.form_;
+    backend_ = std::move(other.backend_);
   }
   return *this;
+}
+
+Status RdrpModel::AdoptIntervalBackend(
+    std::unique_ptr<IntervalBackend> backend) {
+  if (backend == nullptr || !backend->calibrated()) {
+    return Status::InvalidArgument(
+        "AdoptIntervalBackend needs a calibrated backend");
+  }
+  backend_ = std::move(backend);
+  return Status::Ok();
 }
 
 void RdrpModel::set_q_hat(double q_hat) {
@@ -68,20 +80,24 @@ void RdrpModel::FitWithCalibration(const RctDataset& train,
       roi_star.assign(roi_hat.size(), roi_star_global_);
     }
 
-    // Line 7: conformal score quantile.
-    std::vector<double> scores =
-        ConformalScores(roi_star, roi_hat, mc.stddev, config_.std_floor);
-    double q_hat = ConformalScoreQuantile(scores, config_.alpha);
-    if (!std::isfinite(q_hat)) {
-      // Calibration set too small for the requested alpha
-      // (ceil((1-alpha)(n+1)) > n): fall back to the max score, the most
-      // conservative finite quantile.
-      q_hat = *std::max_element(scores.begin(), scores.end());
-      obs::MetricsRegistry::Global().GetGauge("conformal.q_hat")
-          ->Set(q_hat);
-      obs::Warn("conformal quantile infinite; using max score",
-                {{"q_hat", q_hat}, {"calibration_n", calibration.n()}});
-    }
+    // Line 7: conformal score quantile, computed by the configured
+    // interval backend. The "split" backend reproduces the historical
+    // in-model path bit for bit (Eq. 3 scores, ceil((1-alpha)(n+1))
+    // quantile, max-score fallback on a starved window); "weighted" and
+    // "cqr" add shift-reweighted and residual-quantile-regression
+    // calibrations behind the same interface.
+    StatusOr<std::unique_ptr<IntervalBackend>> backend =
+        MakeIntervalBackend(config_.interval_backend);
+    ROICL_CHECK_MSG(backend.ok(), "unknown interval backend '%s'",
+                    config_.interval_backend.c_str());
+    backend_ = std::move(backend).value();
+    Status backend_status =
+        backend_->Calibrate(calibration.x, roi_hat, mc.stddev, roi_star,
+                            config_.alpha, config_.std_floor);
+    ROICL_CHECK_MSG(backend_status.ok(),
+                    "interval-backend calibration failed: %s",
+                    backend_status.message().c_str());
+    double q_hat = backend_->q_hat();
     q_hat_.store(q_hat, std::memory_order_relaxed);
 
     // Line 8: pick the calibration form that maximizes AUCC on the
@@ -91,6 +107,11 @@ void RdrpModel::FitWithCalibration(const RctDataset& train,
       rq[i] = std::max(mc.stddev[i], config_.std_floor) * q_hat;
     }
     form_ = SelectCalibrationForm(roi_hat, rq, calibration);
+
+    // Weight variable for the weighted backend's covariate-shift
+    // fallback: the served calibrated prediction on each calibration
+    // row. Stored by every backend so artifacts can rebind later.
+    backend_->SetWeightReference(ApplyCalibrationForm(form_, roi_hat, rq));
   }
   calibrated_ = true;
   obs::Info("rdrp calibrated",
@@ -129,8 +150,16 @@ std::vector<metrics::Interval> RdrpModel::PredictIntervals(
   obs::ScopedSpan span("predict_intervals");
   std::vector<double> roi_hat = drp_.PredictRoi(x);
   std::vector<double> r_hat = McStdDev(x);
+  // One quantile snapshot for the whole batch (never-tearing swap
+  // contract), handed to the backend that shapes the intervals. A bare
+  // Load() outside the pipeline artifact has no backend and keeps the
+  // historical split arithmetic.
+  const double q_hat_snapshot = q_hat();
   std::vector<metrics::Interval> intervals =
-      ConformalIntervals(roi_hat, r_hat, q_hat(), config_.std_floor);
+      backend_ != nullptr
+          ? backend_->Intervals(x, roi_hat, r_hat, q_hat_snapshot)
+          : ConformalIntervals(roi_hat, r_hat, q_hat_snapshot,
+                               config_.std_floor);
   if (config_.clip_to_unit) {
     for (metrics::Interval& interval : intervals) {
       interval.lo = std::max(interval.lo, 0.0);

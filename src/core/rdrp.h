@@ -10,6 +10,7 @@
 
 #include "core/calibration.h"
 #include "core/drp_model.h"
+#include "core/interval_backend.h"
 #include "metrics/coverage.h"
 
 namespace roicl::core {
@@ -22,7 +23,7 @@ struct RdrpConfig {
   /// MC-dropout forward passes (paper: 10-100).
   int mc_passes = 30;
   /// Floor applied to r_hat(x) before divisions.
-  double std_floor = 1e-4;
+  double std_floor = kDefaultStdFloor;
   /// Binary-search stopping constant of Algorithm 2.
   double epsilon = 1e-4;
   /// Intersect intervals with [0, 1]. Sound because ROI lives in (0, 1)
@@ -35,6 +36,11 @@ struct RdrpConfig {
   bool binned_roi_star = false;
   int roi_star_bins = 10;
   uint64_t mc_seed = 99;
+  /// Which core::IntervalBackend turns calibration scores into serving
+  /// intervals: "split" (Algorithm 3, the default), "weighted"
+  /// (shift-reweighted quantile) or "cqr" (quantile-regression heads on
+  /// normalized residuals). Validated by MakeIntervalBackend at fit time.
+  std::string interval_backend = "split";
   /// Batched prediction-engine knobs (row-block size, thread count) for
   /// the MC-dropout sweep and the point forward live in `drp.predict`
   /// (CLI: --batch-size / --threads). Engine settings never change the
@@ -98,6 +104,17 @@ class RdrpModel : public uplift::RoiModel {
     drp_.set_predict_options(opts);
   }
 
+  /// The interval backend fitted alongside the model (nullptr only for a
+  /// bare Load() outside the pipeline artifact, where PredictIntervals
+  /// falls back to the split arithmetic). The backend holds
+  /// calibration-time state; the live swappable quantile is q_hat_.
+  const IntervalBackend* interval_backend() const { return backend_.get(); }
+
+  /// Installs a calibrated backend (the pipeline artifact's interval
+  /// section, or a rebind). Never touches the live q_hat_ atomic — the
+  /// caller decides whether to swap the serving quantile.
+  Status AdoptIntervalBackend(std::unique_ptr<IntervalBackend> backend);
+
   double q_hat() const { return q_hat_.load(std::memory_order_relaxed); }
   /// Atomically swaps the conformal quantile in place — the online
   /// recalibration hook. A concurrent PredictRoi/PredictIntervals sees
@@ -128,6 +145,7 @@ class RdrpModel : public uplift::RoiModel {
   std::atomic<double> q_hat_{0.0};
   double roi_star_global_ = 0.0;
   CalibrationForm form_ = CalibrationForm::kNone;
+  std::unique_ptr<IntervalBackend> backend_;
 };
 
 /// Ablation wrapper "<base> w/ MC" (Table II): combines a direct model's

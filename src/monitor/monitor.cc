@@ -19,6 +19,10 @@ std::vector<double> MonitorLatencyBuckets() {
   return obs::LatencyMicrosBuckets();
 }
 
+/// Served rows between halvings of the live weight-bin counts — a
+/// first-order exponential forgetting horizon for the likelihood ratio.
+constexpr uint64_t kWeightAgingRows = 4096;
+
 /// True when `dataset` supports Algorithm 2 without aborting: both RCT
 /// arms present and a positive average cost lift (Assumption 4).
 bool SupportsRoiStar(const RctDataset& dataset) {
@@ -61,19 +65,36 @@ StatusOr<std::unique_ptr<ServingMonitor>> ServingMonitor::FromCalibration(
         "calibration set cannot support Algorithm 2 (needs both RCT arms "
         "and positive average cost lift)");
   }
+  const core::IntervalBackend* backend = pipeline->interval_backend();
+  if (backend == nullptr || !backend->calibrated()) {
+    return Status::FailedPrecondition(
+        "serving monitor requires a calibrated interval backend; scorer '" +
+        pipeline->scorer_name() + "' carries none");
+  }
 
   obs::ScopedSpan span("monitor.from_calibration");
-  // Recompute the calibration-time Eq. (3) ingredients through the
-  // pipeline: the uncalibrated points, the MC stds, roi*, and from them
-  // the conformal scores that anchor both the score-drift channel and
-  // the label-free recalibration fallback.
+  // Recompute the calibration-time conformity ingredients through the
+  // pipeline: the uncalibrated points, the MC stds, the backend's aux
+  // channels, roi*, and from them the conformity scores that anchor both
+  // the score-drift channel and the label-free recalibration fallback.
   StatusOr<pipeline::RoiScorer::ConformalInputs> inputs =
       pipeline->ConformalScoreInputs(calibration.x);
   if (!inputs.ok()) return inputs.status();
+  std::vector<double> aux_lo;
+  std::vector<double> aux_hi;
+  if (Status status = backend->StreamAux(calibration.x, &aux_lo, &aux_hi);
+      !status.ok()) {
+    return status;
+  }
   double roi_star = core::BinarySearchRoiStar(
       calibration, options.recalibrator.epsilon);
-  std::vector<double> calibration_scores = core::ConformalScores(
-      roi_star, inputs.value().roi_hat, inputs.value().r_hat);
+  std::vector<double> calibration_scores;
+  calibration_scores.reserve(AsSize(calibration.n()));
+  for (int i = 0; i < calibration.n(); ++i) {
+    calibration_scores.push_back(backend->StreamScore(
+        inputs.value().roi_hat[AsSize(i)], inputs.value().r_hat[AsSize(i)],
+        roi_star, aux_lo[AsSize(i)], aux_hi[AsSize(i)]));
+  }
   StatusOr<std::vector<double>> served = pipeline->Score(calibration.x);
   if (!served.ok()) return served.status();
 
@@ -96,7 +117,8 @@ StatusOr<std::unique_ptr<ServingMonitor>> ServingMonitor::FromCalibration(
 
   double alpha = pipeline->hyperparams().alpha;
   options.coverage.alpha = alpha;
-  RollingRecalibrator recalibrator(std::move(calibration_scores), alpha,
+  RollingRecalibrator recalibrator(backend, roi_star,
+                                   std::move(calibration_scores), alpha,
                                    options.recalibrator);
   CoverageTracker tracker(options.coverage);
 
@@ -122,6 +144,7 @@ ServingMonitor::ServingMonitor(const pipeline::Pipeline* pipeline,
                                std::vector<int> feature_channels,
                                int score_channel, int conformal_channel)
     : pipeline_(pipeline),
+      backend_(pipeline->interval_backend()),
       options_(std::move(options)),
       roi_star_calibration_(roi_star_calibration),
       feature_channels_(std::move(feature_channels)),
@@ -129,7 +152,8 @@ ServingMonitor::ServingMonitor(const pipeline::Pipeline* pipeline,
       conformal_channel_(conformal_channel),
       detector_(std::move(detector)),
       recalibrator_(std::move(recalibrator)),
-      tracker_(std::move(tracker)) {}
+      tracker_(std::move(tracker)),
+      weight_counts_(backend_->WeightBins(), 0.0) {}
 
 void ServingMonitor::BindQuantileSwap(std::function<Status(double)> swap) {
   MutexLock lock(mu_);
@@ -192,6 +216,20 @@ void ServingMonitor::ObserveScored(const Matrix& x,
     detector_.Commit(score_channel_, block_counts[AsSize(num_live - 1)]);
   }
 
+  // Weighted-conformal live mass: bin every served score under the
+  // backend's reference binning, halving the counts periodically so the
+  // likelihood ratio tracks recent traffic rather than all history.
+  if (!weight_counts_.empty()) {
+    for (double score : scores) {
+      weight_counts_[backend_->WeightBinOf(score)] += 1.0;
+    }
+    weight_rows_ += static_cast<uint64_t>(n);
+    if (weight_rows_ >= kWeightAgingRows) {
+      for (double& count : weight_counts_) count *= 0.5;
+      weight_rows_ /= 2;
+    }
+  }
+
   rows_since_eval_ += static_cast<uint64_t>(n);
   rows_seen_ += static_cast<uint64_t>(n);
   if (rows_since_eval_ >= options_.window_rows) EvaluateWindowLocked();
@@ -236,10 +274,18 @@ Status ServingMonitor::AddOutcomes(const RctDataset& feedback) {
   obs::ScopedSpan span("monitor.add_outcomes");
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
 
-  // One MC sweep over the feedback rows gives the Eq. (3) ingredients.
+  // One MC sweep over the feedback rows gives the conformity
+  // ingredients; they are cached on each window sample so recalibration
+  // replays them without touching the feature matrix again.
   StatusOr<pipeline::RoiScorer::ConformalInputs> inputs =
       pipeline_->ConformalScoreInputs(feedback.x);
   if (!inputs.ok()) return inputs.status();
+  std::vector<double> aux_lo;
+  std::vector<double> aux_hi;
+  if (Status status = backend_->StreamAux(feedback.x, &aux_lo, &aux_hi);
+      !status.ok()) {
+    return status;
+  }
   StatusOr<double> q_hat = pipeline_->conformal_quantile();
   if (!q_hat.ok()) return q_hat.status();
 
@@ -249,6 +295,10 @@ Status ServingMonitor::AddOutcomes(const RctDataset& feedback) {
     sample.treatment = feedback.treatment[AsSize(i)];
     sample.y_revenue = feedback.y_revenue[AsSize(i)];
     sample.y_cost = feedback.y_cost[AsSize(i)];
+    sample.roi_hat = inputs.value().roi_hat[AsSize(i)];
+    sample.r_hat = inputs.value().r_hat[AsSize(i)];
+    sample.aux_lo = aux_lo[AsSize(i)];
+    sample.aux_hi = aux_hi[AsSize(i)];
     recalibrator_.AddOutcome(std::move(sample));
   }
 
@@ -263,8 +313,13 @@ Status ServingMonitor::AddOutcomes(const RctDataset& feedback) {
         options_.recalibrator.epsilon);
     metrics.GetGauge("monitor.roi_star_window")->Set(roi_star);
   }
-  std::vector<double> scores = core::ConformalScores(
-      roi_star, inputs.value().roi_hat, inputs.value().r_hat);
+  std::vector<double> scores;
+  scores.reserve(AsSize(feedback.n()));
+  for (int i = 0; i < feedback.n(); ++i) {
+    scores.push_back(backend_->StreamScore(
+        inputs.value().roi_hat[AsSize(i)], inputs.value().r_hat[AsSize(i)],
+        roi_star, aux_lo[AsSize(i)], aux_hi[AsSize(i)]));
+  }
 
   // Feed the conformal-score drift channel (feedback stream is sparse;
   // serial accumulation is fine) and the coverage/ACI state. A sample is
@@ -312,7 +367,7 @@ StatusOr<RecalibrationResult> ServingMonitor::MaybeRecalibrate(bool force) {
 
   uint64_t start_us = obs::MonotonicMicros();
   StatusOr<RecalibrationResult> result =
-      recalibrator_.Recalibrate(*pipeline_, q_current.value());
+      recalibrator_.Recalibrate(q_current.value(), weight_counts_);
   if (!result.ok()) return result.status();
   if (Status status = swap_(result.value().q_hat_after); !status.ok()) {
     return status;
@@ -331,6 +386,7 @@ StatusOr<RecalibrationResult> ServingMonitor::MaybeRecalibrate(bool force) {
             {{"q_hat_before", result.value().q_hat_before},
              {"q_hat_after", result.value().q_hat_after},
              {"labeled", result.value().labeled},
+             {"weighted_fallback", result.value().weighted_fallback},
              {"alpha_used", result.value().alpha_used},
              {"window_n", AsInt(result.value().window_n)},
              {"forced", force}});

@@ -9,6 +9,7 @@
 
 #include "common/annotated_mutex.h"
 #include "common/status.h"
+#include "core/interval_backend.h"
 #include "data/dataset.h"
 #include "monitor/coverage_tracker.h"
 #include "monitor/drift.h"
@@ -70,7 +71,8 @@ class ServingMonitor {
   /// channel per monitored feature column, one for the served score
   /// stream, and one for the conformal scores themselves (the most
   /// decision-relevant reference). Requires a pipeline whose scorer
-  /// carries a conformal quantile (rDRP). Returned by pointer: the
+  /// carries a conformal quantile and an interval backend (rDRP loaded
+  /// through the pipeline artifact). Returned by pointer: the
   /// monitor owns a mutex (and is captured by reference in service
   /// callbacks), so it is neither movable nor copyable.
   static StatusOr<std::unique_ptr<ServingMonitor>> FromCalibration(
@@ -104,7 +106,9 @@ class ServingMonitor {
 
   /// Ingests labeled feedback: extends the recalibration window, updates
   /// the conformal-score drift channel, the coverage ring, and the ACI
-  /// state. One MC sweep over `feedback.x` recomputes Eq. (3) scores.
+  /// state. One MC sweep over `feedback.x` computes the conformity
+  /// ingredients, which are cached per sample so recalibration itself
+  /// never re-sweeps the window.
   Status AddOutcomes(const RctDataset& feedback) ROICL_EXCLUDES(mu_);
 
   /// Recalibrates and swaps q_hat when a drift trigger is latched or the
@@ -139,6 +143,9 @@ class ServingMonitor {
   // Immutable after construction (set before the monitor is published);
   // read freely without mu_.
   const pipeline::Pipeline* pipeline_;
+  /// The scorer's interval backend (streaming score arithmetic and
+  /// weight binning); owned by the pipeline, outlives the monitor.
+  const core::IntervalBackend* backend_;
   MonitorOptions options_;
   /// Frozen calibration-time convergence point: the coverage fallback
   /// target while the feedback window cannot support Algorithm 2.
@@ -153,6 +160,11 @@ class ServingMonitor {
   DriftDetector detector_ ROICL_GUARDED_BY(mu_);
   RollingRecalibrator recalibrator_ ROICL_GUARDED_BY(mu_);
   CoverageTracker tracker_ ROICL_GUARDED_BY(mu_);
+  /// Live served-score counts per backend weight bin (empty when the
+  /// backend has no weight bins). Aged by halving so the likelihood
+  /// ratio tracks recent traffic.
+  std::vector<double> weight_counts_ ROICL_GUARDED_BY(mu_);
+  std::uint64_t weight_rows_ ROICL_GUARDED_BY(mu_) = 0;
   std::uint64_t rows_since_eval_ ROICL_GUARDED_BY(mu_) = 0;
   std::uint64_t rows_seen_ ROICL_GUARDED_BY(mu_) = 0;
   std::uint64_t outcomes_since_recal_ ROICL_GUARDED_BY(mu_) = 0;

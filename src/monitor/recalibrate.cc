@@ -5,8 +5,11 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/math_util.h"
 #include "core/conformal.h"
 #include "core/roi_star.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace roicl::monitor {
@@ -34,29 +37,49 @@ double AdaptiveAlpha::Update(bool covered) {
 }
 
 RollingRecalibrator::RollingRecalibrator(
+    const core::IntervalBackend* backend, double roi_star_anchor,
     std::vector<double> calibration_scores, double target_alpha,
     RecalibratorOptions options)
-    : calibration_scores_(std::move(calibration_scores)),
+    : backend_(backend),
+      anchor_(roi_star_anchor),
+      calibration_scores_(std::move(calibration_scores)),
       target_alpha_(target_alpha),
       options_(options),
       aci_(target_alpha, options.gamma) {
+  ROICL_CHECK_MSG(backend_ != nullptr,
+                  "recalibrator needs an interval backend for the "
+                  "streaming score arithmetic");
   ROICL_CHECK_MSG(!calibration_scores_.empty(),
                   "recalibrator needs calibration scores for the "
                   "label-free fallback");
   ROICL_CHECK(options_.max_window > 0);
+  ROICL_CHECK_MSG(std::isfinite(anchor_), "roi* anchor must be finite");
+}
+
+double RollingRecalibrator::ScoreAt(const FeedbackSample& sample,
+                                    double roi_star) const {
+  return backend_->StreamScore(sample.roi_hat, sample.r_hat, roi_star,
+                               sample.aux_lo, sample.aux_hi);
 }
 
 void RollingRecalibrator::AddOutcome(FeedbackSample sample) {
-  window_.push_back(std::move(sample));
-  while (window_.size() > options_.max_window) window_.pop_front();
+  Entry entry;
+  entry.score = ScoreAt(sample, anchor_);
+  entry.sample = std::move(sample);
+  iq_.Insert(entry.score);
+  window_.push_back(std::move(entry));
+  while (window_.size() > options_.max_window) {
+    ROICL_CHECK(iq_.Erase(window_.front().score));
+    window_.pop_front();
+  }
 }
 
 bool RollingRecalibrator::CanRecalibrateLabeled() const {
   if (window_.size() < options_.min_labeled) return false;
   bool has_treated = false;
   bool has_control = false;
-  for (const FeedbackSample& sample : window_) {
-    if (sample.treatment == 1) {
+  for (const Entry& entry : window_) {
+    if (entry.sample.treatment == 1) {
       has_treated = true;
     } else {
       has_control = true;
@@ -68,9 +91,9 @@ bool RollingRecalibrator::CanRecalibrateLabeled() const {
   std::vector<double> y_cost;
   treatment.reserve(window_.size());
   y_cost.reserve(window_.size());
-  for (const FeedbackSample& sample : window_) {
-    treatment.push_back(sample.treatment);
-    y_cost.push_back(sample.y_cost);
+  for (const Entry& entry : window_) {
+    treatment.push_back(entry.sample.treatment);
+    y_cost.push_back(entry.sample.y_cost);
   }
   return RctDataset::DiffInMeans(treatment, y_cost) > 0.0;
 }
@@ -78,49 +101,94 @@ bool RollingRecalibrator::CanRecalibrateLabeled() const {
 RctDataset RollingRecalibrator::WindowDataset() const {
   ROICL_CHECK_MSG(!window_.empty(), "empty feedback window");
   RctDataset dataset;
-  for (const FeedbackSample& sample : window_) {
-    dataset.x.AppendRow(sample.x);
-    dataset.treatment.push_back(sample.treatment);
-    dataset.y_revenue.push_back(sample.y_revenue);
-    dataset.y_cost.push_back(sample.y_cost);
+  for (const Entry& entry : window_) {
+    dataset.x.AppendRow(entry.sample.x);
+    dataset.treatment.push_back(entry.sample.treatment);
+    dataset.y_revenue.push_back(entry.sample.y_revenue);
+    dataset.y_cost.push_back(entry.sample.y_cost);
   }
   return dataset;
 }
 
+void RollingRecalibrator::ReanchorLocked(double roi_star) {
+  anchor_ = roi_star;
+  iq_.Clear();
+  for (Entry& entry : window_) {
+    entry.score = ScoreAt(entry.sample, anchor_);
+    iq_.Insert(entry.score);
+  }
+}
+
 StatusOr<RecalibrationResult> RollingRecalibrator::Recalibrate(
-    const pipeline::Pipeline& pipeline, double q_hat_current) const {
+    double q_hat_current, const std::vector<double>& live_weight_counts) {
   obs::ScopedSpan span("monitor.recalibrate");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   RecalibrationResult result;
   result.q_hat_before = q_hat_current;
   result.window_n = window_.size();
 
   double q_new = 0.0;
+  bool handled = false;
   if (CanRecalibrateLabeled()) {
-    RctDataset window = WindowDataset();
-    StatusOr<pipeline::RoiScorer::ConformalInputs> inputs =
-        pipeline.ConformalScoreInputs(window.x);
-    if (!inputs.ok()) return inputs.status();
-    // Algorithm 2 on the window, then Algorithm 3 at the target alpha:
-    // a fresh split-conformal calibration on current-traffic labels.
-    result.roi_star = core::BinarySearchRoiStar(
-        window.treatment, window.y_revenue, window.y_cost,
-        options_.epsilon);
-    std::vector<double> scores = core::ConformalScores(
-        result.roi_star, inputs.value().roi_hat, inputs.value().r_hat);
-    q_new = core::ConformalScoreQuantile(scores, target_alpha_);
+    // Algorithm 2 on the window's scalar outcome columns, then Algorithm
+    // 3 at the target alpha over the cached-ingredient scores: a fresh
+    // split-conformal calibration on current-traffic labels with no
+    // MC sweep in the loop.
+    std::vector<int> treatment;
+    std::vector<double> y_revenue;
+    std::vector<double> y_cost;
+    treatment.reserve(window_.size());
+    y_revenue.reserve(window_.size());
+    y_cost.reserve(window_.size());
+    for (const Entry& entry : window_) {
+      treatment.push_back(entry.sample.treatment);
+      y_revenue.push_back(entry.sample.y_revenue);
+      y_cost.push_back(entry.sample.y_cost);
+    }
+    double roi_star = core::BinarySearchRoiStar(treatment, y_revenue,
+                                                y_cost, options_.epsilon);
+    double tolerance =
+        options_.reanchor_rtol * std::max(1.0, std::fabs(anchor_));
+    if (std::fabs(roi_star - anchor_) > tolerance) ReanchorLocked(roi_star);
+    result.roi_star = roi_star;
+    q_new = iq_.QHat(target_alpha_);
+    metrics.GetGauge("conformal.calibration_n")
+        ->Set(static_cast<double>(iq_.size()));
     if (!std::isfinite(q_new)) {
       // Same convention as train-time calibration: the most conservative
       // finite quantile when the rank exceeds the window.
-      q_new = *std::max_element(scores.begin(), scores.end());
+      metrics.GetCounter("conformal.qhat_infinite")->Increment();
+      obs::Warn("conformal quantile infinite; using max score",
+                {{"q_hat", q_new},
+                 {"calibration_n", AsInt(iq_.size())}});
+      q_new = iq_.Kth(iq_.size());
     }
+    metrics.GetGauge("conformal.q_hat")->Set(q_new);
     result.labeled = true;
     result.alpha_used = target_alpha_;
-  } else {
-    // Label-free fallback: requantile the original calibration scores at
-    // the ACI-adjusted alpha. Miscoverage feedback has pushed alpha
+    handled = true;
+  } else if (backend_->WeightBins() > 0) {
+    // Label-free covariate-shift repair: reweight the calibration scores
+    // by the likelihood ratio estimated from the served-score bin counts
+    // and requantile at the *target* alpha — no coverage feedback needed.
+    StatusOr<double> weighted =
+        backend_->FallbackQHat(target_alpha_, live_weight_counts);
+    if (weighted.ok()) {
+      q_new = weighted.value();
+      if (!std::isfinite(q_new)) {
+        q_new = *std::max_element(calibration_scores_.begin(),
+                                  calibration_scores_.end());
+      }
+      result.weighted_fallback = true;
+      result.alpha_used = target_alpha_;
+      handled = true;
+    }
+  }
+  if (!handled) {
+    // Label-free ACI fallback: requantile the original calibration scores
+    // at the ACI-adjusted alpha. Miscoverage feedback has pushed alpha
     // below target, so the rank moves up the score distribution and the
     // intervals widen — no labels required.
-    result.labeled = false;
     result.alpha_used = aci_.value();
     q_new = core::WindowedConformalScoreQuantile(
         calibration_scores_, calibration_scores_.size(),
@@ -130,7 +198,7 @@ StatusOr<RecalibrationResult> RollingRecalibrator::Recalibrate(
                                 calibration_scores_.end());
     }
   }
-  result.q_hat_after = q_new;
+  result.q_hat_after = std::max(0.0, q_new);
   result.performed = true;
   return result;
 }

@@ -194,6 +194,17 @@ class RdrpScorer : public RoiScorer {
     return inputs;
   }
 
+  const core::IntervalBackend* interval_backend() const override {
+    return model_.interval_backend();
+  }
+  Status AdoptIntervalBackend(
+      std::unique_ptr<core::IntervalBackend> backend) override {
+    if (!model_.calibrated()) {
+      return Status::FailedPrecondition("scorer not calibrated");
+    }
+    return model_.AdoptIntervalBackend(std::move(backend));
+  }
+
   void set_batch_options(const nn::BatchOptions& opts) override {
     config_.drp.predict = opts;
     model_.set_predict_options(opts);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/math_util.h"
+#include "core/interval_backend.h"
 
 namespace roicl::pipeline {
 namespace {
@@ -78,6 +79,7 @@ core::RdrpConfig MakeRdrpConfig(const Hyperparams& hp) {
   config.mc_passes = hp.mc_passes;
   config.alpha = hp.alpha;
   config.mc_seed = hp.seed + 3;
+  config.interval_backend = hp.interval_backend;
   return config;
 }
 
@@ -127,6 +129,7 @@ std::string SerializeHyperparams(const Hyperparams& hp) {
       << " ridge_lambda=" << FormatDouble(hp.ridge_lambda)
       << " mc_passes=" << hp.mc_passes
       << " alpha=" << FormatDouble(hp.alpha)
+      << " interval_backend=" << hp.interval_backend
       << " predict_batch_size=" << hp.predict_batch_size
       << " predict_threads=" << hp.predict_threads << " seed=" << hp.seed;
   return out.str();
@@ -179,6 +182,9 @@ StatusOr<Hyperparams> ParseHyperparams(const std::string& line) {
       parsed = ParseInt(value, &hp.mc_passes);
     } else if (key == "alpha") {
       parsed = ParseDouble(value, &hp.alpha);
+    } else if (key == "interval_backend") {
+      parsed = core::IsIntervalBackendName(value);
+      hp.interval_backend = value;
     } else if (key == "predict_batch_size") {
       parsed = ParseInt(value, &hp.predict_batch_size);
     } else if (key == "predict_threads") {

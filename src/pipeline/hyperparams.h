@@ -48,6 +48,10 @@ struct Hyperparams {
   // rDRP knobs.
   int mc_passes = 30;
   double alpha = 0.1;
+  /// Interval backend for conformal scorers: "split" / "weighted" /
+  /// "cqr" (core::kIntervalBackendNames). Ignored by scorers without
+  /// interval state.
+  std::string interval_backend = "split";
 
   // Batched prediction-engine knobs (throughput only; never the bits).
   int predict_batch_size = 256;

@@ -4,12 +4,17 @@
 #include <sstream>
 #include <utility>
 
+#include "core/interval_backend.h"
+#include "core/roi_star.h"
 #include "obs/log.h"
 
 namespace roicl::pipeline {
 namespace {
 
-constexpr char kMagic[] = "roicl-pipeline-v1";
+// v2 added the mandatory interval_backend manifest section; v1 artifacts
+// (which baked split-conformal semantics into the model blob alone) are
+// rejected with a version error rather than silently defaulted.
+constexpr char kMagic[] = "roicl-pipeline-v2";
 constexpr char kMagicPrefix[] = "roicl-pipeline-v";
 
 /// Reads one "<key> <rest of line>" manifest entry; the value may be
@@ -100,6 +105,61 @@ StatusOr<RoiScorer::ConformalInputs> Pipeline::ConformalScoreInputs(
   return scorer_->ConformalScoreInputs(x);
 }
 
+Status Pipeline::RebindIntervalBackend(const std::string& name,
+                                       const RctDataset* calibration) {
+  if (!scorer_->has_conformal_quantile()) {
+    return Status::FailedPrecondition(
+        "scorer '" + scorer_name_ + "' has no interval state to rebind");
+  }
+  const core::IntervalBackend* current = scorer_->interval_backend();
+  if (current == nullptr) {
+    return Status::FailedPrecondition(
+        "pipeline carries no interval backend");
+  }
+  if (current->name() == name) return Status::Ok();
+  StatusOr<std::unique_ptr<core::IntervalBackend>> made =
+      core::MakeIntervalBackend(name);
+  if (!made.ok()) return made.status();
+  std::unique_ptr<core::IntervalBackend> target = std::move(made).value();
+  if (calibration != nullptr) {
+    // Full recalibration: the same ingredients FitWithCalibration fed the
+    // original backend (point estimates, MC stds, the Algorithm-2
+    // convergence point), so rebinding on the training-time calibration
+    // set reproduces the would-have-been-trained backend exactly.
+    StatusOr<RoiScorer::ConformalInputs> inputs =
+        ConformalScoreInputs(calibration->x);
+    if (!inputs.ok()) return inputs.status();
+    double roi_star =
+        core::BinarySearchRoiStar(*calibration, core::RdrpConfig().epsilon);
+    std::vector<double> roi_star_vec(inputs.value().roi_hat.size(),
+                                     roi_star);
+    if (Status status = target->Calibrate(
+            calibration->x, inputs.value().roi_hat, inputs.value().r_hat,
+            roi_star_vec, hp_.alpha, core::kDefaultStdFloor);
+        !status.ok()) {
+      return status;
+    }
+    StatusOr<std::vector<double>> served = Score(calibration->x);
+    if (!served.ok()) return served.status();
+    target->SetWeightReference(std::move(served).value());
+  } else {
+    // Stateless conversion from the persisted calibration state; only
+    // legal between backends sharing Eq.(3) score semantics.
+    if (Status status = target->InitFromState(*current); !status.ok()) {
+      return status;
+    }
+  }
+  double q_hat = target->q_hat();
+  if (Status status = scorer_->AdoptIntervalBackend(std::move(target));
+      !status.ok()) {
+    return status;
+  }
+  hp_.interval_backend = name;
+  // Seed the live serving scalar with the rebound backend's calibration
+  // quantile (one atomic swap; concurrent scoring never tears).
+  return SetConformalQuantile(q_hat);
+}
+
 Status Pipeline::Save(std::ostream& out) const {
   if (scorer_ == nullptr || feature_dim_ <= 0) {
     return Status::FailedPrecondition("pipeline not trained");
@@ -112,6 +172,13 @@ Status Pipeline::Save(std::ostream& out) const {
   out << "provenance.git " << provenance_.git_describe << '\n';
   out << "provenance.tool " << provenance_.tool << '\n';
   out << "hyperparams " << SerializeHyperparams(hp_) << '\n';
+  const core::IntervalBackend* backend = scorer_->interval_backend();
+  if (backend != nullptr) {
+    out << "interval_backend " << backend->name() << '\n';
+    if (Status status = backend->Save(out); !status.ok()) return status;
+  } else {
+    out << "interval_backend none\n";
+  }
   out << "model\n";
   if (Status status = scorer_->SaveModel(out); !status.ok()) return status;
   if (!out) return Status::IoError("stream write failed");
@@ -177,6 +244,28 @@ StatusOr<Pipeline> Pipeline::Load(std::istream& in) {
   }
   StatusOr<Hyperparams> hp = ParseHyperparams(hp_line);
   if (!hp.ok()) return hp.status();
+  std::string backend_name;
+  if (!ReadKeyedLine(in, "interval_backend", &backend_name) ||
+      backend_name.empty()) {
+    return Status::InvalidArgument(
+        "missing interval_backend section in manifest");
+  }
+  std::unique_ptr<core::IntervalBackend> backend;
+  if (backend_name != "none") {
+    StatusOr<std::unique_ptr<core::IntervalBackend>> made =
+        core::MakeIntervalBackend(backend_name);
+    if (!made.ok()) return made.status();
+    backend = std::move(made).value();
+    if (Status status = backend->Load(in); !status.ok()) return status;
+    // The hyperparam knob and the persisted section must agree, or the
+    // artifact was stitched together from mismatched halves.
+    if (hp.value().interval_backend != backend_name) {
+      return Status::InvalidArgument(
+          "manifest hyperparams say interval_backend=" +
+          hp.value().interval_backend + " but the interval section is '" +
+          backend_name + "'");
+    }
+  }
   std::string marker;
   if (!(in >> marker) || marker != "model") {
     return Status::InvalidArgument("missing model section marker");
@@ -202,6 +291,22 @@ StatusOr<Pipeline> Pipeline::Load(std::istream& in) {
         "manifest/model feature-dimension mismatch: manifest says " +
         std::to_string(feature_dim) + ", model expects " +
         std::to_string(model_dim));
+  }
+  // Interval state and scorer capability must pair up exactly: a
+  // conformal scorer without its interval section (or a point scorer
+  // carrying one) is a corrupt or mispaired artifact.
+  if (backend != nullptr) {
+    if (Status status =
+            scorer.value()->AdoptIntervalBackend(std::move(backend));
+        !status.ok()) {
+      return Status::InvalidArgument(
+          "artifact carries interval state but scorer '" + scorer_name +
+          "' cannot adopt it: " + status.message());
+    }
+  } else if (scorer.value()->has_conformal_quantile()) {
+    return Status::InvalidArgument(
+        "conformal scorer '" + scorer_name +
+        "' artifact is missing its interval-backend section");
   }
 
   Pipeline pipeline;

@@ -73,7 +73,25 @@ class Pipeline {
   StatusOr<RoiScorer::ConformalInputs> ConformalScoreInputs(
       const Matrix& x) const;
 
-  /// Serializes the manifest + model blob ("roicl-pipeline-v1").
+  /// The interval backend behind this pipeline's conformal intervals
+  /// (nullptr for point scorers without interval state).
+  const core::IntervalBackend* interval_backend() const {
+    return scorer_->interval_backend();
+  }
+
+  /// Replaces the interval backend with a freshly built `name` backend
+  /// ("split" / "weighted" / "cqr") and seeds the live serving quantile
+  /// with its calibration q_hat. Without a calibration set, only
+  /// backends sharing split score semantics can be rebuilt from the
+  /// persisted state (split <-> weighted); rebinding to cqr needs
+  /// `calibration` to refit its quantile heads. No-op when the backend
+  /// already has that name.
+  Status RebindIntervalBackend(const std::string& name,
+                               const RctDataset* calibration);
+
+  /// Serializes the manifest + model blob ("roicl-pipeline-v2"; the
+  /// manifest carries a versioned interval-backend section between the
+  /// hyperparams and the model blob).
   Status Save(std::ostream& out) const;
   Status SaveToFile(const std::string& path) const;
 

@@ -2,11 +2,13 @@
 #define ROICL_PIPELINE_SCORER_H_
 
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <vector>
 
 #include "common/status.h"
 #include "core/direct_model.h"
+#include "core/interval_backend.h"
 #include "metrics/coverage.h"
 #include "nn/batch_forward.h"
 #include "uplift/roi_model.h"
@@ -78,6 +80,22 @@ class RoiScorer : public uplift::RoiModel {
       const Matrix& /*x*/) const {
     return Status::FailedPrecondition(
         "scorer does not carry a conformal quantile");
+  }
+
+  /// The interval backend shaping this scorer's conformal intervals, or
+  /// nullptr for scorers without interval state. Non-null exactly when
+  /// the pipeline artifact carries an interval-backend section.
+  virtual const core::IntervalBackend* interval_backend() const {
+    return nullptr;
+  }
+
+  /// Installs a calibrated interval backend (artifact load or rebind).
+  /// The live serving quantile is not touched — swapping it stays the
+  /// caller's explicit SetConformalQuantile decision.
+  virtual Status AdoptIntervalBackend(
+      std::unique_ptr<core::IntervalBackend> /*backend*/) {
+    return Status::FailedPrecondition(
+        "scorer does not carry interval state");
   }
 
   /// Re-points the batched prediction engine (row-block size, thread

@@ -77,7 +77,9 @@ grep -q "shift injected       : batch 6" $WORK/replay.txt
 grep -Eq "drift detected       : batch [0-9]+ \(latency [0-9]+ batches\)" \
     $WORK/replay.txt
 grep -Eq "recalibrated         : batch [0-9]+" $WORK/replay.txt
-grep -q "coverage post-recal" $WORK/replay.txt
+# The coverage-regime table (pre-shift / shift->recal / post-recal) is
+# printed for every run, one row per replayed backend.
+grep -q "pre-shift  shift->recal  post-recal" $WORK/replay.txt
 # The replay is seeded end to end: same flags, same bytes out.
 $CLI monitor-replay --pipeline $WORK/rdrp.pipe --calib $WORK/calib.csv \
     --data $WORK/test.csv --batch-rows 128 --num-batches 12 --shift-at 6 \
@@ -90,6 +92,54 @@ if $CLI monitor-replay --pipeline $WORK/rdrp.pipe --calib $WORK/calib.csv \
     --data $WORK/test.csv --batch-rows 0 2>/dev/null; then
   echo "expected failure for bad --batch-rows"; exit 1
 fi
+
+# --- Interval backends: rebind at load, one replay row per backend. ----
+# split -> weighted is a stateless rebind (shared Eq.(3) calibration
+# state): serving the same artifact through the weighted backend is
+# bitwise identical.
+$CLI serve --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+    --out $WORK/rdrp_served_w.csv --request-rows 1000000 \
+    --interval-backend weighted
+cmp $WORK/rdrp_served.csv $WORK/rdrp_served_w.csv \
+    || { echo "weighted rebind changed served scores"; exit 1; }
+# cqr cannot be rebuilt from split scores; without a calibration dataset
+# the rebind must refuse, not serve garbage intervals.
+if $CLI serve --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+    --out $WORK/x.csv --interval-backend cqr 2>/dev/null; then
+  echo "expected failure for stateless cqr rebind"; exit 1
+fi
+# Unknown backend names die in flag validation, listing the registry.
+if $CLI serve --pipeline $WORK/rdrp.pipe --data $WORK/test.csv \
+    --out $WORK/x.csv --interval-backend jackknife 2>$WORK/err.txt; then
+  echo "expected failure for unknown interval backend"; exit 1
+fi
+grep -q "split" $WORK/err.txt
+# Training bakes the chosen backend into the artifact: a cqr pipeline
+# carries its quantile-head model through score.
+$CLI train --method rdrp --train $WORK/train.csv --calib $WORK/calib.csv \
+    --epochs 8 --restarts 1 --interval-backend cqr \
+    --save-pipeline $WORK/cqr.pipe
+$CLI score --pipeline $WORK/cqr.pipe --data $WORK/test.csv \
+    --out $WORK/cqr_scores.csv
+[ "$(head -1 $WORK/cqr_scores.csv)" = "roi,interval_lo,interval_hi" ]
+# Per-backend replay smoke: `--interval-backend all` reruns the same
+# seeded shifted stream once per registered backend and prints one
+# coverage row each.
+$CLI monitor-replay --pipeline $WORK/rdrp.pipe --calib $WORK/calib.csv \
+    --data $WORK/test.csv --batch-rows 128 --num-batches 12 --shift-at 6 \
+    --shift-gamma 3.0 --window-rows 256 --min-window 128 \
+    --min-labeled 200 --seed 11 --interval-backend all \
+    > $WORK/replay_all.txt
+grep -Eq "^split " $WORK/replay_all.txt
+grep -Eq "^weighted " $WORK/replay_all.txt
+grep -Eq "^cqr " $WORK/replay_all.txt
+$CLI monitor-replay --pipeline $WORK/rdrp.pipe --calib $WORK/calib.csv \
+    --data $WORK/test.csv --batch-rows 128 --num-batches 12 --shift-at 6 \
+    --shift-gamma 3.0 --window-rows 256 --min-window 128 \
+    --min-labeled 200 --seed 11 --interval-backend all \
+    > $WORK/replay_all2.txt
+cmp $WORK/replay_all.txt $WORK/replay_all2.txt \
+    || { echo "per-backend monitor-replay is not reproducible"; exit 1; }
 
 # --- A non-neural method round-trips through the same artifact. --------
 $CLI train --method tpm-sl --train $WORK/train.csv --forest-trees 5 \

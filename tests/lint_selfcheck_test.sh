@@ -196,6 +196,24 @@ void RegisterBuiltinScorers(ScorerRegistry* registry) {
 }
 EOF
 
+# check_interval_backends: a registered backend with neither a
+# roundtrip test nor a replay smoke row. The two covered decoys keep the
+# extraction above its regex-rot count guard.
+cat > "${fixture}/src/core/interval_backend.h" <<'EOF'
+inline constexpr std::array<const char*, 3> kIntervalBackendNames = {
+    "split", "weighted", "jackknife"};
+EOF
+cat > "${fixture}/tests/interval_backend_test.cc" <<'EOF'
+TEST(IntervalBackend, BitwiseRoundtripSplit) {}
+TEST(IntervalBackend, BitwiseRoundtripWeighted) {}
+// jackknife roundtrip deliberately missing.
+EOF
+cat > "${fixture}/tests/cli_pipeline_test.sh" <<'EOF'
+#!/bin/bash
+grep -Eq "^split " replay_all.txt
+grep -Eq "^weighted " replay_all.txt
+EOF
+
 # --- Each lint must reject its fixture... -------------------------------
 expect_fail check_determinism bash "${runner}" "${fixture}" check_determinism
 expect_fail check_include_guards \
@@ -204,6 +222,8 @@ expect_fail check_scripts bash "${runner}" "${fixture}" check_scripts
 expect_fail check_no_raw_io bash "${runner}" "${fixture}" check_no_raw_io
 expect_fail check_registry_complete \
   bash "${runner}" "${fixture}" check_registry_complete
+expect_fail check_interval_backends \
+  bash "${runner}" "${fixture}" check_interval_backends
 expect_fail check_metric_names \
   bash "${runner}" "${fixture}" check_metric_names
 expect_fail check_slo_specs bash "${runner}" "${fixture}" check_slo_specs
@@ -249,6 +269,21 @@ else
   echo "FAIL: check_registry_complete did not name the missing method"
   status=1
 fi
+
+# The backend lint names the uncovered backend and both missing
+# surfaces, not just "failed".
+backend_out=$(bash "${runner}" "${fixture}" check_interval_backends \
+  2>&1 || true)
+for needle in \
+    "backend 'jackknife' has no BitwiseRoundtripJackknife" \
+    "backend 'jackknife' has no monitor-replay smoke row"; do
+  if grep -q "${needle}" <<<"${backend_out}"; then
+    echo "ok: check_interval_backends reports '${needle}'"
+  else
+    echo "FAIL: check_interval_backends did not report '${needle}'"
+    status=1
+  fi
+done
 
 # The testname lint names the orphan source, not just "failed".
 testnames_out=$(bash "${runner}" "${fixture}" check_testnames 2>&1 || true)

@@ -16,7 +16,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/math_util.h"
+#include "core/conformal.h"
+#include "core/interval_backend.h"
 #include "monitor/coverage_tracker.h"
 #include "monitor/drift.h"
 #include "monitor/monitor.h"
@@ -36,6 +39,32 @@ RctDataset Gen(int n, uint64_t seed, bool shifted = false) {
   synth::SyntheticGenerator generator(synth::CriteoSynthConfig());
   Rng rng(seed);
   return generator.Generate(n, shifted, &rng);
+}
+
+/// A calibrated backend over a tiny synthetic calibration set — the
+/// streaming-score source for direct recalibrator tests, no pipeline
+/// needed.
+std::unique_ptr<core::IntervalBackend> CalibratedBackend(
+    const std::string& name = "split") {
+  auto backend = std::move(core::MakeIntervalBackend(name)).value();
+  Matrix x;
+  std::vector<double> roi_hat;
+  std::vector<double> r_hat;
+  std::vector<double> roi_star;
+  for (int i = 0; i < 20; ++i) {
+    x.AppendRow({0.1 * i, 1.0 - 0.05 * i});
+    roi_hat.push_back(0.3 + 0.02 * i);
+    r_hat.push_back(0.08 + 0.01 * (i % 4));
+    roi_star.push_back(0.5);
+  }
+  ROICL_CHECK(backend
+                  ->Calibrate(x, roi_hat, r_hat, roi_star, /*alpha=*/0.1,
+                              core::kDefaultStdFloor)
+                  .ok());
+  // The served-score weight variable (what ServingMonitor's construction
+  // wires in); gives the weighted backend its reference bins.
+  backend->SetWeightReference(roi_hat);
+  return backend;
 }
 
 /// Small-budget rDRP pipeline with a real conformal quantile.
@@ -215,10 +244,12 @@ TEST(AdaptiveAlpha, WalksTowardCoverageAndStaysClamped) {
 // Rolling recalibrator
 
 TEST(RollingRecalibrator, WindowIsBoundedAndGatesTheLabeledPath) {
+  auto backend = CalibratedBackend();
   RecalibratorOptions options;
   options.max_window = 100;
   options.min_labeled = 50;
-  RollingRecalibrator recal({1.0, 2.0, 3.0}, /*target_alpha=*/0.1,
+  RollingRecalibrator recal(backend.get(), /*roi_star_anchor=*/0.5,
+                            {1.0, 2.0, 3.0}, /*target_alpha=*/0.1,
                             options);
   EXPECT_FALSE(recal.CanRecalibrateLabeled());
 
@@ -230,6 +261,8 @@ TEST(RollingRecalibrator, WindowIsBoundedAndGatesTheLabeledPath) {
     sample.treatment = 1;
     sample.y_revenue = data.y_revenue[AsSize(i)];
     sample.y_cost = data.y_cost[AsSize(i)] + 1.0;  // positive cost
+    sample.roi_hat = 0.4;
+    sample.r_hat = 0.1;
     recal.AddOutcome(std::move(sample));
   }
   EXPECT_EQ(recal.window_n(), 100u) << "oldest outcomes evicted";
@@ -244,6 +277,8 @@ TEST(RollingRecalibrator, WindowIsBoundedAndGatesTheLabeledPath) {
     sample.y_cost = data.treatment[AsSize(i)] == 1
                         ? data.y_cost[AsSize(i)] + 2.0
                         : data.y_cost[AsSize(i)];
+    sample.roi_hat = 0.4;
+    sample.r_hat = 0.1;
     recal.AddOutcome(std::move(sample));
   }
   EXPECT_TRUE(recal.CanRecalibrateLabeled());
@@ -253,35 +288,74 @@ TEST(RollingRecalibrator, WindowIsBoundedAndGatesTheLabeledPath) {
 }
 
 TEST(RollingRecalibrator, FallbackRequantilesCalibrationScoresViaAci) {
-  pipeline::Pipeline pipeline = TrainSmallRdrp();
+  auto backend = CalibratedBackend();
   std::vector<double> calibration_scores;
   for (int i = 1; i <= 100; ++i) calibration_scores.push_back(i * 0.1);
   RecalibratorOptions options;
   options.min_labeled = 50;  // empty window -> label-free path
-  RollingRecalibrator recal(calibration_scores, /*target_alpha=*/0.1,
+  RollingRecalibrator recal(backend.get(), /*roi_star_anchor=*/0.5,
+                            calibration_scores, /*target_alpha=*/0.1,
                             options);
 
   // Drive ACI downward with persistent misses: the fallback quantile
   // must widen (a smaller effective alpha picks a higher score rank).
   StatusOr<RecalibrationResult> before =
-      recal.Recalibrate(pipeline, /*q_hat_current=*/1.0);
+      recal.Recalibrate(/*q_hat_current=*/1.0, {});
   ASSERT_TRUE(before.ok()) << before.status().ToString();
   EXPECT_TRUE(before.value().performed);
   EXPECT_FALSE(before.value().labeled);
+  EXPECT_FALSE(before.value().weighted_fallback)
+      << "split backend has no weight bins";
   for (int i = 0; i < 200; ++i) recal.ObserveCoverage(false);
   StatusOr<RecalibrationResult> after =
-      recal.Recalibrate(pipeline, /*q_hat_current=*/1.0);
+      recal.Recalibrate(/*q_hat_current=*/1.0, {});
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   EXPECT_FALSE(after.value().labeled);
   EXPECT_LT(after.value().alpha_used, 0.1);
   EXPECT_GE(after.value().q_hat_after, before.value().q_hat_after);
 }
 
+TEST(RollingRecalibrator, WeightedFallbackRepairsUnderShiftedLiveMass) {
+  auto backend = CalibratedBackend("weighted");
+  ASSERT_GT(backend->WeightBins(), 0u);
+  std::vector<double> calibration_scores(backend->calibration_scores());
+  RecalibratorOptions options;
+  options.min_labeled = 50;  // empty window -> label-free path
+  RollingRecalibrator recal(backend.get(), /*roi_star_anchor=*/0.5,
+                            calibration_scores, /*target_alpha=*/0.2,
+                            options);
+
+  // Uniform live mass: the weighted quantile must agree with the plain
+  // unweighted rank over the same scores.
+  std::vector<double> uniform(backend->WeightBins(), 5.0);
+  StatusOr<RecalibrationResult> base =
+      recal.Recalibrate(/*q_hat_current=*/1.0, uniform);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_TRUE(base.value().weighted_fallback);
+  EXPECT_FALSE(base.value().labeled);
+  EXPECT_EQ(base.value().alpha_used, 0.2);
+  double unweighted =
+      core::ConformalScoreQuantile(calibration_scores, 0.2);
+  EXPECT_EQ(base.value().q_hat_after, unweighted);
+
+  // Live mass piled into the top bin (the hard, high-score traffic):
+  // the likelihood ratio upweights large calibration scores, so the
+  // quantile must not shrink.
+  std::vector<double> skewed(backend->WeightBins(), 0.0);
+  skewed.back() = 50.0;
+  StatusOr<RecalibrationResult> shifted =
+      recal.Recalibrate(/*q_hat_current=*/1.0, skewed);
+  ASSERT_TRUE(shifted.ok()) << shifted.status().ToString();
+  EXPECT_TRUE(shifted.value().weighted_fallback);
+  EXPECT_GE(shifted.value().q_hat_after, base.value().q_hat_after);
+}
+
 TEST(RollingRecalibrator, LabeledPathRecomputesRoiStarAndQuantile) {
-  pipeline::Pipeline pipeline = TrainSmallRdrp();
+  auto backend = CalibratedBackend();
   RecalibratorOptions options;
   options.min_labeled = 50;
-  RollingRecalibrator recal({0.5, 1.0, 1.5}, /*target_alpha=*/0.1,
+  RollingRecalibrator recal(backend.get(), /*roi_star_anchor=*/0.5,
+                            {0.5, 1.0, 1.5}, /*target_alpha=*/0.1,
                             options);
   RctDataset feedback = Gen(300, 41);
   for (int i = 0; i < feedback.n(); ++i) {
@@ -290,11 +364,13 @@ TEST(RollingRecalibrator, LabeledPathRecomputesRoiStarAndQuantile) {
     sample.treatment = feedback.treatment[AsSize(i)];
     sample.y_revenue = feedback.y_revenue[AsSize(i)];
     sample.y_cost = feedback.y_cost[AsSize(i)];
+    sample.roi_hat = 0.3 + 0.001 * (i % 100);
+    sample.r_hat = 0.05 + 0.01 * (i % 5);
     recal.AddOutcome(std::move(sample));
   }
   ASSERT_TRUE(recal.CanRecalibrateLabeled());
   StatusOr<RecalibrationResult> result =
-      recal.Recalibrate(pipeline, /*q_hat_current=*/2.0);
+      recal.Recalibrate(/*q_hat_current=*/2.0, {});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result.value().performed);
   EXPECT_TRUE(result.value().labeled);
@@ -304,6 +380,21 @@ TEST(RollingRecalibrator, LabeledPathRecomputesRoiStarAndQuantile) {
   EXPECT_TRUE(std::isfinite(result.value().roi_star));
   EXPECT_TRUE(std::isfinite(result.value().q_hat_after));
   EXPECT_GE(result.value().q_hat_after, 0.0);
+  EXPECT_EQ(recal.roi_star_anchor(), result.value().roi_star)
+      << "labeled path re-anchors the window scores";
+
+  // The incremental-quantile answer must be bitwise the batch Algorithm
+  // 3 recompute over the same cached ingredients at the window roi*.
+  std::vector<double> batch_scores;
+  RctDataset window = recal.WindowDataset();
+  for (int i = 0; i < feedback.n(); ++i) {
+    double score = backend->StreamScore(0.3 + 0.001 * (i % 100),
+                                        0.05 + 0.01 * (i % 5),
+                                        result.value().roi_star, 0.0, 0.0);
+    batch_scores.push_back(score);
+  }
+  EXPECT_EQ(result.value().q_hat_after,
+            core::ConformalScoreQuantile(batch_scores, 0.1));
 }
 
 // ---------------------------------------------------------------------

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/interval_backend.h"
 #include "exp/methods.h"
 #include "pipeline/hyperparams.h"
 #include "pipeline/pipeline.h"
@@ -244,16 +245,111 @@ TEST(PipelineGuards, LoadRejectsVersionBumpAndGarbage) {
     ASSERT_FALSE(loaded.ok());
   }
   {
+    // v1 (pre-interval-backend) artifacts are a hard version bump, not a
+    // silent downgrade.
+    std::istringstream in("roicl-pipeline-v1\nscorer DRP\n");
+    StatusOr<pipeline::Pipeline> loaded = pipeline::Pipeline::Load(in);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("unsupported"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+  {
     // Unknown scorer name in an otherwise well-formed manifest.
     std::istringstream in(
-        "roicl-pipeline-v1\nscorer NoSuchMethod\nfeature_dim 3\n"
+        "roicl-pipeline-v2\nscorer NoSuchMethod\nfeature_dim 3\n"
         "provenance.seed 1\nprovenance.dataset d\nprovenance.git g\n"
-        "provenance.tool t\nhyperparams seed=1\nmodel\n");
+        "provenance.tool t\nhyperparams seed=1\ninterval_backend none\n"
+        "model\n");
     StatusOr<pipeline::Pipeline> loaded = pipeline::Pipeline::Load(in);
     ASSERT_FALSE(loaded.ok());
     EXPECT_NE(loaded.status().message().find("unknown method"),
               std::string::npos)
         << loaded.status().ToString();
+  }
+}
+
+TEST(PipelineGuards, LoadRejectsBadIntervalBackendSections) {
+  const std::string head =
+      "roicl-pipeline-v2\nscorer DRP\nfeature_dim 3\n"
+      "provenance.seed 1\nprovenance.dataset d\nprovenance.git g\n"
+      "provenance.tool t\nhyperparams seed=1\n";
+  {
+    // A v2 manifest without the interval_backend section is truncated.
+    std::istringstream in(head + "model\n");
+    StatusOr<pipeline::Pipeline> loaded = pipeline::Pipeline::Load(in);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("interval_backend"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+  {
+    // Backend names must come from the registry.
+    std::istringstream in(head + "interval_backend jackknife\nmodel\n");
+    StatusOr<pipeline::Pipeline> loaded = pipeline::Pipeline::Load(in);
+    ASSERT_FALSE(loaded.ok());
+  }
+  {
+    // Hyperparams and the persisted interval section must agree: a blob
+    // stitched together from mismatched halves dies at load, not at
+    // prediction time. (hyperparams default interval_backend=split; the
+    // section carries a minimal but valid weighted payload.)
+    std::istringstream in(head +
+                          "interval_backend weighted\n"
+                          "roicl-ivb-weighted-v1\n"
+                          "0.1 0.0001 1 1 0\n0.5\nmodel\n");
+    StatusOr<pipeline::Pipeline> loaded = pipeline::Pipeline::Load(in);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("interval_backend"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+  {
+    // A corrupt backend payload inside an otherwise valid manifest.
+    std::istringstream in(head +
+                          "interval_backend split\n"
+                          "roicl-ivb-split-v1\n"
+                          "0.1 0.0001 1 99999999999 0\nmodel\n");
+    StatusOr<pipeline::Pipeline> loaded = pipeline::Pipeline::Load(in);
+    ASSERT_FALSE(loaded.ok());
+  }
+}
+
+TEST(PipelineRoundTrip, EveryIntervalBackendSurvivesReloadBitwise) {
+  RctDataset train = Gen(300, 61);
+  RctDataset calib = Gen(120, 62);
+  RctDataset test = Gen(60, 63);
+  for (const char* backend_name : core::kIntervalBackendNames) {
+    SCOPED_TRACE(backend_name);
+    pipeline::Hyperparams hp = SmallHp();
+    hp.interval_backend = backend_name;
+    StatusOr<pipeline::Pipeline> trained =
+        pipeline::Pipeline::Train("rDRP", hp, train, &calib, {});
+    ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+    pipeline::Pipeline pipeline = std::move(trained).value();
+    ASSERT_NE(pipeline.interval_backend(), nullptr);
+    ASSERT_EQ(pipeline.interval_backend()->name(), backend_name);
+
+    std::vector<metrics::Interval> expected =
+        pipeline.ScoreIntervals(test.x).value();
+    std::ostringstream blob;
+    ASSERT_TRUE(pipeline.Save(blob).ok());
+    std::istringstream in(blob.str());
+    StatusOr<pipeline::Pipeline> loaded_or = pipeline::Pipeline::Load(in);
+    ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+    pipeline::Pipeline loaded = std::move(loaded_or).value();
+    ASSERT_NE(loaded.interval_backend(), nullptr);
+    EXPECT_EQ(loaded.interval_backend()->name(), backend_name);
+    EXPECT_EQ(loaded.interval_backend()->q_hat(),
+              pipeline.interval_backend()->q_hat());
+
+    std::vector<metrics::Interval> got =
+        loaded.ScoreIntervals(test.x).value();
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].lo, expected[i].lo) << "row " << i;
+      ASSERT_EQ(got[i].hi, expected[i].hi) << "row " << i;
+    }
   }
 }
 

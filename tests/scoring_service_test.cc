@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/math_util.h"
+#include "core/interval_backend.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/service.h"
 #include "synth/synthetic_generator.h"
@@ -218,18 +219,24 @@ TEST(ScoringService, ConcurrentSubmittersAndDestructorRaceCleanly) {
 // (Algorithm 4 folds q_hat * r_hat into the calibrated ROI). The
 // no-tearing contract: every concurrently scored row must be bitwise
 // equal to the score at SOME quantile that was actually written — a torn
-// double would produce a score matching none of them. TSan-covered via
+// double would produce a score matching none of them. Exercised for
+// every interval backend: the live quantile stays the model's single
+// atomic scalar regardless of which backend calibrated it, which is
+// exactly what makes the swap backend-agnostic. TSan-covered via
 // run_tsan.sh.
-TEST(ScoringService, QuantileSwapNeverTearsConcurrentSubmits) {
+void RunQuantileSwapTearTest(const std::string& backend_name) {
   pipeline::Hyperparams hp;
   hp.neural_epochs = 3;
   hp.restarts = 1;
   hp.mc_passes = 4;
+  hp.interval_backend = backend_name;
   RctDataset train = Gen(200, 7);
   RctDataset calib = Gen(120, 8);
   pipeline::Pipeline pipeline =
       std::move(pipeline::Pipeline::Train("rDRP", hp, train, &calib, {}))
           .value();
+  ASSERT_NE(pipeline.interval_backend(), nullptr);
+  ASSERT_EQ(pipeline.interval_backend()->name(), backend_name);
   RctDataset data = Gen(24, 55);
 
   // Serial references: the score vector at the trained quantile and at
@@ -296,6 +303,13 @@ TEST(ScoringService, QuantileSwapNeverTearsConcurrentSubmits) {
   for (std::thread& client : clients) client.join();
   EXPECT_DOUBLE_EQ(service.pipeline().conformal_quantile().value(),
                    quantiles.back());
+}
+
+TEST(ScoringService, QuantileSwapNeverTearsConcurrentSubmits) {
+  for (const char* backend_name : core::kIntervalBackendNames) {
+    SCOPED_TRACE(backend_name);
+    RunQuantileSwapTearTest(backend_name);
+  }
 }
 
 }  // namespace

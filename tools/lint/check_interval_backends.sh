@@ -1,0 +1,59 @@
+#!/bin/bash
+# Interval-backend coverage lint: every backend registered in
+# src/core/interval_backend.h's kIntervalBackendNames must carry
+#   1. an artifact roundtrip test (TEST(IntervalBackend,
+#      BitwiseRoundtrip<Name>) in tests/interval_backend_test.cc), and
+#   2. a monitor-replay smoke row (a `grep -Eq "^<name> "` table
+#      assertion in tests/cli_pipeline_test.sh, fed by
+#      `--interval-backend all`).
+# A backend added to the registry without both would serve intervals no
+# test ever persists or replays under shift; this catches it at lint
+# time. Extraction is a pure text match against the greppable array
+# literal and test-name convention.
+#
+# Usage: check_interval_backends.sh <repo root>; exits non-zero on
+# violations.
+set -euo pipefail
+cd "${1:?usage: check_interval_backends.sh <repo root>}"
+
+backend_h=src/core/interval_backend.h
+roundtrip_test=tests/interval_backend_test.cc
+replay_smoke=tests/cli_pipeline_test.sh
+status=0
+
+for file in "${backend_h}" "${roundtrip_test}" "${replay_smoke}"; do
+  if [ ! -f "${file}" ]; then
+    echo "${file}: missing (interval-backend lint cannot run)"
+    exit 1
+  fi
+done
+
+# Pull the quoted names out of the kIntervalBackendNames initializer. The
+# count guard protects against regex rot: a rename or reformat that
+# empties the extraction must fail loudly, not pass vacuously.
+names=$(awk '/kIntervalBackendNames/,/};/' "${backend_h}" \
+  | grep -oE '"[^"]+"' | tr -d '"' || true)
+count=$(grep -c . <<<"${names}" || true)
+if [ -z "${names}" ] || [ "${count}" -lt 2 ]; then
+  echo "${backend_h}: could not extract kIntervalBackendNames (regex rot?)"
+  exit 1
+fi
+
+while IFS= read -r name; do
+  # Test-name convention: BitwiseRoundtrip + capitalized backend name
+  # (split -> BitwiseRoundtripSplit).
+  camel="$(tr '[:lower:]' '[:upper:]' <<<"${name:0:1}")${name:1}"
+  if ! grep -qE "BitwiseRoundtrip${camel}\b" "${roundtrip_test}"; then
+    echo "${roundtrip_test}: backend '${name}' has no BitwiseRoundtrip${camel} artifact roundtrip test"
+    status=1
+  fi
+  if ! grep -qF "\"^${name} \"" "${replay_smoke}"; then
+    echo "${replay_smoke}: backend '${name}' has no monitor-replay smoke row assertion (grep -Eq \"^${name} \")"
+    status=1
+  fi
+done <<<"${names}"
+
+if [ "${status}" -eq 0 ]; then
+  echo "all ${count} interval backends have roundtrip tests and replay smoke rows"
+fi
+exit "${status}"

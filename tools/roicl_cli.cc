@@ -85,6 +85,7 @@
 #include "common/math_util.h"
 #include "common/status.h"
 #include "core/greedy.h"
+#include "core/interval_backend.h"
 #include "core/roi_star.h"
 #include "data/csv.h"
 #include "exp/datasets.h"
@@ -200,16 +201,17 @@ void RejectUnknownFlags(const std::string& command, const Flags& flags) {
   static const std::set<std::string> kHyper = {
       "epochs", "lr", "patience", "hidden", "dropout", "restarts",
       "cate-epochs", "forest-trees", "forest-depth", "causal-forest-trees",
-      "mc-passes", "alpha", "seed", "batch-size", "threads"};
+      "mc-passes", "alpha", "interval-backend", "seed", "batch-size",
+      "threads"};
   static const std::map<std::string, std::set<std::string>> kPerCommand = {
       {"generate", {"dataset", "n", "seed", "shifted", "out"}},
       {"methods", {}},
       {"train", {"method", "model", "train", "calib", "save-pipeline",
                  "out"}},
       {"predict", {"pipeline", "model-type", "model", "data", "out"}},
-      {"score", {"pipeline", "data", "out"}},
+      {"score", {"pipeline", "data", "out", "interval-backend"}},
       {"serve", {"pipeline", "data", "out", "max-batch", "max-queue",
-                 "deadline-micros", "request-rows"}},
+                 "deadline-micros", "request-rows", "interval-backend"}},
       {"evaluate", {"pipeline", "model-type", "model", "data"}},
       {"allocate",
        {"pipeline", "model-type", "model", "data", "budget-frac",
@@ -220,7 +222,7 @@ void RejectUnknownFlags(const std::string& command, const Flags& flags) {
         "shift-at", "shift-feature", "shift-gamma", "seed", "window-rows",
         "drift-bins", "psi-threshold", "ks-threshold", "min-window",
         "feedback-window", "min-labeled", "aci-gamma", "coverage-window",
-        "coverage-slack", "recalibrate-every"}},
+        "coverage-slack", "recalibrate-every", "interval-backend"}},
       {"load-replay",
        {"pipeline", "calib", "data", "out", "slo-spec", "requests",
         "request-rows", "client-threads", "burst-factor",
@@ -290,6 +292,16 @@ void ValidateFlagRanges(const Flags& flags) {
     std::fprintf(stderr, "--synthetic-rows must be >= 0, got '%s'\n",
                  flags.Get("synthetic-rows").c_str());
     std::exit(2);
+  }
+  if (flags.Has("interval-backend")) {
+    std::string backend = flags.Get("interval-backend");
+    if (!core::IsIntervalBackendName(backend) && backend != "all") {
+      std::fprintf(stderr,
+                   "--interval-backend must be one of %s (or 'all' for "
+                   "monitor-replay), got '%s'\n",
+                   core::IntervalBackendNamesCsv().c_str(), backend.c_str());
+      std::exit(2);
+    }
   }
 }
 
@@ -489,6 +501,15 @@ pipeline::Hyperparams HyperparamsFromFlags(const Flags& flags) {
       flags.GetInt("causal-forest-trees", hp.causal_forest_trees);
   hp.mc_passes = flags.GetInt("mc-passes", hp.mc_passes);
   hp.alpha = flags.GetDouble("alpha", hp.alpha);
+  hp.interval_backend =
+      flags.Get("interval-backend", hp.interval_backend);
+  if (hp.interval_backend == "all") {
+    std::fprintf(stderr,
+                 "--interval-backend all is only valid for monitor-replay; "
+                 "pick one of %s\n",
+                 core::IntervalBackendNamesCsv().c_str());
+    std::exit(2);
+  }
   hp.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
   // Batched prediction engine knobs. Neither changes any predicted value
   // (results are bit-identical at every setting); they only trade memory
@@ -527,6 +548,28 @@ pipeline::Pipeline LoadPipelineOrDie(const std::string& path) {
     std::exit(1);
   }
   return std::move(loaded).value();
+}
+
+/// Applies --interval-backend to a loaded pipeline (score/serve paths).
+/// Without a calibration set only state-sharing rebinds are possible
+/// (split <-> weighted); a cqr rebind reports the backend's error.
+void MaybeRebindBackendOrDie(const Flags& flags,
+                             pipeline::Pipeline* pipeline) {
+  if (!flags.Has("interval-backend")) return;
+  std::string backend = flags.Get("interval-backend");
+  if (backend == "all") {
+    std::fprintf(stderr,
+                 "--interval-backend all is only valid for "
+                 "monitor-replay; pick one of %s\n",
+                 core::IntervalBackendNamesCsv().c_str());
+    std::exit(2);
+  }
+  if (Status status = pipeline->RebindIntervalBackend(backend, nullptr);
+      !status.ok()) {
+    std::fprintf(stderr, "cannot rebind interval backend to '%s': %s\n",
+                 backend.c_str(), status.ToString().c_str());
+    std::exit(1);
+  }
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -635,6 +678,7 @@ ScoredBatch ScoreWithModel(const Flags& flags, const Matrix& x) {
   ScoredBatch out;
   if (flags.Has("pipeline")) {
     pipeline::Pipeline loaded = LoadPipelineOrDie(flags.Get("pipeline"));
+    MaybeRebindBackendOrDie(flags, &loaded);
     loaded.set_batch_options(BatchOptionsFromFlags(flags));
     StatusOr<std::vector<double>> scores = loaded.Score(x);
     if (!scores.ok()) {
@@ -725,6 +769,7 @@ int CmdScore(const Flags& flags) {
 
 int CmdServe(const Flags& flags) {
   pipeline::Pipeline loaded = LoadPipelineOrDie(flags.Require("pipeline"));
+  MaybeRebindBackendOrDie(flags, &loaded);
   RctDataset data = LoadCsvOrDie(flags.Require("data"));
   std::string out_path = flags.Require("out");
 
@@ -1025,7 +1070,7 @@ int CmdAllocate(const Flags& flags) {
 }
 
 int CmdMonitorReplay(const Flags& flags) {
-  pipeline::Pipeline loaded = LoadPipelineOrDie(flags.Require("pipeline"));
+  std::string pipeline_path = flags.Require("pipeline");
   RctDataset calib = LoadCsvOrDie(flags.Require("calib"));
   RctDataset stream = LoadCsvOrDie(flags.Require("data"));
 
@@ -1060,45 +1105,97 @@ int CmdMonitorReplay(const Flags& flags) {
   mon.engine = BatchOptionsFromFlags(flags);
   options.service.engine = mon.engine;
 
-  StatusOr<monitor::ReplayResult> replayed =
-      monitor::RunReplay(std::move(loaded), calib, stream, options);
-  if (!replayed.ok()) {
-    std::fprintf(stderr, "%s\n", replayed.status().ToString().c_str());
-    return 1;
+  // One replay per requested backend. `--interval-backend NAME` rebinds
+  // the artifact's backend (with the calibration set, so cqr can refit);
+  // `all` sweeps every registered backend over the identical traffic,
+  // producing the per-backend coverage table. Without the flag the
+  // artifact's own backend runs, as before.
+  std::string backend_flag = flags.Get("interval-backend", "");
+  std::vector<std::string> backend_names;
+  if (backend_flag == "all") {
+    backend_names.assign(core::kIntervalBackendNames.begin(),
+                         core::kIntervalBackendNames.end());
+  } else {
+    backend_names.push_back(backend_flag);  // "" keeps artifact backend
   }
-  const monitor::ReplayResult& result = replayed.value();
 
+  struct BackendRun {
+    std::string name;
+    monitor::ReplayResult result;
+  };
+  std::vector<BackendRun> runs;
+  for (const std::string& backend : backend_names) {
+    pipeline::Pipeline loaded = LoadPipelineOrDie(pipeline_path);
+    if (!backend.empty()) {
+      if (Status status = loaded.RebindIntervalBackend(backend, &calib);
+          !status.ok()) {
+        std::fprintf(stderr,
+                     "cannot rebind interval backend to '%s': %s\n",
+                     backend.c_str(), status.ToString().c_str());
+        return 1;
+      }
+    }
+    std::string label = backend;
+    if (label.empty()) {
+      label = loaded.interval_backend() != nullptr
+                  ? loaded.interval_backend()->name()
+                  : "none";
+    }
+    StatusOr<monitor::ReplayResult> replayed =
+        monitor::RunReplay(std::move(loaded), calib, stream, options);
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "%s\n", replayed.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back({label, std::move(replayed).value()});
+  }
+
+  if (runs.size() == 1) {
+    const monitor::ReplayResult& result = runs.front().result;
+    std::printf(
+        "batch  stream   max_psi  max_ks  drift  recal  coverage     "
+        "q_hat\n");
+    for (const monitor::ReplayBatchStat& stat : result.batches) {
+      std::printf("%5d  %-7s %8.3f %7.3f  %-5s  %-5s  %8.3f  %8.4f\n",
+                  stat.batch, stat.shifted ? "shifted" : "base",
+                  stat.max_psi, stat.max_ks,
+                  stat.drift_latched ? "yes" : "-",
+                  stat.recalibrated ? "yes" : "-", stat.coverage,
+                  stat.q_hat);
+    }
+    if (result.shift_batch >= 0) {
+      std::printf("shift injected       : batch %d\n", result.shift_batch);
+    } else {
+      std::printf("shift injected       : never\n");
+    }
+    if (result.detect_batch >= 0 && result.shift_batch >= 0) {
+      std::printf("drift detected       : batch %d (latency %d batches)\n",
+                  result.detect_batch,
+                  result.detect_batch - result.shift_batch);
+    } else {
+      std::printf("drift detected       : never\n");
+    }
+    if (result.recalibrate_batch >= 0) {
+      std::printf("recalibrated         : batch %d (q_hat %.4f -> %.4f)\n",
+                  result.recalibrate_batch, result.q_hat_initial,
+                  result.q_hat_final);
+    } else {
+      std::printf("recalibrated         : never\n");
+    }
+  }
+
+  // Per-backend phase-coverage table: mean per-batch coverage before the
+  // shift, between shift and recalibration, and after recalibration.
   std::printf(
-      "batch  stream   max_psi  max_ks  drift  recal  coverage     q_hat\n");
-  for (const monitor::ReplayBatchStat& stat : result.batches) {
-    std::printf("%5d  %-7s %8.3f %7.3f  %-5s  %-5s  %8.3f  %8.4f\n",
-                stat.batch, stat.shifted ? "shifted" : "base", stat.max_psi,
-                stat.max_ks, stat.drift_latched ? "yes" : "-",
-                stat.recalibrated ? "yes" : "-", stat.coverage, stat.q_hat);
+      "backend   pre-shift  shift->recal  post-recal  detect  recal  "
+      "q_hat_final\n");
+  for (const BackendRun& run : runs) {
+    const monitor::ReplayResult& r = run.result;
+    std::printf("%-9s %9.3f %13.3f %11.3f %7d %6d %12.4f\n",
+                run.name.c_str(), r.coverage_pre_shift,
+                r.coverage_shift_to_recal, r.coverage_post_recal,
+                r.detect_batch, r.recalibrate_batch, r.q_hat_final);
   }
-  if (result.shift_batch >= 0) {
-    std::printf("shift injected       : batch %d\n", result.shift_batch);
-  } else {
-    std::printf("shift injected       : never\n");
-  }
-  if (result.detect_batch >= 0 && result.shift_batch >= 0) {
-    std::printf("drift detected       : batch %d (latency %d batches)\n",
-                result.detect_batch,
-                result.detect_batch - result.shift_batch);
-  } else {
-    std::printf("drift detected       : never\n");
-  }
-  if (result.recalibrate_batch >= 0) {
-    std::printf("recalibrated         : batch %d (q_hat %.4f -> %.4f)\n",
-                result.recalibrate_batch, result.q_hat_initial,
-                result.q_hat_final);
-  } else {
-    std::printf("recalibrated         : never\n");
-  }
-  std::printf("coverage pre-shift   : %.3f\n", result.coverage_pre_shift);
-  std::printf("coverage shift->recal: %.3f\n",
-              result.coverage_shift_to_recal);
-  std::printf("coverage post-recal  : %.3f\n", result.coverage_post_recal);
   return 0;
 }
 

@@ -23,11 +23,16 @@ build_dir=${2:-"${repo_root}/build-asan"}
 #   greedy_test        allocation result vectors
 #   uplift_test        multi-head nets and meta-learner ensembles
 #   pipeline_roundtrip_test  pipeline artifact manifest/blob parsing
+#   incremental_quantile_test  treap node churn: insert/erase/clear over
+#                      duplicate-heavy sliding windows
+#   interval_backend_test  backend save/load byte streams and registry
+#                      construction
 #   alloc_fuzz_test    frontier merge double-buffering and the adversarial
 #                      (NaN, zero-budget, k=0) streaming-allocator inputs
 asan_tests=(matrix_test solve_test data_test serialize_test nn_layers_test
             common_misc_test greedy_test uplift_test
-            pipeline_roundtrip_test alloc_fuzz_test)
+            pipeline_roundtrip_test incremental_quantile_test
+            interval_backend_test alloc_fuzz_test)
 
 cmake -S "${repo_root}" -B "${build_dir}" -DROICL_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

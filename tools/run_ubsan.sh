@@ -21,10 +21,16 @@ build_dir=${2:-"${repo_root}/build-ubsan"}
 #   conformal_test     ceil((1-alpha)(n+1))/n quantile index
 #   roi_star_test      binary-search bracket arithmetic
 #   metrics_test       cumulative cost-curve and Qini integration
+#   incremental_quantile_test  rank arithmetic in the order-statistic
+#                      treap and its ceil((1-alpha)(n+1)) quantile
+#   interval_backend_test  weighted-quantile ratio/cumulative-mass
+#                      arithmetic and CQR residual normalization
 #   alloc_fuzz_test    int64 index arithmetic, dual-threshold bucket
 #                      math, and the frontier prefix-sum cut
 ubsan_tests=(rng_test stats_test matrix_test solve_test drp_loss_test
-             conformal_test roi_star_test metrics_test alloc_fuzz_test)
+             conformal_test roi_star_test metrics_test
+             incremental_quantile_test interval_backend_test
+             alloc_fuzz_test)
 
 cmake -S "${repo_root}" -B "${build_dir}" -DROICL_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
