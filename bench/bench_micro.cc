@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <future>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -19,6 +20,8 @@
 
 #include "alloc/row_source.h"
 #include "alloc/streaming.h"
+#include "campaign/karm_source.h"
+#include "campaign/karm_streaming.h"
 #include "common/macros.h"
 #include "common/stats.h"
 #include "core/drp_model.h"
@@ -194,6 +197,58 @@ void BM_StreamingAllocate(benchmark::State& state) {
     benchmark::DoNotOptimize(result.value().spent);
   }
   state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["peak_mib"] =
+      static_cast<double>(peak) / (1024.0 * 1024.0);
+  state.counters["cap_mib"] =
+      static_cast<double>(options.memory_cap_bytes) / (1024.0 * 1024.0);
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+// K-arm campaign allocation: Arg(0) is the user count, Arg(1) the arm
+// count. Every (user, arm) pair is a pure function of (seed, user, arm)
+// — no materialization — and the sharded scan runs inside a hard 64 MiB
+// accounted cap, where the in-memory reference would hold K roi + K
+// cost arrays (~488 MiB at 4M users x 8 arms). The global budget is
+// 0.2% of all-in spend with unbounded per-arm budgets — same fraction
+// as BM_StreamingAllocate, and the frontier it implies peaks at
+// ~55 MiB on the 32M-pair row, deterministically inside the cap.
+void BM_CampaignAllocate(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const int num_arms = static_cast<int>(state.range(1));
+  const uint64_t seed = 20240819;
+  const int chunk_rows = 65536;
+  double total = 0.0;
+  {
+    campaign::SyntheticKArmRowSource scan(rows, num_arms, seed, chunk_rows);
+    campaign::KArmRowChunk chunk;
+    while (scan.Next(&chunk)) {
+      for (const std::vector<double>& arm : chunk.cost) {
+        total = std::accumulate(arm.begin(), arm.end(), total);
+      }
+    }
+  }
+  campaign::KArmBudgets budgets;
+  budgets.global = 0.002 * total;
+  budgets.per_arm.assign(roicl::AsSize(num_arms),
+                         std::numeric_limits<double>::infinity());
+  campaign::KArmStreamingOptions options;
+  options.num_shards = 8;
+  options.memory_cap_bytes = size_t{64} << 20;
+  size_t peak = 0;
+  int64_t selected = 0;
+  for (auto _ : state) {
+    campaign::SyntheticKArmRowSource source(rows, num_arms, seed,
+                                            chunk_rows);
+    StatusOr<campaign::KArmStreamingResult> result =
+        campaign::StreamingKArmAllocate(&source, budgets, options);
+    ROICL_CHECK(result.ok());
+    ROICL_CHECK(result.value().peak_memory_bytes <=
+                options.memory_cap_bytes);
+    peak = std::max(peak, result.value().peak_memory_bytes);
+    selected = static_cast<int64_t>(result.value().selected_pairs.size());
+    benchmark::DoNotOptimize(result.value().spent);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * num_arms);
   state.counters["peak_mib"] =
       static_cast<double>(peak) / (1024.0 * 1024.0);
   state.counters["cap_mib"] =
@@ -428,6 +483,10 @@ BENCHMARK(BM_StreamingAllocate)
     ->Args({1000000, 0})
     ->Args({10000000, 0})   // the acceptance row: >= 10M users, 64 MiB cap
     ->Args({10000000, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CampaignAllocate)
+    ->Args({1000000, 3})
+    ->Args({4000000, 8})    // K*n = 32M pairs inside the 64 MiB cap
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DrpTrainEpoch)
     ->Arg(2000)

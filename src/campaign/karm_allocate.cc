@@ -1,0 +1,238 @@
+#include "campaign/karm_allocate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace roicl::campaign {
+namespace {
+
+void ValidateInputs(const std::vector<std::vector<double>>& roi,
+                    const std::vector<std::vector<double>>& cost,
+                    const KArmBudgets& budgets) {
+  ROICL_CHECK_MSG(!roi.empty(), "K-arm allocation needs at least one arm");
+  ROICL_CHECK(roi.size() == cost.size());
+  ROICL_CHECK_MSG(budgets.per_arm.size() == roi.size(),
+                  "budgets.per_arm must have one entry per arm");
+  ROICL_CHECK(std::isfinite(budgets.global) && budgets.global >= 0.0);
+  const size_t n = roi[0].size();
+  for (size_t k = 0; k < roi.size(); ++k) {
+    ROICL_CHECK(roi[k].size() == n);
+    ROICL_CHECK(cost[k].size() == n);
+    ROICL_CHECK(budgets.per_arm[k] >= 0.0);  // +inf = unbounded arm
+    for (size_t i = 0; i < n; ++i) {
+      ROICL_CHECK_MSG(std::isfinite(roi[k][i]), "non-finite roi score");
+      ROICL_CHECK_MSG(std::isfinite(cost[k][i]) && cost[k][i] >= 0.0,
+                      "negative or non-finite cost");
+    }
+  }
+}
+
+}  // namespace
+
+KArmAllocationResult KArmGreedyReference(
+    const std::vector<std::vector<double>>& roi,
+    const std::vector<std::vector<double>>& cost,
+    const KArmBudgets& budgets) {
+  ValidateInputs(roi, cost, budgets);
+  const int64_t num_arms = static_cast<int64_t>(roi.size());
+  const int64_t n = static_cast<int64_t>(roi[0].size());
+
+  // All K*n pairs under the documented total order: (roi desc, index asc)
+  // with index = (arm - 1) * n + user, i.e. (roi desc, arm asc, user asc).
+  struct Pair {
+    double roi;
+    int64_t index;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(AsSize64(num_arms * n));
+  for (int64_t a = 0; a < num_arms; ++a) {
+    for (int64_t u = 0; u < n; ++u) {
+      pairs.push_back(Pair{roi[AsSize64(a)][AsSize64(u)], a * n + u});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+    if (x.roi != y.roi) return x.roi > y.roi;
+    return x.index < y.index;
+  });
+
+  KArmAllocationResult result;
+  result.assignment.assign(AsSize64(n), -1);
+  result.arm_spent.assign(AsSize64(num_arms), 0.0);
+  for (const Pair& pair : pairs) {
+    const int64_t a = pair.index / n;
+    const int64_t u = pair.index % n;
+    if (result.assignment[AsSize64(u)] != -1) continue;  // skips spend 0
+    const double c = cost[AsSize64(a)][AsSize64(u)];
+    // Algorithm-1 semantics lifted to two constraints: the first pair
+    // that would overflow *either* budget stops the whole scan.
+    if (!(result.spent + c <= budgets.global)) break;
+    if (!(result.arm_spent[AsSize64(a)] + c <=
+          budgets.per_arm[AsSize64(a)])) {
+      break;
+    }
+    result.assignment[AsSize64(u)] = static_cast<int>(a) + 1;
+    result.selection_order.push_back(pair.index);
+    result.spent += c;
+    result.arm_spent[AsSize64(a)] += c;
+    result.value += pair.roi * c;
+  }
+  return result;
+}
+
+KArmDualResult KArmDualAllocate(const std::vector<std::vector<double>>& roi,
+                                const std::vector<std::vector<double>>& cost,
+                                const KArmBudgets& budgets,
+                                const KArmDualConfig& config) {
+  ValidateInputs(roi, cost, budgets);
+  ROICL_CHECK(config.max_iters >= 1);
+  const int64_t num_arms = static_cast<int64_t>(roi.size());
+  const int64_t n = static_cast<int64_t>(roi[0].size());
+
+  double max_roi = 0.0;
+  for (int64_t a = 0; a < num_arms; ++a) {
+    for (int64_t u = 0; u < n; ++u) {
+      max_roi = std::max(max_roi, std::fabs(roi[AsSize64(a)][AsSize64(u)]));
+    }
+  }
+  if (max_roi == 0.0) max_roi = 1.0;
+
+  // Per-user best reduced pair under lambda; selected iff the reduced
+  // value is strictly positive. Ties in the argmax go to the smaller arm
+  // (matching the documented total order's tie-break).
+  std::vector<double> lambda_arm(AsSize64(num_arms), 0.0);
+  double lambda_global = 0.0;
+  // Evaluates L(lambda) in ascending-user order and records the
+  // selection. Terms lambda * budget are skipped while lambda == 0 so an
+  // unbounded (infinite) arm budget never produces 0 * inf.
+  std::vector<int> selection(AsSize64(n));  // -1 or 0-based arm slot
+  auto evaluate = [&](double lg, const std::vector<double>& la,
+                      std::vector<int>* sel) {
+    double bound = 0.0;
+    for (int64_t u = 0; u < n; ++u) {
+      double best = 0.0;
+      int best_arm = -1;
+      for (int64_t a = 0; a < num_arms; ++a) {
+        const double c = cost[AsSize64(a)][AsSize64(u)];
+        const double v = roi[AsSize64(a)][AsSize64(u)] * c;
+        const double reduced = v - (lg + la[AsSize64(a)]) * c;
+        if (reduced > best) {
+          best = reduced;
+          best_arm = static_cast<int>(a);
+        }
+      }
+      (*sel)[AsSize64(u)] = best_arm;
+      if (best_arm >= 0) bound += best;
+    }
+    if (lg > 0.0) bound += lg * budgets.global;
+    for (int64_t a = 0; a < num_arms; ++a) {
+      if (la[AsSize64(a)] > 0.0) {
+        bound += la[AsSize64(a)] * budgets.per_arm[AsSize64(a)];
+      }
+    }
+    return bound;
+  };
+
+  KArmDualResult result;
+  result.dual_bound = std::numeric_limits<double>::infinity();
+  result.lambda_arm.assign(AsSize64(num_arms), 0.0);
+  std::vector<int> best_selection(AsSize64(n), -1);
+  std::vector<double> sel_arm_spend(AsSize64(num_arms));
+  for (int t = 0; t < config.max_iters; ++t) {
+    double bound = evaluate(lambda_global, lambda_arm, &selection);
+    ++result.iterations;
+    if (bound < result.dual_bound) {
+      result.dual_bound = bound;
+      result.lambda_global = lambda_global;
+      result.lambda_arm = lambda_arm;
+      best_selection = selection;
+    }
+    // Projected subgradient step on the selection's budget violations,
+    // per-component bounded so one wild violation cannot blow lambda up.
+    std::fill(sel_arm_spend.begin(), sel_arm_spend.end(), 0.0);
+    double sel_spend = 0.0;
+    for (int64_t u = 0; u < n; ++u) {
+      int a = selection[AsSize64(u)];
+      if (a < 0) continue;
+      const double c = cost[AsSize64(a)][AsSize64(u)];
+      sel_spend += c;
+      sel_arm_spend[AsSize64(a)] += c;
+    }
+    const double step =
+        config.step0 * max_roi / std::sqrt(static_cast<double>(t) + 1.0);
+    auto ascend = [step](double lambda, double violation) {
+      return std::max(0.0, lambda + step * violation /
+                               (1.0 + std::fabs(violation)));
+    };
+    bool any_binding = sel_spend > budgets.global;
+    lambda_global = ascend(lambda_global, sel_spend - budgets.global);
+    for (int64_t a = 0; a < num_arms; ++a) {
+      const double b = budgets.per_arm[AsSize64(a)];
+      if (!std::isfinite(b)) continue;  // unbounded arm: multiplier stays 0
+      if (sel_arm_spend[AsSize64(a)] > b) any_binding = true;
+      lambda_arm[AsSize64(a)] =
+          ascend(lambda_arm[AsSize64(a)], sel_arm_spend[AsSize64(a)] - b);
+    }
+    // All constraints slack and all multipliers at zero: L cannot improve.
+    if (!any_binding && lambda_global == 0.0 &&
+        std::all_of(lambda_arm.begin(), lambda_arm.end(),
+                    [](double l) { return l == 0.0; })) {
+      break;
+    }
+  }
+
+  // Feasibility guard: replay the best dual selection through a greedy
+  // pass in the documented total order, skipping any pair that would
+  // overflow a budget (repair maximizes retained value; the reference's
+  // stop semantics belong to the greedy contract, not to repair).
+  struct Pair {
+    double roi;
+    int64_t index;
+  };
+  std::vector<Pair> picked;
+  for (int64_t u = 0; u < n; ++u) {
+    int a = best_selection[AsSize64(u)];
+    if (a < 0) continue;
+    picked.push_back(Pair{roi[AsSize64(a)][AsSize64(u)],
+                          static_cast<int64_t>(a) * n + u});
+  }
+  std::sort(picked.begin(), picked.end(), [](const Pair& x, const Pair& y) {
+    if (x.roi != y.roi) return x.roi > y.roi;
+    return x.index < y.index;
+  });
+  KArmAllocationResult& primal = result.primal;
+  primal.assignment.assign(AsSize64(n), -1);
+  primal.arm_spent.assign(AsSize64(num_arms), 0.0);
+  for (const Pair& pair : picked) {
+    const int64_t a = pair.index / n;
+    const int64_t u = pair.index % n;
+    const double c = cost[AsSize64(a)][AsSize64(u)];
+    if (!(primal.spent + c <= budgets.global)) continue;
+    if (!(primal.arm_spent[AsSize64(a)] + c <=
+          budgets.per_arm[AsSize64(a)])) {
+      continue;
+    }
+    primal.assignment[AsSize64(u)] = static_cast<int>(a) + 1;
+    primal.selection_order.push_back(pair.index);
+    primal.spent += c;
+    primal.arm_spent[AsSize64(a)] += c;
+    primal.value += pair.roi * c;
+  }
+  // Certificate arithmetic in ascending-user order — the same term order
+  // evaluate() used — so a provably-optimal case closes to a gap of
+  // exactly 0.0 instead of an FP residue.
+  for (int64_t u = 0; u < n; ++u) {
+    int arm = primal.assignment[AsSize64(u)];
+    if (arm <= 0) continue;
+    const size_t a = AsSize64(static_cast<int64_t>(arm) - 1);
+    result.primal_value +=
+        roi[a][AsSize64(u)] * cost[a][AsSize64(u)];
+  }
+  result.dual_gap = result.dual_bound - result.primal_value;
+  return result;
+}
+
+}  // namespace roicl::campaign

@@ -1,0 +1,85 @@
+#ifndef ROICL_CAMPAIGN_KARM_RANK_NET_H_
+#define ROICL_CAMPAIGN_KARM_RANK_NET_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/scaler.h"
+#include "nn/batch_forward.h"
+#include "nn/trainer.h"
+#include "synth/multi_treatment.h"
+#include "uplift/multi_head_net.h"
+
+namespace roicl::campaign {
+
+/// K-arm ranking scorer hyperparameters. Empty hidden lists auto-size
+/// from the training-set size (mirrors DrpConfig's convention).
+struct KArmRankNetConfig {
+  std::vector<int> trunk_hidden;  ///< empty = auto
+  int trunk_out = 32;
+  std::vector<int> head_hidden = {16};
+  nn::ActivationKind activation = nn::ActivationKind::kRelu;
+  double dropout = 0.2;
+  nn::TrainConfig train;
+  /// Independent random restarts ranked by (validation, else train) loss.
+  int restarts = 1;
+  uint64_t seed = 137;
+  /// Batched prediction-engine knobs. Throughput only — per-arm scores
+  /// are bit-identical across settings.
+  nn::BatchOptions predict;
+};
+
+/// Joint K-arm RankNet: one shared trunk, one scoring head per arm
+/// (uplift::MultiHeadNet::MakeKHead), trained with the transformed-
+/// outcome pairwise ranking loss of core::RankNetModel applied per head.
+/// Head k's loss sums over batch-row pairs whose treatment is control or
+/// arm k (other rows contribute nothing to that head), so every arm
+/// learns its own {control, arm k} ranking while the trunk is shaped by
+/// all arms jointly — the representation-sharing the divide-and-conquer
+/// rDRP deliberately gives up.
+class KArmRankNet {
+ public:
+  explicit KArmRankNet(const KArmRankNetConfig& config) : config_(config) {}
+
+  /// Trains trunk + heads jointly on the full multi-treatment sample.
+  /// Requires every arm (and control) to be present in `train`.
+  void Fit(const synth::MultiTreatmentDataset& train);
+
+  /// Per-arm ranking scores mapped through a sigmoid into (0, 1):
+  /// result[k][i] is arm (k+1)'s score for row i of x.
+  std::vector<std::vector<double>> PredictRoiPerArm(const Matrix& x) const;
+
+  bool fitted() const { return net_ != nullptr; }
+  int num_arms() const { return num_arms_; }
+  int feature_dim() const { return feature_dim_; }
+  void set_predict_options(const nn::BatchOptions& opts) {
+    config_.predict = opts;
+  }
+
+  /// Serializes scaler moments, the resolved architecture, and the
+  /// parameter blob ("roicl-karm-ranknet-v1"; weights at 17 significant
+  /// digits, so save -> load -> predict is bit-exact).
+  Status Save(std::ostream& out) const;
+  static StatusOr<KArmRankNet> Load(std::istream& in,
+                                    const KArmRankNetConfig& config = {});
+
+ private:
+  KArmRankNetConfig config_;
+  StandardScaler scaler_;
+  int num_arms_ = 0;
+  int feature_dim_ = -1;
+  /// Architecture as actually built (auto fields resolved at Fit time);
+  /// Save/Load rebuild the identical net before restoring parameters.
+  std::vector<int> arch_trunk_hidden_;
+  int arch_trunk_out_ = 0;
+  std::vector<int> arch_head_hidden_;
+  mutable std::unique_ptr<uplift::MultiHeadNet> net_;
+};
+
+}  // namespace roicl::campaign
+
+#endif  // ROICL_CAMPAIGN_KARM_RANK_NET_H_

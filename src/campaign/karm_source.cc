@@ -1,0 +1,94 @@
+#include "campaign/karm_source.h"
+
+#include <algorithm>
+
+#include "alloc/row_source.h"
+#include "common/macros.h"
+#include "common/math_util.h"
+
+namespace roicl::campaign {
+namespace {
+
+/// SplitMix64 finalizer — decorrelates the per-arm seeds so arm streams
+/// share no low-bit structure with each other or with the base seed.
+uint64_t MixSeed(uint64_t seed, int arm) {
+  uint64_t z = seed + static_cast<uint64_t>(arm) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+VectorKArmRowSource::VectorKArmRowSource(
+    std::vector<std::vector<double>> roi,
+    std::vector<std::vector<double>> cost, int chunk_rows)
+    : roi_(std::move(roi)), cost_(std::move(cost)), chunk_rows_(chunk_rows) {
+  ROICL_CHECK(!roi_.empty());
+  ROICL_CHECK(roi_.size() == cost_.size());
+  for (size_t k = 0; k < roi_.size(); ++k) {
+    ROICL_CHECK(roi_[k].size() == roi_[0].size());
+    ROICL_CHECK(cost_[k].size() == roi_[0].size());
+  }
+  ROICL_CHECK(chunk_rows > 0);
+}
+
+bool VectorKArmRowSource::Next(KArmRowChunk* chunk) {
+  int64_t n = total_users();
+  if (pos_ >= n) return false;
+  int64_t end = std::min(n, pos_ + chunk_rows_);
+  chunk->base_user = pos_;
+  chunk->roi.assign(roi_.size(), {});
+  chunk->cost.assign(roi_.size(), {});
+  for (size_t k = 0; k < roi_.size(); ++k) {
+    chunk->roi[k].assign(roi_[k].begin() + pos_, roi_[k].begin() + end);
+    chunk->cost[k].assign(cost_[k].begin() + pos_, cost_[k].begin() + end);
+  }
+  pos_ = end;
+  return true;
+}
+
+size_t VectorKArmRowSource::chunk_bytes() const {
+  return static_cast<size_t>(chunk_rows_) * roi_.size() * 2 *
+         sizeof(double);
+}
+
+SyntheticKArmRowSource::SyntheticKArmRowSource(int64_t n, int num_arms,
+                                               uint64_t seed, int chunk_rows)
+    : n_(n), num_arms_(num_arms), seed_(seed), chunk_rows_(chunk_rows) {
+  ROICL_CHECK(n >= 0);
+  ROICL_CHECK(num_arms >= 1);
+  ROICL_CHECK(chunk_rows > 0);
+}
+
+void SyntheticKArmRowSource::PairAt(uint64_t seed, int64_t user, int arm,
+                                    double* roi, double* cost) {
+  alloc::SyntheticRowSource::RowAt(MixSeed(seed, arm), user, roi, cost);
+}
+
+bool SyntheticKArmRowSource::Next(KArmRowChunk* chunk) {
+  if (pos_ >= n_) return false;
+  int64_t end = std::min(n_, pos_ + chunk_rows_);
+  int64_t size = end - pos_;
+  chunk->base_user = pos_;
+  chunk->roi.assign(AsSize(num_arms_), {});
+  chunk->cost.assign(AsSize(num_arms_), {});
+  for (int k = 0; k < num_arms_; ++k) {
+    std::vector<double>& roi = chunk->roi[AsSize(k)];
+    std::vector<double>& cost = chunk->cost[AsSize(k)];
+    roi.resize(AsSize64(size));
+    cost.resize(AsSize64(size));
+    for (int64_t i = 0; i < size; ++i) {
+      PairAt(seed_, pos_ + i, k + 1, &roi[AsSize64(i)], &cost[AsSize64(i)]);
+    }
+  }
+  pos_ = end;
+  return true;
+}
+
+size_t SyntheticKArmRowSource::chunk_bytes() const {
+  return static_cast<size_t>(chunk_rows_) * AsSize(num_arms_) * 2 *
+         sizeof(double);
+}
+
+}  // namespace roicl::campaign

@@ -1,0 +1,78 @@
+#ifndef ROICL_CAMPAIGN_KARM_STREAMING_H_
+#define ROICL_CAMPAIGN_KARM_STREAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "campaign/karm_allocate.h"
+#include "campaign/karm_source.h"
+#include "common/status.h"
+
+/// \file
+/// Streaming K-arm campaign allocator: the binary sharded-frontier
+/// machinery (alloc/streaming.h) reused for (user, arm) pairs, bitwise
+/// identical to `KArmGreedyReference` at any shard count or chunk size
+/// while holding only frontier state under a hard memory cap.
+///
+/// Soundness sketch. By the collapse lemma (karm_allocate.h) the
+/// reference's K·n-pair scan charges — and stops at — only per-user
+/// *best* pairs. The stream hands each user's K pairs over together
+/// (KArmRowChunk), so the allocator reduces every user to their best
+/// pair in O(K) with no extra state, then runs the binary frontier over
+/// those n pairs: shard by user index, frontier budget = the global cap
+/// B only. A best pair dropped by a frontier has a shard-local
+/// best-pair prefix spend above B; the reference's spend when it reaches
+/// that pair is the FP sum over ALL best pairs ranked before it — a
+/// superset, hence (FP summation of non-negative terms is monotone
+/// under inserting terms) at least the shard prefix minus the pair's own
+/// cost — so the pair could never be charged, and an arm-budget stop can
+/// only shorten the charged prefix further. Conversely the stop row
+/// itself — global or arm overflow — always survives the cut (its
+/// shard prefix is <= B + its own cost, and the frontier keeps the first
+/// over-budget row as the stop sentinel). The merged frontiers therefore
+/// contain the full reference selection plus its stop row in rank
+/// order, and the replay reproduces the reference's selections, FP
+/// spend, per-arm FP spends, and value bit for bit.
+
+namespace roicl::campaign {
+
+struct KArmStreamingOptions {
+  /// Users are assigned to shards by user % num_shards; the result is
+  /// independent of the shard count (it only bounds per-shard state).
+  int num_shards = 1;
+  /// Hard cap on accounted working memory: chunk buffer + per-user
+  /// reduction scratch + frontiers + merge scratch + the selection
+  /// vector. Exceeding it fails with kFailedPrecondition.
+  size_t memory_cap_bytes = size_t{256} << 20;
+  /// Accumulate shard frontiers concurrently on the global thread pool.
+  /// Bitwise identical either way: each shard sees its users in index
+  /// order regardless of interleaving.
+  bool parallel_shards = false;
+};
+
+struct KArmStreamingResult {
+  /// Charged (user, arm) pairs in charge (rank) order, encoded as
+  /// (arm - 1) * n + user — bitwise equal to the reference's
+  /// `selection_order`.
+  std::vector<int64_t> selected_pairs;
+  double spent = 0.0;             ///< bitwise equal to the reference.
+  std::vector<double> arm_spent;  ///< bitwise equal to the reference.
+  double value = 0.0;
+  int64_t users_streamed = 0;
+  size_t peak_memory_bytes = 0;
+  int64_t frontier_evictions = 0;
+  int64_t merge_candidates = 0;
+};
+
+/// Streams `source` and allocates at most one arm per user under
+/// `budgets`. Errors: kInvalidArgument for non-finite budgets/scores or
+/// negative costs; kFailedPrecondition when the memory cap cannot hold
+/// the working state.
+StatusOr<KArmStreamingResult> StreamingKArmAllocate(
+    KArmRowSource* source, const KArmBudgets& budgets,
+    const KArmStreamingOptions& options);
+
+}  // namespace roicl::campaign
+
+#endif  // ROICL_CAMPAIGN_KARM_STREAMING_H_

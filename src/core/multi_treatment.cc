@@ -15,13 +15,7 @@ void DivideAndConquerRdrp::FitWithCalibration(
   ROICL_CHECK(train.num_arms() >= 1);
   models_.clear();
   for (int arm = 1; arm <= train.num_arms(); ++arm) {
-    RdrpConfig config = config_;
-    // Independent streams per arm, deterministic overall.
-    config.drp.seed = config_.drp.seed + static_cast<uint64_t>(arm) * 101;
-    config.drp.train.seed =
-        config_.drp.train.seed + static_cast<uint64_t>(arm) * 131;
-    config.mc_seed = config_.mc_seed + static_cast<uint64_t>(arm) * 151;
-    auto model = std::make_unique<RdrpModel>(config);
+    auto model = std::make_unique<RdrpModel>(ArmConfig(config_, arm));
     model->FitWithCalibration(train.BinarySubproblem(arm),
                               calibration.BinarySubproblem(arm));
     models_.push_back(std::move(model));
@@ -39,9 +33,70 @@ std::vector<std::vector<double>> DivideAndConquerRdrp::PredictRoiPerArm(
   return scores;
 }
 
+std::vector<std::vector<metrics::Interval>>
+DivideAndConquerRdrp::PredictIntervalsPerArm(const Matrix& x) const {
+  ROICL_CHECK_MSG(!models_.empty(), "PredictIntervalsPerArm() before Fit");
+  std::vector<std::vector<metrics::Interval>> intervals;
+  intervals.reserve(models_.size());
+  for (const auto& model : models_) {
+    intervals.push_back(model->PredictIntervals(x));
+  }
+  return intervals;
+}
+
 const RdrpModel& DivideAndConquerRdrp::arm_model(int arm) const {
   ROICL_CHECK(arm >= 1 && arm <= num_arms());
   return *models_[AsSize(arm - 1)];
+}
+
+RdrpConfig DivideAndConquerRdrp::ArmConfig(const RdrpConfig& base,
+                                           int arm) {
+  RdrpConfig config = base;
+  // Independent streams per arm, deterministic overall.
+  config.drp.seed = base.drp.seed + static_cast<uint64_t>(arm) * 101;
+  config.drp.train.seed =
+      base.drp.train.seed + static_cast<uint64_t>(arm) * 131;
+  config.mc_seed = base.mc_seed + static_cast<uint64_t>(arm) * 151;
+  return config;
+}
+
+Status DivideAndConquerRdrp::Save(std::ostream& out) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("divide-and-conquer model not fitted");
+  }
+  out << "roicl-dnc-rdrp-v1\n" << models_.size() << '\n';
+  for (const auto& model : models_) {
+    Status arm_status = model->Save(out);
+    if (!arm_status.ok()) return arm_status;
+  }
+  return Status::Ok();
+}
+
+StatusOr<DivideAndConquerRdrp> DivideAndConquerRdrp::Load(
+    std::istream& in, const RdrpConfig& config) {
+  std::string magic;
+  if (!(in >> magic)) {
+    return Status::InvalidArgument(
+        "empty or truncated dnc-rdrp model stream");
+  }
+  if (magic != "roicl-dnc-rdrp-v1") {
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-dnc-rdrp-v1)");
+  }
+  size_t num_arms = 0;
+  if (!(in >> num_arms) || num_arms == 0 || num_arms > 1000) {
+    return Status::InvalidArgument("bad arm count");
+  }
+  DivideAndConquerRdrp model(config);
+  model.models_.reserve(num_arms);
+  for (size_t k = 0; k < num_arms; ++k) {
+    StatusOr<RdrpModel> arm = RdrpModel::Load(
+        in, ArmConfig(config, static_cast<int>(k) + 1));
+    if (!arm.ok()) return arm.status();
+    model.models_.push_back(
+        std::make_unique<RdrpModel>(std::move(arm).value()));
+  }
+  return model;
 }
 
 MultiAllocationResult GreedyAllocateMulti(

@@ -1,9 +1,12 @@
 #ifndef ROICL_CORE_MULTI_TREATMENT_H_
 #define ROICL_CORE_MULTI_TREATMENT_H_
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <vector>
 
+#include "common/status.h"
 #include "core/rdrp.h"
 #include "synth/multi_treatment.h"
 
@@ -28,8 +31,31 @@ class DivideAndConquerRdrp {
   /// row i of x.
   std::vector<std::vector<double>> PredictRoiPerArm(const Matrix& x) const;
 
+  /// Per-arm conformal intervals: result[k][i] is arm (k+1)'s interval
+  /// for row i of x, produced by that arm's own calibrated rDRP (and
+  /// therefore that arm's own IntervalBackend — split/weighted/cqr per
+  /// `config.interval_backend`). Each arm carries coverage >= 1 - alpha
+  /// against its own convergence-point target.
+  std::vector<std::vector<metrics::Interval>> PredictIntervalsPerArm(
+      const Matrix& x) const;
+
   int num_arms() const { return static_cast<int>(models_.size()); }
   const RdrpModel& arm_model(int arm) const;
+  bool fitted() const { return !models_.empty(); }
+
+  /// Serializes all per-arm calibrated models ("roicl-dnc-rdrp-v1"): the
+  /// arm count followed by each arm's full RdrpModel stream, so a trained
+  /// K-arm estimator deploys without retraining. Requires fitted().
+  Status Save(std::ostream& out) const;
+  /// Restores a model saved by Save(). `config` supplies the shared
+  /// runtime knobs; per-arm seed derivation is reapplied so reloaded
+  /// models reproduce training-time predictions bit for bit.
+  static StatusOr<DivideAndConquerRdrp> Load(
+      std::istream& in, const RdrpConfig& config = RdrpConfig());
+
+  /// The per-arm derived config (documented seed offsets 101/131/151 per
+  /// arm) — shared by FitWithCalibration and Load.
+  static RdrpConfig ArmConfig(const RdrpConfig& base, int arm);
 
  private:
   RdrpConfig config_;

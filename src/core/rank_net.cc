@@ -1,0 +1,232 @@
+#include "core/rank_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "core/mc_dropout.h"
+#include "metrics/cost_curve.h"
+#include "nn/dense.h"
+#include "nn/serialize.h"
+
+namespace roicl::core {
+namespace {
+
+/// Numerically stable softplus(x) = log(1 + exp(x)).
+double Softplus(double x) {
+  return std::log1p(std::exp(-std::fabs(x))) + std::max(x, 0.0);
+}
+
+/// Pairwise transformed-outcome ranking loss (see rank_net.h). O(n^2) in
+/// the batch size; binary outcomes make most weights w_ij exactly zero,
+/// and zero-weight pairs are skipped.
+class PairwiseRoiRankLoss : public nn::BatchLoss {
+ public:
+  PairwiseRoiRankLoss(const std::vector<int>* treatment,
+                      const std::vector<double>* y_revenue,
+                      const std::vector<double>* y_cost)
+      : treatment_(treatment), y_revenue_(y_revenue), y_cost_(y_cost) {}
+
+  double Compute(const Matrix& preds, const std::vector<int>& index,
+                 Matrix* grad) const override {
+    ROICL_CHECK(grad != nullptr);
+    ROICL_CHECK(preds.cols() == 1);
+    const int n = preds.rows();
+    *grad = Matrix(n, 1);
+
+    int n1 = 0, n0 = 0;
+    for (int i = 0; i < n; ++i) {
+      ((*treatment_)[AsSize(index[AsSize(i)])] == 1 ? n1 : n0)++;
+    }
+    if (n1 == 0 || n0 == 0) return 0.0;  // degenerate batch: skip
+
+    // Transformed outcomes per batch row.
+    std::vector<double> zr(AsSize(n)), zc(AsSize(n));
+    for (int i = 0; i < n; ++i) {
+      const size_t si = AsSize(i);
+      const size_t row = AsSize(index[si]);
+      double g = (*treatment_)[row] == 1 ? static_cast<double>(n) / n1
+                                         : -static_cast<double>(n) / n0;
+      zr[si] = g * (*y_revenue_)[row];
+      zc[si] = g * (*y_cost_)[row];
+    }
+
+    double loss = 0.0;
+    int64_t pairs = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const size_t si = AsSize(i), sj = AsSize(j);
+        double w = zr[si] * zc[sj] - zr[sj] * zc[si];
+        if (w == 0.0) continue;
+        double sign = w > 0.0 ? 1.0 : -1.0;
+        double mag = std::fabs(w);
+        double margin = sign * (preds(i, 0) - preds(j, 0));
+        loss += mag * Softplus(-margin);
+        // d softplus(-m)/dm = -sigmoid(-m).
+        double d = -mag * sign * Sigmoid(-margin);
+        (*grad)(i, 0) += d;
+        (*grad)(j, 0) -= d;
+        ++pairs;
+      }
+    }
+    if (pairs == 0) return 0.0;
+    double inv = 1.0 / static_cast<double>(pairs);
+    for (int i = 0; i < n; ++i) (*grad)(i, 0) *= inv;
+    return loss * inv;
+  }
+
+ private:
+  const std::vector<int>* treatment_;
+  const std::vector<double>* y_revenue_;
+  const std::vector<double>* y_cost_;
+};
+
+}  // namespace
+
+void RankNetModel::Fit(const RctDataset& train) {
+  train.Validate();
+  ROICL_CHECK_MSG(train.NumTreated() > 0 && train.NumControl() > 0,
+                  "RankNet requires both RCT arms");
+  Matrix x_scaled = scaler_.FitTransform(train.x);
+
+  int hidden = config_.hidden_units;
+  if (hidden <= 0) hidden = train.n() < 4000 ? 32 : 128;
+
+  PairwiseRoiRankLoss loss(&train.treatment, &train.y_revenue,
+                           &train.y_cost);
+  std::vector<int> train_index(AsSize(train.n()));
+  for (int i = 0; i < train.n(); ++i) train_index[AsSize(i)] = i;
+  std::vector<int> validation_index;
+  if (config_.train.patience > 0 && train.n() >= 100) {
+    int n_val = std::max(1, train.n() / 10);
+    validation_index.assign(train_index.end() - n_val, train_index.end());
+    train_index.resize(train_index.size() - AsSize(n_val));
+  }
+
+  // Multi-restart, ranked by held-out AUCC like DR: the pairwise loss is
+  // noisy (single-sample transformed outcomes), so the deployment metric
+  // picks the restart.
+  int restarts = std::max(1, config_.restarts);
+  double best_score = std::numeric_limits<double>::infinity();
+  for (int restart = 0; restart < restarts; ++restart) {
+    Rng rng(config_.seed + static_cast<uint64_t>(restart) * 7919,
+            /*stream=*/53);
+    auto candidate = std::make_unique<nn::Mlp>(nn::Mlp::MakeMlp(
+        train.dim(), {hidden}, /*output_dim=*/1, config_.activation,
+        config_.dropout, &rng));
+    nn::TrainConfig train_config = config_.train;
+    train_config.seed =
+        config_.train.seed + static_cast<uint64_t>(restart) * 104729;
+    nn::TrainResult result =
+        nn::TrainNetwork(candidate.get(), x_scaled, train_index,
+                         validation_index, loss, train_config);
+    double score;
+    if (validation_index.empty()) {
+      score = result.final_train_loss;
+    } else {
+      Matrix val_x = x_scaled.SelectRows(validation_index);
+      Matrix out = candidate->Forward(val_x, nn::Mode::kInfer, nullptr);
+      score = -metrics::Aucc(out.Col(0), train.Subset(validation_index));
+    }
+    if (score < best_score) {
+      best_score = score;
+      net_ = std::move(candidate);
+    }
+  }
+}
+
+std::vector<double> RankNetModel::PredictRoi(const Matrix& x) const {
+  ROICL_CHECK_MSG(fitted(), "PredictRoi() before Fit()");
+  Matrix x_scaled = scaler_.Transform(x);
+  Matrix out = nn::BatchedInferForward(net_.get(), x_scaled,
+                                       config_.predict);
+  std::vector<double> roi = out.Col(0);
+  // RankNet only learns a ranking; the sigmoid maps it into (0, 1) so the
+  // downstream tooling can treat all direct models uniformly (same
+  // convention as DR).
+  for (double& v : roi) {
+    v = Sigmoid(v);
+    ROICL_DCHECK_FINITE(v);
+  }
+  return roi;
+}
+
+McDropoutStats RankNetModel::PredictMcRoi(
+    const Matrix& x, int passes, uint64_t seed,
+    const nn::BatchOptions& opts) const {
+  ROICL_CHECK_MSG(fitted(), "PredictMcRoi() before Fit()");
+  Matrix x_scaled = scaler_.Transform(x);
+  return RunMcDropout(net_.get(), x_scaled, passes, seed,
+                      /*sigmoid_output=*/true, opts);
+}
+
+Status RankNetModel::Save(std::ostream& out) const {
+  if (!fitted()) return Status::FailedPrecondition("model not fitted");
+  out << "roicl-ranknet-v1\n";
+  out << std::setprecision(17);
+  const std::vector<double>& means = scaler_.means();
+  const std::vector<double>& stds = scaler_.stddevs();
+  out << means.size();
+  for (double m : means) out << ' ' << m;
+  for (double s : stds) out << ' ' << s;
+  out << '\n';
+  return nn::SaveMlp(*net_, out);
+}
+
+StatusOr<RankNetModel> RankNetModel::Load(std::istream& in,
+                                          const RankNetConfig& config) {
+  std::string magic;
+  if (!(in >> magic)) {
+    return Status::InvalidArgument(
+        "empty or truncated ranknet model stream");
+  }
+  if (magic != "roicl-ranknet-v1") {
+    if (magic.rfind("roicl-ranknet-v", 0) == 0) {
+      return Status::InvalidArgument(
+          "unsupported ranknet format version '" + magic +
+          "' (expected roicl-ranknet-v1)");
+    }
+    return Status::InvalidArgument("bad magic '" + magic +
+                                   "' (expected roicl-ranknet-v1)");
+  }
+  size_t dim = 0;
+  if (!(in >> dim) || dim == 0 || dim > 1000000) {
+    return Status::InvalidArgument("bad feature dimension");
+  }
+  std::vector<double> means(dim), stds(dim);
+  for (double& v : means) {
+    if (!(in >> v)) return Status::InvalidArgument("truncated means");
+  }
+  for (double& v : stds) {
+    if (!(in >> v)) return Status::InvalidArgument("truncated stds");
+    if (v <= 0.0) return Status::InvalidArgument("non-positive stddev");
+  }
+  StatusOr<nn::Mlp> net = nn::LoadMlp(in);
+  if (!net.ok()) return net.status();
+  int net_input = -1;
+  for (size_t l = 0; l < net.value().num_layers(); ++l) {
+    if (const auto* dense =
+            dynamic_cast<const nn::Dense*>(net.value().layer(l))) {
+      net_input = dense->in_features();
+      break;
+    }
+  }
+  if (net_input != static_cast<int>(dim)) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: scaler has " + std::to_string(dim) +
+        " features but the network expects " + std::to_string(net_input));
+  }
+
+  RankNetModel model(config);
+  model.scaler_ =
+      StandardScaler::FromMoments(std::move(means), std::move(stds));
+  model.net_ = std::make_unique<nn::Mlp>(std::move(net).value());
+  return model;
+}
+
+}  // namespace roicl::core

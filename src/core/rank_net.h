@@ -1,0 +1,90 @@
+#ifndef ROICL_CORE_RANK_NET_H_
+#define ROICL_CORE_RANK_NET_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/direct_model.h"
+#include "data/scaler.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace roicl::core {
+
+/// RankNet hyperparameters (same network shape as DRP/DR so the eleventh
+/// Table-I row trains under a comparable budget).
+struct RankNetConfig {
+  /// Hidden-layer width; <= 0 selects automatically from the training-set
+  /// size (mirrors DrpConfig).
+  int hidden_units = 0;
+  nn::ActivationKind activation = nn::ActivationKind::kRelu;
+  double dropout = 0.2;
+  nn::TrainConfig train;
+  /// Independent random restarts ranked by held-out AUCC (like DR).
+  int restarts = 3;
+  uint64_t seed = 91;
+  /// Batched prediction-engine knobs (row-block size, thread count).
+  /// Throughput only — predictions are bit-identical across settings.
+  nn::BatchOptions predict;
+};
+
+/// Ranking-objective ROI scorer ("Metalearners for Ranking Treatment
+/// Effects", Vanderschueren et al.): since Algorithm 1 consumes only the
+/// ROI *ranking*, train the score s(x) directly on a pairwise
+/// RankNet-style logistic loss instead of an ROI regression.
+///
+/// Within a mini-batch, transformed outcomes z_r = g*y_r and z_c = g*y_c
+/// (g = +n/n1 treated, -n/n0 control) are unbiased single-sample
+/// estimates of tau_r(x) and tau_c(x). For independent rows i != j the
+/// cross product z_r_i * z_c_j is an unbiased estimate of
+/// tau_r_i * tau_c_j, so
+///   w_ij = z_r_i * z_c_j - z_r_j * z_c_i
+/// estimates tau_r_i*tau_c_j - tau_r_j*tau_c_i, whose sign is the true
+/// ROI comparison roi_i > roi_j whenever costs are positive (Assumption
+/// 4). The loss is the weighted pairwise logistic
+///   L = (1/P) sum_{i<j} |w_ij| * softplus(-sign(w_ij) * (s_i - s_j)),
+/// a Burges-style RankNet objective with noisy-but-unbiased preference
+/// directions — no ratio, no cost floor, no ROI regression target.
+class RankNetModel : public DirectRoiModel {
+ public:
+  explicit RankNetModel(const RankNetConfig& config) : config_(config) {}
+
+  void Fit(const RctDataset& train) override;
+  std::vector<double> PredictRoi(const Matrix& x) const override;
+  std::string name() const override { return "RankNet"; }
+
+  using DirectRoiModel::PredictMcRoi;
+  McDropoutStats PredictMcRoi(const Matrix& x, int passes, uint64_t seed,
+                              const nn::BatchOptions& opts) const override;
+
+  bool fitted() const { return net_ != nullptr; }
+
+  /// Feature dimension the model was fitted on (-1 before Fit/Load).
+  int feature_dim() const {
+    return scaler_.fitted() ? static_cast<int>(scaler_.means().size()) : -1;
+  }
+
+  /// Re-points the batched prediction engine. Throughput knob only.
+  void set_predict_options(const nn::BatchOptions& opts) {
+    config_.predict = opts;
+  }
+
+  /// Serializes the fitted model (scaler + network, "roicl-ranknet-v1");
+  /// a save/load round trip reproduces predictions bit for bit.
+  Status Save(std::ostream& out) const;
+  static StatusOr<RankNetModel> Load(
+      std::istream& in, const RankNetConfig& config = RankNetConfig());
+
+ private:
+  RankNetConfig config_;
+  StandardScaler scaler_;
+  mutable std::unique_ptr<nn::Mlp> net_;
+};
+
+}  // namespace roicl::core
+
+#endif  // ROICL_CORE_RANK_NET_H_

@@ -59,4 +59,8 @@ MethodSpec RdrpMethod(const MethodHyperparams& hp) {
   return RegistryMethod("rDRP", hp);
 }
 
+MethodSpec RankNetMethod(const MethodHyperparams& hp) {
+  return RegistryMethod("RankNet", hp);
+}
+
 }  // namespace roicl::exp

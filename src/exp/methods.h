@@ -46,13 +46,15 @@ inline trees::CausalForestConfig MakeCausalForestConfig(
   return pipeline::MakeCausalForestConfig(hp);
 }
 
-/// The ten Table-I method names in the paper's row order. This array is
-/// the single source of truth the registry-completeness lint greps: every
-/// entry must resolve through pipeline::ScorerRegistry.
-inline constexpr std::array<const char*, 10> kTable1MethodNames = {
+/// The ten Table-I method names in the paper's row order, plus the
+/// ranking-objective extension row (RankNet, per "Metalearners for
+/// Ranking Treatment Effects"). This array is the single source of truth
+/// the registry-completeness lint greps: every entry must resolve through
+/// pipeline::ScorerRegistry.
+inline constexpr std::array<const char*, 11> kTable1MethodNames = {
     "TPM-SL",     "TPM-XL",        "TPM-CF", "TPM-DragonNet",
     "TPM-TARNet", "TPM-OffsetNet", "TPM-SNet", "DR",
-    "DRP",        "rDRP"};
+    "DRP",        "rDRP",          "RankNet"};
 
 /// One MethodSpec whose factory builds `name` through the global scorer
 /// registry. CHECK-fails on an unregistered name (benchmark tables are
@@ -75,6 +77,7 @@ MethodSpec TpmNeuralMethod(const MethodHyperparams& hp,
 MethodSpec DrMethod(const MethodHyperparams& hp);
 MethodSpec DrpMethod(const MethodHyperparams& hp);
 MethodSpec RdrpMethod(const MethodHyperparams& hp);
+MethodSpec RankNetMethod(const MethodHyperparams& hp);
 
 }  // namespace roicl::exp
 

@@ -1,0 +1,51 @@
+#include "metrics/per_arm.h"
+
+#include "common/macros.h"
+#include "common/math_util.h"
+#include "common/thread_pool.h"
+#include "metrics/cost_curve.h"
+#include "metrics/qini.h"
+
+namespace roicl::metrics {
+
+PerArmCurveMetrics ComputePerArmMetrics(
+    const std::vector<std::vector<double>>& per_arm_scores,
+    const std::vector<RctDataset>& per_arm_eval, int num_threads) {
+  ROICL_CHECK(per_arm_scores.size() == per_arm_eval.size());
+  const int num_arms = static_cast<int>(per_arm_scores.size());
+  for (int k = 0; k < num_arms; ++k) {
+    ROICL_CHECK_MSG(static_cast<int>(per_arm_scores[AsSize(k)].size()) ==
+                        per_arm_eval[AsSize(k)].n(),
+                    "arm %d: score/eval size mismatch", k + 1);
+  }
+
+  PerArmCurveMetrics out;
+  out.aucc.assign(AsSize(num_arms), 0.0);
+  out.qini.assign(AsSize(num_arms), 0.0);
+  auto compute_arm = [&](int k) {
+    const size_t sk = AsSize(k);
+    out.aucc[sk] = Aucc(per_arm_scores[sk], per_arm_eval[sk]);
+    out.qini[sk] = QiniCoefficient(per_arm_scores[sk], per_arm_eval[sk]);
+  };
+  if (num_threads > 0 && num_arms > 1) {
+    // Each arm writes only its own preallocated slot; no shared state, so
+    // any thread count yields the serial bits.
+    ThreadPool pool(static_cast<unsigned>(num_threads));
+    pool.ParallelFor(0, num_arms, compute_arm);
+  } else {
+    for (int k = 0; k < num_arms; ++k) compute_arm(k);
+  }
+  return out;
+}
+
+std::vector<double> PerArmOracleAucc(
+    const std::vector<RctDataset>& per_arm_eval) {
+  std::vector<double> out;
+  out.reserve(per_arm_eval.size());
+  for (const RctDataset& eval : per_arm_eval) {
+    out.push_back(OracleAucc(eval));
+  }
+  return out;
+}
+
+}  // namespace roicl::metrics

@@ -1,0 +1,37 @@
+#ifndef ROICL_METRICS_PER_ARM_H_
+#define ROICL_METRICS_PER_ARM_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace roicl::metrics {
+
+/// Per-arm ranking diagnostics of a multi-treatment scorer: arm k's AUCC
+/// and Qini, computed on the binary sub-problem {control, arm k} exactly
+/// as the Table-I metrics are computed for the binary paper setting.
+struct PerArmCurveMetrics {
+  std::vector<double> aucc;  ///< aucc[k] for arm (k+1)
+  std::vector<double> qini;  ///< qini[k] for arm (k+1)
+};
+
+/// Computes per-arm AUCC/Qini curves. `per_arm_scores[k]` are arm
+/// (k+1)'s scores over `per_arm_eval[k]` (the arm's binary sub-problem;
+/// see synth::MultiTreatmentDataset::BinarySubproblem), so the two outer
+/// vectors must have equal length and each inner pair consistent sizes.
+///
+/// `num_threads` parallelizes across arms on a private pool (0 = serial).
+/// Arms are computed independently into preallocated slots with no shared
+/// accumulation, so the result is bit-identical at any thread count —
+/// the same contract as the batched prediction engine (PR 2).
+PerArmCurveMetrics ComputePerArmMetrics(
+    const std::vector<std::vector<double>>& per_arm_scores,
+    const std::vector<RctDataset>& per_arm_eval, int num_threads = 0);
+
+/// Per-arm AUCC of the oracle (true-ROI) ranking, one entry per arm.
+std::vector<double> PerArmOracleAucc(
+    const std::vector<RctDataset>& per_arm_eval);
+
+}  // namespace roicl::metrics
+
+#endif  // ROICL_METRICS_PER_ARM_H_

@@ -5,6 +5,7 @@
 
 #include "core/dr_model.h"
 #include "core/drp_model.h"
+#include "core/rank_net.h"
 #include "core/rdrp.h"
 #include "pipeline/registry.h"
 #include "uplift/causal_forest_cate.h"
@@ -225,6 +226,50 @@ class RdrpScorer : public RoiScorer {
   core::RdrpModel model_;
 };
 
+/// RankNet: ranking-objective direct scorer (Vanderschueren et al.) with
+/// MC-dropout uncertainty — the eleventh Table-I row.
+class RankNetScorer : public RoiScorer {
+ public:
+  explicit RankNetScorer(const Hyperparams& hp)
+      : config_(MakeRankNetConfig(hp)), model_(config_) {}
+
+  void Fit(const RctDataset& train) override { model_.Fit(train); }
+  std::vector<double> PredictRoi(const Matrix& x) const override {
+    return model_.PredictRoi(x);
+  }
+  std::string name() const override { return model_.name(); }
+  int feature_dim() const override { return model_.feature_dim(); }
+
+  bool has_mc_uncertainty() const override { return true; }
+  StatusOr<core::McDropoutStats> ScoreMc(const Matrix& x, int passes,
+                                         uint64_t seed) const override {
+    if (!model_.fitted()) {
+      return Status::FailedPrecondition("scorer not fitted");
+    }
+    return model_.PredictMcRoi(x, passes, seed, config_.predict);
+  }
+
+  void set_batch_options(const nn::BatchOptions& opts) override {
+    config_.predict = opts;
+    model_.set_predict_options(opts);
+  }
+
+  Status SaveModel(std::ostream& out) const override {
+    return model_.Save(out);
+  }
+  Status LoadModel(std::istream& in) override {
+    StatusOr<core::RankNetModel> loaded =
+        core::RankNetModel::Load(in, config_);
+    if (!loaded.ok()) return loaded.status();
+    model_ = std::move(loaded).value();
+    return Status::Ok();
+  }
+
+ private:
+  core::RankNetConfig config_;
+  core::RankNetModel model_;
+};
+
 std::unique_ptr<RoiScorer> MakeTpmNeural(const Hyperparams& hp,
                                          uplift::NeuralCateKind kind,
                                          const std::string& name) {
@@ -281,6 +326,9 @@ void RegisterBuiltinScorers(ScorerRegistry* registry) {
   });
   registry->Register("rDRP", [](const Hyperparams& hp) {
     return std::make_unique<RdrpScorer>(hp);
+  });
+  registry->Register("RankNet", [](const Hyperparams& hp) {
+    return std::make_unique<RankNetScorer>(hp);
   });
 }
 

@@ -73,6 +73,22 @@ core::DirectRankConfig MakeDrConfig(const Hyperparams& hp) {
   return config;
 }
 
+core::RankNetConfig MakeRankNetConfig(const Hyperparams& hp) {
+  core::RankNetConfig config;
+  config.hidden_units = hp.drp_hidden;
+  config.dropout = hp.drp_dropout;
+  config.train.epochs = hp.neural_epochs;
+  config.train.batch_size = hp.batch_size;
+  config.train.learning_rate = hp.learning_rate;
+  config.train.patience = hp.patience;
+  config.train.seed = hp.seed;
+  config.restarts = hp.restarts;
+  config.seed = hp.seed + 11;
+  config.predict.batch_size = hp.predict_batch_size;
+  config.predict.num_threads = hp.predict_threads;
+  return config;
+}
+
 core::RdrpConfig MakeRdrpConfig(const Hyperparams& hp) {
   core::RdrpConfig config;
   config.drp = MakeDrpConfig(hp);  // identical DRP for fair comparison

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/dr_model.h"
 #include "core/drp_model.h"
+#include "core/rank_net.h"
 #include "core/rdrp.h"
 #include "trees/causal_forest.h"
 #include "trees/random_forest.h"
@@ -67,6 +68,7 @@ struct Hyperparams {
 core::DrpConfig MakeDrpConfig(const Hyperparams& hp);
 core::DirectRankConfig MakeDrConfig(const Hyperparams& hp);
 core::RdrpConfig MakeRdrpConfig(const Hyperparams& hp);
+core::RankNetConfig MakeRankNetConfig(const Hyperparams& hp);
 uplift::NeuralCateConfig MakeNeuralCateConfig(const Hyperparams& hp);
 trees::ForestConfig MakeForestConfig(const Hyperparams& hp);
 trees::CausalForestConfig MakeCausalForestConfig(const Hyperparams& hp);

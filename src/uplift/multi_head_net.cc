@@ -10,6 +10,27 @@ MultiHeadNet::MultiHeadNet(nn::Mlp trunk, std::vector<nn::Mlp> heads)
   ROICL_CHECK(!heads_.empty());
 }
 
+MultiHeadNet MultiHeadNet::MakeKHead(int input_dim,
+                                     const std::vector<int>& trunk_hidden,
+                                     int trunk_out, int num_heads,
+                                     const std::vector<int>& head_hidden,
+                                     nn::ActivationKind activation,
+                                     double dropout_rate, Rng* rng) {
+  ROICL_CHECK(input_dim > 0);
+  ROICL_CHECK(trunk_out > 0);
+  ROICL_CHECK(num_heads >= 1);
+  nn::Mlp trunk = nn::Mlp::MakeMlp(input_dim, trunk_hidden, trunk_out,
+                                   activation, dropout_rate, rng);
+  std::vector<nn::Mlp> heads;
+  heads.reserve(AsSize(num_heads));
+  for (int h = 0; h < num_heads; ++h) {
+    heads.push_back(nn::Mlp::MakeMlp(trunk_out, head_hidden,
+                                     /*output_dim=*/1, activation,
+                                     dropout_rate, rng));
+  }
+  return MultiHeadNet(std::move(trunk), std::move(heads));
+}
+
 Matrix MultiHeadNet::Forward(const Matrix& input, nn::Mode mode, Rng* rng) {
   Matrix rep = trunk_.Forward(input, mode, rng);
   Matrix out(input.rows(), num_heads());

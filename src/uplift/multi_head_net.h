@@ -19,6 +19,19 @@ class MultiHeadNet : public nn::Network {
  public:
   MultiHeadNet(nn::Mlp trunk, std::vector<nn::Mlp> heads);
 
+  /// Convenience builder for the K-arm campaign nets: a trunk
+  /// `input_dim -> trunk_hidden -> trunk_out` feeding `num_heads` heads
+  /// `trunk_out -> head_hidden -> 1`, one per treatment arm. All layers
+  /// share the activation and dropout rate; initialization draws from
+  /// `rng` in a fixed order (trunk, then heads ascending), so a given
+  /// seed rebuilds the identical architecture and initial weights.
+  static MultiHeadNet MakeKHead(int input_dim,
+                                const std::vector<int>& trunk_hidden,
+                                int trunk_out, int num_heads,
+                                const std::vector<int>& head_hidden,
+                                nn::ActivationKind activation,
+                                double dropout_rate, Rng* rng);
+
   Matrix Forward(const Matrix& input, nn::Mode mode, Rng* rng) override;
 
   /// Inference-only forward with per-row RNG streams, chained through the

@@ -82,15 +82,18 @@ TEST(BuildSplitsTest, CalibAndTestShareDistribution) {
   for (int s = 0; s < k; ++s) EXPECT_NEAR(hc[AsSize(s)], ht[AsSize(s)], 0.03);
 }
 
-TEST(MethodsTest, Table1HasTenMethodsInPaperOrder) {
+TEST(MethodsTest, Table1HasPaperMethodsInOrderPlusRankingRow) {
   MethodHyperparams hp;
   std::vector<MethodSpec> methods = Table1Methods(hp);
-  ASSERT_EQ(methods.size(), 10u);
+  // The paper's ten rows in paper order, then the ranking-objective
+  // extension row (RankNet) appended last so paper tables stay aligned.
+  ASSERT_EQ(methods.size(), 11u);
   EXPECT_EQ(methods[0].name, "TPM-SL");
   EXPECT_EQ(methods[2].name, "TPM-CF");
   EXPECT_EQ(methods[7].name, "DR");
   EXPECT_EQ(methods[8].name, "DRP");
   EXPECT_EQ(methods[9].name, "rDRP");
+  EXPECT_EQ(methods[10].name, "RankNet");
   // Factories construct models matching their names.
   for (const MethodSpec& spec : methods) {
     std::unique_ptr<uplift::RoiModel> model = spec.factory();

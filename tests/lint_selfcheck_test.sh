@@ -196,6 +196,26 @@ void RegisterBuiltinScorers(ScorerRegistry* registry) {
 }
 EOF
 
+# check_campaign_registry: a roster name with no Register() call and no
+# roundtrip marker; the covered decoy keeps the extraction above its
+# regex-rot count guard.
+mkdir -p "${fixture}/src/campaign"
+cat > "${fixture}/src/campaign/scorer.h" <<'EOF'
+inline constexpr std::array<const char*, 2> kCampaignScorerNames = {
+    "dnc-decoy", "dnc-ghost"};
+EOF
+cat > "${fixture}/src/campaign/scorer.cc" <<'EOF'
+void BuildGlobalRegistry(CampaignScorerRegistry& registry) {
+  registry.Register("dnc-decoy", MakeDecoy, LoadDecoy);
+  // dnc-ghost registration deliberately missing.
+}
+EOF
+cat > "${fixture}/tests/campaign_pipeline_test.cc" <<'EOF'
+// campaign-roundtrip: dnc-decoy
+TEST(CampaignRoundtrip, DncDecoySaveLoadPredictIsBitwise) {}
+// dnc-ghost roundtrip deliberately missing.
+EOF
+
 # check_interval_backends: a registered backend with neither a
 # roundtrip test nor a replay smoke row. The two covered decoys keep the
 # extraction above its regex-rot count guard.
@@ -222,6 +242,8 @@ expect_fail check_scripts bash "${runner}" "${fixture}" check_scripts
 expect_fail check_no_raw_io bash "${runner}" "${fixture}" check_no_raw_io
 expect_fail check_registry_complete \
   bash "${runner}" "${fixture}" check_registry_complete
+expect_fail check_campaign_registry \
+  bash "${runner}" "${fixture}" check_campaign_registry
 expect_fail check_interval_backends \
   bash "${runner}" "${fixture}" check_interval_backends
 expect_fail check_metric_names \
@@ -269,6 +291,21 @@ else
   echo "FAIL: check_registry_complete did not name the missing method"
   status=1
 fi
+
+# The campaign lint names the uncovered scorer and both missing
+# surfaces, not just "failed".
+campaign_out=$(bash "${runner}" "${fixture}" check_campaign_registry \
+  2>&1 || true)
+for needle in \
+    "scorer 'dnc-ghost' from kCampaignScorerNames" \
+    "scorer 'dnc-ghost' has no bitwise save->load->predict roundtrip"; do
+  if grep -q "${needle}" <<<"${campaign_out}"; then
+    echo "ok: check_campaign_registry reports '${needle}'"
+  else
+    echo "FAIL: check_campaign_registry did not report '${needle}'"
+    status=1
+  fi
+done
 
 # The backend lint names the uncovered backend and both missing
 # surfaces, not just "failed".

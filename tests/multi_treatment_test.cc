@@ -73,6 +73,78 @@ TEST(MultiTreatmentGeneratorTest, BinarySubproblemIsValidRct) {
   }
 }
 
+TEST(MultiTreatmentGeneratorTest, ArmWithZeroTreatedRowsYieldsControlOnlySubproblem) {
+  // Hand-built dataset where nobody ever received arm 2: its binary
+  // sub-problem must still project cleanly (all-control), leaving the
+  // caller to decide whether a scorer can be fit on it.
+  synth::MultiTreatmentDataset data;
+  const int n = 6;
+  data.x = Matrix(n, 1);
+  for (int i = 0; i < n; ++i) data.x(i, 0) = i;
+  data.treatment = {0, 1, 0, 1, 0, 1};  // arm 2 never assigned
+  data.y_revenue.assign(AsSize(n), 1.0);
+  data.y_cost.assign(AsSize(n), 0.5);
+  data.true_tau_r.assign(2, std::vector<double>(AsSize(n), 0.1));
+  data.true_tau_c.assign(2, std::vector<double>(AsSize(n), 0.2));
+  ASSERT_EQ(data.num_arms(), 2);
+
+  RctDataset sub = data.BinarySubproblem(2);
+  EXPECT_EQ(sub.n(), 3);  // only the control rows survive
+  EXPECT_EQ(sub.NumTreated(), 0);
+  EXPECT_EQ(sub.NumControl(), 3);
+
+  RctDataset sub1 = data.BinarySubproblem(1);
+  EXPECT_EQ(sub1.n(), n);
+  EXPECT_EQ(sub1.NumTreated(), 3);
+}
+
+TEST(MultiTreatmentGeneratorTest, SingleArmDegeneratesToBinaryRct) {
+  // K = 1 is the paper's binary setting: uniform assignment over
+  // {control, arm 1} and a sub-problem that keeps every row.
+  synth::MultiTreatmentGenerator generator(
+      synth::CriteoSynthConfig(), {{.cost_scale = 1.0, .roi_shift = 0.0}});
+  ASSERT_EQ(generator.num_arms(), 1);
+  Rng rng(7);
+  synth::MultiTreatmentDataset data = generator.Generate(3000, false, &rng);
+  EXPECT_EQ(data.num_arms(), 1);
+  int treated = 0;
+  for (int t : data.treatment) {
+    ASSERT_GE(t, 0);
+    ASSERT_LE(t, 1);
+    treated += t;
+  }
+  EXPECT_NEAR(treated / 3000.0, 0.5, 0.05);
+
+  RctDataset sub = data.BinarySubproblem(1);
+  EXPECT_EQ(sub.n(), data.n());
+  sub.Validate();
+  // Unscaled, unshifted arm: oracle columns match the base mechanism, so
+  // every true ROI sits inside the base generator's clamp range.
+  for (int i = 0; i < data.n(); ++i) {
+    double roi = data.TrueRoi(i, 1);
+    EXPECT_GT(roi, 0.0);
+    EXPECT_LT(roi, 1.0);
+  }
+}
+
+TEST(MultiTreatmentDeathTest, TrueRoiChecksNonPositiveCostEffect) {
+  synth::MultiTreatmentDataset data;
+  data.x = Matrix(1, 1);
+  data.x(0, 0) = 0.0;
+  data.treatment = {1};
+  data.y_revenue = {1.0};
+  data.y_cost = {0.5};
+  data.true_tau_r.assign(1, {0.1});
+  data.true_tau_c.assign(1, {0.0});  // violates Assumption 4
+  EXPECT_DEATH(data.TrueRoi(0, 1), "tau_c > 0");
+  data.true_tau_c[0][0] = -0.2;
+  EXPECT_DEATH(data.TrueRoi(0, 1), "tau_c > 0");
+  // Out-of-range arm/sample indices are also CHECKed.
+  data.true_tau_c[0][0] = 0.2;
+  EXPECT_DEATH(data.TrueRoi(0, 0), "arm");
+  EXPECT_DEATH(data.TrueRoi(1, 1), "");
+}
+
 TEST(GreedyAllocateMultiTest, OneArmPerUser) {
   // Two arms, three users; arm 2 strictly better ROI for user 0.
   std::vector<std::vector<double>> roi = {{0.5, 0.9, 0.2},

@@ -1,0 +1,169 @@
+#include "core/rank_net.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/cost_curve.h"
+#include "metrics/qini.h"
+#include "synth/synthetic_generator.h"
+
+namespace roicl::core {
+namespace {
+
+/// Shared synthetic RCT splits (same pattern as rdrp_test): the ranking
+/// scorer trains on the unshifted distribution and is evaluated on the
+/// covariate-shifted test split, exactly like the Table-I runs.
+class RankNetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    generator_ = new synth::SyntheticGenerator(synth::CriteoSynthConfig());
+    Rng rng(31);
+    train_ = new RctDataset(generator_->Generate(5000, false, &rng));
+    test_ = new RctDataset(generator_->Generate(2500, true, &rng));
+  }
+  static void TearDownTestSuite() {
+    delete generator_;
+    delete train_;
+    delete test_;
+  }
+
+  static RankNetConfig FastConfig() {
+    RankNetConfig config;
+    config.train.epochs = 12;
+    config.restarts = 1;
+    return config;
+  }
+
+  static synth::SyntheticGenerator* generator_;
+  static RctDataset* train_;
+  static RctDataset* test_;
+};
+
+synth::SyntheticGenerator* RankNetTest::generator_ = nullptr;
+RctDataset* RankNetTest::train_ = nullptr;
+RctDataset* RankNetTest::test_ = nullptr;
+
+TEST_F(RankNetTest, ProducesFiniteUnitIntervalScores) {
+  RankNetModel model(FastConfig());
+  EXPECT_FALSE(model.fitted());
+  EXPECT_EQ(model.feature_dim(), -1);
+  model.Fit(*train_);
+  EXPECT_TRUE(model.fitted());
+  EXPECT_EQ(model.feature_dim(), train_->x.cols());
+  std::vector<double> scores = model.PredictRoi(test_->x);
+  ASSERT_EQ(static_cast<int>(scores.size()), test_->n());
+  for (double s : scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST_F(RankNetTest, RankingBeatsRandomByAuccAndQini) {
+  // The ranking-quality check gets a larger budget than the smoke tests:
+  // the pairwise preference directions are noisy single-sample estimates,
+  // so the ordering signal needs more passes to emerge.
+  RankNetConfig config = FastConfig();
+  config.train.epochs = 60;
+  config.restarts = 2;
+  RankNetModel model(config);
+  model.Fit(*train_);
+  std::vector<double> scores = model.PredictRoi(test_->x);
+  double aucc = metrics::Aucc(scores, *test_);
+  double oracle = metrics::OracleAucc(*test_);
+  // The pairwise objective only sees the ranking, so the model should
+  // recover a meaningful fraction of the oracle ordering even with the
+  // fast training budget. A random ranking scores ~0.5. The oracle is
+  // only optimal in expectation (AUCC uses realized outcomes), so the
+  // upper bound carries finite-sample slack.
+  EXPECT_GT(aucc, 0.55);
+  EXPECT_LE(aucc, oracle + 0.03);
+  EXPECT_GT(metrics::QiniCoefficient(scores, *test_), 0.0);
+}
+
+TEST_F(RankNetTest, SaveLoadPredictIsBitwise) {
+  RankNetModel model(FastConfig());
+  model.Fit(*train_);
+  std::vector<double> before = model.PredictRoi(test_->x);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(model.Save(buffer).ok());
+  StatusOr<RankNetModel> loaded = RankNetModel::Load(buffer, FastConfig());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().feature_dim(), train_->x.cols());
+
+  std::vector<double> after = loaded.value().PredictRoi(test_->x);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << "score diverged at row " << i;
+  }
+}
+
+TEST_F(RankNetTest, PredictionsAreEngineInvariant) {
+  RankNetModel model(FastConfig());
+  model.Fit(*train_);
+  std::vector<double> reference = model.PredictRoi(test_->x);
+
+  nn::BatchOptions opts;
+  opts.batch_size = 17;
+  opts.num_threads = 4;
+  model.set_predict_options(opts);
+  std::vector<double> batched = model.PredictRoi(test_->x);
+
+  ASSERT_EQ(reference.size(), batched.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i], batched[i]);
+  }
+}
+
+TEST(RankNetLoadTest, RejectsCorruptStreams) {
+  {
+    std::istringstream empty("");
+    StatusOr<RankNetModel> r = RankNetModel::Load(empty);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    std::istringstream bad_magic("not-a-ranknet 3");
+    StatusOr<RankNetModel> r = RankNetModel::Load(bad_magic);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Future format version: rejected with a version message, not parsed.
+    std::istringstream future("roicl-ranknet-v9 3");
+    StatusOr<RankNetModel> r = RankNetModel::Load(future);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    std::istringstream truncated("roicl-ranknet-v1\n4\n0.0 0.0 0.0 0.0\n");
+    StatusOr<RankNetModel> r = RankNetModel::Load(truncated);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+using RankNetDeathTest = RankNetTest;
+
+TEST_F(RankNetDeathTest, RequiresBothArmsAndFit) {
+  RankNetConfig config = FastConfig();
+  {
+    // All-control dataset: the pairwise transform needs both arms.
+    RctDataset all_control = *train_;
+    for (auto& t : all_control.treatment) t = 0;
+    RankNetModel model(config);
+    EXPECT_DEATH(model.Fit(all_control), "both RCT arms");
+  }
+  {
+    RankNetModel model(config);
+    EXPECT_DEATH(model.PredictRoi(test_->x), "before Fit");
+  }
+}
+
+}  // namespace
+}  // namespace roicl::core

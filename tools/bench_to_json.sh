@@ -13,9 +13,12 @@
 #                       Google Benchmark: the harness's own JSON, with
 #                       phase latencies, the serve.stage.* breakdown,
 #                       exemplar trace IDs, and the SLO verdict)
+#   BENCH_campaign.json K-arm campaign allocation: 1M users x 3 arms and
+#                       4M x 8 (32M pairs), sharded best-pair streaming
+#                       inside the same hard 64 MiB accounted cap
 #
 # Usage: bench_to_json.sh <build dir> [predict json] [serve json]
-#        [monitor json] [load json] [allocate json]
+#        [monitor json] [load json] [allocate json] [campaign json]
 set -euo pipefail
 
 build_dir=${1:?usage: bench_to_json.sh <build dir> [predict json] [serve json] [monitor json] [load json] [allocate json]}
@@ -24,6 +27,7 @@ serve_out=${3:-"$(dirname "$0")/../BENCH_serve.json"}
 monitor_out=${4:-"$(dirname "$0")/../BENCH_monitor.json"}
 load_out=${5:-"$(dirname "$0")/../BENCH_load.json"}
 allocate_out=${6:-"$(dirname "$0")/../BENCH_allocate.json"}
+campaign_out=${7:-"$(dirname "$0")/../BENCH_campaign.json"}
 
 bench="${build_dir}/bench/bench_micro"
 if [[ ! -x "${bench}" ]]; then
@@ -60,6 +64,14 @@ echo "wrote ${monitor_out}"
   --benchmark_repetitions=1 \
   --benchmark_format=json > "${allocate_out}"
 echo "wrote ${allocate_out}"
+
+# Same single-repetition rationale as BENCH_allocate: the K-arm scan is
+# deterministic (pinned seed, pure-function pair source).
+"${bench}" \
+  --benchmark_filter='BM_CampaignAllocate' \
+  --benchmark_repetitions=1 \
+  --benchmark_format=json > "${campaign_out}"
+echo "wrote ${campaign_out}"
 
 # BENCH_load.json: the canonical load-replay run — synth Criteo traffic,
 # a small rDRP pipeline, and the committed configs/serving.slo. Seeds are

@@ -66,6 +66,11 @@ load_replay_smoke_filter='LoadReplayTest.CancellationStopsEarly*'
 # sub-second, so it rides along in every sanitizer row too.
 alloc_smoke_filter='StreamingSmoke.*'
 
+# K-arm campaign smoke: the streaming best-pair scan proven bitwise
+# against the in-memory K-arm reference on a fixed instance, plus the
+# dual-ascent certificate soundness check — also sub-second.
+campaign_smoke_filter='CampaignSmoke.*'
+
 declare -A result
 status=0
 for config in "${configs[@]}"; do
@@ -90,7 +95,9 @@ for config in "${configs[@]}"; do
       "${tree}/tests/load_replay_test" \
         --gtest_filter="${load_replay_smoke_filter}" >/dev/null 2>&1 &&
       "${tree}/tests/alloc_equivalence_test" \
-        --gtest_filter="${alloc_smoke_filter}" >/dev/null 2>&1; then
+        --gtest_filter="${alloc_smoke_filter}" >/dev/null 2>&1 &&
+      "${tree}/tests/campaign_allocate_test" \
+        --gtest_filter="${campaign_smoke_filter}" >/dev/null 2>&1; then
     result[${config}]=PASS
   else
     result[${config}]=FAIL

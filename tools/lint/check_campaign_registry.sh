@@ -1,0 +1,58 @@
+#!/bin/bash
+# Campaign-scorer coverage lint: every K-arm scorer registered in
+# src/campaign/scorer.h's kCampaignScorerNames must carry
+#   1. a registration call in src/campaign/scorer.cc (the greppable
+#      `Register("NAME"` literal convention), and
+#   2. a bitwise save->load->predict roundtrip test, announced by a
+#      `// campaign-roundtrip: NAME` marker comment in tests/*.cc.
+# A scorer name added to the roster without both would either CHECK-fail
+# at CampaignScorerRegistry::Create time or ship artifacts no test ever
+# proves reproducible; this catches it at lint time. Extraction is a
+# pure text match against the array literal and marker convention.
+#
+# Usage: check_campaign_registry.sh <repo root>; exits non-zero on
+# violations.
+set -euo pipefail
+cd "${1:?usage: check_campaign_registry.sh <repo root>}"
+
+scorer_h=src/campaign/scorer.h
+scorer_cc=src/campaign/scorer.cc
+status=0
+
+for file in "${scorer_h}" "${scorer_cc}"; do
+  if [ ! -f "${file}" ]; then
+    echo "${file}: missing (campaign-registry lint cannot run)"
+    exit 1
+  fi
+done
+if [ ! -d tests ]; then
+  echo "tests/: missing (campaign-registry lint cannot run)"
+  exit 1
+fi
+
+# Pull the quoted names out of the kCampaignScorerNames initializer. The
+# count guard protects against regex rot: a rename or reformat that
+# empties the extraction must fail loudly, not pass vacuously.
+names=$(awk '/kCampaignScorerNames/,/};/' "${scorer_h}" \
+  | grep -oE '"[^"]+"' | tr -d '"' || true)
+count=$(grep -c . <<<"${names}" || true)
+if [ -z "${names}" ] || [ "${count}" -lt 2 ]; then
+  echo "${scorer_h}: could not extract kCampaignScorerNames (regex rot?)"
+  exit 1
+fi
+
+while IFS= read -r name; do
+  if ! grep -qF "Register(\"${name}\"" "${scorer_cc}"; then
+    echo "${scorer_cc}: scorer '${name}' from kCampaignScorerNames has no Register(\"${name}\" call"
+    status=1
+  fi
+  if ! grep -rqF "campaign-roundtrip: ${name}" tests --include='*.cc'; then
+    echo "tests/: scorer '${name}' has no bitwise save->load->predict roundtrip (marker 'campaign-roundtrip: ${name}' not found)"
+    status=1
+  fi
+done <<<"${names}"
+
+if [ "${status}" -eq 0 ]; then
+  echo "all ${count} campaign scorers are registered with roundtrip tests"
+fi
+exit "${status}"

@@ -69,7 +69,11 @@ for member in \
     alloc.streaming_calls alloc.rows_streamed alloc.frontier_evictions \
     alloc.threshold_overflow alloc.shards alloc.selected \
     alloc.merge_candidates alloc.peak_memory_bytes alloc.dual_threshold \
-    alloc.dual_gap; do
+    alloc.dual_gap \
+    campaign.runs campaign.streaming_calls campaign.users_streamed \
+    campaign.frontier_evictions campaign.arms campaign.shards \
+    campaign.assigned campaign.spent campaign.merge_candidates \
+    campaign.peak_memory_bytes campaign.coverage_min campaign.dual_gap; do
   if ! grep -qFx "${member}" <<<"${used}"; then
     echo "src/: expected metric family member '${member}' is no longer minted anywhere"
     status=1

@@ -65,6 +65,7 @@
 // every --*-out file are still written, and the process exits 128+sig.
 
 #include <atomic>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -76,12 +77,15 @@
 #include <memory>
 #include <numeric>
 #include <set>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "alloc/row_source.h"
 #include "alloc/streaming.h"
+#include "campaign/scenario.h"
+#include "campaign/scorer.h"
 #include "common/math_util.h"
 #include "common/status.h"
 #include "core/greedy.h"
@@ -217,6 +221,9 @@ void RejectUnknownFlags(const std::string& command, const Flags& flags) {
        {"pipeline", "model-type", "model", "data", "budget-frac",
         "streaming", "mode", "shards", "memory-cap-mb", "chunk-rows",
         "synthetic-rows"}},
+      {"campaign",
+       {"dataset", "arms", "arm-budgets", "budget-frac", "mode", "scorer",
+        "n-train", "n-calib", "n-test", "shards", "memory-cap-mb"}},
       {"monitor-replay",
        {"pipeline", "calib", "data", "batch-rows", "num-batches",
         "shift-at", "shift-feature", "shift-gamma", "seed", "window-rows",
@@ -231,7 +238,7 @@ void RejectUnknownFlags(const std::string& command, const Flags& flags) {
         "exemplar-rate", "exemplar-seed", "shadow-interval-every"}},
   };
   static const std::set<std::string> kHyperCommands = {
-      "train", "predict", "evaluate", "allocate"};
+      "train", "predict", "evaluate", "allocate", "campaign"};
   static const std::set<std::string> kEngineCommands = {
       "score", "serve", "monitor-replay", "load-replay"};
   auto it = kPerCommand.find(command);
@@ -288,6 +295,22 @@ void ValidateFlagRanges(const Flags& flags) {
       std::exit(2);
     }
   }
+  if (flags.Has("arms")) {
+    int arms = flags.GetInt("arms", 0);
+    if (arms < 1 || arms > 64) {
+      std::fprintf(stderr, "--arms must be in [1, 64], got '%s'\n",
+                   flags.Get("arms").c_str());
+      std::exit(2);
+    }
+  }
+  if (flags.Has("budget-frac")) {
+    double frac = flags.GetDouble("budget-frac", 0.0);
+    if (!(frac > 0.0 && frac <= 1.0)) {
+      std::fprintf(stderr, "--budget-frac must be in (0, 1], got '%s'\n",
+                   flags.Get("budget-frac").c_str());
+      std::exit(2);
+    }
+  }
   if (flags.Has("synthetic-rows") && flags.GetInt("synthetic-rows", 0) < 0) {
     std::fprintf(stderr, "--synthetic-rows must be >= 0, got '%s'\n",
                  flags.Get("synthetic-rows").c_str());
@@ -319,7 +342,9 @@ void PreregisterStandardMetrics() {
         "monitor.coverage_alerts", "monitor.outcomes", "slo.events",
         "slo.warn_transitions", "slo.breach_transitions",
         "alloc.streaming_calls", "alloc.rows_streamed",
-        "alloc.frontier_evictions", "alloc.threshold_overflow"}) {
+        "alloc.frontier_evictions", "alloc.threshold_overflow",
+        "campaign.runs", "campaign.streaming_calls",
+        "campaign.users_streamed", "campaign.frontier_evictions"}) {
     registry.GetCounter(name);
   }
   for (const char* name :
@@ -335,7 +360,10 @@ void PreregisterStandardMetrics() {
         "monitor.max_psi", "monitor.max_ks", "slo.worst_state",
         "alloc.shards", "alloc.selected", "alloc.merge_candidates",
         "alloc.peak_memory_bytes", "alloc.dual_threshold",
-        "alloc.dual_gap"}) {
+        "alloc.dual_gap", "campaign.arms", "campaign.shards",
+        "campaign.assigned", "campaign.spent", "campaign.merge_candidates",
+        "campaign.peak_memory_bytes", "campaign.coverage_min",
+        "campaign.dual_gap"}) {
     registry.GetGauge(name);
   }
   registry.GetHistogram("conformal.score", obs::ConformalScoreBuckets());
@@ -1069,6 +1097,111 @@ int CmdAllocate(const Flags& flags) {
   return 0;
 }
 
+/// `roicl campaign`: the multi-treatment C-BTAP scenario — synthetic
+/// K-arm data, a registered campaign scorer (dnc-rdrp carries per-arm
+/// conformal intervals), per-arm AUCC/Qini/coverage, and the K-arm
+/// budget allocation in streaming-greedy or Lagrangian-dual mode.
+int CmdCampaign(const Flags& flags) {
+  campaign::CampaignScenarioConfig config;
+  std::string dataset = flags.Get("dataset", "criteo");
+  config.num_arms = flags.GetInt("arms", 3);
+  config.n_train = flags.GetInt("n-train", 4000);
+  config.n_calibration = flags.GetInt("n-calib", 1200);
+  config.n_test = flags.GetInt("n-test", 2000);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 20240819));
+  config.scorer = flags.Get("scorer", "dnc-rdrp");
+  config.budget_fraction = flags.GetDouble("budget-frac", 0.35);
+  config.mode = flags.Get("mode", "greedy");
+  config.streaming.num_shards = flags.GetInt("shards", 1);
+  config.streaming.memory_cap_bytes =
+      static_cast<size_t>(flags.GetInt("memory-cap-mb", 256)) << 20;
+  config.streaming.parallel_shards = flags.GetInt("threads", 0) > 0;
+
+  core::RdrpConfig& rdrp = config.scorer_config.rdrp;
+  rdrp.alpha = flags.GetDouble("alpha", rdrp.alpha);
+  rdrp.mc_passes = flags.GetInt("mc-passes", rdrp.mc_passes);
+  rdrp.interval_backend =
+      flags.Get("interval-backend", rdrp.interval_backend);
+  rdrp.drp.train.epochs = flags.GetInt("epochs", rdrp.drp.train.epochs);
+  rdrp.drp.train.learning_rate =
+      flags.GetDouble("lr", rdrp.drp.train.learning_rate);
+  rdrp.drp.train.patience =
+      flags.GetInt("patience", rdrp.drp.train.patience);
+  rdrp.drp.hidden_units = flags.GetInt("hidden", rdrp.drp.hidden_units);
+  rdrp.drp.dropout = flags.GetDouble("dropout", rdrp.drp.dropout);
+  rdrp.drp.restarts = flags.GetInt("restarts", rdrp.drp.restarts);
+  rdrp.drp.predict = BatchOptionsFromFlags(flags);
+  campaign::KArmRankNetConfig& ranknet = config.scorer_config.ranknet;
+  ranknet.train.epochs = flags.GetInt("epochs", ranknet.train.epochs);
+  ranknet.train.learning_rate =
+      flags.GetDouble("lr", ranknet.train.learning_rate);
+  ranknet.train.patience = flags.GetInt("patience", ranknet.train.patience);
+  ranknet.dropout = flags.GetDouble("dropout", ranknet.dropout);
+  ranknet.restarts = flags.GetInt("restarts", ranknet.restarts);
+  ranknet.predict = rdrp.drp.predict;
+
+  if (flags.Has("arm-budgets")) {
+    std::stringstream list(flags.Get("arm-budgets"));
+    std::string token;
+    while (std::getline(list, token, ',')) {
+      config.arm_budget_fractions.push_back(std::atof(token.c_str()));
+    }
+    if (static_cast<int>(config.arm_budget_fractions.size()) !=
+        config.num_arms) {
+      std::fprintf(stderr,
+                   "--arm-budgets needs one comma-separated fraction per "
+                   "arm (%d), got '%s'\n",
+                   config.num_arms, flags.Get("arm-budgets").c_str());
+      return 2;
+    }
+  }
+
+  std::vector<std::string> datasets;
+  if (dataset != "all") datasets.push_back(dataset);
+  StatusOr<std::vector<campaign::CampaignScenarioResult>> grid =
+      campaign::RunCampaignGrid(config, std::move(datasets));
+  if (!grid.ok()) {
+    std::fprintf(stderr, "%s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const campaign::CampaignScenarioResult& result : grid.value()) {
+    std::printf("=== %s / %s / %s ===\n", result.dataset.c_str(),
+                result.scorer.c_str(), result.mode.c_str());
+    std::printf("arm      aucc     qini  coverage   roi*     spent"
+                "        budget  assigned\n");
+    for (size_t k = 0; k < result.arms.size(); ++k) {
+      const campaign::CampaignArmReport& arm = result.arms[k];
+      char coverage[16], budget[16];
+      if (result.has_intervals) {
+        std::snprintf(coverage, sizeof(coverage), "%.3f",
+                      arm.coverage.coverage);
+      } else {
+        std::snprintf(coverage, sizeof(coverage), "-");
+      }
+      if (std::isfinite(arm.budget)) {
+        std::snprintf(budget, sizeof(budget), "%.2f", arm.budget);
+      } else {
+        std::snprintf(budget, sizeof(budget), "unbounded");
+      }
+      std::printf("%3zu  %7.4f  %7.4f  %8s  %5.3f  %8.2f  %12s  %8lld\n",
+                  k + 1, arm.aucc, arm.qini, coverage, arm.roi_star_target,
+                  arm.spent, budget, static_cast<long long>(arm.assigned));
+    }
+    std::printf("global budget     : %.2f\n", result.global_budget);
+    std::printf("treated           : %lld of %d users\n",
+                static_cast<long long>(result.assigned), config.n_test);
+    std::printf("spent             : %.2f\n", result.spent);
+    std::printf("est. value        : %.2f\n", result.value);
+    if (result.mode == "dual") {
+      std::printf("dual upper bound  : %.4f\n", result.dual_bound);
+      std::printf("dual gap          : %.6f\n", result.dual_gap);
+      std::printf("dual iterations   : %d\n", result.dual_iterations);
+    }
+  }
+  return 0;
+}
+
 int CmdMonitorReplay(const Flags& flags) {
   std::string pipeline_path = flags.Require("pipeline");
   RctDataset calib = LoadCsvOrDie(flags.Require("calib"));
@@ -1203,7 +1336,7 @@ void PrintUsage() {
   std::fputs(
       "usage: roicl "
       "<generate|methods|train|predict|score|serve|evaluate|allocate"
-      "|monitor-replay|load-replay> [--flags]\n"
+      "|campaign|monitor-replay|load-replay> [--flags]\n"
       "run with a subcommand and no flags to see its required arguments\n"
       "train once, serve many:\n"
       "  train --method NAME --train CSV [--calib CSV] "
@@ -1219,6 +1352,10 @@ void PrintUsage() {
       "--data CSV]\n"
       "      [--mode greedy|dual --shards N --memory-cap-mb MB "
       "--chunk-rows N --budget-frac F --seed N]\n"
+      "  campaign [--dataset criteo|meituan|alibaba|all --arms K "
+      "--scorer dnc-rdrp|dnc-ranknet]\n"
+      "      [--mode greedy|dual --arm-budgets F1,..,FK --budget-frac F "
+      "--shards N --seed N]\n"
       "`roicl methods` lists every registered method name\n"
       "observability flags (any subcommand): --log-level LEVEL, "
       "--log-json FILE, --metrics-out FILE, --metrics-prom FILE, "
@@ -1238,6 +1375,7 @@ int RunCommand(const std::string& command, const Flags& flags) {
   if (command == "serve") return CmdServe(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "allocate") return CmdAllocate(flags);
+  if (command == "campaign") return CmdCampaign(flags);
   if (command == "monitor-replay") return CmdMonitorReplay(flags);
   if (command == "load-replay") return CmdLoadReplay(flags);
   PrintUsage();
